@@ -1,0 +1,56 @@
+// Ablation (extension): two-pointer vs galloping intersection inside the
+// pull-based Inner algorithm.
+//
+// The two-pointer merge is O(|u| + |B col|); galloping is
+// O(min log max) — better when the operand lengths are strongly
+// asymmetric, worse (by constant factors) when they are balanced.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "gen/erdos_renyi.hpp"
+
+using namespace msx;
+using namespace msx::bench;
+
+int main(int argc, char** argv) {
+  const auto cfg = BenchConfig::parse(argc, argv);
+  print_header("ablation_gallop — Inner: two-pointer vs galloping dots",
+               "§4.1 (Inner) intersection-strategy extension", cfg);
+
+  const IT n = IT{1} << (12 + cfg.scale_shift);
+  Table table({"deg_A", "deg_B", "two_ptr_ms", "gallop_ms", "gallop/two_ptr"});
+  const std::pair<IT, IT> shapes[] = {
+      {2, 2},    // both short: two-pointer should win
+      {2, 128},  // short rows vs long columns: gallop should win
+      {128, 2},  // long rows vs short columns: gallop should win
+      {32, 32},  // balanced mid-size
+  };
+  for (const auto& [da, db] : shapes) {
+    auto a = erdos_renyi<IT, VT>(n, n, da, 1);
+    auto b = erdos_renyi<IT, VT>(n, n, db, 2);
+    auto m = erdos_renyi<IT, VT>(n, n, 8, 3);
+    auto b_csc = csr_to_csc(b);
+    double times[2];
+    for (int g = 0; g < 2; ++g) {
+      MaskedOptions o;
+      o.algo = MaskedAlgo::kInner;
+      o.inner_gallop = (g == 1);
+      o.threads = cfg.threads;
+      const auto stats = measure(
+          [&] {
+            auto c = masked_spgemm_with_csc<PlusTimes<VT>>(a, b, b_csc, m, o);
+            (void)c;
+          },
+          cfg.measure());
+      times[g] = best_seconds(stats);
+    }
+    table.add_row({std::to_string(da), std::to_string(db),
+                   Table::num(times[0] * 1e3, 3),
+                   Table::num(times[1] * 1e3, 3),
+                   Table::num(times[1] / times[0], 2)});
+  }
+  table.print();
+  std::printf("\nExpected shape: galloping pays on asymmetric operand\n"
+              "lengths, two-pointer on balanced ones.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation (§6, §8): one-phase vs two-phase output construction.
+//
+// The paper's cross-cutting observation: "computing the Masked SpGEMM in a
+// single phase usually performs better than approaches in which a symbolic
+// multiplication is run prior to actual multiplication, in stark contrast
+// with the conventions of plain SpGEMM". This bench reports the 2P/1P
+// runtime ratio per algorithm per workload (ratio > 1 means 1P wins).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace msx;
+using namespace msx::bench;
+
+int main(int argc, char** argv) {
+  const auto cfg = BenchConfig::parse(argc, argv, /*default_scale_shift=*/-2);
+  print_header("ablation_phases — 2P/1P runtime ratio per algorithm",
+               "§6 / §8 (1P-vs-2P discussion)", cfg);
+
+  const std::vector<MaskedAlgo> algos{
+      MaskedAlgo::kMSA,  MaskedAlgo::kHash,    MaskedAlgo::kMCA,
+      MaskedAlgo::kHeap, MaskedAlgo::kHeapDot, MaskedAlgo::kInner};
+
+  std::vector<std::string> headers{"graph"};
+  for (auto a : algos) headers.push_back(std::string(to_string(a)) + "_2P/1P");
+  Table table(headers);
+
+  double product_of_ratios = 1.0;
+  int ratio_count = 0;
+  for (const auto& workload : graph_suite(cfg.scale_shift)) {
+    const auto lower = prepare_tc_lower(workload.make());
+    std::vector<std::string> row{workload.name};
+    for (auto algo : algos) {
+      MaskedOptions o1;
+      o1.algo = algo;
+      o1.phases = PhaseMode::kOnePhase;
+      MaskedOptions o2 = o1;
+      o2.phases = PhaseMode::kTwoPhase;
+      const double t1 = time_masked_spgemm<PlusPair<std::int64_t>>(
+          lower, lower, lower, o1, cfg);
+      const double t2 = time_masked_spgemm<PlusPair<std::int64_t>>(
+          lower, lower, lower, o2, cfg);
+      const double ratio = t2 / t1;
+      product_of_ratios *= ratio;
+      ++ratio_count;
+      row.push_back(Table::num(ratio, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  const double geomean =
+      std::pow(product_of_ratios, 1.0 / std::max(1, ratio_count));
+  std::printf("\ngeometric-mean 2P/1P ratio: %.2fx", geomean);
+  std::printf("  (paper: 1P usually wins, i.e. ratio > 1)\n");
+  return 0;
+}

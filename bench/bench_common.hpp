@@ -1,0 +1,160 @@
+// Shared infrastructure for the figure-reproduction benchmarks.
+//
+// Every bench binary:
+//  * prints a header with system info and its effective parameters,
+//  * runs with laptop-safe defaults,
+//  * accepts env/CLI knobs (--reps/MSX_REPS, --scale-shift/MSX_SCALE_SHIFT,
+//    --threads/MSX_THREADS, ...) to scale toward the paper's configurations.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/parallel.hpp"
+#include "common/system_info.hpp"
+#include "core/masked_spgemm.hpp"
+#include "core/options.hpp"
+#include "gen/suite.hpp"
+#include "matrix/ops.hpp"
+#include "profile/measure.hpp"
+#include "profile/perf_profile.hpp"
+#include "profile/table.hpp"
+#include "semiring/semirings.hpp"
+
+namespace msx::bench {
+
+using IT = SuiteIndex;
+using VT = SuiteValue;
+using Mat = SuiteMatrix;
+
+inline double nan_time() { return std::numeric_limits<double>::quiet_NaN(); }
+
+struct SchemeSpec {
+  std::string name;
+  MaskedOptions opts;
+};
+
+// The paper's 12 proposed schemes: {MSA, Hash, MCA, Heap, HeapDot, Inner} ×
+// {1P, 2P} (§8: "In total, we evaluate 14 algorithms, 10 of which are
+// proposed in this work, 2 are based on the previous work").
+inline std::vector<SchemeSpec> our_schemes(bool include_two_phase = true) {
+  std::vector<SchemeSpec> schemes;
+  for (auto algo : {MaskedAlgo::kMSA, MaskedAlgo::kHash, MaskedAlgo::kMCA,
+                    MaskedAlgo::kHeap, MaskedAlgo::kHeapDot,
+                    MaskedAlgo::kInner}) {
+    MaskedOptions o;
+    o.algo = algo;
+    o.phases = PhaseMode::kOnePhase;
+    schemes.push_back({scheme_name(algo, o.phases), o});
+    if (include_two_phase) {
+      o.phases = PhaseMode::kTwoPhase;
+      schemes.push_back({scheme_name(algo, o.phases), o});
+    }
+  }
+  return schemes;
+}
+
+// Schemes that support the complemented mask (everything but MCA).
+inline std::vector<SchemeSpec> complement_schemes(bool include_two_phase) {
+  std::vector<SchemeSpec> schemes;
+  for (auto algo : {MaskedAlgo::kMSA, MaskedAlgo::kHash}) {
+    MaskedOptions o;
+    o.algo = algo;
+    o.phases = PhaseMode::kOnePhase;
+    schemes.push_back({scheme_name(algo, o.phases), o});
+    if (include_two_phase) {
+      o.phases = PhaseMode::kTwoPhase;
+      schemes.push_back({scheme_name(algo, o.phases), o});
+    }
+  }
+  return schemes;
+}
+
+// Common bench configuration gathered from CLI/environment.
+struct BenchConfig {
+  int reps = 3;
+  int warmup = 1;
+  int scale_shift = 0;   // workload-suite size knob
+  int threads = 0;       // 0 = OpenMP default
+  bool csv = false;      // emit machine-readable CSV blocks as well
+
+  static BenchConfig parse(int argc, char** argv,
+                           int default_scale_shift = 0) {
+    ArgParser args(argc, argv);
+    BenchConfig cfg;
+    cfg.reps = static_cast<int>(args.get_int("reps", 3));
+    cfg.warmup = static_cast<int>(args.get_int("warmup", 1));
+    cfg.scale_shift =
+        static_cast<int>(args.get_int("scale-shift", default_scale_shift));
+    cfg.threads = static_cast<int>(args.get_int("threads", 0));
+    cfg.csv = args.get_bool("csv", false);
+    return cfg;
+  }
+
+  MeasureConfig measure() const {
+    MeasureConfig m;
+    m.warmup = warmup;
+    m.reps = reps;
+    return m;
+  }
+};
+
+inline void print_header(const char* title, const char* paper_ref,
+                         const BenchConfig& cfg) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("host: %s\n", system_info_line().c_str());
+  std::printf("config: reps=%d warmup=%d scale_shift=%d threads=%d\n",
+              cfg.reps, cfg.warmup, cfg.scale_shift,
+              cfg.threads > 0 ? cfg.threads : max_threads());
+  std::printf("==============================================================\n");
+}
+
+// Times one masked SpGEMM configuration; returns NaN if the scheme rejects
+// the configuration (e.g. MCA × complement).
+template <class SR>
+double time_masked_spgemm(const Mat& a, const Mat& b, const Mat& m,
+                          MaskedOptions opts, const BenchConfig& cfg) {
+  opts.threads = cfg.threads;
+  try {
+    const auto stats = measure(
+        [&] {
+          auto c = masked_spgemm<SR>(a, b, m, opts);
+          (void)c;
+        },
+        cfg.measure());
+    return best_seconds(stats);
+  } catch (const std::invalid_argument&) {
+    return nan_time();
+  }
+}
+
+// Triangle-counting preparation (§8.2): relabel by non-increasing degree and
+// take the strictly-lower-triangular part; the timed kernel is then
+// L .* (L·L) on plus-pair.
+inline Mat prepare_tc_lower(const Mat& graph) {
+  const auto perm = degree_order_desc(graph);
+  return tril_strict(permute_symmetric(graph, perm));
+}
+
+// Renders the profile figures the way the paper's plots read: one series
+// per scheme plus the ASCII plot, and optionally CSV.
+inline void report_profiles(const ProfileInput& input, const BenchConfig& cfg,
+                            double x_max = 2.4) {
+  auto series = performance_profiles(input, x_max);
+  std::printf("\nPerformance profile (fraction of %zu cases within factor x "
+              "of best):\n",
+              input.cases.size());
+  print_profiles_ascii(series, x_max);
+  if (cfg.csv) {
+    std::printf("\nCSV:\n");
+    print_profiles_csv(series);
+  }
+}
+
+}  // namespace msx::bench

@@ -1,0 +1,67 @@
+// Figure 11: Triangle Counting strong scaling (GFLOPS vs thread count) on an
+// R-MAT graph.
+//
+// Paper: R-MAT scale 20 on up to 32 (Haswell) / 68 (KNL) threads, "with all
+// algorithms scaling well in all cases". Default scale here is smaller;
+// raise with --rmat-scale to approach the paper's configuration.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/flops.hpp"
+#include "gen/rmat.hpp"
+
+using namespace msx;
+using namespace msx::bench;
+
+int main(int argc, char** argv) {
+  auto cfg = BenchConfig::parse(argc, argv);
+  ArgParser args(argc, argv);
+  const int scale = static_cast<int>(args.get_int("rmat-scale", 13));
+  print_header("fig11_tc_strong_scaling — TC GFLOPS vs thread count",
+               "Fig. 11 (§8.2)", cfg);
+
+  const auto graph = rmat<IT, VT>(scale, 42);
+  const auto lower = prepare_tc_lower(graph);
+  const std::size_t mult = total_flops(lower, lower);
+  std::printf("graph: rmat scale %d, n=%d, nnz(L)=%zu, mflops=%.1f\n\n",
+              scale, graph.nrows(), lower.nnz(),
+              static_cast<double>(mult) / 1e6);
+
+  std::vector<SchemeSpec> schemes;
+  for (auto algo : {MaskedAlgo::kMSA, MaskedAlgo::kHash, MaskedAlgo::kMCA,
+                    MaskedAlgo::kInner}) {
+    MaskedOptions o;
+    o.algo = algo;
+    schemes.push_back({scheme_name(algo, PhaseMode::kOnePhase), o});
+  }
+
+  std::vector<std::string> headers{"threads"};
+  for (const auto& s : schemes) headers.push_back(s.name + "_gflops");
+  headers.push_back("MSA-1P_speedup");
+  Table table(headers);
+
+  const int hw = max_threads();
+  double msa_t1 = 0.0;
+  for (int threads = 1; threads <= hw; threads *= 2) {
+    cfg.threads = threads;
+    std::vector<std::string> row{std::to_string(threads)};
+    double msa_t = 0.0;
+    for (const auto& s : schemes) {
+      const double t = time_masked_spgemm<PlusPair<std::int64_t>>(
+          lower, lower, lower, s.opts, cfg);
+      if (s.opts.algo == MaskedAlgo::kMSA) msa_t = t;
+      row.push_back(Table::num(gflops(mult, t), 3));
+    }
+    if (threads == 1) msa_t1 = msa_t;
+    row.push_back(Table::num(msa_t1 / msa_t, 2));
+    table.add_row(std::move(row));
+    if (threads < hw && threads * 2 > hw) {
+      // also measure the exact hardware thread count
+      threads = hw / 2;  // loop doubles it to hw
+    }
+  }
+  table.print();
+  std::printf("\nExpected shape (paper Fig. 11): near-linear scaling for all\n"
+              "schemes up to the physical core count.\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Figure 16: Betweenness Centrality — performance profiles (MSA/Hash ×
+// 1P/2P vs the SS:SAXPY-like baseline).
+//
+// Paper: "MSA-1P obtains the best performance in all test instances. 1P
+// schemes again outperform 2P." MCA is excluded (no complement support);
+// Heap/Inner/SS:DOT were excluded as prohibitively slow.
+#include <cstdio>
+
+#include "apps/bc.hpp"
+#include "baseline/ssgb_like.hpp"
+#include "bench_common.hpp"
+#include "matrix/build.hpp"
+
+using namespace msx;
+using namespace msx::bench;
+
+namespace {
+
+// BC with every masked product replaced by the SS:SAXPY-like baseline.
+double bc_with_saxpy(const Mat& graph, const std::vector<IT>& sources) {
+  const IT n = graph.nrows();
+  const IT batch = static_cast<IT>(sources.size());
+  using DMat = CSRMatrix<IT, double>;
+  const DMat a(n, n,
+               std::vector<IT>(graph.rowptr().begin(), graph.rowptr().end()),
+               std::vector<IT>(graph.colidx().begin(), graph.colidx().end()),
+               std::vector<double>(graph.nnz(), 1.0));
+  std::vector<Triple<IT, double>> seeds;
+  for (IT q = 0; q < batch; ++q) {
+    seeds.push_back({q, sources[static_cast<std::size_t>(q)], 1.0});
+  }
+  DMat frontier = csr_from_triples<IT, double>(batch, n, std::move(seeds));
+  DMat numsp = frontier;
+  std::vector<DMat> levels{frontier};
+
+  WallTimer t;
+  while (true) {
+    auto next = ss_saxpy_like<PlusTimes<double>>(frontier, a, numsp,
+                                                 MaskKind::kComplement);
+    if (next.nnz() == 0) break;
+    numsp = ewise_add(numsp, next);
+    levels.push_back(next);
+    frontier = std::move(next);
+  }
+  std::vector<double> delta(static_cast<std::size_t>(batch) *
+                                static_cast<std::size_t>(n),
+                            0.0);
+  for (std::size_t d = levels.size() - 1; d >= 1; --d) {
+    DMat w = levels[d];
+    {
+      auto vals = w.mutable_values();
+      const auto rp = w.rowptr();
+      const auto ci = w.colidx();
+      for (IT q = 0; q < batch; ++q) {
+        for (IT p = rp[q]; p < rp[q + 1]; ++p) {
+          const auto idx =
+              static_cast<std::size_t>(q) * static_cast<std::size_t>(n) +
+              static_cast<std::size_t>(ci[p]);
+          vals[p] = (1.0 + delta[idx]) / vals[p];
+        }
+      }
+    }
+    auto w2 = ss_saxpy_like<PlusTimes<double>>(w, a, levels[d - 1]);
+    const auto rp2 = w2.rowptr();
+    const auto ci2 = w2.colidx();
+    const auto vl2 = w2.values();
+    for (IT q = 0; q < batch; ++q) {
+      const auto prow = levels[d - 1].row(q);
+      IT pp = 0;
+      for (IT p = rp2[q]; p < rp2[q + 1]; ++p) {
+        while (prow.cols[pp] != ci2[p]) ++pp;
+        delta[static_cast<std::size_t>(q) * static_cast<std::size_t>(n) +
+              static_cast<std::size_t>(ci2[p])] += vl2[p] * prow.vals[pp];
+      }
+    }
+  }
+  return t.seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cfg = BenchConfig::parse(argc, argv, /*default_scale_shift=*/-3);
+  ArgParser args(argc, argv);
+  const int batch = static_cast<int>(args.get_int("batch", 32));
+  print_header("fig16_bc_profiles — BC: MSA/Hash 1P/2P vs SS:SAXPY-like",
+               "Fig. 16 (§8.4)", cfg);
+  std::printf("batch = %d\n", batch);
+
+  const auto schemes = complement_schemes(/*include_two_phase=*/true);
+  ProfileInput input;
+  for (const auto& s : schemes) input.schemes.push_back(s.name);
+  input.schemes.push_back("SS:SAXPY");
+  input.seconds.assign(input.schemes.size(), {});
+
+  for (const auto& workload : graph_suite(cfg.scale_shift)) {
+    const auto graph = workload.make();
+    input.cases.push_back(workload.name);
+    std::vector<IT> sources;
+    for (int q = 0; q < batch; ++q) {
+      sources.push_back(static_cast<IT>((q * 131) % graph.nrows()));
+    }
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+      MaskedOptions o = schemes[s].opts;
+      o.threads = cfg.threads;
+      double best = nan_time();
+      for (int rep = 0; rep < cfg.reps; ++rep) {
+        const double t =
+            betweenness_centrality(graph, sources, o).seconds_total;
+        if (std::isnan(best) || t < best) best = t;
+      }
+      input.seconds[s].push_back(best);
+    }
+    {
+      double best = nan_time();
+      for (int rep = 0; rep < cfg.reps; ++rep) {
+        const double t = bc_with_saxpy(graph, sources);
+        if (std::isnan(best) || t < best) best = t;
+      }
+      input.seconds[schemes.size()].push_back(best);
+    }
+  }
+  report_profiles(input, cfg, /*x_max=*/1.5);
+  std::printf("\nExpected shape (paper Fig. 16): MSA-1P best everywhere;\n"
+              "1P beats 2P; the saxpy baseline trails.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Batched betweenness centrality (paper §8.4): forward sweep with a
+// complemented mask, backward dependency sweep with a regular mask.
+//
+// Usage:
+//   ./betweenness_centrality                       # R-MAT scale 11, batch 16
+//   ./betweenness_centrality --batch 64 --algo hash
+//   ./betweenness_centrality --mtx graph.mtx
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "apps/bc.hpp"
+#include "common/cli.hpp"
+#include "gen/rmat.hpp"
+#include "matrix/mm_io.hpp"
+#include "matrix/ops.hpp"
+
+using IT = int32_t;
+using VT = double;
+
+int main(int argc, char** argv) {
+  msx::ArgParser args(argc, argv);
+  const int batch = static_cast<int>(args.get_int("batch", 16));
+  const std::string mtx = args.get_string("mtx", "");
+  const int scale = static_cast<int>(args.get_int("rmat-scale", 11));
+
+  msx::CSRMatrix<IT, VT> graph;
+  if (!mtx.empty()) {
+    auto raw = msx::read_matrix_market_file<IT, VT>(mtx);
+    graph = msx::symmetrize_pattern(msx::remove_diagonal(raw));
+  } else {
+    graph = msx::rmat<IT, VT>(scale, 3);
+  }
+  std::printf("graph: %d vertices, %zu directed edges; batch = %d sources\n",
+              graph.nrows(), graph.nnz(), batch);
+
+  std::vector<IT> sources;
+  for (int q = 0; q < batch; ++q) {
+    sources.push_back(static_cast<IT>((q * 7919 + 13) % graph.nrows()));
+  }
+
+  msx::MaskedOptions opts;
+  opts.algo = msx::algo_from_string(args.get_string("algo", "msa"));
+
+  const auto result = msx::betweenness_centrality(graph, sources, opts);
+  std::printf("\nBFS depth reached : %d\n", result.depth);
+  std::printf("forward sweep     : %.4f s (complemented Masked SpGEMM)\n",
+              result.seconds_forward);
+  std::printf("backward sweep    : %.4f s (masked SpGEMM)\n",
+              result.seconds_backward);
+  std::printf("MTEPS             : %.2f\n",
+              result.mteps(graph.nnz() / 2, sources.size()));
+
+  // Top-5 most central vertices under this source batch.
+  std::vector<IT> order(static_cast<std::size_t>(graph.nrows()));
+  std::iota(order.begin(), order.end(), IT{0});
+  std::partial_sort(order.begin(), order.begin() + 5, order.end(),
+                    [&](IT x, IT y) {
+                      return result.centrality[static_cast<std::size_t>(x)] >
+                             result.centrality[static_cast<std::size_t>(y)];
+                    });
+  std::printf("\ntop-5 central vertices:\n");
+  for (int r = 0; r < 5; ++r) {
+    const IT v = order[static_cast<std::size_t>(r)];
+    std::printf("  #%d vertex %d  (score %.2f)\n", r + 1, v,
+                result.centrality[static_cast<std::size_t>(v)]);
+  }
+  return 0;
+}

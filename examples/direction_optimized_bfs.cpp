@@ -1,0 +1,63 @@
+// Direction-optimized BFS — the primitive that motivated masked products
+// (paper §4): per-level switching between push (frontier-driven masked
+// SpGEVM, MSA accumulator) and pull (unvisited-driven dot products, Inner).
+//
+// Usage:
+//   ./direction_optimized_bfs                        # R-MAT scale 13
+//   ./direction_optimized_bfs --rmat-scale 15 --alpha 8
+#include <cstdio>
+
+#include "apps/dobfs.hpp"
+#include "common/cli.hpp"
+#include "common/timer.hpp"
+#include "gen/rmat.hpp"
+
+using IT = int32_t;
+using VT = double;
+
+int main(int argc, char** argv) {
+  msx::ArgParser args(argc, argv);
+  const int scale = static_cast<int>(args.get_int("rmat-scale", 13));
+  const double alpha = args.get_double("alpha", 4.0);
+  IT source = static_cast<IT>(args.get_int("source", -1));
+
+  auto graph = msx::rmat<IT, VT>(scale, 99);
+  if (source < 0 || graph.row_nnz(source) == 0) {
+    // Default / isolated source: use the max-degree vertex so the traversal
+    // actually explores the giant component.
+    source = 0;
+    for (IT v = 1; v < graph.nrows(); ++v) {
+      if (graph.row_nnz(v) > graph.row_nnz(source)) source = v;
+    }
+  }
+  std::printf("graph: %d vertices, %zu directed edges; source %d (deg %d)\n",
+              graph.nrows(), graph.nnz(), source, graph.row_nnz(source));
+
+  struct Run {
+    const char* name;
+    msx::BFSDirection dir;
+  };
+  const Run runs[] = {
+      {"push-only (MSA SpGEVM)", msx::BFSDirection::kPushOnly},
+      {"pull-only (Inner SpGEVM)", msx::BFSDirection::kPullOnly},
+      {"adaptive (Beamer switch)", msx::BFSDirection::kAdaptive},
+  };
+  std::vector<std::int32_t> reference_levels;
+  for (const auto& run : runs) {
+    msx::WallTimer t;
+    const auto r = msx::direction_optimized_bfs(graph, source, run.dir, alpha);
+    const double s = t.seconds();
+    std::size_t reached = 0;
+    for (auto l : r.levels) reached += (l >= 0);
+    std::printf("%-26s %.4fs  depth=%d  reached=%zu  push=%d pull=%d\n",
+                run.name, s, r.depth, reached, r.push_levels, r.pull_levels);
+    if (reference_levels.empty()) {
+      reference_levels = r.levels;
+    } else if (reference_levels != r.levels) {
+      std::printf("  ERROR: levels differ from push-only reference!\n");
+      return 1;
+    }
+  }
+  std::printf("\nall three traversals produced identical levels.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Connected components via masked label propagation on the (min, first)
+// semiring — every round pushes only the labels that changed (the frontier),
+// the masked-traversal pattern from the paper's introduction.
+//
+// Usage:
+//   ./graph_components                       # R-MAT scale 13
+//   ./graph_components --mtx graph.mtx
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "apps/connected_components.hpp"
+#include "common/cli.hpp"
+#include "common/timer.hpp"
+#include "gen/rmat.hpp"
+#include "matrix/mm_io.hpp"
+#include "matrix/ops.hpp"
+
+using IT = int32_t;
+using VT = double;
+
+int main(int argc, char** argv) {
+  msx::ArgParser args(argc, argv);
+  const std::string mtx = args.get_string("mtx", "");
+  const int scale = static_cast<int>(args.get_int("rmat-scale", 13));
+
+  msx::CSRMatrix<IT, VT> graph;
+  if (!mtx.empty()) {
+    auto raw = msx::read_matrix_market_file<IT, VT>(mtx);
+    graph = msx::symmetrize_pattern(msx::remove_diagonal(raw));
+  } else {
+    graph = msx::rmat<IT, VT>(scale, 5);
+  }
+  std::printf("graph: %d vertices, %zu directed edges\n", graph.nrows(),
+              graph.nnz());
+
+  msx::WallTimer t;
+  const auto r = msx::connected_components(graph);
+  std::printf("components: %lld   rounds: %d   time: %.4f s\n",
+              static_cast<long long>(r.num_components), r.rounds, t.seconds());
+
+  // Size distribution of the five largest components.
+  std::map<std::int64_t, std::size_t> sizes;
+  for (auto l : r.labels) ++sizes[l];
+  std::vector<std::size_t> by_size;
+  for (const auto& [label, count] : sizes) by_size.push_back(count);
+  std::sort(by_size.rbegin(), by_size.rend());
+  std::printf("largest components:");
+  for (std::size_t k = 0; k < std::min<std::size_t>(5, by_size.size()); ++k) {
+    std::printf(" %zu", by_size[k]);
+  }
+  std::printf("  (of %zu total)\n", by_size.size());
+  return 0;
+}

@@ -1,0 +1,60 @@
+// k-truss decomposition demo (paper §8.3): iterated masked SpGEMM with
+// pruning until a fixed point.
+//
+// Usage:
+//   ./ktruss_demo                       # R-MAT scale 11, k = 5
+//   ./ktruss_demo --k 7 --rmat-scale 13
+//   ./ktruss_demo --mtx graph.mtx --algo inner
+#include <cstdio>
+
+#include "apps/ktruss.hpp"
+#include "common/cli.hpp"
+#include "core/flops.hpp"
+#include "gen/rmat.hpp"
+#include "matrix/mm_io.hpp"
+#include "matrix/ops.hpp"
+
+using IT = int32_t;
+using VT = double;
+
+int main(int argc, char** argv) {
+  msx::ArgParser args(argc, argv);
+  const int k = static_cast<int>(args.get_int("k", 5));
+  const std::string mtx = args.get_string("mtx", "");
+  const int scale = static_cast<int>(args.get_int("rmat-scale", 11));
+
+  msx::CSRMatrix<IT, VT> graph;
+  if (!mtx.empty()) {
+    auto raw = msx::read_matrix_market_file<IT, VT>(mtx);
+    graph = msx::symmetrize_pattern(msx::remove_diagonal(raw));
+  } else {
+    graph = msx::rmat<IT, VT>(scale, 7);
+  }
+  std::printf("graph: %d vertices, %zu directed edges; k = %d\n",
+              graph.nrows(), graph.nnz(), k);
+
+  msx::MaskedOptions opts;
+  opts.algo = msx::algo_from_string(args.get_string("algo", "auto"));
+
+  const auto result = msx::ktruss(graph, k, opts);
+  std::printf("\n%d-truss found after %d pruning iterations\n", k,
+              result.iterations);
+  std::printf("edges kept      : %zu of %zu (%.1f%%)\n",
+              result.remaining_edges, graph.nnz(),
+              graph.nnz() ? 100.0 * static_cast<double>(result.remaining_edges) /
+                                static_cast<double>(graph.nnz())
+                          : 0.0);
+  std::printf("spgemm time     : %.4f s over %zu multiplies (%.3f GFLOPS)\n",
+              result.seconds_spgemm, result.multiplies,
+              msx::gflops(result.multiplies, result.seconds_spgemm));
+
+  // Degree histogram of the truss core (top five degrees).
+  if (result.remaining_edges > 0) {
+    IT max_deg = 0;
+    for (IT i = 0; i < result.truss.nrows(); ++i) {
+      max_deg = std::max(max_deg, result.truss.row_nnz(i));
+    }
+    std::printf("max degree inside the truss core: %d\n", max_deg);
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Multi-source BFS — the paper's motivating masked primitive in pure form
+// (§1): each level is F ← ¬Visited .* (F·A); the complemented mask is the
+// "filter to avoid rediscovery of previously discovered vertices".
+//
+// Usage:
+//   ./multi_source_bfs                       # R-MAT scale 12, 4 sources
+//   ./multi_source_bfs --sources 8 --algo hash
+#include <cstdio>
+#include <vector>
+
+#include "apps/bfs.hpp"
+#include "common/cli.hpp"
+#include "common/timer.hpp"
+#include "gen/rmat.hpp"
+#include "matrix/ops.hpp"
+
+using IT = int32_t;
+using VT = double;
+
+int main(int argc, char** argv) {
+  msx::ArgParser args(argc, argv);
+  const int nsources = static_cast<int>(args.get_int("sources", 4));
+  const int scale = static_cast<int>(args.get_int("rmat-scale", 12));
+
+  auto graph = msx::rmat<IT, VT>(scale, 11);
+  std::printf("graph: %d vertices, %zu directed edges; %d BFS sources\n",
+              graph.nrows(), graph.nnz(), nsources);
+
+  std::vector<IT> sources;
+  for (int q = 0; q < nsources; ++q) {
+    sources.push_back(static_cast<IT>((q * 104729) % graph.nrows()));
+  }
+
+  msx::MaskedOptions opts;
+  opts.algo = msx::algo_from_string(args.get_string("algo", "msa"));
+
+  msx::WallTimer timer;
+  const auto result = msx::multi_source_bfs(graph, sources, opts);
+  const double seconds = timer.seconds();
+
+  const auto n = static_cast<std::size_t>(graph.nrows());
+  std::printf("\ndeepest level: %d   time: %.4f s\n", result.depth, seconds);
+  for (std::size_t q = 0; q < sources.size(); ++q) {
+    std::size_t reached = 0;
+    std::int64_t level_sum = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto lvl = result.levels[q * n + v];
+      if (lvl >= 0) {
+        ++reached;
+        level_sum += lvl;
+      }
+    }
+    std::printf("  source %-8d reached %zu/%zu vertices, mean depth %.2f\n",
+                sources[q], reached, n,
+                reached ? static_cast<double>(level_sum) /
+                              static_cast<double>(reached)
+                        : 0.0);
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Quickstart: build two sparse matrices and a mask, multiply under the mask,
+// and inspect the result.
+//
+//   c = m .* (a · b)      — only positions present in `m` are computed.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/masked_spgemm.hpp"
+#include "matrix/build.hpp"
+#include "semiring/semirings.hpp"
+
+int main() {
+  using IT = int32_t;
+  using VT = double;
+
+  // A 4x4 example straight out of the paper's Fig. 1: the mask admits only a
+  // few positions of the product; everything else is never computed.
+  auto a = msx::csr_from_dense<IT, VT>({
+      {1, 0, 2, 0},
+      {0, 3, 0, 0},
+      {4, 0, 0, 5},
+      {0, 6, 7, 0},
+  });
+  auto b = msx::csr_from_dense<IT, VT>({
+      {0, 1, 0, 2},
+      {3, 0, 0, 0},
+      {0, 4, 5, 0},
+      {6, 0, 0, 7},
+  });
+  auto mask = msx::csr_from_dense<IT, VT>({
+      {1, 1, 0, 0},
+      {0, 0, 0, 1},
+      {1, 0, 0, 1},
+      {0, 1, 1, 0},
+  });
+
+  // Default options: Auto algorithm selection, one-phase construction.
+  auto c = msx::masked_spgemm<msx::PlusTimes<VT>>(a, b, mask);
+
+  std::printf("C = mask .* (A*B):\n");
+  for (IT i = 0; i < c.nrows(); ++i) {
+    const auto row = c.row(i);
+    std::printf("  row %d:", i);
+    for (IT p = 0; p < row.size(); ++p) {
+      std::printf("  (col %d) = %g", row.cols[p], row.vals[p]);
+    }
+    std::printf("\n");
+  }
+
+  // Pick a specific algorithm and the complemented mask: compute exactly the
+  // product entries the mask does NOT admit.
+  msx::MaskedOptions opts;
+  opts.algo = msx::MaskedAlgo::kMSA;
+  opts.kind = msx::MaskKind::kComplement;
+  auto not_c = msx::masked_spgemm<msx::PlusTimes<VT>>(a, b, mask, opts);
+  std::printf("\n¬mask .* (A*B) has %zu entries (disjoint from C's %zu).\n",
+              not_c.nnz(), c.nnz());
+
+  // Every algorithm family gives the same answer; pick by density regime
+  // (see DESIGN.md / Fig. 7): MSA/Hash for comparable densities, Inner for
+  // sparse masks, Heap for sparse inputs, MCA as the compact novel scheme.
+  for (auto algo : {msx::MaskedAlgo::kHash, msx::MaskedAlgo::kMCA,
+                    msx::MaskedAlgo::kHeap, msx::MaskedAlgo::kInner}) {
+    msx::MaskedOptions o;
+    o.algo = algo;
+    auto c2 = msx::masked_spgemm<msx::PlusTimes<VT>>(a, b, mask, o);
+    std::printf("%-8s -> nnz=%zu %s\n", msx::to_string(algo), c2.nnz(),
+                c2 == c ? "(identical)" : "(MISMATCH!)");
+  }
+  return 0;
+}

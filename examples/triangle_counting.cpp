@@ -1,0 +1,53 @@
+// Triangle counting on a generated or user-supplied graph (paper §8.2).
+//
+// Usage:
+//   ./triangle_counting                      # R-MAT scale 12 demo
+//   ./triangle_counting --rmat-scale 14
+//   ./triangle_counting --mtx path/to/graph.mtx
+//   ./triangle_counting --algo hash          # msa|hash|mca|heap|heapdot|inner
+#include <cstdio>
+
+#include "apps/tricount.hpp"
+#include "common/cli.hpp"
+#include "core/flops.hpp"
+#include "gen/rmat.hpp"
+#include "matrix/mm_io.hpp"
+#include "matrix/ops.hpp"
+
+using IT = int32_t;
+using VT = double;
+
+int main(int argc, char** argv) {
+  msx::ArgParser args(argc, argv);
+  const std::string mtx = args.get_string("mtx", "");
+  const int scale = static_cast<int>(args.get_int("rmat-scale", 12));
+
+  msx::CSRMatrix<IT, VT> graph;
+  if (!mtx.empty()) {
+    std::printf("loading %s ...\n", mtx.c_str());
+    auto raw = msx::read_matrix_market_file<IT, VT>(mtx);
+    graph = msx::symmetrize_pattern(msx::remove_diagonal(raw));
+  } else {
+    std::printf("generating R-MAT scale %d (Graph500 parameters) ...\n",
+                scale);
+    graph = msx::rmat<IT, VT>(scale, 42);
+  }
+  std::printf("graph: %d vertices, %zu directed edges\n", graph.nrows(),
+              graph.nnz());
+
+  msx::MaskedOptions opts;
+  opts.algo = msx::algo_from_string(args.get_string("algo", "auto"));
+  opts.phases = args.get_bool("two-phase", false)
+                    ? msx::PhaseMode::kTwoPhase
+                    : msx::PhaseMode::kOnePhase;
+
+  const auto result = msx::triangle_count(graph, opts);
+  std::printf("\ntriangles          : %llu\n",
+              static_cast<unsigned long long>(result.triangles));
+  std::printf("masked SpGEMM time : %.4f s\n", result.seconds_spgemm);
+  std::printf("total time         : %.4f s (relabel + extract + reduce)\n",
+              result.seconds_total);
+  std::printf("multiplies         : %zu (%.3f GFLOPS)\n", result.multiplies,
+              msx::gflops(result.multiplies, result.seconds_spgemm));
+  return 0;
+}

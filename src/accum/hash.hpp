@@ -1,0 +1,227 @@
+// Hash accumulator — paper §5.3.
+//
+// A single open-addressing table with linear probing holds (key, state,
+// value) together. Per the paper: no resizing (the masked table can never
+// hold more than nnz(mask row) keys), and a load factor of 0.25 — capacity is
+// the next power of two ≥ 4 × the key bound. The table is cleared by
+// memset-ing the key array of the active capacity before each row; compared
+// with MSA this shrinks the working set from O(ncols) to O(nnz(m)) at the
+// price of hashing on every access.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/platform.hpp"
+#include "common/random.hpp"
+#include "accum/msa.hpp"  // AccState
+
+namespace msx {
+
+namespace detail {
+
+// Fibonacci-style multiplicative hash into [0, capacity) for pow2 capacity.
+template <class IT>
+MSX_FORCE_INLINE std::size_t hash_key(IT key, std::size_t mask_bits) {
+  const std::uint64_t h =
+      static_cast<std::uint64_t>(key) * 0x9e3779b97f4a7c15ULL;
+  return static_cast<std::size_t>(h >> (64 - mask_bits));
+}
+
+constexpr std::size_t log2_pow2(std::size_t x) {
+  std::size_t b = 0;
+  while ((std::size_t{1} << b) < x) ++b;
+  return b;
+}
+
+}  // namespace detail
+
+// Hash accumulator for the non-complemented mask. Only mask keys are ever
+// stored: prepare() seeds them as ALLOWED, and insert() drops any key that
+// probes to an empty slot.
+template <class IT, class VT>
+class HashMasked {
+ public:
+  static constexpr IT kEmpty = static_cast<IT>(-1);
+
+  // Sizes and clears the table for a row whose mask has `mask_cols` entries,
+  // then seeds the mask keys as ALLOWED.
+  void prepare(std::span<const IT> mask_cols) {
+    const std::size_t want = next_pow2(
+        std::max<std::size_t>(8, 4 * mask_cols.size()));
+    if (want > keys_.size()) {
+      keys_.assign(want, kEmpty);
+      states_.resize(want);
+      values_.resize(want);
+      capacity_ = want;
+      bits_ = detail::log2_pow2(want);
+    } else {
+      // Shrink the active window to the row's needs: clearing cost tracks
+      // nnz(m), not the high-water mark.
+      capacity_ = want;
+      bits_ = detail::log2_pow2(want);
+      std::memset(keys_.data(), 0xFF, capacity_ * sizeof(IT));
+    }
+    for (IT j : mask_cols) {
+      std::size_t s = detail::hash_key(j, bits_);
+      while (keys_[s] != kEmpty) {
+        MSX_ASSERT(keys_[s] != j);  // mask rows are duplicate-free
+        s = (s + 1) & (capacity_ - 1);
+      }
+      keys_[s] = j;
+      states_[s] = AccState::kAllowed;
+    }
+  }
+
+  template <class F, class Add>
+  MSX_FORCE_INLINE void insert(IT key, F&& value_fn, Add&& add) {
+    std::size_t s = detail::hash_key(key, bits_);
+    while (true) {
+      if (keys_[s] == key) break;
+      if (keys_[s] == kEmpty) return;  // not in mask: discard
+      s = (s + 1) & (capacity_ - 1);
+    }
+    if (states_[s] == AccState::kSet) {
+      values_[s] = add(values_[s], value_fn());
+    } else {
+      states_[s] = AccState::kSet;
+      values_[s] = value_fn();
+    }
+  }
+
+  MSX_FORCE_INLINE IT insert_symbolic(IT key) {
+    std::size_t s = detail::hash_key(key, bits_);
+    while (true) {
+      if (keys_[s] == key) break;
+      if (keys_[s] == kEmpty) return 0;
+      s = (s + 1) & (capacity_ - 1);
+    }
+    if (states_[s] != AccState::kAllowed) return 0;
+    states_[s] = AccState::kSet;
+    return 1;
+  }
+
+  // Gathers SET values in mask order; the table is implicitly discarded (the
+  // next prepare() clears it).
+  IT gather(std::span<const IT> mask_cols, IT* out_cols, VT* out_vals) const {
+    IT cnt = 0;
+    for (IT j : mask_cols) {
+      std::size_t s = detail::hash_key(j, bits_);
+      while (keys_[s] != j) {
+        MSX_ASSERT(keys_[s] != kEmpty);
+        s = (s + 1) & (capacity_ - 1);
+      }
+      if (states_[s] == AccState::kSet) {
+        out_cols[cnt] = j;
+        out_vals[cnt] = values_[s];
+        ++cnt;
+      }
+    }
+    return cnt;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::vector<IT> keys_;
+  std::vector<AccState> states_;
+  std::vector<VT> values_;
+  std::size_t capacity_ = 0;
+  std::size_t bits_ = 0;
+};
+
+// Hash accumulator for the complemented mask: mask keys are seeded as
+// NOTALLOWED, new keys are inserted freely and recorded in a touched list
+// (output is sorted during gather).
+template <class IT, class VT>
+class HashComplement {
+ public:
+  static constexpr IT kEmpty = static_cast<IT>(-1);
+
+  // `extra_bound` is an upper bound on distinct non-mask keys that may be
+  // inserted for this row (the driver passes min(flops, ncols)).
+  void prepare(std::span<const IT> mask_cols, std::size_t extra_bound) {
+    const std::size_t want = next_pow2(std::max<std::size_t>(
+        8, 4 * (mask_cols.size() + extra_bound)));
+    if (want > keys_.size()) {
+      keys_.assign(want, kEmpty);
+      states_.resize(want);
+      values_.resize(want);
+    } else {
+      std::memset(keys_.data(), 0xFF, want * sizeof(IT));
+    }
+    capacity_ = want;
+    bits_ = detail::log2_pow2(want);
+    touched_.clear();
+    for (IT j : mask_cols) {
+      std::size_t s = detail::hash_key(j, bits_);
+      while (keys_[s] != kEmpty) {
+        MSX_ASSERT(keys_[s] != j);
+        s = (s + 1) & (capacity_ - 1);
+      }
+      keys_[s] = j;
+      states_[s] = AccState::kNotAllowed;
+    }
+  }
+
+  template <class F, class Add>
+  MSX_FORCE_INLINE void insert(IT key, F&& value_fn, Add&& add) {
+    std::size_t s = detail::hash_key(key, bits_);
+    while (keys_[s] != kEmpty && keys_[s] != key) {
+      s = (s + 1) & (capacity_ - 1);
+    }
+    if (keys_[s] == kEmpty) {
+      keys_[s] = key;
+      states_[s] = AccState::kSet;
+      values_[s] = value_fn();
+      touched_.push_back(key);
+      return;
+    }
+    if (states_[s] == AccState::kNotAllowed) return;  // masked out
+    values_[s] = add(values_[s], value_fn());
+  }
+
+  MSX_FORCE_INLINE IT insert_symbolic(IT key) {
+    std::size_t s = detail::hash_key(key, bits_);
+    while (keys_[s] != kEmpty && keys_[s] != key) {
+      s = (s + 1) & (capacity_ - 1);
+    }
+    if (keys_[s] == kEmpty) {
+      keys_[s] = key;
+      states_[s] = AccState::kSet;
+      touched_.push_back(key);
+      return 1;
+    }
+    return 0;
+  }
+
+  // Gathers inserted values sorted by column index.
+  IT gather(IT* out_cols, VT* out_vals) {
+    std::sort(touched_.begin(), touched_.end());
+    IT cnt = 0;
+    for (IT j : touched_) {
+      std::size_t s = detail::hash_key(j, bits_);
+      while (keys_[s] != j) s = (s + 1) & (capacity_ - 1);
+      out_cols[cnt] = j;
+      out_vals[cnt] = values_[s];
+      ++cnt;
+    }
+    return cnt;
+  }
+
+  std::size_t touched_count() const { return touched_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::vector<IT> keys_;
+  std::vector<AccState> states_;
+  std::vector<VT> values_;
+  std::vector<IT> touched_;
+  std::size_t capacity_ = 0;
+  std::size_t bits_ = 0;
+};
+
+}  // namespace msx

@@ -1,0 +1,91 @@
+// Flat binary min-heap of sparse-row iterators — the engine of the Heap
+// algorithm (paper §5.5, after Buluç & Gilbert's column-column algorithm).
+//
+// The heap holds one iterator per nonzero of the A row, each pointing into a
+// row of B; popping in column order streams the multiset
+// S = { B(k,j) : u_k ≠ 0 } in sorted order without materializing it — the
+// classic k-way merge (Knuth TAOCP v3).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/platform.hpp"
+
+namespace msx {
+
+// One merge cursor: the current column of B at position `bpos` of row `arow`
+// (arow indexes into the A row's nonzeros so kernels can fetch A's value).
+template <class IT>
+struct MergeCursor {
+  IT col;   // current column id = B.colidx[bpos]
+  IT bpos;  // current position in B's colidx/values arrays
+  IT bend;  // one-past-end position of the B row
+  IT arow;  // index of the originating nonzero within the A row
+};
+
+template <class IT>
+class KMergeHeap {
+ public:
+  void clear() { heap_.clear(); }
+  void reserve(std::size_t n) { heap_.reserve(n); }
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  const MergeCursor<IT>& top() const {
+    MSX_ASSERT(!heap_.empty());
+    return heap_.front();
+  }
+
+  void push(const MergeCursor<IT>& c) {
+    heap_.push_back(c);
+    sift_up(heap_.size() - 1);
+  }
+
+  void pop() {
+    MSX_ASSERT(!heap_.empty());
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+
+  // pop+push fused: replaces the minimum and restores the heap property with
+  // a single sift-down.
+  void replace_top(const MergeCursor<IT>& c) {
+    MSX_ASSERT(!heap_.empty());
+    heap_.front() = c;
+    sift_down(0);
+  }
+
+ private:
+  static bool less(const MergeCursor<IT>& a, const MergeCursor<IT>& b) {
+    return a.col < b.col;
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!less(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    while (true) {
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = l + 1;
+      std::size_t m = i;
+      if (l < n && less(heap_[l], heap_[m])) m = l;
+      if (r < n && less(heap_[r], heap_[m])) m = r;
+      if (m == i) return;
+      std::swap(heap_[i], heap_[m]);
+      i = m;
+    }
+  }
+
+  std::vector<MergeCursor<IT>> heap_;
+};
+
+}  // namespace msx

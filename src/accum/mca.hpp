@@ -1,0 +1,78 @@
+// Mask Compressed Accumulator (MCA) — paper §5.4, the novel accumulator.
+//
+// Observation: a masked output row can never hold more entries than the mask
+// row, so the accumulator arrays are sized nnz(mask row) and indexed by a
+// key's *rank within the mask row* rather than by column index. Because the
+// mask itself defines which keys exist, only two states are needed
+// (ALLOWED/SET, Fig. 5); the NOTALLOWED state is structurally impossible.
+//
+// The caller (the MCA kernel) computes ranks by merging each B row with the
+// sorted mask row — the accumulator itself is a dense rank-indexed array
+// that fits in L1 for typical mask rows.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/platform.hpp"
+#include "accum/msa.hpp"  // AccState
+
+namespace msx {
+
+template <class IT, class VT>
+class MCAAccumulator {
+ public:
+  // Sizes the arrays for a mask row of `mask_nnz` entries and resets every
+  // slot to ALLOWED. (AccState::kAllowed == 1, so a bytewise memset works.)
+  void prepare(IT mask_nnz) {
+    const auto n = static_cast<std::size_t>(mask_nnz);
+    if (n > states_.size()) {
+      states_.resize(n);
+      values_.resize(n);
+    }
+    std::memset(states_.data(), static_cast<int>(AccState::kAllowed), n);
+  }
+
+  // Inserts at mask rank `idx` (precomputed by the kernel's merge).
+  template <class F, class Add>
+  MSX_FORCE_INLINE void insert(IT idx, F&& value_fn, Add&& add) {
+    MSX_ASSERT(static_cast<std::size_t>(idx) < states_.size());
+    auto& st = states_[static_cast<std::size_t>(idx)];
+    auto& v = values_[static_cast<std::size_t>(idx)];
+    if (st == AccState::kSet) {
+      v = add(v, value_fn());
+    } else {
+      st = AccState::kSet;
+      v = value_fn();
+    }
+  }
+
+  MSX_FORCE_INLINE IT insert_symbolic(IT idx) {
+    auto& st = states_[static_cast<std::size_t>(idx)];
+    if (st == AccState::kSet) return 0;
+    st = AccState::kSet;
+    return 1;
+  }
+
+  // Gathers SET ranks in order, translating ranks back to column indices via
+  // the mask row. Output is sorted because the mask row is.
+  IT gather(std::span<const IT> mask_cols, IT* out_cols, VT* out_vals) const {
+    IT cnt = 0;
+    for (std::size_t idx = 0; idx < mask_cols.size(); ++idx) {
+      if (states_[idx] == AccState::kSet) {
+        out_cols[cnt] = mask_cols[idx];
+        out_vals[cnt] = values_[idx];
+        ++cnt;
+      }
+    }
+    return cnt;
+  }
+
+ private:
+  std::vector<AccState> states_;
+  std::vector<VT> values_;
+};
+
+}  // namespace msx

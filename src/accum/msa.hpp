@@ -1,0 +1,191 @@
+// Masked Sparse Accumulator (MSA) — paper §5.2.
+//
+// Two dense arrays (`states`, `values`) of length ncols. The three-state
+// automaton NOTALLOWED -> ALLOWED -> SET (Fig. 3) ensures products whose
+// column is masked out are never materialized: `insert` takes the value as a
+// lazy callable that is only evaluated when the key is ALLOWED or SET.
+//
+// Cost model (paper): init O(ncols) once per thread; per row
+// O(nnz(m) + flops(uB)). The dense arrays give O(1) access but poor cache
+// behaviour on large matrices — exactly the MSA-vs-Hash tradeoff the paper
+// studies.
+//
+// Reset discipline: after processing a row, the masked variant restores
+// NOTALLOWED by re-walking the mask row (gather does this); the arrays are
+// never cleared wholesale after the initial allocation. The semiring "add"
+// is passed per call so it inlines.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/platform.hpp"
+
+namespace msx {
+
+// Entry states shared by the MSA/Hash/MCA accumulators.
+enum class AccState : std::uint8_t {
+  kNotAllowed = 0,
+  kAllowed = 1,
+  kSet = 2,
+};
+
+// MSA for the non-complemented mask: only keys present in the mask row may
+// hold values.
+template <class IT, class VT>
+class MSAMasked {
+ public:
+  // Ensures backing arrays cover `ncols` columns. Idempotent; newly grown
+  // space starts NOTALLOWED.
+  void init(IT ncols) {
+    if (static_cast<std::size_t>(ncols) > states_.size()) {
+      states_.resize(static_cast<std::size_t>(ncols), AccState::kNotAllowed);
+      values_.resize(static_cast<std::size_t>(ncols));
+    }
+  }
+
+  // Marks every key of the mask row ALLOWED.
+  void prepare(std::span<const IT> mask_cols) {
+    for (IT j : mask_cols) {
+      MSX_ASSERT(static_cast<std::size_t>(j) < states_.size());
+      states_[static_cast<std::size_t>(j)] = AccState::kAllowed;
+    }
+  }
+
+  // Inserts key with a lazily-computed value; discarded unless the mask
+  // allows the key. `add` is the semiring addition.
+  template <class F, class Add>
+  MSX_FORCE_INLINE void insert(IT key, F&& value_fn, Add&& add) {
+    auto& st = states_[static_cast<std::size_t>(key)];
+    if (st == AccState::kNotAllowed) return;
+    auto& v = values_[static_cast<std::size_t>(key)];
+    if (st == AccState::kSet) {
+      v = add(v, value_fn());
+    } else {
+      st = AccState::kSet;
+      v = value_fn();
+    }
+  }
+
+  // Symbolic insert: returns 1 on the first ALLOWED -> SET transition.
+  MSX_FORCE_INLINE IT insert_symbolic(IT key) {
+    auto& st = states_[static_cast<std::size_t>(key)];
+    if (st != AccState::kAllowed) return 0;
+    st = AccState::kSet;
+    return 1;
+  }
+
+  // Gathers SET values in mask order (keeps output sorted and stable, §5.2)
+  // and resets all touched states to NOTALLOWED. Returns entries written.
+  IT gather_and_reset(std::span<const IT> mask_cols, IT* out_cols,
+                      VT* out_vals) {
+    IT cnt = 0;
+    for (IT j : mask_cols) {
+      auto& st = states_[static_cast<std::size_t>(j)];
+      if (st == AccState::kSet) {
+        out_cols[cnt] = j;
+        out_vals[cnt] = values_[static_cast<std::size_t>(j)];
+        ++cnt;
+      }
+      st = AccState::kNotAllowed;
+    }
+    return cnt;
+  }
+
+  // Resets states after a symbolic pass (no output).
+  void reset(std::span<const IT> mask_cols) {
+    for (IT j : mask_cols) {
+      states_[static_cast<std::size_t>(j)] = AccState::kNotAllowed;
+    }
+  }
+
+ private:
+  std::vector<AccState> states_;
+  std::vector<VT> values_;
+};
+
+// MSA for the complemented mask: every key is allowed by default, mask keys
+// are disallowed, and a touched list records insertions so gathering does
+// not scan the whole array (§5.2, complemented case; the technique goes back
+// to Gustavson).
+template <class IT, class VT>
+class MSAComplement {
+ public:
+  void init(IT ncols) {
+    if (static_cast<std::size_t>(ncols) > states_.size()) {
+      states_.resize(static_cast<std::size_t>(ncols), AccState::kAllowed);
+      values_.resize(static_cast<std::size_t>(ncols));
+    }
+  }
+
+  // Disallows every key of the mask row.
+  void prepare(std::span<const IT> mask_cols) {
+    for (IT j : mask_cols) {
+      states_[static_cast<std::size_t>(j)] = AccState::kNotAllowed;
+    }
+    touched_.clear();
+  }
+
+  template <class F, class Add>
+  MSX_FORCE_INLINE void insert(IT key, F&& value_fn, Add&& add) {
+    auto& st = states_[static_cast<std::size_t>(key)];
+    if (st == AccState::kNotAllowed) return;
+    auto& v = values_[static_cast<std::size_t>(key)];
+    if (st == AccState::kSet) {
+      v = add(v, value_fn());
+    } else {
+      st = AccState::kSet;
+      v = value_fn();
+      touched_.push_back(key);
+    }
+  }
+
+  MSX_FORCE_INLINE IT insert_symbolic(IT key) {
+    auto& st = states_[static_cast<std::size_t>(key)];
+    if (st != AccState::kAllowed) return 0;
+    st = AccState::kSet;
+    touched_.push_back(key);
+    return 1;
+  }
+
+  // Gathers inserted values sorted by column, then restores the default
+  // ALLOWED state for both touched and mask entries.
+  IT gather_and_reset(std::span<const IT> mask_cols, IT* out_cols,
+                      VT* out_vals) {
+    std::sort(touched_.begin(), touched_.end());
+    IT cnt = 0;
+    for (IT j : touched_) {
+      out_cols[cnt] = j;
+      out_vals[cnt] = values_[static_cast<std::size_t>(j)];
+      states_[static_cast<std::size_t>(j)] = AccState::kAllowed;
+      ++cnt;
+    }
+    for (IT j : mask_cols) {
+      states_[static_cast<std::size_t>(j)] = AccState::kAllowed;
+    }
+    touched_.clear();
+    return cnt;
+  }
+
+  void reset(std::span<const IT> mask_cols) {
+    for (IT j : touched_) {
+      states_[static_cast<std::size_t>(j)] = AccState::kAllowed;
+    }
+    for (IT j : mask_cols) {
+      states_[static_cast<std::size_t>(j)] = AccState::kAllowed;
+    }
+    touched_.clear();
+  }
+
+  std::size_t touched_count() const { return touched_.size(); }
+
+ private:
+  std::vector<AccState> states_;
+  std::vector<VT> values_;
+  std::vector<IT> touched_;
+};
+
+}  // namespace msx

@@ -1,0 +1,101 @@
+// Bitmap MSA — an extension of the paper's MSA accumulator (§5.2) that
+// packs the three states into 2 bits per column (4 columns per byte,
+// 32 per 64-bit word) instead of one byte per column.
+//
+// Rationale: the paper attributes MSA's large-matrix slowdown to its dense
+// O(ncols) state array falling out of cache (§5.3, §8.1). Packing shrinks
+// the state working set 4×, trading a shift/mask per access — the same
+// trade SS:GB's bitmap format makes. The values array is untouched (values
+// are only written for mask hits).
+//
+// Interface-compatible with MSAMasked so the MSA kernel can be instantiated
+// with either (see MaskedAlgo::kMSABitmap).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "accum/msa.hpp"  // AccState
+#include "common/platform.hpp"
+
+namespace msx {
+
+template <class IT, class VT>
+class MSABitmapMasked {
+ public:
+  void init(IT ncols) {
+    const auto words = static_cast<std::size_t>(ncols + kPerWord - 1) /
+                       kPerWord;
+    if (words > states_.size()) {
+      states_.resize(words, 0);  // 0 == NOTALLOWED everywhere
+      values_.resize(static_cast<std::size_t>(ncols));
+    } else if (static_cast<std::size_t>(ncols) > values_.size()) {
+      values_.resize(static_cast<std::size_t>(ncols));
+    }
+  }
+
+  void prepare(std::span<const IT> mask_cols) {
+    for (IT j : mask_cols) set_state(j, AccState::kAllowed);
+  }
+
+  template <class F, class Add>
+  MSX_FORCE_INLINE void insert(IT key, F&& value_fn, Add&& add) {
+    const AccState st = get_state(key);
+    if (st == AccState::kNotAllowed) return;
+    auto& v = values_[static_cast<std::size_t>(key)];
+    if (st == AccState::kSet) {
+      v = add(v, value_fn());
+    } else {
+      set_state(key, AccState::kSet);
+      v = value_fn();
+    }
+  }
+
+  MSX_FORCE_INLINE IT insert_symbolic(IT key) {
+    if (get_state(key) != AccState::kAllowed) return 0;
+    set_state(key, AccState::kSet);
+    return 1;
+  }
+
+  IT gather_and_reset(std::span<const IT> mask_cols, IT* out_cols,
+                      VT* out_vals) {
+    IT cnt = 0;
+    for (IT j : mask_cols) {
+      if (get_state(j) == AccState::kSet) {
+        out_cols[cnt] = j;
+        out_vals[cnt] = values_[static_cast<std::size_t>(j)];
+        ++cnt;
+      }
+      set_state(j, AccState::kNotAllowed);
+    }
+    return cnt;
+  }
+
+  void reset(std::span<const IT> mask_cols) {
+    for (IT j : mask_cols) set_state(j, AccState::kNotAllowed);
+  }
+
+ private:
+  static constexpr std::size_t kPerWord = 32;  // 2 bits per state
+
+  MSX_FORCE_INLINE AccState get_state(IT key) const {
+    const auto k = static_cast<std::size_t>(key);
+    const std::uint64_t word = states_[k / kPerWord];
+    return static_cast<AccState>((word >> (2 * (k % kPerWord))) & 3u);
+  }
+
+  MSX_FORCE_INLINE void set_state(IT key, AccState st) {
+    const auto k = static_cast<std::size_t>(key);
+    std::uint64_t& word = states_[k / kPerWord];
+    const auto shift = 2 * (k % kPerWord);
+    word = (word & ~(std::uint64_t{3} << shift)) |
+           (static_cast<std::uint64_t>(st) << shift);
+  }
+
+  std::vector<std::uint64_t> states_;
+  std::vector<VT> values_;
+};
+
+}  // namespace msx

@@ -1,0 +1,103 @@
+// Plain (unmasked) SpGEMM — Gustavson's row-by-row algorithm with a hash
+// accumulator (Algorithm 1 of the paper; accumulator after Nagasaka et al.).
+//
+// Serves three roles: the substrate of the SpGEMM-then-mask baseline
+// (Fig. 1's "plain" path), a correctness cross-check for the masked
+// algorithms, and a general-purpose library operation.
+#pragma once
+
+#include <cstddef>
+
+#include "accum/hash.hpp"
+#include "core/phase_driver.hpp"
+#include "matrix/csr.hpp"
+#include "semiring/semirings.hpp"
+
+namespace msx {
+
+namespace detail {
+
+// Unmasked Gustavson row kernel: reuses the complement hash accumulator with
+// an empty mask (every key allowed, touched list tracks output pattern).
+template <class SR, class IT, class VT>
+  requires Semiring<SR>
+class PlainHashKernel {
+ public:
+  using index_type = IT;
+  using output_value = typename SR::value_type;
+
+  struct Workspace {
+    HashComplement<IT, output_value> acc;
+  };
+
+  PlainHashKernel(const CSRMatrix<IT, VT>& a, const CSRMatrix<IT, VT>& b)
+      : a_(a), b_(b) {}
+
+  IT nrows() const { return a_.nrows(); }
+  IT ncols() const { return b_.ncols(); }
+
+  std::size_t upper_bound_row(IT i) const {
+    std::size_t flops = 0;
+    const auto arow = a_.row(i);
+    for (IT p = 0; p < arow.size(); ++p) {
+      flops += static_cast<std::size_t>(b_.row_nnz(arow.cols[p]));
+    }
+    return std::min(flops, static_cast<std::size_t>(b_.ncols()));
+  }
+
+  IT numeric_row(Workspace& ws, IT i, IT* out_cols,
+                 output_value* out_vals) const {
+    const auto arow = a_.row(i);
+    if (arow.empty()) return 0;
+    auto& acc = ws.acc;
+    acc.prepare(std::span<const IT>{}, upper_bound_row(i));
+    constexpr auto add = [](output_value x, output_value y) {
+      return SR::add(x, y);
+    };
+    for (IT p = 0; p < arow.size(); ++p) {
+      const auto aval = static_cast<output_value>(arow.vals[p]);
+      const auto brow = b_.row(arow.cols[p]);
+      for (IT q = 0; q < brow.size(); ++q) {
+        acc.insert(
+            brow.cols[q],
+            [&] { return SR::mul(aval, static_cast<output_value>(brow.vals[q])); },
+            add);
+      }
+    }
+    return acc.gather(out_cols, out_vals);
+  }
+
+  IT symbolic_row(Workspace& ws, IT i) const {
+    const auto arow = a_.row(i);
+    if (arow.empty()) return 0;
+    auto& acc = ws.acc;
+    acc.prepare(std::span<const IT>{}, upper_bound_row(i));
+    IT cnt = 0;
+    for (IT p = 0; p < arow.size(); ++p) {
+      const auto brow = b_.row(arow.cols[p]);
+      for (IT q = 0; q < brow.size(); ++q) {
+        cnt += acc.insert_symbolic(brow.cols[q]);
+      }
+    }
+    return cnt;
+  }
+
+ private:
+  const CSRMatrix<IT, VT>& a_;
+  const CSRMatrix<IT, VT>& b_;
+};
+
+}  // namespace detail
+
+// C = A·B on semiring SR (no mask). Defaults to the two-phase construction
+// conventional for plain SpGEMM.
+template <class SR, class IT, class VT>
+  requires Semiring<SR>
+CSRMatrix<IT, typename SR::value_type> spgemm(
+    const CSRMatrix<IT, VT>& a, const CSRMatrix<IT, VT>& b,
+    MaskedOptions opts = {.phases = PhaseMode::kTwoPhase}) {
+  check_arg(a.ncols() == b.nrows(), "spgemm: inner dimension mismatch");
+  return run_masked_kernel(detail::PlainHashKernel<SR, IT, VT>(a, b), opts);
+}
+
+}  // namespace msx

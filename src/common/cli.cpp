@@ -1,0 +1,87 @@
+#include "common/cli.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace msx {
+namespace {
+
+std::string env_name(const std::string& key) {
+  std::string name = "MSX_";
+  for (char c : key) {
+    name += (c == '-') ? '_' : static_cast<char>(std::toupper(c));
+  }
+  return name;
+}
+
+bool parse_bool(const std::string& v) {
+  std::string s = v;
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (s.empty() || s == "1" || s == "true" || s == "yes" || s == "on")
+    return true;
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  throw std::invalid_argument("cannot parse boolean value: " + v);
+}
+
+}  // namespace
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[arg] = argv[++i];
+    } else {
+      options_[arg] = "";  // bare flag
+    }
+  }
+}
+
+std::optional<std::string> ArgParser::raw(const std::string& key) const {
+  if (auto it = options_.find(key); it != options_.end()) return it->second;
+  if (const char* env = std::getenv(env_name(key).c_str())) {
+    return std::string(env);
+  }
+  return std::nullopt;
+}
+
+bool ArgParser::has(const std::string& key) const {
+  return raw(key).has_value();
+}
+
+std::string ArgParser::get_string(const std::string& key,
+                                  const std::string& dflt) const {
+  auto v = raw(key);
+  return v ? *v : dflt;
+}
+
+long long ArgParser::get_int(const std::string& key, long long dflt) const {
+  auto v = raw(key);
+  if (!v || v->empty()) return dflt;
+  return std::stoll(*v);
+}
+
+double ArgParser::get_double(const std::string& key, double dflt) const {
+  auto v = raw(key);
+  if (!v || v->empty()) return dflt;
+  return std::stod(*v);
+}
+
+bool ArgParser::get_bool(const std::string& key, bool dflt) const {
+  auto v = raw(key);
+  if (!v) return dflt;
+  return parse_bool(*v);
+}
+
+}  // namespace msx

@@ -1,0 +1,41 @@
+// Minimal command-line/environment option parsing for benches and examples.
+//
+// Accepted forms: --key=value, --key value, --flag. Every option can also be
+// supplied through the environment as MSX_KEY (uppercased, '-' -> '_');
+// explicit command-line values win over the environment.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace msx {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  // Value lookup with environment fallback and default.
+  std::string get_string(const std::string& key, const std::string& dflt) const;
+  long long get_int(const std::string& key, long long dflt) const;
+  double get_double(const std::string& key, double dflt) const;
+  bool get_bool(const std::string& key, bool dflt) const;
+
+  // True if --key appeared on the command line or MSX_KEY is set.
+  bool has(const std::string& key) const;
+
+  // Positional (non --option) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::optional<std::string> raw(const std::string& key) const;
+
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace msx

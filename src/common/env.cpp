@@ -1,0 +1,23 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+#include <exception>
+
+namespace msx {
+
+long long env_int(const std::string& name, long long dflt) {
+  const char* v = std::getenv(name.c_str());
+  if (!v || !*v) return dflt;
+  try {
+    return std::stoll(v);
+  } catch (const std::exception&) {
+    return dflt;
+  }
+}
+
+std::string env_string(const std::string& name, const std::string& dflt) {
+  const char* v = std::getenv(name.c_str());
+  return (v && *v) ? std::string(v) : dflt;
+}
+
+}  // namespace msx

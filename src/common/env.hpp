@@ -1,0 +1,14 @@
+// Environment-variable helpers shared by the bench harness.
+#pragma once
+
+#include <string>
+
+namespace msx {
+
+// Reads an integer from the environment; returns dflt if unset/unparsable.
+long long env_int(const std::string& name, long long dflt);
+
+// Reads a string from the environment; returns dflt if unset.
+std::string env_string(const std::string& name, const std::string& dflt);
+
+}  // namespace msx

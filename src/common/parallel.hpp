@@ -1,0 +1,109 @@
+// OpenMP helpers: thread configuration, scheduled parallel loops and
+// per-thread workspaces.
+//
+// The paper parallelizes Masked SpGEMM coarsely across output rows (§3);
+// everything here supports that model: a parallel_for with a runtime-chosen
+// schedule and a PerThread<T> pool that hands each OpenMP thread its own
+// cache-line-padded workspace (accumulator arrays are reused across rows).
+#pragma once
+
+#include <omp.h>
+
+#include <cstddef>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "common/platform.hpp"
+
+namespace msx {
+
+// Loop scheduling policy for row-parallel drivers. Guided/dynamic help with
+// the load imbalance that skewed (R-MAT-like) degree distributions create.
+enum class Schedule {
+  kStatic,
+  kDynamic,
+  kGuided,
+};
+
+inline const char* to_string(Schedule s) {
+  switch (s) {
+    case Schedule::kStatic: return "static";
+    case Schedule::kDynamic: return "dynamic";
+    case Schedule::kGuided: return "guided";
+  }
+  return "?";
+}
+
+// Number of threads an upcoming parallel region will use.
+inline int max_threads() { return omp_get_max_threads(); }
+
+// RAII override of the global thread count (0 = leave unchanged).
+class ScopedNumThreads {
+ public:
+  explicit ScopedNumThreads(int n) : saved_(omp_get_max_threads()) {
+    if (n > 0) omp_set_num_threads(n);
+  }
+  ~ScopedNumThreads() { omp_set_num_threads(saved_); }
+  ScopedNumThreads(const ScopedNumThreads&) = delete;
+  ScopedNumThreads& operator=(const ScopedNumThreads&) = delete;
+
+ private:
+  int saved_;
+};
+
+// Parallel loop over [begin, end) with the requested schedule. The body
+// receives the iteration index. Chunk size 0 lets OpenMP pick its default.
+template <class Index, class Body>
+void parallel_for(Index begin, Index end, Schedule sched, Body&& body,
+                  int chunk = 0) {
+  const std::int64_t b = static_cast<std::int64_t>(begin);
+  const std::int64_t e = static_cast<std::int64_t>(end);
+  switch (sched) {
+    case Schedule::kStatic:
+#pragma omp parallel for schedule(static)
+      for (std::int64_t i = b; i < e; ++i) body(static_cast<Index>(i));
+      break;
+    case Schedule::kDynamic: {
+      const int c = chunk > 0 ? chunk : 64;
+#pragma omp parallel for schedule(dynamic, c)
+      for (std::int64_t i = b; i < e; ++i) body(static_cast<Index>(i));
+      break;
+    }
+    case Schedule::kGuided:
+#pragma omp parallel for schedule(guided)
+      for (std::int64_t i = b; i < e; ++i) body(static_cast<Index>(i));
+      break;
+  }
+}
+
+// Per-thread object pool. Each slot is aligned to a cache line so adjacent
+// threads' workspaces never share a line. Objects are default-constructed
+// lazily; local() must be called from inside a parallel region (or serial
+// code, where it returns slot 0).
+template <class T>
+class PerThread {
+ public:
+  PerThread() : slots_(static_cast<std::size_t>(omp_get_max_threads())) {}
+  explicit PerThread(int nthreads)
+      : slots_(static_cast<std::size_t>(nthreads > 0 ? nthreads
+                                                     : omp_get_max_threads())) {}
+
+  T& local() {
+    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+    MSX_ASSERT(tid < slots_.size());
+    return slots_[tid].value;
+  }
+
+  std::size_t size() const { return slots_.size(); }
+  T& slot(std::size_t i) { return slots_[i].value; }
+  const T& slot(std::size_t i) const { return slots_[i].value; }
+
+ private:
+  struct alignas(kCacheLineBytes) Padded {
+    T value{};
+  };
+  std::vector<Padded> slots_;
+};
+
+}  // namespace msx

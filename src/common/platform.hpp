@@ -1,0 +1,62 @@
+// Platform macros and small compile-time helpers shared across the library.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define MSX_FORCE_INLINE inline __attribute__((always_inline))
+#define MSX_NO_INLINE __attribute__((noinline))
+#define MSX_LIKELY(x) __builtin_expect(!!(x), 1)
+#define MSX_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#define MSX_RESTRICT __restrict__
+#else
+#define MSX_FORCE_INLINE inline
+#define MSX_NO_INLINE
+#define MSX_LIKELY(x) (x)
+#define MSX_UNLIKELY(x) (x)
+#define MSX_RESTRICT
+#endif
+
+namespace msx {
+
+// Size of a cache line used for padding per-thread state to avoid false
+// sharing. 64 bytes covers x86-64 and most aarch64 parts.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+// Debug-mode assertion used in hot paths. Enabled by the MSX_BOUNDS_CHECK
+// compile definition independently of NDEBUG so Release builds can opt in.
+#if defined(MSX_BOUNDS_CHECK) && MSX_BOUNDS_CHECK
+#define MSX_ASSERT(cond) assert(cond)
+#else
+#define MSX_ASSERT(cond) ((void)0)
+#endif
+
+// Unconditional check for API-boundary validation: throws std::invalid_argument.
+inline void check_arg(bool cond, const std::string& msg) {
+  if (MSX_UNLIKELY(!cond)) throw std::invalid_argument(msg);
+}
+
+// Round x up to the next power of two (x > 0). Returns 1 for x == 0.
+constexpr std::uint64_t next_pow2(std::uint64_t x) {
+  if (x <= 1) return 1;
+  --x;
+  x |= x >> 1;
+  x |= x >> 2;
+  x |= x >> 4;
+  x |= x >> 8;
+  x |= x >> 16;
+  x |= x >> 32;
+  return x + 1;
+}
+
+// Integer ceil division.
+template <class T>
+constexpr T ceil_div(T a, T b) {
+  return static_cast<T>((a + b - 1) / b);
+}
+
+}  // namespace msx

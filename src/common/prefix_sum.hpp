@@ -1,0 +1,122 @@
+// Serial and parallel prefix sums.
+//
+// CSR construction turns per-row counts into row pointers. The library-wide
+// convention: a (n+1)-sized vector with v[0] == 0 and v[i+1] holding the
+// count of row i becomes the offsets array via an in-place inclusive scan —
+// counts_to_offsets(). For large inputs the scan is parallelized with the
+// two-pass block-sum algorithm.
+#pragma once
+
+#include <omp.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "common/platform.hpp"
+
+namespace msx {
+
+// In-place exclusive scan of data[0..n); returns the total sum. Serial.
+template <class T>
+T exclusive_scan_serial(T* data, std::size_t n) {
+  T sum{};
+  for (std::size_t i = 0; i < n; ++i) {
+    T v = data[i];
+    data[i] = sum;
+    sum += v;
+  }
+  return sum;
+}
+
+// In-place inclusive scan of data[0..n). Serial.
+template <class T>
+void inclusive_scan_serial(T* data, std::size_t n) {
+  T sum{};
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += data[i];
+    data[i] = sum;
+  }
+}
+
+// In-place parallel inclusive scan (two-pass block-sum algorithm); falls
+// back to serial for small inputs.
+template <class T>
+void inclusive_scan(T* data, std::size_t n) {
+  constexpr std::size_t kSerialCutoff = 1 << 15;
+  const int nthreads = omp_get_max_threads();
+  if (n < kSerialCutoff || nthreads == 1) {
+    inclusive_scan_serial(data, n);
+    return;
+  }
+
+  const std::size_t nblocks = static_cast<std::size_t>(nthreads);
+  const std::size_t block = ceil_div(n, nblocks);
+  std::vector<T> block_sums(nblocks, T{});
+
+#pragma omp parallel num_threads(nthreads)
+  {
+    const auto b = static_cast<std::size_t>(omp_get_thread_num());
+    const std::size_t lo = b * block < n ? b * block : n;
+    const std::size_t hi = lo + block < n ? lo + block : n;
+    T sum{};
+    for (std::size_t i = lo; i < hi; ++i) sum += data[i];
+    block_sums[b] = sum;
+
+#pragma omp barrier
+#pragma omp single
+    { exclusive_scan_serial(block_sums.data(), nblocks); }
+
+    T run = block_sums[b];
+    for (std::size_t i = lo; i < hi; ++i) {
+      run += data[i];
+      data[i] = run;
+    }
+  }
+}
+
+// In-place parallel exclusive scan; returns the total sum.
+template <class T>
+T exclusive_scan(T* data, std::size_t n) {
+  constexpr std::size_t kSerialCutoff = 1 << 15;
+  const int nthreads = omp_get_max_threads();
+  if (n < kSerialCutoff || nthreads == 1) {
+    return exclusive_scan_serial(data, n);
+  }
+  const std::size_t nblocks = static_cast<std::size_t>(nthreads);
+  const std::size_t block = ceil_div(n, nblocks);
+  std::vector<T> block_sums(nblocks + 1, T{});
+
+#pragma omp parallel num_threads(nthreads)
+  {
+    const auto b = static_cast<std::size_t>(omp_get_thread_num());
+    const std::size_t lo = b * block < n ? b * block : n;
+    const std::size_t hi = lo + block < n ? lo + block : n;
+    T sum{};
+    for (std::size_t i = lo; i < hi; ++i) sum += data[i];
+    block_sums[b] = sum;
+
+#pragma omp barrier
+#pragma omp single
+    { exclusive_scan_serial(block_sums.data(), nblocks + 1); }
+
+    T run = block_sums[b];
+    for (std::size_t i = lo; i < hi; ++i) {
+      T v = data[i];
+      data[i] = run;
+      run += v;
+    }
+  }
+  return block_sums[nblocks];
+}
+
+// Library-wide "counts -> row pointers" operation. Input: v.size() == n+1,
+// v[0] == 0, v[i+1] = count of row i. Output: v[i] = offset of row i,
+// v[n] = total. (Equivalently: in-place inclusive scan of the whole vector.)
+template <class T>
+void counts_to_offsets(std::vector<T>& v) {
+  MSX_ASSERT(!v.empty());
+  MSX_ASSERT(v[0] == T{});
+  inclusive_scan(v.data(), v.size());
+}
+
+}  // namespace msx

@@ -1,0 +1,39 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace msx {
+
+SampleStats summarize(std::vector<double> samples) {
+  SampleStats s;
+  s.n = samples.size();
+  if (samples.empty()) return s;
+
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  const std::size_t n = samples.size();
+  s.median = (n % 2 == 1) ? samples[n / 2]
+                          : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+
+  double sum = 0.0;
+  for (double x : samples) sum += x;
+  s.mean = sum / static_cast<double>(n);
+
+  if (n > 1) {
+    double ss = 0.0;
+    for (double x : samples) {
+      const double d = x - s.mean;
+      ss += d * d;
+    }
+    s.stddev = std::sqrt(ss / static_cast<double>(n - 1));
+  }
+  return s;
+}
+
+double relative_stddev(const SampleStats& s) {
+  return s.mean == 0.0 ? 0.0 : s.stddev / s.mean;
+}
+
+}  // namespace msx

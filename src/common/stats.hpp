@@ -1,0 +1,24 @@
+// Small descriptive-statistics helpers used by the benchmark harness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace msx {
+
+struct SampleStats {
+  std::size_t n = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1 denominator)
+};
+
+// Computes summary statistics of the samples (copies; input left unchanged).
+SampleStats summarize(std::vector<double> samples);
+
+// Relative standard deviation (stddev / mean); 0 when mean == 0.
+double relative_stddev(const SampleStats& s);
+
+}  // namespace msx

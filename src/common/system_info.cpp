@@ -1,0 +1,42 @@
+#include "common/system_info.hpp"
+
+#include <omp.h>
+
+#include <sstream>
+#include <thread>
+
+namespace msx {
+
+SystemInfo query_system_info() {
+  SystemInfo info;
+  info.logical_cpus = static_cast<int>(std::thread::hardware_concurrency());
+  info.omp_max_threads = omp_get_max_threads();
+#if defined(__clang__)
+  info.compiler = "Clang " __clang_version__;
+#elif defined(__GNUC__)
+  {
+    std::ostringstream os;
+    os << "GNU " << __GNUC__ << "." << __GNUC_MINOR__ << "."
+       << __GNUC_PATCHLEVEL__;
+    info.compiler = os.str();
+  }
+#else
+  info.compiler = "unknown";
+#endif
+#if defined(NDEBUG)
+  info.build_type = "Release";
+#else
+  info.build_type = "Debug";
+#endif
+  return info;
+}
+
+std::string system_info_line() {
+  const SystemInfo info = query_system_info();
+  std::ostringstream os;
+  os << "cpus=" << info.logical_cpus << " omp_threads=" << info.omp_max_threads
+     << " compiler=" << info.compiler << " build=" << info.build_type;
+  return os.str();
+}
+
+}  // namespace msx

@@ -1,0 +1,22 @@
+// Host introspection printed in benchmark headers so results are
+// interpretable (the paper reports Haswell/KNL configurations; we report
+// whatever machine the reproduction runs on).
+#pragma once
+
+#include <string>
+
+namespace msx {
+
+struct SystemInfo {
+  int logical_cpus = 0;
+  int omp_max_threads = 0;
+  std::string compiler;
+  std::string build_type;
+};
+
+SystemInfo query_system_info();
+
+// One-line summary, e.g. "cpus=8 omp_threads=8 compiler=GNU 12.2.0".
+std::string system_info_line();
+
+}  // namespace msx

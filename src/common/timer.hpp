@@ -1,0 +1,34 @@
+// Wall-clock timing helpers.
+#pragma once
+
+#include <chrono>
+#include <utility>
+
+namespace msx {
+
+// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Time a single call; returns elapsed seconds.
+template <class F>
+double time_call(F&& f) {
+  WallTimer t;
+  std::forward<F>(f)();
+  return t.seconds();
+}
+
+}  // namespace msx

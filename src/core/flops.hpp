@@ -1,0 +1,49 @@
+// Flops accounting for SpGEMM-style products.
+//
+// flops(A·B) counts the scalar multiply operations a row-by-row algorithm
+// performs: Σ over nonzeros A(i,k) of nnz(B(k,:)). The paper's GFLOPS
+// metrics (Figs. 10, 14) follow the Nagasaka et al. convention of counting
+// each multiply-add as two floating-point operations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/platform.hpp"
+#include "matrix/csr.hpp"
+
+namespace msx {
+
+// flops contributed by row i of A (number of multiplies).
+template <class IT, class VT, class VT2>
+std::size_t row_flops(const CSRMatrix<IT, VT>& a, const CSRMatrix<IT, VT2>& b,
+                      IT i) {
+  std::size_t f = 0;
+  const auto arow = a.row(i);
+  for (IT p = 0; p < arow.size(); ++p) {
+    f += static_cast<std::size_t>(b.row_nnz(arow.cols[p]));
+  }
+  return f;
+}
+
+// Total multiplies of A·B.
+template <class IT, class VT, class VT2>
+std::size_t total_flops(const CSRMatrix<IT, VT>& a,
+                        const CSRMatrix<IT, VT2>& b) {
+  check_arg(a.ncols() == b.nrows(), "flops: inner dimension mismatch");
+  std::size_t total = 0;
+#pragma omp parallel for schedule(static) reduction(+ : total)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(a.nrows()); ++i) {
+    total += row_flops(a, b, static_cast<IT>(i));
+  }
+  return total;
+}
+
+// GFLOPS given multiply count and elapsed seconds (2 flops per multiply).
+inline double gflops(std::size_t multiplies, double seconds) {
+  if (seconds <= 0.0) return 0.0;
+  return 2.0 * static_cast<double>(multiplies) / seconds / 1e9;
+}
+
+}  // namespace msx

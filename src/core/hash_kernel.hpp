@@ -1,0 +1,106 @@
+// Hash row kernel — push-based Masked SpGEMM with the hash accumulator
+// (paper §5.3).
+//
+// Identical control flow to the MSA kernel, but the accumulator's working
+// set is O(nnz(mask row)) rather than O(ncols): initialization no longer
+// depends on the matrix width, at the price of hashing each access.
+#pragma once
+
+#include "accum/hash.hpp"
+#include "core/kernel_common.hpp"
+#include "matrix/csr.hpp"
+#include "semiring/semirings.hpp"
+
+namespace msx {
+
+template <class SR, class IT, class VT, bool Complemented>
+  requires Semiring<SR>
+class HashKernel {
+ public:
+  using index_type = IT;
+  using output_value = typename SR::value_type;
+  using Acc = std::conditional_t<Complemented,
+                                 HashComplement<IT, output_value>,
+                                 HashMasked<IT, output_value>>;
+
+  struct Workspace {
+    Acc acc;
+  };
+
+  HashKernel(const CSRMatrix<IT, VT>& a, const CSRMatrix<IT, VT>& b,
+             MaskView<IT> m)
+      : a_(a), b_(b), m_(m) {}
+
+  IT nrows() const { return a_.nrows(); }
+  IT ncols() const { return b_.ncols(); }
+
+  std::size_t upper_bound_row(IT i) const {
+    return detail::masked_upper_bound(
+        a_, b_, m_, i,
+        Complemented ? MaskKind::kComplement : MaskKind::kMask);
+  }
+
+  IT numeric_row(Workspace& ws, IT i, IT* out_cols,
+                 output_value* out_vals) const {
+    const auto arow = a_.row(i);
+    const auto mrow = m_.row(i);
+    if (arow.empty()) return 0;
+    if constexpr (!Complemented) {
+      if (mrow.empty()) return 0;
+    }
+    auto& acc = ws.acc;
+    if constexpr (Complemented) {
+      acc.prepare(mrow, upper_bound_row(i));
+    } else {
+      acc.prepare(mrow);
+    }
+    constexpr auto add = [](output_value x, output_value y) {
+      return SR::add(x, y);
+    };
+    for (IT p = 0; p < arow.size(); ++p) {
+      const auto aval = static_cast<output_value>(arow.vals[p]);
+      const auto brow = b_.row(arow.cols[p]);
+      for (IT q = 0; q < brow.size(); ++q) {
+        acc.insert(
+            brow.cols[q],
+            [&] { return SR::mul(aval, static_cast<output_value>(brow.vals[q])); },
+            add);
+      }
+    }
+    if constexpr (Complemented) {
+      return acc.gather(out_cols, out_vals);
+    } else {
+      return acc.gather(mrow, out_cols, out_vals);
+    }
+  }
+
+  IT symbolic_row(Workspace& ws, IT i) const {
+    const auto arow = a_.row(i);
+    const auto mrow = m_.row(i);
+    if (arow.empty()) return 0;
+    if constexpr (!Complemented) {
+      if (mrow.empty()) return 0;
+    }
+    auto& acc = ws.acc;
+    if constexpr (Complemented) {
+      acc.prepare(mrow, upper_bound_row(i));
+    } else {
+      acc.prepare(mrow);
+    }
+    IT cnt = 0;
+    for (IT p = 0; p < arow.size(); ++p) {
+      const auto brow = b_.row(arow.cols[p]);
+      for (IT q = 0; q < brow.size(); ++q) {
+        cnt += acc.insert_symbolic(brow.cols[q]);
+      }
+    }
+    return cnt;
+  }
+
+ private:
+  const CSRMatrix<IT, VT>& a_;
+  const CSRMatrix<IT, VT>& b_;
+  MaskView<IT> m_;
+};
+
+}  // namespace msx

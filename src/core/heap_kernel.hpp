@@ -1,0 +1,177 @@
+// Heap row kernel — Masked SpGEMM via k-way merge (paper §5.5, Algorithms
+// 4–5, after Buluç & Gilbert's column-column heap algorithm).
+//
+// A min-heap of row iterators streams the multiset {B(k,j) : A(i,k) ≠ 0} in
+// column order; a 2-way merge against the sorted mask row keeps only the
+// intersection (masked) or the set difference (complemented). Products for
+// the same column arrive consecutively, so accumulation happens directly
+// into the tail of the output — no accumulator array at all, giving the
+// smallest memory footprint of the four push algorithms.
+//
+// NInspect (Algorithm 5) controls how far ahead the mask is inspected before
+// an iterator is (re-)inserted into the heap:
+//   0  — insert unconditionally (also the complement configuration),
+//   1  — inspect one mask element (the paper's "Heap"),
+//   ∞  — advance until a mask hit is proven (the paper's "HeapDot").
+#pragma once
+
+#include <cstddef>
+
+#include "accum/kmerge_heap.hpp"
+#include "core/kernel_common.hpp"
+#include "matrix/csr.hpp"
+#include "semiring/semirings.hpp"
+
+namespace msx {
+
+template <class SR, class IT, class VT, bool Complemented>
+  requires Semiring<SR>
+class HeapKernel {
+ public:
+  using index_type = IT;
+  using output_value = typename SR::value_type;
+
+  struct Workspace {
+    KMergeHeap<IT> heap;
+  };
+
+  // ninspect is ignored (treated as 0) when Complemented, per §5.5.
+  HeapKernel(const CSRMatrix<IT, VT>& a, const CSRMatrix<IT, VT>& b,
+             MaskView<IT> m, std::size_t ninspect)
+      : a_(a), b_(b), m_(m),
+        ninspect_(Complemented ? 0 : ninspect) {}
+
+  IT nrows() const { return a_.nrows(); }
+  IT ncols() const { return b_.ncols(); }
+
+  std::size_t upper_bound_row(IT i) const {
+    return detail::masked_upper_bound(
+        a_, b_, m_, i,
+        Complemented ? MaskKind::kComplement : MaskKind::kMask);
+  }
+
+  IT numeric_row(Workspace& ws, IT i, IT* out_cols,
+                 output_value* out_vals) const {
+    return process_row<false>(ws, i, out_cols, out_vals);
+  }
+
+  IT symbolic_row(Workspace& ws, IT i) const {
+    return process_row<true>(ws, i, nullptr, nullptr);
+  }
+
+ private:
+  // Applies Algorithm 5: advances the cursor past B entries that provably
+  // cannot match any remaining mask entry, inspecting at most ninspect_ mask
+  // positions (starting at the global cursor mpos). Returns false when the
+  // cursor should be dropped instead of (re-)inserted.
+  bool inspect(MergeCursor<IT>& cur, std::span<const IT> mrow, IT mpos) const {
+    if (cur.bpos >= cur.bend) return false;
+    const auto* bcols = b_.colidx().data();
+    cur.col = bcols[cur.bpos];
+    if (ninspect_ == 0) return true;
+
+    std::size_t to_inspect = ninspect_;
+    const IT mn = static_cast<IT>(mrow.size());
+    IT mq = mpos;
+    while (cur.bpos < cur.bend && mq < mn) {
+      const IT bc = bcols[cur.bpos];
+      const IT mc = mrow[mq];
+      if (bc == mc) {
+        cur.col = bc;
+        return true;
+      }
+      if (bc < mc) {
+        ++cur.bpos;
+      } else {
+        ++mq;
+        if (--to_inspect == 0) {
+          cur.col = bcols[cur.bpos];
+          return true;
+        }
+      }
+    }
+    return false;  // B row or mask exhausted: no intersection remains
+  }
+
+  template <bool SymbolicOnly>
+  IT process_row(Workspace& ws, IT i, IT* out_cols,
+                 output_value* out_vals) const {
+    const auto arow = a_.row(i);
+    const auto mrow = m_.row(i);
+    if (arow.empty()) return 0;
+    if constexpr (!Complemented) {
+      if (mrow.empty()) return 0;
+    }
+
+    const auto* bvals = b_.values().data();
+    const auto* brptr = b_.rowptr().data();
+
+    auto& heap = ws.heap;
+    heap.clear();
+    heap.reserve(static_cast<std::size_t>(arow.size()));
+    IT mpos = 0;
+    const IT mn = static_cast<IT>(mrow.size());
+
+    for (IT p = 0; p < arow.size(); ++p) {
+      const IT k = arow.cols[p];
+      MergeCursor<IT> cur{IT{0}, brptr[k], brptr[k + 1], p};
+      if (inspect(cur, mrow, mpos)) heap.push(cur);
+    }
+
+    IT cnt = 0;
+    IT prev_col = IT{-1};
+    bool have_prev = false;
+    while (!heap.empty()) {
+      MergeCursor<IT> cur = heap.top();
+
+      // Advance the shared mask cursor up to the current column.
+      while (mpos < mn && mrow[mpos] < cur.col) ++mpos;
+      bool emit;
+      if constexpr (Complemented) {
+        emit = !(mpos < mn && mrow[mpos] == cur.col);
+      } else {
+        if (mpos == mn) break;  // mask exhausted: nothing further survives
+        emit = (mrow[mpos] == cur.col);
+      }
+
+      if (emit) {
+        if constexpr (SymbolicOnly) {
+          if (!have_prev || prev_col != cur.col) {
+            ++cnt;
+            prev_col = cur.col;
+            have_prev = true;
+          }
+        } else {
+          const auto prod =
+              SR::mul(static_cast<output_value>(arow.vals[cur.arow]),
+                      static_cast<output_value>(bvals[cur.bpos]));
+          if (have_prev && prev_col == cur.col) {
+            out_vals[cnt - 1] = SR::add(out_vals[cnt - 1], prod);
+          } else {
+            out_cols[cnt] = cur.col;
+            out_vals[cnt] = prod;
+            ++cnt;
+            prev_col = cur.col;
+            have_prev = true;
+          }
+        }
+      }
+
+      // Advance this cursor and re-insert (or drop) it.
+      ++cur.bpos;
+      if (inspect(cur, mrow, mpos)) {
+        heap.replace_top(cur);
+      } else {
+        heap.pop();
+      }
+    }
+    return cnt;
+  }
+
+  const CSRMatrix<IT, VT>& a_;
+  const CSRMatrix<IT, VT>& b_;
+  MaskView<IT> m_;
+  std::size_t ninspect_;
+};
+
+}  // namespace msx

@@ -1,0 +1,89 @@
+// Hybrid row kernel — per-row algorithm selection (paper §9 future work:
+// "hybrid algorithms that can use different accumulators in the same Masked
+// SpGEMM depending on the density of the mask and parts of matrices being
+// processed").
+//
+// For each output row the kernel compares a cost estimate of the pull-based
+// dot-product approach (mask-driven) against the push-based MSA approach
+// (input-driven) and runs the cheaper one:
+//   cost_pull(i) ≈ nnz(m_i) · (nnz(A_i,:) + avg nnz of B columns)
+//   cost_push(i) ≈ flops_i + nnz(m_i)
+// Complemented calls always push (pull over a complement scans all columns).
+#pragma once
+
+#include <cstddef>
+
+#include "core/inner_kernel.hpp"
+#include "core/kernel_common.hpp"
+#include "core/msa_kernel.hpp"
+#include "matrix/csc.hpp"
+#include "matrix/csr.hpp"
+#include "semiring/semirings.hpp"
+
+namespace msx {
+
+template <class SR, class IT, class VT, bool Complemented>
+  requires Semiring<SR>
+class HybridKernel {
+ public:
+  using index_type = IT;
+  using output_value = typename SR::value_type;
+  using Push = MSAKernel<SR, IT, VT, Complemented>;
+  using Pull = InnerKernel<SR, IT, VT, Complemented>;
+
+  struct Workspace {
+    typename Push::Workspace push;
+    typename Pull::Workspace pull;
+  };
+
+  HybridKernel(const CSRMatrix<IT, VT>& a, const CSRMatrix<IT, VT>& b,
+               const CSCMatrix<IT, VT>& b_csc, MaskView<IT> m)
+      : a_(a), b_(b), push_(a, b, m), pull_(a, b_csc, m), m_(m) {
+    avg_col_nnz_ =
+        b.ncols() > 0
+            ? static_cast<double>(b.nnz()) / static_cast<double>(b.ncols())
+            : 0.0;
+  }
+
+  IT nrows() const { return a_.nrows(); }
+  IT ncols() const { return b_.ncols(); }
+
+  std::size_t upper_bound_row(IT i) const { return push_.upper_bound_row(i); }
+
+  IT numeric_row(Workspace& ws, IT i, IT* out_cols,
+                 output_value* out_vals) const {
+    if (use_pull(i)) return pull_.numeric_row(ws.pull, i, out_cols, out_vals);
+    return push_.numeric_row(ws.push, i, out_cols, out_vals);
+  }
+
+  IT symbolic_row(Workspace& ws, IT i) const {
+    if (use_pull(i)) return pull_.symbolic_row(ws.pull, i);
+    return push_.symbolic_row(ws.push, i);
+  }
+
+  // Exposed for tests/ablation: the per-row decision.
+  bool use_pull(IT i) const {
+    if constexpr (Complemented) return false;
+    const auto mask_nnz = static_cast<double>(m_.row_nnz(i));
+    if (mask_nnz == 0.0) return false;  // either way the row is empty
+    const auto arow = a_.row(i);
+    std::size_t flops = 0;
+    for (IT p = 0; p < arow.size(); ++p) {
+      flops += static_cast<std::size_t>(b_.row_nnz(arow.cols[p]));
+    }
+    const double cost_pull =
+        mask_nnz * (static_cast<double>(arow.size()) + avg_col_nnz_);
+    const double cost_push = static_cast<double>(flops) + mask_nnz;
+    return cost_pull < cost_push;
+  }
+
+ private:
+  const CSRMatrix<IT, VT>& a_;
+  const CSRMatrix<IT, VT>& b_;
+  Push push_;
+  Pull pull_;
+  MaskView<IT> m_;
+  double avg_col_nnz_ = 0.0;
+};
+
+}  // namespace msx

@@ -1,0 +1,46 @@
+// Shared pieces of the row kernels.
+//
+// Every kernel presents the same compile-time interface to the phase driver
+// (core/phase_driver.hpp):
+//
+//   using index_type / output_value;
+//   struct Workspace;                       // per-thread scratch
+//   IT nrows() const; IT ncols() const;
+//   std::size_t upper_bound_row(IT i) const;            // 1P allocation
+//   IT symbolic_row(Workspace&, IT i) const;             // 2P pass 1
+//   IT numeric_row(Workspace&, IT i, IT* cols, OVT* vals) const;
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <type_traits>
+
+#include "core/options.hpp"
+#include "matrix/csr.hpp"
+
+namespace msx {
+
+namespace detail {
+
+// Upper bound on a masked output row: the mask row itself (§5.4's
+// observation). For complemented masks: at most every unmasked column, and
+// no more than the row's flops.
+template <class IT, class VTA, class VTB>
+std::size_t masked_upper_bound(const CSRMatrix<IT, VTA>& a,
+                               const CSRMatrix<IT, VTB>& b,
+                               const MaskView<IT>& m, IT i, MaskKind kind) {
+  const std::size_t mask_nnz = static_cast<std::size_t>(m.row_nnz(i));
+  if (kind == MaskKind::kMask) return mask_nnz;
+  std::size_t flops = 0;
+  const auto arow = a.row(i);
+  for (IT p = 0; p < arow.size(); ++p) {
+    flops += static_cast<std::size_t>(b.row_nnz(arow.cols[p]));
+  }
+  const std::size_t unmasked =
+      static_cast<std::size_t>(m.ncols) - mask_nnz;
+  return std::min(flops, unmasked);
+}
+
+}  // namespace detail
+
+}  // namespace msx

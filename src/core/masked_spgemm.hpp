@@ -1,0 +1,190 @@
+// Public entry point: C = M .* (A·B)  or  C = ¬M .* (A·B)  on a semiring.
+//
+// Dispatches to the algorithm families of the paper (§5: MSA, Hash, MCA,
+// Heap/HeapDot; §4.1: Inner) under either phase mode (§6), plus the Hybrid
+// per-row selector and an Auto whole-call heuristic derived from the Fig. 7
+// decision surface.
+//
+//   auto c = masked_spgemm<PlusTimes<double>>(a, b, m, opts);
+//
+// The pull-based algorithms need B in CSC form; masked_spgemm builds it on
+// the fly (charged to the call), while masked_spgemm_with_csc accepts a
+// caller-prepared CSC, matching the paper's assumption that B is already
+// stored column-major for Inner.
+#pragma once
+
+#include <cstddef>
+
+#include "accum/msa_bitmap.hpp"
+#include "core/hash_kernel.hpp"
+#include "core/heap_kernel.hpp"
+#include "core/hybrid_kernel.hpp"
+#include "core/inner_kernel.hpp"
+#include "core/mca_kernel.hpp"
+#include "core/msa_kernel.hpp"
+#include "core/options.hpp"
+#include "core/phase_driver.hpp"
+#include "matrix/convert.hpp"
+#include "matrix/csc.hpp"
+#include "matrix/csr.hpp"
+#include "semiring/semirings.hpp"
+
+namespace msx {
+
+namespace detail {
+
+// Whole-call heuristic following the Fig. 7 empirical decision surface:
+// Inner when the mask is much sparser than the inputs, Heap when the inputs
+// are much sparser than the mask, otherwise MSA (small matrices, dense
+// accumulator fits cache) or Hash (large matrices).
+template <class IT, class VT, class MT>
+MaskedAlgo choose_auto(const CSRMatrix<IT, VT>& a, const CSRMatrix<IT, VT>& b,
+                       const CSRMatrix<IT, MT>& m, MaskKind kind) {
+  if (kind == MaskKind::kComplement) return MaskedAlgo::kMSA;
+  const double rows = static_cast<double>(a.nrows() > 0 ? a.nrows() : 1);
+  const double dm = static_cast<double>(m.nnz()) / rows;
+  const double din = 0.5 * (static_cast<double>(a.nnz()) +
+                            static_cast<double>(b.nnz())) /
+                     rows;
+  if (dm * 8.0 <= din) return MaskedAlgo::kInner;
+  if (din * 8.0 <= dm) return MaskedAlgo::kHeap;
+  return b.ncols() <= (IT{1} << 16) ? MaskedAlgo::kMSA : MaskedAlgo::kHash;
+}
+
+template <class SR, class IT, class VT, class MT>
+CSRMatrix<IT, typename SR::value_type> dispatch(
+    const CSRMatrix<IT, VT>& a, const CSRMatrix<IT, VT>& b,
+    const CSCMatrix<IT, VT>* b_csc, const CSRMatrix<IT, MT>& m,
+    MaskedOptions opts) {
+  check_arg(a.ncols() == b.nrows(), "masked_spgemm: inner dimension mismatch");
+  check_arg(m.nrows() == a.nrows() && m.ncols() == b.ncols(),
+            "masked_spgemm: mask shape must match the output shape");
+
+  const MaskView<IT> mask = mask_of(m);
+  const bool comp = (opts.kind == MaskKind::kComplement);
+
+  if (opts.algo == MaskedAlgo::kAuto) {
+    opts.algo = choose_auto(a, b, m, opts.kind);
+  }
+
+  // Pull-based and hybrid paths need B in CSC form.
+  CSCMatrix<IT, VT> owned_csc;
+  if ((opts.algo == MaskedAlgo::kInner || opts.algo == MaskedAlgo::kHybrid) &&
+      b_csc == nullptr) {
+    owned_csc = csr_to_csc(b);
+    b_csc = &owned_csc;
+  }
+
+  switch (opts.algo) {
+    case MaskedAlgo::kMSA:
+      if (comp) {
+        return run_masked_kernel(MSAKernel<SR, IT, VT, true>(a, b, mask),
+                                 opts);
+      }
+      return run_masked_kernel(MSAKernel<SR, IT, VT, false>(a, b, mask), opts);
+
+    case MaskedAlgo::kHash:
+      if (comp) {
+        return run_masked_kernel(HashKernel<SR, IT, VT, true>(a, b, mask),
+                                 opts);
+      }
+      return run_masked_kernel(HashKernel<SR, IT, VT, false>(a, b, mask),
+                               opts);
+
+    case MaskedAlgo::kMCA:
+      check_arg(!comp,
+                "MCA does not support complemented masks (paper §8.4); "
+                "choose MSA, Hash or Heap instead");
+      return run_masked_kernel(MCAKernel<SR, IT, VT>(a, b, mask), opts);
+
+    case MaskedAlgo::kHeap:
+      if (comp) {
+        return run_masked_kernel(
+            HeapKernel<SR, IT, VT, true>(a, b, mask, 0), opts);
+      }
+      return run_masked_kernel(
+          HeapKernel<SR, IT, VT, false>(a, b, mask, opts.heap_ninspect),
+          opts);
+
+    case MaskedAlgo::kHeapDot:
+      if (comp) {
+        return run_masked_kernel(
+            HeapKernel<SR, IT, VT, true>(a, b, mask, 0), opts);
+      }
+      return run_masked_kernel(
+          HeapKernel<SR, IT, VT, false>(a, b, mask, kNInspectInfinity), opts);
+
+    case MaskedAlgo::kInner:
+      if (comp) {
+        return run_masked_kernel(
+            InnerKernel<SR, IT, VT, true>(a, *b_csc, mask, opts.inner_gallop),
+            opts);
+      }
+      return run_masked_kernel(
+          InnerKernel<SR, IT, VT, false>(a, *b_csc, mask, opts.inner_gallop),
+          opts);
+
+    case MaskedAlgo::kMSABitmap:
+      // Extension: 2-bit packed MSA states. The complement variant needs a
+      // touched list, which the bitmap layout does not keep — fall back to
+      // the byte-state complement MSA.
+      if (comp) {
+        return run_masked_kernel(MSAKernel<SR, IT, VT, true>(a, b, mask),
+                                 opts);
+      }
+      return run_masked_kernel(
+          MSAKernel<SR, IT, VT, false,
+                    MSABitmapMasked<IT, typename SR::value_type>>(a, b, mask),
+          opts);
+
+    case MaskedAlgo::kHybrid:
+      if (comp) {
+        return run_masked_kernel(
+            HybridKernel<SR, IT, VT, true>(a, b, *b_csc, mask), opts);
+      }
+      return run_masked_kernel(
+          HybridKernel<SR, IT, VT, false>(a, b, *b_csc, mask), opts);
+
+    case MaskedAlgo::kAuto:
+      break;  // resolved above
+  }
+  check_arg(false, "unreachable: unhandled masked SpGEMM algorithm");
+  return CSRMatrix<IT, typename SR::value_type>();
+}
+
+}  // namespace detail
+
+// Computes C = M .* (A·B) (or the complemented form) on semiring SR.
+template <class SR, class IT, class VT, class MT>
+  requires Semiring<SR>
+CSRMatrix<IT, typename SR::value_type> masked_spgemm(
+    const CSRMatrix<IT, VT>& a, const CSRMatrix<IT, VT>& b,
+    const CSRMatrix<IT, MT>& m, const MaskedOptions& opts = {}) {
+  return detail::dispatch<SR>(a, b, static_cast<const CSCMatrix<IT, VT>*>(nullptr),
+                              m, opts);
+}
+
+// Same, with a caller-prepared CSC copy of B for the pull-based algorithms
+// (keeps the transpose out of the timed region, as the paper assumes for
+// Inner — contrast with the SS:DOT-like baseline which transposes per call).
+template <class SR, class IT, class VT, class MT>
+  requires Semiring<SR>
+CSRMatrix<IT, typename SR::value_type> masked_spgemm_with_csc(
+    const CSRMatrix<IT, VT>& a, const CSRMatrix<IT, VT>& b,
+    const CSCMatrix<IT, VT>& b_csc, const CSRMatrix<IT, MT>& m,
+    const MaskedOptions& opts = {}) {
+  check_arg(b_csc.nrows() == b.nrows() && b_csc.ncols() == b.ncols(),
+            "masked_spgemm: CSC copy shape mismatch");
+  return detail::dispatch<SR>(a, b, &b_csc, m, opts);
+}
+
+// Convenience default: arithmetic semiring over the matrices' value type.
+template <class IT, class VT, class MT>
+CSRMatrix<IT, VT> masked_spgemm_arithmetic(const CSRMatrix<IT, VT>& a,
+                                           const CSRMatrix<IT, VT>& b,
+                                           const CSRMatrix<IT, MT>& m,
+                                           const MaskedOptions& opts = {}) {
+  return masked_spgemm<PlusTimes<VT>>(a, b, m, opts);
+}
+
+}  // namespace msx

@@ -1,0 +1,78 @@
+// Masked sparse vector-matrix product: v⊺ = m⊺ ⊙ (u⊺B).
+//
+// This is the operation the paper's Algorithms 2–4 are stated on (§5): one
+// row of Masked SpGEMM. The implementation reuses the matrix kernels by
+// viewing u and m as 1×n matrices, so every algorithm family, phase mode and
+// mask kind of the matrix API is available — and the SpGEVM results are
+// guaranteed consistent with the SpGEMM ones.
+//
+// The sparse-vector form is what masked traversals consume: a BFS/BC
+// frontier step is exactly  next = ¬visited ⊙ (frontier⊺ · A).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/masked_spgemm.hpp"
+#include "matrix/csc.hpp"
+#include "matrix/csr.hpp"
+#include "semiring/semirings.hpp"
+#include "vector/sparse_vector.hpp"
+
+namespace msx {
+
+namespace detail {
+
+// Wraps a sparse vector as a single-row CSR matrix (copies the index/value
+// arrays; O(nnz), negligible next to the product itself).
+template <class IT, class VT>
+CSRMatrix<IT, VT> as_row_matrix(const SparseVector<IT, VT>& v) {
+  return CSRMatrix<IT, VT>(
+      1, v.size(), {IT{0}, static_cast<IT>(v.nnz())},
+      std::vector<IT>(v.indices().begin(), v.indices().end()),
+      std::vector<VT>(v.values().begin(), v.values().end()));
+}
+
+template <class IT, class VT>
+SparseVector<IT, VT> first_row_as_vector(const CSRMatrix<IT, VT>& m) {
+  const auto row = m.row(0);
+  return SparseVector<IT, VT>(
+      m.ncols(), std::vector<IT>(row.cols.begin(), row.cols.end()),
+      std::vector<VT>(row.vals.begin(), row.vals.end()));
+}
+
+}  // namespace detail
+
+// v = m ⊙ (u⊺B) on semiring SR. u's size must equal B's row count; the mask
+// and result have B's column count.
+template <class SR, class IT, class VT, class MT>
+  requires Semiring<SR>
+SparseVector<IT, typename SR::value_type> masked_spgevm(
+    const SparseVector<IT, VT>& u, const CSRMatrix<IT, VT>& b,
+    const SparseVector<IT, MT>& m, const MaskedOptions& opts = {}) {
+  check_arg(u.size() == b.nrows(), "masked_spgevm: u size != B rows");
+  check_arg(m.size() == b.ncols(), "masked_spgevm: mask size != B cols");
+  const auto urow = detail::as_row_matrix(u);
+  const auto mrow = detail::as_row_matrix(m);
+  auto c = masked_spgemm<SR>(urow, b, mrow, opts);
+  return detail::first_row_as_vector(c);
+}
+
+// Same with a caller-prepared CSC copy of B (for the pull-based algorithms;
+// avoids a per-call transpose, which matters when SpGEVM runs in a loop as
+// in direction-optimized traversals).
+template <class SR, class IT, class VT, class MT>
+  requires Semiring<SR>
+SparseVector<IT, typename SR::value_type> masked_spgevm_with_csc(
+    const SparseVector<IT, VT>& u, const CSRMatrix<IT, VT>& b,
+    const CSCMatrix<IT, VT>& b_csc, const SparseVector<IT, MT>& m,
+    const MaskedOptions& opts = {}) {
+  check_arg(u.size() == b.nrows(), "masked_spgevm: u size != B rows");
+  check_arg(m.size() == b.ncols(), "masked_spgevm: mask size != B cols");
+  const auto urow = detail::as_row_matrix(u);
+  const auto mrow = detail::as_row_matrix(m);
+  auto c = masked_spgemm_with_csc<SR>(urow, b, b_csc, mrow, opts);
+  return detail::first_row_as_vector(c);
+}
+
+}  // namespace msx

@@ -1,0 +1,52 @@
+#include "core/options.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace msx {
+
+const char* to_string(MaskedAlgo a) {
+  switch (a) {
+    case MaskedAlgo::kMSA: return "MSA";
+    case MaskedAlgo::kHash: return "Hash";
+    case MaskedAlgo::kMCA: return "MCA";
+    case MaskedAlgo::kHeap: return "Heap";
+    case MaskedAlgo::kHeapDot: return "HeapDot";
+    case MaskedAlgo::kInner: return "Inner";
+    case MaskedAlgo::kHybrid: return "Hybrid";
+    case MaskedAlgo::kMSABitmap: return "MSAB";
+    case MaskedAlgo::kAuto: return "Auto";
+  }
+  return "?";
+}
+
+const char* to_string(PhaseMode p) {
+  return p == PhaseMode::kOnePhase ? "1P" : "2P";
+}
+
+const char* to_string(MaskKind k) {
+  return k == MaskKind::kMask ? "mask" : "complement";
+}
+
+MaskedAlgo algo_from_string(const std::string& name) {
+  std::string s = name;
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (s == "msa") return MaskedAlgo::kMSA;
+  if (s == "hash") return MaskedAlgo::kHash;
+  if (s == "mca") return MaskedAlgo::kMCA;
+  if (s == "heap") return MaskedAlgo::kHeap;
+  if (s == "heapdot") return MaskedAlgo::kHeapDot;
+  if (s == "inner") return MaskedAlgo::kInner;
+  if (s == "hybrid") return MaskedAlgo::kHybrid;
+  if (s == "msab" || s == "msabitmap") return MaskedAlgo::kMSABitmap;
+  if (s == "auto") return MaskedAlgo::kAuto;
+  throw std::invalid_argument("unknown masked SpGEMM algorithm: " + name);
+}
+
+std::string scheme_name(MaskedAlgo a, PhaseMode p) {
+  return std::string(to_string(a)) + "-" + to_string(p);
+}
+
+}  // namespace msx

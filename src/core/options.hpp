@@ -1,0 +1,65 @@
+// Options controlling a Masked SpGEMM call: algorithm family, phase mode,
+// mask kind, threading and the Heap look-ahead parameter.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+
+#include "common/parallel.hpp"
+
+namespace msx {
+
+// Algorithm families evaluated in the paper (§8) plus extensions.
+enum class MaskedAlgo {
+  kMSA,        // masked sparse accumulator (§5.2)
+  kHash,       // hash accumulator (§5.3)
+  kMCA,        // mask compressed accumulator (§5.4) — no complement support
+  kHeap,       // heap with NInspect = 1 (§5.5)
+  kHeapDot,    // heap with NInspect = ∞ (§5.5)
+  kInner,      // pull-based dot products (§4.1)
+  kHybrid,     // per-row algorithm choice (paper §9 future work)
+  kMSABitmap,  // MSA with 2-bit packed states (extension; complement calls
+               // fall back to the byte-state MSA)
+  kAuto,       // whole-call heuristic choice (Fig. 7 decision surface)
+};
+
+enum class PhaseMode {
+  kOnePhase,  // upper-bound allocation + compaction (suffix 1P)
+  kTwoPhase,  // symbolic + numeric (suffix 2P)
+};
+
+enum class MaskKind {
+  kMask,        // C = M .* (A B)
+  kComplement,  // C = ¬M .* (A B)
+};
+
+inline constexpr std::size_t kNInspectInfinity =
+    std::numeric_limits<std::size_t>::max();
+
+struct MaskedOptions {
+  MaskedAlgo algo = MaskedAlgo::kAuto;
+  PhaseMode phases = PhaseMode::kOnePhase;
+  MaskKind kind = MaskKind::kMask;
+  int threads = 0;  // 0 = current OpenMP default
+  Schedule schedule = Schedule::kDynamic;
+  int chunk = 0;  // dynamic-schedule chunk; 0 = library default
+  // Heap mask look-ahead (§5.5): 0 = never inspect, 1 = Heap, ∞ = HeapDot.
+  // Only honoured when algo == kHeap; kHeapDot forces ∞.
+  std::size_t heap_ninspect = 1;
+  // Inner dot products: galloping (exponential-probe binary search) instead
+  // of the two-pointer merge — pays off when one operand is much longer.
+  bool inner_gallop = false;
+};
+
+const char* to_string(MaskedAlgo a);
+const char* to_string(PhaseMode p);
+const char* to_string(MaskKind k);
+
+// Parses names like "msa", "heapdot" (case-insensitive); throws on unknown.
+MaskedAlgo algo_from_string(const std::string& name);
+
+// Canonical scheme label used in benchmark output, e.g. "MSA-1P".
+std::string scheme_name(MaskedAlgo a, PhaseMode p);
+
+}  // namespace msx

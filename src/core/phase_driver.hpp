@@ -1,0 +1,108 @@
+// One-phase / two-phase output construction shared by all kernels (paper §6).
+//
+// Two-phase (2P): a symbolic pass computes exact per-row counts, row pointers
+// come from a prefix sum, and the numeric pass writes straight into the final
+// arrays — minimal memory, double traversal.
+//
+// One-phase (1P): per-row upper bounds (nnz of the mask row for masked calls;
+// min(flops, unmasked columns) for complemented ones) size a temporary
+// buffer; the numeric pass fills it once and rows are then compacted into the
+// final arrays. The mask makes these bounds tight enough that 1P usually wins
+// (§8) — the reverse of the plain-SpGEMM folklore.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/platform.hpp"
+#include "common/prefix_sum.hpp"
+#include "core/options.hpp"
+#include "matrix/csr.hpp"
+
+namespace msx {
+
+template <class Kernel>
+CSRMatrix<typename Kernel::index_type, typename Kernel::output_value>
+run_masked_kernel(const Kernel& kernel, const MaskedOptions& opts) {
+  using IT = typename Kernel::index_type;
+  using OVT = typename Kernel::output_value;
+  using WS = typename Kernel::Workspace;
+
+  const IT nrows = kernel.nrows();
+  const IT ncols = kernel.ncols();
+  ScopedNumThreads thread_guard(opts.threads);
+  PerThread<WS> workspaces;
+
+  if (opts.phases == PhaseMode::kTwoPhase) {
+    // --- symbolic phase: exact row sizes ---
+    std::vector<IT> rowptr(static_cast<std::size_t>(nrows) + 1, IT{0});
+    parallel_for(IT{0}, nrows, opts.schedule,
+                 [&](IT i) {
+                   rowptr[static_cast<std::size_t>(i) + 1] =
+                       kernel.symbolic_row(workspaces.local(), i);
+                 },
+                 opts.chunk);
+    counts_to_offsets(rowptr);
+
+    // --- numeric phase: write into exact-size arrays ---
+    const auto nnz = static_cast<std::size_t>(rowptr.back());
+    std::vector<IT> colidx(nnz);
+    std::vector<OVT> values(nnz);
+    parallel_for(IT{0}, nrows, opts.schedule,
+                 [&](IT i) {
+                   const auto base =
+                       static_cast<std::size_t>(rowptr[static_cast<std::size_t>(i)]);
+                   [[maybe_unused]] const IT written = kernel.numeric_row(
+                       workspaces.local(), i, colidx.data() + base,
+                       values.data() + base);
+                   MSX_ASSERT(written ==
+                              rowptr[static_cast<std::size_t>(i) + 1] -
+                                  rowptr[static_cast<std::size_t>(i)]);
+                 },
+                 opts.chunk);
+    return CSRMatrix<IT, OVT>(nrows, ncols, std::move(rowptr),
+                              std::move(colidx), std::move(values));
+  }
+
+  // --- one-phase: upper-bound temporary, then compact ---
+  std::vector<std::size_t> bounds(static_cast<std::size_t>(nrows) + 1, 0);
+  parallel_for(IT{0}, nrows, Schedule::kStatic, [&](IT i) {
+    bounds[static_cast<std::size_t>(i) + 1] = kernel.upper_bound_row(i);
+  });
+  counts_to_offsets(bounds);
+  const std::size_t cap = bounds.back();
+
+  std::vector<IT> tmp_cols(cap);
+  std::vector<OVT> tmp_vals(cap);
+  std::vector<IT> rowptr(static_cast<std::size_t>(nrows) + 1, IT{0});
+
+  parallel_for(IT{0}, nrows, opts.schedule,
+               [&](IT i) {
+                 const std::size_t base = bounds[static_cast<std::size_t>(i)];
+                 rowptr[static_cast<std::size_t>(i) + 1] = kernel.numeric_row(
+                     workspaces.local(), i, tmp_cols.data() + base,
+                     tmp_vals.data() + base);
+               },
+               opts.chunk);
+  counts_to_offsets(rowptr);
+
+  const auto nnz = static_cast<std::size_t>(rowptr.back());
+  std::vector<IT> colidx(nnz);
+  std::vector<OVT> values(nnz);
+  parallel_for(IT{0}, nrows, Schedule::kStatic, [&](IT i) {
+    const std::size_t src = bounds[static_cast<std::size_t>(i)];
+    const auto dst = static_cast<std::size_t>(rowptr[static_cast<std::size_t>(i)]);
+    const auto len = static_cast<std::size_t>(
+        rowptr[static_cast<std::size_t>(i) + 1] -
+        rowptr[static_cast<std::size_t>(i)]);
+    for (std::size_t p = 0; p < len; ++p) {
+      colidx[dst + p] = tmp_cols[src + p];
+      values[dst + p] = tmp_vals[src + p];
+    }
+  });
+  return CSRMatrix<IT, OVT>(nrows, ncols, std::move(rowptr), std::move(colidx),
+                            std::move(values));
+}
+
+}  // namespace msx

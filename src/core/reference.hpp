@@ -1,0 +1,92 @@
+// Serial reference oracle for Masked SpGEMM.
+//
+// Straightforward dense-accumulator (SPA) implementation used to validate
+// every parallel algorithm in the test suite. Deliberately simple: one dense
+// value array + occupancy flags, explicit mask application at gather time.
+// Structural semantics: an output entry exists iff the mask admits it and at
+// least one product contributed (numerically zero sums are kept).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/platform.hpp"
+#include "core/options.hpp"
+#include "matrix/csr.hpp"
+#include "semiring/semirings.hpp"
+
+namespace msx {
+
+template <class SR, class IT, class VT, class MT>
+  requires Semiring<SR>
+CSRMatrix<IT, typename SR::value_type> reference_masked_spgemm(
+    const CSRMatrix<IT, VT>& a, const CSRMatrix<IT, VT>& b,
+    const CSRMatrix<IT, MT>& m, MaskKind kind = MaskKind::kMask) {
+  using OVT = typename SR::value_type;
+  check_arg(a.ncols() == b.nrows(), "inner dimension mismatch");
+  check_arg(m.nrows() == a.nrows() && m.ncols() == b.ncols(),
+            "mask shape mismatch");
+
+  const IT nrows = a.nrows();
+  const IT ncols = b.ncols();
+  std::vector<OVT> dense(static_cast<std::size_t>(ncols), SR::zero());
+  std::vector<char> occupied(static_cast<std::size_t>(ncols), 0);
+  std::vector<IT> touched;
+
+  std::vector<IT> rowptr(static_cast<std::size_t>(nrows) + 1, IT{0});
+  std::vector<IT> colidx;
+  std::vector<OVT> values;
+
+  for (IT i = 0; i < nrows; ++i) {
+    touched.clear();
+    const auto arow = a.row(i);
+    for (IT p = 0; p < arow.size(); ++p) {
+      const auto aval = static_cast<OVT>(arow.vals[p]);
+      const auto brow = b.row(arow.cols[p]);
+      for (IT q = 0; q < brow.size(); ++q) {
+        const IT j = brow.cols[q];
+        const auto prod = SR::mul(aval, static_cast<OVT>(brow.vals[q]));
+        if (occupied[static_cast<std::size_t>(j)]) {
+          dense[static_cast<std::size_t>(j)] =
+              SR::add(dense[static_cast<std::size_t>(j)], prod);
+        } else {
+          occupied[static_cast<std::size_t>(j)] = 1;
+          dense[static_cast<std::size_t>(j)] = prod;
+          touched.push_back(j);
+        }
+      }
+    }
+
+    const auto mrow = m.row(i);
+    if (kind == MaskKind::kMask) {
+      for (IT p = 0; p < mrow.size(); ++p) {
+        const IT j = mrow.cols[p];
+        if (occupied[static_cast<std::size_t>(j)]) {
+          colidx.push_back(j);
+          values.push_back(dense[static_cast<std::size_t>(j)]);
+        }
+      }
+    } else {
+      std::sort(touched.begin(), touched.end());
+      for (IT j : touched) {
+        const bool masked = std::binary_search(mrow.cols.begin(),
+                                               mrow.cols.end(), j);
+        if (!masked) {
+          colidx.push_back(j);
+          values.push_back(dense[static_cast<std::size_t>(j)]);
+        }
+      }
+    }
+    rowptr[static_cast<std::size_t>(i) + 1] = static_cast<IT>(colidx.size());
+
+    for (IT j : touched) {
+      occupied[static_cast<std::size_t>(j)] = 0;
+      dense[static_cast<std::size_t>(j)] = SR::zero();
+    }
+  }
+
+  return CSRMatrix<IT, OVT>(nrows, ncols, std::move(rowptr), std::move(colidx),
+                            std::move(values));
+}
+
+}  // namespace msx

@@ -1,0 +1,111 @@
+// Erdős–Rényi random sparse matrices.
+//
+// Fig. 7's controlled density sweeps use ER inputs where the expected row
+// degree is varied independently for inputs and mask; this generator draws
+// `degree` distinct columns per row so nnz ≈ n · degree (exactly, unless the
+// requested degree exceeds ncols).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/platform.hpp"
+#include "common/prefix_sum.hpp"
+#include "common/random.hpp"
+#include "matrix/csr.hpp"
+
+namespace msx {
+
+struct ErdosRenyiOptions {
+  bool allow_self_loops = true;  // keep (i, i) entries
+  double value_min = 0.0;        // stored values drawn uniformly from
+  double value_max = 1.0;        // [value_min, value_max)
+};
+
+namespace detail {
+
+// Floyd's algorithm: uniformly samples `want` distinct integers from
+// [0, universe) in O(want) expected hash operations, unbiased.
+template <class IT>
+void sample_distinct(Xoshiro256& rng, IT universe, IT want,
+                     std::vector<IT>& out) {
+  out.clear();
+  std::unordered_set<IT> chosen;
+  chosen.reserve(static_cast<std::size_t>(want) * 2);
+  for (IT j = universe - want; j < universe; ++j) {
+    const IT t = static_cast<IT>(
+        rng.next_below(static_cast<std::uint64_t>(j) + 1));
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+}
+
+}  // namespace detail
+
+// Generates an nrows × ncols matrix with exactly min(degree, ncols') distinct
+// entries per row (ncols' excludes the diagonal when self-loops are off).
+// Deterministic for a given seed, independent of thread count.
+template <class IT, class VT>
+CSRMatrix<IT, VT> erdos_renyi(IT nrows, IT ncols, IT degree,
+                              std::uint64_t seed,
+                              const ErdosRenyiOptions& opts = {}) {
+  check_arg(nrows >= 0 && ncols >= 0, "shape must be non-negative");
+  check_arg(degree >= 0, "degree must be non-negative");
+
+  std::vector<IT> rowptr(static_cast<std::size_t>(nrows) + 1, IT{0});
+  auto row_budget = [&](IT i) -> IT {
+    IT avail = ncols;
+    if (!opts.allow_self_loops && i < ncols) avail -= 1;
+    return std::min(degree, avail);
+  };
+  for (IT i = 0; i < nrows; ++i) {
+    rowptr[static_cast<std::size_t>(i) + 1] = row_budget(i);
+  }
+  counts_to_offsets(rowptr);
+
+  std::vector<IT> colidx(static_cast<std::size_t>(rowptr.back()));
+  std::vector<VT> values(colidx.size());
+
+  parallel_for(IT{0}, nrows, Schedule::kDynamic, [&](IT i) {
+    // Per-row RNG stream derived from (seed, i): deterministic regardless of
+    // scheduling.
+    Xoshiro256 rng(mix64(seed ^ mix64(static_cast<std::uint64_t>(i) + 1)));
+    const IT want = row_budget(i);
+    const auto base =
+        static_cast<std::size_t>(rowptr[static_cast<std::size_t>(i)]);
+    if (want == 0) return;
+
+    // Sample from a universe that excludes the diagonal when requested, then
+    // map the sampled ids back to column indices.
+    const IT universe =
+        (!opts.allow_self_loops && i < ncols) ? ncols - 1 : ncols;
+    std::vector<IT> cols;
+    detail::sample_distinct(rng, universe, want, cols);
+    if (!opts.allow_self_loops && i < ncols) {
+      for (IT& c : cols) {
+        if (c >= i) ++c;  // skip over the diagonal slot
+      }
+    }
+    std::sort(cols.begin(), cols.end());
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      colidx[base + k] = cols[k];
+    }
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const double u = rng.next_double();
+      values[base + k] = static_cast<VT>(
+          opts.value_min + u * (opts.value_max - opts.value_min));
+    }
+  });
+
+  return CSRMatrix<IT, VT>(nrows, ncols, std::move(rowptr), std::move(colidx),
+                           std::move(values));
+}
+
+}  // namespace msx

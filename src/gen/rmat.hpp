@@ -1,0 +1,77 @@
+// R-MAT (recursive matrix) graph generator with Graph500 parameters.
+//
+// Used by the paper's scaling studies (Figs. 10, 11, 14, 15): "graphs
+// generated with the R-MAT generator, with parameters identical to those
+// used in the Graph500 benchmark" — a = 0.57, b = 0.19, c = 0.19, d = 0.05,
+// edge factor 16, 2^scale vertices. Our generator samples edges recursively,
+// optionally symmetrizes, removes self-loops and deduplicates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/platform.hpp"
+#include "common/random.hpp"
+#include "matrix/build.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/triple.hpp"
+
+namespace msx {
+
+struct RmatOptions {
+  double a = 0.57;  // Graph500 partition probabilities
+  double b = 0.19;
+  double c = 0.19;  // d = 1 - a - b - c
+  int edge_factor = 16;
+  bool symmetrize = true;       // store both (u,v) and (v,u)
+  bool remove_self_loops = true;
+  bool scramble_ids = true;     // hash vertex ids to break locality, as in
+                                // Graph500's vertex permutation
+};
+
+// Generates a 2^scale × 2^scale pattern matrix with approximately
+// edge_factor · 2^scale sampled edges (fewer after dedup). Values are 1.
+template <class IT, class VT>
+CSRMatrix<IT, VT> rmat(int scale, std::uint64_t seed,
+                       const RmatOptions& opts = {}) {
+  check_arg(scale >= 0 && scale < 31, "rmat scale out of range [0,30]");
+  const std::uint64_t n = std::uint64_t{1} << scale;
+  const std::uint64_t nedges = n * static_cast<std::uint64_t>(opts.edge_factor);
+
+  Xoshiro256 rng(seed);
+  const double ab = opts.a + opts.b;
+  const double abc = ab + opts.c;
+
+  std::vector<Triple<IT, VT>> triples;
+  triples.reserve(static_cast<std::size_t>(opts.symmetrize ? 2 * nedges
+                                                           : nedges));
+  for (std::uint64_t e = 0; e < nedges; ++e) {
+    std::uint64_t u = 0, v = 0;
+    for (int bit = scale - 1; bit >= 0; --bit) {
+      const double r = rng.next_double();
+      if (r < opts.a) {
+        // top-left quadrant: no bits set
+      } else if (r < ab) {
+        v |= std::uint64_t{1} << bit;
+      } else if (r < abc) {
+        u |= std::uint64_t{1} << bit;
+      } else {
+        u |= std::uint64_t{1} << bit;
+        v |= std::uint64_t{1} << bit;
+      }
+    }
+    if (opts.scramble_ids) {
+      u = mix64(u + seed) & (n - 1);
+      v = mix64(v + seed) & (n - 1);
+    }
+    if (opts.remove_self_loops && u == v) continue;
+    triples.push_back({static_cast<IT>(u), static_cast<IT>(v), VT{1}});
+    if (opts.symmetrize) {
+      triples.push_back({static_cast<IT>(v), static_cast<IT>(u), VT{1}});
+    }
+  }
+  return csr_from_triples<IT, VT>(static_cast<IT>(n), static_cast<IT>(n),
+                                  std::move(triples), DuplicatePolicy::kLast);
+}
+
+}  // namespace msx

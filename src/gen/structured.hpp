@@ -1,0 +1,174 @@
+// Deterministic structured graph generators.
+//
+// These complement ER/R-MAT in the workload suite: regular meshes (grid,
+// torus) have no degree skew, stars and bipartite graphs are extreme-skew
+// corner cases, Kronecker powers give self-similar patterns, and
+// preferential attachment gives power-law degree tails. Together they span
+// the structural axes the paper's 26 real-world matrices cover.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/platform.hpp"
+#include "common/random.hpp"
+#include "matrix/build.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/triple.hpp"
+
+namespace msx {
+
+namespace detail {
+
+template <class IT, class VT>
+CSRMatrix<IT, VT> from_undirected_edges(
+    IT n, const std::vector<std::pair<IT, IT>>& edges) {
+  std::vector<Triple<IT, VT>> triples;
+  triples.reserve(edges.size() * 2);
+  for (const auto& [u, v] : edges) {
+    if (u == v) continue;
+    triples.push_back({u, v, VT{1}});
+    triples.push_back({v, u, VT{1}});
+  }
+  return csr_from_triples<IT, VT>(n, n, std::move(triples),
+                                  DuplicatePolicy::kLast);
+}
+
+}  // namespace detail
+
+// Path graph: 0-1-2-...-(n-1).
+template <class IT, class VT>
+CSRMatrix<IT, VT> path_graph(IT n) {
+  std::vector<std::pair<IT, IT>> edges;
+  for (IT i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1});
+  return detail::from_undirected_edges<IT, VT>(n, edges);
+}
+
+// Cycle graph: path plus the closing edge.
+template <class IT, class VT>
+CSRMatrix<IT, VT> cycle_graph(IT n) {
+  check_arg(n >= 3, "cycle needs at least 3 vertices");
+  std::vector<std::pair<IT, IT>> edges;
+  for (IT i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1});
+  edges.push_back({n - 1, IT{0}});
+  return detail::from_undirected_edges<IT, VT>(n, edges);
+}
+
+// Complete graph K_n.
+template <class IT, class VT>
+CSRMatrix<IT, VT> complete_graph(IT n) {
+  std::vector<std::pair<IT, IT>> edges;
+  for (IT i = 0; i < n; ++i) {
+    for (IT j = i + 1; j < n; ++j) edges.push_back({i, j});
+  }
+  return detail::from_undirected_edges<IT, VT>(n, edges);
+}
+
+// Star graph: vertex 0 connected to all others.
+template <class IT, class VT>
+CSRMatrix<IT, VT> star_graph(IT n) {
+  std::vector<std::pair<IT, IT>> edges;
+  for (IT i = 1; i < n; ++i) edges.push_back({IT{0}, i});
+  return detail::from_undirected_edges<IT, VT>(n, edges);
+}
+
+// Complete bipartite graph K_{p,q} (vertices 0..p-1 vs p..p+q-1).
+template <class IT, class VT>
+CSRMatrix<IT, VT> complete_bipartite(IT p, IT q) {
+  std::vector<std::pair<IT, IT>> edges;
+  for (IT i = 0; i < p; ++i) {
+    for (IT j = 0; j < q; ++j) edges.push_back({i, static_cast<IT>(p + j)});
+  }
+  return detail::from_undirected_edges<IT, VT>(static_cast<IT>(p + q), edges);
+}
+
+// rows × cols 2D grid (4-neighbour mesh); torus wraps the boundary.
+template <class IT, class VT>
+CSRMatrix<IT, VT> grid2d(IT rows, IT cols, bool torus = false) {
+  check_arg(rows > 0 && cols > 0, "grid needs positive extents");
+  const IT n = rows * cols;
+  auto id = [cols](IT r, IT c) { return r * cols + c; };
+  std::vector<std::pair<IT, IT>> edges;
+  for (IT r = 0; r < rows; ++r) {
+    for (IT c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back({id(r, c), id(r, c + 1)});
+      else if (torus && cols > 2) edges.push_back({id(r, c), id(r, IT{0})});
+      if (r + 1 < rows) edges.push_back({id(r, c), id(r + 1, c)});
+      else if (torus && rows > 2) edges.push_back({id(r, c), id(IT{0}, c)});
+    }
+  }
+  return detail::from_undirected_edges<IT, VT>(n, edges);
+}
+
+// k-th Kronecker power of a small seed pattern. The pattern of the result is
+// the k-fold tensor product: self-similar block structure.
+template <class IT, class VT>
+CSRMatrix<IT, VT> kronecker_power(const CSRMatrix<IT, VT>& seed, int k) {
+  check_arg(seed.nrows() == seed.ncols(), "kronecker seed must be square");
+  check_arg(k >= 1, "kronecker power must be >= 1");
+  std::vector<Triple<IT, VT>> cur = to_triples(seed);
+  const IT m = seed.nrows();
+  IT dim = m;
+  for (int it = 1; it < k; ++it) {
+    std::vector<Triple<IT, VT>> next;
+    next.reserve(cur.size() * seed.nnz());
+    for (const auto& big : cur) {
+      for (IT i = 0; i < m; ++i) {
+        const auto row = seed.row(i);
+        for (IT p = 0; p < row.size(); ++p) {
+          next.push_back({static_cast<IT>(big.row * m + i),
+                          static_cast<IT>(big.col * m + row.cols[p]),
+                          static_cast<VT>(big.val * row.vals[p])});
+        }
+      }
+    }
+    cur = std::move(next);
+    dim *= m;
+  }
+  return csr_from_triples<IT, VT>(dim, dim, std::move(cur),
+                                  DuplicatePolicy::kLast);
+}
+
+// Preferential attachment (Barabási–Albert style): each new vertex attaches
+// to `m` existing vertices chosen proportionally to degree. Power-law tail.
+template <class IT, class VT>
+CSRMatrix<IT, VT> preferential_attachment(IT n, IT m, std::uint64_t seed) {
+  check_arg(m >= 1 && n > m, "need n > m >= 1");
+  Xoshiro256 rng(seed);
+  // endpoint list doubles as the degree-proportional sampling urn
+  std::vector<IT> urn;
+  urn.reserve(static_cast<std::size_t>(2 * n) * static_cast<std::size_t>(m));
+  std::vector<std::pair<IT, IT>> edges;
+
+  // Seed clique on the first m+1 vertices.
+  for (IT i = 0; i <= m; ++i) {
+    for (IT j = i + 1; j <= m; ++j) {
+      edges.push_back({i, j});
+      urn.push_back(i);
+      urn.push_back(j);
+    }
+  }
+  for (IT v = m + 1; v < n; ++v) {
+    IT attached = 0;
+    std::vector<IT> picked;
+    while (attached < m) {
+      const IT u = urn[static_cast<std::size_t>(
+          rng.next_below(urn.size()))];
+      bool dup = false;
+      for (IT w : picked) {
+        if (w == u) { dup = true; break; }
+      }
+      if (dup) continue;
+      picked.push_back(u);
+      edges.push_back({v, u});
+      ++attached;
+    }
+    for (IT u : picked) {
+      urn.push_back(u);
+      urn.push_back(v);
+    }
+  }
+  return detail::from_undirected_edges<IT, VT>(n, edges);
+}
+
+}  // namespace msx

@@ -1,0 +1,114 @@
+#include "gen/suite.hpp"
+
+#include <algorithm>
+
+#include "common/env.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/rmat.hpp"
+#include "gen/structured.hpp"
+#include "matrix/build.hpp"
+#include "matrix/mm_io.hpp"
+#include "matrix/ops.hpp"
+
+namespace msx {
+
+namespace {
+
+using IT = SuiteIndex;
+using VT = SuiteValue;
+
+SuiteMatrix undirected_er(IT n, IT degree, std::uint64_t seed) {
+  ErdosRenyiOptions opts;
+  opts.allow_self_loops = false;
+  auto a = erdos_renyi<IT, VT>(n, n, degree, seed, opts);
+  return symmetrize_pattern(a);
+}
+
+int shifted(int exponent, int shift) { return std::max(4, exponent + shift); }
+
+}  // namespace
+
+std::vector<WorkloadSpec> graph_suite(int scale_shift) {
+  std::vector<WorkloadSpec> suite;
+  auto add = [&](std::string name, std::function<SuiteMatrix()> fn) {
+    suite.push_back({std::move(name), std::move(fn)});
+  };
+  const int s = scale_shift;
+
+  // Power-law / skewed graphs (social-network-like).
+  add("rmat-s10", [s] { return rmat<IT, VT>(shifted(10, s), 1); });
+  add("rmat-s11", [s] { return rmat<IT, VT>(shifted(11, s), 2); });
+  add("rmat-s12", [s] { return rmat<IT, VT>(shifted(12, s), 3); });
+  add("rmat-s13-ef8", [s] {
+    RmatOptions o;
+    o.edge_factor = 8;
+    return rmat<IT, VT>(shifted(13, s), 4, o);
+  });
+  add("pref-attach-8", [s] {
+    return preferential_attachment<IT, VT>(IT{1} << shifted(12, s), 8, 5);
+  });
+  add("pref-attach-16", [s] {
+    return preferential_attachment<IT, VT>(IT{1} << shifted(11, s), 16, 6);
+  });
+
+  // Uniform random graphs at several densities.
+  add("er-d4", [s] { return undirected_er(IT{1} << shifted(12, s), 4, 7); });
+  add("er-d16", [s] { return undirected_er(IT{1} << shifted(12, s), 16, 8); });
+  add("er-d64", [s] { return undirected_er(IT{1} << shifted(10, s), 64, 9); });
+
+  // Regular meshes (road-network/PDE-like: low, uniform degree).
+  add("grid2d", [s] {
+    const IT side = IT{1} << shifted(6, s);
+    return grid2d<IT, VT>(side, side, /*torus=*/false);
+  });
+  add("torus2d", [s] {
+    const IT side = IT{1} << shifted(6, s);
+    return grid2d<IT, VT>(side, side, /*torus=*/true);
+  });
+
+  // Self-similar Kronecker pattern.
+  add("kron3x3", [s] {
+    auto seed = csr_from_dense<IT, VT>({{1, 1, 0}, {0, 1, 1}, {1, 0, 1}});
+    auto g = kronecker_power(seed, std::max(4, 7 + s / 2));
+    return symmetrize_pattern(remove_diagonal(g));
+  });
+
+  // Extreme-skew corner cases.
+  add("star", [s] { return star_graph<IT, VT>(IT{1} << shifted(12, s)); });
+  add("bipartite", [s] {
+    const IT half = IT{1} << shifted(7, s);
+    return complete_bipartite<IT, VT>(half, half);
+  });
+
+  // Optional real matrices from disk (e.g. the genuine SuiteSparse set).
+  const std::string dir = env_string("MSX_EXTRA_MATRICES", "");
+  if (!dir.empty()) {
+    // One file per line is overkill; we accept a colon-separated list of
+    // .mtx paths for simplicity.
+    std::size_t start = 0;
+    while (start < dir.size()) {
+      auto end = dir.find(':', start);
+      if (end == std::string::npos) end = dir.size();
+      std::string path = dir.substr(start, end - start);
+      if (!path.empty()) {
+        add("file:" + path, [path] {
+          auto a = read_matrix_market_file<IT, VT>(path);
+          return symmetrize_pattern(remove_diagonal(a));
+        });
+      }
+      start = end + 1;
+    }
+  }
+  return suite;
+}
+
+std::vector<WorkloadSpec> graph_suite_filtered(const std::string& name,
+                                               int scale_shift) {
+  std::vector<WorkloadSpec> out;
+  for (auto& spec : graph_suite(scale_shift)) {
+    if (spec.name == name) out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+}  // namespace msx

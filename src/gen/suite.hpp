@@ -1,0 +1,40 @@
+// Named workload suites used by the benchmark figures.
+//
+// The paper evaluates on the 26 SuiteSparse real-world graphs used by
+// Nagasaka et al. Those are not redistributable here, so the suite
+// substitutes a structurally diverse, laptop-scale set of generated graphs
+// covering the same axes (degree skew, density, regularity, size); see
+// DESIGN.md §5. The suite is deterministic; sizes scale with a single
+// `scale_shift` knob so CI runs stay fast while large runs remain possible.
+// MatrixMarket files can be appended via MSX_EXTRA_MATRICES=<dir> to run the
+// genuine SuiteSparse graphs when available.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "matrix/csr.hpp"
+
+namespace msx {
+
+using SuiteIndex = std::int32_t;
+using SuiteValue = double;
+using SuiteMatrix = CSRMatrix<SuiteIndex, SuiteValue>;
+
+struct WorkloadSpec {
+  std::string name;
+  std::function<SuiteMatrix()> make;  // generates the (symmetric) graph
+};
+
+// Graph suite standing in for the paper's real-world set. scale_shift shifts
+// every size exponent: 0 = default laptop sizes, negative = smaller (tests),
+// positive = bigger (closer to the paper's range).
+std::vector<WorkloadSpec> graph_suite(int scale_shift = 0);
+
+// Looks up a single workload by name (returns empty vector if absent).
+std::vector<WorkloadSpec> graph_suite_filtered(const std::string& name,
+                                               int scale_shift = 0);
+
+}  // namespace msx

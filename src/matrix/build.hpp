@@ -1,0 +1,161 @@
+// Builders: construct CSR/CSC matrices from coordinate (triple) lists.
+//
+// Construction sorts triples, resolves duplicates according to a policy, and
+// packs the result. This is where unsorted generator/file input is normalized
+// into the strictly-sorted CSR invariant the kernels rely on.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/platform.hpp"
+#include "common/prefix_sum.hpp"
+#include "matrix/csc.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/triple.hpp"
+
+namespace msx {
+
+// What to do with duplicate (row, col) coordinates.
+enum class DuplicatePolicy {
+  kSum,   // accumulate values (default; matches MatrixMarket semantics)
+  kLast,  // keep the last occurrence
+  kError, // throw std::invalid_argument
+};
+
+// Builds a CSR matrix from triples (consumed). Triples may be in any order
+// and may contain duplicates.
+template <class IT, class VT>
+CSRMatrix<IT, VT> csr_from_triples(IT nrows, IT ncols,
+                                   std::vector<Triple<IT, VT>> triples,
+                                   DuplicatePolicy policy =
+                                       DuplicatePolicy::kSum) {
+  check_arg(nrows >= 0 && ncols >= 0, "shape must be non-negative");
+  for (const auto& t : triples) {
+    check_arg(t.row >= 0 && t.row < nrows && t.col >= 0 && t.col < ncols,
+              "triple coordinate out of range");
+  }
+  std::sort(triples.begin(), triples.end(), row_major_less<IT, VT>);
+
+  std::vector<IT> rowptr(static_cast<std::size_t>(nrows) + 1, IT{0});
+  std::vector<IT> colidx;
+  std::vector<VT> values;
+  colidx.reserve(triples.size());
+  values.reserve(triples.size());
+
+  for (std::size_t i = 0; i < triples.size();) {
+    const IT r = triples[i].row;
+    const IT c = triples[i].col;
+    VT v = triples[i].val;
+    std::size_t j = i + 1;
+    while (j < triples.size() && triples[j].row == r && triples[j].col == c) {
+      switch (policy) {
+        case DuplicatePolicy::kSum: v = v + triples[j].val; break;
+        case DuplicatePolicy::kLast: v = triples[j].val; break;
+        case DuplicatePolicy::kError:
+          check_arg(false, "duplicate coordinate in triple list");
+      }
+      ++j;
+    }
+    colidx.push_back(c);
+    values.push_back(v);
+    ++rowptr[static_cast<std::size_t>(r) + 1];
+    i = j;
+  }
+  for (IT r = 0; r < nrows; ++r) {
+    rowptr[static_cast<std::size_t>(r) + 1] +=
+        rowptr[static_cast<std::size_t>(r)];
+  }
+  return CSRMatrix<IT, VT>(nrows, ncols, std::move(rowptr), std::move(colidx),
+                           std::move(values));
+}
+
+// Builds a CSC matrix from triples (consumed).
+template <class IT, class VT>
+CSCMatrix<IT, VT> csc_from_triples(IT nrows, IT ncols,
+                                   std::vector<Triple<IT, VT>> triples,
+                                   DuplicatePolicy policy =
+                                       DuplicatePolicy::kSum) {
+  check_arg(nrows >= 0 && ncols >= 0, "shape must be non-negative");
+  for (const auto& t : triples) {
+    check_arg(t.row >= 0 && t.row < nrows && t.col >= 0 && t.col < ncols,
+              "triple coordinate out of range");
+  }
+  std::sort(triples.begin(), triples.end(), col_major_less<IT, VT>);
+
+  std::vector<IT> colptr(static_cast<std::size_t>(ncols) + 1, IT{0});
+  std::vector<IT> rowidx;
+  std::vector<VT> values;
+  rowidx.reserve(triples.size());
+  values.reserve(triples.size());
+
+  for (std::size_t i = 0; i < triples.size();) {
+    const IT r = triples[i].row;
+    const IT c = triples[i].col;
+    VT v = triples[i].val;
+    std::size_t j = i + 1;
+    while (j < triples.size() && triples[j].row == r && triples[j].col == c) {
+      switch (policy) {
+        case DuplicatePolicy::kSum: v = v + triples[j].val; break;
+        case DuplicatePolicy::kLast: v = triples[j].val; break;
+        case DuplicatePolicy::kError:
+          check_arg(false, "duplicate coordinate in triple list");
+      }
+      ++j;
+    }
+    rowidx.push_back(r);
+    values.push_back(v);
+    ++colptr[static_cast<std::size_t>(c) + 1];
+    i = j;
+  }
+  for (IT c = 0; c < ncols; ++c) {
+    colptr[static_cast<std::size_t>(c) + 1] +=
+        colptr[static_cast<std::size_t>(c)];
+  }
+  return CSCMatrix<IT, VT>(nrows, ncols, std::move(colptr), std::move(rowidx),
+                           std::move(values));
+}
+
+// Builds a pattern matrix (all values = one) from (row, col) edges.
+template <class IT, class VT = double>
+CSRMatrix<IT, VT> csr_from_edges(IT nrows, IT ncols,
+                                 const std::vector<std::pair<IT, IT>>& edges) {
+  std::vector<Triple<IT, VT>> triples;
+  triples.reserve(edges.size());
+  for (const auto& [r, c] : edges) triples.push_back({r, c, VT{1}});
+  return csr_from_triples<IT, VT>(nrows, ncols, std::move(triples),
+                                  DuplicatePolicy::kLast);
+}
+
+// Dense row-major initializer-list style builder; zero entries are dropped.
+// Intended for tests and examples, not performance.
+template <class IT, class VT>
+CSRMatrix<IT, VT> csr_from_dense(const std::vector<std::vector<VT>>& rows) {
+  const IT nrows = static_cast<IT>(rows.size());
+  IT ncols = 0;
+  for (const auto& r : rows) ncols = std::max(ncols, static_cast<IT>(r.size()));
+  std::vector<Triple<IT, VT>> triples;
+  for (IT i = 0; i < nrows; ++i) {
+    for (IT j = 0; j < static_cast<IT>(rows[i].size()); ++j) {
+      if (rows[i][j] != VT{}) triples.push_back({i, j, rows[i][j]});
+    }
+  }
+  return csr_from_triples<IT, VT>(nrows, ncols, std::move(triples));
+}
+
+// Extracts all entries as row-major-sorted triples.
+template <class IT, class VT>
+std::vector<Triple<IT, VT>> to_triples(const CSRMatrix<IT, VT>& a) {
+  std::vector<Triple<IT, VT>> out;
+  out.reserve(a.nnz());
+  for (IT i = 0; i < a.nrows(); ++i) {
+    const auto row = a.row(i);
+    for (IT p = 0; p < row.size(); ++p) {
+      out.push_back({i, row.cols[p], row.vals[p]});
+    }
+  }
+  return out;
+}
+
+}  // namespace msx

@@ -1,0 +1,108 @@
+// Format conversions: CSR <-> CSC and explicit transposition.
+//
+// Transposition uses a parallel counting pass + scatter. The scatter writes
+// preserve source order within each target row/column, so sortedness of the
+// output follows from sortedness of the input's major dimension scan.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/prefix_sum.hpp"
+#include "matrix/csc.hpp"
+#include "matrix/csr.hpp"
+
+namespace msx {
+
+namespace detail {
+
+// Shared core: given (nrows, ncols, rowptr, colidx, values) of a CSR-like
+// layout, produce the (colptr, rowidx, values) arrays of the transposed
+// layout. Runs a counting sort over column indices.
+template <class IT, class VT>
+void transpose_arrays(IT nrows, IT ncols, std::span<const IT> rowptr,
+                      std::span<const IT> colidx, std::span<const VT> values,
+                      std::vector<IT>& out_ptr, std::vector<IT>& out_idx,
+                      std::vector<VT>& out_val) {
+  const std::size_t nnz = colidx.size();
+  out_ptr.assign(static_cast<std::size_t>(ncols) + 1, IT{0});
+  out_idx.resize(nnz);
+  out_val.resize(nnz);
+
+  // Count entries per column (counts stored at out_ptr[j]; the scan turns
+  // them into offsets in place). Serial count is fine for moderate nnz: it
+  // is a single memory-bound sweep; large inputs use relaxed atomics.
+  if (nnz < (std::size_t{1} << 20)) {
+    for (std::size_t p = 0; p < nnz; ++p) {
+      ++out_ptr[static_cast<std::size_t>(colidx[p]) + 1];
+    }
+  } else {
+    std::vector<std::atomic<IT>> counts(static_cast<std::size_t>(ncols));
+    for (auto& c : counts) c.store(IT{0}, std::memory_order_relaxed);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t p = 0; p < static_cast<std::int64_t>(nnz); ++p) {
+      counts[static_cast<std::size_t>(colidx[p])].fetch_add(
+          IT{1}, std::memory_order_relaxed);
+    }
+    for (IT j = 0; j < ncols; ++j) {
+      out_ptr[static_cast<std::size_t>(j) + 1] =
+          counts[static_cast<std::size_t>(j)].load(std::memory_order_relaxed);
+    }
+  }
+  counts_to_offsets(out_ptr);
+
+  // Scatter. A serial sweep keeps per-column entries ordered by source row,
+  // which preserves the sorted-minor-index invariant.
+  std::vector<IT> cursor(out_ptr.begin(), out_ptr.end() - 1);
+  for (IT i = 0; i < nrows; ++i) {
+    for (IT p = rowptr[i]; p < rowptr[i + 1]; ++p) {
+      const IT j = colidx[p];
+      const IT dst = cursor[static_cast<std::size_t>(j)]++;
+      out_idx[static_cast<std::size_t>(dst)] = i;
+      out_val[static_cast<std::size_t>(dst)] = values[p];
+    }
+  }
+}
+
+}  // namespace detail
+
+// B in CSC form (i.e. columns of B contiguous) — required by Inner (§4.1).
+template <class IT, class VT>
+CSCMatrix<IT, VT> csr_to_csc(const CSRMatrix<IT, VT>& a) {
+  std::vector<IT> colptr, rowidx;
+  std::vector<VT> values;
+  detail::transpose_arrays(a.nrows(), a.ncols(), a.rowptr(), a.colidx(),
+                           a.values(), colptr, rowidx, values);
+  return CSCMatrix<IT, VT>(a.nrows(), a.ncols(), std::move(colptr),
+                           std::move(rowidx), std::move(values));
+}
+
+template <class IT, class VT>
+CSRMatrix<IT, VT> csc_to_csr(const CSCMatrix<IT, VT>& a) {
+  // A CSC matrix is the CSR layout of its transpose; transposing the arrays
+  // again yields the CSR layout of the original.
+  std::vector<IT> rowptr, colidx;
+  std::vector<VT> values;
+  detail::transpose_arrays(a.ncols(), a.nrows(), a.colptr(), a.rowidx(),
+                           a.values(), rowptr, colidx, values);
+  return CSRMatrix<IT, VT>(a.nrows(), a.ncols(), std::move(rowptr),
+                           std::move(colidx), std::move(values));
+}
+
+// Explicit transpose in CSR form.
+template <class IT, class VT>
+CSRMatrix<IT, VT> transpose(const CSRMatrix<IT, VT>& a) {
+  std::vector<IT> rowptr, colidx;
+  std::vector<VT> values;
+  detail::transpose_arrays(a.nrows(), a.ncols(), a.rowptr(), a.colidx(),
+                           a.values(), rowptr, colidx, values);
+  return CSRMatrix<IT, VT>(a.ncols(), a.nrows(), std::move(rowptr),
+                           std::move(colidx), std::move(values));
+}
+
+}  // namespace msx

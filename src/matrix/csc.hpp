@@ -1,0 +1,86 @@
+// Compressed Sparse Column matrix.
+//
+// Used by the pull-based Inner algorithm, which needs B's columns in
+// contiguous storage for sparse dot products (§4.1). Mirrors CSRMatrix with
+// the roles of rows and columns exchanged; row indices within each column
+// are strictly increasing.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/platform.hpp"
+
+namespace msx {
+
+template <class IT, class VT>
+class CSCMatrix {
+ public:
+  using index_type = IT;
+  using value_type = VT;
+
+  CSCMatrix() : colptr_(1, IT{0}) {}
+
+  CSCMatrix(IT nrows, IT ncols)
+      : nrows_(nrows), ncols_(ncols),
+        colptr_(static_cast<std::size_t>(ncols) + 1, IT{0}) {
+    check_arg(nrows >= 0 && ncols >= 0, "matrix shape must be non-negative");
+  }
+
+  CSCMatrix(IT nrows, IT ncols, std::vector<IT> colptr, std::vector<IT> rowidx,
+            std::vector<VT> values)
+      : nrows_(nrows), ncols_(ncols), colptr_(std::move(colptr)),
+        rowidx_(std::move(rowidx)), values_(std::move(values)) {
+    check_arg(colptr_.size() == static_cast<std::size_t>(ncols_) + 1,
+              "colptr size must be ncols+1");
+    check_arg(rowidx_.size() == values_.size(), "rowidx/values size mismatch");
+    check_arg(static_cast<std::size_t>(colptr_.back()) == rowidx_.size(),
+              "colptr back must equal nnz");
+  }
+
+  IT nrows() const { return nrows_; }
+  IT ncols() const { return ncols_; }
+  std::size_t nnz() const { return rowidx_.size(); }
+
+  std::span<const IT> colptr() const { return colptr_; }
+  std::span<const IT> rowidx() const { return rowidx_; }
+  std::span<const VT> values() const { return values_; }
+
+  IT col_nnz(IT j) const {
+    MSX_ASSERT(j >= 0 && j < ncols_);
+    return colptr_[static_cast<std::size_t>(j) + 1] -
+           colptr_[static_cast<std::size_t>(j)];
+  }
+
+  struct ColView {
+    std::span<const IT> rows;
+    std::span<const VT> vals;
+    IT size() const { return static_cast<IT>(rows.size()); }
+    bool empty() const { return rows.empty(); }
+  };
+
+  ColView col(IT j) const {
+    MSX_ASSERT(j >= 0 && j < ncols_);
+    const auto lo = static_cast<std::size_t>(colptr_[j]);
+    const auto hi = static_cast<std::size_t>(colptr_[j + 1]);
+    return ColView{std::span<const IT>(rowidx_.data() + lo, hi - lo),
+                   std::span<const VT>(values_.data() + lo, hi - lo)};
+  }
+
+  friend bool operator==(const CSCMatrix& a, const CSCMatrix& b) {
+    return a.nrows_ == b.nrows_ && a.ncols_ == b.ncols_ &&
+           a.colptr_ == b.colptr_ && a.rowidx_ == b.rowidx_ &&
+           a.values_ == b.values_;
+  }
+
+ private:
+  IT nrows_ = 0;
+  IT ncols_ = 0;
+  std::vector<IT> colptr_;
+  std::vector<IT> rowidx_;
+  std::vector<VT> values_;
+};
+
+}  // namespace msx

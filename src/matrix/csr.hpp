@@ -1,0 +1,151 @@
+// Compressed Sparse Row matrix — the primary storage format of the library.
+//
+// Invariants maintained by all builders and kernels:
+//   * rowptr has nrows+1 entries, rowptr[0] == 0, non-decreasing;
+//   * column indices within each row are strictly increasing (sorted,
+//     duplicate-free) — the Heap, MCA and Inner algorithms depend on this;
+//   * colidx and values have rowptr[nrows] entries each.
+// Values are arbitrary semiring elements; pattern-only users may ignore them.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/platform.hpp"
+
+namespace msx {
+
+template <class IT, class VT>
+class CSRMatrix {
+ public:
+  using index_type = IT;
+  using value_type = VT;
+
+  CSRMatrix() : rowptr_(1, IT{0}) {}
+
+  // Empty matrix with the given shape.
+  CSRMatrix(IT nrows, IT ncols)
+      : nrows_(nrows), ncols_(ncols),
+        rowptr_(static_cast<std::size_t>(nrows) + 1, IT{0}) {
+    check_arg(nrows >= 0 && ncols >= 0, "matrix shape must be non-negative");
+  }
+
+  // Adopts prebuilt arrays. Callers must uphold the class invariants; this is
+  // validated in debug/bounds-check builds via validate().
+  CSRMatrix(IT nrows, IT ncols, std::vector<IT> rowptr, std::vector<IT> colidx,
+            std::vector<VT> values)
+      : nrows_(nrows), ncols_(ncols), rowptr_(std::move(rowptr)),
+        colidx_(std::move(colidx)), values_(std::move(values)) {
+    check_arg(rowptr_.size() == static_cast<std::size_t>(nrows_) + 1,
+              "rowptr size must be nrows+1");
+    check_arg(colidx_.size() == values_.size(),
+              "colidx/values size mismatch");
+    check_arg(static_cast<std::size_t>(rowptr_.back()) == colidx_.size(),
+              "rowptr back must equal nnz");
+  }
+
+  IT nrows() const { return nrows_; }
+  IT ncols() const { return ncols_; }
+  std::size_t nnz() const { return colidx_.size(); }
+
+  std::span<const IT> rowptr() const { return rowptr_; }
+  std::span<const IT> colidx() const { return colidx_; }
+  std::span<const VT> values() const { return values_; }
+
+  std::span<IT> mutable_rowptr() { return rowptr_; }
+  std::span<IT> mutable_colidx() { return colidx_; }
+  std::span<VT> mutable_values() { return values_; }
+
+  IT row_nnz(IT i) const {
+    MSX_ASSERT(i >= 0 && i < nrows_);
+    return rowptr_[static_cast<std::size_t>(i) + 1] -
+           rowptr_[static_cast<std::size_t>(i)];
+  }
+
+  // Read-only view of one row.
+  struct RowView {
+    std::span<const IT> cols;
+    std::span<const VT> vals;
+    IT size() const { return static_cast<IT>(cols.size()); }
+    bool empty() const { return cols.empty(); }
+  };
+
+  RowView row(IT i) const {
+    MSX_ASSERT(i >= 0 && i < nrows_);
+    const auto lo = static_cast<std::size_t>(rowptr_[i]);
+    const auto hi = static_cast<std::size_t>(rowptr_[i + 1]);
+    return RowView{std::span<const IT>(colidx_.data() + lo, hi - lo),
+                   std::span<const VT>(values_.data() + lo, hi - lo)};
+  }
+
+  // Structural + value equality (shape, pattern, values).
+  friend bool operator==(const CSRMatrix& a, const CSRMatrix& b) {
+    return a.nrows_ == b.nrows_ && a.ncols_ == b.ncols_ &&
+           a.rowptr_ == b.rowptr_ && a.colidx_ == b.colidx_ &&
+           a.values_ == b.values_;
+  }
+
+  // Verifies all class invariants; returns false (and fills `why` if given)
+  // on the first violation. Used by tests and debug builds.
+  bool validate(std::string* why = nullptr) const {
+    auto fail = [&](const char* msg) {
+      if (why) *why = msg;
+      return false;
+    };
+    if (nrows_ < 0 || ncols_ < 0) return fail("negative shape");
+    if (rowptr_.size() != static_cast<std::size_t>(nrows_) + 1)
+      return fail("rowptr size != nrows+1");
+    if (rowptr_[0] != 0) return fail("rowptr[0] != 0");
+    if (colidx_.size() != values_.size()) return fail("colidx/values mismatch");
+    if (static_cast<std::size_t>(rowptr_.back()) != colidx_.size())
+      return fail("rowptr back != nnz");
+    for (IT i = 0; i < nrows_; ++i) {
+      if (rowptr_[i] > rowptr_[i + 1]) return fail("rowptr not monotone");
+      for (IT p = rowptr_[i]; p < rowptr_[i + 1]; ++p) {
+        if (colidx_[p] < 0 || colidx_[p] >= ncols_)
+          return fail("column index out of range");
+        if (p > rowptr_[i] && colidx_[p - 1] >= colidx_[p])
+          return fail("row columns not strictly increasing");
+      }
+    }
+    return true;
+  }
+
+ private:
+  IT nrows_ = 0;
+  IT ncols_ = 0;
+  std::vector<IT> rowptr_;
+  std::vector<IT> colidx_;
+  std::vector<VT> values_;
+};
+
+// Lightweight pattern-only view of a mask stored in CSR. Only the pattern of
+// the mask participates in Masked SpGEMM (§2 of the paper), so the mask's
+// value type never matters to the kernels.
+template <class IT>
+struct MaskView {
+  IT nrows = 0;
+  IT ncols = 0;
+  const IT* rowptr = nullptr;
+  const IT* colidx = nullptr;
+
+  std::span<const IT> row(IT i) const {
+    MSX_ASSERT(i >= 0 && i < nrows);
+    return std::span<const IT>(colidx + rowptr[i],
+                               static_cast<std::size_t>(rowptr[i + 1]) -
+                                   static_cast<std::size_t>(rowptr[i]));
+  }
+  IT row_nnz(IT i) const { return rowptr[i + 1] - rowptr[i]; }
+  std::size_t nnz() const { return static_cast<std::size_t>(rowptr[nrows]); }
+};
+
+template <class IT, class VT>
+MaskView<IT> mask_of(const CSRMatrix<IT, VT>& m) {
+  return MaskView<IT>{m.nrows(), m.ncols(), m.rowptr().data(),
+                      m.colidx().data()};
+}
+
+}  // namespace msx

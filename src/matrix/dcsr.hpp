@@ -1,0 +1,156 @@
+// Doubly-Compressed Sparse Row (DCSR) — hypersparse storage (§2.1, §3).
+//
+// When most rows are empty (BFS/BC frontier matrices, aggressively pruned
+// k-truss iterates), CSR's nrows+1 row-pointer array dominates the footprint
+// and row scans touch mostly-empty metadata. DCSR (Buluç & Gilbert 2008)
+// stores only the non-empty rows: a compressed row-id list plus row
+// pointers over that list. This module provides the container and lossless
+// conversions; algorithms iterate non-empty rows via rows().
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/platform.hpp"
+#include "matrix/csr.hpp"
+
+namespace msx {
+
+template <class IT, class VT>
+class DCSRMatrix {
+ public:
+  using index_type = IT;
+  using value_type = VT;
+
+  DCSRMatrix() : rowptr_(1, IT{0}) {}
+
+  DCSRMatrix(IT nrows, IT ncols, std::vector<IT> rowids,
+             std::vector<IT> rowptr, std::vector<IT> colidx,
+             std::vector<VT> values)
+      : nrows_(nrows), ncols_(ncols), rowids_(std::move(rowids)),
+        rowptr_(std::move(rowptr)), colidx_(std::move(colidx)),
+        values_(std::move(values)) {
+    check_arg(rowptr_.size() == rowids_.size() + 1,
+              "rowptr size must be nrows_compressed+1");
+    check_arg(colidx_.size() == values_.size(), "colidx/values mismatch");
+    check_arg(static_cast<std::size_t>(rowptr_.back()) == colidx_.size(),
+              "rowptr back must equal nnz");
+  }
+
+  IT nrows() const { return nrows_; }
+  IT ncols() const { return ncols_; }
+  std::size_t nnz() const { return colidx_.size(); }
+  // Number of non-empty rows (the compressed dimension).
+  IT nrows_compressed() const { return static_cast<IT>(rowids_.size()); }
+
+  std::span<const IT> rowids() const { return rowids_; }
+  std::span<const IT> rowptr() const { return rowptr_; }
+  std::span<const IT> colidx() const { return colidx_; }
+  std::span<const VT> values() const { return values_; }
+
+  struct RowView {
+    IT row;  // original (uncompressed) row id
+    std::span<const IT> cols;
+    std::span<const VT> vals;
+  };
+
+  // k-th non-empty row, k in [0, nrows_compressed()).
+  RowView compressed_row(IT k) const {
+    MSX_ASSERT(k >= 0 && k < nrows_compressed());
+    const auto lo = static_cast<std::size_t>(rowptr_[k]);
+    const auto hi = static_cast<std::size_t>(rowptr_[k + 1]);
+    return RowView{rowids_[static_cast<std::size_t>(k)],
+                   std::span<const IT>(colidx_.data() + lo, hi - lo),
+                   std::span<const VT>(values_.data() + lo, hi - lo)};
+  }
+
+  bool validate(std::string* why = nullptr) const {
+    auto fail = [&](const char* msg) {
+      if (why) *why = msg;
+      return false;
+    };
+    if (rowptr_.size() != rowids_.size() + 1) return fail("rowptr size");
+    if (rowptr_.empty() || rowptr_[0] != 0) return fail("rowptr[0] != 0");
+    for (std::size_t k = 0; k < rowids_.size(); ++k) {
+      if (rowids_[k] < 0 || rowids_[k] >= nrows_)
+        return fail("row id out of range");
+      if (k > 0 && rowids_[k - 1] >= rowids_[k])
+        return fail("row ids not strictly increasing");
+      if (rowptr_[k] >= rowptr_[k + 1])
+        return fail("compressed row must be non-empty");
+      for (IT p = rowptr_[k]; p < rowptr_[k + 1]; ++p) {
+        if (colidx_[static_cast<std::size_t>(p)] < 0 ||
+            colidx_[static_cast<std::size_t>(p)] >= ncols_)
+          return fail("column index out of range");
+        if (p > rowptr_[k] &&
+            colidx_[static_cast<std::size_t>(p - 1)] >=
+                colidx_[static_cast<std::size_t>(p)])
+          return fail("row columns not strictly increasing");
+      }
+    }
+    if (static_cast<std::size_t>(rowptr_.back()) != colidx_.size())
+      return fail("rowptr back != nnz");
+    return true;
+  }
+
+  friend bool operator==(const DCSRMatrix&, const DCSRMatrix&) = default;
+
+ private:
+  IT nrows_ = 0;
+  IT ncols_ = 0;
+  std::vector<IT> rowids_;  // non-empty row ids, strictly increasing
+  std::vector<IT> rowptr_;  // offsets over rowids_
+  std::vector<IT> colidx_;
+  std::vector<VT> values_;
+};
+
+// CSR -> DCSR: drop empty rows.
+template <class IT, class VT>
+DCSRMatrix<IT, VT> csr_to_dcsr(const CSRMatrix<IT, VT>& a) {
+  std::vector<IT> rowids, rowptr{IT{0}};
+  for (IT i = 0; i < a.nrows(); ++i) {
+    if (a.row_nnz(i) > 0) {
+      rowids.push_back(i);
+      rowptr.push_back(a.rowptr()[static_cast<std::size_t>(i) + 1]);
+    }
+  }
+  // rowptr currently holds CSR end-offsets of kept rows; compact them.
+  std::vector<IT> colidx(a.colidx().begin(), a.colidx().end());
+  std::vector<VT> values(a.values().begin(), a.values().end());
+  // CSR with empty rows dropped keeps colidx/values unchanged (empty rows
+  // contribute nothing), and the end-offsets are already cumulative.
+  return DCSRMatrix<IT, VT>(a.nrows(), a.ncols(), std::move(rowids),
+                            std::move(rowptr), std::move(colidx),
+                            std::move(values));
+}
+
+// DCSR -> CSR: reinstate empty rows.
+template <class IT, class VT>
+CSRMatrix<IT, VT> dcsr_to_csr(const DCSRMatrix<IT, VT>& a) {
+  std::vector<IT> rowptr(static_cast<std::size_t>(a.nrows()) + 1, IT{0});
+  const auto ids = a.rowids();
+  const auto cptr = a.rowptr();
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    rowptr[static_cast<std::size_t>(ids[k]) + 1] = cptr[k + 1] - cptr[k];
+  }
+  for (IT i = 0; i < a.nrows(); ++i) {
+    rowptr[static_cast<std::size_t>(i) + 1] +=
+        rowptr[static_cast<std::size_t>(i)];
+  }
+  return CSRMatrix<IT, VT>(
+      a.nrows(), a.ncols(), std::move(rowptr),
+      std::vector<IT>(a.colidx().begin(), a.colidx().end()),
+      std::vector<VT>(a.values().begin(), a.values().end()));
+}
+
+// Fraction of rows that are non-empty; hypersparse when << 1.
+template <class IT, class VT>
+double row_occupancy(const DCSRMatrix<IT, VT>& a) {
+  if (a.nrows() == 0) return 0.0;
+  return static_cast<double>(a.nrows_compressed()) /
+         static_cast<double>(a.nrows());
+}
+
+}  // namespace msx

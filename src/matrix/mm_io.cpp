@@ -1,0 +1,77 @@
+#include "matrix/mm_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/platform.hpp"
+
+namespace msx::detail {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+MMHeader mm_read_header(std::istream& in) {
+  std::string line;
+  check_arg(static_cast<bool>(std::getline(in, line)),
+            "empty MatrixMarket stream");
+  std::istringstream banner(line);
+  std::string tag, object, format, field, symmetry;
+  banner >> tag >> object >> format >> field >> symmetry;
+  check_arg(tag == "%%MatrixMarket", "missing MatrixMarket banner");
+  check_arg(lower(object) == "matrix", "only 'matrix' objects supported");
+  check_arg(lower(format) == "coordinate",
+            "only 'coordinate' format supported");
+
+  MMHeader h;
+  const std::string f = lower(field);
+  check_arg(f == "real" || f == "integer" || f == "pattern" || f == "double",
+            "unsupported MatrixMarket field: " + field);
+  h.pattern = (f == "pattern");
+
+  const std::string s = lower(symmetry);
+  check_arg(s == "general" || s == "symmetric",
+            "unsupported MatrixMarket symmetry: " + symmetry);
+  h.symmetric = (s == "symmetric");
+
+  // Skip comments / blank lines, then read the size line.
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream sizes(line);
+    check_arg(static_cast<bool>(sizes >> h.nrows >> h.ncols >> h.nnz),
+              "malformed MatrixMarket size line");
+    return h;
+  }
+  check_arg(false, "MatrixMarket stream missing size line");
+  return h;  // unreachable
+}
+
+bool mm_read_entry(std::istream& in, bool pattern, long long& r, long long& c,
+                   double& v) {
+  if (!(in >> r >> c)) return false;
+  if (pattern) {
+    v = 1.0;
+  } else if (!(in >> v)) {
+    return false;
+  }
+  return true;
+}
+
+void mm_write_header(std::ostream& out, bool pattern, long long nrows,
+                     long long ncols, long long nnz) {
+  out << "%%MatrixMarket matrix coordinate "
+      << (pattern ? "pattern" : "real") << " general\n";
+  out << "% written by msx (masked SpGEMM reproduction)\n";
+  out << nrows << ' ' << ncols << ' ' << nnz << '\n';
+}
+
+}  // namespace msx::detail

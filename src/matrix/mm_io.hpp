@@ -1,0 +1,94 @@
+// MatrixMarket coordinate-format I/O.
+//
+// Supports the subset needed to load SuiteSparse Matrix Collection graphs:
+// `matrix coordinate {real|integer|pattern} {general|symmetric}`; 1-based
+// indices; duplicate entries summed; symmetric storage expanded on read.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "matrix/build.hpp"
+#include "matrix/csr.hpp"
+
+namespace msx {
+
+namespace detail {
+
+struct MMHeader {
+  bool pattern = false;
+  bool symmetric = false;
+  long long nrows = 0;
+  long long ncols = 0;
+  long long nnz = 0;
+};
+
+// Parses the banner + size line and positions the stream at the first entry.
+MMHeader mm_read_header(std::istream& in);
+
+// Reads one entry line; returns false at end of input. For pattern files the
+// value is set to 1.
+bool mm_read_entry(std::istream& in, bool pattern, long long& r, long long& c,
+                   double& v);
+
+void mm_write_header(std::ostream& out, bool pattern, long long nrows,
+                     long long ncols, long long nnz);
+
+}  // namespace detail
+
+// Reads a MatrixMarket file into CSR. Symmetric files are expanded (both
+// (i,j) and (j,i) stored; diagonal kept once).
+template <class IT, class VT>
+CSRMatrix<IT, VT> read_matrix_market(std::istream& in) {
+  const auto h = detail::mm_read_header(in);
+  check_arg(h.nrows >= 0 && h.ncols >= 0, "bad MatrixMarket dimensions");
+  std::vector<Triple<IT, VT>> triples;
+  triples.reserve(static_cast<std::size_t>(h.symmetric ? 2 * h.nnz : h.nnz));
+  long long r, c;
+  double v;
+  long long seen = 0;
+  while (seen < h.nnz && detail::mm_read_entry(in, h.pattern, r, c, v)) {
+    ++seen;
+    const IT ri = static_cast<IT>(r - 1);
+    const IT ci = static_cast<IT>(c - 1);
+    triples.push_back({ri, ci, static_cast<VT>(v)});
+    if (h.symmetric && ri != ci) triples.push_back({ci, ri, static_cast<VT>(v)});
+  }
+  check_arg(seen == h.nnz, "MatrixMarket file truncated");
+  return csr_from_triples<IT, VT>(static_cast<IT>(h.nrows),
+                                  static_cast<IT>(h.ncols), std::move(triples),
+                                  DuplicatePolicy::kSum);
+}
+
+template <class IT, class VT>
+CSRMatrix<IT, VT> read_matrix_market_file(const std::string& path);
+
+// Writes in `matrix coordinate real general` format (or pattern when
+// pattern_only is set).
+template <class IT, class VT>
+void write_matrix_market(std::ostream& out, const CSRMatrix<IT, VT>& a,
+                         bool pattern_only = false) {
+  detail::mm_write_header(out, pattern_only, a.nrows(), a.ncols(),
+                          static_cast<long long>(a.nnz()));
+  // Full round-trip precision for double values.
+  out.precision(17);
+  for (IT i = 0; i < a.nrows(); ++i) {
+    const auto row = a.row(i);
+    for (IT p = 0; p < row.size(); ++p) {
+      out << (i + 1) << ' ' << (row.cols[p] + 1);
+      if (!pattern_only) out << ' ' << static_cast<double>(row.vals[p]);
+      out << '\n';
+    }
+  }
+}
+
+template <class IT, class VT>
+void write_matrix_market_file(const std::string& path,
+                              const CSRMatrix<IT, VT>& a,
+                              bool pattern_only = false);
+
+}  // namespace msx
+
+#include "matrix/mm_io_impl.hpp"

@@ -1,0 +1,25 @@
+// Template implementations for MatrixMarket file helpers.
+#pragma once
+
+#include <fstream>
+
+#include "common/platform.hpp"
+
+namespace msx {
+
+template <class IT, class VT>
+CSRMatrix<IT, VT> read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  check_arg(in.good(), "cannot open MatrixMarket file: " + path);
+  return read_matrix_market<IT, VT>(in);
+}
+
+template <class IT, class VT>
+void write_matrix_market_file(const std::string& path,
+                              const CSRMatrix<IT, VT>& a, bool pattern_only) {
+  std::ofstream out(path);
+  check_arg(out.good(), "cannot open file for writing: " + path);
+  write_matrix_market(out, a, pattern_only);
+}
+
+}  // namespace msx

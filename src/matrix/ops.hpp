@@ -1,0 +1,279 @@
+// Structural and element-wise operations on CSR matrices.
+//
+// These are the substrate operations the graph applications are assembled
+// from: triangular extraction and degree-relabeling (triangle counting,
+// §8.2), value filtering (k-truss pruning, §8.3), element-wise
+// multiply/add and reductions (betweenness centrality, §8.4).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/platform.hpp"
+#include "common/prefix_sum.hpp"
+#include "matrix/build.hpp"
+#include "matrix/convert.hpp"
+#include "matrix/csr.hpp"
+
+namespace msx {
+
+// Out-degree (row nnz) of each row.
+template <class IT, class VT>
+std::vector<IT> row_degrees(const CSRMatrix<IT, VT>& a) {
+  std::vector<IT> deg(static_cast<std::size_t>(a.nrows()));
+  for (IT i = 0; i < a.nrows(); ++i) deg[static_cast<std::size_t>(i)] = a.row_nnz(i);
+  return deg;
+}
+
+// Permutation that sorts vertices by non-increasing degree (ties broken by
+// vertex id for determinism). perm[new_id] = old_id.
+template <class IT, class VT>
+std::vector<IT> degree_order_desc(const CSRMatrix<IT, VT>& a) {
+  std::vector<IT> perm(static_cast<std::size_t>(a.nrows()));
+  std::iota(perm.begin(), perm.end(), IT{0});
+  std::stable_sort(perm.begin(), perm.end(), [&](IT x, IT y) {
+    const IT dx = a.row_nnz(x), dy = a.row_nnz(y);
+    if (dx != dy) return dx > dy;
+    return x < y;
+  });
+  return perm;
+}
+
+// Symmetric relabeling: B = P A Pᵀ where perm[new_id] = old_id.
+// Requires a square matrix.
+template <class IT, class VT>
+CSRMatrix<IT, VT> permute_symmetric(const CSRMatrix<IT, VT>& a,
+                                    const std::vector<IT>& perm) {
+  check_arg(a.nrows() == a.ncols(), "symmetric permutation needs square matrix");
+  check_arg(perm.size() == static_cast<std::size_t>(a.nrows()),
+            "permutation size mismatch");
+  const IT n = a.nrows();
+  std::vector<IT> inv(static_cast<std::size_t>(n));
+  for (IT i = 0; i < n; ++i) inv[static_cast<std::size_t>(perm[i])] = i;
+
+  std::vector<IT> rowptr(static_cast<std::size_t>(n) + 1, IT{0});
+  for (IT i = 0; i < n; ++i) {
+    rowptr[static_cast<std::size_t>(i) + 1] = a.row_nnz(perm[i]);
+  }
+  counts_to_offsets(rowptr);
+  std::vector<IT> colidx(a.nnz());
+  std::vector<VT> values(a.nnz());
+
+  parallel_for(IT{0}, n, Schedule::kStatic, [&](IT i) {
+    const auto src = a.row(perm[static_cast<std::size_t>(i)]);
+    const auto base = static_cast<std::size_t>(rowptr[i]);
+    // Relabel columns, then sort the row (relabeling breaks ordering).
+    std::vector<std::pair<IT, VT>> entries(static_cast<std::size_t>(src.size()));
+    for (IT p = 0; p < src.size(); ++p) {
+      entries[static_cast<std::size_t>(p)] = {
+          inv[static_cast<std::size_t>(src.cols[p])], src.vals[p]};
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    for (std::size_t p = 0; p < entries.size(); ++p) {
+      colidx[base + p] = entries[p].first;
+      values[base + p] = entries[p].second;
+    }
+  });
+  return CSRMatrix<IT, VT>(n, n, std::move(rowptr), std::move(colidx),
+                           std::move(values));
+}
+
+// Keeps entries satisfying pred(row, col, value); drops the rest.
+template <class IT, class VT, class Pred>
+CSRMatrix<IT, VT> filter(const CSRMatrix<IT, VT>& a, Pred&& pred) {
+  std::vector<IT> rowptr(static_cast<std::size_t>(a.nrows()) + 1, IT{0});
+  for (IT i = 0; i < a.nrows(); ++i) {
+    const auto row = a.row(i);
+    IT cnt = 0;
+    for (IT p = 0; p < row.size(); ++p) {
+      if (pred(i, row.cols[p], row.vals[p])) ++cnt;
+    }
+    rowptr[static_cast<std::size_t>(i) + 1] = cnt;
+  }
+  counts_to_offsets(rowptr);
+  std::vector<IT> colidx(static_cast<std::size_t>(rowptr.back()));
+  std::vector<VT> values(colidx.size());
+  for (IT i = 0; i < a.nrows(); ++i) {
+    const auto row = a.row(i);
+    auto q = static_cast<std::size_t>(rowptr[static_cast<std::size_t>(i)]);
+    for (IT p = 0; p < row.size(); ++p) {
+      if (pred(i, row.cols[p], row.vals[p])) {
+        colidx[q] = row.cols[p];
+        values[q] = row.vals[p];
+        ++q;
+      }
+    }
+  }
+  return CSRMatrix<IT, VT>(a.nrows(), a.ncols(), std::move(rowptr),
+                           std::move(colidx), std::move(values));
+}
+
+// Strictly-lower-triangular part (col < row).
+template <class IT, class VT>
+CSRMatrix<IT, VT> tril_strict(const CSRMatrix<IT, VT>& a) {
+  return filter(a, [](IT i, IT j, const VT&) { return j < i; });
+}
+
+// Strictly-upper-triangular part (col > row).
+template <class IT, class VT>
+CSRMatrix<IT, VT> triu_strict(const CSRMatrix<IT, VT>& a) {
+  return filter(a, [](IT i, IT j, const VT&) { return j > i; });
+}
+
+// Removes diagonal entries.
+template <class IT, class VT>
+CSRMatrix<IT, VT> remove_diagonal(const CSRMatrix<IT, VT>& a) {
+  return filter(a, [](IT i, IT j, const VT&) { return i != j; });
+}
+
+// Replaces every stored value with one (GraphBLAS "spones").
+template <class IT, class VT>
+CSRMatrix<IT, VT> spones(const CSRMatrix<IT, VT>& a) {
+  std::vector<VT> ones(a.nnz(), VT{1});
+  return CSRMatrix<IT, VT>(a.nrows(), a.ncols(),
+                           std::vector<IT>(a.rowptr().begin(), a.rowptr().end()),
+                           std::vector<IT>(a.colidx().begin(), a.colidx().end()),
+                           std::move(ones));
+}
+
+// Structural union A + B on (+): values added where both present.
+template <class IT, class VT>
+CSRMatrix<IT, VT> ewise_add(const CSRMatrix<IT, VT>& a,
+                            const CSRMatrix<IT, VT>& b) {
+  check_arg(a.nrows() == b.nrows() && a.ncols() == b.ncols(),
+            "ewise_add shape mismatch");
+  std::vector<IT> rowptr(static_cast<std::size_t>(a.nrows()) + 1, IT{0});
+  // Two-pointer merge per row: count pass, then fill pass.
+  for (IT i = 0; i < a.nrows(); ++i) {
+    const auto ra = a.row(i), rb = b.row(i);
+    IT pa = 0, pb = 0, cnt = 0;
+    while (pa < ra.size() && pb < rb.size()) {
+      const IT ca = ra.cols[pa], cb = rb.cols[pb];
+      pa += (ca <= cb);
+      pb += (cb <= ca);
+      ++cnt;
+    }
+    cnt += (ra.size() - pa) + (rb.size() - pb);
+    rowptr[static_cast<std::size_t>(i) + 1] = cnt;
+  }
+  counts_to_offsets(rowptr);
+  std::vector<IT> colidx(static_cast<std::size_t>(rowptr.back()));
+  std::vector<VT> values(colidx.size());
+  parallel_for(IT{0}, a.nrows(), Schedule::kStatic, [&](IT i) {
+    const auto ra = a.row(i), rb = b.row(i);
+    IT pa = 0, pb = 0;
+    auto q = static_cast<std::size_t>(rowptr[static_cast<std::size_t>(i)]);
+    while (pa < ra.size() && pb < rb.size()) {
+      const IT ca = ra.cols[pa], cb = rb.cols[pb];
+      if (ca < cb) {
+        colidx[q] = ca;
+        values[q] = ra.vals[pa++];
+      } else if (cb < ca) {
+        colidx[q] = cb;
+        values[q] = rb.vals[pb++];
+      } else {
+        colidx[q] = ca;
+        values[q] = ra.vals[pa++] + rb.vals[pb++];
+      }
+      ++q;
+    }
+    for (; pa < ra.size(); ++pa, ++q) {
+      colidx[q] = ra.cols[pa];
+      values[q] = ra.vals[pa];
+    }
+    for (; pb < rb.size(); ++pb, ++q) {
+      colidx[q] = rb.cols[pb];
+      values[q] = rb.vals[pb];
+    }
+  });
+  return CSRMatrix<IT, VT>(a.nrows(), a.ncols(), std::move(rowptr),
+                           std::move(colidx), std::move(values));
+}
+
+// Structural intersection with multiplied values: C = A .* B (values a*b).
+template <class IT, class VT>
+CSRMatrix<IT, VT> ewise_mult(const CSRMatrix<IT, VT>& a,
+                             const CSRMatrix<IT, VT>& b) {
+  check_arg(a.nrows() == b.nrows() && a.ncols() == b.ncols(),
+            "ewise_mult shape mismatch");
+  std::vector<IT> rowptr(static_cast<std::size_t>(a.nrows()) + 1, IT{0});
+  for (IT i = 0; i < a.nrows(); ++i) {
+    const auto ra = a.row(i), rb = b.row(i);
+    IT pa = 0, pb = 0, cnt = 0;
+    while (pa < ra.size() && pb < rb.size()) {
+      const IT ca = ra.cols[pa], cb = rb.cols[pb];
+      if (ca == cb) ++cnt;
+      pa += (ca <= cb);
+      pb += (cb <= ca);
+    }
+    rowptr[static_cast<std::size_t>(i) + 1] = cnt;
+  }
+  counts_to_offsets(rowptr);
+  std::vector<IT> colidx(static_cast<std::size_t>(rowptr.back()));
+  std::vector<VT> values(colidx.size());
+  parallel_for(IT{0}, a.nrows(), Schedule::kStatic, [&](IT i) {
+    const auto ra = a.row(i), rb = b.row(i);
+    IT pa = 0, pb = 0;
+    auto q = static_cast<std::size_t>(rowptr[static_cast<std::size_t>(i)]);
+    while (pa < ra.size() && pb < rb.size()) {
+      const IT ca = ra.cols[pa], cb = rb.cols[pb];
+      if (ca == cb) {
+        colidx[q] = ca;
+        values[q] = ra.vals[pa] * rb.vals[pb];
+        ++q;
+      }
+      pa += (ca <= cb);
+      pb += (cb <= ca);
+    }
+  });
+  return CSRMatrix<IT, VT>(a.nrows(), a.ncols(), std::move(rowptr),
+                           std::move(colidx), std::move(values));
+}
+
+// Symmetrizes the pattern: returns A | Aᵀ with value 1 everywhere.
+template <class IT, class VT>
+CSRMatrix<IT, VT> symmetrize_pattern(const CSRMatrix<IT, VT>& a) {
+  check_arg(a.nrows() == a.ncols(), "symmetrize needs a square matrix");
+  std::vector<Triple<IT, VT>> triples;
+  triples.reserve(2 * a.nnz());
+  for (IT i = 0; i < a.nrows(); ++i) {
+    const auto row = a.row(i);
+    for (IT p = 0; p < row.size(); ++p) {
+      triples.push_back({i, row.cols[p], VT{1}});
+      triples.push_back({row.cols[p], i, VT{1}});
+    }
+  }
+  return csr_from_triples<IT, VT>(a.nrows(), a.ncols(), std::move(triples),
+                                  DuplicatePolicy::kLast);
+}
+
+// True iff the nonzero pattern is symmetric.
+template <class IT, class VT>
+bool is_pattern_symmetric(const CSRMatrix<IT, VT>& a) {
+  if (a.nrows() != a.ncols()) return false;
+  auto t = transpose(a);
+  return std::equal(a.rowptr().begin(), a.rowptr().end(), t.rowptr().begin()) &&
+         std::equal(a.colidx().begin(), a.colidx().end(), t.colidx().begin());
+}
+
+// Sum of all stored values.
+template <class IT, class VT>
+VT reduce_sum(const CSRMatrix<IT, VT>& a) {
+  VT sum{};
+  for (const VT& v : a.values()) sum = sum + v;
+  return sum;
+}
+
+// True iff both matrices have the same shape and pattern (values ignored).
+template <class IT, class VT, class VT2>
+bool pattern_equal(const CSRMatrix<IT, VT>& a, const CSRMatrix<IT, VT2>& b) {
+  return a.nrows() == b.nrows() && a.ncols() == b.ncols() &&
+         std::equal(a.rowptr().begin(), a.rowptr().end(), b.rowptr().begin()) &&
+         std::equal(a.colidx().begin(), a.colidx().end(), b.colidx().begin());
+}
+
+}  // namespace msx

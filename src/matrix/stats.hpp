@@ -1,0 +1,92 @@
+// Matrix structural statistics: the quantities the paper's analysis is
+// phrased in (degrees and their skew, density, bandwidth §4.2, mask/input
+// density ratios §4.3). Used by matrix_tools, the suite report and benches.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "matrix/csr.hpp"
+
+namespace msx {
+
+template <class IT>
+struct MatrixStats {
+  IT nrows = 0;
+  IT ncols = 0;
+  std::size_t nnz = 0;
+  IT min_degree = 0;
+  IT max_degree = 0;
+  double mean_degree = 0.0;
+  double degree_stddev = 0.0;   // population stddev of row degrees
+  double degree_skew = 0.0;     // max/mean — 1 for regular, large for hubs
+  std::size_t empty_rows = 0;
+  double density = 0.0;         // nnz / (nrows*ncols)
+  IT bandwidth = 0;             // max |i - j| over nonzeros (§4.2's beta)
+};
+
+template <class IT, class VT>
+MatrixStats<IT> matrix_stats(const CSRMatrix<IT, VT>& a) {
+  MatrixStats<IT> s;
+  s.nrows = a.nrows();
+  s.ncols = a.ncols();
+  s.nnz = a.nnz();
+  if (a.nrows() == 0) return s;
+
+  s.min_degree = a.row_nnz(0);
+  double sum = 0.0, sum_sq = 0.0;
+  for (IT i = 0; i < a.nrows(); ++i) {
+    const IT d = a.row_nnz(i);
+    s.min_degree = std::min(s.min_degree, d);
+    s.max_degree = std::max(s.max_degree, d);
+    if (d == 0) ++s.empty_rows;
+    sum += d;
+    sum_sq += static_cast<double>(d) * d;
+    const auto row = a.row(i);
+    for (IT p = 0; p < row.size(); ++p) {
+      const IT dist = row.cols[p] > i ? row.cols[p] - i : i - row.cols[p];
+      s.bandwidth = std::max(s.bandwidth, dist);
+    }
+  }
+  const double n = static_cast<double>(a.nrows());
+  s.mean_degree = sum / n;
+  const double var = sum_sq / n - s.mean_degree * s.mean_degree;
+  s.degree_stddev = var > 0 ? std::sqrt(var) : 0.0;
+  s.degree_skew = s.mean_degree > 0
+                      ? static_cast<double>(s.max_degree) / s.mean_degree
+                      : 0.0;
+  if (a.ncols() > 0) {
+    s.density = static_cast<double>(a.nnz()) /
+                (static_cast<double>(a.nrows()) * static_cast<double>(a.ncols()));
+  }
+  return s;
+}
+
+// Degree histogram in power-of-two buckets: bucket b counts rows with
+// degree in [2^b, 2^(b+1)) (bucket 0 additionally holds degree-0 rows at
+// index 0 separately — see return docs).
+// Returns {count of degree-0 rows, then bucket counts for degrees >= 1}.
+template <class IT, class VT>
+std::vector<std::size_t> degree_histogram(const CSRMatrix<IT, VT>& a) {
+  std::vector<std::size_t> hist(1, 0);
+  for (IT i = 0; i < a.nrows(); ++i) {
+    const IT d = a.row_nnz(i);
+    if (d == 0) {
+      ++hist[0];
+      continue;
+    }
+    std::size_t bucket = 1;
+    IT threshold = 1;
+    while (threshold * 2 <= d) {
+      threshold *= 2;
+      ++bucket;
+    }
+    if (hist.size() <= bucket) hist.resize(bucket + 1, 0);
+    ++hist[bucket];
+  }
+  return hist;
+}
+
+}  // namespace msx

@@ -1,0 +1,30 @@
+// Coordinate-format (COO) entry type and helpers.
+#pragma once
+
+#include <tuple>
+
+namespace msx {
+
+// One (row, col, value) entry of a sparse matrix in coordinate form.
+template <class IT, class VT>
+struct Triple {
+  IT row{};
+  IT col{};
+  VT val{};
+
+  friend bool operator==(const Triple&, const Triple&) = default;
+};
+
+// Row-major ordering (row, then column) — the order CSR construction needs.
+template <class IT, class VT>
+bool row_major_less(const Triple<IT, VT>& a, const Triple<IT, VT>& b) {
+  return std::tie(a.row, a.col) < std::tie(b.row, b.col);
+}
+
+// Column-major ordering (column, then row) — the order CSC construction needs.
+template <class IT, class VT>
+bool col_major_less(const Triple<IT, VT>& a, const Triple<IT, VT>& b) {
+  return std::tie(a.col, a.row) < std::tie(b.col, b.row);
+}
+
+}  // namespace msx

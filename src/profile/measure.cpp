@@ -1,0 +1,30 @@
+#include "profile/measure.hpp"
+
+#include <vector>
+
+#include "common/timer.hpp"
+
+namespace msx {
+
+SampleStats measure(const std::function<void()>& fn, const MeasureConfig& cfg) {
+  for (int i = 0; i < cfg.warmup; ++i) fn();
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(cfg.reps));
+  double total = 0.0;
+  int done = 0;
+  while (done < cfg.reps || total < cfg.min_seconds) {
+    WallTimer t;
+    fn();
+    const double s = t.seconds();
+    samples.push_back(s);
+    total += s;
+    ++done;
+    if (done >= cfg.reps && cfg.min_seconds <= 0.0) break;
+    if (done >= 1000) break;  // hard cap against pathological configs
+  }
+  return summarize(std::move(samples));
+}
+
+double best_seconds(const SampleStats& s) { return s.min; }
+
+}  // namespace msx

@@ -1,0 +1,26 @@
+// Measurement loops for the benchmark harness.
+#pragma once
+
+#include <functional>
+
+#include "common/stats.hpp"
+
+namespace msx {
+
+struct MeasureConfig {
+  int warmup = 1;   // untimed runs before measurement
+  int reps = 3;     // timed repetitions
+  double min_seconds = 0.0;  // keep repeating until this much time measured
+};
+
+// Runs fn `warmup` times untimed, then `reps` times timed (at least
+// min_seconds of total measured time) and returns per-rep statistics.
+// The paper reports parallel runtime; we report the minimum over reps as the
+// headline number (least noise) with mean/stddev retained.
+SampleStats measure(const std::function<void()>& fn,
+                    const MeasureConfig& cfg = {});
+
+// Headline metric used across benches: minimum of the measured samples.
+double best_seconds(const SampleStats& s);
+
+}  // namespace msx

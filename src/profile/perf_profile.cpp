@@ -1,0 +1,108 @@
+#include "profile/perf_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace msx {
+
+namespace {
+
+bool valid_time(double t) { return std::isfinite(t) && t > 0.0; }
+
+}  // namespace
+
+std::vector<ProfileSeries> performance_profiles(const ProfileInput& in,
+                                                double x_max) {
+  const std::size_t ns = in.schemes.size();
+  const std::size_t nc = in.cases.size();
+
+  // Per-case best over schemes that ran.
+  std::vector<double> best(nc, std::numeric_limits<double>::infinity());
+  for (std::size_t c = 0; c < nc; ++c) {
+    for (std::size_t s = 0; s < ns; ++s) {
+      const double t = in.seconds[s][c];
+      if (valid_time(t)) best[c] = std::min(best[c], t);
+    }
+  }
+
+  std::vector<ProfileSeries> out;
+  out.reserve(ns);
+  for (std::size_t s = 0; s < ns; ++s) {
+    // Collect this scheme's ratios; sort them to get the step function.
+    std::vector<double> ratios;
+    for (std::size_t c = 0; c < nc; ++c) {
+      const double t = in.seconds[s][c];
+      if (!valid_time(t) || !std::isfinite(best[c])) continue;
+      const double r = t / best[c];
+      if (r <= x_max) ratios.push_back(r);
+    }
+    std::sort(ratios.begin(), ratios.end());
+
+    ProfileSeries series;
+    series.scheme = in.schemes[s];
+    const double denom = nc > 0 ? static_cast<double>(nc) : 1.0;
+    for (std::size_t k = 0; k < ratios.size(); ++k) {
+      series.x.push_back(ratios[k]);
+      series.y.push_back(static_cast<double>(k + 1) / denom);
+    }
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+void print_profiles_csv(const std::vector<ProfileSeries>& series) {
+  std::printf("scheme,x,y\n");
+  for (const auto& s : series) {
+    for (std::size_t k = 0; k < s.x.size(); ++k) {
+      std::printf("%s,%.4f,%.4f\n", s.scheme.c_str(), s.x[k], s.y[k]);
+    }
+  }
+}
+
+double win_fraction(const ProfileSeries& s) {
+  double y = 0.0;
+  for (std::size_t k = 0; k < s.x.size(); ++k) {
+    if (s.x[k] <= 1.0 + 1e-12) y = s.y[k];
+  }
+  return y;
+}
+
+void print_profiles_ascii(const std::vector<ProfileSeries>& series,
+                          double x_max, int width, int height) {
+  if (series.empty() || width < 10 || height < 4) return;
+  // Sample each series on a uniform x grid (step function: y at largest
+  // recorded x <= grid point).
+  static const char kGlyphs[] = "#*+ox%@&=~^$!?";
+  std::vector<std::string> canvas(static_cast<std::size_t>(height),
+                                  std::string(static_cast<std::size_t>(width), ' '));
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const char glyph = kGlyphs[s % (sizeof(kGlyphs) - 1)];
+    for (int px = 0; px < width; ++px) {
+      const double x =
+          1.0 + (x_max - 1.0) * static_cast<double>(px) / (width - 1);
+      double y = 0.0;
+      for (std::size_t k = 0; k < series[s].x.size(); ++k) {
+        if (series[s].x[k] <= x) y = series[s].y[k];
+      }
+      const int py = static_cast<int>(std::lround((1.0 - y) * (height - 1)));
+      canvas[static_cast<std::size_t>(py)][static_cast<std::size_t>(px)] = glyph;
+    }
+  }
+  std::printf("  y=1.0 ");
+  for (int i = 0; i < width; ++i) std::printf("-");
+  std::printf("\n");
+  for (int r = 0; r < height; ++r) {
+    std::printf("        |%s\n", canvas[static_cast<std::size_t>(r)].c_str());
+  }
+  std::printf("  y=0.0 ");
+  for (int i = 0; i < width; ++i) std::printf("-");
+  std::printf("\n         x=1.0%*s x=%.1f\n", width - 12, "", x_max);
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    std::printf("    %c = %s (wins %.0f%%)\n", kGlyphs[s % (sizeof(kGlyphs) - 1)],
+                series[s].scheme.c_str(), 100.0 * win_fraction(series[s]));
+  }
+}
+
+}  // namespace msx

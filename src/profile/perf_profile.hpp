@@ -1,0 +1,44 @@
+// Dolan–Moré performance profiles (the paper's headline comparison plots,
+// Figs. 8, 9, 12, 13, 16).
+//
+// Given runtimes t[s][c] for scheme s on case c, the profile of scheme s is
+// the fraction of cases where t[s][c] <= x * min_s' t[s'][c], plotted over
+// the ratio x >= 1. A scheme whose curve hugs the y-axis is best: at x = 1
+// its value is the fraction of cases it outright wins.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace msx {
+
+struct ProfileInput {
+  std::vector<std::string> schemes;         // row labels
+  std::vector<std::string> cases;           // column labels
+  // seconds[s][c]; NaN or <= 0 marks "did not run / not supported".
+  std::vector<std::vector<double>> seconds;
+};
+
+struct ProfileSeries {
+  std::string scheme;
+  std::vector<double> x;  // runtime ratio relative to per-case best
+  std::vector<double> y;  // fraction of cases within that ratio
+};
+
+// Computes one series per scheme. Ratios are capped at `x_max` (cases worse
+// than x_max, or that did not run, never contribute).
+std::vector<ProfileSeries> performance_profiles(const ProfileInput& in,
+                                                double x_max = 3.0);
+
+// Emits the series as CSV rows: scheme,x,y
+void print_profiles_csv(const std::vector<ProfileSeries>& series);
+
+// Renders a coarse ASCII plot (x on [1, x_max], y on [0, 1]) for quick
+// terminal inspection.
+void print_profiles_ascii(const std::vector<ProfileSeries>& series,
+                          double x_max = 3.0, int width = 60, int height = 16);
+
+// Convenience: fraction of cases the scheme wins outright (y at x = 1).
+double win_fraction(const ProfileSeries& s);
+
+}  // namespace msx

@@ -1,0 +1,29 @@
+// Fixed-width table printer for benchmark output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace msx {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Formats numbers compactly (helper for callers).
+  static std::string num(double v, int precision = 3);
+
+  // Prints with aligned columns to stdout.
+  void print() const;
+
+  // Prints as CSV to stdout.
+  void print_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace msx

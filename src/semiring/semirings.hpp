@@ -1,0 +1,105 @@
+// GraphBLAS-style semiring definitions.
+//
+// A semiring supplies the "multiply" applied to A·B element pairs and the
+// "add" that the accumulator uses to merge products for the same output
+// column. The paper states its algorithms on the arithmetic semiring for
+// clarity (§2); applications use others: triangle counting and k-truss use
+// plus-pair (the product of two present entries counts 1), betweenness
+// centrality uses plus-times over floats.
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <limits>
+
+namespace msx {
+
+// Compile-time interface every semiring satisfies:
+//   value_type zero()                   — additive identity
+//   value_type add(value_type, value_type)
+//   value_type mul(value_type, value_type)
+template <class SR>
+concept Semiring = requires(typename SR::value_type a,
+                            typename SR::value_type b) {
+  { SR::zero() } -> std::convertible_to<typename SR::value_type>;
+  { SR::add(a, b) } -> std::convertible_to<typename SR::value_type>;
+  { SR::mul(a, b) } -> std::convertible_to<typename SR::value_type>;
+};
+
+// Standard arithmetic (+, ×).
+template <class VT>
+struct PlusTimes {
+  using value_type = VT;
+  static constexpr VT zero() { return VT{}; }
+  static constexpr VT add(VT a, VT b) { return a + b; }
+  static constexpr VT mul(VT a, VT b) { return a * b; }
+};
+
+// (+, pair): multiply yields 1 whenever both operands are present.
+// The workhorse of triangle counting / k-truss support counting.
+template <class VT>
+struct PlusPair {
+  using value_type = VT;
+  static constexpr VT zero() { return VT{}; }
+  static constexpr VT add(VT a, VT b) { return a + b; }
+  static constexpr VT mul(VT, VT) { return VT{1}; }
+};
+
+// (+, first): multiply returns the left operand (value of A).
+template <class VT>
+struct PlusFirst {
+  using value_type = VT;
+  static constexpr VT zero() { return VT{}; }
+  static constexpr VT add(VT a, VT b) { return a + b; }
+  static constexpr VT mul(VT a, VT) { return a; }
+};
+
+// (+, second): multiply returns the right operand (value of B).
+template <class VT>
+struct PlusSecond {
+  using value_type = VT;
+  static constexpr VT zero() { return VT{}; }
+  static constexpr VT add(VT a, VT b) { return a + b; }
+  static constexpr VT mul(VT, VT b) { return b; }
+};
+
+// (min, first): multiply returns the left operand, add keeps the minimum —
+// label propagation (connected components) and min-parent selection.
+template <class VT>
+struct MinFirst {
+  using value_type = VT;
+  static constexpr VT zero() { return std::numeric_limits<VT>::max(); }
+  static constexpr VT add(VT a, VT b) { return a < b ? a : b; }
+  static constexpr VT mul(VT a, VT) { return a; }
+};
+
+// Tropical (min, +) semiring — shortest-path relaxations.
+template <class VT>
+struct MinPlus {
+  using value_type = VT;
+  static constexpr VT zero() { return std::numeric_limits<VT>::max(); }
+  static constexpr VT add(VT a, VT b) { return a < b ? a : b; }
+  static constexpr VT mul(VT a, VT b) {
+    // Saturating add so zero() stays absorbing.
+    if (a == zero() || b == zero()) return zero();
+    return a + b;
+  }
+};
+
+// Boolean (or, and) semiring — reachability.
+struct OrAnd {
+  using value_type = bool;
+  static constexpr bool zero() { return false; }
+  static constexpr bool add(bool a, bool b) { return a || b; }
+  static constexpr bool mul(bool a, bool b) { return a && b; }
+};
+
+static_assert(Semiring<PlusTimes<double>>);
+static_assert(Semiring<PlusPair<int>>);
+static_assert(Semiring<PlusFirst<double>>);
+static_assert(Semiring<PlusSecond<double>>);
+static_assert(Semiring<MinFirst<int>>);
+static_assert(Semiring<MinPlus<double>>);
+static_assert(Semiring<OrAnd>);
+
+}  // namespace msx

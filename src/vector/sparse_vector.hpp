@@ -1,0 +1,146 @@
+// Sparse vector: the masked SpGEVM operand type.
+//
+// The paper formulates every algorithm as a masked sparse vector-matrix
+// product v⊺ = m⊺ ⊙ (u⊺B) (§5) — one row of the matrix-level operation.
+// This type carries a sorted, duplicate-free index list plus values, the
+// vector analogue of one CSR row.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/platform.hpp"
+
+namespace msx {
+
+template <class IT, class VT>
+class SparseVector {
+ public:
+  using index_type = IT;
+  using value_type = VT;
+
+  SparseVector() = default;
+  explicit SparseVector(IT size) : size_(size) {
+    check_arg(size >= 0, "vector size must be non-negative");
+  }
+
+  // Adopts prebuilt arrays; indices must be strictly increasing.
+  SparseVector(IT size, std::vector<IT> idx, std::vector<VT> val)
+      : size_(size), idx_(std::move(idx)), val_(std::move(val)) {
+    check_arg(idx_.size() == val_.size(), "index/value size mismatch");
+  }
+
+  // Builds from unordered (index, value) pairs; duplicate indices summed.
+  static SparseVector from_entries(IT size,
+                                   std::vector<std::pair<IT, VT>> entries) {
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    SparseVector v(size);
+    for (const auto& [i, x] : entries) {
+      check_arg(i >= 0 && i < size, "vector index out of range");
+      if (!v.idx_.empty() && v.idx_.back() == i) {
+        v.val_.back() = v.val_.back() + x;
+      } else {
+        v.idx_.push_back(i);
+        v.val_.push_back(x);
+      }
+    }
+    return v;
+  }
+
+  // Builds a dense-array view, dropping zeros.
+  static SparseVector from_dense(const std::vector<VT>& dense) {
+    SparseVector v(static_cast<IT>(dense.size()));
+    for (std::size_t i = 0; i < dense.size(); ++i) {
+      if (dense[i] != VT{}) {
+        v.idx_.push_back(static_cast<IT>(i));
+        v.val_.push_back(dense[i]);
+      }
+    }
+    return v;
+  }
+
+  IT size() const { return size_; }
+  std::size_t nnz() const { return idx_.size(); }
+  bool empty() const { return idx_.empty(); }
+
+  std::span<const IT> indices() const { return idx_; }
+  std::span<const VT> values() const { return val_; }
+  std::span<VT> mutable_values() { return val_; }
+
+  // Appends an entry with index greater than all current ones.
+  void push_back(IT i, VT x) {
+    MSX_ASSERT(idx_.empty() || idx_.back() < i);
+    MSX_ASSERT(i >= 0 && i < size_);
+    idx_.push_back(i);
+    val_.push_back(x);
+  }
+
+  void clear() {
+    idx_.clear();
+    val_.clear();
+  }
+
+  std::vector<VT> to_dense() const {
+    std::vector<VT> dense(static_cast<std::size_t>(size_), VT{});
+    for (std::size_t p = 0; p < idx_.size(); ++p) {
+      dense[static_cast<std::size_t>(idx_[p])] = val_[p];
+    }
+    return dense;
+  }
+
+  bool validate(std::string* why = nullptr) const {
+    auto fail = [&](const char* msg) {
+      if (why) *why = msg;
+      return false;
+    };
+    if (idx_.size() != val_.size()) return fail("index/value size mismatch");
+    for (std::size_t p = 0; p < idx_.size(); ++p) {
+      if (idx_[p] < 0 || idx_[p] >= size_) return fail("index out of range");
+      if (p > 0 && idx_[p - 1] >= idx_[p])
+        return fail("indices not strictly increasing");
+    }
+    return true;
+  }
+
+  friend bool operator==(const SparseVector&, const SparseVector&) = default;
+
+ private:
+  IT size_ = 0;
+  std::vector<IT> idx_;
+  std::vector<VT> val_;
+};
+
+// Structural union with added values (the frontier-merge operation).
+template <class IT, class VT>
+SparseVector<IT, VT> ewise_add(const SparseVector<IT, VT>& a,
+                               const SparseVector<IT, VT>& b) {
+  check_arg(a.size() == b.size(), "ewise_add: vector size mismatch");
+  SparseVector<IT, VT> out(a.size());
+  const auto ai = a.indices();
+  const auto bi = b.indices();
+  const auto av = a.values();
+  const auto bv = b.values();
+  std::size_t pa = 0, pb = 0;
+  while (pa < ai.size() && pb < bi.size()) {
+    if (ai[pa] < bi[pb]) {
+      out.push_back(ai[pa], av[pa]);
+      ++pa;
+    } else if (bi[pb] < ai[pa]) {
+      out.push_back(bi[pb], bv[pb]);
+      ++pb;
+    } else {
+      out.push_back(ai[pa], av[pa] + bv[pb]);
+      ++pa;
+      ++pb;
+    }
+  }
+  for (; pa < ai.size(); ++pa) out.push_back(ai[pa], av[pa]);
+  for (; pb < bi.size(); ++pb) out.push_back(bi[pb], bv[pb]);
+  return out;
+}
+
+}  // namespace msx

@@ -1,0 +1,150 @@
+#include "accum/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+
+constexpr auto kAdd = [](VT a, VT b) { return a + b; };
+
+TEST(HashMaskedTest, BasicInsertGather) {
+  HashMasked<IT, VT> acc;
+  const std::vector<IT> mask{3, 10, 500};
+  acc.prepare(mask);
+  acc.insert(10, [] { return 1.0; }, kAdd);
+  acc.insert(10, [] { return 2.0; }, kAdd);
+  acc.insert(500, [] { return 5.0; }, kAdd);
+  acc.insert(7, [] { return 100.0; }, kAdd);  // not in mask
+
+  std::vector<IT> cols(3);
+  std::vector<VT> vals(3);
+  const IT n = acc.gather(mask, cols.data(), vals.data());
+  ASSERT_EQ(n, 2);
+  EXPECT_EQ(cols[0], 10);
+  EXPECT_EQ(vals[0], 3.0);
+  EXPECT_EQ(cols[1], 500);
+  EXPECT_EQ(vals[1], 5.0);
+}
+
+TEST(HashMaskedTest, LoadFactorQuarter) {
+  HashMasked<IT, VT> acc;
+  std::vector<IT> mask;
+  for (IT j = 0; j < 100; ++j) mask.push_back(j * 3);
+  acc.prepare(mask);
+  // capacity = next_pow2(4*100) = 512
+  EXPECT_EQ(acc.capacity(), 512u);
+}
+
+TEST(HashMaskedTest, PrepareClearsPreviousRow) {
+  HashMasked<IT, VT> acc;
+  const std::vector<IT> m1{1, 2};
+  acc.prepare(m1);
+  acc.insert(1, [] { return 5.0; }, kAdd);
+
+  const std::vector<IT> m2{2, 9};
+  acc.prepare(m2);
+  acc.insert(9, [] { return 1.0; }, kAdd);
+  std::vector<IT> cols(2);
+  std::vector<VT> vals(2);
+  const IT n = acc.gather(m2, cols.data(), vals.data());
+  ASSERT_EQ(n, 1);  // key 1 must be gone, key 2 never set
+  EXPECT_EQ(cols[0], 9);
+}
+
+TEST(HashMaskedTest, ShrinkingRowStillCorrect) {
+  HashMasked<IT, VT> acc;
+  std::vector<IT> big;
+  for (IT j = 0; j < 64; ++j) big.push_back(j);
+  acc.prepare(big);
+  for (IT j = 0; j < 64; ++j) acc.insert(j, [] { return 1.0; }, kAdd);
+
+  const std::vector<IT> small{5};
+  acc.prepare(small);  // smaller active capacity; stale keys beyond window
+  acc.insert(5, [] { return 2.0; }, kAdd);
+  std::vector<IT> cols(1);
+  std::vector<VT> vals(1);
+  EXPECT_EQ(acc.gather(small, cols.data(), vals.data()), 1);
+  EXPECT_EQ(vals[0], 2.0);
+}
+
+TEST(HashMaskedTest, CollidingKeysAllStored) {
+  // Keys chosen dense enough to force probe chains at capacity 32.
+  HashMasked<IT, VT> acc;
+  std::vector<IT> mask;
+  for (IT j = 0; j < 8; ++j) mask.push_back(j * 32);  // same low bits
+  acc.prepare(mask);
+  for (IT j = 0; j < 8; ++j) {
+    acc.insert(j * 32, [j] { return static_cast<VT>(j); }, kAdd);
+  }
+  std::vector<IT> cols(8);
+  std::vector<VT> vals(8);
+  const IT n = acc.gather(mask, cols.data(), vals.data());
+  ASSERT_EQ(n, 8);  // structural semantics: value 0.0 still counts as SET
+  for (IT j = 0; j < 8; ++j) {
+    EXPECT_EQ(cols[j], j * 32);
+    EXPECT_EQ(vals[j], static_cast<VT>(j));
+  }
+}
+
+TEST(HashMaskedTest, SymbolicCounts) {
+  HashMasked<IT, VT> acc;
+  const std::vector<IT> mask{4, 8};
+  acc.prepare(mask);
+  EXPECT_EQ(acc.insert_symbolic(4), 1);
+  EXPECT_EQ(acc.insert_symbolic(4), 0);
+  EXPECT_EQ(acc.insert_symbolic(12), 0);
+  EXPECT_EQ(acc.insert_symbolic(8), 1);
+}
+
+TEST(HashComplementTest, MaskKeysRejected) {
+  HashComplement<IT, VT> acc;
+  const std::vector<IT> mask{7};
+  acc.prepare(mask, 8);
+  int evals = 0;
+  acc.insert(7, [&] { ++evals; return 1.0; }, kAdd);
+  EXPECT_EQ(evals, 0);
+  acc.insert(3, [&] { ++evals; return 2.0; }, kAdd);
+  acc.insert(9, [&] { ++evals; return 3.0; }, kAdd);
+  acc.insert(3, [&] { ++evals; return 0.5; }, kAdd);
+  EXPECT_EQ(evals, 3);
+
+  std::vector<IT> cols(4);
+  std::vector<VT> vals(4);
+  const IT n = acc.gather(cols.data(), vals.data());
+  ASSERT_EQ(n, 2);
+  EXPECT_EQ(cols[0], 3);
+  EXPECT_EQ(vals[0], 2.5);
+  EXPECT_EQ(cols[1], 9);
+  EXPECT_EQ(vals[1], 3.0);
+}
+
+TEST(HashComplementTest, EmptyMaskActsAsPlainAccumulator) {
+  HashComplement<IT, VT> acc;
+  acc.prepare({}, 4);
+  acc.insert(2, [] { return 1.0; }, kAdd);
+  acc.insert(0, [] { return 2.0; }, kAdd);
+  std::vector<IT> cols(2);
+  std::vector<VT> vals(2);
+  const IT n = acc.gather(cols.data(), vals.data());
+  ASSERT_EQ(n, 2);
+  EXPECT_EQ(cols[0], 0);  // sorted
+  EXPECT_EQ(cols[1], 2);
+}
+
+TEST(HashComplementTest, SymbolicTouchedCount) {
+  HashComplement<IT, VT> acc;
+  const std::vector<IT> mask{1};
+  acc.prepare(mask, 4);
+  EXPECT_EQ(acc.insert_symbolic(1), 0);
+  EXPECT_EQ(acc.insert_symbolic(2), 1);
+  EXPECT_EQ(acc.insert_symbolic(2), 0);
+  EXPECT_EQ(acc.touched_count(), 1u);
+}
+
+}  // namespace
+}  // namespace msx

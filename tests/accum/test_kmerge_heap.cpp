@@ -1,0 +1,98 @@
+#include "accum/kmerge_heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+
+TEST(KMergeHeap, EmptyAndSize) {
+  KMergeHeap<IT> h;
+  EXPECT_TRUE(h.empty());
+  h.push({5, 0, 1, 0});
+  EXPECT_FALSE(h.empty());
+  EXPECT_EQ(h.size(), 1u);
+  h.pop();
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(KMergeHeap, PopsInColumnOrder) {
+  KMergeHeap<IT> h;
+  for (IT c : {7, 1, 9, 3, 5}) h.push({c, 0, 1, 0});
+  std::vector<IT> out;
+  while (!h.empty()) {
+    out.push_back(h.top().col);
+    h.pop();
+  }
+  EXPECT_EQ(out, (std::vector<IT>{1, 3, 5, 7, 9}));
+}
+
+TEST(KMergeHeap, DuplicateColumnsAllSurface) {
+  KMergeHeap<IT> h;
+  h.push({4, 0, 1, 0});
+  h.push({4, 1, 2, 1});
+  h.push({2, 2, 3, 2});
+  std::vector<IT> out;
+  while (!h.empty()) {
+    out.push_back(h.top().col);
+    h.pop();
+  }
+  EXPECT_EQ(out, (std::vector<IT>{2, 4, 4}));
+}
+
+TEST(KMergeHeap, ReplaceTopKeepsHeapProperty) {
+  KMergeHeap<IT> h;
+  for (IT c : {10, 20, 30}) h.push({c, 0, 1, 0});
+  EXPECT_EQ(h.top().col, 10);
+  h.replace_top({25, 0, 1, 0});
+  EXPECT_EQ(h.top().col, 20);
+  h.replace_top({40, 0, 1, 0});
+  EXPECT_EQ(h.top().col, 25);
+}
+
+TEST(KMergeHeap, ClearAndReuse) {
+  KMergeHeap<IT> h;
+  h.push({1, 0, 1, 0});
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  h.push({2, 0, 1, 0});
+  EXPECT_EQ(h.top().col, 2);
+}
+
+TEST(KMergeHeap, RandomizedAgainstSort) {
+  Xoshiro256 rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    KMergeHeap<IT> h;
+    std::vector<IT> cols;
+    const int n = 1 + static_cast<int>(rng.next_below(200));
+    for (int i = 0; i < n; ++i) {
+      const IT c = static_cast<IT>(rng.next_below(50));
+      cols.push_back(c);
+      h.push({c, 0, 1, 0});
+    }
+    std::sort(cols.begin(), cols.end());
+    for (IT expected : cols) {
+      ASSERT_EQ(h.top().col, expected);
+      h.pop();
+    }
+    EXPECT_TRUE(h.empty());
+  }
+}
+
+TEST(KMergeHeap, CursorPayloadPreserved) {
+  KMergeHeap<IT> h;
+  h.push({3, 17, 29, 8});
+  const auto& top = h.top();
+  EXPECT_EQ(top.bpos, 17);
+  EXPECT_EQ(top.bend, 29);
+  EXPECT_EQ(top.arow, 8);
+}
+
+}  // namespace
+}  // namespace msx

@@ -1,0 +1,102 @@
+#include "accum/mca.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+
+constexpr auto kAdd = [](VT a, VT b) { return a + b; };
+
+TEST(MCATest, RankIndexedInsertAndGather) {
+  MCAAccumulator<IT, VT> acc;
+  const std::vector<IT> mask_cols{10, 20, 30};  // ranks 0, 1, 2
+  acc.prepare(3);
+  acc.insert(1, [] { return 2.0; }, kAdd);  // column 20
+  acc.insert(1, [] { return 3.0; }, kAdd);
+  acc.insert(2, [] { return 7.0; }, kAdd);  // column 30
+
+  std::vector<IT> cols(3);
+  std::vector<VT> vals(3);
+  const IT n = acc.gather(mask_cols, cols.data(), vals.data());
+  ASSERT_EQ(n, 2);
+  EXPECT_EQ(cols[0], 20);
+  EXPECT_EQ(vals[0], 5.0);
+  EXPECT_EQ(cols[1], 30);
+  EXPECT_EQ(vals[1], 7.0);
+}
+
+TEST(MCATest, PrepareResetsAllRanks) {
+  MCAAccumulator<IT, VT> acc;
+  acc.prepare(2);
+  acc.insert(0, [] { return 1.0; }, kAdd);
+  acc.prepare(2);  // new row
+  const std::vector<IT> mask_cols{5, 6};
+  std::vector<IT> cols(2);
+  std::vector<VT> vals(2);
+  EXPECT_EQ(acc.gather(mask_cols, cols.data(), vals.data()), 0);
+}
+
+TEST(MCATest, OnlyTwoStatesNeeded) {
+  // Every rank starts ALLOWED (no NOTALLOWED state exists): first insert on
+  // any rank must succeed.
+  MCAAccumulator<IT, VT> acc;
+  acc.prepare(4);
+  for (IT r = 0; r < 4; ++r) {
+    acc.insert(r, [r] { return static_cast<VT>(r + 1); }, kAdd);
+  }
+  const std::vector<IT> mask_cols{2, 4, 6, 8};
+  std::vector<IT> cols(4);
+  std::vector<VT> vals(4);
+  EXPECT_EQ(acc.gather(mask_cols, cols.data(), vals.data()), 4);
+  EXPECT_EQ(vals[3], 4.0);
+}
+
+TEST(MCATest, SymbolicFirstTransitionOnly) {
+  MCAAccumulator<IT, VT> acc;
+  acc.prepare(3);
+  EXPECT_EQ(acc.insert_symbolic(0), 1);
+  EXPECT_EQ(acc.insert_symbolic(0), 0);
+  EXPECT_EQ(acc.insert_symbolic(2), 1);
+}
+
+TEST(MCATest, ShrinkAndGrowAcrossRows) {
+  MCAAccumulator<IT, VT> acc;
+  acc.prepare(64);
+  for (IT r = 0; r < 64; ++r) acc.insert(r, [] { return 1.0; }, kAdd);
+  acc.prepare(2);  // shrink: only first two ranks active
+  acc.insert(1, [] { return 5.0; }, kAdd);
+  const std::vector<IT> mask_cols{100, 200};
+  std::vector<IT> cols(2);
+  std::vector<VT> vals(2);
+  const IT n = acc.gather(mask_cols, cols.data(), vals.data());
+  ASSERT_EQ(n, 1);
+  EXPECT_EQ(cols[0], 200);
+  EXPECT_EQ(vals[0], 5.0);
+
+  acc.prepare(128);  // grow again
+  acc.insert(127, [] { return 9.0; }, kAdd);
+  std::vector<IT> mask_big(128);
+  for (IT r = 0; r < 128; ++r) mask_big[r] = r;
+  std::vector<IT> cols_big(128);
+  std::vector<VT> vals_big(128);
+  EXPECT_EQ(acc.gather(mask_big, cols_big.data(), vals_big.data()), 1);
+  EXPECT_EQ(cols_big[0], 127);
+}
+
+TEST(MCATest, LazyEvaluationAlwaysRuns) {
+  // MCA keys are pre-filtered by the kernel's merge, so insert always
+  // evaluates — document that behaviour.
+  MCAAccumulator<IT, VT> acc;
+  acc.prepare(1);
+  int evals = 0;
+  acc.insert(0, [&] { ++evals; return 1.0; }, kAdd);
+  EXPECT_EQ(evals, 1);
+}
+
+}  // namespace
+}  // namespace msx

@@ -1,0 +1,171 @@
+#include "accum/msa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+
+constexpr auto kAdd = [](VT a, VT b) { return a + b; };
+
+TEST(MSAMaskedTest, InsertOnlyAllowedKeys) {
+  MSAMasked<IT, VT> acc;
+  acc.init(8);
+  const std::vector<IT> mask{1, 4, 6};
+  acc.prepare(mask);
+
+  acc.insert(1, [] { return 2.0; }, kAdd);
+  acc.insert(3, [] { return 99.0; }, kAdd);  // not allowed -> discarded
+  acc.insert(4, [] { return 1.0; }, kAdd);
+  acc.insert(4, [] { return 1.5; }, kAdd);   // accumulates
+
+  std::vector<IT> cols(3);
+  std::vector<VT> vals(3);
+  const IT n = acc.gather_and_reset(mask, cols.data(), vals.data());
+  ASSERT_EQ(n, 2);
+  EXPECT_EQ(cols[0], 1);
+  EXPECT_EQ(vals[0], 2.0);
+  EXPECT_EQ(cols[1], 4);
+  EXPECT_EQ(vals[1], 2.5);
+}
+
+TEST(MSAMaskedTest, LazyValueNotEvaluatedWhenDiscarded) {
+  MSAMasked<IT, VT> acc;
+  acc.init(4);
+  const std::vector<IT> mask{0};
+  acc.prepare(mask);
+  int evaluations = 0;
+  acc.insert(2, [&] { ++evaluations; return 1.0; }, kAdd);  // masked out
+  acc.insert(0, [&] { ++evaluations; return 1.0; }, kAdd);  // allowed
+  EXPECT_EQ(evaluations, 1);
+  std::vector<IT> cols(1);
+  std::vector<VT> vals(1);
+  acc.gather_and_reset(mask, cols.data(), vals.data());
+}
+
+TEST(MSAMaskedTest, GatherResetsForNextRow) {
+  MSAMasked<IT, VT> acc;
+  acc.init(4);
+  const std::vector<IT> mask{2};
+  acc.prepare(mask);
+  acc.insert(2, [] { return 5.0; }, kAdd);
+  std::vector<IT> cols(1);
+  std::vector<VT> vals(1);
+  EXPECT_EQ(acc.gather_and_reset(mask, cols.data(), vals.data()), 1);
+
+  // Without prepare, the key is NOTALLOWED again.
+  acc.insert(2, [] { return 7.0; }, kAdd);
+  EXPECT_EQ(acc.gather_and_reset(mask, cols.data(), vals.data()), 0);
+}
+
+TEST(MSAMaskedTest, SymbolicCountsFirstTransitionOnly) {
+  MSAMasked<IT, VT> acc;
+  acc.init(8);
+  const std::vector<IT> mask{1, 3};
+  acc.prepare(mask);
+  EXPECT_EQ(acc.insert_symbolic(1), 1);
+  EXPECT_EQ(acc.insert_symbolic(1), 0);
+  EXPECT_EQ(acc.insert_symbolic(5), 0);  // not allowed
+  EXPECT_EQ(acc.insert_symbolic(3), 1);
+  acc.reset(mask);
+  EXPECT_EQ(acc.insert_symbolic(1), 0);  // reset back to NOTALLOWED
+}
+
+TEST(MSAMaskedTest, EmptyMask) {
+  MSAMasked<IT, VT> acc;
+  acc.init(4);
+  acc.prepare({});
+  acc.insert(0, [] { return 1.0; }, kAdd);
+  EXPECT_EQ(acc.gather_and_reset({}, nullptr, nullptr), 0);
+}
+
+TEST(MSAMaskedTest, GrowsAcrossInits) {
+  MSAMasked<IT, VT> acc;
+  acc.init(4);
+  acc.init(1024);  // must grow without losing correctness
+  const std::vector<IT> mask{1000};
+  acc.prepare(mask);
+  acc.insert(1000, [] { return 3.0; }, kAdd);
+  std::vector<IT> cols(1);
+  std::vector<VT> vals(1);
+  EXPECT_EQ(acc.gather_and_reset(mask, cols.data(), vals.data()), 1);
+  EXPECT_EQ(cols[0], 1000);
+}
+
+TEST(MSAComplementTest, MaskKeysDiscardedOthersKept) {
+  MSAComplement<IT, VT> acc;
+  acc.init(8);
+  const std::vector<IT> mask{2, 5};
+  acc.prepare(mask);
+
+  acc.insert(2, [] { return 9.0; }, kAdd);  // masked -> discarded
+  acc.insert(7, [] { return 1.0; }, kAdd);
+  acc.insert(0, [] { return 2.0; }, kAdd);
+  acc.insert(7, [] { return 0.5; }, kAdd);
+
+  std::vector<IT> cols(4);
+  std::vector<VT> vals(4);
+  const IT n = acc.gather_and_reset(mask, cols.data(), vals.data());
+  ASSERT_EQ(n, 2);
+  // Sorted output.
+  EXPECT_EQ(cols[0], 0);
+  EXPECT_EQ(vals[0], 2.0);
+  EXPECT_EQ(cols[1], 7);
+  EXPECT_EQ(vals[1], 1.5);
+}
+
+TEST(MSAComplementTest, ResetRestoresDefaultAllowed) {
+  MSAComplement<IT, VT> acc;
+  acc.init(4);
+  const std::vector<IT> mask{1};
+  acc.prepare(mask);
+  acc.insert(3, [] { return 1.0; }, kAdd);
+  std::vector<IT> cols(4);
+  std::vector<VT> vals(4);
+  acc.gather_and_reset(mask, cols.data(), vals.data());
+
+  // Next row with different mask: key 1 must be allowed again, key 3 fresh.
+  const std::vector<IT> mask2{3};
+  acc.prepare(mask2);
+  acc.insert(1, [] { return 4.0; }, kAdd);
+  acc.insert(3, [] { return 8.0; }, kAdd);  // masked now
+  const IT n = acc.gather_and_reset(mask2, cols.data(), vals.data());
+  ASSERT_EQ(n, 1);
+  EXPECT_EQ(cols[0], 1);
+  EXPECT_EQ(vals[0], 4.0);
+}
+
+TEST(MSAComplementTest, SymbolicTracksTouched) {
+  MSAComplement<IT, VT> acc;
+  acc.init(8);
+  const std::vector<IT> mask{0};
+  acc.prepare(mask);
+  EXPECT_EQ(acc.insert_symbolic(0), 0);
+  EXPECT_EQ(acc.insert_symbolic(4), 1);
+  EXPECT_EQ(acc.insert_symbolic(4), 0);
+  EXPECT_EQ(acc.touched_count(), 1u);
+  acc.reset(mask);
+  EXPECT_EQ(acc.touched_count(), 0u);
+  // 4 must be allowed again.
+  acc.prepare(mask);
+  EXPECT_EQ(acc.insert_symbolic(4), 1);
+  acc.reset(mask);
+}
+
+TEST(MSAComplementTest, LazyNotEvaluatedForMaskedKey) {
+  MSAComplement<IT, VT> acc;
+  acc.init(4);
+  const std::vector<IT> mask{1};
+  acc.prepare(mask);
+  int evaluations = 0;
+  acc.insert(1, [&] { ++evaluations; return 1.0; }, kAdd);
+  EXPECT_EQ(evaluations, 0);
+  acc.reset(mask);
+}
+
+}  // namespace
+}  // namespace msx

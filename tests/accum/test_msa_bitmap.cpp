@@ -1,0 +1,110 @@
+#include "accum/msa_bitmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+
+constexpr auto kAdd = [](VT a, VT b) { return a + b; };
+
+TEST(MSABitmap, BasicInsertGather) {
+  MSABitmapMasked<IT, VT> acc;
+  acc.init(100);
+  const std::vector<IT> mask{3, 31, 32, 63, 64, 99};  // word-boundary keys
+  acc.prepare(mask);
+  acc.insert(31, [] { return 1.0; }, kAdd);
+  acc.insert(32, [] { return 2.0; }, kAdd);
+  acc.insert(32, [] { return 3.0; }, kAdd);
+  acc.insert(50, [] { return 9.0; }, kAdd);  // not allowed
+
+  std::vector<IT> cols(6);
+  std::vector<VT> vals(6);
+  const IT n = acc.gather_and_reset(mask, cols.data(), vals.data());
+  ASSERT_EQ(n, 2);
+  EXPECT_EQ(cols[0], 31);
+  EXPECT_EQ(vals[0], 1.0);
+  EXPECT_EQ(cols[1], 32);
+  EXPECT_EQ(vals[1], 5.0);
+}
+
+TEST(MSABitmap, StatesIndependentWithinWord) {
+  // 32 keys share one 64-bit word; flipping one must not disturb others.
+  MSABitmapMasked<IT, VT> acc;
+  acc.init(32);
+  std::vector<IT> mask;
+  for (IT j = 0; j < 32; j += 2) mask.push_back(j);  // even keys allowed
+  acc.prepare(mask);
+  for (IT j = 0; j < 32; ++j) {
+    acc.insert(j, [j] { return static_cast<VT>(j); }, kAdd);
+  }
+  std::vector<IT> cols(16);
+  std::vector<VT> vals(16);
+  const IT n = acc.gather_and_reset(mask, cols.data(), vals.data());
+  ASSERT_EQ(n, 16);
+  for (IT k = 0; k < 16; ++k) {
+    EXPECT_EQ(cols[k], 2 * k);
+    EXPECT_EQ(vals[k], static_cast<VT>(2 * k));
+  }
+}
+
+TEST(MSABitmap, GatherResetsForNextRow) {
+  MSABitmapMasked<IT, VT> acc;
+  acc.init(10);
+  const std::vector<IT> mask{5};
+  acc.prepare(mask);
+  acc.insert(5, [] { return 1.0; }, kAdd);
+  std::vector<IT> cols(1);
+  std::vector<VT> vals(1);
+  EXPECT_EQ(acc.gather_and_reset(mask, cols.data(), vals.data()), 1);
+  // Without prepare, key 5 is NOTALLOWED again.
+  acc.insert(5, [] { return 2.0; }, kAdd);
+  EXPECT_EQ(acc.gather_and_reset(mask, cols.data(), vals.data()), 0);
+}
+
+TEST(MSABitmap, LazyEvaluation) {
+  MSABitmapMasked<IT, VT> acc;
+  acc.init(8);
+  const std::vector<IT> mask{1};
+  acc.prepare(mask);
+  int evals = 0;
+  acc.insert(3, [&] { ++evals; return 1.0; }, kAdd);
+  EXPECT_EQ(evals, 0);
+  acc.insert(1, [&] { ++evals; return 1.0; }, kAdd);
+  EXPECT_EQ(evals, 1);
+  acc.reset(mask);
+}
+
+TEST(MSABitmap, SymbolicCounts) {
+  MSABitmapMasked<IT, VT> acc;
+  acc.init(70);
+  const std::vector<IT> mask{0, 33, 69};
+  acc.prepare(mask);
+  EXPECT_EQ(acc.insert_symbolic(0), 1);
+  EXPECT_EQ(acc.insert_symbolic(0), 0);
+  EXPECT_EQ(acc.insert_symbolic(12), 0);
+  EXPECT_EQ(acc.insert_symbolic(33), 1);
+  EXPECT_EQ(acc.insert_symbolic(69), 1);
+  acc.reset(mask);
+  EXPECT_EQ(acc.insert_symbolic(33), 0);
+}
+
+TEST(MSABitmap, GrowsAcrossInits) {
+  MSABitmapMasked<IT, VT> acc;
+  acc.init(8);
+  acc.init(4096);
+  const std::vector<IT> mask{4000};
+  acc.prepare(mask);
+  acc.insert(4000, [] { return 7.0; }, kAdd);
+  std::vector<IT> cols(1);
+  std::vector<VT> vals(1);
+  ASSERT_EQ(acc.gather_and_reset(mask, cols.data(), vals.data()), 1);
+  EXPECT_EQ(cols[0], 4000);
+}
+
+}  // namespace
+}  // namespace msx

@@ -1,0 +1,175 @@
+#include "apps/bc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <vector>
+
+#include "gen/rmat.hpp"
+#include "gen/structured.hpp"
+#include "test_helpers_apps.hpp"
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+
+// Textbook serial Brandes (directed accumulation over the given sources),
+// used as the oracle for the matrix-based implementation.
+std::vector<double> brandes_reference(const CSRMatrix<IT, VT>& g,
+                                      const std::vector<IT>& sources) {
+  const IT n = g.nrows();
+  std::vector<double> centrality(static_cast<std::size_t>(n), 0.0);
+  for (IT s : sources) {
+    std::vector<std::vector<IT>> pred(static_cast<std::size_t>(n));
+    std::vector<double> sigma(static_cast<std::size_t>(n), 0.0);
+    std::vector<int> dist(static_cast<std::size_t>(n), -1);
+    std::vector<IT> order;
+    sigma[static_cast<std::size_t>(s)] = 1.0;
+    dist[static_cast<std::size_t>(s)] = 0;
+    std::queue<IT> q;
+    q.push(s);
+    while (!q.empty()) {
+      const IT v = q.front();
+      q.pop();
+      order.push_back(v);
+      const auto row = g.row(v);
+      for (IT p = 0; p < row.size(); ++p) {
+        const IT w = row.cols[p];
+        if (dist[static_cast<std::size_t>(w)] < 0) {
+          dist[static_cast<std::size_t>(w)] =
+              dist[static_cast<std::size_t>(v)] + 1;
+          q.push(w);
+        }
+        if (dist[static_cast<std::size_t>(w)] ==
+            dist[static_cast<std::size_t>(v)] + 1) {
+          sigma[static_cast<std::size_t>(w)] +=
+              sigma[static_cast<std::size_t>(v)];
+          pred[static_cast<std::size_t>(w)].push_back(v);
+        }
+      }
+    }
+    std::vector<double> delta(static_cast<std::size_t>(n), 0.0);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const IT w = *it;
+      for (IT v : pred[static_cast<std::size_t>(w)]) {
+        delta[static_cast<std::size_t>(v)] +=
+            sigma[static_cast<std::size_t>(v)] /
+            sigma[static_cast<std::size_t>(w)] *
+            (1.0 + delta[static_cast<std::size_t>(w)]);
+      }
+      if (w != s) {
+        centrality[static_cast<std::size_t>(w)] +=
+            delta[static_cast<std::size_t>(w)];
+      }
+    }
+  }
+  return centrality;
+}
+
+void expect_centrality_near(const std::vector<double>& got,
+                            const std::vector<double>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t v = 0; v < got.size(); ++v) {
+    EXPECT_NEAR(got[v], want[v], 1e-7) << "vertex " << v;
+  }
+}
+
+TEST(BC, PathGraphKnownValues) {
+  auto g = path_graph<IT, VT>(5);
+  std::vector<IT> all{0, 1, 2, 3, 4};
+  auto r = betweenness_centrality(g, all);
+  const std::vector<double> expect{0, 6, 8, 6, 0};
+  expect_centrality_near(r.centrality, expect);
+  EXPECT_EQ(r.depth, 4);
+}
+
+TEST(BC, StarGraphCenterDominates) {
+  const IT n = 12;
+  auto g = star_graph<IT, VT>(n);
+  std::vector<IT> all(n);
+  for (IT i = 0; i < n; ++i) all[static_cast<std::size_t>(i)] = i;
+  auto r = betweenness_centrality(g, all);
+  // Center lies on every leaf-to-leaf path: (n-1)(n-2) ordered pairs.
+  EXPECT_NEAR(r.centrality[0], (n - 1.0) * (n - 2.0), 1e-9);
+  for (IT v = 1; v < n; ++v) EXPECT_NEAR(r.centrality[v], 0.0, 1e-9);
+}
+
+TEST(BC, CycleMatchesBrandes) {
+  auto g = cycle_graph<IT, VT>(9);
+  std::vector<IT> all(9);
+  for (IT i = 0; i < 9; ++i) all[static_cast<std::size_t>(i)] = i;
+  auto r = betweenness_centrality(g, all);
+  expect_centrality_near(r.centrality, brandes_reference(g, all));
+}
+
+TEST(BC, RmatSubsetOfSourcesMatchesBrandes) {
+  auto g = rmat<IT, VT>(7, 5);
+  std::vector<IT> sources{0, 3, 17, 42, 99};
+  auto r = betweenness_centrality(g, sources);
+  expect_centrality_near(r.centrality, brandes_reference(g, sources));
+}
+
+TEST(BC, GridMatchesBrandes) {
+  auto g = grid2d<IT, VT>(5, 6);
+  std::vector<IT> sources{0, 7, 13, 29};
+  auto r = betweenness_centrality(g, sources);
+  expect_centrality_near(r.centrality, brandes_reference(g, sources));
+}
+
+TEST(BC, SchemesAgree) {
+  auto g = rmat<IT, VT>(7, 6);
+  std::vector<IT> sources{1, 2, 3, 4};
+  auto want = betweenness_centrality(g, sources).centrality;
+  for (auto algo : msx::testing::complement_algos()) {
+    MaskedOptions o;
+    o.algo = algo;
+    auto got = betweenness_centrality(g, sources, o).centrality;
+    ASSERT_EQ(got.size(), want.size()) << to_string(algo);
+    for (std::size_t v = 0; v < want.size(); ++v) {
+      EXPECT_NEAR(got[v], want[v], 1e-7) << to_string(algo) << " v" << v;
+    }
+  }
+}
+
+TEST(BC, DisconnectedGraphHandled) {
+  // Two disjoint paths; sources in one component must not credit the other.
+  std::vector<std::pair<IT, IT>> edges{{0, 1}, {1, 2}, {3, 4}, {4, 5}};
+  std::vector<std::pair<IT, IT>> both;
+  for (auto [u, v] : edges) {
+    both.push_back({u, v});
+    both.push_back({v, u});
+  }
+  auto g = csr_from_edges<IT, VT>(6, 6, both);
+  std::vector<IT> sources{0, 1, 2, 3, 4, 5};
+  auto r = betweenness_centrality(g, sources);
+  expect_centrality_near(r.centrality, brandes_reference(g, sources));
+}
+
+TEST(BC, TimingsAndMteps) {
+  auto g = rmat<IT, VT>(7, 7);
+  std::vector<IT> sources{0, 1};
+  auto r = betweenness_centrality(g, sources);
+  EXPECT_GT(r.seconds_total, 0.0);
+  EXPECT_GT(r.mteps(g.nnz() / 2, sources.size()), 0.0);
+}
+
+TEST(BC, RejectsMCA) {
+  auto g = path_graph<IT, VT>(4);
+  MaskedOptions o;
+  o.algo = MaskedAlgo::kMCA;
+  EXPECT_THROW(betweenness_centrality(g, std::vector<IT>{0}, o),
+               std::invalid_argument);
+}
+
+TEST(BC, RejectsBadSources) {
+  auto g = path_graph<IT, VT>(4);
+  EXPECT_THROW(betweenness_centrality(g, std::vector<IT>{}),
+               std::invalid_argument);
+  EXPECT_THROW(betweenness_centrality(g, std::vector<IT>{9}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msx

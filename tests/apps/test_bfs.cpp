@@ -1,0 +1,100 @@
+#include "apps/bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "gen/rmat.hpp"
+#include "gen/structured.hpp"
+#include "test_helpers_apps.hpp"
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+
+std::vector<std::int32_t> serial_bfs(const CSRMatrix<IT, VT>& g, IT src) {
+  std::vector<std::int32_t> level(static_cast<std::size_t>(g.nrows()), -1);
+  std::queue<IT> q;
+  level[static_cast<std::size_t>(src)] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const IT v = q.front();
+    q.pop();
+    const auto row = g.row(v);
+    for (IT p = 0; p < row.size(); ++p) {
+      const IT w = row.cols[p];
+      if (level[static_cast<std::size_t>(w)] < 0) {
+        level[static_cast<std::size_t>(w)] =
+            level[static_cast<std::size_t>(v)] + 1;
+        q.push(w);
+      }
+    }
+  }
+  return level;
+}
+
+TEST(BFS, PathGraphLevels) {
+  auto g = path_graph<IT, VT>(6);
+  auto r = multi_source_bfs(g, std::vector<IT>{0});
+  for (IT v = 0; v < 6; ++v) EXPECT_EQ(r.levels[v], v);
+  EXPECT_EQ(r.depth, 5);
+}
+
+TEST(BFS, MultiSourceIndependentRows) {
+  auto g = path_graph<IT, VT>(6);
+  auto r = multi_source_bfs(g, std::vector<IT>{0, 5});
+  for (IT v = 0; v < 6; ++v) {
+    EXPECT_EQ(r.levels[v], v);          // from source 0
+    EXPECT_EQ(r.levels[6 + v], 5 - v);  // from source 5
+  }
+}
+
+TEST(BFS, MatchesSerialOnRmat) {
+  auto g = rmat<IT, VT>(8, 9);
+  const std::vector<IT> sources{0, 5, 77};
+  auto r = multi_source_bfs(g, sources);
+  for (std::size_t q = 0; q < sources.size(); ++q) {
+    auto want = serial_bfs(g, sources[q]);
+    for (IT v = 0; v < g.nrows(); ++v) {
+      ASSERT_EQ(r.levels[q * static_cast<std::size_t>(g.nrows()) +
+                         static_cast<std::size_t>(v)],
+                want[static_cast<std::size_t>(v)])
+          << "source " << sources[q] << " vertex " << v;
+    }
+  }
+}
+
+TEST(BFS, UnreachableVerticesStayMinusOne) {
+  std::vector<std::pair<IT, IT>> both{{0, 1}, {1, 0}};
+  auto g = csr_from_edges<IT, VT>(4, 4, both);
+  auto r = multi_source_bfs(g, std::vector<IT>{0});
+  EXPECT_EQ(r.levels[0], 0);
+  EXPECT_EQ(r.levels[1], 1);
+  EXPECT_EQ(r.levels[2], -1);
+  EXPECT_EQ(r.levels[3], -1);
+}
+
+TEST(BFS, SchemesAgree) {
+  auto g = rmat<IT, VT>(7, 10);
+  const std::vector<IT> sources{0, 1, 2};
+  auto want = multi_source_bfs(g, sources).levels;
+  for (auto algo : msx::testing::complement_algos()) {
+    MaskedOptions o;
+    o.algo = algo;
+    EXPECT_EQ(multi_source_bfs(g, sources, o).levels, want)
+        << to_string(algo);
+  }
+}
+
+TEST(BFS, RejectsMCA) {
+  auto g = path_graph<IT, VT>(4);
+  MaskedOptions o;
+  o.algo = MaskedAlgo::kMCA;
+  EXPECT_THROW(multi_source_bfs(g, std::vector<IT>{0}, o),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msx

@@ -1,0 +1,105 @@
+#include "apps/connected_components.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/rmat.hpp"
+#include "gen/structured.hpp"
+#include "matrix/build.hpp"
+#include "test_helpers_apps.hpp"
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+
+TEST(ConnectedComponents, SingleComponentGraphs) {
+  EXPECT_EQ(connected_components(path_graph<IT, VT>(20)).num_components, 1);
+  EXPECT_EQ(connected_components(cycle_graph<IT, VT>(9)).num_components, 1);
+  EXPECT_EQ(connected_components(complete_graph<IT, VT>(8)).num_components,
+            1);
+  EXPECT_EQ(connected_components(grid2d<IT, VT>(7, 5)).num_components, 1);
+}
+
+TEST(ConnectedComponents, DisjointPieces) {
+  // Two paths and one isolated vertex: 3 components.
+  std::vector<std::pair<IT, IT>> both{{0, 1}, {1, 0}, {1, 2}, {2, 1},
+                                      {3, 4}, {4, 3}};
+  auto g = csr_from_edges<IT, VT>(6, 6, both);
+  auto r = connected_components(g);
+  EXPECT_EQ(r.num_components, 3);
+  EXPECT_EQ(r.labels[0], 0);
+  EXPECT_EQ(r.labels[1], 0);
+  EXPECT_EQ(r.labels[2], 0);
+  EXPECT_EQ(r.labels[3], 3);
+  EXPECT_EQ(r.labels[4], 3);
+  EXPECT_EQ(r.labels[5], 5);
+}
+
+TEST(ConnectedComponents, LabelsAreComponentMinima) {
+  auto g = cycle_graph<IT, VT>(12);
+  auto r = connected_components(g);
+  for (auto l : r.labels) EXPECT_EQ(l, 0);
+}
+
+TEST(ConnectedComponents, MatchesUnionFindOnRmat) {
+  auto g = rmat<IT, VT>(9, 31);
+  // Union-find reference.
+  std::vector<IT> parent(static_cast<std::size_t>(g.nrows()));
+  for (IT v = 0; v < g.nrows(); ++v) parent[static_cast<std::size_t>(v)] = v;
+  std::function<IT(IT)> find = [&](IT x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  for (IT i = 0; i < g.nrows(); ++i) {
+    const auto row = g.row(i);
+    for (IT p = 0; p < row.size(); ++p) {
+      const IT a = find(i), b = find(row.cols[p]);
+      if (a != b) parent[static_cast<std::size_t>(std::max(a, b))] =
+          std::min(a, b);
+    }
+  }
+  std::set<IT> want_roots;
+  for (IT v = 0; v < g.nrows(); ++v) want_roots.insert(find(v));
+
+  auto r = connected_components(g);
+  EXPECT_EQ(r.num_components, static_cast<std::int64_t>(want_roots.size()));
+  // Same partition: two vertices share a label iff they share a root.
+  for (IT v = 0; v < g.nrows(); ++v) {
+    EXPECT_EQ(r.labels[static_cast<std::size_t>(v)],
+              static_cast<std::int64_t>(find(v)));
+  }
+}
+
+TEST(ConnectedComponents, RoundsBoundedByDiameter) {
+  auto g = path_graph<IT, VT>(30);
+  auto r = connected_components(g);
+  EXPECT_LE(r.rounds, 31);
+  EXPECT_GE(r.rounds, 29);  // labels travel one hop per round
+}
+
+TEST(ConnectedComponents, SchemesAgree) {
+  auto g = rmat<IT, VT>(8, 33);
+  auto want = connected_components(g).labels;
+  for (auto algo : {MaskedAlgo::kMSA, MaskedAlgo::kHash, MaskedAlgo::kHeap}) {
+    MaskedOptions o;
+    o.algo = algo;
+    EXPECT_EQ(connected_components(g, o).labels, want) << to_string(algo);
+  }
+}
+
+TEST(ConnectedComponents, RejectsMCA) {
+  auto g = path_graph<IT, VT>(4);
+  MaskedOptions o;
+  o.algo = MaskedAlgo::kMCA;
+  EXPECT_THROW(connected_components(g, o), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msx

@@ -1,0 +1,101 @@
+#include "apps/dobfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "gen/rmat.hpp"
+#include "gen/structured.hpp"
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+
+std::vector<std::int32_t> serial_bfs(const CSRMatrix<IT, VT>& g, IT src) {
+  std::vector<std::int32_t> level(static_cast<std::size_t>(g.nrows()), -1);
+  std::queue<IT> q;
+  level[static_cast<std::size_t>(src)] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const IT v = q.front();
+    q.pop();
+    const auto row = g.row(v);
+    for (IT p = 0; p < row.size(); ++p) {
+      const IT w = row.cols[p];
+      if (level[static_cast<std::size_t>(w)] < 0) {
+        level[static_cast<std::size_t>(w)] =
+            level[static_cast<std::size_t>(v)] + 1;
+        q.push(w);
+      }
+    }
+  }
+  return level;
+}
+
+TEST(DOBFS, PathGraphLevels) {
+  auto g = path_graph<IT, VT>(8);
+  auto r = direction_optimized_bfs(g, IT{0});
+  for (IT v = 0; v < 8; ++v) EXPECT_EQ(r.levels[v], v);
+  EXPECT_EQ(r.depth, 7);
+}
+
+TEST(DOBFS, AllDirectionsAgreeWithSerial) {
+  auto g = rmat<IT, VT>(9, 21);
+  const IT source = 5;
+  const auto want = serial_bfs(g, source);
+  for (auto dir : {BFSDirection::kAdaptive, BFSDirection::kPushOnly,
+                   BFSDirection::kPullOnly}) {
+    auto r = direction_optimized_bfs(g, source, dir);
+    EXPECT_EQ(r.levels, want) << static_cast<int>(dir);
+  }
+}
+
+TEST(DOBFS, AdaptiveUsesBothDirectionsOnSmallWorldGraph) {
+  // R-MAT frontiers explode within a couple of levels, so the adaptive
+  // traversal should pull in the middle. Source = the max-degree vertex
+  // (scrambled R-MAT leaves many isolated vertices).
+  auto g = rmat<IT, VT>(10, 22);
+  IT source = 0;
+  for (IT v = 1; v < g.nrows(); ++v) {
+    if (g.row_nnz(v) > g.row_nnz(source)) source = v;
+  }
+  auto r = direction_optimized_bfs(g, source, BFSDirection::kAdaptive,
+                                   /*alpha=*/4.0);
+  EXPECT_GT(r.push_levels + r.pull_levels, 0);
+  EXPECT_GT(r.pull_levels, 0);  // dense middle levels
+}
+
+TEST(DOBFS, PushOnlyNeverPulls) {
+  auto g = rmat<IT, VT>(8, 23);
+  auto r = direction_optimized_bfs(g, IT{0}, BFSDirection::kPushOnly);
+  EXPECT_EQ(r.pull_levels, 0);
+  auto r2 = direction_optimized_bfs(g, IT{0}, BFSDirection::kPullOnly);
+  EXPECT_EQ(r2.push_levels, 0);
+}
+
+TEST(DOBFS, DisconnectedStaysUnreached) {
+  std::vector<std::pair<IT, IT>> both{{0, 1}, {1, 0}, {2, 3}, {3, 2}};
+  auto g = csr_from_edges<IT, VT>(4, 4, both);
+  auto r = direction_optimized_bfs(g, IT{0});
+  EXPECT_EQ(r.levels[0], 0);
+  EXPECT_EQ(r.levels[1], 1);
+  EXPECT_EQ(r.levels[2], -1);
+  EXPECT_EQ(r.levels[3], -1);
+}
+
+TEST(DOBFS, GridMatchesSerial) {
+  auto g = grid2d<IT, VT>(9, 11);
+  const auto want = serial_bfs(g, IT{40});
+  auto r = direction_optimized_bfs(g, IT{40});
+  EXPECT_EQ(r.levels, want);
+}
+
+TEST(DOBFS, RejectsBadSource) {
+  auto g = path_graph<IT, VT>(4);
+  EXPECT_THROW(direction_optimized_bfs(g, IT{9}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msx

@@ -1,0 +1,26 @@
+// Shared scheme lists for application tests.
+#pragma once
+
+#include <vector>
+
+#include "core/options.hpp"
+
+namespace msx::testing {
+
+inline std::vector<MaskedAlgo> all_algos() {
+  return {MaskedAlgo::kMSA,  MaskedAlgo::kHash,    MaskedAlgo::kMCA,
+          MaskedAlgo::kHeap, MaskedAlgo::kHeapDot, MaskedAlgo::kInner,
+          MaskedAlgo::kHybrid, MaskedAlgo::kMSABitmap};
+}
+
+inline std::vector<MaskedAlgo> complement_algos() {
+  return {MaskedAlgo::kMSA,  MaskedAlgo::kHash,  MaskedAlgo::kHeap,
+          MaskedAlgo::kHeapDot, MaskedAlgo::kInner, MaskedAlgo::kHybrid,
+          MaskedAlgo::kMSABitmap};
+}
+
+inline std::vector<PhaseMode> all_phases() {
+  return {PhaseMode::kOnePhase, PhaseMode::kTwoPhase};
+}
+
+}  // namespace msx::testing

@@ -1,0 +1,95 @@
+// Whole-suite integration: every workload of the benchmark suite is pushed
+// through triangle counting, k-truss, BFS and connected components, with
+// cross-algorithm agreement on each. This is the closest thing to running
+// the paper's evaluation end-to-end as a correctness (not performance)
+// check.
+#include <gtest/gtest.h>
+
+#include "apps/bfs.hpp"
+#include "apps/connected_components.hpp"
+#include "apps/ktruss.hpp"
+#include "apps/tricount.hpp"
+#include "gen/suite.hpp"
+#include "matrix/stats.hpp"
+#include "test_helpers_apps.hpp"
+
+namespace msx {
+namespace {
+
+using IT = SuiteIndex;
+
+class SuiteIntegrationP : public ::testing::TestWithParam<std::string> {
+ protected:
+  SuiteMatrix load() {
+    auto specs = graph_suite_filtered(GetParam(), /*scale_shift=*/-4);
+    if (specs.empty()) ADD_FAILURE() << "workload missing: " << GetParam();
+    return specs[0].make();
+  }
+};
+
+TEST_P(SuiteIntegrationP, TriangleCountConsistentAcrossSchemes) {
+  const auto g = load();
+  MaskedOptions base;
+  const auto want = triangle_count(g, base).triangles;
+  for (auto algo :
+       {MaskedAlgo::kHash, MaskedAlgo::kMCA, MaskedAlgo::kInner}) {
+    MaskedOptions o;
+    o.algo = algo;
+    EXPECT_EQ(triangle_count(g, o).triangles, want) << to_string(algo);
+  }
+}
+
+TEST_P(SuiteIntegrationP, KTrussConsistentAcrossSchemes) {
+  const auto g = load();
+  MaskedOptions base;
+  const auto want = ktruss(g, 4, base).remaining_edges;
+  for (auto algo : {MaskedAlgo::kHash, MaskedAlgo::kHeap}) {
+    MaskedOptions o;
+    o.algo = algo;
+    EXPECT_EQ(ktruss(g, 4, o).remaining_edges, want) << to_string(algo);
+  }
+}
+
+TEST_P(SuiteIntegrationP, BfsAndComponentsAgree) {
+  const auto g = load();
+  // BFS from the max-degree vertex reaches exactly the vertices of its
+  // component (cross-validates BFS against label propagation).
+  IT source = 0;
+  for (IT v = 1; v < g.nrows(); ++v) {
+    if (g.row_nnz(v) > g.row_nnz(source)) source = v;
+  }
+  const auto bfs = multi_source_bfs(g, std::vector<IT>{source});
+  const auto cc = connected_components(g);
+  const auto src_label = cc.labels[static_cast<std::size_t>(source)];
+  for (IT v = 0; v < g.nrows(); ++v) {
+    const bool reached = bfs.levels[static_cast<std::size_t>(v)] >= 0;
+    const bool same_component =
+        cc.labels[static_cast<std::size_t>(v)] == src_label;
+    EXPECT_EQ(reached, same_component) << "vertex " << v;
+  }
+}
+
+TEST_P(SuiteIntegrationP, StatsSane) {
+  const auto g = load();
+  const auto s = matrix_stats(g);
+  EXPECT_EQ(s.nrows, s.ncols);
+  EXPECT_GT(s.nnz, 0u);
+  EXPECT_GE(s.max_degree, s.min_degree);
+  EXPECT_GE(s.degree_skew, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, SuiteIntegrationP,
+    ::testing::Values("rmat-s10", "rmat-s12", "pref-attach-8", "er-d4",
+                      "er-d16", "grid2d", "torus2d", "kron3x3", "star",
+                      "bipartite"),
+    [](const auto& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace msx

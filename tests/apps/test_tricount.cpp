@@ -1,0 +1,88 @@
+#include "apps/tricount.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/erdos_renyi.hpp"
+#include "gen/rmat.hpp"
+#include "gen/structured.hpp"
+#include "matrix/ops.hpp"
+#include "test_helpers_apps.hpp"
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+
+TEST(TriCount, CompleteGraphs) {
+  // K_n has C(n,3) triangles.
+  EXPECT_EQ(triangle_count(complete_graph<IT, VT>(4)).triangles, 4u);
+  EXPECT_EQ(triangle_count(complete_graph<IT, VT>(6)).triangles, 20u);
+  EXPECT_EQ(triangle_count(complete_graph<IT, VT>(10)).triangles, 120u);
+}
+
+TEST(TriCount, TriangleFreeGraphs) {
+  EXPECT_EQ(triangle_count(path_graph<IT, VT>(20)).triangles, 0u);
+  EXPECT_EQ(triangle_count(cycle_graph<IT, VT>(12)).triangles, 0u);
+  EXPECT_EQ(triangle_count(star_graph<IT, VT>(30)).triangles, 0u);
+  EXPECT_EQ(triangle_count(complete_bipartite<IT, VT>(5, 7)).triangles, 0u);
+  EXPECT_EQ(triangle_count(grid2d<IT, VT>(6, 6)).triangles, 0u);
+}
+
+TEST(TriCount, SingleTriangle) {
+  EXPECT_EQ(triangle_count(cycle_graph<IT, VT>(3)).triangles, 1u);
+}
+
+TEST(TriCount, AllSchemesAgree) {
+  auto g = rmat<IT, VT>(8, 5);
+  const auto want = triangle_count(g).triangles;
+  EXPECT_GT(want, 0u);
+  for (auto algo : msx::testing::all_algos()) {
+    for (auto ph : msx::testing::all_phases()) {
+      MaskedOptions o;
+      o.algo = algo;
+      o.phases = ph;
+      EXPECT_EQ(triangle_count(g, o).triangles, want)
+          << scheme_name(algo, ph);
+    }
+  }
+}
+
+TEST(TriCount, MatchesBruteForceOnRandomGraph) {
+  auto g = symmetrize_pattern(
+      remove_diagonal(erdos_renyi<IT, VT>(60, 60, 8, 9)));
+  // Brute force: count ordered triples i<j<k with all three edges.
+  auto has_edge = [&](IT u, IT v) {
+    const auto row = g.row(u);
+    for (IT p = 0; p < row.size(); ++p) {
+      if (row.cols[p] == v) return true;
+    }
+    return false;
+  };
+  std::uint64_t brute = 0;
+  for (IT i = 0; i < g.nrows(); ++i) {
+    for (IT j = i + 1; j < g.nrows(); ++j) {
+      if (!has_edge(i, j)) continue;
+      for (IT k = j + 1; k < g.nrows(); ++k) {
+        if (has_edge(i, k) && has_edge(j, k)) ++brute;
+      }
+    }
+  }
+  EXPECT_EQ(triangle_count(g).triangles, brute);
+}
+
+TEST(TriCount, ReportsFlopsAndTimings) {
+  auto g = rmat<IT, VT>(7, 3);
+  auto r = triangle_count(g);
+  EXPECT_GT(r.multiplies, 0u);
+  EXPECT_GE(r.seconds_total, r.seconds_spgemm);
+  EXPECT_GT(r.seconds_spgemm, 0.0);
+}
+
+TEST(TriCount, RejectsNonSquare) {
+  auto a = erdos_renyi<IT, VT>(4, 5, 2, 1);
+  EXPECT_THROW(triangle_count(a), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msx

@@ -1,0 +1,69 @@
+#include "baseline/spgemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/reference.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "matrix/build.hpp"
+#include "matrix/ops.hpp"
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+
+TEST(PlainSpgemm, HandComputedProduct) {
+  auto a = csr_from_dense<IT, VT>({{1, 2}, {0, 3}});
+  auto b = csr_from_dense<IT, VT>({{4, 0}, {5, 6}});
+  auto c = spgemm<PlusTimes<VT>>(a, b);
+  auto expect = csr_from_dense<IT, VT>({{14, 12}, {15, 18}});
+  EXPECT_EQ(c, expect);
+}
+
+TEST(PlainSpgemm, MatchesMaskedWithEmptyComplementMask) {
+  auto a = erdos_renyi<IT, VT>(80, 80, 6, 1);
+  auto b = erdos_renyi<IT, VT>(80, 80, 6, 2);
+  CSRMatrix<IT, VT> empty(80, 80);
+  auto plain = spgemm<PlusTimes<VT>>(a, b);
+  auto via_masked =
+      reference_masked_spgemm<PlusTimes<VT>>(a, b, empty, MaskKind::kComplement);
+  EXPECT_EQ(plain, via_masked);
+}
+
+TEST(PlainSpgemm, RectangularShapes) {
+  auto a = erdos_renyi<IT, VT>(30, 50, 5, 3);
+  auto b = erdos_renyi<IT, VT>(50, 20, 4, 4);
+  auto c = spgemm<PlusTimes<VT>>(a, b);
+  EXPECT_EQ(c.nrows(), 30);
+  EXPECT_EQ(c.ncols(), 20);
+  EXPECT_TRUE(c.validate());
+}
+
+TEST(PlainSpgemm, OnePhaseEqualsTwoPhase) {
+  auto a = erdos_renyi<IT, VT>(60, 60, 5, 5);
+  auto b = erdos_renyi<IT, VT>(60, 60, 5, 6);
+  MaskedOptions o1;
+  o1.phases = PhaseMode::kOnePhase;
+  MaskedOptions o2;
+  o2.phases = PhaseMode::kTwoPhase;
+  EXPECT_EQ((spgemm<PlusTimes<VT>>(a, b, o1)), (spgemm<PlusTimes<VT>>(a, b, o2)));
+}
+
+TEST(PlainSpgemm, DimensionMismatchThrows) {
+  CSRMatrix<IT, VT> a(3, 4), b(5, 2);
+  EXPECT_THROW((spgemm<PlusTimes<VT>>(a, b)), std::invalid_argument);
+}
+
+TEST(PlainSpgemm, IdentityIsNeutral) {
+  const IT n = 32;
+  std::vector<Triple<IT, VT>> eye;
+  for (IT i = 0; i < n; ++i) eye.push_back({i, i, 1.0});
+  auto identity = csr_from_triples<IT, VT>(n, n, eye);
+  auto a = erdos_renyi<IT, VT>(n, n, 5, 7);
+  EXPECT_EQ((spgemm<PlusTimes<VT>>(a, identity)), a);
+  EXPECT_EQ((spgemm<PlusTimes<VT>>(identity, a)), a);
+}
+
+}  // namespace
+}  // namespace msx

@@ -1,0 +1,75 @@
+#include "baseline/ssgb_like.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/reference.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/rmat.hpp"
+#include "matrix/build.hpp"
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+
+TEST(SSDotLike, MatchesReferenceMasked) {
+  auto a = erdos_renyi<IT, VT>(80, 80, 6, 1);
+  auto b = erdos_renyi<IT, VT>(80, 80, 6, 2);
+  auto m = erdos_renyi<IT, VT>(80, 80, 8, 3);
+  auto want = reference_masked_spgemm<PlusTimes<VT>>(a, b, m);
+  EXPECT_EQ((ss_dot_like<PlusTimes<VT>>(a, b, m)), want);
+}
+
+TEST(SSDotLike, MatchesReferenceComplement) {
+  auto a = erdos_renyi<IT, VT>(40, 40, 5, 4);
+  auto b = erdos_renyi<IT, VT>(40, 40, 5, 5);
+  auto m = erdos_renyi<IT, VT>(40, 40, 6, 6);
+  auto want =
+      reference_masked_spgemm<PlusTimes<VT>>(a, b, m, MaskKind::kComplement);
+  EXPECT_EQ((ss_dot_like<PlusTimes<VT>>(a, b, m, MaskKind::kComplement)),
+            want);
+}
+
+TEST(SSSaxpyLike, MatchesReferenceMasked) {
+  auto a = erdos_renyi<IT, VT>(80, 80, 6, 7);
+  auto b = erdos_renyi<IT, VT>(80, 80, 6, 8);
+  auto m = erdos_renyi<IT, VT>(80, 80, 8, 9);
+  auto want = reference_masked_spgemm<PlusTimes<VT>>(a, b, m);
+  EXPECT_EQ((ss_saxpy_like<PlusTimes<VT>>(a, b, m)), want);
+}
+
+TEST(SSSaxpyLike, MatchesReferenceComplement) {
+  auto a = erdos_renyi<IT, VT>(40, 40, 5, 10);
+  auto b = erdos_renyi<IT, VT>(40, 40, 5, 11);
+  auto m = erdos_renyi<IT, VT>(40, 40, 6, 12);
+  auto want =
+      reference_masked_spgemm<PlusTimes<VT>>(a, b, m, MaskKind::kComplement);
+  EXPECT_EQ((ss_saxpy_like<PlusTimes<VT>>(a, b, m, MaskKind::kComplement)),
+            want);
+}
+
+TEST(SSBaselines, RectangularAndSkewed) {
+  auto a = erdos_renyi<IT, VT>(30, 60, 5, 13);
+  auto b = erdos_renyi<IT, VT>(60, 45, 4, 14);
+  auto m = erdos_renyi<IT, VT>(30, 45, 6, 15);
+  auto want = reference_masked_spgemm<PlusTimes<VT>>(a, b, m);
+  EXPECT_EQ((ss_dot_like<PlusTimes<VT>>(a, b, m)), want);
+  EXPECT_EQ((ss_saxpy_like<PlusTimes<VT>>(a, b, m)), want);
+
+  auto ra = rmat<IT, VT>(7, 16);
+  auto rm = rmat<IT, VT>(7, 17);
+  auto want2 = reference_masked_spgemm<PlusTimes<VT>>(ra, ra, rm);
+  EXPECT_EQ((ss_dot_like<PlusTimes<VT>>(ra, ra, rm)), want2);
+  EXPECT_EQ((ss_saxpy_like<PlusTimes<VT>>(ra, ra, rm)), want2);
+}
+
+TEST(SSBaselines, ShapeMismatchThrows) {
+  CSRMatrix<IT, VT> a(3, 4), b(5, 2), m(3, 2);
+  EXPECT_THROW((ss_dot_like<PlusTimes<VT>>(a, b, m)), std::invalid_argument);
+  EXPECT_THROW((ss_saxpy_like<PlusTimes<VT>>(a, b, m)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msx

@@ -1,0 +1,58 @@
+#include "baseline/then_mask.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/masked_spgemm.hpp"
+#include "core/reference.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "matrix/build.hpp"
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+
+TEST(ApplyMask, KeepsOnlyMaskedPositions) {
+  auto c = csr_from_dense<IT, VT>({{1, 2, 3}, {4, 5, 6}});
+  auto m = csr_from_dense<IT, VT>({{1, 0, 1}, {0, 1, 0}});
+  auto masked = apply_mask(c, m);
+  auto expect = csr_from_dense<IT, VT>({{1, 0, 3}, {0, 5, 0}});
+  EXPECT_EQ(masked, expect);
+}
+
+TEST(ApplyMask, ComplementKeepsUnmasked) {
+  auto c = csr_from_dense<IT, VT>({{1, 2, 3}, {4, 5, 6}});
+  auto m = csr_from_dense<IT, VT>({{1, 0, 1}, {0, 1, 0}});
+  auto comp = apply_mask(c, m, MaskKind::kComplement);
+  auto expect = csr_from_dense<IT, VT>({{0, 2, 0}, {4, 0, 6}});
+  EXPECT_EQ(comp, expect);
+}
+
+TEST(ApplyMask, ShapeMismatchThrows) {
+  CSRMatrix<IT, VT> c(2, 2), m(2, 3);
+  EXPECT_THROW(apply_mask(c, m), std::invalid_argument);
+}
+
+TEST(ThenMask, AgreesWithMaskedSpgemm) {
+  auto a = erdos_renyi<IT, VT>(70, 70, 6, 1);
+  auto b = erdos_renyi<IT, VT>(70, 70, 6, 2);
+  auto m = erdos_renyi<IT, VT>(70, 70, 9, 3);
+  auto naive = spgemm_then_mask<PlusTimes<VT>>(a, b, m);
+  auto fused = reference_masked_spgemm<PlusTimes<VT>>(a, b, m);
+  EXPECT_EQ(naive, fused);
+}
+
+TEST(ThenMask, ComplementAgrees) {
+  auto a = erdos_renyi<IT, VT>(50, 50, 5, 4);
+  auto b = erdos_renyi<IT, VT>(50, 50, 5, 5);
+  auto m = erdos_renyi<IT, VT>(50, 50, 7, 6);
+  auto naive =
+      spgemm_then_mask<PlusTimes<VT>>(a, b, m, MaskKind::kComplement);
+  auto fused =
+      reference_masked_spgemm<PlusTimes<VT>>(a, b, m, MaskKind::kComplement);
+  EXPECT_EQ(naive, fused);
+}
+
+}  // namespace
+}  // namespace msx

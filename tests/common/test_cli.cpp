@@ -1,0 +1,79 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace msx {
+namespace {
+
+ArgParser make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EqualsForm) {
+  auto p = make({"--scale=12", "--algo=msa"});
+  EXPECT_EQ(p.get_int("scale", 0), 12);
+  EXPECT_EQ(p.get_string("algo", ""), "msa");
+}
+
+TEST(Cli, SpaceForm) {
+  auto p = make({"--scale", "14"});
+  EXPECT_EQ(p.get_int("scale", 0), 14);
+}
+
+TEST(Cli, BareFlag) {
+  auto p = make({"--verbose"});
+  EXPECT_TRUE(p.has("verbose"));
+  EXPECT_TRUE(p.get_bool("verbose", false));
+}
+
+TEST(Cli, Defaults) {
+  auto p = make({});
+  EXPECT_EQ(p.get_int("missing", 7), 7);
+  EXPECT_EQ(p.get_double("missing", 1.5), 1.5);
+  EXPECT_EQ(p.get_string("missing", "x"), "x");
+  EXPECT_FALSE(p.has("missing"));
+}
+
+TEST(Cli, BoolParsing) {
+  EXPECT_TRUE(make({"--a=true"}).get_bool("a", false));
+  EXPECT_TRUE(make({"--a=1"}).get_bool("a", false));
+  EXPECT_TRUE(make({"--a=on"}).get_bool("a", false));
+  EXPECT_FALSE(make({"--a=false"}).get_bool("a", true));
+  EXPECT_FALSE(make({"--a=0"}).get_bool("a", true));
+  EXPECT_FALSE(make({"--a=off"}).get_bool("a", true));
+}
+
+TEST(Cli, Positional) {
+  auto p = make({"input.mtx", "--k=5", "more"});
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "input.mtx");
+  EXPECT_EQ(p.positional()[1], "more");
+}
+
+TEST(Cli, EnvFallbackAndPrecedence) {
+  setenv("MSX_SCALE", "9", 1);
+  auto p1 = make({});
+  EXPECT_EQ(p1.get_int("scale", 0), 9);
+  auto p2 = make({"--scale=3"});
+  EXPECT_EQ(p2.get_int("scale", 0), 3);  // explicit wins
+  unsetenv("MSX_SCALE");
+}
+
+TEST(Cli, EnvNameMapsDashes) {
+  setenv("MSX_MAX_DIM", "77", 1);
+  auto p = make({});
+  EXPECT_EQ(p.get_int("max-dim", 0), 77);
+  unsetenv("MSX_MAX_DIM");
+}
+
+TEST(Cli, DoubleParsing) {
+  auto p = make({"--ratio=2.75"});
+  EXPECT_DOUBLE_EQ(p.get_double("ratio", 0.0), 2.75);
+}
+
+}  // namespace
+}  // namespace msx

@@ -1,0 +1,73 @@
+#include "common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace msx {
+namespace {
+
+TEST(Parallel, ParallelForCoversAllIndicesOnce) {
+  for (auto sched :
+       {Schedule::kStatic, Schedule::kDynamic, Schedule::kGuided}) {
+    const int n = 10007;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    parallel_for(0, n, sched, [&](int i) { hits[i].fetch_add(1); });
+    for (int i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " sched "
+                                   << to_string(sched);
+    }
+  }
+}
+
+TEST(Parallel, ParallelForEmptyRange) {
+  int calls = 0;
+  parallel_for(5, 5, Schedule::kDynamic, [&](int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(Parallel, ScopedNumThreadsRestores) {
+  const int before = omp_get_max_threads();
+  {
+    ScopedNumThreads guard(1);
+    EXPECT_EQ(omp_get_max_threads(), 1);
+  }
+  EXPECT_EQ(omp_get_max_threads(), before);
+}
+
+TEST(Parallel, ScopedNumThreadsZeroIsNoop) {
+  const int before = omp_get_max_threads();
+  {
+    ScopedNumThreads guard(0);
+    EXPECT_EQ(omp_get_max_threads(), before);
+  }
+  EXPECT_EQ(omp_get_max_threads(), before);
+}
+
+TEST(Parallel, PerThreadSlotsAreIndependent) {
+  PerThread<std::vector<int>> ws;
+  parallel_for(0, 1000, Schedule::kDynamic, [&](int i) {
+    ws.local().push_back(i);
+  });
+  std::size_t total = 0;
+  for (std::size_t t = 0; t < ws.size(); ++t) total += ws.slot(t).size();
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(Parallel, PerThreadLocalUsableSerially) {
+  PerThread<int> ws;
+  ws.local() = 41;
+  EXPECT_EQ(ws.local(), 41);
+}
+
+TEST(Parallel, ScheduleNames) {
+  EXPECT_STREQ(to_string(Schedule::kStatic), "static");
+  EXPECT_STREQ(to_string(Schedule::kDynamic), "dynamic");
+  EXPECT_STREQ(to_string(Schedule::kGuided), "guided");
+}
+
+}  // namespace
+}  // namespace msx

@@ -1,0 +1,43 @@
+#include "common/platform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace msx {
+namespace {
+
+TEST(Platform, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(4), 4u);
+  EXPECT_EQ(next_pow2(5), 8u);
+  EXPECT_EQ(next_pow2(1023), 1024u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+  EXPECT_EQ(next_pow2(std::uint64_t{1} << 40), std::uint64_t{1} << 40);
+  EXPECT_EQ(next_pow2((std::uint64_t{1} << 40) + 1), std::uint64_t{1} << 41);
+}
+
+TEST(Platform, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+  EXPECT_EQ(ceil_div(8, 4), 2);
+  EXPECT_EQ(ceil_div(std::size_t{1000001}, std::size_t{1000}), 1001u);
+}
+
+TEST(Platform, CheckArgThrows) {
+  EXPECT_NO_THROW(check_arg(true, "fine"));
+  EXPECT_THROW(check_arg(false, "boom"), std::invalid_argument);
+  try {
+    check_arg(false, "specific message");
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "specific message");
+  }
+}
+
+}  // namespace
+}  // namespace msx

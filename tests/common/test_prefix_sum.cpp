@@ -1,0 +1,81 @@
+#include "common/prefix_sum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace msx {
+namespace {
+
+TEST(PrefixSum, ExclusiveSerialBasic) {
+  std::vector<int> v{3, 1, 4, 1, 5};
+  const int total = exclusive_scan_serial(v.data(), v.size());
+  EXPECT_EQ(total, 14);
+  EXPECT_EQ(v, (std::vector<int>{0, 3, 4, 8, 9}));
+}
+
+TEST(PrefixSum, ExclusiveEmpty) {
+  std::vector<int> v;
+  EXPECT_EQ(exclusive_scan(v.data(), 0), 0);
+}
+
+TEST(PrefixSum, InclusiveSerialBasic) {
+  std::vector<int> v{3, 1, 4, 1, 5};
+  inclusive_scan_serial(v.data(), v.size());
+  EXPECT_EQ(v, (std::vector<int>{3, 4, 8, 9, 14}));
+}
+
+TEST(PrefixSum, ParallelMatchesSerialLarge) {
+  // Above the serial cutoff so the parallel path actually runs.
+  const std::size_t n = 1 << 18;
+  Xoshiro256 rng(3);
+  std::vector<long long> a(n), b;
+  for (auto& x : a) x = static_cast<long long>(rng.next_below(100));
+  b = a;
+
+  const auto total_par = exclusive_scan(a.data(), n);
+  const auto total_ser = exclusive_scan_serial(b.data(), n);
+  EXPECT_EQ(total_par, total_ser);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PrefixSum, ParallelInclusiveMatchesSerialLarge) {
+  const std::size_t n = (1 << 18) + 17;  // non-multiple of block size
+  Xoshiro256 rng(4);
+  std::vector<long long> a(n), b;
+  for (auto& x : a) x = static_cast<long long>(rng.next_below(7));
+  b = a;
+  inclusive_scan(a.data(), n);
+  inclusive_scan_serial(b.data(), n);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PrefixSum, CountsToOffsets) {
+  // Convention: v[0] == 0, v[i+1] = count of row i.
+  std::vector<int> v{0, 2, 0, 5, 1};
+  counts_to_offsets(v);
+  EXPECT_EQ(v, (std::vector<int>{0, 2, 2, 7, 8}));
+}
+
+TEST(PrefixSum, CountsToOffsetsAllEmptyRows) {
+  std::vector<int> v(11, 0);
+  counts_to_offsets(v);
+  for (int x : v) EXPECT_EQ(x, 0);
+}
+
+TEST(PrefixSum, CountsToOffsetsLargeMatchesAccumulate) {
+  const std::size_t rows = 1 << 17;
+  Xoshiro256 rng(8);
+  std::vector<std::size_t> counts(rows + 1, 0);
+  for (std::size_t i = 1; i <= rows; ++i) counts[i] = rng.next_below(5);
+  std::vector<std::size_t> expect(rows + 1, 0);
+  for (std::size_t i = 1; i <= rows; ++i) expect[i] = expect[i - 1] + counts[i];
+  counts_to_offsets(counts);
+  EXPECT_EQ(counts, expect);
+}
+
+}  // namespace
+}  // namespace msx

@@ -1,0 +1,84 @@
+#include "common/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace msx {
+namespace {
+
+TEST(SplitMix64, DeterministicStream) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256, DeterministicStream) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, NextBelowInRangeAndCoversValues) {
+  Xoshiro256 rng(123);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_below(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all residues hit over 2000 draws
+}
+
+TEST(Xoshiro256, NextBelowOne) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Xoshiro256, DoubleInUnitInterval) {
+  Xoshiro256 rng(99);
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  EXPECT_LT(lo, 0.05);  // spread across the interval
+  EXPECT_GT(hi, 0.95);
+}
+
+TEST(Xoshiro256, RoughUniformity) {
+  Xoshiro256 rng(2024);
+  std::vector<int> buckets(16, 0);
+  const int draws = 160000;
+  for (int i = 0; i < draws; ++i) ++buckets[rng.next_below(16)];
+  for (int b : buckets) {
+    EXPECT_NEAR(b, draws / 16, draws / 16 / 5);  // within 20 %
+  }
+}
+
+TEST(Xoshiro256, LongJumpDecorrelates) {
+  Xoshiro256 a(11);
+  Xoshiro256 b(11);
+  b.long_jump();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Mix64, InjectiveOnSmallRange) {
+  std::set<std::uint64_t> out;
+  for (std::uint64_t i = 0; i < 4096; ++i) out.insert(mix64(i));
+  EXPECT_EQ(out.size(), 4096u);
+}
+
+}  // namespace
+}  // namespace msx

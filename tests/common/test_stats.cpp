@@ -1,0 +1,56 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace msx {
+namespace {
+
+TEST(Stats, EmptySamples) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, SingleSample) {
+  const auto s = summarize({2.5});
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_EQ(s.min, 2.5);
+  EXPECT_EQ(s.max, 2.5);
+  EXPECT_EQ(s.mean, 2.5);
+  EXPECT_EQ(s.median, 2.5);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, KnownValues) {
+  const auto s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  // sample stddev of 1..4 = sqrt(5/3)
+  EXPECT_NEAR(s.stddev, 1.2909944, 1e-6);
+}
+
+TEST(Stats, MedianOddCount) {
+  const auto s = summarize({9.0, 1.0, 5.0});
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+}
+
+TEST(Stats, UnsortedInputHandled) {
+  const auto s = summarize({4.0, 1.0, 3.0, 2.0});
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 4.0);
+}
+
+TEST(Stats, RelativeStddev) {
+  SampleStats s;
+  s.mean = 2.0;
+  s.stddev = 0.5;
+  EXPECT_DOUBLE_EQ(relative_stddev(s), 0.25);
+  s.mean = 0.0;
+  EXPECT_EQ(relative_stddev(s), 0.0);
+}
+
+}  // namespace
+}  // namespace msx

@@ -1,0 +1,134 @@
+// Complemented-mask correctness: C = ¬M .* (A·B) for every supporting
+// scheme (§5.2/§5.3/§5.5 complement variants; MCA excluded per §8.4).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/masked_spgemm.hpp"
+#include "core/reference.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/rmat.hpp"
+#include "matrix/build.hpp"
+#include "test_helpers.hpp"
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+using msx::testing::matrices_near;
+using msx::testing::pattern_disjoint_from_mask;
+
+class ComplementP
+    : public ::testing::TestWithParam<std::tuple<MaskedAlgo, PhaseMode>> {
+ protected:
+  MaskedOptions opts() const {
+    MaskedOptions o;
+    o.algo = std::get<0>(GetParam());
+    o.phases = std::get<1>(GetParam());
+    o.kind = MaskKind::kComplement;
+    return o;
+  }
+};
+
+TEST_P(ComplementP, MatchesReference) {
+  for (std::uint64_t seed : {1u, 2u}) {
+    auto a = erdos_renyi<IT, VT>(90, 90, 6, seed);
+    auto b = erdos_renyi<IT, VT>(90, 90, 6, seed + 7);
+    auto m = erdos_renyi<IT, VT>(90, 90, 10, seed + 14);
+    auto want =
+        reference_masked_spgemm<PlusTimes<VT>>(a, b, m, MaskKind::kComplement);
+    auto got = masked_spgemm<PlusTimes<VT>>(a, b, m, opts());
+    EXPECT_TRUE(matrices_near(got, want)) << "seed " << seed;
+    EXPECT_TRUE(got.validate());
+  }
+}
+
+TEST_P(ComplementP, OutputDisjointFromMask) {
+  auto a = erdos_renyi<IT, VT>(70, 70, 8, 21);
+  auto b = erdos_renyi<IT, VT>(70, 70, 8, 22);
+  auto m = erdos_renyi<IT, VT>(70, 70, 8, 23);
+  auto got = masked_spgemm<PlusTimes<VT>>(a, b, m, opts());
+  EXPECT_TRUE(pattern_disjoint_from_mask(got, m));
+}
+
+TEST_P(ComplementP, EmptyMaskGivesFullProduct) {
+  auto a = erdos_renyi<IT, VT>(50, 50, 5, 31);
+  auto b = erdos_renyi<IT, VT>(50, 50, 5, 32);
+  CSRMatrix<IT, VT> empty_mask(50, 50);
+  auto want = reference_masked_spgemm<PlusTimes<VT>>(a, b, empty_mask,
+                                                     MaskKind::kComplement);
+  auto got = masked_spgemm<PlusTimes<VT>>(a, b, empty_mask, opts());
+  EXPECT_TRUE(matrices_near(got, want));
+  EXPECT_GT(got.nnz(), 0u);
+}
+
+TEST_P(ComplementP, FullMaskGivesEmptyOutput) {
+  const IT n = 30;
+  std::vector<Triple<IT, VT>> full;
+  for (IT i = 0; i < n; ++i) {
+    for (IT j = 0; j < n; ++j) full.push_back({i, j, 1.0});
+  }
+  auto m = csr_from_triples<IT, VT>(n, n, full);
+  auto a = erdos_renyi<IT, VT>(n, n, 4, 41);
+  auto b = erdos_renyi<IT, VT>(n, n, 4, 42);
+  auto got = masked_spgemm<PlusTimes<VT>>(a, b, m, opts());
+  EXPECT_EQ(got.nnz(), 0u);
+}
+
+TEST_P(ComplementP, RectangularShapes) {
+  auto a = erdos_renyi<IT, VT>(40, 60, 5, 51);
+  auto b = erdos_renyi<IT, VT>(60, 25, 4, 52);
+  auto m = erdos_renyi<IT, VT>(40, 25, 6, 53);
+  auto want =
+      reference_masked_spgemm<PlusTimes<VT>>(a, b, m, MaskKind::kComplement);
+  auto got = masked_spgemm<PlusTimes<VT>>(a, b, m, opts());
+  EXPECT_TRUE(matrices_near(got, want));
+}
+
+TEST_P(ComplementP, SkewedRmat) {
+  auto a = rmat<IT, VT>(7, 61);
+  auto b = rmat<IT, VT>(7, 62);
+  auto m = rmat<IT, VT>(7, 63);
+  auto want =
+      reference_masked_spgemm<PlusTimes<VT>>(a, b, m, MaskKind::kComplement);
+  auto got = masked_spgemm<PlusTimes<VT>>(a, b, m, opts());
+  EXPECT_TRUE(matrices_near(got, want));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ComplementSchemes, ComplementP,
+    ::testing::Combine(::testing::ValuesIn(msx::testing::complement_algos()),
+                       ::testing::ValuesIn(msx::testing::all_phases())),
+    [](const auto& info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_" +
+             to_string(std::get<1>(info.param));
+    });
+
+TEST(Complement, MCARejectsComplement) {
+  auto a = erdos_renyi<IT, VT>(10, 10, 2, 1);
+  MaskedOptions o;
+  o.algo = MaskedAlgo::kMCA;
+  o.kind = MaskKind::kComplement;
+  EXPECT_THROW((masked_spgemm<PlusTimes<VT>>(a, a, a, o)),
+               std::invalid_argument);
+}
+
+TEST(Complement, MaskedPlusComplementCoversProduct) {
+  // Partition property: mask ⊙ P and ¬mask ⊙ P partition the entries of
+  // P = A·B.
+  auto a = erdos_renyi<IT, VT>(60, 60, 6, 71);
+  auto b = erdos_renyi<IT, VT>(60, 60, 6, 72);
+  auto m = erdos_renyi<IT, VT>(60, 60, 6, 73);
+  MaskedOptions o;
+  o.algo = MaskedAlgo::kMSA;
+  auto masked = masked_spgemm<PlusTimes<VT>>(a, b, m, o);
+  o.kind = MaskKind::kComplement;
+  auto comp = masked_spgemm<PlusTimes<VT>>(a, b, m, o);
+  CSRMatrix<IT, VT> full_mask(60, 60);  // empty mask complement = full product
+  auto product = masked_spgemm<PlusTimes<VT>>(a, b, full_mask, o);
+  EXPECT_EQ(masked.nnz() + comp.nnz(), product.nnz());
+}
+
+}  // namespace
+}  // namespace msx

@@ -1,0 +1,89 @@
+// Results must be bit-identical across thread counts and schedules: the
+// row-parallel decomposition owns disjoint output rows, so no scheme may
+// exhibit result nondeterminism.
+#include <gtest/gtest.h>
+
+#include "common/parallel.hpp"
+#include "core/masked_spgemm.hpp"
+#include "gen/rmat.hpp"
+#include "test_helpers.hpp"
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+
+TEST(Determinism, ThreadCountInvariance) {
+  auto a = rmat<IT, VT>(8, 1);
+  auto b = rmat<IT, VT>(8, 2);
+  auto m = rmat<IT, VT>(8, 3);
+  for (auto algo : msx::testing::all_algos()) {
+    MaskedOptions o;
+    o.algo = algo;
+    o.threads = 1;
+    auto serial = masked_spgemm<PlusTimes<VT>>(a, b, m, o);
+    for (int threads : {2, 4, 0}) {
+      o.threads = threads;
+      auto parallel = masked_spgemm<PlusTimes<VT>>(a, b, m, o);
+      EXPECT_EQ(serial, parallel)
+          << to_string(algo) << " with " << threads << " threads";
+    }
+  }
+}
+
+TEST(Determinism, ScheduleInvariance) {
+  auto a = rmat<IT, VT>(8, 4);
+  auto b = rmat<IT, VT>(8, 5);
+  auto m = rmat<IT, VT>(8, 6);
+  MaskedOptions o;
+  o.algo = MaskedAlgo::kHash;
+  o.schedule = Schedule::kStatic;
+  auto c_static = masked_spgemm<PlusTimes<VT>>(a, b, m, o);
+  o.schedule = Schedule::kDynamic;
+  auto c_dynamic = masked_spgemm<PlusTimes<VT>>(a, b, m, o);
+  o.schedule = Schedule::kGuided;
+  auto c_guided = masked_spgemm<PlusTimes<VT>>(a, b, m, o);
+  EXPECT_EQ(c_static, c_dynamic);
+  EXPECT_EQ(c_static, c_guided);
+}
+
+TEST(Determinism, RepeatedCallsIdentical) {
+  auto a = rmat<IT, VT>(7, 7);
+  auto b = rmat<IT, VT>(7, 8);
+  auto m = rmat<IT, VT>(7, 9);
+  MaskedOptions o;
+  o.algo = MaskedAlgo::kMSA;
+  auto first = masked_spgemm<PlusTimes<VT>>(a, b, m, o);
+  for (int rep = 0; rep < 5; ++rep) {
+    EXPECT_EQ(first, (masked_spgemm<PlusTimes<VT>>(a, b, m, o)));
+  }
+}
+
+TEST(Determinism, ComplementThreadInvariance) {
+  auto a = rmat<IT, VT>(7, 10);
+  auto b = rmat<IT, VT>(7, 11);
+  auto m = rmat<IT, VT>(7, 12);
+  for (auto algo : msx::testing::complement_algos()) {
+    MaskedOptions o;
+    o.algo = algo;
+    o.kind = MaskKind::kComplement;
+    o.threads = 1;
+    auto serial = masked_spgemm<PlusTimes<VT>>(a, b, m, o);
+    o.threads = 4;
+    auto parallel = masked_spgemm<PlusTimes<VT>>(a, b, m, o);
+    EXPECT_EQ(serial, parallel) << to_string(algo);
+  }
+}
+
+TEST(Determinism, ThreadOverrideRestoresGlobalSetting) {
+  const int before = max_threads();
+  auto a = rmat<IT, VT>(6, 13);
+  MaskedOptions o;
+  o.threads = 2;
+  (void)masked_spgemm<PlusTimes<VT>>(a, a, a, o);
+  EXPECT_EQ(max_threads(), before);
+}
+
+}  // namespace
+}  // namespace msx

@@ -1,0 +1,143 @@
+// Degenerate and boundary inputs for every scheme.
+#include <gtest/gtest.h>
+
+#include "core/masked_spgemm.hpp"
+#include "core/reference.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "matrix/build.hpp"
+#include "test_helpers.hpp"
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+using msx::testing::matrices_near;
+
+class EdgeCasesP : public ::testing::TestWithParam<MaskedAlgo> {
+ protected:
+  MaskedOptions opts(MaskKind kind = MaskKind::kMask) const {
+    MaskedOptions o;
+    o.algo = GetParam();
+    o.kind = kind;
+    return o;
+  }
+};
+
+TEST_P(EdgeCasesP, AllEmptyMatrices) {
+  CSRMatrix<IT, VT> a(5, 7), b(7, 4), m(5, 4);
+  auto c = masked_spgemm<PlusTimes<VT>>(a, b, m, opts());
+  EXPECT_EQ(c.nrows(), 5);
+  EXPECT_EQ(c.ncols(), 4);
+  EXPECT_EQ(c.nnz(), 0u);
+}
+
+TEST_P(EdgeCasesP, ZeroDimensionMatrices) {
+  CSRMatrix<IT, VT> a(0, 0), b(0, 0), m(0, 0);
+  auto c = masked_spgemm<PlusTimes<VT>>(a, b, m, opts());
+  EXPECT_EQ(c.nrows(), 0);
+  EXPECT_EQ(c.nnz(), 0u);
+}
+
+TEST_P(EdgeCasesP, OneByOne) {
+  auto a = csr_from_dense<IT, VT>({{3}});
+  auto b = csr_from_dense<IT, VT>({{4}});
+  auto m = csr_from_dense<IT, VT>({{1}});
+  auto c = masked_spgemm<PlusTimes<VT>>(a, b, m, opts());
+  ASSERT_EQ(c.nnz(), 1u);
+  EXPECT_EQ(c.values()[0], 12.0);
+}
+
+TEST_P(EdgeCasesP, EmptyMaskMasked) {
+  auto a = erdos_renyi<IT, VT>(30, 30, 4, 1);
+  auto b = erdos_renyi<IT, VT>(30, 30, 4, 2);
+  CSRMatrix<IT, VT> m(30, 30);
+  auto c = masked_spgemm<PlusTimes<VT>>(a, b, m, opts());
+  EXPECT_EQ(c.nnz(), 0u);
+}
+
+TEST_P(EdgeCasesP, EmptyAGivesEmptyOutput) {
+  CSRMatrix<IT, VT> a(20, 20);
+  auto b = erdos_renyi<IT, VT>(20, 20, 4, 3);
+  auto m = erdos_renyi<IT, VT>(20, 20, 4, 4);
+  for (auto kind : {MaskKind::kMask, MaskKind::kComplement}) {
+    if (kind == MaskKind::kComplement && GetParam() == MaskedAlgo::kMCA) {
+      continue;
+    }
+    auto c = masked_spgemm<PlusTimes<VT>>(a, b, m, opts(kind));
+    EXPECT_EQ(c.nnz(), 0u);
+  }
+}
+
+TEST_P(EdgeCasesP, EmptyBGivesEmptyOutput) {
+  auto a = erdos_renyi<IT, VT>(20, 20, 4, 5);
+  CSRMatrix<IT, VT> b(20, 20);
+  auto m = erdos_renyi<IT, VT>(20, 20, 4, 6);
+  auto c = masked_spgemm<PlusTimes<VT>>(a, b, m, opts());
+  EXPECT_EQ(c.nnz(), 0u);
+}
+
+TEST_P(EdgeCasesP, SingleColumnOutput) {
+  auto a = erdos_renyi<IT, VT>(25, 10, 3, 7);
+  auto b = erdos_renyi<IT, VT>(10, 1, 1, 8);
+  auto m = erdos_renyi<IT, VT>(25, 1, 1, 9);
+  auto want = reference_masked_spgemm<PlusTimes<VT>>(a, b, m);
+  auto got = masked_spgemm<PlusTimes<VT>>(a, b, m, opts());
+  EXPECT_TRUE(matrices_near(got, want));
+}
+
+TEST_P(EdgeCasesP, SingleRowTimesSingleColumn) {
+  auto a = erdos_renyi<IT, VT>(1, 40, 10, 10);
+  auto b = erdos_renyi<IT, VT>(40, 1, 1, 11);
+  auto m = csr_from_dense<IT, VT>({{1}});
+  auto want = reference_masked_spgemm<PlusTimes<VT>>(a, b, m);
+  auto got = masked_spgemm<PlusTimes<VT>>(a, b, m, opts());
+  EXPECT_TRUE(matrices_near(got, want));
+}
+
+TEST_P(EdgeCasesP, FullyDenseMask) {
+  const IT n = 25;
+  std::vector<Triple<IT, VT>> full;
+  for (IT i = 0; i < n; ++i) {
+    for (IT j = 0; j < n; ++j) full.push_back({i, j, 1.0});
+  }
+  auto m = csr_from_triples<IT, VT>(n, n, full);
+  auto a = erdos_renyi<IT, VT>(n, n, 5, 12);
+  auto b = erdos_renyi<IT, VT>(n, n, 5, 13);
+  auto want = reference_masked_spgemm<PlusTimes<VT>>(a, b, m);
+  auto got = masked_spgemm<PlusTimes<VT>>(a, b, m, opts());
+  EXPECT_TRUE(matrices_near(got, want));
+  EXPECT_EQ(got.nnz(), want.nnz());
+}
+
+TEST_P(EdgeCasesP, DiagonalMask) {
+  const IT n = 30;
+  std::vector<Triple<IT, VT>> diag;
+  for (IT i = 0; i < n; ++i) diag.push_back({i, i, 1.0});
+  auto m = csr_from_triples<IT, VT>(n, n, diag);
+  auto a = erdos_renyi<IT, VT>(n, n, 6, 14);
+  auto b = erdos_renyi<IT, VT>(n, n, 6, 15);
+  auto want = reference_masked_spgemm<PlusTimes<VT>>(a, b, m);
+  auto got = masked_spgemm<PlusTimes<VT>>(a, b, m, opts());
+  EXPECT_TRUE(matrices_near(got, want));
+}
+
+TEST_P(EdgeCasesP, NumericallyZeroSumsAreKept) {
+  // Structural semantics: +1 and -1 contributions to the same output entry
+  // sum to 0.0 but the entry must still exist.
+  auto a = csr_from_dense<IT, VT>({{1, -1}});
+  auto b = csr_from_dense<IT, VT>({{1}, {1}});
+  auto m = csr_from_dense<IT, VT>({{1}});
+  auto c = masked_spgemm<PlusTimes<VT>>(a, b, m, opts());
+  ASSERT_EQ(c.nnz(), 1u);
+  EXPECT_EQ(c.values()[0], 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, EdgeCasesP,
+                         ::testing::ValuesIn(msx::testing::all_algos()),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace msx

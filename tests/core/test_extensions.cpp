@@ -1,0 +1,112 @@
+// Extensions beyond the paper's 14 schemes: the bitmap-state MSA and the
+// galloping Inner intersection. Both must be drop-in correct.
+#include <gtest/gtest.h>
+
+#include "core/masked_spgemm.hpp"
+#include "core/reference.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/rmat.hpp"
+#include "test_helpers.hpp"
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+using msx::testing::matrices_near;
+
+TEST(MSABitmapScheme, MatchesReferenceBothPhases) {
+  auto a = erdos_renyi<IT, VT>(150, 150, 8, 1);
+  auto b = erdos_renyi<IT, VT>(150, 150, 8, 2);
+  auto m = erdos_renyi<IT, VT>(150, 150, 12, 3);
+  auto want = reference_masked_spgemm<PlusTimes<VT>>(a, b, m);
+  for (auto ph : msx::testing::all_phases()) {
+    MaskedOptions o;
+    o.algo = MaskedAlgo::kMSABitmap;
+    o.phases = ph;
+    auto got = masked_spgemm<PlusTimes<VT>>(a, b, m, o);
+    EXPECT_TRUE(matrices_near(got, want)) << to_string(ph);
+  }
+}
+
+TEST(MSABitmapScheme, MatchesByteMSAExactly) {
+  auto a = rmat<IT, VT>(8, 4);
+  auto b = rmat<IT, VT>(8, 5);
+  auto m = rmat<IT, VT>(8, 6);
+  MaskedOptions byte_o;
+  byte_o.algo = MaskedAlgo::kMSA;
+  MaskedOptions bit_o;
+  bit_o.algo = MaskedAlgo::kMSABitmap;
+  EXPECT_EQ((masked_spgemm<PlusTimes<VT>>(a, b, m, byte_o)),
+            (masked_spgemm<PlusTimes<VT>>(a, b, m, bit_o)));
+}
+
+TEST(MSABitmapScheme, ComplementFallsBackCorrectly) {
+  auto a = erdos_renyi<IT, VT>(80, 80, 5, 7);
+  auto b = erdos_renyi<IT, VT>(80, 80, 5, 8);
+  auto m = erdos_renyi<IT, VT>(80, 80, 7, 9);
+  auto want =
+      reference_masked_spgemm<PlusTimes<VT>>(a, b, m, MaskKind::kComplement);
+  MaskedOptions o;
+  o.algo = MaskedAlgo::kMSABitmap;
+  o.kind = MaskKind::kComplement;
+  auto got = masked_spgemm<PlusTimes<VT>>(a, b, m, o);
+  EXPECT_TRUE(matrices_near(got, want));
+}
+
+TEST(GallopingInner, MatchesTwoPointer) {
+  // Strongly asymmetric operands: short A rows against long B columns.
+  auto a = erdos_renyi<IT, VT>(100, 400, 3, 11);
+  auto b = erdos_renyi<IT, VT>(400, 100, 60, 12);
+  auto m = erdos_renyi<IT, VT>(100, 100, 10, 13);
+  MaskedOptions two_ptr;
+  two_ptr.algo = MaskedAlgo::kInner;
+  MaskedOptions gallop = two_ptr;
+  gallop.inner_gallop = true;
+  auto c1 = masked_spgemm<PlusTimes<VT>>(a, b, m, two_ptr);
+  auto c2 = masked_spgemm<PlusTimes<VT>>(a, b, m, gallop);
+  EXPECT_EQ(c1, c2);
+  auto want = reference_masked_spgemm<PlusTimes<VT>>(a, b, m);
+  EXPECT_TRUE(matrices_near(c2, want));
+}
+
+TEST(GallopingInner, OppositeAsymmetryAndComplement) {
+  auto a = erdos_renyi<IT, VT>(60, 80, 40, 14);  // long A rows
+  auto b = erdos_renyi<IT, VT>(80, 60, 2, 15);   // short B columns
+  auto m = erdos_renyi<IT, VT>(60, 60, 8, 16);
+  MaskedOptions gallop;
+  gallop.algo = MaskedAlgo::kInner;
+  gallop.inner_gallop = true;
+  auto want = reference_masked_spgemm<PlusTimes<VT>>(a, b, m);
+  EXPECT_TRUE(matrices_near(
+      (masked_spgemm<PlusTimes<VT>>(a, b, m, gallop)), want));
+
+  gallop.kind = MaskKind::kComplement;
+  auto want_c =
+      reference_masked_spgemm<PlusTimes<VT>>(a, b, m, MaskKind::kComplement);
+  EXPECT_TRUE(matrices_near(
+      (masked_spgemm<PlusTimes<VT>>(a, b, m, gallop)), want_c));
+}
+
+TEST(GallopingInner, TwoPhaseSymbolicAgrees) {
+  auto a = erdos_renyi<IT, VT>(70, 70, 20, 17);
+  auto b = erdos_renyi<IT, VT>(70, 70, 20, 18);
+  auto m = erdos_renyi<IT, VT>(70, 70, 5, 19);
+  MaskedOptions gallop;
+  gallop.algo = MaskedAlgo::kInner;
+  gallop.inner_gallop = true;
+  gallop.phases = PhaseMode::kTwoPhase;
+  MaskedOptions plain = gallop;
+  plain.inner_gallop = false;
+  EXPECT_EQ((masked_spgemm<PlusTimes<VT>>(a, b, m, gallop)),
+            (masked_spgemm<PlusTimes<VT>>(a, b, m, plain)));
+}
+
+TEST(Extensions, SchemeNamesAndParsing) {
+  EXPECT_STREQ(to_string(MaskedAlgo::kMSABitmap), "MSAB");
+  EXPECT_EQ(algo_from_string("msab"), MaskedAlgo::kMSABitmap);
+  EXPECT_EQ(algo_from_string("MSABitmap"), MaskedAlgo::kMSABitmap);
+}
+
+}  // namespace
+}  // namespace msx

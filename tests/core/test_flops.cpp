@@ -1,0 +1,49 @@
+#include "core/flops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/erdos_renyi.hpp"
+#include "matrix/build.hpp"
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+
+TEST(Flops, HandComputedSmallCase) {
+  // A = [x x .; . x .], B rows with nnz {2, 1, 3}.
+  auto a = csr_from_dense<IT, VT>({{1, 1, 0}, {0, 1, 0}});
+  auto b = csr_from_dense<IT, VT>({{1, 1, 0}, {0, 1, 0}, {1, 1, 1}});
+  // row 0 of A hits B rows 0 (2) and 1 (1) -> 3; row 1 hits B row 1 -> 1.
+  EXPECT_EQ(row_flops(a, b, 0), 3u);
+  EXPECT_EQ(row_flops(a, b, 1), 1u);
+  EXPECT_EQ(total_flops(a, b), 4u);
+}
+
+TEST(Flops, EmptyMatrices) {
+  CSRMatrix<IT, VT> a(4, 4), b(4, 4);
+  EXPECT_EQ(total_flops(a, b), 0u);
+}
+
+TEST(Flops, RegularERFlopsExact) {
+  // Every row of A has degree 3 and every row of B has degree 5 (exact for
+  // this generator), so flops = nrows * 3 * 5.
+  auto a = erdos_renyi<IT, VT>(64, 64, 3, 1);
+  auto b = erdos_renyi<IT, VT>(64, 64, 5, 2);
+  EXPECT_EQ(total_flops(a, b), 64u * 3u * 5u);
+}
+
+TEST(Flops, MismatchThrows) {
+  CSRMatrix<IT, VT> a(4, 5), b(4, 4);
+  EXPECT_THROW(total_flops(a, b), std::invalid_argument);
+}
+
+TEST(Flops, GflopsMetric) {
+  EXPECT_DOUBLE_EQ(gflops(500'000'000ull, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(gflops(500'000'000ull, 0.5), 2.0);
+  EXPECT_EQ(gflops(100, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace msx

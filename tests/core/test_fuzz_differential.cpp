@@ -1,0 +1,105 @@
+// Randomized differential testing: many random (shape, density, seed)
+// configurations, every scheme × phase × mask kind, all compared against the
+// serial oracle and against plain-SpGEMM-then-mask. The parameter grid is
+// deliberately irregular (non-power-of-two shapes, empty-row masks, near-
+// empty inputs) to hit corner paths the structured suites do not.
+#include <gtest/gtest.h>
+
+#include "baseline/then_mask.hpp"
+#include "core/masked_spgemm.hpp"
+#include "core/reference.hpp"
+#include "common/random.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "matrix/build.hpp"
+#include "test_helpers.hpp"
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+using msx::testing::matrices_near;
+
+CSRMatrix<IT, VT> random_irregular(IT nrows, IT ncols, double fill,
+                                   std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Triple<IT, VT>> t;
+  const auto target = static_cast<std::size_t>(
+      fill * static_cast<double>(nrows) * static_cast<double>(ncols));
+  for (std::size_t k = 0; k < target; ++k) {
+    t.push_back({static_cast<IT>(rng.next_below(
+                     static_cast<std::uint64_t>(nrows))),
+                 static_cast<IT>(rng.next_below(
+                     static_cast<std::uint64_t>(ncols))),
+                 rng.next_double() * 2.0 - 1.0});
+  }
+  return csr_from_triples<IT, VT>(nrows, ncols, std::move(t),
+                                  DuplicatePolicy::kLast);
+}
+
+class FuzzDifferentialP : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzDifferentialP, AllSchemesAgainstTwoOracles) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Xoshiro256 shape_rng(seed * 7919);
+  const IT m = static_cast<IT>(3 + shape_rng.next_below(97));
+  const IT k = static_cast<IT>(3 + shape_rng.next_below(97));
+  const IT n = static_cast<IT>(3 + shape_rng.next_below(97));
+  const double fa = 0.002 + shape_rng.next_double() * 0.15;
+  const double fb = 0.002 + shape_rng.next_double() * 0.15;
+  const double fm = 0.002 + shape_rng.next_double() * 0.3;
+
+  const auto a = random_irregular(m, k, fa, seed);
+  const auto b = random_irregular(k, n, fb, seed + 1000);
+  const auto mask = random_irregular(m, n, fm, seed + 2000);
+
+  const auto oracle1 = reference_masked_spgemm<PlusTimes<VT>>(a, b, mask);
+  const auto oracle2 = spgemm_then_mask<PlusTimes<VT>>(a, b, mask);
+  ASSERT_TRUE(matrices_near(oracle2, oracle1, 1e-9))
+      << "oracles disagree — harness bug";
+
+  for (auto algo : msx::testing::all_algos()) {
+    for (auto ph : msx::testing::all_phases()) {
+      MaskedOptions o;
+      o.algo = algo;
+      o.phases = ph;
+      auto c = masked_spgemm<PlusTimes<VT>>(a, b, mask, o);
+      SCOPED_TRACE(scheme_name(algo, ph));
+      EXPECT_TRUE(c.validate());
+      EXPECT_TRUE(matrices_near(c, oracle1, 1e-9));
+    }
+  }
+
+  const auto comp =
+      reference_masked_spgemm<PlusTimes<VT>>(a, b, mask,
+                                             MaskKind::kComplement);
+  for (auto algo : msx::testing::complement_algos()) {
+    MaskedOptions o;
+    o.algo = algo;
+    o.kind = MaskKind::kComplement;
+    auto c = masked_spgemm<PlusTimes<VT>>(a, b, mask, o);
+    SCOPED_TRACE(std::string(to_string(algo)) + "-comp");
+    EXPECT_TRUE(matrices_near(c, comp, 1e-9));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferentialP, ::testing::Range(1, 21));
+
+// Aliasing: the same matrix serving as input(s) and mask simultaneously —
+// the pattern every application here uses (TC: L,L,L; k-truss: A,A,A).
+TEST(FuzzAliasing, SameMatrixEverywhere) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto a = random_irregular(60, 60, 0.05, seed);
+    auto want = reference_masked_spgemm<PlusTimes<VT>>(a, a, a);
+    for (auto algo : msx::testing::all_algos()) {
+      MaskedOptions o;
+      o.algo = algo;
+      auto c = masked_spgemm<PlusTimes<VT>>(a, a, a, o);
+      EXPECT_TRUE(matrices_near(c, want, 1e-9))
+          << to_string(algo) << " seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace msx

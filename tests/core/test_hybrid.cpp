@@ -1,0 +1,98 @@
+// The Hybrid per-row selector (§9 future-work extension): correctness plus
+// sanity of the pull/push decision rule.
+#include <gtest/gtest.h>
+
+#include "core/hybrid_kernel.hpp"
+#include "core/masked_spgemm.hpp"
+#include "core/reference.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "matrix/build.hpp"
+#include "matrix/convert.hpp"
+#include "test_helpers.hpp"
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+using msx::testing::matrices_near;
+
+TEST(Hybrid, MatchesReferenceOnMixedDensityRows) {
+  // Construct a matrix whose rows alternate between dense-input/sparse-mask
+  // (pull-friendly) and sparse-input/dense-mask (push-friendly) so both
+  // paths execute within one call.
+  const IT n = 64;
+  std::vector<Triple<IT, VT>> ta, tm;
+  Xoshiro256 rng(5);
+  for (IT i = 0; i < n; ++i) {
+    const bool heavy = (i % 2 == 0);
+    const IT arow_deg = heavy ? 30 : 2;
+    const IT mrow_deg = heavy ? 2 : 30;
+    for (IT k = 0; k < arow_deg; ++k) {
+      ta.push_back({i, static_cast<IT>(rng.next_below(n)), 1.0});
+    }
+    for (IT k = 0; k < mrow_deg; ++k) {
+      tm.push_back({i, static_cast<IT>(rng.next_below(n)), 1.0});
+    }
+  }
+  auto a = csr_from_triples<IT, VT>(n, n, ta, DuplicatePolicy::kLast);
+  auto m = csr_from_triples<IT, VT>(n, n, tm, DuplicatePolicy::kLast);
+  auto b = erdos_renyi<IT, VT>(n, n, 8, 9);
+
+  auto want = reference_masked_spgemm<PlusTimes<VT>>(a, b, m);
+  MaskedOptions o;
+  o.algo = MaskedAlgo::kHybrid;
+  for (auto ph : msx::testing::all_phases()) {
+    o.phases = ph;
+    auto got = masked_spgemm<PlusTimes<VT>>(a, b, m, o);
+    EXPECT_TRUE(matrices_near(got, want)) << to_string(ph);
+  }
+}
+
+TEST(Hybrid, DecisionPrefersPullForSparseMaskDenseRow) {
+  const IT n = 100;
+  auto a = erdos_renyi<IT, VT>(n, n, 50, 1);  // heavy rows
+  auto b = erdos_renyi<IT, VT>(n, n, 50, 2);  // flops per row = 2500
+  auto m = erdos_renyi<IT, VT>(n, n, 1, 3);   // one mask entry per row
+  auto b_csc = csr_to_csc(b);
+  HybridKernel<PlusTimes<VT>, IT, VT, false> kernel(a, b, b_csc, mask_of(m));
+  // cost_pull = 1 * (50 + 50) = 100 << cost_push = 2500 + 1.
+  EXPECT_TRUE(kernel.use_pull(0));
+}
+
+TEST(Hybrid, DecisionPrefersPushForDenseMaskSparseRow) {
+  const IT n = 100;
+  auto a = erdos_renyi<IT, VT>(n, n, 2, 4);
+  auto b = erdos_renyi<IT, VT>(n, n, 2, 5);  // flops per row = 4
+  auto m = erdos_renyi<IT, VT>(n, n, 60, 6);
+  auto b_csc = csr_to_csc(b);
+  HybridKernel<PlusTimes<VT>, IT, VT, false> kernel(a, b, b_csc, mask_of(m));
+  // cost_pull = 60 * (2 + 2) = 240 >> cost_push = 4 + 60.
+  EXPECT_FALSE(kernel.use_pull(0));
+}
+
+TEST(Hybrid, ComplementAlwaysPushes) {
+  const IT n = 50;
+  auto a = erdos_renyi<IT, VT>(n, n, 40, 7);
+  auto b = erdos_renyi<IT, VT>(n, n, 40, 8);
+  auto m = erdos_renyi<IT, VT>(n, n, 1, 9);
+  auto b_csc = csr_to_csc(b);
+  HybridKernel<PlusTimes<VT>, IT, VT, true> kernel(a, b, b_csc, mask_of(m));
+  EXPECT_FALSE(kernel.use_pull(0));
+}
+
+TEST(Hybrid, ComplementCorrect) {
+  auto a = erdos_renyi<IT, VT>(60, 60, 6, 10);
+  auto b = erdos_renyi<IT, VT>(60, 60, 6, 11);
+  auto m = erdos_renyi<IT, VT>(60, 60, 8, 12);
+  auto want =
+      reference_masked_spgemm<PlusTimes<VT>>(a, b, m, MaskKind::kComplement);
+  MaskedOptions o;
+  o.algo = MaskedAlgo::kHybrid;
+  o.kind = MaskKind::kComplement;
+  auto got = masked_spgemm<PlusTimes<VT>>(a, b, m, o);
+  EXPECT_TRUE(matrices_near(got, want));
+}
+
+}  // namespace
+}  // namespace msx

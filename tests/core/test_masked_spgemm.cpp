@@ -1,0 +1,171 @@
+// Correctness of every masked-SpGEMM scheme against the serial reference
+// oracle, over a grid of inputs (TEST_P sweep: algorithm × phase mode).
+#include "core/masked_spgemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/reference.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/rmat.hpp"
+#include "matrix/build.hpp"
+#include "test_helpers.hpp"
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+using msx::testing::matrices_near;
+using msx::testing::pattern_subset_of_mask;
+
+class MaskedSpgemmP
+    : public ::testing::TestWithParam<std::tuple<MaskedAlgo, PhaseMode>> {
+ protected:
+  MaskedOptions opts() const {
+    MaskedOptions o;
+    o.algo = std::get<0>(GetParam());
+    o.phases = std::get<1>(GetParam());
+    return o;
+  }
+};
+
+TEST_P(MaskedSpgemmP, MatchesReferenceOnSquareER) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    auto a = erdos_renyi<IT, VT>(150, 150, 8, seed);
+    auto b = erdos_renyi<IT, VT>(150, 150, 8, seed + 10);
+    auto m = erdos_renyi<IT, VT>(150, 150, 12, seed + 20);
+    auto want = reference_masked_spgemm<PlusTimes<VT>>(a, b, m);
+    auto got = masked_spgemm<PlusTimes<VT>>(a, b, m, opts());
+    EXPECT_TRUE(matrices_near(got, want)) << "seed " << seed;
+    EXPECT_TRUE(got.validate());
+  }
+}
+
+TEST_P(MaskedSpgemmP, MatchesReferenceOnRectangular) {
+  auto a = erdos_renyi<IT, VT>(60, 90, 7, 4);
+  auto b = erdos_renyi<IT, VT>(90, 40, 5, 5);
+  auto m = erdos_renyi<IT, VT>(60, 40, 9, 6);
+  auto want = reference_masked_spgemm<PlusTimes<VT>>(a, b, m);
+  auto got = masked_spgemm<PlusTimes<VT>>(a, b, m, opts());
+  EXPECT_TRUE(matrices_near(got, want));
+}
+
+TEST_P(MaskedSpgemmP, MatchesReferenceOnSkewedRmat) {
+  auto a = rmat<IT, VT>(8, 3);
+  auto b = rmat<IT, VT>(8, 4);
+  auto m = rmat<IT, VT>(8, 5);
+  auto want = reference_masked_spgemm<PlusTimes<VT>>(a, b, m);
+  auto got = masked_spgemm<PlusTimes<VT>>(a, b, m, opts());
+  EXPECT_TRUE(matrices_near(got, want));
+}
+
+TEST_P(MaskedSpgemmP, OutputPatternSubsetOfMask) {
+  auto a = erdos_renyi<IT, VT>(100, 100, 10, 7);
+  auto b = erdos_renyi<IT, VT>(100, 100, 10, 8);
+  auto m = erdos_renyi<IT, VT>(100, 100, 5, 9);
+  auto got = masked_spgemm<PlusTimes<VT>>(a, b, m, opts());
+  EXPECT_TRUE(pattern_subset_of_mask(got, m));
+}
+
+TEST_P(MaskedSpgemmP, SparseMaskDenseInputs) {
+  // Mask far sparser than the product: the pull-based regime (§4.3).
+  auto a = erdos_renyi<IT, VT>(80, 80, 30, 11);
+  auto b = erdos_renyi<IT, VT>(80, 80, 30, 12);
+  auto m = erdos_renyi<IT, VT>(80, 80, 2, 13);
+  auto want = reference_masked_spgemm<PlusTimes<VT>>(a, b, m);
+  auto got = masked_spgemm<PlusTimes<VT>>(a, b, m, opts());
+  EXPECT_TRUE(matrices_near(got, want));
+}
+
+TEST_P(MaskedSpgemmP, DenseMaskSparseInputs) {
+  // Inputs far sparser than the mask: the push/heap regime (§4.3).
+  auto a = erdos_renyi<IT, VT>(80, 80, 2, 14);
+  auto b = erdos_renyi<IT, VT>(80, 80, 2, 15);
+  auto m = erdos_renyi<IT, VT>(80, 80, 40, 16);
+  auto want = reference_masked_spgemm<PlusTimes<VT>>(a, b, m);
+  auto got = masked_spgemm<PlusTimes<VT>>(a, b, m, opts());
+  EXPECT_TRUE(matrices_near(got, want));
+}
+
+TEST_P(MaskedSpgemmP, MaskEntriesWithoutProductAreAbsent) {
+  // Fig. 1's point: the mask may contain positions where A·B has no entry.
+  auto a = csr_from_dense<IT, VT>({{1, 0}, {0, 0}});
+  auto b = csr_from_dense<IT, VT>({{1, 0}, {0, 1}});
+  auto m = csr_from_dense<IT, VT>({{1, 1}, {1, 1}});  // full mask
+  auto got = masked_spgemm<PlusTimes<VT>>(a, b, m, opts());
+  EXPECT_EQ(got.nnz(), 1u);  // only (0,0) exists in A·B
+  EXPECT_EQ(got.row(0).cols[0], 0);
+}
+
+TEST_P(MaskedSpgemmP, IdentityTimesIdentity) {
+  const IT n = 16;
+  std::vector<Triple<IT, VT>> eye;
+  for (IT i = 0; i < n; ++i) eye.push_back({i, i, 1.0});
+  auto a = csr_from_triples<IT, VT>(n, n, eye);
+  auto m = erdos_renyi<IT, VT>(n, n, 4, 17);
+  auto got = masked_spgemm<PlusTimes<VT>>(a, a, m, opts());
+  // I·I = I; masked by m: entries where m has a diagonal element.
+  auto want = reference_masked_spgemm<PlusTimes<VT>>(a, a, m);
+  EXPECT_TRUE(matrices_near(got, want));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, MaskedSpgemmP,
+    ::testing::Combine(::testing::ValuesIn(msx::testing::all_algos()),
+                       ::testing::ValuesIn(msx::testing::all_phases())),
+    [](const auto& info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_" +
+             to_string(std::get<1>(info.param));
+    });
+
+TEST(MaskedSpgemm, AutoAlgoMatchesReference) {
+  auto a = erdos_renyi<IT, VT>(120, 120, 6, 31);
+  auto b = erdos_renyi<IT, VT>(120, 120, 6, 32);
+  auto m = erdos_renyi<IT, VT>(120, 120, 6, 33);
+  auto want = reference_masked_spgemm<PlusTimes<VT>>(a, b, m);
+  MaskedOptions o;
+  o.algo = MaskedAlgo::kAuto;
+  auto got = masked_spgemm<PlusTimes<VT>>(a, b, m, o);
+  EXPECT_TRUE(matrices_near(got, want));
+}
+
+TEST(MaskedSpgemm, WithPreparedCscMatchesOnTheFly) {
+  auto a = erdos_renyi<IT, VT>(70, 70, 6, 41);
+  auto b = erdos_renyi<IT, VT>(70, 70, 6, 42);
+  auto m = erdos_renyi<IT, VT>(70, 70, 6, 43);
+  auto b_csc = csr_to_csc(b);
+  MaskedOptions o;
+  o.algo = MaskedAlgo::kInner;
+  auto c1 = masked_spgemm<PlusTimes<VT>>(a, b, m, o);
+  auto c2 = masked_spgemm_with_csc<PlusTimes<VT>>(a, b, b_csc, m, o);
+  EXPECT_TRUE(matrices_near(c1, c2));
+}
+
+TEST(MaskedSpgemm, ShapeMismatchThrows) {
+  CSRMatrix<IT, VT> a(3, 4), b(5, 3), m(3, 3);
+  EXPECT_THROW((masked_spgemm<PlusTimes<VT>>(a, b, m)),
+               std::invalid_argument);
+  CSRMatrix<IT, VT> b2(4, 3), m2(2, 3);
+  EXPECT_THROW((masked_spgemm<PlusTimes<VT>>(a, b2, m2)),
+               std::invalid_argument);
+}
+
+TEST(MaskedSpgemm, HeapNInspectVariantsAgree) {
+  auto a = erdos_renyi<IT, VT>(90, 90, 7, 51);
+  auto b = erdos_renyi<IT, VT>(90, 90, 7, 52);
+  auto m = erdos_renyi<IT, VT>(90, 90, 7, 53);
+  auto want = reference_masked_spgemm<PlusTimes<VT>>(a, b, m);
+  for (std::size_t ninspect : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                               kNInspectInfinity}) {
+    MaskedOptions o;
+    o.algo = MaskedAlgo::kHeap;
+    o.heap_ninspect = ninspect;
+    auto got = masked_spgemm<PlusTimes<VT>>(a, b, m, o);
+    EXPECT_TRUE(matrices_near(got, want)) << "ninspect " << ninspect;
+  }
+}
+
+}  // namespace
+}  // namespace msx

@@ -1,0 +1,161 @@
+// Masked SpGEVM (v = m ⊙ u⊺B) — consistency with the matrix-level kernels
+// and with a dense reference, across all algorithm families.
+#include "core/masked_spgevm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/reference.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "test_helpers.hpp"
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+using SV = SparseVector<IT, VT>;
+
+SV random_vector(IT size, IT nnz, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::pair<IT, VT>> entries;
+  for (IT k = 0; k < nnz; ++k) {
+    entries.push_back({static_cast<IT>(rng.next_below(
+                           static_cast<std::uint64_t>(size))),
+                       rng.next_double() + 0.5});
+  }
+  return SV::from_entries(size, std::move(entries));
+}
+
+// Dense oracle for v = m ⊙ (u⊺B).
+SV reference_spgevm(const SV& u, const CSRMatrix<IT, VT>& b, const SV& m,
+                    MaskKind kind) {
+  std::vector<VT> dense(static_cast<std::size_t>(b.ncols()), 0.0);
+  std::vector<char> occupied(static_cast<std::size_t>(b.ncols()), 0);
+  const auto ui = u.indices();
+  const auto uv = u.values();
+  for (std::size_t p = 0; p < ui.size(); ++p) {
+    const auto brow = b.row(ui[p]);
+    for (IT q = 0; q < brow.size(); ++q) {
+      dense[static_cast<std::size_t>(brow.cols[q])] += uv[p] * brow.vals[q];
+      occupied[static_cast<std::size_t>(brow.cols[q])] = 1;
+    }
+  }
+  std::vector<char> in_mask(static_cast<std::size_t>(b.ncols()), 0);
+  for (IT j : m.indices()) in_mask[static_cast<std::size_t>(j)] = 1;
+  SV out(b.ncols());
+  for (IT j = 0; j < b.ncols(); ++j) {
+    const bool admit = (kind == MaskKind::kMask)
+                           ? in_mask[static_cast<std::size_t>(j)]
+                           : !in_mask[static_cast<std::size_t>(j)];
+    if (admit && occupied[static_cast<std::size_t>(j)]) {
+      out.push_back(j, dense[static_cast<std::size_t>(j)]);
+    }
+  }
+  return out;
+}
+
+void expect_vectors_near(const SV& got, const SV& want) {
+  ASSERT_EQ(got.nnz(), want.nnz());
+  for (std::size_t p = 0; p < got.nnz(); ++p) {
+    ASSERT_EQ(got.indices()[p], want.indices()[p]);
+    ASSERT_NEAR(got.values()[p], want.values()[p], 1e-9);
+  }
+}
+
+TEST(MaskedSpgevm, AllAlgorithmsMatchDenseReference) {
+  auto b = erdos_renyi<IT, VT>(200, 150, 6, 1);
+  auto u = random_vector(200, 20, 2);
+  auto m = random_vector(150, 30, 3);
+  auto want = reference_spgevm(u, b, m, MaskKind::kMask);
+  for (auto algo : msx::testing::all_algos()) {
+    MaskedOptions o;
+    o.algo = algo;
+    auto got = masked_spgevm<PlusTimes<VT>>(u, b, m, o);
+    SCOPED_TRACE(to_string(algo));
+    EXPECT_TRUE(got.validate());
+    expect_vectors_near(got, want);
+  }
+}
+
+TEST(MaskedSpgevm, ComplementMatchesDenseReference) {
+  auto b = erdos_renyi<IT, VT>(120, 120, 5, 4);
+  auto u = random_vector(120, 15, 5);
+  auto m = random_vector(120, 25, 6);
+  auto want = reference_spgevm(u, b, m, MaskKind::kComplement);
+  for (auto algo : msx::testing::complement_algos()) {
+    MaskedOptions o;
+    o.algo = algo;
+    o.kind = MaskKind::kComplement;
+    auto got = masked_spgevm<PlusTimes<VT>>(u, b, m, o);
+    SCOPED_TRACE(to_string(algo));
+    expect_vectors_near(got, want);
+  }
+}
+
+TEST(MaskedSpgevm, EmptyOperands) {
+  auto b = erdos_renyi<IT, VT>(50, 50, 4, 7);
+  SV empty_u(50);
+  auto m = random_vector(50, 10, 8);
+  auto got = masked_spgevm<PlusTimes<VT>>(empty_u, b, m);
+  EXPECT_TRUE(got.empty());
+
+  auto u = random_vector(50, 5, 9);
+  SV empty_m(50);
+  auto got2 = masked_spgevm<PlusTimes<VT>>(u, b, empty_m);
+  EXPECT_TRUE(got2.empty());
+  // Complemented empty mask = full product row.
+  MaskedOptions o;
+  o.kind = MaskKind::kComplement;
+  o.algo = MaskedAlgo::kMSA;
+  auto got3 = masked_spgevm<PlusTimes<VT>>(u, b, empty_m, o);
+  EXPECT_GT(got3.nnz(), 0u);
+}
+
+TEST(MaskedSpgevm, SizeMismatchThrows) {
+  auto b = erdos_renyi<IT, VT>(10, 20, 2, 1);
+  SV u(5), m(20);
+  EXPECT_THROW((masked_spgevm<PlusTimes<VT>>(u, b, m)),
+               std::invalid_argument);
+  SV u2(10), m2(5);
+  EXPECT_THROW((masked_spgevm<PlusTimes<VT>>(u2, b, m2)),
+               std::invalid_argument);
+}
+
+TEST(MaskedSpgevm, WithCscMatchesDefault) {
+  auto b = erdos_renyi<IT, VT>(80, 80, 5, 10);
+  auto b_csc = csr_to_csc(b);
+  auto u = random_vector(80, 10, 11);
+  auto m = random_vector(80, 15, 12);
+  MaskedOptions o;
+  o.algo = MaskedAlgo::kInner;
+  auto v1 = masked_spgevm<PlusTimes<VT>>(u, b, m, o);
+  auto v2 = masked_spgevm_with_csc<PlusTimes<VT>>(u, b, b_csc, m, o);
+  EXPECT_EQ(v1, v2);
+}
+
+TEST(MaskedSpgevm, AgreesWithMatrixRow) {
+  // SpGEVM of row i of A must equal row i of the matrix-level product.
+  auto a = erdos_renyi<IT, VT>(60, 60, 6, 13);
+  auto b = erdos_renyi<IT, VT>(60, 60, 6, 14);
+  auto m = erdos_renyi<IT, VT>(60, 60, 8, 15);
+  auto c = masked_spgemm<PlusTimes<VT>>(a, b, m);
+  for (IT i : {IT{0}, IT{17}, IT{59}}) {
+    const auto arow = a.row(i);
+    const auto mrow = m.row(i);
+    SV u(60, std::vector<IT>(arow.cols.begin(), arow.cols.end()),
+         std::vector<VT>(arow.vals.begin(), arow.vals.end()));
+    SV mv(60, std::vector<IT>(mrow.cols.begin(), mrow.cols.end()),
+          std::vector<VT>(mrow.vals.begin(), mrow.vals.end()));
+    auto v = masked_spgevm<PlusTimes<VT>>(u, b, mv);
+    const auto crow = c.row(i);
+    ASSERT_EQ(v.nnz(), static_cast<std::size_t>(crow.size()));
+    for (IT p = 0; p < crow.size(); ++p) {
+      EXPECT_EQ(v.indices()[static_cast<std::size_t>(p)], crow.cols[p]);
+      EXPECT_NEAR(v.values()[static_cast<std::size_t>(p)], crow.vals[p],
+                  1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace msx

@@ -1,0 +1,88 @@
+// One-phase vs two-phase equivalence (§6): both constructions must produce
+// bit-identical outputs for every algorithm and mask kind.
+#include <gtest/gtest.h>
+
+#include "core/masked_spgemm.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "matrix/build.hpp"
+#include "test_helpers.hpp"
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+
+TEST(Phases, OnePhaseEqualsTwoPhaseMasked) {
+  auto a = erdos_renyi<IT, VT>(130, 130, 9, 1);
+  auto b = erdos_renyi<IT, VT>(130, 130, 9, 2);
+  auto m = erdos_renyi<IT, VT>(130, 130, 11, 3);
+  for (auto algo : msx::testing::all_algos()) {
+    MaskedOptions o1;
+    o1.algo = algo;
+    o1.phases = PhaseMode::kOnePhase;
+    MaskedOptions o2 = o1;
+    o2.phases = PhaseMode::kTwoPhase;
+    auto c1 = masked_spgemm<PlusTimes<VT>>(a, b, m, o1);
+    auto c2 = masked_spgemm<PlusTimes<VT>>(a, b, m, o2);
+    EXPECT_EQ(c1, c2) << to_string(algo);
+  }
+}
+
+TEST(Phases, OnePhaseEqualsTwoPhaseComplement) {
+  auto a = erdos_renyi<IT, VT>(90, 90, 7, 4);
+  auto b = erdos_renyi<IT, VT>(90, 90, 7, 5);
+  auto m = erdos_renyi<IT, VT>(90, 90, 9, 6);
+  for (auto algo : msx::testing::complement_algos()) {
+    MaskedOptions o1;
+    o1.algo = algo;
+    o1.kind = MaskKind::kComplement;
+    o1.phases = PhaseMode::kOnePhase;
+    MaskedOptions o2 = o1;
+    o2.phases = PhaseMode::kTwoPhase;
+    auto c1 = masked_spgemm<PlusTimes<VT>>(a, b, m, o1);
+    auto c2 = masked_spgemm<PlusTimes<VT>>(a, b, m, o2);
+    EXPECT_EQ(c1, c2) << to_string(algo);
+  }
+}
+
+TEST(Phases, SymbolicCountsAreExact) {
+  // The 2P symbolic phase must predict exactly the numeric nnz — verified
+  // indirectly by construction, directly here via the row pointers.
+  auto a = erdos_renyi<IT, VT>(100, 100, 8, 7);
+  auto b = erdos_renyi<IT, VT>(100, 100, 8, 8);
+  auto m = erdos_renyi<IT, VT>(100, 100, 8, 9);
+  MaskedOptions o;
+  o.algo = MaskedAlgo::kMSA;
+  o.phases = PhaseMode::kTwoPhase;
+  auto c = masked_spgemm<PlusTimes<VT>>(a, b, m, o);
+  // rowptr monotone and consistent: validated by validate(); nnz matches the
+  // reference.
+  EXPECT_TRUE(c.validate());
+  auto want = reference_masked_spgemm<PlusTimes<VT>>(a, b, m);
+  EXPECT_EQ(c.nnz(), want.nnz());
+}
+
+TEST(Phases, OnePhaseHandlesZeroUpperBoundRows) {
+  // Rows with an empty mask row contribute a zero upper bound in 1P; ensure
+  // the offsets machinery copes with interleaved zero-capacity rows.
+  auto a = erdos_renyi<IT, VT>(50, 50, 5, 10);
+  auto b = erdos_renyi<IT, VT>(50, 50, 5, 11);
+  // Mask with entries only on even rows.
+  std::vector<Triple<IT, VT>> t;
+  for (IT i = 0; i < 50; i += 2) {
+    for (IT j = 0; j < 50; j += 5) t.push_back({i, j, 1.0});
+  }
+  auto m = csr_from_triples<IT, VT>(50, 50, t);
+  MaskedOptions o;
+  o.phases = PhaseMode::kOnePhase;
+  for (auto algo : msx::testing::all_algos()) {
+    o.algo = algo;
+    auto c = masked_spgemm<PlusTimes<VT>>(a, b, m, o);
+    EXPECT_TRUE(c.validate()) << to_string(algo);
+    for (IT i = 1; i < 50; i += 2) EXPECT_EQ(c.row_nnz(i), 0);
+  }
+}
+
+}  // namespace
+}  // namespace msx

@@ -1,0 +1,87 @@
+// Property-based sweep: for a parameter grid of (size, input degree, mask
+// degree, seed), every scheme must satisfy the structural invariants and
+// agree with the oracle. This is the broad net that catches accumulator
+// reset bugs, bound miscalculations and sortedness violations.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/masked_spgemm.hpp"
+#include "core/reference.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "test_helpers.hpp"
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+using msx::testing::matrices_near;
+using msx::testing::pattern_disjoint_from_mask;
+using msx::testing::pattern_subset_of_mask;
+
+// (n, input degree, mask degree, seed)
+using SweepParam = std::tuple<int, int, int, int>;
+
+class PropertySweepP : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(PropertySweepP, AllSchemesAllInvariants) {
+  const auto [n, din, dm, seed] = GetParam();
+  const IT nn = static_cast<IT>(n);
+  auto a = erdos_renyi<IT, VT>(nn, nn, static_cast<IT>(din),
+                               static_cast<std::uint64_t>(seed));
+  auto b = erdos_renyi<IT, VT>(nn, nn, static_cast<IT>(din),
+                               static_cast<std::uint64_t>(seed) + 100);
+  auto m = erdos_renyi<IT, VT>(nn, nn, static_cast<IT>(dm),
+                               static_cast<std::uint64_t>(seed) + 200);
+
+  const auto want_mask = reference_masked_spgemm<PlusTimes<VT>>(a, b, m);
+  const auto want_comp =
+      reference_masked_spgemm<PlusTimes<VT>>(a, b, m, MaskKind::kComplement);
+
+  for (auto algo : msx::testing::all_algos()) {
+    for (auto ph : msx::testing::all_phases()) {
+      MaskedOptions o;
+      o.algo = algo;
+      o.phases = ph;
+      auto c = masked_spgemm<PlusTimes<VT>>(a, b, m, o);
+      SCOPED_TRACE(scheme_name(algo, ph));
+      EXPECT_TRUE(c.validate());
+      EXPECT_TRUE(pattern_subset_of_mask(c, m));
+      EXPECT_TRUE(matrices_near(c, want_mask));
+    }
+  }
+  for (auto algo : msx::testing::complement_algos()) {
+    for (auto ph : msx::testing::all_phases()) {
+      MaskedOptions o;
+      o.algo = algo;
+      o.phases = ph;
+      o.kind = MaskKind::kComplement;
+      auto c = masked_spgemm<PlusTimes<VT>>(a, b, m, o);
+      SCOPED_TRACE(scheme_name(algo, ph) + "-comp");
+      EXPECT_TRUE(c.validate());
+      EXPECT_TRUE(pattern_disjoint_from_mask(c, m));
+      EXPECT_TRUE(matrices_near(c, want_comp));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PropertySweepP,
+    ::testing::Values(
+        // n, input degree, mask degree, seed — spanning the Fig. 7 regimes.
+        std::make_tuple(32, 2, 2, 1), std::make_tuple(32, 8, 2, 2),
+        std::make_tuple(32, 2, 8, 3), std::make_tuple(64, 4, 16, 4),
+        std::make_tuple(64, 16, 4, 5), std::make_tuple(64, 16, 16, 6),
+        std::make_tuple(128, 1, 1, 7), std::make_tuple(128, 8, 32, 8),
+        std::make_tuple(128, 32, 8, 9), std::make_tuple(96, 12, 12, 10),
+        std::make_tuple(200, 3, 40, 11), std::make_tuple(200, 40, 3, 12)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_din" +
+             std::to_string(std::get<1>(info.param)) + "_dm" +
+             std::to_string(std::get<2>(info.param)) + "_s" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+}  // namespace
+}  // namespace msx

@@ -1,0 +1,99 @@
+// Masked SpGEMM over non-arithmetic semirings: the kernels must honour the
+// semiring's add/mul exactly (the applications depend on plus-pair; graph
+// algorithms at large use min-plus and boolean semirings).
+#include <gtest/gtest.h>
+
+#include "core/masked_spgemm.hpp"
+#include "core/reference.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "matrix/build.hpp"
+#include "semiring/semirings.hpp"
+#include "test_helpers.hpp"
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+using msx::testing::matrices_near;
+
+template <class SR>
+void check_all_algos(const CSRMatrix<IT, VT>& a, const CSRMatrix<IT, VT>& b,
+                     const CSRMatrix<IT, VT>& m) {
+  auto want = reference_masked_spgemm<SR>(a, b, m);
+  for (auto algo : msx::testing::all_algos()) {
+    MaskedOptions o;
+    o.algo = algo;
+    auto got = masked_spgemm<SR>(a, b, m, o);
+    // Tolerant comparison: schemes sum products in different orders, so
+    // floating-point results may differ in the last bits (exact for
+    // integer semirings).
+    EXPECT_TRUE(matrices_near(got, want, 1e-9)) << to_string(algo);
+  }
+}
+
+TEST(SemiringSpgemm, PlusPairCountsContributions) {
+  auto a = erdos_renyi<IT, VT>(80, 80, 7, 1);
+  auto b = erdos_renyi<IT, VT>(80, 80, 7, 2);
+  auto m = erdos_renyi<IT, VT>(80, 80, 9, 3);
+  check_all_algos<PlusPair<std::int64_t>>(a, b, m);
+}
+
+TEST(SemiringSpgemm, PlusFirstPicksAValues) {
+  auto a = erdos_renyi<IT, VT>(60, 60, 5, 4);
+  auto b = erdos_renyi<IT, VT>(60, 60, 5, 5);
+  auto m = erdos_renyi<IT, VT>(60, 60, 7, 6);
+  check_all_algos<PlusFirst<double>>(a, b, m);
+}
+
+TEST(SemiringSpgemm, PlusSecondPicksBValues) {
+  auto a = erdos_renyi<IT, VT>(60, 60, 5, 7);
+  auto b = erdos_renyi<IT, VT>(60, 60, 5, 8);
+  auto m = erdos_renyi<IT, VT>(60, 60, 7, 9);
+  check_all_algos<PlusSecond<double>>(a, b, m);
+}
+
+TEST(SemiringSpgemm, MinPlusShortestHop) {
+  // min-plus over positive weights: masked one-hop relaxation.
+  ErdosRenyiOptions wopts;
+  wopts.value_min = 1.0;
+  wopts.value_max = 10.0;
+  auto a = erdos_renyi<IT, VT>(50, 50, 5, 10, wopts);
+  auto b = erdos_renyi<IT, VT>(50, 50, 5, 11, wopts);
+  auto m = erdos_renyi<IT, VT>(50, 50, 8, 12);
+  auto want = reference_masked_spgemm<MinPlus<double>>(a, b, m);
+  for (auto algo : msx::testing::all_algos()) {
+    MaskedOptions o;
+    o.algo = algo;
+    auto got = masked_spgemm<MinPlus<double>>(a, b, m, o);
+    EXPECT_TRUE(matrices_near(got, want)) << to_string(algo);
+  }
+}
+
+TEST(SemiringSpgemm, PlusPairOnTriangleExample) {
+  // Hand-checked: path 0-1-2 plus chord 0-2 => wedge counting.
+  auto g = csr_from_dense<IT, VT>({
+      {0, 1, 1},
+      {1, 0, 1},
+      {1, 1, 0},
+  });
+  // (G·G)(0,2) over plus-pair counts common neighbours of 0 and 2 = 1.
+  auto c = masked_spgemm<PlusPair<std::int64_t>>(g, g, g);
+  // mask = G: entries only on edges; each edge of the triangle has exactly
+  // one wedge through the third vertex.
+  ASSERT_EQ(c.nnz(), 6u);
+  for (auto v : c.values()) EXPECT_EQ(v, 1);
+}
+
+TEST(SemiringSpgemm, SemiringValueTypeDiffersFromMatrixType) {
+  // double matrices, integer output semiring.
+  auto a = erdos_renyi<IT, VT>(40, 40, 4, 13);
+  auto b = erdos_renyi<IT, VT>(40, 40, 4, 14);
+  auto m = erdos_renyi<IT, VT>(40, 40, 6, 15);
+  auto c = masked_spgemm<PlusPair<int>>(a, b, m);
+  static_assert(std::is_same_v<decltype(c)::value_type, int>);
+  for (int v : c.values()) EXPECT_GE(v, 1);
+}
+
+}  // namespace
+}  // namespace msx

@@ -1,0 +1,103 @@
+#include "gen/erdos_renyi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.hpp"
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+
+TEST(ErdosRenyi, ExactRowDegrees) {
+  auto a = erdos_renyi<IT, VT>(100, 200, 7, 1);
+  EXPECT_TRUE(a.validate());
+  for (IT i = 0; i < a.nrows(); ++i) EXPECT_EQ(a.row_nnz(i), 7);
+  EXPECT_EQ(a.nnz(), 700u);
+}
+
+TEST(ErdosRenyi, DegreeCappedByWidth) {
+  auto a = erdos_renyi<IT, VT>(10, 5, 50, 2);
+  for (IT i = 0; i < a.nrows(); ++i) EXPECT_EQ(a.row_nnz(i), 5);
+}
+
+TEST(ErdosRenyi, NoSelfLoopsOption) {
+  ErdosRenyiOptions opts;
+  opts.allow_self_loops = false;
+  auto a = erdos_renyi<IT, VT>(50, 50, 49, 3, opts);  // every column but i
+  for (IT i = 0; i < a.nrows(); ++i) {
+    const auto row = a.row(i);
+    EXPECT_EQ(row.size(), 49);
+    for (IT p = 0; p < row.size(); ++p) EXPECT_NE(row.cols[p], i);
+  }
+}
+
+TEST(ErdosRenyi, NoSelfLoopsFullWidthMinusOne) {
+  // degree request beyond available (ncols-1) must clamp, not loop forever.
+  ErdosRenyiOptions opts;
+  opts.allow_self_loops = false;
+  auto a = erdos_renyi<IT, VT>(8, 8, 100, 4, opts);
+  for (IT i = 0; i < 8; ++i) EXPECT_EQ(a.row_nnz(i), 7);
+}
+
+TEST(ErdosRenyi, DeterministicAcrossThreadCounts) {
+  CSRMatrix<IT, VT> with_many, with_one;
+  with_many = erdos_renyi<IT, VT>(300, 300, 10, 42);
+  {
+    ScopedNumThreads guard(1);
+    with_one = erdos_renyi<IT, VT>(300, 300, 10, 42);
+  }
+  EXPECT_EQ(with_many, with_one);
+}
+
+TEST(ErdosRenyi, SeedsProduceDifferentMatrices) {
+  auto a = erdos_renyi<IT, VT>(100, 100, 5, 1);
+  auto b = erdos_renyi<IT, VT>(100, 100, 5, 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(ErdosRenyi, ValuesInRequestedRange) {
+  ErdosRenyiOptions opts;
+  opts.value_min = 2.0;
+  opts.value_max = 3.0;
+  auto a = erdos_renyi<IT, VT>(50, 50, 5, 9, opts);
+  for (VT v : a.values()) {
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(ErdosRenyi, ZeroDegreeAndZeroRows) {
+  auto a = erdos_renyi<IT, VT>(10, 10, 0, 1);
+  EXPECT_EQ(a.nnz(), 0u);
+  auto b = erdos_renyi<IT, VT>(0, 10, 5, 1);
+  EXPECT_EQ(b.nrows(), 0);
+  EXPECT_EQ(b.nnz(), 0u);
+}
+
+TEST(ErdosRenyi, DenseRequestIsFullRow) {
+  auto a = erdos_renyi<IT, VT>(20, 16, 16, 6);
+  for (IT i = 0; i < 20; ++i) {
+    const auto row = a.row(i);
+    ASSERT_EQ(row.size(), 16);
+    for (IT p = 0; p < 16; ++p) EXPECT_EQ(row.cols[p], p);
+  }
+}
+
+TEST(ErdosRenyi, ColumnsSpreadAcrossRange) {
+  // Statistical sanity: with n=1000, degree 8, some column beyond 900 should
+  // appear within the first 100 rows.
+  auto a = erdos_renyi<IT, VT>(100, 1000, 8, 13);
+  bool high_col_seen = false;
+  for (IT c : a.colidx()) {
+    if (c >= 900) {
+      high_col_seen = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(high_col_seen);
+}
+
+}  // namespace
+}  // namespace msx

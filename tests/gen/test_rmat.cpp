@@ -1,0 +1,86 @@
+#include "gen/rmat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "matrix/ops.hpp"
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+
+TEST(Rmat, ShapeAndBounds) {
+  auto a = rmat<IT, VT>(8, 1);
+  EXPECT_EQ(a.nrows(), 256);
+  EXPECT_EQ(a.ncols(), 256);
+  EXPECT_TRUE(a.validate());
+  // Sampled 256*16 edges; dedup + self-loop removal shrinks but not to zero.
+  EXPECT_GT(a.nnz(), 256u);
+  EXPECT_LE(a.nnz(), 2u * 256u * 16u);
+}
+
+TEST(Rmat, Deterministic) {
+  auto a = rmat<IT, VT>(7, 99);
+  auto b = rmat<IT, VT>(7, 99);
+  EXPECT_EQ(a, b);
+  auto c = rmat<IT, VT>(7, 100);
+  EXPECT_NE(a, c);
+}
+
+TEST(Rmat, SymmetrizedByDefault) {
+  auto a = rmat<IT, VT>(8, 5);
+  EXPECT_TRUE(is_pattern_symmetric(a));
+}
+
+TEST(Rmat, NoSelfLoopsByDefault) {
+  auto a = rmat<IT, VT>(8, 3);
+  for (IT i = 0; i < a.nrows(); ++i) {
+    const auto row = a.row(i);
+    for (IT p = 0; p < row.size(); ++p) EXPECT_NE(row.cols[p], i);
+  }
+}
+
+TEST(Rmat, DirectedOption) {
+  RmatOptions opts;
+  opts.symmetrize = false;
+  auto a = rmat<IT, VT>(8, 7, opts);
+  EXPECT_TRUE(a.validate());
+}
+
+TEST(Rmat, SkewedDegreesWithGraph500Params) {
+  // R-MAT with a=0.57 concentrates edges: the max degree should far exceed
+  // the mean degree (power-law-ish tail). Disable id scrambling so the
+  // hub structure stays at low vertex ids.
+  RmatOptions opts;
+  opts.scramble_ids = false;
+  auto a = rmat<IT, VT>(10, 11, opts);
+  const double mean =
+      static_cast<double>(a.nnz()) / static_cast<double>(a.nrows());
+  IT max_deg = 0;
+  for (IT i = 0; i < a.nrows(); ++i) max_deg = std::max(max_deg, a.row_nnz(i));
+  EXPECT_GT(static_cast<double>(max_deg), 4.0 * mean);
+}
+
+TEST(Rmat, EdgeFactorScalesNnz) {
+  RmatOptions small;
+  small.edge_factor = 4;
+  RmatOptions large;
+  large.edge_factor = 16;
+  auto a = rmat<IT, VT>(9, 2, small);
+  auto b = rmat<IT, VT>(9, 2, large);
+  EXPECT_GT(b.nnz(), 2u * a.nnz());
+}
+
+TEST(Rmat, ScaleZeroAndRejects) {
+  auto a = rmat<IT, VT>(0, 1);  // single vertex, self-loops removed
+  EXPECT_EQ(a.nrows(), 1);
+  EXPECT_EQ(a.nnz(), 0u);
+  EXPECT_THROW((rmat<IT, VT>(31, 1)), std::invalid_argument);
+  EXPECT_THROW((rmat<IT, VT>(-1, 1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msx

@@ -1,0 +1,91 @@
+#include "gen/structured.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matrix/build.hpp"
+#include "matrix/ops.hpp"
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+
+TEST(Structured, PathGraph) {
+  auto p = path_graph<IT, VT>(5);
+  EXPECT_EQ(p.nnz(), 8u);  // 4 undirected edges
+  EXPECT_EQ(p.row_nnz(0), 1);
+  EXPECT_EQ(p.row_nnz(2), 2);
+  EXPECT_TRUE(is_pattern_symmetric(p));
+}
+
+TEST(Structured, CycleGraph) {
+  auto c = cycle_graph<IT, VT>(6);
+  EXPECT_EQ(c.nnz(), 12u);
+  for (IT i = 0; i < 6; ++i) EXPECT_EQ(c.row_nnz(i), 2);
+  EXPECT_THROW((cycle_graph<IT, VT>(2)), std::invalid_argument);
+}
+
+TEST(Structured, CompleteGraph) {
+  auto k = complete_graph<IT, VT>(7);
+  EXPECT_EQ(k.nnz(), 42u);
+  for (IT i = 0; i < 7; ++i) EXPECT_EQ(k.row_nnz(i), 6);
+}
+
+TEST(Structured, StarGraph) {
+  auto s = star_graph<IT, VT>(10);
+  EXPECT_EQ(s.row_nnz(0), 9);
+  for (IT i = 1; i < 10; ++i) EXPECT_EQ(s.row_nnz(i), 1);
+}
+
+TEST(Structured, CompleteBipartite) {
+  auto b = complete_bipartite<IT, VT>(3, 4);
+  EXPECT_EQ(b.nrows(), 7);
+  EXPECT_EQ(b.nnz(), 24u);
+  for (IT i = 0; i < 3; ++i) EXPECT_EQ(b.row_nnz(i), 4);
+  for (IT i = 3; i < 7; ++i) EXPECT_EQ(b.row_nnz(i), 3);
+}
+
+TEST(Structured, Grid2d) {
+  auto g = grid2d<IT, VT>(3, 4);
+  EXPECT_EQ(g.nrows(), 12);
+  // Edge count: horizontal 3*3 + vertical 2*4 = 17 undirected -> 34 entries.
+  EXPECT_EQ(g.nnz(), 34u);
+  EXPECT_TRUE(is_pattern_symmetric(g));
+  // Corner degree 2, interior degree 4.
+  EXPECT_EQ(g.row_nnz(0), 2);
+  EXPECT_EQ(g.row_nnz(5), 4);
+}
+
+TEST(Structured, Torus2dRegularDegree) {
+  auto t = grid2d<IT, VT>(4, 5, /*torus=*/true);
+  for (IT i = 0; i < t.nrows(); ++i) EXPECT_EQ(t.row_nnz(i), 4);
+  EXPECT_TRUE(is_pattern_symmetric(t));
+}
+
+TEST(Structured, KroneckerPowerDims) {
+  auto seed = csr_from_dense<IT, VT>({{1, 1}, {0, 1}});
+  auto k3 = kronecker_power(seed, 3);
+  EXPECT_EQ(k3.nrows(), 8);
+  EXPECT_EQ(k3.nnz(), 27u);  // nnz(seed)^3
+  EXPECT_TRUE(k3.validate());
+  auto k1 = kronecker_power(seed, 1);
+  EXPECT_EQ(k1, seed);
+}
+
+TEST(Structured, PreferentialAttachment) {
+  auto g = preferential_attachment<IT, VT>(200, 4, 17);
+  EXPECT_TRUE(is_pattern_symmetric(g));
+  EXPECT_TRUE(g.validate());
+  // Every late vertex got exactly 4 attachments, so min degree >= 4.
+  for (IT i = 0; i < g.nrows(); ++i) EXPECT_GE(g.row_nnz(i), 4);
+  // Skew: some early vertex accumulates far more than m.
+  IT max_deg = 0;
+  for (IT i = 0; i < g.nrows(); ++i) max_deg = std::max(max_deg, g.row_nnz(i));
+  EXPECT_GT(max_deg, 12);
+  // Deterministic.
+  EXPECT_EQ(g, (preferential_attachment<IT, VT>(200, 4, 17)));
+}
+
+}  // namespace
+}  // namespace msx

@@ -1,0 +1,51 @@
+#include "gen/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "matrix/ops.hpp"
+
+namespace msx {
+namespace {
+
+TEST(Suite, NonEmptyAndUniqueNames) {
+  auto suite = graph_suite(-3);
+  EXPECT_GE(suite.size(), 10u);
+  std::set<std::string> names;
+  for (const auto& w : suite) names.insert(w.name);
+  EXPECT_EQ(names.size(), suite.size());
+}
+
+TEST(Suite, AllWorkloadsGenerateValidSymmetricGraphs) {
+  for (const auto& w : graph_suite(-4)) {
+    SCOPED_TRACE(w.name);
+    auto g = w.make();
+    EXPECT_TRUE(g.validate());
+    EXPECT_EQ(g.nrows(), g.ncols());
+    EXPECT_GT(g.nnz(), 0u);
+    EXPECT_TRUE(is_pattern_symmetric(g));
+  }
+}
+
+TEST(Suite, ScaleShiftGrowsGraphs) {
+  auto small = graph_suite_filtered("rmat-s10", -4);
+  auto large = graph_suite_filtered("rmat-s10", -2);
+  ASSERT_EQ(small.size(), 1u);
+  ASSERT_EQ(large.size(), 1u);
+  EXPECT_LT(small[0].make().nnz(), large[0].make().nnz());
+}
+
+TEST(Suite, FilterFindsAndMisses) {
+  EXPECT_EQ(graph_suite_filtered("grid2d", -4).size(), 1u);
+  EXPECT_TRUE(graph_suite_filtered("no-such-workload", -4).empty());
+}
+
+TEST(Suite, Deterministic) {
+  auto a = graph_suite_filtered("er-d4", -4)[0].make();
+  auto b = graph_suite_filtered("er-d4", -4)[0].make();
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace msx

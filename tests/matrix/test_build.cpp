@@ -1,0 +1,88 @@
+#include "matrix/build.hpp"
+
+#include <gtest/gtest.h>
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+
+TEST(Build, FromTriplesSortsInput) {
+  std::vector<Triple<IT, VT>> t{{1, 1, 4.0}, {0, 2, 3.0}, {0, 0, 1.0}};
+  auto a = csr_from_triples<IT, VT>(2, 3, t);
+  EXPECT_TRUE(a.validate());
+  EXPECT_EQ(a.nnz(), 3u);
+  EXPECT_EQ(a.row(0).cols[0], 0);
+  EXPECT_EQ(a.row(0).cols[1], 2);
+  EXPECT_EQ(a.row(1).vals[0], 4.0);
+}
+
+TEST(Build, DuplicateSum) {
+  std::vector<Triple<IT, VT>> t{{0, 1, 2.0}, {0, 1, 3.0}, {0, 1, 4.0}};
+  auto a = csr_from_triples<IT, VT>(1, 2, t, DuplicatePolicy::kSum);
+  EXPECT_EQ(a.nnz(), 1u);
+  EXPECT_EQ(a.row(0).vals[0], 9.0);
+}
+
+TEST(Build, DuplicateLast) {
+  std::vector<Triple<IT, VT>> t{{0, 1, 2.0}, {0, 1, 3.0}};
+  auto a = csr_from_triples<IT, VT>(1, 2, t, DuplicatePolicy::kLast);
+  EXPECT_EQ(a.nnz(), 1u);
+  EXPECT_EQ(a.row(0).vals[0], 3.0);
+}
+
+TEST(Build, DuplicateError) {
+  std::vector<Triple<IT, VT>> t{{0, 1, 2.0}, {0, 1, 3.0}};
+  EXPECT_THROW((csr_from_triples<IT, VT>(1, 2, t, DuplicatePolicy::kError)),
+               std::invalid_argument);
+}
+
+TEST(Build, RejectsOutOfRangeCoordinates) {
+  std::vector<Triple<IT, VT>> t{{0, 5, 1.0}};
+  EXPECT_THROW((csr_from_triples<IT, VT>(1, 2, t)), std::invalid_argument);
+  std::vector<Triple<IT, VT>> t2{{3, 0, 1.0}};
+  EXPECT_THROW((csr_from_triples<IT, VT>(1, 2, t2)), std::invalid_argument);
+}
+
+TEST(Build, EmptyTriples) {
+  auto a = csr_from_triples<IT, VT>(4, 4, {});
+  EXPECT_EQ(a.nnz(), 0u);
+  EXPECT_TRUE(a.validate());
+}
+
+TEST(Build, CscFromTriples) {
+  std::vector<Triple<IT, VT>> t{{0, 1, 2.0}, {1, 0, 3.0}, {1, 1, 4.0}};
+  auto a = csc_from_triples<IT, VT>(2, 2, t);
+  EXPECT_EQ(a.nnz(), 3u);
+  EXPECT_EQ(a.col_nnz(0), 1);
+  EXPECT_EQ(a.col_nnz(1), 2);
+  auto c1 = a.col(1);
+  EXPECT_EQ(c1.rows[0], 0);
+  EXPECT_EQ(c1.rows[1], 1);
+  EXPECT_EQ(c1.vals[0], 2.0);
+}
+
+TEST(Build, FromDenseDropsZeros) {
+  auto a = csr_from_dense<IT, VT>({{0, 1, 0}, {0, 0, 0}, {2, 0, 3}});
+  EXPECT_EQ(a.nrows(), 3);
+  EXPECT_EQ(a.ncols(), 3);
+  EXPECT_EQ(a.nnz(), 3u);
+  EXPECT_EQ(a.row_nnz(1), 0);
+}
+
+TEST(Build, FromEdgesPattern) {
+  auto a = csr_from_edges<IT, VT>(3, 3, {{0, 1}, {2, 0}, {0, 1}});
+  EXPECT_EQ(a.nnz(), 2u);  // duplicate edge collapsed
+  EXPECT_EQ(a.row(0).vals[0], 1.0);
+}
+
+TEST(Build, ToTriplesRoundTrip) {
+  auto a = csr_from_dense<IT, VT>({{1, 0, 2}, {0, 3, 0}});
+  auto t = to_triples(a);
+  auto b = csr_from_triples<IT, VT>(a.nrows(), a.ncols(), t);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace msx

@@ -1,0 +1,74 @@
+#include "matrix/convert.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/erdos_renyi.hpp"
+#include "matrix/build.hpp"
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+
+TEST(Convert, TransposeSmall) {
+  auto a = csr_from_dense<IT, VT>({{1, 2, 0}, {0, 0, 3}});
+  auto t = transpose(a);
+  EXPECT_EQ(t.nrows(), 3);
+  EXPECT_EQ(t.ncols(), 2);
+  auto expect = csr_from_dense<IT, VT>({{1, 0}, {2, 0}, {0, 3}});
+  EXPECT_EQ(t, expect);
+}
+
+TEST(Convert, TransposeTwiceIsIdentity) {
+  auto a = erdos_renyi<IT, VT>(97, 53, 6, 11);
+  EXPECT_EQ(transpose(transpose(a)), a);
+}
+
+TEST(Convert, TransposePreservesSorted) {
+  auto a = erdos_renyi<IT, VT>(200, 300, 9, 5);
+  auto t = transpose(a);
+  EXPECT_TRUE(t.validate());
+  EXPECT_EQ(t.nnz(), a.nnz());
+}
+
+TEST(Convert, CsrToCscMatchesEntries) {
+  auto a = csr_from_dense<IT, VT>({{1, 0, 2}, {0, 3, 0}, {4, 0, 5}});
+  auto c = csr_to_csc(a);
+  EXPECT_EQ(c.nrows(), 3);
+  EXPECT_EQ(c.ncols(), 3);
+  EXPECT_EQ(c.nnz(), 5u);
+  auto col0 = c.col(0);
+  ASSERT_EQ(col0.size(), 2);
+  EXPECT_EQ(col0.rows[0], 0);
+  EXPECT_EQ(col0.rows[1], 2);
+  EXPECT_EQ(col0.vals[0], 1.0);
+  EXPECT_EQ(col0.vals[1], 4.0);
+}
+
+TEST(Convert, CscRoundTrip) {
+  auto a = erdos_renyi<IT, VT>(64, 80, 7, 21);
+  auto csc = csr_to_csc(a);
+  auto back = csc_to_csr(csc);
+  EXPECT_EQ(a, back);
+}
+
+TEST(Convert, EmptyMatrix) {
+  CSRMatrix<IT, VT> a(4, 6);
+  auto t = transpose(a);
+  EXPECT_EQ(t.nrows(), 6);
+  EXPECT_EQ(t.ncols(), 4);
+  EXPECT_EQ(t.nnz(), 0u);
+  auto c = csr_to_csc(a);
+  EXPECT_EQ(c.nnz(), 0u);
+}
+
+TEST(Convert, RectangularTallAndWide) {
+  auto tall = erdos_renyi<IT, VT>(300, 10, 3, 2);
+  EXPECT_EQ(transpose(transpose(tall)), tall);
+  auto wide = erdos_renyi<IT, VT>(10, 300, 40, 3);
+  EXPECT_EQ(transpose(transpose(wide)), wide);
+}
+
+}  // namespace
+}  // namespace msx

@@ -1,0 +1,101 @@
+#include "matrix/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matrix/build.hpp"
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+
+TEST(CSR, DefaultIsEmpty) {
+  CSRMatrix<IT, VT> a;
+  EXPECT_EQ(a.nrows(), 0);
+  EXPECT_EQ(a.ncols(), 0);
+  EXPECT_EQ(a.nnz(), 0u);
+  EXPECT_TRUE(a.validate());
+}
+
+TEST(CSR, ShapeOnlyConstructor) {
+  CSRMatrix<IT, VT> a(3, 5);
+  EXPECT_EQ(a.nrows(), 3);
+  EXPECT_EQ(a.ncols(), 5);
+  EXPECT_EQ(a.nnz(), 0u);
+  EXPECT_EQ(a.row_nnz(0), 0);
+  EXPECT_TRUE(a.validate());
+}
+
+TEST(CSR, AdoptArrays) {
+  // [1 0 2; 0 0 0; 0 3 0]
+  CSRMatrix<IT, VT> a(3, 3, {0, 2, 2, 3}, {0, 2, 1}, {1.0, 2.0, 3.0});
+  EXPECT_EQ(a.nnz(), 3u);
+  EXPECT_EQ(a.row_nnz(0), 2);
+  EXPECT_EQ(a.row_nnz(1), 0);
+  EXPECT_EQ(a.row_nnz(2), 1);
+  const auto r0 = a.row(0);
+  EXPECT_EQ(r0.cols[0], 0);
+  EXPECT_EQ(r0.cols[1], 2);
+  EXPECT_EQ(r0.vals[1], 2.0);
+  EXPECT_TRUE(a.validate());
+}
+
+TEST(CSR, AdoptRejectsBadSizes) {
+  // rowptr too short
+  EXPECT_THROW((CSRMatrix<IT, VT>(2, 2, {0, 1}, {0}, {1.0})),
+               std::invalid_argument);
+  // rowptr.back != nnz
+  EXPECT_THROW((CSRMatrix<IT, VT>(1, 2, {0, 2}, {0}, {1.0})),
+               std::invalid_argument);
+  // colidx/values mismatch
+  EXPECT_THROW((CSRMatrix<IT, VT>(1, 2, {0, 1}, {0}, {1.0, 2.0})),
+               std::invalid_argument);
+}
+
+TEST(CSR, ValidateCatchesUnsortedRow) {
+  CSRMatrix<IT, VT> a(1, 3, {0, 2}, {2, 0}, {1.0, 2.0});
+  std::string why;
+  EXPECT_FALSE(a.validate(&why));
+  EXPECT_NE(why.find("increasing"), std::string::npos);
+}
+
+TEST(CSR, ValidateCatchesDuplicateColumn) {
+  CSRMatrix<IT, VT> a(1, 3, {0, 2}, {1, 1}, {1.0, 2.0});
+  EXPECT_FALSE(a.validate());
+}
+
+TEST(CSR, ValidateCatchesOutOfRangeColumn) {
+  CSRMatrix<IT, VT> a(1, 2, {0, 1}, {5}, {1.0});
+  EXPECT_FALSE(a.validate());
+}
+
+TEST(CSR, EqualityIncludesValues) {
+  auto a = csr_from_dense<IT, VT>({{1, 0}, {0, 2}});
+  auto b = csr_from_dense<IT, VT>({{1, 0}, {0, 2}});
+  auto c = csr_from_dense<IT, VT>({{1, 0}, {0, 3}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(CSR, RowViewEmptyRow) {
+  CSRMatrix<IT, VT> a(2, 2, {0, 0, 1}, {1}, {4.0});
+  EXPECT_TRUE(a.row(0).empty());
+  EXPECT_EQ(a.row(1).size(), 1);
+}
+
+TEST(MaskViewTest, ReflectsPattern) {
+  auto m = csr_from_dense<IT, VT>({{0, 5, 0}, {7, 0, 9}});
+  auto view = mask_of(m);
+  EXPECT_EQ(view.nrows, 2);
+  EXPECT_EQ(view.ncols, 3);
+  EXPECT_EQ(view.nnz(), 3u);
+  EXPECT_EQ(view.row_nnz(0), 1);
+  auto r1 = view.row(1);
+  ASSERT_EQ(r1.size(), 2u);
+  EXPECT_EQ(r1[0], 0);
+  EXPECT_EQ(r1[1], 2);
+}
+
+}  // namespace
+}  // namespace msx

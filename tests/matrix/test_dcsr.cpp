@@ -1,0 +1,96 @@
+#include "matrix/dcsr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/erdos_renyi.hpp"
+#include "matrix/build.hpp"
+#include "matrix/ops.hpp"
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+
+TEST(DCSR, RoundTripDropsAndRestoresEmptyRows) {
+  // Rows 1 and 3 empty.
+  auto a = csr_from_dense<IT, VT>({
+      {1, 0, 2},
+      {0, 0, 0},
+      {0, 3, 0},
+      {0, 0, 0},
+      {4, 5, 6},
+  });
+  auto d = csr_to_dcsr(a);
+  EXPECT_TRUE(d.validate());
+  EXPECT_EQ(d.nrows(), 5);
+  EXPECT_EQ(d.nrows_compressed(), 3);
+  EXPECT_EQ(d.nnz(), a.nnz());
+  EXPECT_EQ(d.rowids()[0], 0);
+  EXPECT_EQ(d.rowids()[1], 2);
+  EXPECT_EQ(d.rowids()[2], 4);
+  EXPECT_EQ(dcsr_to_csr(d), a);
+}
+
+TEST(DCSR, CompressedRowView) {
+  auto a = csr_from_dense<IT, VT>({{0, 0}, {7, 8}});
+  auto d = csr_to_dcsr(a);
+  ASSERT_EQ(d.nrows_compressed(), 1);
+  const auto row = d.compressed_row(0);
+  EXPECT_EQ(row.row, 1);
+  ASSERT_EQ(row.cols.size(), 2u);
+  EXPECT_EQ(row.vals[1], 8.0);
+}
+
+TEST(DCSR, HypersparseOccupancy) {
+  // One nonzero in a 1000-row matrix: occupancy 0.001.
+  std::vector<Triple<IT, VT>> t{{500, 3, 1.0}};
+  auto a = csr_from_triples<IT, VT>(1000, 10, t);
+  auto d = csr_to_dcsr(a);
+  EXPECT_EQ(d.nrows_compressed(), 1);
+  EXPECT_NEAR(row_occupancy(d), 0.001, 1e-12);
+  EXPECT_EQ(dcsr_to_csr(d), a);
+}
+
+TEST(DCSR, FullyDenseRowsKeepAll) {
+  auto a = erdos_renyi<IT, VT>(64, 64, 4, 1);  // every row has 4 entries
+  auto d = csr_to_dcsr(a);
+  EXPECT_EQ(d.nrows_compressed(), 64);
+  EXPECT_DOUBLE_EQ(row_occupancy(d), 1.0);
+  EXPECT_EQ(dcsr_to_csr(d), a);
+}
+
+TEST(DCSR, EmptyMatrix) {
+  CSRMatrix<IT, VT> a(7, 9);
+  auto d = csr_to_dcsr(a);
+  EXPECT_EQ(d.nrows_compressed(), 0);
+  EXPECT_EQ(d.nnz(), 0u);
+  EXPECT_EQ(row_occupancy(d), 0.0);
+  auto back = dcsr_to_csr(d);
+  EXPECT_EQ(back.nrows(), 7);
+  EXPECT_EQ(back.ncols(), 9);
+  EXPECT_EQ(back.nnz(), 0u);
+}
+
+TEST(DCSR, ValidateCatchesCorruption) {
+  // Row ids out of order.
+  DCSRMatrix<IT, VT> bad(4, 4, {2, 1}, {0, 1, 2}, {0, 1}, {1.0, 2.0});
+  EXPECT_FALSE(bad.validate());
+  // Empty compressed row (rowptr not strictly increasing).
+  DCSRMatrix<IT, VT> bad2(4, 4, {0, 1}, {0, 0, 1}, {2}, {1.0});
+  EXPECT_FALSE(bad2.validate());
+}
+
+TEST(DCSR, RandomRoundTripMany) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto a = erdos_renyi<IT, VT>(100, 80, 2, seed);
+    // Punch empty rows by filtering out half the rows' entries.
+    auto filtered = filter(a, [](IT i, IT, const VT&) { return i % 3 != 0; });
+    auto d = csr_to_dcsr(filtered);
+    EXPECT_TRUE(d.validate());
+    EXPECT_EQ(dcsr_to_csr(d), filtered);
+  }
+}
+
+}  // namespace
+}  // namespace msx

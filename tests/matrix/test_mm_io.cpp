@@ -1,0 +1,130 @@
+#include "matrix/mm_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/erdos_renyi.hpp"
+#include "matrix/build.hpp"
+#include "matrix/ops.hpp"
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+
+TEST(MatrixMarket, ReadGeneralReal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 4 3\n"
+      "1 1 1.5\n"
+      "2 3 -2.0\n"
+      "3 4 7\n");
+  auto a = read_matrix_market<IT, VT>(in);
+  EXPECT_EQ(a.nrows(), 3);
+  EXPECT_EQ(a.ncols(), 4);
+  EXPECT_EQ(a.nnz(), 3u);
+  EXPECT_EQ(a.row(0).vals[0], 1.5);
+  EXPECT_EQ(a.row(1).cols[0], 2);
+  EXPECT_EQ(a.row(2).vals[0], 7.0);
+}
+
+TEST(MatrixMarket, ReadPattern) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n"
+      "2 1\n");
+  auto a = read_matrix_market<IT, VT>(in);
+  EXPECT_EQ(a.nnz(), 2u);
+  EXPECT_EQ(a.row(0).vals[0], 1.0);
+}
+
+TEST(MatrixMarket, ReadSymmetricExpands) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 5\n"
+      "3 3 9\n");
+  auto a = read_matrix_market<IT, VT>(in);
+  EXPECT_EQ(a.nnz(), 3u);  // (1,0),(0,1) expanded; diagonal kept once
+  EXPECT_EQ(a.row(0).cols[0], 1);
+  EXPECT_EQ(a.row(1).cols[0], 0);
+  EXPECT_EQ(a.row(2).vals[0], 9.0);
+  EXPECT_TRUE(is_pattern_symmetric(a));
+}
+
+TEST(MatrixMarket, DuplicatesSummed) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "1 1 2\n"
+      "1 1 2\n"
+      "1 1 3\n");
+  auto a = read_matrix_market<IT, VT>(in);
+  EXPECT_EQ(a.nnz(), 1u);
+  EXPECT_EQ(a.row(0).vals[0], 5.0);
+}
+
+TEST(MatrixMarket, RejectsBadBanner) {
+  std::istringstream in("%%NotMatrixMarket nope\n1 1 0\n");
+  EXPECT_THROW((read_matrix_market<IT, VT>(in)), std::invalid_argument);
+}
+
+TEST(MatrixMarket, RejectsTruncated) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 3\n"
+      "1 1 1.0\n");
+  EXPECT_THROW((read_matrix_market<IT, VT>(in)), std::invalid_argument);
+}
+
+TEST(MatrixMarket, RejectsUnsupportedField) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate complex general\n"
+      "1 1 1\n1 1 1 0\n");
+  EXPECT_THROW((read_matrix_market<IT, VT>(in)), std::invalid_argument);
+}
+
+TEST(MatrixMarket, WriteReadRoundTrip) {
+  auto a = erdos_renyi<IT, VT>(20, 30, 4, 77);
+  std::ostringstream out;
+  write_matrix_market(out, a);
+  std::istringstream in(out.str());
+  auto b = read_matrix_market<IT, VT>(in);
+  EXPECT_EQ(a.nrows(), b.nrows());
+  EXPECT_EQ(a.ncols(), b.ncols());
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (std::size_t p = 0; p < a.nnz(); ++p) {
+    EXPECT_EQ(a.colidx()[p], b.colidx()[p]);
+    EXPECT_NEAR(a.values()[p], b.values()[p], 1e-12);
+  }
+}
+
+TEST(MatrixMarket, PatternRoundTrip) {
+  auto a = erdos_renyi<IT, VT>(10, 10, 3, 5);
+  std::ostringstream out;
+  write_matrix_market(out, a, /*pattern_only=*/true);
+  std::istringstream in(out.str());
+  auto b = read_matrix_market<IT, VT>(in);
+  EXPECT_TRUE(pattern_equal(a, b));
+  for (VT v : b.values()) EXPECT_EQ(v, 1.0);
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  auto a = erdos_renyi<IT, VT>(15, 15, 4, 3);
+  const std::string path = ::testing::TempDir() + "/msx_io_test.mtx";
+  write_matrix_market_file(path, a);
+  auto b = read_matrix_market_file<IT, VT>(path);
+  EXPECT_EQ(a.nrows(), b.nrows());
+  ASSERT_EQ(a.nnz(), b.nnz());
+}
+
+TEST(MatrixMarket, MissingFileThrows) {
+  EXPECT_THROW((read_matrix_market_file<IT, VT>("/nonexistent/x.mtx")),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msx

@@ -1,0 +1,138 @@
+#include "matrix/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/erdos_renyi.hpp"
+#include "gen/structured.hpp"
+#include "matrix/build.hpp"
+#include "matrix/convert.hpp"
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+
+TEST(Ops, RowDegrees) {
+  auto a = csr_from_dense<IT, VT>({{1, 1, 0}, {0, 0, 0}, {1, 1, 1}});
+  auto deg = row_degrees(a);
+  EXPECT_EQ(deg, (std::vector<IT>{2, 0, 3}));
+}
+
+TEST(Ops, DegreeOrderDescStableTies) {
+  auto a = csr_from_dense<IT, VT>({{1, 0, 0}, {1, 1, 0}, {1, 0, 0}});
+  auto perm = degree_order_desc(a);
+  EXPECT_EQ(perm, (std::vector<IT>{1, 0, 2}));  // deg 2 first, ties by id
+}
+
+TEST(Ops, PermuteSymmetricIsRelabeling) {
+  // Path 0-1-2; relabel reversing ids: new0=old2, new1=old1, new2=old0.
+  auto p = path_graph<IT, VT>(3);
+  std::vector<IT> perm{2, 1, 0};
+  auto q = permute_symmetric(p, perm);
+  // Reversed path is still a path with same degree sequence.
+  EXPECT_EQ(q.row_nnz(0), 1);
+  EXPECT_EQ(q.row_nnz(1), 2);
+  EXPECT_EQ(q.row_nnz(2), 1);
+  EXPECT_EQ(q.row(0).cols[0], 1);
+  EXPECT_TRUE(q.validate());
+}
+
+TEST(Ops, PermuteSymmetricPreservesTriangleStructure) {
+  auto g = erdos_renyi<IT, VT>(50, 50, 5, 9);
+  auto sym = symmetrize_pattern(remove_diagonal(g));
+  auto perm = degree_order_desc(sym);
+  auto relabeled = permute_symmetric(sym, perm);
+  EXPECT_TRUE(relabeled.validate());
+  EXPECT_EQ(relabeled.nnz(), sym.nnz());
+  EXPECT_TRUE(is_pattern_symmetric(relabeled));
+  // Degrees must be non-increasing after relabeling.
+  for (IT i = 0; i + 1 < relabeled.nrows(); ++i) {
+    EXPECT_GE(relabeled.row_nnz(i), relabeled.row_nnz(i + 1));
+  }
+}
+
+TEST(Ops, TrilTriuPartition) {
+  auto g = symmetrize_pattern(erdos_renyi<IT, VT>(40, 40, 6, 4));
+  auto l = tril_strict(g);
+  auto u = triu_strict(g);
+  auto d = filter(g, [](IT i, IT j, const VT&) { return i == j; });
+  EXPECT_EQ(l.nnz() + u.nnz() + d.nnz(), g.nnz());
+  for (IT i = 0; i < l.nrows(); ++i) {
+    for (IT p = 0; p < l.row(i).size(); ++p) {
+      EXPECT_LT(l.row(i).cols[p], i);
+    }
+  }
+  // Symmetric pattern: lower and upper halves have equal size.
+  EXPECT_EQ(l.nnz(), u.nnz());
+}
+
+TEST(Ops, RemoveDiagonal) {
+  auto a = csr_from_dense<IT, VT>({{1, 2}, {3, 4}});
+  auto b = remove_diagonal(a);
+  EXPECT_EQ(b.nnz(), 2u);
+  EXPECT_EQ(b.row(0).cols[0], 1);
+  EXPECT_EQ(b.row(1).cols[0], 0);
+}
+
+TEST(Ops, SponesSetsAllValuesOne) {
+  auto a = csr_from_dense<IT, VT>({{5, 0}, {0, -3}});
+  auto b = spones(a);
+  for (VT v : b.values()) EXPECT_EQ(v, 1.0);
+  EXPECT_TRUE(pattern_equal(a, b));
+}
+
+TEST(Ops, EwiseAddUnionAndSum) {
+  auto a = csr_from_dense<IT, VT>({{1, 0, 2}, {0, 0, 0}});
+  auto b = csr_from_dense<IT, VT>({{0, 3, 4}, {5, 0, 0}});
+  auto c = ewise_add(a, b);
+  auto expect = csr_from_dense<IT, VT>({{1, 3, 6}, {5, 0, 0}});
+  EXPECT_EQ(c, expect);
+}
+
+TEST(Ops, EwiseMultIntersection) {
+  auto a = csr_from_dense<IT, VT>({{2, 0, 3}, {1, 1, 0}});
+  auto b = csr_from_dense<IT, VT>({{4, 5, 0}, {0, 2, 2}});
+  auto c = ewise_mult(a, b);
+  auto expect = csr_from_dense<IT, VT>({{8, 0, 0}, {0, 2, 0}});
+  EXPECT_EQ(c, expect);
+}
+
+TEST(Ops, EwiseShapeMismatchThrows) {
+  CSRMatrix<IT, VT> a(2, 2), b(2, 3);
+  EXPECT_THROW(ewise_add(a, b), std::invalid_argument);
+  EXPECT_THROW(ewise_mult(a, b), std::invalid_argument);
+}
+
+TEST(Ops, SymmetrizeAndCheck) {
+  auto a = csr_from_dense<IT, VT>({{0, 1, 0}, {0, 0, 0}, {1, 0, 0}});
+  EXPECT_FALSE(is_pattern_symmetric(a));
+  auto s = symmetrize_pattern(a);
+  EXPECT_TRUE(is_pattern_symmetric(s));
+  EXPECT_EQ(s.nnz(), 4u);  // (0,1),(1,0),(0,2),(2,0)
+}
+
+TEST(Ops, ReduceSum) {
+  auto a = csr_from_dense<IT, VT>({{1.5, 0}, {2.5, 3.0}});
+  EXPECT_DOUBLE_EQ(reduce_sum(a), 7.0);
+  CSRMatrix<IT, VT> empty(3, 3);
+  EXPECT_DOUBLE_EQ(reduce_sum(empty), 0.0);
+}
+
+TEST(Ops, PatternEqualIgnoresValues) {
+  auto a = csr_from_dense<IT, VT>({{1, 0}, {0, 2}});
+  auto b = csr_from_dense<IT, VT>({{9, 0}, {0, 8}});
+  EXPECT_TRUE(pattern_equal(a, b));
+  auto c = csr_from_dense<IT, VT>({{1, 1}, {0, 2}});
+  EXPECT_FALSE(pattern_equal(a, c));
+}
+
+TEST(Ops, FilterByValue) {
+  auto a = csr_from_dense<IT, VT>({{1, 5}, {3, 2}});
+  auto big = filter(a, [](IT, IT, const VT& v) { return v >= 3; });
+  auto expect = csr_from_dense<IT, VT>({{0, 5}, {3, 0}});
+  EXPECT_EQ(big, expect);
+}
+
+}  // namespace
+}  // namespace msx

@@ -1,0 +1,92 @@
+#include "matrix/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/erdos_renyi.hpp"
+#include "gen/structured.hpp"
+#include "matrix/build.hpp"
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+
+TEST(MatrixStats, HandComputed) {
+  auto a = csr_from_dense<IT, VT>({
+      {1, 1, 0, 0},
+      {0, 0, 0, 0},
+      {1, 0, 0, 1},
+  });
+  const auto s = matrix_stats(a);
+  EXPECT_EQ(s.nrows, 3);
+  EXPECT_EQ(s.ncols, 4);
+  EXPECT_EQ(s.nnz, 4u);
+  EXPECT_EQ(s.min_degree, 0);
+  EXPECT_EQ(s.max_degree, 2);
+  EXPECT_NEAR(s.mean_degree, 4.0 / 3.0, 1e-12);
+  EXPECT_EQ(s.empty_rows, 1u);
+  EXPECT_NEAR(s.density, 4.0 / 12.0, 1e-12);
+  EXPECT_EQ(s.bandwidth, 2);  // entry (2,0): |2-0| = 2... and (0,1)=1, (2,3)=1
+}
+
+TEST(MatrixStats, RegularGraphHasNoSkew) {
+  auto t = grid2d<IT, VT>(8, 8, /*torus=*/true);  // 4-regular
+  const auto s = matrix_stats(t);
+  EXPECT_EQ(s.min_degree, 4);
+  EXPECT_EQ(s.max_degree, 4);
+  EXPECT_DOUBLE_EQ(s.degree_skew, 1.0);
+  EXPECT_DOUBLE_EQ(s.degree_stddev, 0.0);
+}
+
+TEST(MatrixStats, StarGraphIsMaximallySkewed) {
+  auto g = star_graph<IT, VT>(100);
+  const auto s = matrix_stats(g);
+  EXPECT_EQ(s.max_degree, 99);
+  EXPECT_GT(s.degree_skew, 49.0);
+}
+
+TEST(MatrixStats, EmptyMatrix) {
+  CSRMatrix<IT, VT> a(0, 0);
+  const auto s = matrix_stats(a);
+  EXPECT_EQ(s.nnz, 0u);
+  EXPECT_EQ(s.mean_degree, 0.0);
+}
+
+TEST(MatrixStats, ERDegreesExact) {
+  auto a = erdos_renyi<IT, VT>(64, 64, 6, 1);
+  const auto s = matrix_stats(a);
+  EXPECT_EQ(s.min_degree, 6);
+  EXPECT_EQ(s.max_degree, 6);
+  EXPECT_DOUBLE_EQ(s.mean_degree, 6.0);
+}
+
+TEST(DegreeHistogram, BucketsCorrect) {
+  // Degrees: 0, 1, 2, 3, 4 across five rows.
+  auto a = csr_from_dense<IT, VT>({
+      {0, 0, 0, 0, 0},
+      {1, 0, 0, 0, 0},
+      {1, 1, 0, 0, 0},
+      {1, 1, 1, 0, 0},
+      {1, 1, 1, 1, 0},
+  });
+  const auto h = degree_histogram(a);
+  // bucket 0: degree-0 rows; bucket 1: degree 1; bucket 2: degrees 2-3;
+  // bucket 3: degrees 4-7.
+  ASSERT_EQ(h.size(), 4u);
+  EXPECT_EQ(h[0], 1u);
+  EXPECT_EQ(h[1], 1u);
+  EXPECT_EQ(h[2], 2u);
+  EXPECT_EQ(h[3], 1u);
+}
+
+TEST(DegreeHistogram, SumsToRows) {
+  auto g = preferential_attachment<IT, VT>(300, 3, 9);
+  const auto h = degree_histogram(g);
+  std::size_t total = 0;
+  for (auto c : h) total += c;
+  EXPECT_EQ(total, static_cast<std::size_t>(g.nrows()));
+}
+
+}  // namespace
+}  // namespace msx

@@ -1,0 +1,50 @@
+#include "profile/measure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace msx {
+namespace {
+
+TEST(Measure, RunsWarmupPlusReps) {
+  std::atomic<int> calls{0};
+  MeasureConfig cfg;
+  cfg.warmup = 2;
+  cfg.reps = 3;
+  auto stats = measure([&] { calls.fetch_add(1); }, cfg);
+  EXPECT_EQ(calls.load(), 5);
+  EXPECT_EQ(stats.n, 3u);
+}
+
+TEST(Measure, MinSecondsExtendsSampling) {
+  std::atomic<int> calls{0};
+  MeasureConfig cfg;
+  cfg.warmup = 0;
+  cfg.reps = 1;
+  cfg.min_seconds = 0.05;
+  auto stats = measure(
+      [&] {
+        calls.fetch_add(1);
+        volatile double x = 0;
+        for (int i = 0; i < 100000; ++i) x += i;
+      },
+      cfg);
+  EXPECT_GE(stats.n, 1u);
+  double total = stats.mean * static_cast<double>(stats.n);
+  EXPECT_GE(total, 0.045);
+}
+
+TEST(Measure, StatsArePositive) {
+  auto stats = measure([] {
+    volatile double x = 0;
+    for (int i = 0; i < 10000; ++i) x += i;
+  });
+  EXPECT_GT(stats.min, 0.0);
+  EXPECT_GE(stats.max, stats.min);
+  EXPECT_GE(stats.mean, stats.min);
+  EXPECT_EQ(best_seconds(stats), stats.min);
+}
+
+}  // namespace
+}  // namespace msx

@@ -1,0 +1,89 @@
+#include "profile/perf_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace msx {
+namespace {
+
+TEST(PerfProfile, SingleSchemeWinsEverywhere) {
+  ProfileInput in;
+  in.schemes = {"fast", "slow"};
+  in.cases = {"c1", "c2"};
+  in.seconds = {{1.0, 2.0}, {2.0, 4.0}};
+  auto series = performance_profiles(in);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(win_fraction(series[0]), 1.0);
+  EXPECT_DOUBLE_EQ(win_fraction(series[1]), 0.0);
+  // slow is within 2x on all cases.
+  EXPECT_DOUBLE_EQ(series[1].y.back(), 1.0);
+  EXPECT_DOUBLE_EQ(series[1].x.back(), 2.0);
+}
+
+TEST(PerfProfile, SplitWins) {
+  ProfileInput in;
+  in.schemes = {"a", "b"};
+  in.cases = {"c1", "c2"};
+  in.seconds = {{1.0, 3.0}, {2.0, 1.0}};
+  auto series = performance_profiles(in);
+  EXPECT_DOUBLE_EQ(win_fraction(series[0]), 0.5);
+  EXPECT_DOUBLE_EQ(win_fraction(series[1]), 0.5);
+}
+
+TEST(PerfProfile, MissingRunsExcluded) {
+  ProfileInput in;
+  in.schemes = {"a", "partial"};
+  in.cases = {"c1", "c2"};
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  in.seconds = {{1.0, 1.0}, {1.0, nan}};
+  auto series = performance_profiles(in);
+  // partial ties on c1 (ratio 1.0) and never reaches c2.
+  EXPECT_DOUBLE_EQ(series[1].y.back(), 0.5);
+}
+
+TEST(PerfProfile, RatiosBeyondCapDropped) {
+  ProfileInput in;
+  in.schemes = {"a", "verybad"};
+  in.cases = {"c1"};
+  in.seconds = {{1.0}, {100.0}};
+  auto series = performance_profiles(in, /*x_max=*/3.0);
+  EXPECT_TRUE(series[1].x.empty());
+}
+
+TEST(PerfProfile, TiesCountForBoth) {
+  ProfileInput in;
+  in.schemes = {"a", "b"};
+  in.cases = {"c1"};
+  in.seconds = {{1.0}, {1.0}};
+  auto series = performance_profiles(in);
+  EXPECT_DOUBLE_EQ(win_fraction(series[0]), 1.0);
+  EXPECT_DOUBLE_EQ(win_fraction(series[1]), 1.0);
+}
+
+TEST(PerfProfile, MonotoneNonDecreasingY) {
+  ProfileInput in;
+  in.schemes = {"a", "b", "c"};
+  in.cases = {"c1", "c2", "c3", "c4"};
+  in.seconds = {{1, 2, 3, 4}, {4, 3, 2, 1}, {2, 2, 2, 2}};
+  for (const auto& s : performance_profiles(in)) {
+    for (std::size_t k = 1; k < s.y.size(); ++k) {
+      EXPECT_GE(s.y[k], s.y[k - 1]);
+      EXPECT_GE(s.x[k], s.x[k - 1]);
+    }
+  }
+}
+
+TEST(PerfProfile, PrintersDoNotCrash) {
+  ProfileInput in;
+  in.schemes = {"a", "b"};
+  in.cases = {"c1", "c2"};
+  in.seconds = {{1.0, 2.0}, {2.0, 1.0}};
+  auto series = performance_profiles(in);
+  print_profiles_csv(series);
+  print_profiles_ascii(series);
+}
+
+}  // namespace
+}  // namespace msx

@@ -1,0 +1,30 @@
+#include "profile/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace msx {
+namespace {
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(1.23456, 3), "1.235");
+  EXPECT_EQ(Table::num(2.0, 1), "2.0");
+  EXPECT_EQ(Table::num(0.0, 2), "0.00");
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});  // padded to 3 cells
+  t.print();         // must not crash
+  t.print_csv();
+}
+
+TEST(Table, PrintsWithoutCrashing) {
+  Table t({"scheme", "seconds", "gflops"});
+  t.add_row({"MSA-1P", "0.123", "4.56"});
+  t.add_row({"Hash-1P", "0.223", "2.51"});
+  t.print();
+  t.print_csv();
+}
+
+}  // namespace
+}  // namespace msx

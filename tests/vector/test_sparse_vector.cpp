@@ -1,0 +1,80 @@
+#include "vector/sparse_vector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+using SV = SparseVector<IT, VT>;
+
+TEST(SparseVec, EmptyAndSize) {
+  SV v(10);
+  EXPECT_EQ(v.size(), 10);
+  EXPECT_EQ(v.nnz(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.validate());
+}
+
+TEST(SparseVec, FromEntriesSortsAndSums) {
+  auto v = SV::from_entries(8, {{5, 1.0}, {2, 2.0}, {5, 3.0}});
+  EXPECT_EQ(v.nnz(), 2u);
+  EXPECT_EQ(v.indices()[0], 2);
+  EXPECT_EQ(v.indices()[1], 5);
+  EXPECT_EQ(v.values()[1], 4.0);
+  EXPECT_TRUE(v.validate());
+}
+
+TEST(SparseVec, FromEntriesRejectsOutOfRange) {
+  EXPECT_THROW(SV::from_entries(4, {{4, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(SV::from_entries(4, {{-1, 1.0}}), std::invalid_argument);
+}
+
+TEST(SparseVec, DenseRoundTrip) {
+  std::vector<VT> dense{0, 1.5, 0, 0, -2, 0};
+  auto v = SV::from_dense(dense);
+  EXPECT_EQ(v.nnz(), 2u);
+  EXPECT_EQ(v.to_dense(), dense);
+}
+
+TEST(SparseVec, PushBackMaintainsOrder) {
+  SV v(10);
+  v.push_back(1, 1.0);
+  v.push_back(7, 2.0);
+  EXPECT_TRUE(v.validate());
+  EXPECT_EQ(v.nnz(), 2u);
+}
+
+TEST(SparseVec, ValidateCatchesDisorder) {
+  SV v(10, {5, 2}, {1.0, 2.0});
+  EXPECT_FALSE(v.validate());
+  SV w(3, {7}, {1.0});
+  EXPECT_FALSE(w.validate());
+}
+
+TEST(SparseVec, EwiseAddMergesAndSums) {
+  auto a = SV::from_entries(6, {{0, 1.0}, {3, 2.0}});
+  auto b = SV::from_entries(6, {{3, 5.0}, {5, 1.0}});
+  auto c = ewise_add(a, b);
+  EXPECT_EQ(c.nnz(), 3u);
+  EXPECT_EQ(c.indices()[0], 0);
+  EXPECT_EQ(c.values()[1], 7.0);
+  EXPECT_EQ(c.indices()[2], 5);
+}
+
+TEST(SparseVec, EwiseAddSizeMismatchThrows) {
+  SV a(3), b(4);
+  EXPECT_THROW(ewise_add(a, b), std::invalid_argument);
+}
+
+TEST(SparseVec, EqualityIsStructuralAndValue) {
+  auto a = SV::from_entries(4, {{1, 2.0}});
+  auto b = SV::from_entries(4, {{1, 2.0}});
+  auto c = SV::from_entries(4, {{1, 3.0}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace msx
