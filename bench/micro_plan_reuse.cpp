@@ -1,0 +1,92 @@
+// Micro-benchmark of the plan/execute split (ISSUE 1 acceptance): shows that
+// plan reuse eliminates the per-call CSC rebuild and workspace allocation the
+// stateless API pays, for the pull-based families in particular.
+//
+// For each scheme it reports:
+//   stateless  — per-call time of masked_spgemm (transpose + workspaces paid
+//                every call for Inner/Hybrid),
+//   plan setup — one-time masked_plan construction (operand copies, kAuto,
+//                CSC transpose, kernel bind),
+//   exec #1/#2 — plan.execute() wall time for the first and second call,
+//   setup #1/#2 — lazy setup inside those calls (workspace-pool allocation);
+//                ~0 on the second call is the reuse guarantee.
+//
+//   ./bench_micro_plan_reuse [--scale-shift N] [--reps R] [--threads T]
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "gen/erdos_renyi.hpp"
+
+using namespace msx;
+using namespace msx::bench;
+
+int main(int argc, char** argv) {
+  auto cfg = BenchConfig::parse(argc, argv);
+  print_header("micro_plan_reuse — plan/execute vs stateless masked_spgemm",
+               "ISSUE 1 acceptance (plan reuse amortization)", cfg);
+
+  const IT n = cfg.scale_shift >= 0
+                   ? static_cast<IT>(4000) << cfg.scale_shift
+                   : static_cast<IT>(4000) >> -cfg.scale_shift;
+  // Dense-ish inputs with a sparse mask: the pull-based regime where the
+  // stateless API's per-call CSC rebuild hurts the most.
+  const auto a = erdos_renyi<IT, VT>(n, n, 24, 1);
+  const auto b = erdos_renyi<IT, VT>(n, n, 24, 2);
+  const auto m = erdos_renyi<IT, VT>(n, n, 3, 3);
+
+  std::vector<SchemeSpec> schemes;
+  for (auto algo : {MaskedAlgo::kInner, MaskedAlgo::kHybrid, MaskedAlgo::kMSA,
+                    MaskedAlgo::kHash}) {
+    for (auto ph : {PhaseMode::kOnePhase, PhaseMode::kTwoPhase}) {
+      MaskedOptions o;
+      o.algo = algo;
+      o.phases = ph;
+      o.threads = cfg.threads;
+      schemes.push_back({scheme_name(algo, ph), o});
+    }
+  }
+
+  std::printf("\n%-10s %12s %12s %12s %12s %12s %12s\n", "scheme",
+              "stateless", "plan setup", "exec #1", "setup #1", "exec #2",
+              "setup #2");
+  for (const auto& s : schemes) {
+    // Stateless: every call pays resolution + (for pull) transpose + scratch.
+    const auto stateless = measure(
+        [&] {
+          auto c = masked_spgemm<PlusTimes<VT>>(a, b, m, s.opts);
+          (void)c;
+        },
+        cfg.measure());
+
+    WallTimer t;
+    auto plan = masked_plan<PlusTimes<VT>>(a, b, m, s.opts);
+    const double plan_setup = t.seconds();
+
+    WallTimer t1;
+    auto c1 = plan.execute();
+    const double exec1 = t1.seconds();
+    const double setup1 = plan.last_execute_setup_seconds();
+
+    WallTimer t2;
+    auto c2 = plan.execute();
+    const double exec2 = t2.seconds();
+    const double setup2 = plan.last_execute_setup_seconds();
+
+    if (!(c1 == c2)) {
+      std::printf("%-10s: MISMATCH between plan executions!\n",
+                  s.name.c_str());
+      return 1;
+    }
+    std::printf("%-10s %10.3fms %10.3fms %10.3fms %10.6fms %10.3fms %10.6fms\n",
+                s.name.c_str(), best_seconds(stateless) * 1e3,
+                plan_setup * 1e3, exec1 * 1e3, setup1 * 1e3, exec2 * 1e3,
+                setup2 * 1e3);
+  }
+
+  std::printf(
+      "\nsetup #2 ~ 0 and exec #2 <= stateless demonstrate that plan reuse\n"
+      "amortizes the CSC rebuild (Inner/Hybrid) and workspace allocation.\n");
+  return 0;
+}

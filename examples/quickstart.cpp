@@ -7,8 +7,10 @@
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
 #include <cstdio>
+#include <vector>
 
 #include "core/masked_spgemm.hpp"
+#include "core/plan.hpp"
 #include "matrix/build.hpp"
 #include "semiring/semirings.hpp"
 
@@ -70,5 +72,23 @@ int main() {
     std::printf("%-8s -> nnz=%zu %s\n", msx::to_string(algo), c2.nnz(),
                 c2 == c ? "(identical)" : "(MISMATCH!)");
   }
+
+  // Calling the same product repeatedly? Plan it once: the plan resolves
+  // Auto, caches B's CSC copy for the pull-based families and keeps the
+  // per-thread accumulators warm, so execute() pays no per-call setup.
+  auto plan = msx::masked_plan<msx::PlusTimes<VT>>(a, b, mask);
+  auto c3 = plan.execute();
+  std::printf("\nplan (resolved to %s) -> nnz=%zu %s\n",
+              msx::to_string(plan.algo()), c3.nnz(),
+              c3 == c ? "(identical)" : "(MISMATCH!)");
+
+  // Iterations that change numerics but not sparsity refresh values in
+  // place — the structure caches (CSC pattern, symbolic rowptr) survive.
+  std::vector<VT> scaled(b.values().begin(), b.values().end());
+  for (auto& v : scaled) v *= 10.0;
+  auto c4 = plan.execute_values({}, scaled);
+  std::printf("execute_values(B*10) -> first row value %g (was %g)\n",
+              c4.nnz() ? c4.values()[0] : 0.0,
+              c3.nnz() ? c3.values()[0] : 0.0);
   return 0;
 }

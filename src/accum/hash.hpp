@@ -125,6 +125,15 @@ class HashMasked {
 
   std::size_t capacity() const { return capacity_; }
 
+  // Releases the table entirely (plan workspace-reset hook).
+  void clear() {
+    keys_ = {};
+    states_ = {};
+    values_ = {};
+    capacity_ = 0;
+    bits_ = 0;
+  }
+
  private:
   std::vector<IT> keys_;
   std::vector<AccState> states_;
@@ -214,6 +223,16 @@ class HashComplement {
 
   std::size_t touched_count() const { return touched_.size(); }
   std::size_t capacity() const { return capacity_; }
+
+  // Releases the table entirely (plan workspace-reset hook).
+  void clear() {
+    keys_ = {};
+    states_ = {};
+    values_ = {};
+    touched_ = {};
+    capacity_ = 0;
+    bits_ = 0;
+  }
 
  private:
   std::vector<IT> keys_;

@@ -28,6 +28,9 @@ template <class IT>
 class KMergeHeap {
  public:
   void clear() { heap_.clear(); }
+  // Releases the heap storage entirely (plan workspace-reset hook); clear()
+  // keeps capacity for the next row, release() drops it.
+  void release() { heap_ = {}; }
   void reserve(std::size_t n) { heap_.reserve(n); }
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }

@@ -70,6 +70,12 @@ class MCAAccumulator {
     return cnt;
   }
 
+  // Releases the backing arrays entirely (plan workspace-reset hook).
+  void clear() {
+    states_ = {};
+    values_ = {};
+  }
+
  private:
   std::vector<AccState> states_;
   std::vector<VT> values_;

@@ -102,6 +102,13 @@ class MSAMasked {
     }
   }
 
+  // Releases the backing arrays entirely (plan workspace-reset hook); the
+  // next init() regrows them.
+  void clear() {
+    states_ = {};
+    values_ = {};
+  }
+
  private:
   std::vector<AccState> states_;
   std::vector<VT> values_;
@@ -181,6 +188,13 @@ class MSAComplement {
   }
 
   std::size_t touched_count() const { return touched_.size(); }
+
+  // Releases the backing arrays entirely (plan workspace-reset hook).
+  void clear() {
+    states_ = {};
+    values_ = {};
+    touched_ = {};
+  }
 
  private:
   std::vector<AccState> states_;

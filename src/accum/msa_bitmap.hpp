@@ -77,6 +77,12 @@ class MSABitmapMasked {
     for (IT j : mask_cols) set_state(j, AccState::kNotAllowed);
   }
 
+  // Releases the backing arrays entirely (plan workspace-reset hook).
+  void clear() {
+    states_ = {};
+    values_ = {};
+  }
+
  private:
   static constexpr std::size_t kPerWord = 32;  // 2 bits per state
 

@@ -16,10 +16,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/timer.hpp"
-#include "core/masked_spgemm.hpp"
+#include "core/plan.hpp"
 #include "matrix/build.hpp"
 #include "matrix/ops.hpp"
 #include "semiring/semirings.hpp"
@@ -79,15 +80,20 @@ BCResult betweenness_centrality(const CSRMatrix<IT, VT>& graph,
   levels.push_back(frontier);
 
   // ---- forward sweep ----
+  // The adjacency matrix is the stationary operand of every level, so one
+  // plan serves the whole sweep: each level rebinds only the (tiny) frontier
+  // and visited mask, keeping the per-thread accumulators warm.
   WallTimer fwd;
   MaskedOptions fwd_opts = opts;
   fwd_opts.kind = MaskKind::kComplement;
+  auto fwd_plan = masked_plan<PlusTimes<double>>(frontier, a, numsp, fwd_opts);
   while (true) {
-    Mat next = masked_spgemm<PlusTimes<double>>(frontier, a, numsp, fwd_opts);
+    Mat next = fwd_plan.execute();
     if (next.nnz() == 0) break;
     numsp = ewise_add(numsp, next);
     levels.push_back(next);
     frontier = std::move(next);
+    fwd_plan.rebind(frontier, numsp);
   }
   BCResult result;
   result.depth = static_cast<int>(levels.size()) - 1;
@@ -100,6 +106,9 @@ BCResult betweenness_centrality(const CSRMatrix<IT, VT>& graph,
                             0.0);
   MaskedOptions bwd_opts = opts;
   bwd_opts.kind = MaskKind::kMask;
+  // Same stationary-B shape as the forward sweep; constructed on the first
+  // backward level (there may be none) and rebound per depth afterwards.
+  std::optional<MaskedPlan<PlusTimes<double>, IT, double>> bwd_plan;
 
   for (std::size_t d = levels.size() - 1; d >= 1; --d) {
     const Mat& cur = levels[d];
@@ -122,7 +131,12 @@ BCResult betweenness_centrality(const CSRMatrix<IT, VT>& graph,
     }
 
     // W2 = prev .* (W · Aᵀ); A is symmetric so Aᵀ = A.
-    Mat w2 = masked_spgemm<PlusTimes<double>>(w, a, prev, bwd_opts);
+    if (!bwd_plan.has_value()) {
+      bwd_plan.emplace(w, a, prev, bwd_opts);
+    } else {
+      bwd_plan->rebind(w, prev);
+    }
+    Mat w2 = bwd_plan->execute();
 
     // delta(q,i) += W2(q,i) * sigma_prev(q,i). W2's pattern is a subset of
     // prev's, so a per-row lockstep walk finds sigma.

@@ -13,10 +13,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/masked_spgevm.hpp"
-#include "matrix/convert.hpp"
+#include "core/plan.hpp"
 #include "matrix/ops.hpp"
 #include "semiring/semirings.hpp"
 #include "vector/sparse_vector.hpp"
@@ -46,14 +47,12 @@ DOBFSResult direction_optimized_bfs(const CSRMatrix<IT, VT>& graph, IT source,
   const IT n = graph.nrows();
   check_arg(source >= 0 && source < n, "dobfs: source out of range");
 
+  using SR = PlusPair<std::int64_t>;
   using SV = SparseVector<IT, std::int64_t>;
   const CSRMatrix<IT, std::int64_t> a(
       n, n, std::vector<IT>(graph.rowptr().begin(), graph.rowptr().end()),
       std::vector<IT>(graph.colidx().begin(), graph.colidx().end()),
       std::vector<std::int64_t>(graph.nnz(), 1));
-  // Symmetric pattern, but the pull path needs a genuine CSC object; built
-  // once up front (the paper's Inner assumes a column-major copy exists).
-  const auto a_csc = csr_to_csc(a);
 
   DOBFSResult result;
   result.levels.assign(static_cast<std::size_t>(n), -1);
@@ -62,6 +61,27 @@ DOBFSResult direction_optimized_bfs(const CSRMatrix<IT, VT>& graph, IT source,
   SV frontier(n);
   frontier.push_back(source, 1);
   SV visited = frontier;  // pattern of discovered vertices
+
+  // One plan per formulation, constructed outside the level loop with the
+  // stationary adjacency as B: the push plan keeps its MSA accumulators
+  // warm, the pull plan owns the CSC copy of A that Inner needs (the paper
+  // assumes the column-major copy exists — previously rebuilt by hand here).
+  // Each level rebinds only the 1×n frontier and visited-mask rows.
+  MaskedOptions push_opts;
+  push_opts.kind = MaskKind::kComplement;
+  push_opts.algo = MaskedAlgo::kMSA;
+  MaskedOptions pull_opts = push_opts;
+  pull_opts.algo = MaskedAlgo::kInner;
+  const auto frontier_row = detail::as_row_matrix(frontier);
+  const auto visited_row = detail::as_row_matrix(visited);
+  std::optional<MaskedPlan<SR, IT, std::int64_t>> push_plan;
+  std::optional<MaskedPlan<SR, IT, std::int64_t>> pull_plan;
+  if (direction != BFSDirection::kPullOnly) {
+    push_plan.emplace(frontier_row, a, visited_row, push_opts);
+  }
+  if (direction != BFSDirection::kPushOnly) {
+    pull_plan.emplace(frontier_row, a, visited_row, pull_opts);
+  }
 
   // Total degree of the not-yet-visited region, maintained incrementally.
   std::size_t unvisited_edges = a.nnz();
@@ -85,11 +105,11 @@ DOBFSResult direction_optimized_bfs(const CSRMatrix<IT, VT>& graph, IT source,
         break;
     }
 
-    MaskedOptions opts;
-    opts.kind = MaskKind::kComplement;
-    opts.algo = pull ? MaskedAlgo::kInner : MaskedAlgo::kMSA;
-    auto next = masked_spgevm_with_csc<PlusPair<std::int64_t>>(
-        frontier, a, a_csc, visited, opts);
+    auto& plan = pull ? *pull_plan : *push_plan;
+    plan.rebind(detail::as_row_matrix(frontier),
+                detail::as_row_matrix(visited));
+    auto next_row = plan.execute();
+    SV next = detail::first_row_as_vector(next_row);
     if (next.empty()) break;
     (pull ? result.pull_levels : result.push_levels) += 1;
 

@@ -15,7 +15,7 @@
 
 #include "common/timer.hpp"
 #include "core/flops.hpp"
-#include "core/masked_spgemm.hpp"
+#include "core/plan.hpp"
 #include "matrix/ops.hpp"
 #include "semiring/semirings.hpp"
 
@@ -28,6 +28,7 @@ struct KTrussResult {
   double seconds_spgemm = 0.0;      // total time in Masked SpGEMM calls
   double seconds_total = 0.0;
   std::size_t multiplies = 0;       // summed flops over all iterations
+  MaskedAlgo algo = MaskedAlgo::kAuto;  // resolved once by the plan
   CSRMatrix<IT, std::int64_t> truss;  // final k-truss (values = 1)
 };
 
@@ -51,12 +52,17 @@ KTrussResult<IT> ktruss(const CSRMatrix<IT, VT>& graph, int k,
       std::vector<std::int64_t>(graph.nnz(), 1));
 
   KTrussResult<IT> result;
+  // Plan once outside the pruning loop: kAuto resolves against the full
+  // graph, and each iteration's rebind keeps the per-thread accumulators
+  // (and any cached CSC of the edge set) warm while the structure shrinks.
+  auto plan = masked_plan<SR>(a, a, a, opts);
+  result.algo = plan.algo();
   while (true) {
     ++result.iterations;
     result.multiplies += total_flops(a, a);
 
     WallTimer kernel;
-    auto support = masked_spgemm<SR>(a, a, a, opts);
+    auto support = plan.execute();
     result.seconds_spgemm += kernel.seconds();
 
     auto pruned = filter(support, [&](IT, IT, const std::int64_t& v) {
@@ -68,6 +74,7 @@ KTrussResult<IT> ktruss(const CSRMatrix<IT, VT>& graph, int k,
     const bool converged = (pruned.nnz() == a.nnz());
     a = spones(pruned);
     if (converged || a.nnz() == 0) break;
+    plan.rebind(a, a, a);
   }
 
   result.remaining_edges = a.nnz();

@@ -25,6 +25,7 @@ class HashKernel {
 
   struct Workspace {
     Acc acc;
+    void reset() { acc.clear(); }
   };
 
   HashKernel(const CSRMatrix<IT, VT>& a, const CSRMatrix<IT, VT>& b,

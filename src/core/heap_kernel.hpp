@@ -10,9 +10,14 @@
 //
 // NInspect (Algorithm 5) controls how far ahead the mask is inspected before
 // an iterator is (re-)inserted into the heap:
-//   0  — insert unconditionally (also the complement configuration),
+//   0  — insert unconditionally,
 //   1  — inspect one mask element (the paper's "Heap"),
 //   ∞  — advance until a mask hit is proven (the paper's "HeapDot").
+// Complemented masks use the mirrored rule: look-ahead skips B entries that
+// are provably PRESENT in the mask row (they can never emit), inspecting at
+// most NInspect mask positions — the paper's complement configuration is
+// NInspect = 0, larger values are an extension that trades mask scans for
+// fewer heap operations.
 #pragma once
 
 #include <cstddef>
@@ -33,13 +38,12 @@ class HeapKernel {
 
   struct Workspace {
     KMergeHeap<IT> heap;
+    void reset() { heap.release(); }
   };
 
-  // ninspect is ignored (treated as 0) when Complemented, per §5.5.
   HeapKernel(const CSRMatrix<IT, VT>& a, const CSRMatrix<IT, VT>& b,
              MaskView<IT> m, std::size_t ninspect)
-      : a_(a), b_(b), m_(m),
-        ninspect_(Complemented ? 0 : ninspect) {}
+      : a_(a), b_(b), m_(m), ninspect_(ninspect) {}
 
   IT nrows() const { return a_.nrows(); }
   IT ncols() const { return b_.ncols(); }
@@ -61,9 +65,11 @@ class HeapKernel {
 
  private:
   // Applies Algorithm 5: advances the cursor past B entries that provably
-  // cannot match any remaining mask entry, inspecting at most ninspect_ mask
-  // positions (starting at the global cursor mpos). Returns false when the
-  // cursor should be dropped instead of (re-)inserted.
+  // cannot emit, inspecting at most ninspect_ mask positions (starting at the
+  // global cursor mpos). Masked: skips entries that cannot match any
+  // remaining mask entry. Complemented: skips entries proven present in the
+  // mask row. Returns false when the cursor should be dropped instead of
+  // (re-)inserted.
   bool inspect(MergeCursor<IT>& cur, std::span<const IT> mrow, IT mpos) const {
     if (cur.bpos >= cur.bend) return false;
     const auto* bcols = b_.colidx().data();
@@ -73,24 +79,49 @@ class HeapKernel {
     std::size_t to_inspect = ninspect_;
     const IT mn = static_cast<IT>(mrow.size());
     IT mq = mpos;
-    while (cur.bpos < cur.bend && mq < mn) {
-      const IT bc = bcols[cur.bpos];
-      const IT mc = mrow[mq];
-      if (bc == mc) {
-        cur.col = bc;
-        return true;
+
+    if constexpr (Complemented) {
+      // Every mask entry before mpos is < the cursor's column (the driver
+      // advances mpos past emitted columns), so a B entry equal to a mask
+      // entry at mq >= mpos is the only way it can be masked out.
+      while (cur.bpos < cur.bend && mq < mn) {
+        const IT bc = bcols[cur.bpos];
+        const IT mc = mrow[mq];
+        if (bc < mc) {
+          cur.col = bc;
+          return true;  // not in the mask: a complement candidate
+        }
+        if (bc == mc) {
+          ++cur.bpos;  // provably masked out: can never emit
+          ++mq;
+        } else {
+          ++mq;
+        }
+        if (--to_inspect == 0) break;
       }
-      if (bc < mc) {
-        ++cur.bpos;
-      } else {
-        ++mq;
-        if (--to_inspect == 0) {
-          cur.col = bcols[cur.bpos];
+      if (cur.bpos >= cur.bend) return false;
+      cur.col = bcols[cur.bpos];
+      return true;  // budget or mask exhausted: let the merge decide
+    } else {
+      while (cur.bpos < cur.bend && mq < mn) {
+        const IT bc = bcols[cur.bpos];
+        const IT mc = mrow[mq];
+        if (bc == mc) {
+          cur.col = bc;
           return true;
         }
+        if (bc < mc) {
+          ++cur.bpos;
+        } else {
+          ++mq;
+          if (--to_inspect == 0) {
+            cur.col = bcols[cur.bpos];
+            return true;
+          }
+        }
       }
+      return false;  // B row or mask exhausted: no intersection remains
     }
-    return false;  // B row or mask exhausted: no intersection remains
   }
 
   template <bool SymbolicOnly>

@@ -34,6 +34,10 @@ class HybridKernel {
   struct Workspace {
     typename Push::Workspace push;
     typename Pull::Workspace pull;
+    void reset() {
+      push.reset();
+      pull.reset();
+    }
   };
 
   HybridKernel(const CSRMatrix<IT, VT>& a, const CSRMatrix<IT, VT>& b,

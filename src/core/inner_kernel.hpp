@@ -30,7 +30,9 @@ class InnerKernel {
   using index_type = IT;
   using output_value = typename SR::value_type;
 
-  struct Workspace {};  // dot products need no scratch state
+  struct Workspace {  // dot products need no scratch state
+    void reset() {}
+  };
 
   // gallop selects exponential-probe intersection instead of the two-pointer
   // merge; pays off when |A row| and |B column| differ by large factors.

@@ -1,0 +1,263 @@
+// Kernel registry: one table mapping (MaskedAlgo, MaskKind) to type-erased
+// kernel factories.
+//
+// Replaces the monolithic switch that used to live in detail::dispatch. Each
+// algorithm family registers exactly one Entry per supported mask kind; an
+// absent pair (e.g. MCA × complement) is how "unsupported" is expressed.
+// Documented fallbacks (MSABitmap complement running the byte-state MSA,
+// HeapDot forcing NInspect = ∞) are encoded in the registered maker, so the
+// whole decision surface is in this file.
+//
+// A factory produces a PlanKernelBase: a type-erased executable kernel that
+// owns its per-thread workspaces. Binding operands is cheap and repeatable;
+// the expensive accumulator state survives bind() so a MaskedPlan
+// (core/plan.hpp) can execute many times — or rebind to new structure —
+// without reallocating scratch memory. The stateless masked_spgemm free
+// functions run a throwaway instance of the same machinery.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "accum/msa_bitmap.hpp"
+#include "common/timer.hpp"
+#include "core/hash_kernel.hpp"
+#include "core/heap_kernel.hpp"
+#include "core/hybrid_kernel.hpp"
+#include "core/inner_kernel.hpp"
+#include "core/mca_kernel.hpp"
+#include "core/msa_kernel.hpp"
+#include "core/options.hpp"
+#include "core/phase_driver.hpp"
+#include "matrix/csc.hpp"
+#include "matrix/csr.hpp"
+#include "semiring/semirings.hpp"
+
+namespace msx {
+
+// Operand bundle a plan kernel binds to. `b_csc` must be non-null iff the
+// matching registry entry has needs_csc set.
+template <class IT, class VT>
+struct KernelOperands {
+  const CSRMatrix<IT, VT>* a = nullptr;
+  const CSRMatrix<IT, VT>* b = nullptr;
+  const CSCMatrix<IT, VT>* b_csc = nullptr;
+  MaskView<IT> mask;
+};
+
+// Type-erased executable kernel. Implementations hold the concrete row
+// kernel plus a PerThread<Workspace> pool that persists across bind()/run().
+template <class SR, class IT, class VT>
+class PlanKernelBase {
+ public:
+  using output_matrix = CSRMatrix<IT, typename SR::value_type>;
+
+  virtual ~PlanKernelBase() = default;
+
+  // (Re)binds operands and options. Retains per-thread workspaces — this is
+  // the cheap half of the plan/execute split.
+  virtual void bind(const KernelOperands<IT, VT>& in,
+                    const MaskedOptions& opts) = 0;
+
+  // Runs the phase driver over the bound operands. `symbolic` (optional)
+  // carries a cached two-phase rowptr across calls.
+  virtual output_matrix run(TwoPhaseCache<IT>* symbolic) = 0;
+
+  // Releases all per-thread scratch memory (accumulator arrays, heaps).
+  // The next run() regrows them on demand.
+  virtual void reset_workspaces() = 0;
+
+  // Time the most recent run() spent on lazy setup (workspace-pool
+  // allocation). ~0 once the pool exists — what plan reuse amortizes.
+  virtual double last_setup_seconds() const = 0;
+};
+
+namespace detail {
+
+// Concrete plan kernel: Maker::make(operands, opts) constructs the row
+// kernel; workspaces outlive rebinds so accumulators keep their capacity.
+template <class SR, class IT, class VT, class Maker>
+class PlanKernelImpl final : public PlanKernelBase<SR, IT, VT> {
+ public:
+  using Kernel = decltype(Maker::make(
+      std::declval<const KernelOperands<IT, VT>&>(),
+      std::declval<const MaskedOptions&>()));
+  using Workspace = typename Kernel::Workspace;
+  using output_matrix = typename PlanKernelBase<SR, IT, VT>::output_matrix;
+
+  void bind(const KernelOperands<IT, VT>& in,
+            const MaskedOptions& opts) override {
+    kernel_.emplace(Maker::make(in, opts));
+    opts_ = opts;
+  }
+
+  output_matrix run(TwoPhaseCache<IT>* symbolic) override {
+    check_arg(kernel_.has_value(), "plan kernel: run() before bind()");
+    last_setup_seconds_ = 0.0;
+    const auto needed = static_cast<std::size_t>(
+        opts_.threads > 0 ? opts_.threads : max_threads());
+    if (!workspaces_.has_value() || workspaces_->size() < needed) {
+      WallTimer timer;
+      workspaces_.emplace(static_cast<int>(needed));
+      last_setup_seconds_ = timer.seconds();
+    }
+    return run_masked_kernel(*kernel_, opts_, *workspaces_, symbolic);
+  }
+
+  void reset_workspaces() override {
+    if (!workspaces_.has_value()) return;
+    for (std::size_t t = 0; t < workspaces_->size(); ++t) {
+      workspaces_->slot(t).reset();
+    }
+  }
+
+  double last_setup_seconds() const override { return last_setup_seconds_; }
+
+ private:
+  std::optional<Kernel> kernel_;
+  std::optional<PerThread<Workspace>> workspaces_;
+  MaskedOptions opts_;
+  double last_setup_seconds_ = 0.0;
+};
+
+// --- makers: how each registry entry constructs its row kernel ---
+
+template <class SR, class IT, class VT, bool Complemented>
+struct MakeMSA {
+  static auto make(const KernelOperands<IT, VT>& in, const MaskedOptions&) {
+    return MSAKernel<SR, IT, VT, Complemented>(*in.a, *in.b, in.mask);
+  }
+};
+
+template <class SR, class IT, class VT>
+struct MakeMSABitmap {
+  static auto make(const KernelOperands<IT, VT>& in, const MaskedOptions&) {
+    return MSAKernel<SR, IT, VT, false,
+                     MSABitmapMasked<IT, typename SR::value_type>>(
+        *in.a, *in.b, in.mask);
+  }
+};
+
+template <class SR, class IT, class VT, bool Complemented>
+struct MakeHash {
+  static auto make(const KernelOperands<IT, VT>& in, const MaskedOptions&) {
+    return HashKernel<SR, IT, VT, Complemented>(*in.a, *in.b, in.mask);
+  }
+};
+
+template <class SR, class IT, class VT>
+struct MakeMCA {
+  static auto make(const KernelOperands<IT, VT>& in, const MaskedOptions&) {
+    return MCAKernel<SR, IT, VT>(*in.a, *in.b, in.mask);
+  }
+};
+
+// ForceInfinity distinguishes HeapDot (NInspect = ∞ regardless of options)
+// from Heap (the caller's heap_ninspect, honoured for both mask kinds —
+// the complement path uses complement-aware look-ahead, see heap_kernel.hpp).
+template <class SR, class IT, class VT, bool Complemented, bool ForceInfinity>
+struct MakeHeap {
+  static auto make(const KernelOperands<IT, VT>& in,
+                   const MaskedOptions& opts) {
+    const std::size_t ninspect =
+        ForceInfinity ? kNInspectInfinity : opts.heap_ninspect;
+    return HeapKernel<SR, IT, VT, Complemented>(*in.a, *in.b, in.mask,
+                                                ninspect);
+  }
+};
+
+template <class SR, class IT, class VT, bool Complemented>
+struct MakeInner {
+  static auto make(const KernelOperands<IT, VT>& in,
+                   const MaskedOptions& opts) {
+    return InnerKernel<SR, IT, VT, Complemented>(*in.a, *in.b_csc, in.mask,
+                                                 opts.inner_gallop);
+  }
+};
+
+template <class SR, class IT, class VT, bool Complemented>
+struct MakeHybrid {
+  static auto make(const KernelOperands<IT, VT>& in, const MaskedOptions&) {
+    return HybridKernel<SR, IT, VT, Complemented>(*in.a, *in.b, *in.b_csc,
+                                                  in.mask);
+  }
+};
+
+}  // namespace detail
+
+// The registry itself: a static table, one row per supported
+// (algorithm, mask-kind) pair. New algorithm families register here and
+// nowhere else.
+template <class SR, class IT, class VT>
+  requires Semiring<SR>
+struct KernelRegistry {
+  using Base = PlanKernelBase<SR, IT, VT>;
+  using Factory = std::unique_ptr<Base> (*)();
+
+  struct Entry {
+    MaskedAlgo algo;
+    MaskKind kind;
+    bool needs_csc;  // entry requires operands.b_csc (pull-based families)
+    Factory make;
+  };
+
+  template <class Maker>
+  static std::unique_ptr<Base> factory() {
+    return std::make_unique<detail::PlanKernelImpl<SR, IT, VT, Maker>>();
+  }
+
+  static std::span<const Entry> entries() {
+    using namespace detail;
+    static const std::array<Entry, 15> table = {{
+        {MaskedAlgo::kMSA, MaskKind::kMask, false,
+         &factory<MakeMSA<SR, IT, VT, false>>},
+        {MaskedAlgo::kMSA, MaskKind::kComplement, false,
+         &factory<MakeMSA<SR, IT, VT, true>>},
+        {MaskedAlgo::kHash, MaskKind::kMask, false,
+         &factory<MakeHash<SR, IT, VT, false>>},
+        {MaskedAlgo::kHash, MaskKind::kComplement, false,
+         &factory<MakeHash<SR, IT, VT, true>>},
+        // MCA × complement is deliberately absent (paper §8.4).
+        {MaskedAlgo::kMCA, MaskKind::kMask, false,
+         &factory<MakeMCA<SR, IT, VT>>},
+        {MaskedAlgo::kHeap, MaskKind::kMask, false,
+         &factory<MakeHeap<SR, IT, VT, false, false>>},
+        {MaskedAlgo::kHeap, MaskKind::kComplement, false,
+         &factory<MakeHeap<SR, IT, VT, true, false>>},
+        {MaskedAlgo::kHeapDot, MaskKind::kMask, false,
+         &factory<MakeHeap<SR, IT, VT, false, true>>},
+        {MaskedAlgo::kHeapDot, MaskKind::kComplement, false,
+         &factory<MakeHeap<SR, IT, VT, true, true>>},
+        {MaskedAlgo::kInner, MaskKind::kMask, true,
+         &factory<MakeInner<SR, IT, VT, false>>},
+        {MaskedAlgo::kInner, MaskKind::kComplement, true,
+         &factory<MakeInner<SR, IT, VT, true>>},
+        {MaskedAlgo::kHybrid, MaskKind::kMask, true,
+         &factory<MakeHybrid<SR, IT, VT, false>>},
+        {MaskedAlgo::kHybrid, MaskKind::kComplement, true,
+         &factory<MakeHybrid<SR, IT, VT, true>>},
+        {MaskedAlgo::kMSABitmap, MaskKind::kMask, false,
+         &factory<MakeMSABitmap<SR, IT, VT>>},
+        // Extension fallback: the bitmap layout keeps no touched list, so
+        // complemented calls run the byte-state complement MSA.
+        {MaskedAlgo::kMSABitmap, MaskKind::kComplement, false,
+         &factory<MakeMSA<SR, IT, VT, true>>},
+    }};
+    return table;
+  }
+
+  // nullptr when the pair is unsupported; callers turn that into an
+  // invalid_argument with a family-specific message (see unsupported_combo
+  // in core/plan.cpp).
+  static const Entry* find(MaskedAlgo algo, MaskKind kind) {
+    for (const Entry& e : entries()) {
+      if (e.algo == algo && e.kind == kind) return &e;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace msx

@@ -7,6 +7,13 @@
 //
 //   auto c = masked_spgemm<PlusTimes<double>>(a, b, m, opts);
 //
+// These free functions are thin wrappers over a throwaway run of the
+// plan/execute machinery (core/plan.hpp + core/kernel_registry.hpp): the
+// registry picks the kernel, the phase driver builds the output. Callers that
+// invoke the same product repeatedly should hold a MaskedPlan instead — it
+// amortizes kAuto resolution, B's CSC transpose and the per-thread
+// accumulator allocations that these wrappers pay on every call.
+//
 // The pull-based algorithms need B in CSC form; masked_spgemm builds it on
 // the fly (charged to the call), while masked_spgemm_with_csc accepts a
 // caller-prepared CSC, matching the paper's assumption that B is already
@@ -15,15 +22,10 @@
 
 #include <cstddef>
 
-#include "accum/msa_bitmap.hpp"
-#include "core/hash_kernel.hpp"
-#include "core/heap_kernel.hpp"
-#include "core/hybrid_kernel.hpp"
-#include "core/inner_kernel.hpp"
-#include "core/mca_kernel.hpp"
-#include "core/msa_kernel.hpp"
+#include "core/kernel_registry.hpp"
 #include "core/options.hpp"
 #include "core/phase_driver.hpp"
+#include "core/plan.hpp"
 #include "matrix/convert.hpp"
 #include "matrix/csc.hpp"
 #include "matrix/csr.hpp"
@@ -33,24 +35,7 @@ namespace msx {
 
 namespace detail {
 
-// Whole-call heuristic following the Fig. 7 empirical decision surface:
-// Inner when the mask is much sparser than the inputs, Heap when the inputs
-// are much sparser than the mask, otherwise MSA (small matrices, dense
-// accumulator fits cache) or Hash (large matrices).
-template <class IT, class VT, class MT>
-MaskedAlgo choose_auto(const CSRMatrix<IT, VT>& a, const CSRMatrix<IT, VT>& b,
-                       const CSRMatrix<IT, MT>& m, MaskKind kind) {
-  if (kind == MaskKind::kComplement) return MaskedAlgo::kMSA;
-  const double rows = static_cast<double>(a.nrows() > 0 ? a.nrows() : 1);
-  const double dm = static_cast<double>(m.nnz()) / rows;
-  const double din = 0.5 * (static_cast<double>(a.nnz()) +
-                            static_cast<double>(b.nnz())) /
-                     rows;
-  if (dm * 8.0 <= din) return MaskedAlgo::kInner;
-  if (din * 8.0 <= dm) return MaskedAlgo::kHeap;
-  return b.ncols() <= (IT{1} << 16) ? MaskedAlgo::kMSA : MaskedAlgo::kHash;
-}
-
+// One-shot dispatch: registry lookup, throwaway kernel, zero operand copies.
 template <class SR, class IT, class VT, class MT>
 CSRMatrix<IT, typename SR::value_type> dispatch(
     const CSRMatrix<IT, VT>& a, const CSRMatrix<IT, VT>& b,
@@ -59,97 +44,31 @@ CSRMatrix<IT, typename SR::value_type> dispatch(
   check_arg(a.ncols() == b.nrows(), "masked_spgemm: inner dimension mismatch");
   check_arg(m.nrows() == a.nrows() && m.ncols() == b.ncols(),
             "masked_spgemm: mask shape must match the output shape");
-
-  const MaskView<IT> mask = mask_of(m);
-  const bool comp = (opts.kind == MaskKind::kComplement);
+  validate_masked_options(opts);
 
   if (opts.algo == MaskedAlgo::kAuto) {
     opts.algo = choose_auto(a, b, m, opts.kind);
   }
 
+  const auto* entry = KernelRegistry<SR, IT, VT>::find(opts.algo, opts.kind);
+  check_arg(entry != nullptr,
+            unsupported_combo_message(opts.algo, opts.kind));
+
   // Pull-based and hybrid paths need B in CSC form.
   CSCMatrix<IT, VT> owned_csc;
-  if ((opts.algo == MaskedAlgo::kInner || opts.algo == MaskedAlgo::kHybrid) &&
-      b_csc == nullptr) {
+  if (entry->needs_csc && b_csc == nullptr) {
     owned_csc = csr_to_csc(b);
     b_csc = &owned_csc;
   }
 
-  switch (opts.algo) {
-    case MaskedAlgo::kMSA:
-      if (comp) {
-        return run_masked_kernel(MSAKernel<SR, IT, VT, true>(a, b, mask),
-                                 opts);
-      }
-      return run_masked_kernel(MSAKernel<SR, IT, VT, false>(a, b, mask), opts);
-
-    case MaskedAlgo::kHash:
-      if (comp) {
-        return run_masked_kernel(HashKernel<SR, IT, VT, true>(a, b, mask),
-                                 opts);
-      }
-      return run_masked_kernel(HashKernel<SR, IT, VT, false>(a, b, mask),
-                               opts);
-
-    case MaskedAlgo::kMCA:
-      check_arg(!comp,
-                "MCA does not support complemented masks (paper §8.4); "
-                "choose MSA, Hash or Heap instead");
-      return run_masked_kernel(MCAKernel<SR, IT, VT>(a, b, mask), opts);
-
-    case MaskedAlgo::kHeap:
-      if (comp) {
-        return run_masked_kernel(
-            HeapKernel<SR, IT, VT, true>(a, b, mask, 0), opts);
-      }
-      return run_masked_kernel(
-          HeapKernel<SR, IT, VT, false>(a, b, mask, opts.heap_ninspect),
-          opts);
-
-    case MaskedAlgo::kHeapDot:
-      if (comp) {
-        return run_masked_kernel(
-            HeapKernel<SR, IT, VT, true>(a, b, mask, 0), opts);
-      }
-      return run_masked_kernel(
-          HeapKernel<SR, IT, VT, false>(a, b, mask, kNInspectInfinity), opts);
-
-    case MaskedAlgo::kInner:
-      if (comp) {
-        return run_masked_kernel(
-            InnerKernel<SR, IT, VT, true>(a, *b_csc, mask, opts.inner_gallop),
-            opts);
-      }
-      return run_masked_kernel(
-          InnerKernel<SR, IT, VT, false>(a, *b_csc, mask, opts.inner_gallop),
-          opts);
-
-    case MaskedAlgo::kMSABitmap:
-      // Extension: 2-bit packed MSA states. The complement variant needs a
-      // touched list, which the bitmap layout does not keep — fall back to
-      // the byte-state complement MSA.
-      if (comp) {
-        return run_masked_kernel(MSAKernel<SR, IT, VT, true>(a, b, mask),
-                                 opts);
-      }
-      return run_masked_kernel(
-          MSAKernel<SR, IT, VT, false,
-                    MSABitmapMasked<IT, typename SR::value_type>>(a, b, mask),
-          opts);
-
-    case MaskedAlgo::kHybrid:
-      if (comp) {
-        return run_masked_kernel(
-            HybridKernel<SR, IT, VT, true>(a, b, *b_csc, mask), opts);
-      }
-      return run_masked_kernel(
-          HybridKernel<SR, IT, VT, false>(a, b, *b_csc, mask), opts);
-
-    case MaskedAlgo::kAuto:
-      break;  // resolved above
-  }
-  check_arg(false, "unreachable: unhandled masked SpGEMM algorithm");
-  return CSRMatrix<IT, typename SR::value_type>();
+  auto kernel = entry->make();
+  KernelOperands<IT, VT> in;
+  in.a = &a;
+  in.b = &b;
+  in.b_csc = entry->needs_csc ? b_csc : nullptr;
+  in.mask = mask_of(m);
+  kernel->bind(in, opts);
+  return kernel->run(nullptr);
 }
 
 }  // namespace detail

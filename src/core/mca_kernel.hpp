@@ -25,6 +25,7 @@ class MCAKernel {
 
   struct Workspace {
     MCAAccumulator<IT, output_value> acc;
+    void reset() { acc.clear(); }
   };
 
   MCAKernel(const CSRMatrix<IT, VT>& a, const CSRMatrix<IT, VT>& b,

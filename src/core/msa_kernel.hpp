@@ -31,6 +31,7 @@ class MSAKernel {
 
   struct Workspace {
     Acc acc;
+    void reset() { acc.clear(); }
   };
 
   MSAKernel(const CSRMatrix<IT, VT>& a, const CSRMatrix<IT, VT>& b,

@@ -6,6 +6,16 @@
 
 namespace msx {
 
+void validate_masked_options(const MaskedOptions& opts) {
+  if (opts.algo == MaskedAlgo::kHeapDot && opts.heap_ninspect != 1 &&
+      opts.heap_ninspect != kNInspectInfinity) {
+    throw std::invalid_argument(
+        "MaskedOptions: heap_ninspect has no effect under kHeapDot (which "
+        "always inspects to infinity); use kHeap to choose a finite "
+        "look-ahead");
+  }
+}
+
 const char* to_string(MaskedAlgo a) {
   switch (a) {
     case MaskedAlgo::kMSA: return "MSA";

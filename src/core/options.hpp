@@ -45,12 +45,24 @@ struct MaskedOptions {
   Schedule schedule = Schedule::kDynamic;
   int chunk = 0;  // dynamic-schedule chunk; 0 = library default
   // Heap mask look-ahead (§5.5): 0 = never inspect, 1 = Heap, ∞ = HeapDot.
-  // Only honoured when algo == kHeap; kHeapDot forces ∞.
+  // Honoured when algo == kHeap for BOTH mask kinds: the complemented path
+  // uses mirrored look-ahead (skip B entries proven present in the mask; see
+  // heap_kernel.hpp) instead of silently forcing 0 as earlier versions did.
+  // kHeapDot always runs with ∞ — setting any other explicit value together
+  // with kHeapDot is rejected by validate_masked_options (pick kHeap and set
+  // heap_ninspect instead). Ignored by every non-heap algorithm.
   std::size_t heap_ninspect = 1;
   // Inner dot products: galloping (exponential-probe binary search) instead
   // of the two-pointer merge — pays off when one operand is much longer.
   bool inner_gallop = false;
 };
+
+// Rejects contradictory option combinations at the API boundary (throws
+// std::invalid_argument). Today that is kHeapDot combined with an explicit
+// heap_ninspect that is neither the default (1) nor kNInspectInfinity —
+// HeapDot is by definition the ∞ configuration, so any other request would
+// be silently ignored. Called by masked_spgemm and masked_plan.
+void validate_masked_options(const MaskedOptions& opts);
 
 const char* to_string(MaskedAlgo a);
 const char* to_string(PhaseMode p);

@@ -9,9 +9,14 @@
 // buffer; the numeric pass fills it once and rows are then compacted into the
 // final arrays. The mask makes these bounds tight enough that 1P usually wins
 // (§8) — the reverse of the plain-SpGEMM folklore.
+//
+// Two entry points: the classic one constructs per-thread workspaces for the
+// call; the workspace-injection overload lets a MaskedPlan (core/plan.hpp)
+// reuse accumulators and a previously computed symbolic rowptr across calls.
 #pragma once
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "common/parallel.hpp"
@@ -22,28 +27,54 @@
 
 namespace msx {
 
+// Cached result of a two-phase symbolic pass. Valid as long as the operand
+// and mask *structures* are unchanged — value refreshes keep it alive, any
+// rebind must invalidate().
+template <class IT>
+struct TwoPhaseCache {
+  std::vector<IT> rowptr;  // nrows+1 offsets, counts_to_offsets applied
+  bool valid = false;
+  void invalidate() {
+    valid = false;
+    rowptr.clear();
+  }
+};
+
+// Workspace-injection form: `workspaces` must have one slot per thread of the
+// parallel region (the caller sizes it; see MaskedPlan). When `symbolic` is
+// non-null and valid, the two-phase symbolic pass is skipped and its rowptr
+// reused; when non-null and invalid, the freshly computed rowptr is cached.
 template <class Kernel>
 CSRMatrix<typename Kernel::index_type, typename Kernel::output_value>
-run_masked_kernel(const Kernel& kernel, const MaskedOptions& opts) {
+run_masked_kernel(const Kernel& kernel, const MaskedOptions& opts,
+                  PerThread<typename Kernel::Workspace>& workspaces,
+                  TwoPhaseCache<typename Kernel::index_type>* symbolic) {
   using IT = typename Kernel::index_type;
   using OVT = typename Kernel::output_value;
-  using WS = typename Kernel::Workspace;
 
   const IT nrows = kernel.nrows();
   const IT ncols = kernel.ncols();
   ScopedNumThreads thread_guard(opts.threads);
-  PerThread<WS> workspaces;
 
   if (opts.phases == PhaseMode::kTwoPhase) {
-    // --- symbolic phase: exact row sizes ---
-    std::vector<IT> rowptr(static_cast<std::size_t>(nrows) + 1, IT{0});
-    parallel_for(IT{0}, nrows, opts.schedule,
-                 [&](IT i) {
-                   rowptr[static_cast<std::size_t>(i) + 1] =
-                       kernel.symbolic_row(workspaces.local(), i);
-                 },
-                 opts.chunk);
-    counts_to_offsets(rowptr);
+    // --- symbolic phase: exact row sizes (or a cached prior result) ---
+    std::vector<IT> rowptr;
+    if (symbolic != nullptr && symbolic->valid) {
+      rowptr = symbolic->rowptr;
+    } else {
+      rowptr.assign(static_cast<std::size_t>(nrows) + 1, IT{0});
+      parallel_for(IT{0}, nrows, opts.schedule,
+                   [&](IT i) {
+                     rowptr[static_cast<std::size_t>(i) + 1] =
+                         kernel.symbolic_row(workspaces.local(), i);
+                   },
+                   opts.chunk);
+      counts_to_offsets(rowptr);
+      if (symbolic != nullptr) {
+        symbolic->rowptr = rowptr;
+        symbolic->valid = true;
+      }
+    }
 
     // --- numeric phase: write into exact-size arrays ---
     const auto nnz = static_cast<std::size_t>(rowptr.back());
@@ -103,6 +134,19 @@ run_masked_kernel(const Kernel& kernel, const MaskedOptions& opts) {
   });
   return CSRMatrix<IT, OVT>(nrows, ncols, std::move(rowptr), std::move(colidx),
                             std::move(values));
+}
+
+// Classic form: per-call workspaces, no symbolic caching. The thread guard
+// runs before the PerThread pool is sized so an opts.threads larger than the
+// current OpenMP default still gets one slot per thread.
+template <class Kernel>
+CSRMatrix<typename Kernel::index_type, typename Kernel::output_value>
+run_masked_kernel(const Kernel& kernel, const MaskedOptions& opts) {
+  ScopedNumThreads thread_guard(opts.threads);
+  PerThread<typename Kernel::Workspace> workspaces;
+  return run_masked_kernel(kernel, opts, workspaces,
+                           static_cast<TwoPhaseCache<
+                               typename Kernel::index_type>*>(nullptr));
 }
 
 }  // namespace msx

@@ -1,0 +1,34 @@
+#include "core/plan.hpp"
+
+#include <string>
+
+#include "core/options.hpp"
+
+namespace msx {
+namespace detail {
+
+MaskedAlgo choose_auto_algo(double rows, double a_nnz, double b_nnz,
+                            double m_nnz, std::int64_t b_ncols,
+                            MaskKind kind) {
+  if (kind == MaskKind::kComplement) return MaskedAlgo::kMSA;
+  const double r = rows > 0.0 ? rows : 1.0;
+  const double dm = m_nnz / r;
+  const double din = 0.5 * (a_nnz + b_nnz) / r;
+  if (dm * 8.0 <= din) return MaskedAlgo::kInner;
+  if (din * 8.0 <= dm) return MaskedAlgo::kHeap;
+  return b_ncols <= (std::int64_t{1} << 16) ? MaskedAlgo::kMSA
+                                            : MaskedAlgo::kHash;
+}
+
+std::string unsupported_combo_message(MaskedAlgo algo, MaskKind kind) {
+  if (algo == MaskedAlgo::kMCA && kind == MaskKind::kComplement) {
+    return "MCA does not support complemented masks (paper §8.4); choose "
+           "MSA, Hash or Heap instead";
+  }
+  return std::string("masked_spgemm: algorithm ") + to_string(algo) +
+         " does not support mask kind '" + to_string(kind) +
+         "' (no kernel registered)";
+}
+
+}  // namespace detail
+}  // namespace msx

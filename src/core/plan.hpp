@@ -1,0 +1,318 @@
+// Plan/execute API for repeated Masked SpGEMM — the seam the iterative
+// workloads of the paper (§8.2–§8.4: triangle counting, k-truss, BC) stand
+// on.
+//
+// A stateless masked_spgemm call re-resolves kAuto, re-transposes B for the
+// pull-based families and reallocates every per-thread accumulator on every
+// invocation. masked_plan<SR>(A, B, M, opts) pays those costs once and
+// returns a MaskedPlan that can run the product many times:
+//
+//   auto plan = msx::masked_plan<msx::PlusTimes<double>>(a, b, m, opts);
+//   auto c1 = plan.execute();                  // full speed, no setup
+//   auto c2 = plan.execute();                  // reuses workspaces + caches
+//   auto c3 = plan.execute_values(av, bv);     // new numerics, same pattern
+//   plan.rebind(a2, b2, m2);                   // new structure, warm scratch
+//
+// What the plan retains between calls:
+//   * the resolved algorithm (kAuto is decided once, at plan time),
+//   * a cached CSC copy of B plus a value-refresh permutation (Inner/Hybrid),
+//   * the per-thread accumulator workspaces (PerThread<Workspace>),
+//   * the two-phase symbolic rowptr (valid until the structure changes).
+//
+// The plan owns copies of its operands, so callers may drop or mutate their
+// matrices freely between calls; execute_values() refreshes the owned values
+// in place for iterations that change numerics but not sparsity.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/kernel_registry.hpp"
+#include "core/options.hpp"
+#include "core/phase_driver.hpp"
+#include "matrix/convert.hpp"
+#include "matrix/csc.hpp"
+#include "matrix/csr.hpp"
+#include "semiring/semirings.hpp"
+
+namespace msx {
+
+namespace detail {
+
+// Scalar core of the whole-call Auto heuristic (Fig. 7 decision surface);
+// lives in plan.cpp so the decision logic is compiled once, not once per
+// semiring instantiation.
+MaskedAlgo choose_auto_algo(double rows, double a_nnz, double b_nnz,
+                            double m_nnz, std::int64_t b_ncols, MaskKind kind);
+
+// Error text for a (algorithm, mask-kind) pair absent from the registry.
+std::string unsupported_combo_message(MaskedAlgo algo, MaskKind kind);
+
+// Whole-call heuristic following the Fig. 7 empirical decision surface:
+// Inner when the mask is much sparser than the inputs, Heap when the inputs
+// are much sparser than the mask, otherwise MSA (small matrices, dense
+// accumulator fits cache) or Hash (large matrices).
+template <class IT, class VT, class MT>
+MaskedAlgo choose_auto(const CSRMatrix<IT, VT>& a, const CSRMatrix<IT, VT>& b,
+                       const CSRMatrix<IT, MT>& m, MaskKind kind) {
+  return choose_auto_algo(static_cast<double>(a.nrows()),
+                          static_cast<double>(a.nnz()),
+                          static_cast<double>(b.nnz()),
+                          static_cast<double>(m.nnz()),
+                          static_cast<std::int64_t>(b.ncols()), kind);
+}
+
+// Builds the CSC copy of B that the pull-based families need, plus the
+// permutation perm[csc_slot] = csr_slot used to refresh the CSC values in
+// O(nnz) when execute_values() swaps B's numerics. The transpose itself is
+// the shared counting-sort core from matrix/convert.hpp.
+template <class IT, class VT>
+CSCMatrix<IT, VT> build_csc_cache(const CSRMatrix<IT, VT>& b,
+                                  std::vector<IT>& perm) {
+  std::vector<IT> colptr, rowidx;
+  std::vector<VT> csc_values;
+  transpose_arrays(b.nrows(), b.ncols(), b.rowptr(), b.colidx(), b.values(),
+                   colptr, rowidx, csc_values, &perm);
+  return CSCMatrix<IT, VT>(b.nrows(), b.ncols(), std::move(colptr),
+                           std::move(rowidx), std::move(csc_values));
+}
+
+}  // namespace detail
+
+// A prepared, reusable Masked SpGEMM: C = M .* (A·B) (or the complemented
+// form) on semiring SR. Created by masked_plan(); move-only.
+template <class SR, class IT, class VT>
+  requires Semiring<SR>
+class MaskedPlan {
+ public:
+  using output_value = typename SR::value_type;
+  using output_matrix = CSRMatrix<IT, output_value>;
+
+  template <class MT>
+  MaskedPlan(const CSRMatrix<IT, VT>& a, const CSRMatrix<IT, VT>& b,
+             const CSRMatrix<IT, MT>& m, const MaskedOptions& opts = {})
+      : ops_(std::make_unique<Operands>()) {
+    WallTimer timer;
+    validate_masked_options(opts);
+    opts_ = opts;
+    if (opts_.algo == MaskedAlgo::kAuto) {
+      opts_.algo = detail::choose_auto(a, b, m, opts_.kind);
+    }
+    const auto* entry = Registry::find(opts_.algo, opts_.kind);
+    check_arg(entry != nullptr,
+              detail::unsupported_combo_message(opts_.algo, opts_.kind));
+    needs_csc_ = entry->needs_csc;
+    kernel_ = entry->make();
+    adopt_structure(a, b, m, /*keep_b=*/false);
+    setup_seconds_ = timer.seconds();
+  }
+
+  MaskedPlan(MaskedPlan&&) noexcept = default;
+  MaskedPlan& operator=(MaskedPlan&&) noexcept = default;
+  MaskedPlan(const MaskedPlan&) = delete;
+  MaskedPlan& operator=(const MaskedPlan&) = delete;
+
+  // Runs the prepared product. Bit-identical to a fresh masked_spgemm call
+  // with the plan's resolved options.
+  output_matrix execute() {
+    auto c = kernel_->run(opts_.phases == PhaseMode::kTwoPhase ? &symbolic_
+                                                               : nullptr);
+    last_execute_setup_seconds_ = kernel_->last_setup_seconds();
+    return c;
+  }
+
+  // Replaces the numeric values of A and/or B (empty span = unchanged) and
+  // runs. Structure — and therefore the cached CSC pattern and the two-phase
+  // symbolic rowptr — is untouched; the CSC values are refreshed in O(nnz)
+  // through the stored permutation. When the plan was built with B aliasing
+  // A (same object), both spans target the single stored matrix and the
+  // B span, if given, wins.
+  output_matrix execute_values(std::span<const VT> a_values,
+                               std::span<const VT> b_values) {
+    if (!a_values.empty()) {
+      check_arg(a_values.size() == ops_->a.nnz(),
+                "MaskedPlan::execute_values: A value count != nnz(A)");
+      std::copy(a_values.begin(), a_values.end(),
+                ops_->a.mutable_values().begin());
+    }
+    if (!b_values.empty()) {
+      auto& b = ops_->mutable_b();
+      check_arg(b_values.size() == b.nnz(),
+                "MaskedPlan::execute_values: B value count != nnz(B)");
+      std::copy(b_values.begin(), b_values.end(), b.mutable_values().begin());
+    }
+    const bool b_changed =
+        !b_values.empty() || (ops_->b_is_a && !a_values.empty());
+    if (needs_csc_ && b_changed) {
+      const auto b_vals = ops_->b().values();
+      auto csc_vals = ops_->b_csc.mutable_values();
+      for (std::size_t p = 0; p < csc_vals.size(); ++p) {
+        csc_vals[p] = b_vals[static_cast<std::size_t>(ops_->csc_perm[p])];
+      }
+    }
+    return execute();
+  }
+
+  // Rebinds all three operands to new structure. The resolved algorithm,
+  // options and per-thread workspaces are retained (accumulators keep their
+  // capacity — the point of planning iterative workloads like k-truss).
+  template <class MT>
+  void rebind(const CSRMatrix<IT, VT>& a, const CSRMatrix<IT, VT>& b,
+              const CSRMatrix<IT, MT>& m) {
+    WallTimer timer;
+    adopt_structure(a, b, m, /*keep_b=*/false);
+    setup_seconds_ = timer.seconds();
+  }
+
+  // Rebinds A and the mask while keeping B — and its cached CSC — in place.
+  // The shape of the stationary-B iteration (BC sweeps, BFS levels).
+  template <class MT>
+  void rebind(const CSRMatrix<IT, VT>& a, const CSRMatrix<IT, MT>& m) {
+    WallTimer timer;
+    if (ops_->b_is_a) {
+      // B aliased the outgoing A; materialize it before A is replaced.
+      // (adopt_structure recomputes the mask aliasing for the new operands.)
+      ops_->b_storage = std::move(ops_->a);
+      ops_->b_is_a = false;
+    }
+    adopt_structure(a, ops_->b(), m, /*keep_b=*/true);
+    setup_seconds_ = timer.seconds();
+  }
+
+  // Resolved configuration (algo() never reports kAuto).
+  MaskedAlgo algo() const { return opts_.algo; }
+  PhaseMode phases() const { return opts_.phases; }
+  const MaskedOptions& options() const { return opts_; }
+  // True when the plan holds a CSC copy of B (pull-based families).
+  bool caches_csc() const { return needs_csc_; }
+
+  IT nrows() const { return ops_->a.nrows(); }
+  IT ncols() const { return ops_->b.ncols(); }
+
+  // Structural setup time of the last plan/rebind (auto resolution, operand
+  // copies, CSC transpose, kernel bind).
+  double setup_seconds() const { return setup_seconds_; }
+  // Lazy setup performed inside the most recent execute() — per-thread
+  // workspace (re)allocation. ~0 from the second call on.
+  double last_execute_setup_seconds() const {
+    return last_execute_setup_seconds_;
+  }
+
+  // Drops all per-thread scratch memory (accumulator arrays, heaps); the
+  // next execute() regrows it. For callers parking a long-lived plan.
+  void reset_workspaces() { kernel_->reset_workspaces(); }
+
+  // Drops the cached two-phase symbolic rowptr so the next execute() redoes
+  // the symbolic pass. Benchmarks that must charge 2P's full per-call cost
+  // (the 1P-vs-2P comparisons of §8) call this inside the timed region;
+  // normal reuse keeps the cache.
+  void invalidate_symbolic_cache() { symbolic_.invalidate(); }
+
+ private:
+  using Registry = KernelRegistry<SR, IT, VT>;
+
+  // Operands live behind a unique_ptr so the kernel's references stay valid
+  // when the plan itself is moved. Aliased callers (k-truss binds the same
+  // matrix as A, B and mask) are detected by address so the plan stores a
+  // single copy instead of three.
+  struct Operands {
+    CSRMatrix<IT, VT> a;
+    CSRMatrix<IT, VT> b_storage;  // empty when b_is_a
+    bool b_is_a = false;          // B aliases A
+    CSCMatrix<IT, VT> b_csc;      // populated iff needs_csc_
+    std::vector<IT> csc_perm;     // csc slot -> csr slot, for value refresh
+    bool mask_is_a = false;       // mask pattern aliases A (or B, below)
+    bool mask_is_b = false;
+    std::vector<IT> mask_rowptr{0};  // owned pattern when no alias
+    std::vector<IT> mask_colidx;
+    IT mask_nrows = 0;
+    IT mask_ncols = 0;
+
+    const CSRMatrix<IT, VT>& b() const { return b_is_a ? a : b_storage; }
+    CSRMatrix<IT, VT>& mutable_b() { return b_is_a ? a : b_storage; }
+
+    MaskView<IT> mask_view() const {
+      if (mask_is_a) return mask_of(a);
+      if (mask_is_b) return mask_of(b());
+      return MaskView<IT>{mask_nrows, mask_ncols, mask_rowptr.data(),
+                          mask_colidx.data()};
+    }
+  };
+
+  template <class MT>
+  void adopt_structure(const CSRMatrix<IT, VT>& a, const CSRMatrix<IT, VT>& b,
+                       const CSRMatrix<IT, MT>& m, bool keep_b) {
+    check_arg(a.ncols() == b.nrows(),
+              "masked_plan: inner dimension mismatch");
+    check_arg(m.nrows() == a.nrows() && m.ncols() == b.ncols(),
+              "masked_plan: mask shape must match the output shape");
+
+    // Address-level aliasing between the caller's operands. Equal addresses
+    // imply the same object (and hence MT == VT for the mask), so the plan's
+    // copy of A/B can double as the other operand / mask pattern.
+    const void* pa = static_cast<const void*>(&a);
+    const void* pb = static_cast<const void*>(&b);
+    const void* pm = static_cast<const void*>(&m);
+
+    ops_->a = a;
+    if (!keep_b) {
+      ops_->b_is_a = (pb == pa);
+      if (ops_->b_is_a) {
+        ops_->b_storage = CSRMatrix<IT, VT>();
+      } else {
+        ops_->b_storage = b;
+      }
+      if (needs_csc_) {
+        ops_->b_csc = detail::build_csc_cache(ops_->b(), ops_->csc_perm);
+      }
+    }
+    ops_->mask_is_a = (pm == pa);
+    ops_->mask_is_b = !ops_->mask_is_a && !keep_b && (pm == pb);
+    if (ops_->mask_is_a || ops_->mask_is_b) {
+      ops_->mask_rowptr.assign(1, IT{0});
+      ops_->mask_colidx.clear();
+    } else {
+      ops_->mask_rowptr.assign(m.rowptr().begin(), m.rowptr().end());
+      ops_->mask_colidx.assign(m.colidx().begin(), m.colidx().end());
+      ops_->mask_nrows = m.nrows();
+      ops_->mask_ncols = m.ncols();
+    }
+
+    KernelOperands<IT, VT> in;
+    in.a = &ops_->a;
+    in.b = &ops_->b();
+    in.b_csc = needs_csc_ ? &ops_->b_csc : nullptr;
+    in.mask = ops_->mask_view();
+    kernel_->bind(in, opts_);
+    symbolic_.invalidate();
+  }
+
+  MaskedOptions opts_;
+  bool needs_csc_ = false;
+  std::unique_ptr<Operands> ops_;
+  std::unique_ptr<PlanKernelBase<SR, IT, VT>> kernel_;
+  TwoPhaseCache<IT> symbolic_;
+  double setup_seconds_ = 0.0;
+  double last_execute_setup_seconds_ = 0.0;
+};
+
+// Builds a reusable plan for C = M .* (A·B) (or the complemented form) on
+// semiring SR. Resolves kAuto, copies the operands, transposes B once if the
+// chosen family pulls, and prepares per-thread workspaces for execute().
+template <class SR, class IT, class VT, class MT>
+  requires Semiring<SR>
+MaskedPlan<SR, IT, VT> masked_plan(const CSRMatrix<IT, VT>& a,
+                                   const CSRMatrix<IT, VT>& b,
+                                   const CSRMatrix<IT, MT>& m,
+                                   const MaskedOptions& opts = {}) {
+  return MaskedPlan<SR, IT, VT>(a, b, m, opts);
+}
+
+}  // namespace msx

@@ -23,12 +23,16 @@ namespace detail {
 
 // Shared core: given (nrows, ncols, rowptr, colidx, values) of a CSR-like
 // layout, produce the (colptr, rowidx, values) arrays of the transposed
-// layout. Runs a counting sort over column indices.
+// layout. Runs a counting sort over column indices. When `perm` is non-null
+// it additionally records perm[dst] = src (transposed slot -> source slot),
+// which lets callers refresh the transposed values in O(nnz) after a
+// value-only change (see MaskedPlan::execute_values).
 template <class IT, class VT>
 void transpose_arrays(IT nrows, IT ncols, std::span<const IT> rowptr,
                       std::span<const IT> colidx, std::span<const VT> values,
                       std::vector<IT>& out_ptr, std::vector<IT>& out_idx,
-                      std::vector<VT>& out_val) {
+                      std::vector<VT>& out_val,
+                      std::vector<IT>* perm = nullptr) {
   const std::size_t nnz = colidx.size();
   out_ptr.assign(static_cast<std::size_t>(ncols) + 1, IT{0});
   out_idx.resize(nnz);
@@ -58,6 +62,7 @@ void transpose_arrays(IT nrows, IT ncols, std::span<const IT> rowptr,
 
   // Scatter. A serial sweep keeps per-column entries ordered by source row,
   // which preserves the sorted-minor-index invariant.
+  if (perm != nullptr) perm->resize(nnz);
   std::vector<IT> cursor(out_ptr.begin(), out_ptr.end() - 1);
   for (IT i = 0; i < nrows; ++i) {
     for (IT p = rowptr[i]; p < rowptr[i + 1]; ++p) {
@@ -65,6 +70,7 @@ void transpose_arrays(IT nrows, IT ncols, std::span<const IT> rowptr,
       const IT dst = cursor[static_cast<std::size_t>(j)]++;
       out_idx[static_cast<std::size_t>(dst)] = i;
       out_val[static_cast<std::size_t>(dst)] = values[p];
+      if (perm != nullptr) (*perm)[static_cast<std::size_t>(dst)] = p;
     }
   }
 }

@@ -48,6 +48,10 @@ class CSCMatrix {
   std::span<const IT> rowidx() const { return rowidx_; }
   std::span<const VT> values() const { return values_; }
 
+  // In-place value refresh (structure fixed) — used by MaskedPlan to keep a
+  // cached CSC copy of B in sync after execute_values().
+  std::span<VT> mutable_values() { return values_; }
+
   IT col_nnz(IT j) const {
     MSX_ASSERT(j >= 0 && j < ncols_);
     return colptr_[static_cast<std::size_t>(j) + 1] -
