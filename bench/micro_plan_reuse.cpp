@@ -12,6 +12,9 @@
 //                ~0 on the second call is the reuse guarantee.
 //
 //   ./bench_micro_plan_reuse [--scale-shift N] [--reps R] [--threads T]
+//                            [--json[=PATH]]
+//
+// --json writes BENCH_micro_plan_reuse.json for the CI bench-artifacts step.
 #include <cstdio>
 #include <vector>
 
@@ -48,6 +51,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  BenchJsonFile artifact("micro_plan_reuse", cfg);
   std::printf("\n%-10s %12s %12s %12s %12s %12s %12s\n", "scheme",
               "stateless", "plan setup", "exec #1", "setup #1", "exec #2",
               "setup #2");
@@ -83,6 +87,18 @@ int main(int argc, char** argv) {
                 s.name.c_str(), best_seconds(stateless) * 1e3,
                 plan_setup * 1e3, exec1 * 1e3, setup1 * 1e3, exec2 * 1e3,
                 setup2 * 1e3);
+    JsonObject record;
+    record.field("scheme", s.name)
+        .field("stateless_s", best_seconds(stateless))
+        .field("plan_setup_s", plan_setup)
+        .field("exec1_s", exec1)
+        .field("setup1_s", setup1)
+        .field("exec2_s", exec2)
+        .field("setup2_s", setup2);
+    artifact.add(record);
+  }
+  if (!artifact.write(cfg.resolved_json_path("BENCH_micro_plan_reuse.json"))) {
+    return 1;
   }
 
   std::printf(

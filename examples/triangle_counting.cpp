@@ -5,6 +5,8 @@
 //   ./triangle_counting --rmat-scale 14
 //   ./triangle_counting --mtx path/to/graph.mtx
 //   ./triangle_counting --algo hash          # msa|hash|mca|heap|heapdot|inner
+//   ./triangle_counting --schedule flopbalanced --cost-model flops
+//                                            # static|dynamic|guided|flopbalanced
 #include <cstdio>
 
 #include "apps/tricount.hpp"
@@ -40,6 +42,12 @@ int main(int argc, char** argv) {
   opts.phases = args.get_bool("two-phase", false)
                     ? msx::PhaseMode::kTwoPhase
                     : msx::PhaseMode::kOnePhase;
+  // The "auto" default resolves to the flop-balanced partition; any
+  // explicit schedule is honoured as-is.
+  opts.schedule =
+      msx::schedule_from_string(args.get_string("schedule", "auto"));
+  opts.cost_model =
+      msx::cost_model_from_string(args.get_string("cost-model", "auto"));
 
   const auto result = msx::triangle_count(graph, opts);
   std::printf("\ntriangles          : %llu\n",

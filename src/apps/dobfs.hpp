@@ -70,6 +70,9 @@ DOBFSResult direction_optimized_bfs(const CSRMatrix<IT, VT>& graph, IT source,
   MaskedOptions push_opts;
   push_opts.kind = MaskKind::kComplement;
   push_opts.algo = MaskedAlgo::kMSA;
+  // schedule is left at kAuto: like the other apps, both plans ride the
+  // flop-balanced partition it resolves to (a 1×n frontier yields a single
+  // block — cheap — and the scheduling story stays uniform).
   MaskedOptions pull_opts = push_opts;
   pull_opts.algo = MaskedAlgo::kInner;
   const auto frontier_row = detail::as_row_matrix(frontier);

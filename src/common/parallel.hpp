@@ -10,7 +10,9 @@
 #include <omp.h>
 
 #include <cstddef>
+#include <cstdint>
 #include <new>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -19,18 +21,28 @@
 namespace msx {
 
 // Loop scheduling policy for row-parallel drivers. Guided/dynamic help with
-// the load imbalance that skewed (R-MAT-like) degree distributions create.
+// the load imbalance that skewed (R-MAT-like) degree distributions create;
+// kFlopBalanced goes further and partitions rows by estimated cost
+// (core/partition.hpp) so a handful of hub rows cannot serialize the tail.
+// kAuto — the default — lets the library pick: the masked drivers resolve it
+// to kFlopBalanced; raw parallel_for treats it as dynamic. A sentinel (not
+// an inferred upgrade) so that every explicitly chosen schedule, including
+// kDynamic, is always honoured.
 enum class Schedule {
+  kAuto,
   kStatic,
   kDynamic,
   kGuided,
+  kFlopBalanced,
 };
 
 inline const char* to_string(Schedule s) {
   switch (s) {
+    case Schedule::kAuto: return "auto";
     case Schedule::kStatic: return "static";
     case Schedule::kDynamic: return "dynamic";
     case Schedule::kGuided: return "guided";
+    case Schedule::kFlopBalanced: return "flopbalanced";
   }
   return "?";
 }
@@ -64,6 +76,7 @@ void parallel_for(Index begin, Index end, Schedule sched, Body&& body,
 #pragma omp parallel for schedule(static)
       for (std::int64_t i = b; i < e; ++i) body(static_cast<Index>(i));
       break;
+    case Schedule::kAuto:  // no partition context at this level
     case Schedule::kDynamic: {
       const int c = chunk > 0 ? chunk : 64;
 #pragma omp parallel for schedule(dynamic, c)
@@ -74,6 +87,35 @@ void parallel_for(Index begin, Index end, Schedule sched, Body&& body,
 #pragma omp parallel for schedule(guided)
       for (std::int64_t i = b; i < e; ++i) body(static_cast<Index>(i));
       break;
+    case Schedule::kFlopBalanced: {
+      // Cost-balanced dispatch needs a precomputed partition
+      // (parallel_for_blocks below); without one the best index-only
+      // approximation is dynamic scheduling.
+      const int c = chunk > 0 ? chunk : 64;
+#pragma omp parallel for schedule(dynamic, c)
+      for (std::int64_t i = b; i < e; ++i) body(static_cast<Index>(i));
+      break;
+    }
+  }
+}
+
+// Block-ranged companion of parallel_for: dispatches precomputed contiguous
+// index blocks dynamically, one block at a time. `block_start` holds
+// nblocks+1 ascending boundaries (block b covers [block_start[b],
+// block_start[b+1])); core/partition.hpp builds them with near-equal
+// estimated cost, which is what makes Schedule::kFlopBalanced immune to
+// power-law row-cost skew. The body receives each index exactly once, so
+// any per-row output contract of parallel_for carries over unchanged.
+template <class Index, class Body>
+void parallel_for_blocks(std::span<const std::int64_t> block_start,
+                         Body&& body) {
+  if (block_start.size() < 2) return;
+  const auto nblocks = static_cast<std::int64_t>(block_start.size()) - 1;
+#pragma omp parallel for schedule(dynamic, 1)
+  for (std::int64_t blk = 0; blk < nblocks; ++blk) {
+    const std::int64_t lo = block_start[static_cast<std::size_t>(blk)];
+    const std::int64_t hi = block_start[static_cast<std::size_t>(blk) + 1];
+    for (std::int64_t i = lo; i < hi; ++i) body(static_cast<Index>(i));
   }
 }
 

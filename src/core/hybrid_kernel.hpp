@@ -54,6 +54,17 @@ class HybridKernel {
 
   std::size_t upper_bound_row(IT i) const { return push_.upper_bound_row(i); }
 
+  // Cost follows the side the per-row selector will actually run. Pull rows
+  // are always charged their merge lengths (Inner's kFlops model) so both
+  // sides contribute in the same unit to one partition.
+  std::size_t cost_row(IT i, CostModel model) const {
+    if (model == CostModel::kMaskNnz) {
+      return static_cast<std::size_t>(m_.row_nnz(i)) + 1;
+    }
+    return use_pull(i) ? pull_.cost_row(i, CostModel::kFlops)
+                       : push_.cost_row(i, model);
+  }
+
   IT numeric_row(Workspace& ws, IT i, IT* out_cols,
                  output_value* out_vals) const {
     if (use_pull(i)) return pull_.numeric_row(ws.pull, i, out_cols, out_vals);

@@ -52,6 +52,29 @@ class InnerKernel {
     }
   }
 
+  // Pull-based work is mask-driven: the native (kAuto/kMaskNnz) cost is the
+  // number of dot products the row performs. kFlops charges each dot its
+  // merge length — exact per mask entry for the masked kind, approximated
+  // with B's mean column population for the complemented scan (an exact sum
+  // there would itself cost O(nrows·ncols)).
+  std::size_t cost_row(IT i, CostModel model) const {
+    const std::size_t dots = upper_bound_row(i);
+    if (model != CostModel::kFlops) return dots + 1;
+    const auto arow = a_.row(i);
+    if constexpr (!Complemented) {
+      std::size_t cost = 0;
+      for (IT j : m_.row(i)) {
+        cost += static_cast<std::size_t>(arow.size()) +
+                static_cast<std::size_t>(b_.col_nnz(j));
+      }
+      return cost + 1;
+    } else {
+      const std::size_t avg_col =
+          b_.ncols() > 0 ? b_.nnz() / static_cast<std::size_t>(b_.ncols()) : 0;
+      return dots * (static_cast<std::size_t>(arow.size()) + avg_col) + 1;
+    }
+  }
+
   IT numeric_row(Workspace&, IT i, IT* out_cols,
                  output_value* out_vals) const {
     return process_row<false>(i, out_cols, out_vals);

@@ -9,6 +9,9 @@
 //   std::size_t upper_bound_row(IT i) const;            // 1P allocation
 //   IT symbolic_row(Workspace&, IT i) const;             // 2P pass 1
 //   IT numeric_row(Workspace&, IT i, IT* cols, OVT* vals) const;
+//   std::size_t cost_row(IT i, CostModel) const;         // optional: the
+//       per-row work estimate behind Schedule::kFlopBalanced partitions
+//       (kernels without it fall back to upper_bound_row + 1)
 #pragma once
 
 #include <algorithm>
@@ -39,6 +42,27 @@ std::size_t masked_upper_bound(const CSRMatrix<IT, VTA>& a,
   const std::size_t unmasked =
       static_cast<std::size_t>(m.ncols) - mask_nnz;
   return std::min(flops, unmasked);
+}
+
+// Per-row cost estimate for push-based kernels, used by the flop-balanced
+// partition (core/partition.hpp). The native (kAuto/kFlops) notion is the
+// multiplies the row performs plus the mask walk; kMaskNnz substitutes the
+// mask row size for workloads known to be gather-bound. The +1 keeps empty
+// rows at a nominal cost so blocks of them still amortize loop overhead
+// evenly instead of collapsing to zero-width boundaries.
+template <class IT, class VTA, class VTB>
+std::size_t push_row_cost(const CSRMatrix<IT, VTA>& a,
+                          const CSRMatrix<IT, VTB>& b, const MaskView<IT>& m,
+                          IT i, CostModel model) {
+  if (model == CostModel::kMaskNnz) {
+    return static_cast<std::size_t>(m.row_nnz(i)) + 1;
+  }
+  std::size_t flops = 0;
+  const auto arow = a.row(i);
+  for (IT p = 0; p < arow.size(); ++p) {
+    flops += static_cast<std::size_t>(b.row_nnz(arow.cols[p]));
+  }
+  return flops + static_cast<std::size_t>(m.row_nnz(i)) + 1;
 }
 
 }  // namespace detail

@@ -63,8 +63,10 @@ class PlanKernelBase {
                     const MaskedOptions& opts) = 0;
 
   // Runs the phase driver over the bound operands. `symbolic` (optional)
-  // carries a cached two-phase rowptr across calls.
-  virtual output_matrix run(TwoPhaseCache<IT>* symbolic) = 0;
+  // carries a cached two-phase rowptr across calls; `partition` (optional)
+  // carries the flop-balanced row partition the same way.
+  virtual output_matrix run(TwoPhaseCache<IT>* symbolic,
+                            PartitionCache* partition = nullptr) = 0;
 
   // Releases all per-thread scratch memory (accumulator arrays, heaps).
   // The next run() regrows them on demand.
@@ -94,7 +96,8 @@ class PlanKernelImpl final : public PlanKernelBase<SR, IT, VT> {
     opts_ = opts;
   }
 
-  output_matrix run(TwoPhaseCache<IT>* symbolic) override {
+  output_matrix run(TwoPhaseCache<IT>* symbolic,
+                    PartitionCache* partition) override {
     check_arg(kernel_.has_value(), "plan kernel: run() before bind()");
     last_setup_seconds_ = 0.0;
     const auto needed = static_cast<std::size_t>(
@@ -104,7 +107,8 @@ class PlanKernelImpl final : public PlanKernelBase<SR, IT, VT> {
       workspaces_.emplace(static_cast<int>(needed));
       last_setup_seconds_ = timer.seconds();
     }
-    return run_masked_kernel(*kernel_, opts_, *workspaces_, symbolic);
+    return run_masked_kernel(*kernel_, opts_, *workspaces_, symbolic,
+                             partition);
   }
 
   void reset_workspaces() override {

@@ -39,6 +39,10 @@ class MCAKernel {
     return static_cast<std::size_t>(m_.row_nnz(i));
   }
 
+  std::size_t cost_row(IT i, CostModel model) const {
+    return detail::push_row_cost(a_, b_, m_, i, model);
+  }
+
   IT numeric_row(Workspace& ws, IT i, IT* out_cols,
                  output_value* out_vals) const {
     const auto arow = a_.row(i);

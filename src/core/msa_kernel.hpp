@@ -47,6 +47,10 @@ class MSAKernel {
         Complemented ? MaskKind::kComplement : MaskKind::kMask);
   }
 
+  std::size_t cost_row(IT i, CostModel model) const {
+    return detail::push_row_cost(a_, b_, m_, i, model);
+  }
+
   IT numeric_row(Workspace& ws, IT i, IT* out_cols,
                  output_value* out_vals) const {
     const auto arow = a_.row(i);

@@ -6,6 +6,17 @@
 
 namespace msx {
 
+namespace {
+
+std::string lower(const std::string& name) {
+  std::string s = name;
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
 void validate_masked_options(const MaskedOptions& opts) {
   if (opts.algo == MaskedAlgo::kHeapDot && opts.heap_ninspect != 1 &&
       opts.heap_ninspect != kNInspectInfinity) {
@@ -13,6 +24,10 @@ void validate_masked_options(const MaskedOptions& opts) {
         "MaskedOptions: heap_ninspect has no effect under kHeapDot (which "
         "always inspects to infinity); use kHeap to choose a finite "
         "look-ahead");
+  }
+  if (opts.chunk < 0) {
+    throw std::invalid_argument(
+        "MaskedOptions: chunk must be >= 0 (0 = library default)");
   }
 }
 
@@ -39,10 +54,37 @@ const char* to_string(MaskKind k) {
   return k == MaskKind::kMask ? "mask" : "complement";
 }
 
+const char* to_string(CostModel c) {
+  switch (c) {
+    case CostModel::kAuto: return "auto";
+    case CostModel::kFlops: return "flops";
+    case CostModel::kMaskNnz: return "masknnz";
+  }
+  return "?";
+}
+
+Schedule schedule_from_string(const std::string& name) {
+  const std::string s = lower(name);
+  if (s == "auto") return Schedule::kAuto;
+  if (s == "static") return Schedule::kStatic;
+  if (s == "dynamic") return Schedule::kDynamic;
+  if (s == "guided") return Schedule::kGuided;
+  if (s == "flopbalanced" || s == "flop-balanced") {
+    return Schedule::kFlopBalanced;
+  }
+  throw std::invalid_argument("unknown schedule: " + name);
+}
+
+CostModel cost_model_from_string(const std::string& name) {
+  const std::string s = lower(name);
+  if (s == "auto") return CostModel::kAuto;
+  if (s == "flops") return CostModel::kFlops;
+  if (s == "masknnz" || s == "mask-nnz") return CostModel::kMaskNnz;
+  throw std::invalid_argument("unknown cost model: " + name);
+}
+
 MaskedAlgo algo_from_string(const std::string& name) {
-  std::string s = name;
-  std::transform(s.begin(), s.end(), s.begin(),
-                 [](unsigned char c) { return std::tolower(c); });
+  const std::string s = lower(name);
   if (s == "msa") return MaskedAlgo::kMSA;
   if (s == "hash") return MaskedAlgo::kHash;
   if (s == "mca") return MaskedAlgo::kMCA;

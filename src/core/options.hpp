@@ -37,13 +37,28 @@ enum class MaskKind {
 inline constexpr std::size_t kNInspectInfinity =
     std::numeric_limits<std::size_t>::max();
 
+// Per-row cost model driving Schedule::kFlopBalanced partitions
+// (core/partition.hpp). kAuto picks each kernel's native notion of work:
+// masked flops for the push-based families, nnz of the mask row for the
+// pull-based ones (whose work is mask-driven, not flop-driven).
+enum class CostModel {
+  kAuto,
+  kFlops,    // force masked flops (Σ nnz(B(k,:)) over A(i,k) ≠ 0)
+  kMaskNnz,  // force nnz(mask row)
+};
+
 struct MaskedOptions {
   MaskedAlgo algo = MaskedAlgo::kAuto;
   PhaseMode phases = PhaseMode::kOnePhase;
   MaskKind kind = MaskKind::kMask;
   int threads = 0;  // 0 = current OpenMP default
-  Schedule schedule = Schedule::kDynamic;
-  int chunk = 0;  // dynamic-schedule chunk; 0 = library default
+  // kFlopBalanced partitions rows into ~8×threads blocks of near-equal
+  // estimated cost (see cost_model); the OpenMP schedules hand out raw row
+  // ranges. The kAuto default resolves to kFlopBalanced inside the masked
+  // drivers; any explicitly chosen schedule is honoured as-is.
+  Schedule schedule = Schedule::kAuto;
+  int chunk = 0;  // dynamic-schedule chunk; 0 = library default; must be >= 0
+  CostModel cost_model = CostModel::kAuto;
   // Heap mask look-ahead (§5.5): 0 = never inspect, 1 = Heap, ∞ = HeapDot.
   // Honoured when algo == kHeap for BOTH mask kinds: the complemented path
   // uses mirrored look-ahead (skip B entries proven present in the mask; see
@@ -61,15 +76,26 @@ struct MaskedOptions {
 // std::invalid_argument). Today that is kHeapDot combined with an explicit
 // heap_ninspect that is neither the default (1) nor kNInspectInfinity —
 // HeapDot is by definition the ∞ configuration, so any other request would
-// be silently ignored. Called by masked_spgemm and masked_plan.
+// be silently ignored — and a negative chunk, which OpenMP would otherwise
+// accept with unspecified behaviour. Called by masked_spgemm and masked_plan.
 void validate_masked_options(const MaskedOptions& opts);
 
 const char* to_string(MaskedAlgo a);
 const char* to_string(PhaseMode p);
 const char* to_string(MaskKind k);
+const char* to_string(CostModel c);
 
 // Parses names like "msa", "heapdot" (case-insensitive); throws on unknown.
 MaskedAlgo algo_from_string(const std::string& name);
+
+// Parses "auto" / "static" / "dynamic" / "guided" / "flopbalanced"
+// (case-insensitive, "flop-balanced" accepted); throws on unknown. The
+// CLI/env seam for the --schedule knob of the benches and apps.
+Schedule schedule_from_string(const std::string& name);
+
+// Parses "auto" / "flops" / "masknnz" (case-insensitive, "mask-nnz"
+// accepted); throws on unknown.
+CostModel cost_model_from_string(const std::string& name);
 
 // Canonical scheme label used in benchmark output, e.g. "MSA-1P".
 std::string scheme_name(MaskedAlgo a, PhaseMode p);

@@ -1,0 +1,57 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+
+#include "common/platform.hpp"
+
+namespace msx {
+
+int partition_target_blocks(int threads) {
+  if (threads < 1) threads = 1;
+  return 8 * threads;
+}
+
+RowPartition partition_from_cost_prefix(std::span<const std::uint64_t> prefix,
+                                        int nblocks) {
+  check_arg(!prefix.empty() && prefix.front() == 0,
+            "partition: prefix must have nrows+1 entries starting at 0");
+  const auto nrows = static_cast<std::int64_t>(prefix.size()) - 1;
+
+  RowPartition part;
+  if (nrows == 0) {
+    part.block_start = {0};
+    return part;
+  }
+
+  const auto nb = static_cast<std::int64_t>(
+      std::max<std::int64_t>(1, std::min<std::int64_t>(nblocks, nrows)));
+  const std::uint64_t total = prefix.back();
+
+  part.block_start.reserve(static_cast<std::size_t>(nb) + 1);
+  part.block_start.push_back(0);
+  for (std::int64_t b = 1; b < nb; ++b) {
+    std::int64_t boundary;
+    if (total == 0) {
+      boundary = nrows * b / nb;  // no cost signal: even row split
+    } else {
+      // First row index whose prefix cost reaches b/nb of the total. The
+      // intermediate product needs 128 bits: total can exceed 2^32 flops.
+      const auto target = static_cast<std::uint64_t>(
+          static_cast<unsigned __int128>(total) * static_cast<std::uint64_t>(b) /
+          static_cast<std::uint64_t>(nb));
+      boundary = std::lower_bound(prefix.begin(), prefix.end(), target) -
+                 prefix.begin();
+    }
+    // Keep boundaries strictly increasing and leave one row for each of the
+    // remaining blocks (nb <= nrows guarantees the window is non-empty).
+    // When one hub row swallows several targets this is what isolates it in
+    // a block of its own instead of emitting empty blocks.
+    const std::int64_t lo = part.block_start.back() + 1;
+    const std::int64_t hi = nrows - (nb - b);
+    part.block_start.push_back(std::clamp(boundary, lo, hi));
+  }
+  part.block_start.push_back(nrows);
+  return part;
+}
+
+}  // namespace msx

@@ -1,0 +1,86 @@
+// Flop-balanced work partitioning (ISSUE 2 tentpole).
+//
+// Row-parallel drivers that hand out *rows* suffer on power-law inputs: a
+// handful of hub rows carry most of the flops and serialize the tail of the
+// loop no matter which OpenMP schedule distributes them. Buluç & Gilbert and
+// Nagasaka-style SpGEMM implementations partition by *flops* instead; this
+// header brings that to the masked setting.
+//
+// A RowPartition is built once per operand structure: the per-row cost
+// (masked flops for push kernels, mask nnz for pull kernels — see
+// Kernel::cost_row and CostModel in core/options.hpp) is prefix-summed and
+// binary-searched into ~8×threads contiguous row blocks of near-equal cost.
+// The phase driver then dispatches those blocks dynamically
+// (parallel_for_blocks) for the symbolic, numeric and one-phase bound
+// passes, and a MaskedPlan caches the partition across execute() calls
+// alongside the two-phase symbolic rowptr.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/prefix_sum.hpp"
+
+namespace msx {
+
+// Contiguous row blocks of near-equal estimated cost. block_start holds
+// blocks()+1 ascending boundaries with block_start.front() == 0 and
+// block_start.back() == nrows; every row belongs to exactly one block, so
+// per-row output contracts (each row writes its own CSR segment) are
+// unaffected by which thread runs which block.
+struct RowPartition {
+  std::vector<std::int64_t> block_start;
+
+  int blocks() const {
+    return block_start.empty() ? 0
+                               : static_cast<int>(block_start.size()) - 1;
+  }
+  std::int64_t rows() const {
+    return block_start.empty() ? 0 : block_start.back();
+  }
+  std::span<const std::int64_t> bounds() const { return block_start; }
+};
+
+// Target block count for `threads` workers: ~8 blocks per thread is fine
+// enough for dynamic stealing to absorb cost-model error yet coarse enough
+// that per-block dispatch overhead stays negligible.
+int partition_target_blocks(int threads);
+
+// Splits a per-row cost prefix sum (nrows+1 entries, prefix[0] == 0,
+// non-decreasing) into min(nblocks, nrows) blocks whose cost is as close to
+// total/nblocks as contiguity allows. A single dominant row gets a block of
+// its own (it cannot be split, but it no longer drags neighbours with it);
+// zero total cost degenerates to an even row split; an empty matrix yields
+// zero blocks.
+RowPartition partition_from_cost_prefix(std::span<const std::uint64_t> prefix,
+                                        int nblocks);
+
+// Builds the cost prefix in parallel from a per-row cost callback and splits
+// it. This is the one pass over the input the flop-balanced schedule adds;
+// plans amortize it across executions (PartitionCache below).
+template <class IT, class CostFn>
+RowPartition build_row_partition(IT nrows, int nblocks, CostFn&& cost) {
+  std::vector<std::uint64_t> prefix(static_cast<std::size_t>(nrows) + 1, 0);
+  parallel_for(IT{0}, nrows, Schedule::kStatic, [&](IT i) {
+    prefix[static_cast<std::size_t>(i) + 1] =
+        static_cast<std::uint64_t>(cost(i));
+  });
+  inclusive_scan(prefix.data(), prefix.size());
+  return partition_from_cost_prefix(prefix, nblocks);
+}
+
+// Cached partition for plan reuse. Valid as long as the operand and mask
+// structures are unchanged — execute_values() keeps it, rebind() must
+// invalidate(). Mirrors TwoPhaseCache in core/phase_driver.hpp.
+struct PartitionCache {
+  RowPartition partition;
+  bool valid = false;
+  void invalidate() {
+    valid = false;
+    partition.block_start.clear();
+  }
+};
+
+}  // namespace msx

@@ -23,6 +23,7 @@
 #include "common/platform.hpp"
 #include "common/prefix_sum.hpp"
 #include "core/options.hpp"
+#include "core/partition.hpp"
 #include "matrix/csr.hpp"
 
 namespace msx {
@@ -44,17 +45,69 @@ struct TwoPhaseCache {
 // parallel region (the caller sizes it; see MaskedPlan). When `symbolic` is
 // non-null and valid, the two-phase symbolic pass is skipped and its rowptr
 // reused; when non-null and invalid, the freshly computed rowptr is cached.
+// `partition` plays the same role for the flop-balanced row partition: under
+// Schedule::kFlopBalanced the symbolic, numeric, bound and compaction passes
+// all dispatch the partition's blocks, and a valid cache skips rebuilding it.
 template <class Kernel>
 CSRMatrix<typename Kernel::index_type, typename Kernel::output_value>
 run_masked_kernel(const Kernel& kernel, const MaskedOptions& opts,
                   PerThread<typename Kernel::Workspace>& workspaces,
-                  TwoPhaseCache<typename Kernel::index_type>* symbolic) {
+                  TwoPhaseCache<typename Kernel::index_type>* symbolic,
+                  PartitionCache* partition = nullptr) {
   using IT = typename Kernel::index_type;
   using OVT = typename Kernel::output_value;
 
   const IT nrows = kernel.nrows();
   const IT ncols = kernel.ncols();
   ScopedNumThreads thread_guard(opts.threads);
+
+  // Schedule::kAuto resolves here, to the flop-balanced partition: it is
+  // never slower than dynamic once hub rows appear, and plans amortize the
+  // one cost-estimation sweep its build adds (a cold masked-kind call pays
+  // ~nothing extra — the 1P bound pass is O(1) per row — while complemented
+  // and baseline kernels estimate twice on their first call only).
+  const Schedule schedule = opts.schedule == Schedule::kAuto
+                                ? Schedule::kFlopBalanced
+                                : opts.schedule;
+
+  // Resolve (or reuse) the flop-balanced partition once; every pass below
+  // then dispatches the same blocks.
+  RowPartition local_partition;
+  const RowPartition* blocks = nullptr;
+  if (schedule == Schedule::kFlopBalanced) {
+    if (partition != nullptr && partition->valid) {
+      blocks = &partition->partition;
+    } else {
+      // cost_row is an optional part of the kernel interface; kernels
+      // without one (the plain-SpGEMM baselines) are partitioned by their
+      // 1P upper bound, which tracks flops for unmasked products.
+      auto built = build_row_partition(
+          nrows, partition_target_blocks(max_threads()), [&](IT i) {
+            if constexpr (requires { kernel.cost_row(i, opts.cost_model); }) {
+              return kernel.cost_row(i, opts.cost_model);
+            } else {
+              return kernel.upper_bound_row(i) + 1;
+            }
+          });
+      if (partition != nullptr) {
+        partition->partition = std::move(built);
+        partition->valid = true;
+        blocks = &partition->partition;
+      } else {
+        local_partition = std::move(built);
+        blocks = &local_partition;
+      }
+    }
+  }
+  // `fallback` is what non-flop-balanced calls use: the requested schedule
+  // for kernel passes, static for the cheap bookkeeping passes.
+  const auto run_rows = [&](Schedule fallback, auto&& body) {
+    if (blocks != nullptr) {
+      parallel_for_blocks<IT>(blocks->bounds(), body);
+    } else {
+      parallel_for(IT{0}, nrows, fallback, body, opts.chunk);
+    }
+  };
 
   if (opts.phases == PhaseMode::kTwoPhase) {
     // --- symbolic phase: exact row sizes (or a cached prior result) ---
@@ -63,12 +116,10 @@ run_masked_kernel(const Kernel& kernel, const MaskedOptions& opts,
       rowptr = symbolic->rowptr;
     } else {
       rowptr.assign(static_cast<std::size_t>(nrows) + 1, IT{0});
-      parallel_for(IT{0}, nrows, opts.schedule,
-                   [&](IT i) {
-                     rowptr[static_cast<std::size_t>(i) + 1] =
-                         kernel.symbolic_row(workspaces.local(), i);
-                   },
-                   opts.chunk);
+      run_rows(schedule, [&](IT i) {
+        rowptr[static_cast<std::size_t>(i) + 1] =
+            kernel.symbolic_row(workspaces.local(), i);
+      });
       counts_to_offsets(rowptr);
       if (symbolic != nullptr) {
         symbolic->rowptr = rowptr;
@@ -80,25 +131,21 @@ run_masked_kernel(const Kernel& kernel, const MaskedOptions& opts,
     const auto nnz = static_cast<std::size_t>(rowptr.back());
     std::vector<IT> colidx(nnz);
     std::vector<OVT> values(nnz);
-    parallel_for(IT{0}, nrows, opts.schedule,
-                 [&](IT i) {
-                   const auto base =
-                       static_cast<std::size_t>(rowptr[static_cast<std::size_t>(i)]);
-                   [[maybe_unused]] const IT written = kernel.numeric_row(
-                       workspaces.local(), i, colidx.data() + base,
-                       values.data() + base);
-                   MSX_ASSERT(written ==
-                              rowptr[static_cast<std::size_t>(i) + 1] -
-                                  rowptr[static_cast<std::size_t>(i)]);
-                 },
-                 opts.chunk);
+    run_rows(schedule, [&](IT i) {
+      const auto base =
+          static_cast<std::size_t>(rowptr[static_cast<std::size_t>(i)]);
+      [[maybe_unused]] const IT written = kernel.numeric_row(
+          workspaces.local(), i, colidx.data() + base, values.data() + base);
+      MSX_ASSERT(written == rowptr[static_cast<std::size_t>(i) + 1] -
+                                rowptr[static_cast<std::size_t>(i)]);
+    });
     return CSRMatrix<IT, OVT>(nrows, ncols, std::move(rowptr),
                               std::move(colidx), std::move(values));
   }
 
   // --- one-phase: upper-bound temporary, then compact ---
   std::vector<std::size_t> bounds(static_cast<std::size_t>(nrows) + 1, 0);
-  parallel_for(IT{0}, nrows, Schedule::kStatic, [&](IT i) {
+  run_rows(Schedule::kStatic, [&](IT i) {
     bounds[static_cast<std::size_t>(i) + 1] = kernel.upper_bound_row(i);
   });
   counts_to_offsets(bounds);
@@ -108,20 +155,17 @@ run_masked_kernel(const Kernel& kernel, const MaskedOptions& opts,
   std::vector<OVT> tmp_vals(cap);
   std::vector<IT> rowptr(static_cast<std::size_t>(nrows) + 1, IT{0});
 
-  parallel_for(IT{0}, nrows, opts.schedule,
-               [&](IT i) {
-                 const std::size_t base = bounds[static_cast<std::size_t>(i)];
-                 rowptr[static_cast<std::size_t>(i) + 1] = kernel.numeric_row(
-                     workspaces.local(), i, tmp_cols.data() + base,
-                     tmp_vals.data() + base);
-               },
-               opts.chunk);
+  run_rows(schedule, [&](IT i) {
+    const std::size_t base = bounds[static_cast<std::size_t>(i)];
+    rowptr[static_cast<std::size_t>(i) + 1] = kernel.numeric_row(
+        workspaces.local(), i, tmp_cols.data() + base, tmp_vals.data() + base);
+  });
   counts_to_offsets(rowptr);
 
   const auto nnz = static_cast<std::size_t>(rowptr.back());
   std::vector<IT> colidx(nnz);
   std::vector<OVT> values(nnz);
-  parallel_for(IT{0}, nrows, Schedule::kStatic, [&](IT i) {
+  run_rows(Schedule::kStatic, [&](IT i) {
     const std::size_t src = bounds[static_cast<std::size_t>(i)];
     const auto dst = static_cast<std::size_t>(rowptr[static_cast<std::size_t>(i)]);
     const auto len = static_cast<std::size_t>(
@@ -136,9 +180,9 @@ run_masked_kernel(const Kernel& kernel, const MaskedOptions& opts,
                             std::move(values));
 }
 
-// Classic form: per-call workspaces, no symbolic caching. The thread guard
-// runs before the PerThread pool is sized so an opts.threads larger than the
-// current OpenMP default still gets one slot per thread.
+// Classic form: per-call workspaces, no symbolic or partition caching. The
+// thread guard runs before the PerThread pool is sized so an opts.threads
+// larger than the current OpenMP default still gets one slot per thread.
 template <class Kernel>
 CSRMatrix<typename Kernel::index_type, typename Kernel::output_value>
 run_masked_kernel(const Kernel& kernel, const MaskedOptions& opts) {

@@ -17,7 +17,9 @@
 //   * the resolved algorithm (kAuto is decided once, at plan time),
 //   * a cached CSC copy of B plus a value-refresh permutation (Inner/Hybrid),
 //   * the per-thread accumulator workspaces (PerThread<Workspace>),
-//   * the two-phase symbolic rowptr (valid until the structure changes).
+//   * the two-phase symbolic rowptr (valid until the structure changes),
+//   * the flop-balanced row partition (Schedule::kFlopBalanced; same
+//     lifetime as the symbolic rowptr).
 //
 // The plan owns copies of its operands, so callers may drop or mutate their
 // matrices freely between calls; execute_values() refreshes the owned values
@@ -36,6 +38,7 @@
 #include "common/timer.hpp"
 #include "core/kernel_registry.hpp"
 #include "core/options.hpp"
+#include "core/partition.hpp"
 #include "core/phase_driver.hpp"
 #include "matrix/convert.hpp"
 #include "matrix/csc.hpp"
@@ -122,8 +125,9 @@ class MaskedPlan {
   // Runs the prepared product. Bit-identical to a fresh masked_spgemm call
   // with the plan's resolved options.
   output_matrix execute() {
-    auto c = kernel_->run(opts_.phases == PhaseMode::kTwoPhase ? &symbolic_
-                                                               : nullptr);
+    auto c = kernel_->run(
+        opts_.phases == PhaseMode::kTwoPhase ? &symbolic_ : nullptr,
+        &partition_);
     last_execute_setup_seconds_ = kernel_->last_setup_seconds();
     return c;
   }
@@ -215,6 +219,19 @@ class MaskedPlan {
   // normal reuse keeps the cache.
   void invalidate_symbolic_cache() { symbolic_.invalidate(); }
 
+  // Same for the flop-balanced row partition: benchmarks charging the full
+  // per-call cost of Schedule::kFlopBalanced drop it inside the timed
+  // region; normal reuse keeps it (execute_values() never touches it — cost
+  // depends only on structure).
+  void invalidate_partition_cache() { partition_.invalidate(); }
+
+  // True once an execute() under Schedule::kFlopBalanced (or the kAuto
+  // default, which resolves to it) has built and retained the row partition
+  // for the current structure.
+  bool partition_cached() const { return partition_.valid; }
+  // Block count of the cached partition (0 when none is cached).
+  int partition_blocks() const { return partition_.partition.blocks(); }
+
  private:
   using Registry = KernelRegistry<SR, IT, VT>;
 
@@ -292,6 +309,7 @@ class MaskedPlan {
     in.mask = ops_->mask_view();
     kernel_->bind(in, opts_);
     symbolic_.invalidate();
+    partition_.invalidate();
   }
 
   MaskedOptions opts_;
@@ -299,6 +317,7 @@ class MaskedPlan {
   std::unique_ptr<Operands> ops_;
   std::unique_ptr<PlanKernelBase<SR, IT, VT>> kernel_;
   TwoPhaseCache<IT> symbolic_;
+  PartitionCache partition_;
   double setup_seconds_ = 0.0;
   double last_execute_setup_seconds_ = 0.0;
 };

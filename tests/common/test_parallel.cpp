@@ -10,8 +10,8 @@ namespace msx {
 namespace {
 
 TEST(Parallel, ParallelForCoversAllIndicesOnce) {
-  for (auto sched :
-       {Schedule::kStatic, Schedule::kDynamic, Schedule::kGuided}) {
+  for (auto sched : {Schedule::kAuto, Schedule::kStatic, Schedule::kDynamic,
+                     Schedule::kGuided, Schedule::kFlopBalanced}) {
     const int n = 10007;
     std::vector<std::atomic<int>> hits(n);
     for (auto& h : hits) h.store(0);
@@ -64,9 +64,31 @@ TEST(Parallel, PerThreadLocalUsableSerially) {
 }
 
 TEST(Parallel, ScheduleNames) {
+  EXPECT_STREQ(to_string(Schedule::kAuto), "auto");
   EXPECT_STREQ(to_string(Schedule::kStatic), "static");
   EXPECT_STREQ(to_string(Schedule::kDynamic), "dynamic");
   EXPECT_STREQ(to_string(Schedule::kGuided), "guided");
+  EXPECT_STREQ(to_string(Schedule::kFlopBalanced), "flopbalanced");
+}
+
+TEST(Parallel, ParallelForBlocksCoversAllIndicesOnce) {
+  const int n = 1000;
+  const std::vector<std::int64_t> block_start{0, 1, 17, 500, 501, 1000};
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  parallel_for_blocks<int>(block_start, [&](int i) { hits[i].fetch_add(1); });
+  for (int i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Parallel, ParallelForBlocksEmptyPartition) {
+  int calls = 0;
+  parallel_for_blocks<int>(std::vector<std::int64_t>{0},
+                           [&](int) { ++calls; });
+  parallel_for_blocks<int>(std::vector<std::int64_t>{},
+                           [&](int) { ++calls; });
+  EXPECT_EQ(calls, 0);
 }
 
 }  // namespace

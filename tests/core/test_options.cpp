@@ -45,6 +45,43 @@ TEST(Options, SchemeNameGoldenStrings) {
   EXPECT_EQ(scheme_name(MaskedAlgo::kAuto, PhaseMode::kTwoPhase), "Auto-2P");
 }
 
+TEST(Options, ScheduleStringRoundTripsForEveryValue) {
+  for (Schedule s : {Schedule::kAuto, Schedule::kStatic, Schedule::kDynamic,
+                     Schedule::kGuided, Schedule::kFlopBalanced}) {
+    EXPECT_EQ(schedule_from_string(to_string(s)), s) << to_string(s);
+  }
+}
+
+TEST(Options, ScheduleParsingIsCaseInsensitiveWithAliases) {
+  EXPECT_EQ(schedule_from_string("STATIC"), Schedule::kStatic);
+  EXPECT_EQ(schedule_from_string("FlopBalanced"), Schedule::kFlopBalanced);
+  EXPECT_EQ(schedule_from_string("flop-balanced"), Schedule::kFlopBalanced);
+  EXPECT_THROW(schedule_from_string("roundrobin"), std::invalid_argument);
+}
+
+TEST(Options, CostModelStringRoundTripsForEveryValue) {
+  for (CostModel c :
+       {CostModel::kAuto, CostModel::kFlops, CostModel::kMaskNnz}) {
+    EXPECT_EQ(cost_model_from_string(to_string(c)), c) << to_string(c);
+  }
+}
+
+TEST(Options, CostModelParsingIsCaseInsensitiveWithAliases) {
+  EXPECT_EQ(cost_model_from_string("FLOPS"), CostModel::kFlops);
+  EXPECT_EQ(cost_model_from_string("mask-nnz"), CostModel::kMaskNnz);
+  EXPECT_THROW(cost_model_from_string("rows"), std::invalid_argument);
+}
+
+TEST(Options, ValidateRejectsNegativeChunk) {
+  MaskedOptions o;
+  o.chunk = -1;
+  EXPECT_THROW(validate_masked_options(o), std::invalid_argument);
+  o.chunk = 0;
+  EXPECT_NO_THROW(validate_masked_options(o));
+  o.chunk = 128;
+  EXPECT_NO_THROW(validate_masked_options(o));
+}
+
 TEST(Options, PhaseAndKindToString) {
   EXPECT_STREQ(to_string(PhaseMode::kOnePhase), "1P");
   EXPECT_STREQ(to_string(PhaseMode::kTwoPhase), "2P");

@@ -1,0 +1,160 @@
+// Unit tests for the flop-balanced row partition (core/partition.hpp):
+// boundary invariants, degenerate shapes (empty matrix, rows ≪ blocks), hub
+// isolation and the cost-driven build path.
+#include "core/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "gen/rmat.hpp"
+#include "matrix/csr.hpp"
+
+namespace msx {
+namespace {
+
+std::vector<std::uint64_t> prefix_of(const std::vector<std::uint64_t>& costs) {
+  std::vector<std::uint64_t> prefix(costs.size() + 1, 0);
+  std::partial_sum(costs.begin(), costs.end(), prefix.begin() + 1);
+  return prefix;
+}
+
+// Every partition must cover [0, nrows) with strictly increasing boundaries.
+void expect_valid(const RowPartition& part, std::int64_t nrows) {
+  ASSERT_FALSE(part.block_start.empty());
+  EXPECT_EQ(part.block_start.front(), 0);
+  EXPECT_EQ(part.rows(), nrows);
+  for (int b = 0; b < part.blocks(); ++b) {
+    EXPECT_LT(part.block_start[static_cast<std::size_t>(b)],
+              part.block_start[static_cast<std::size_t>(b) + 1])
+        << "empty block " << b;
+  }
+}
+
+std::uint64_t block_cost(const std::vector<std::uint64_t>& prefix,
+                         const RowPartition& part, int b) {
+  return prefix[static_cast<std::size_t>(
+             part.block_start[static_cast<std::size_t>(b) + 1])] -
+         prefix[static_cast<std::size_t>(
+             part.block_start[static_cast<std::size_t>(b)])];
+}
+
+TEST(Partition, EmptyMatrixYieldsZeroBlocks) {
+  const std::vector<std::uint64_t> prefix{0};
+  const auto part = partition_from_cost_prefix(prefix, 8);
+  EXPECT_EQ(part.blocks(), 0);
+  EXPECT_EQ(part.rows(), 0);
+}
+
+TEST(Partition, RowsFewerThanBlocksGetOneRowEach) {
+  const auto prefix = prefix_of({5, 1, 3});
+  const auto part = partition_from_cost_prefix(prefix, 64);
+  expect_valid(part, 3);
+  EXPECT_EQ(part.blocks(), 3);
+  for (int b = 0; b < 3; ++b) {
+    EXPECT_EQ(part.block_start[static_cast<std::size_t>(b)], b);
+  }
+}
+
+TEST(Partition, UniformCostsSplitEvenly) {
+  const auto prefix = prefix_of(std::vector<std::uint64_t>(128, 1));
+  const auto part = partition_from_cost_prefix(prefix, 8);
+  expect_valid(part, 128);
+  ASSERT_EQ(part.blocks(), 8);
+  for (int b = 0; b < 8; ++b) {
+    EXPECT_EQ(block_cost(prefix, part, b), 16u);
+  }
+}
+
+TEST(Partition, ZeroTotalCostFallsBackToEvenRowSplit) {
+  const auto prefix = prefix_of(std::vector<std::uint64_t>(100, 0));
+  const auto part = partition_from_cost_prefix(prefix, 4);
+  expect_valid(part, 100);
+  ASSERT_EQ(part.blocks(), 4);
+  for (int b = 0; b < 4; ++b) {
+    EXPECT_EQ(part.block_start[static_cast<std::size_t>(b)], 25 * b);
+  }
+}
+
+TEST(Partition, LeadingHubRowIsIsolated) {
+  // One row carries ~all the cost; it must land in a block of its own
+  // instead of dragging a static-chunk's worth of neighbours with it.
+  std::vector<std::uint64_t> costs(100, 1);
+  costs[0] = 1'000'000;
+  const auto prefix = prefix_of(costs);
+  const auto part = partition_from_cost_prefix(prefix, 8);
+  expect_valid(part, 100);
+  ASSERT_EQ(part.blocks(), 8);
+  EXPECT_EQ(part.block_start[1], 1);  // block 0 is exactly the hub
+}
+
+TEST(Partition, InteriorHubRowBoundsEveryOtherBlock) {
+  std::vector<std::uint64_t> costs(100, 1);
+  costs[57] = 1'000'000;
+  const auto prefix = prefix_of(costs);
+  const auto part = partition_from_cost_prefix(prefix, 10);
+  expect_valid(part, 100);
+  ASSERT_EQ(part.blocks(), 10);
+  // The hub's block dominates by construction; no other block may carry
+  // more than the ideal per-block share of the remaining cost plus one row.
+  const std::uint64_t hub = costs[57];
+  int hub_block = -1;
+  for (int b = 0; b < part.blocks(); ++b) {
+    if (part.block_start[static_cast<std::size_t>(b)] <= 57 &&
+        57 < part.block_start[static_cast<std::size_t>(b) + 1]) {
+      hub_block = b;
+    }
+  }
+  ASSERT_NE(hub_block, -1);
+  for (int b = 0; b < part.blocks(); ++b) {
+    if (b == hub_block) continue;
+    EXPECT_LT(block_cost(prefix, part, b), hub) << "block " << b;
+  }
+}
+
+TEST(Partition, TargetBlocksScaleWithThreads) {
+  EXPECT_EQ(partition_target_blocks(1), 8);
+  EXPECT_EQ(partition_target_blocks(16), 128);
+  EXPECT_EQ(partition_target_blocks(0), 8);   // clamped
+  EXPECT_EQ(partition_target_blocks(-3), 8);  // clamped
+}
+
+TEST(Partition, BuildFromCostCallbackCoversAllRows) {
+  using IT = std::int32_t;
+  const IT nrows = 1000;
+  const auto part = build_row_partition(
+      nrows, 16, [](IT i) { return static_cast<std::size_t>(i % 7); });
+  expect_valid(part, nrows);
+  EXPECT_LE(part.blocks(), 16);
+  EXPECT_GE(part.blocks(), 1);
+}
+
+TEST(Partition, SkewedGraphPartitionIsBalancedByCostNotRows) {
+  using IT = std::int32_t;
+  using VT = double;
+  const auto a = rmat<IT, VT>(10, 42);
+  std::vector<std::uint64_t> costs(static_cast<std::size_t>(a.nrows()));
+  for (IT i = 0; i < a.nrows(); ++i) {
+    costs[static_cast<std::size_t>(i)] =
+        static_cast<std::uint64_t>(a.row_nnz(i));
+  }
+  const auto prefix = prefix_of(costs);
+  const auto part = partition_from_cost_prefix(prefix, 32);
+  expect_valid(part, a.nrows());
+  // No block may exceed the ideal share by more than the largest single row
+  // (contiguity cannot split a row).
+  const std::uint64_t total = prefix.back();
+  const std::uint64_t max_row =
+      *std::max_element(costs.begin(), costs.end());
+  const std::uint64_t ideal =
+      total / static_cast<std::uint64_t>(part.blocks()) + 1;
+  for (int b = 0; b < part.blocks(); ++b) {
+    EXPECT_LE(block_cost(prefix, part, b), ideal + max_row) << "block " << b;
+  }
+}
+
+}  // namespace
+}  // namespace msx

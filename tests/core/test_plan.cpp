@@ -191,6 +191,73 @@ TEST(Plan, InvalidateSymbolicCacheKeepsResultsIdentical) {
   EXPECT_TRUE(plan.execute() == want);
 }
 
+TEST(Plan, PartitionCacheSurvivesValueRefreshAndDiesOnRebind) {
+  const auto a = erdos_renyi<IT, VT>(120, 120, 8, 61);
+  const auto b = erdos_renyi<IT, VT>(120, 120, 8, 62);
+  const auto m = erdos_renyi<IT, VT>(120, 120, 10, 63);
+  MaskedOptions o;
+  o.algo = MaskedAlgo::kHash;
+  o.schedule = Schedule::kFlopBalanced;
+  auto plan = masked_plan<SR>(a, b, m, o);
+  EXPECT_FALSE(plan.partition_cached());  // built lazily by execute()
+
+  const auto want = plan.execute();
+  EXPECT_TRUE(plan.partition_cached());
+  EXPECT_GE(plan.partition_blocks(), 1);
+
+  // Value refresh keeps the partition (cost depends only on structure).
+  std::vector<VT> fresh(a.nnz(), 2.0);
+  (void)plan.execute_values(fresh, {});
+  EXPECT_TRUE(plan.partition_cached());
+
+  // Rebind to new structure must drop it.
+  const auto a2 = erdos_renyi<IT, VT>(150, 150, 8, 64);
+  const auto m2 = erdos_renyi<IT, VT>(150, 150, 10, 65);
+  plan.rebind(a2, a2, m2);
+  EXPECT_FALSE(plan.partition_cached());
+  (void)plan.execute();
+  EXPECT_TRUE(plan.partition_cached());
+
+  // Explicit invalidation mirrors the symbolic cache and keeps results.
+  plan.rebind(a, b, m);
+  const auto again = plan.execute();
+  EXPECT_TRUE(again == want);
+  plan.invalidate_partition_cache();
+  EXPECT_FALSE(plan.partition_cached());
+  EXPECT_TRUE(plan.execute() == want);
+}
+
+TEST(Plan, NonFlopBalancedSchedulesBuildNoPartition) {
+  const auto a = erdos_renyi<IT, VT>(60, 60, 5, 66);
+  MaskedOptions o;
+  o.algo = MaskedAlgo::kMSA;
+  o.schedule = Schedule::kDynamic;
+  auto plan = masked_plan<SR>(a, a, a, o);
+  (void)plan.execute();
+  EXPECT_FALSE(plan.partition_cached());
+}
+
+TEST(Plan, AutoScheduleResolvesToFlopBalancedAndExplicitIsHonoured) {
+  const auto a = erdos_renyi<IT, VT>(80, 80, 6, 67);
+  auto plan = masked_plan<SR>(a, a, a);  // default options: schedule kAuto
+  EXPECT_EQ(plan.options().schedule, Schedule::kAuto);
+  (void)plan.execute();
+  EXPECT_TRUE(plan.partition_cached());  // kAuto ran the partition
+
+  // Every explicitly chosen schedule — including kDynamic, which used to be
+  // indistinguishable from the default — runs as requested, with no
+  // partition built behind the caller's back.
+  for (Schedule s :
+       {Schedule::kStatic, Schedule::kDynamic, Schedule::kGuided}) {
+    MaskedOptions o;
+    o.schedule = s;
+    auto pinned = masked_plan<SR>(a, a, a, o);
+    EXPECT_EQ(pinned.options().schedule, s);
+    (void)pinned.execute();
+    EXPECT_FALSE(pinned.partition_cached()) << to_string(s);
+  }
+}
+
 TEST(Plan, AutoResolvesOnceAndMatchesStatelessAuto) {
   const auto a = erdos_renyi<IT, VT>(100, 100, 20, 21);
   const auto b = erdos_renyi<IT, VT>(100, 100, 20, 22);

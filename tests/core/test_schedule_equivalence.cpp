@@ -1,0 +1,136 @@
+// Schedule-equivalence suite (ISSUE 2): the row-parallel decomposition owns
+// disjoint output rows, so every schedule — including the flop-balanced
+// partition and every cost model behind it — must produce bit-identical CSR
+// output for every (algorithm, phase, mask-kind) combination.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "core/masked_spgemm.hpp"
+#include "core/plan.hpp"
+#include "gen/rmat.hpp"
+#include "test_helpers.hpp"
+
+namespace msx {
+namespace {
+
+using IT = std::int32_t;
+using VT = double;
+
+const std::vector<Schedule>& all_schedules() {
+  static const std::vector<Schedule> s{
+      Schedule::kAuto, Schedule::kStatic, Schedule::kDynamic,
+      Schedule::kGuided, Schedule::kFlopBalanced};
+  return s;
+}
+
+struct Combo {
+  MaskedAlgo algo;
+  PhaseMode phases;
+  MaskKind kind;
+};
+
+std::vector<Combo> supported_combos() {
+  std::vector<Combo> combos;
+  for (PhaseMode ph : msx::testing::all_phases()) {
+    for (MaskedAlgo algo : msx::testing::all_algos()) {
+      combos.push_back({algo, ph, MaskKind::kMask});
+    }
+    for (MaskedAlgo algo : msx::testing::complement_algos()) {
+      combos.push_back({algo, ph, MaskKind::kComplement});
+    }
+  }
+  return combos;
+}
+
+std::string label(const Combo& c, Schedule s) {
+  return scheme_name(c.algo, c.phases) + "/" + to_string(c.kind) + "/" +
+         to_string(s);
+}
+
+// Skewed (R-MAT) inputs: the case where schedules actually distribute work
+// differently and a row-assignment bug would show.
+TEST(ScheduleEquivalence, BitIdenticalAcrossSchedulesForEveryCombo) {
+  const auto a = rmat<IT, VT>(8, 11);
+  const auto b = rmat<IT, VT>(8, 12);
+  const auto m = rmat<IT, VT>(8, 13);
+  for (const Combo& c : supported_combos()) {
+    MaskedOptions o;
+    o.algo = c.algo;
+    o.phases = c.phases;
+    o.kind = c.kind;
+    o.schedule = Schedule::kStatic;
+    const auto want = masked_spgemm<PlusTimes<VT>>(a, b, m, o);
+    for (Schedule s : all_schedules()) {
+      o.schedule = s;
+      const auto got = masked_spgemm<PlusTimes<VT>>(a, b, m, o);
+      EXPECT_EQ(want, got) << label(c, s);
+    }
+  }
+}
+
+// The explicit cost models must not change results either — they only move
+// block boundaries.
+TEST(ScheduleEquivalence, CostModelsAreResultInvariant) {
+  const auto a = rmat<IT, VT>(7, 21);
+  const auto b = rmat<IT, VT>(7, 22);
+  const auto m = rmat<IT, VT>(7, 23);
+  for (MaskedAlgo algo : msx::testing::all_algos()) {
+    MaskedOptions o;
+    o.algo = algo;
+    o.schedule = Schedule::kStatic;
+    const auto want = masked_spgemm<PlusTimes<VT>>(a, b, m, o);
+    o.schedule = Schedule::kFlopBalanced;
+    for (CostModel cm :
+         {CostModel::kAuto, CostModel::kFlops, CostModel::kMaskNnz}) {
+      o.cost_model = cm;
+      const auto got = masked_spgemm<PlusTimes<VT>>(a, b, m, o);
+      EXPECT_EQ(want, got) << to_string(algo) << "/" << to_string(cm);
+    }
+  }
+}
+
+// Plan path: the cached partition must reproduce the uncached result, and a
+// warm plan must keep producing it.
+TEST(ScheduleEquivalence, PlanWithCachedPartitionMatchesStateless) {
+  const auto a = rmat<IT, VT>(8, 31);
+  const auto b = rmat<IT, VT>(8, 32);
+  const auto m = rmat<IT, VT>(8, 33);
+  for (PhaseMode ph : msx::testing::all_phases()) {
+    for (MaskedAlgo algo :
+         {MaskedAlgo::kMSA, MaskedAlgo::kHash, MaskedAlgo::kInner}) {
+      MaskedOptions o;
+      o.algo = algo;
+      o.phases = ph;
+      o.schedule = Schedule::kStatic;
+      const auto want = masked_spgemm<PlusTimes<VT>>(a, b, m, o);
+
+      o.schedule = Schedule::kFlopBalanced;
+      auto plan = masked_plan<PlusTimes<VT>>(a, b, m, o);
+      EXPECT_EQ(want, plan.execute()) << scheme_name(algo, ph) << " cold";
+      EXPECT_TRUE(plan.partition_cached());
+      EXPECT_EQ(want, plan.execute()) << scheme_name(algo, ph) << " warm";
+    }
+  }
+}
+
+// Degenerate shapes must survive every schedule (empty matrices exercise the
+// zero-block partition).
+TEST(ScheduleEquivalence, EmptyAndTinyMatricesSurviveAllSchedules) {
+  const CSRMatrix<IT, VT> empty(0, 0);
+  const auto tiny = rmat<IT, VT>(3, 5);
+  for (Schedule s : all_schedules()) {
+    MaskedOptions o;
+    o.algo = MaskedAlgo::kMSA;
+    o.schedule = s;
+    const auto c_empty = masked_spgemm<PlusTimes<VT>>(empty, empty, empty, o);
+    EXPECT_EQ(c_empty.nrows(), 0);
+    EXPECT_EQ(c_empty.nnz(), 0u);
+    const auto c_tiny = masked_spgemm<PlusTimes<VT>>(tiny, tiny, tiny, o);
+    EXPECT_TRUE(msx::testing::pattern_subset_of_mask(c_tiny, tiny));
+  }
+}
+
+}  // namespace
+}  // namespace msx
