@@ -58,15 +58,22 @@ int main(int argc, char** argv) {
   auto skewed = rmat<IT, VT>(scale, 7);
   auto uniform = erdos_renyi<IT, VT>(skewed.nrows(), skewed.nrows(),
                                      static_cast<IT>(16), 8);
-  std::printf("rmat scale %d: %lld rows, %zu nnz\n", scale,
-              static_cast<long long>(skewed.nrows()), skewed.nnz());
+  // Tiny workload: its work estimate sits below kAutoScheduleTinyWork, so
+  // the kAuto column should track static (partition build skipped), while
+  // on the large workloads it should track flopbal. This is the measurement
+  // behind the ~1e5 cutoff (core/options.hpp).
+  auto tiny = erdos_renyi<IT, VT>(512, 512, static_cast<IT>(6), 9);
+  std::printf("rmat scale %d: %lld rows, %zu nnz; tiny er: %lld rows, %zu "
+              "nnz\n",
+              scale, static_cast<long long>(skewed.nrows()), skewed.nnz(),
+              static_cast<long long>(tiny.nrows()), tiny.nnz());
 
   const std::vector<Schedule> schedules{
       Schedule::kStatic, Schedule::kDynamic, Schedule::kGuided,
-      Schedule::kFlopBalanced};
+      Schedule::kFlopBalanced, Schedule::kAuto};
 
   Table table({"graph", "algo", "static", "dynamic", "guided", "flopbal",
-               "best-omp/flopbal"});
+               "auto", "best-omp/flopbal"});
   BenchJsonFile artifact("ablation_schedule", cfg);
 
   struct Workload {
@@ -74,7 +81,8 @@ int main(int argc, char** argv) {
     const Mat* mat;
   };
   const Workload workloads[] = {{"rmat(skewed)", &skewed},
-                                {"er(uniform)", &uniform}};
+                                {"er(uniform)", &uniform},
+                                {"er(tiny)", &tiny}};
   for (const auto& w : workloads) {
     const auto lower = prepare_tc_lower(*w.mat);
     for (auto algo : algos) {
@@ -95,7 +103,8 @@ int main(int argc, char** argv) {
         record.field(to_string(sched), t);
         if (sched == Schedule::kFlopBalanced) {
           flopbal = t;
-        } else if (std::isnan(best_omp) || t < best_omp) {
+        } else if (sched != Schedule::kAuto &&
+                   (std::isnan(best_omp) || t < best_omp)) {
           best_omp = t;
         }
       }
@@ -110,7 +119,10 @@ int main(int argc, char** argv) {
   std::printf(
       "\nExpected shape: schedules tie on uniform degrees; dynamic/guided\n"
       "beat static on skewed degrees, and the flop-balanced partition beats\n"
-      "all row-oriented schedules once hub rows dominate (scale >= 18).\n");
+      "all row-oriented schedules once hub rows dominate (scale >= 18).\n"
+      "On er(tiny) the auto column should track static — the kAuto\n"
+      "tiny-input cutoff (core/options.hpp) skips the partition build — and\n"
+      "track flopbal on the larger workloads.\n");
   if (!artifact.write(cfg.resolved_json_path("BENCH_ablation_schedule.json"))) {
     return 1;
   }

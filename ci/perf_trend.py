@@ -1,0 +1,296 @@
+#!/usr/bin/env python3
+"""Perf trendline gate: diff the current run's BENCH_*.json artifacts against
+the previous upload and fail on regressions (ROADMAP open item).
+
+Records are matched by (bench name, all string-valued fields); numeric fields
+are compared pairwise. Fields whose names indicate a rate (speedup, *_rate,
+*per_sec*, gflops, teps) are higher-is-better; every other numeric field is
+treated as a time, lower-is-better. A change worse than --threshold
+(default 20%) in the bad direction fails the job.
+
+Usage:
+  perf_trend.py --previous DIR --current DIR [--threshold 0.20]
+  perf_trend.py --self-test
+
+Missing/empty --previous is not an error (first run has no baseline);
+records or fields present on only one side produce warnings, not failures,
+so benches can evolve without breaking the gate.
+"""
+
+import argparse
+import glob
+import json
+import math
+import os
+import sys
+import tempfile
+
+HIGHER_BETTER_MARKERS = ("speedup", "rate", "per_sec", "gflops", "teps")
+
+# Numeric fields that describe the run's configuration, not a measurement.
+# Config drift (runner core count, workload size) is reported as a warning
+# instead of being gated as if the code got slower.
+CONFIG_FIELDS = ("jobs", "structures", "scale", "pool_threads", "threads",
+                 "reps", "warmup", "scale_shift", "batch", "sources", "k")
+
+
+def is_higher_better(field):
+    name = field.lower()
+    return any(marker in name for marker in HIGHER_BETTER_MARKERS)
+
+
+def load_records(directory):
+    """Returns ({match_key: {field: value}}, [warnings])."""
+    records, warnings = {}, []
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            warnings.append(f"unreadable artifact {path}: {e}")
+            continue
+        bench = doc.get("meta", {}).get("bench", os.path.basename(path))
+        for record in doc.get("records", []):
+            ident = tuple(sorted(
+                (k, v) for k, v in record.items() if isinstance(v, str)))
+            key = (bench, ident)
+            if key in records:
+                warnings.append(f"duplicate record key {key} in {path}")
+            records[key] = {
+                k: v for k, v in record.items()
+                if isinstance(v, (int, float)) and not isinstance(v, bool)
+            }
+    return records, warnings
+
+
+def compare(previous, current, threshold, min_seconds=0.005):
+    """Returns (regressions, improvements, warnings) as printable rows.
+
+    Records whose baseline timings sit below `min_seconds` are too noisy to
+    gate — run-to-run jitter on shared CI runners routinely exceeds the
+    threshold at the sub-millisecond scale (the er(tiny) ablation rows,
+    micro-bench timings). The whole record is exempted, including ratio
+    fields derived from those timings (a speedup of two sub-floor times is
+    as noisy as the times themselves); everything is still compared for the
+    report. Config-valued fields (CONFIG_FIELDS) only ever warn.
+    """
+    regressions, improvements, warnings = [], [], []
+    for key, prev_fields in sorted(previous.items()):
+        if key not in current:
+            warnings.append(f"record dropped: {key[0]} {dict(key[1])}")
+            continue
+        cur_fields = current[key]
+        micro_record = any(
+            f not in CONFIG_FIELDS and not is_higher_better(f)
+            and v is not None and 0 < v < min_seconds
+            for f, v in prev_fields.items())
+        for field, prev_val in sorted(prev_fields.items()):
+            if field not in cur_fields:
+                warnings.append(f"field dropped: {key[0]}.{field}")
+                continue
+            cur_val = cur_fields[field]
+            if prev_val is None or cur_val is None:
+                continue
+            if not (math.isfinite(prev_val) and math.isfinite(cur_val)):
+                continue
+            if prev_val <= 0:
+                continue
+            ratio = cur_val / prev_val
+            label = f"{key[0]} {dict(key[1])} .{field}"
+            if field in CONFIG_FIELDS:
+                if cur_val != prev_val:
+                    warnings.append(
+                        f"config drift, not gated: {label}: "
+                        f"{prev_val:.6g} -> {cur_val:.6g}")
+                continue
+            if micro_record:
+                regressed = (ratio < 1.0 - threshold) if is_higher_better(
+                    field) else (ratio > 1.0 + threshold)
+                if regressed:
+                    warnings.append(
+                        f"below noise floor ({min_seconds}s), not gated: "
+                        f"{label}: {prev_val:.6g} -> {cur_val:.6g}")
+                continue
+            if is_higher_better(field):
+                if ratio < 1.0 - threshold:
+                    regressions.append(
+                        f"{label}: {prev_val:.6g} -> {cur_val:.6g} "
+                        f"({100 * (1 - ratio):.1f}% worse, higher-is-better)")
+                elif ratio > 1.0 + threshold:
+                    improvements.append(
+                        f"{label}: {prev_val:.6g} -> {cur_val:.6g} "
+                        f"({100 * (ratio - 1):.1f}% better)")
+            else:
+                if ratio > 1.0 + threshold:
+                    regressions.append(
+                        f"{label}: {prev_val:.6g} -> {cur_val:.6g} "
+                        f"({100 * (ratio - 1):.1f}% slower)")
+                elif ratio < 1.0 - threshold:
+                    improvements.append(
+                        f"{label}: {prev_val:.6g} -> {cur_val:.6g} "
+                        f"({100 * (1 - ratio):.1f}% faster)")
+    for key in sorted(set(current) - set(previous)):
+        warnings.append(f"new record (no baseline): {key[0]} {dict(key[1])}")
+    return regressions, improvements, warnings
+
+
+def run_gate(args):
+    if not args.previous or not os.path.isdir(args.previous):
+        print(f"perf_trend: no baseline directory at {args.previous!r}; "
+              "skipping (first run)")
+        return 0
+    previous, warn_prev = load_records(args.previous)
+    current, warn_cur = load_records(args.current)
+    if not previous:
+        print("perf_trend: baseline directory holds no BENCH_*.json; "
+              "skipping")
+        return 0
+    if not current:
+        print(f"perf_trend: FAIL — no BENCH_*.json found in {args.current!r} "
+              "to compare against the baseline")
+        return 1
+
+    regressions, improvements, warnings = compare(
+        previous, current, args.threshold, args.min_seconds)
+    warnings = warn_prev + warn_cur + warnings
+
+    for line in warnings:
+        print(f"  [warn] {line}")
+    for line in improvements:
+        print(f"  [good] {line}")
+    for line in regressions:
+        print(f"  [REGRESSION] {line}")
+    print(f"perf_trend: {len(previous)} baseline records, "
+          f"{len(regressions)} regression(s), {len(improvements)} "
+          f"improvement(s), threshold {100 * args.threshold:.0f}%")
+    return 1 if regressions else 0
+
+
+def write_artifact(directory, bench, records):
+    with open(os.path.join(directory, f"BENCH_{bench}.json"), "w") as f:
+        json.dump({"meta": {"bench": bench}, "records": records}, f)
+
+
+def self_test():
+    """Exercises the gate end to end on synthetic artifacts."""
+    failures = []
+
+    def check(name, cond):
+        print(f"  {'ok' if cond else 'FAIL'}: {name}")
+        if not cond:
+            failures.append(name)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        prev = os.path.join(tmp, "prev")
+        cur = os.path.join(tmp, "cur")
+        os.mkdir(prev)
+        os.mkdir(cur)
+
+        base = [
+            {"graph": "rmat", "algo": "msa", "static": 1.0, "flopbal": 0.5},
+            {"graph": "er", "algo": "msa", "static": 2.0, "flopbal": 2.0},
+        ]
+        write_artifact(prev, "ablation_schedule", base)
+        write_artifact(prev, "micro_batch_throughput",
+                       [{"jobs_per_sec_runtime": 1000.0, "speedup": 4.0}])
+
+        ns = argparse.Namespace(previous=prev, current=cur, threshold=0.20,
+                                min_seconds=0.005)
+
+        # Identical artifacts pass.
+        write_artifact(cur, "ablation_schedule", base)
+        write_artifact(cur, "micro_batch_throughput",
+                       [{"jobs_per_sec_runtime": 1000.0, "speedup": 4.0}])
+        check("identical runs pass", run_gate(ns) == 0)
+
+        # 30% slower time fails.
+        slow = [dict(base[0], static=1.3), base[1]]
+        write_artifact(cur, "ablation_schedule", slow)
+        check("30% slower time fails", run_gate(ns) == 1)
+
+        # 10% slower is within threshold.
+        ok = [dict(base[0], static=1.1), base[1]]
+        write_artifact(cur, "ablation_schedule", ok)
+        check("10% slower passes", run_gate(ns) == 0)
+        write_artifact(cur, "ablation_schedule", base)
+
+        # Throughput (higher-better) dropping 30% fails...
+        write_artifact(cur, "micro_batch_throughput",
+                       [{"jobs_per_sec_runtime": 700.0, "speedup": 4.0}])
+        check("30% lower throughput fails", run_gate(ns) == 1)
+        # ...and rising 30% passes.
+        write_artifact(cur, "micro_batch_throughput",
+                       [{"jobs_per_sec_runtime": 1300.0, "speedup": 5.0}])
+        check("higher throughput passes", run_gate(ns) == 0)
+        write_artifact(cur, "micro_batch_throughput",
+                       [{"jobs_per_sec_runtime": 1000.0, "speedup": 4.0}])
+
+        # Sub-floor records never gate — neither their timings nor ratio
+        # fields (speedups of noisy times are noisy) — even when 2x worse.
+        noisy_prev = [{"graph": "tinytiming", "static": 0.0004,
+                       "speedup_vs_best_omp": 2.0}]
+        write_artifact(prev, "noisy", noisy_prev)
+        write_artifact(cur, "noisy", [{"graph": "tinytiming",
+                                       "static": 0.0009,
+                                       "speedup_vs_best_omp": 0.9}])
+        check("sub-floor record never gates", run_gate(ns) == 0)
+
+        # Config fields (runner cores, workload knobs) warn, never gate.
+        write_artifact(prev, "cfg", [{"pool_threads": 2, "jobs": 64,
+                                      "runtime_seconds": 1.0}])
+        write_artifact(cur, "cfg", [{"pool_threads": 4, "jobs": 64,
+                                     "runtime_seconds": 1.0}])
+        check("config drift warns but passes", run_gate(ns) == 0)
+        write_artifact(cur, "cfg", [{"pool_threads": 4, "jobs": 64,
+                                     "runtime_seconds": 1.5}])
+        check("real regression still gates despite config drift",
+              run_gate(ns) == 1)
+        write_artifact(cur, "cfg", [{"pool_threads": 2, "jobs": 64,
+                                     "runtime_seconds": 1.0}])
+
+        # New records and dropped fields warn but pass.
+        extra = base + [{"graph": "tiny", "algo": "msa", "static": 0.1}]
+        write_artifact(cur, "ablation_schedule", extra)
+        check("new records pass with warning", run_gate(ns) == 0)
+
+        # Missing baseline dir skips cleanly.
+        ns_nobase = argparse.Namespace(
+            previous=os.path.join(tmp, "nope"), current=cur, threshold=0.20,
+            min_seconds=0.005)
+        check("missing baseline skips", run_gate(ns_nobase) == 0)
+
+        # Empty current dir against a real baseline fails loudly.
+        empty = os.path.join(tmp, "empty")
+        os.mkdir(empty)
+        ns_empty = argparse.Namespace(
+            previous=prev, current=empty, threshold=0.20, min_seconds=0.005)
+        check("empty current fails", run_gate(ns_empty) == 1)
+
+    if failures:
+        print(f"self-test: {len(failures)} failure(s)")
+        return 1
+    print("self-test: all checks passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--previous", help="baseline artifact directory")
+    parser.add_argument("--current", help="current artifact directory")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="relative regression tolerance (default 0.20)")
+    parser.add_argument("--min-seconds", type=float, default=0.005,
+                        help="time fields with a baseline below this are "
+                             "reported but not gated (default 0.005)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in fixture suite and exit")
+    args = parser.parse_args()
+    if args.self_test:
+        sys.exit(self_test())
+    if not args.current:
+        parser.error("--current is required (or use --self-test)")
+    sys.exit(run_gate(args))
+
+
+if __name__ == "__main__":
+    main()

@@ -6,12 +6,17 @@
 // its pure form: each BFS level is F ← ¬Visited .* (F·A).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <future>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/masked_spgemm.hpp"
 #include "matrix/build.hpp"
 #include "matrix/ops.hpp"
+#include "runtime/batch.hpp"
 #include "semiring/semirings.hpp"
 
 namespace msx {
@@ -71,6 +76,101 @@ BFSResult multi_source_bfs(const CSRMatrix<IT, VT>& graph,
     }
     visited = ewise_add(visited, next);
     frontier = std::move(next);
+  }
+  result.depth = depth;
+  return result;
+}
+
+// Executor-batched variant: sources are split into chunks of `chunk_size`
+// and each BFS round submits every active chunk's level product — mutually
+// independent complemented masked SpGEMMs — to the BatchExecutor
+// concurrently. Levels are bit-identical to the single-batch function (the
+// products are row-parallel; a chunk's rows see exactly the rows they would
+// inside the monolithic frontier). The adjacency matrix is shared with the
+// executor, so only the small frontier/visited matrices cross the submit
+// boundary per round.
+template <class IT, class VT>
+BFSResult multi_source_bfs(const CSRMatrix<IT, VT>& graph,
+                           const std::vector<IT>& sources,
+                           BatchExecutor<PlusPair<std::int64_t>, IT,
+                                         std::int64_t>& exec,
+                           std::size_t chunk_size, MaskedOptions opts = {}) {
+  check_arg(graph.nrows() == graph.ncols(), "bfs: matrix must be square");
+  check_arg(chunk_size > 0, "bfs: chunk size must be positive");
+  const IT n = graph.nrows();
+  const IT batch = static_cast<IT>(sources.size());
+  check_arg(batch > 0, "bfs: need at least one source");
+  check_arg(opts.algo != MaskedAlgo::kMCA,
+            "bfs: MCA does not support complemented masks");
+  opts.kind = MaskKind::kComplement;
+
+  using Mat = CSRMatrix<IT, std::int64_t>;
+  const auto a = std::make_shared<const Mat>(
+      n, n, std::vector<IT>(graph.rowptr().begin(), graph.rowptr().end()),
+      std::vector<IT>(graph.colidx().begin(), graph.colidx().end()),
+      std::vector<std::int64_t>(graph.nnz(), 1));
+
+  BFSResult result;
+  result.levels.assign(static_cast<std::size_t>(batch) *
+                           static_cast<std::size_t>(n),
+                       -1);
+
+  struct Chunk {
+    IT first_source = 0;  // global row offset of this chunk's sources
+    std::shared_ptr<const Mat> frontier;
+    std::shared_ptr<const Mat> visited;
+    bool active = true;
+  };
+  std::vector<Chunk> chunks;
+  for (IT lo = 0; lo < batch; lo += static_cast<IT>(chunk_size)) {
+    const IT hi = std::min(batch, lo + static_cast<IT>(chunk_size));
+    Chunk c;
+    c.first_source = lo;
+    std::vector<Triple<IT, std::int64_t>> seeds;
+    for (IT q = lo; q < hi; ++q) {
+      seeds.push_back({q - lo, sources[static_cast<std::size_t>(q)], 1});
+      result.levels[static_cast<std::size_t>(q) * static_cast<std::size_t>(n) +
+                    static_cast<std::size_t>(
+                        sources[static_cast<std::size_t>(q)])] = 0;
+    }
+    auto frontier = std::make_shared<const Mat>(csr_from_triples<IT, std::int64_t>(
+        hi - lo, n, std::move(seeds), DuplicatePolicy::kLast));
+    c.visited = frontier;
+    c.frontier = frontier;
+    chunks.push_back(std::move(c));
+  }
+
+  std::int32_t depth = 0;
+  bool any_active = true;
+  while (any_active) {
+    std::vector<std::pair<std::size_t, std::future<Mat>>> round;
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      if (!chunks[c].active) continue;
+      round.emplace_back(c, exec.submit_shared(chunks[c].frontier, a,
+                                               chunks[c].visited, opts));
+    }
+    any_active = false;
+    for (auto& [c, fut] : round) {
+      Chunk& ch = chunks[c];
+      Mat next = fut.get();
+      if (next.nnz() == 0) {
+        ch.active = false;
+        continue;
+      }
+      const auto cb = next.nrows();
+      for (IT q = 0; q < cb; ++q) {
+        const auto row = next.row(q);
+        for (IT p = 0; p < row.size(); ++p) {
+          result.levels[static_cast<std::size_t>(ch.first_source + q) *
+                            static_cast<std::size_t>(n) +
+                        static_cast<std::size_t>(row.cols[p])] = depth + 1;
+        }
+      }
+      ch.visited = std::make_shared<const Mat>(ewise_add(*ch.visited, next));
+      ch.frontier = std::make_shared<const Mat>(std::move(next));
+      any_active = true;
+    }
+    if (any_active) ++depth;
   }
   result.depth = depth;
   return result;

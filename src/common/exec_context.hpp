@@ -1,0 +1,207 @@
+// Execution context: who runs a parallel loop, and with how many workers.
+//
+// The masked drivers were written against OpenMP: every pass assumes it owns
+// the global thread team and indexes per-thread workspaces by
+// omp_get_thread_num(). That model breaks down the moment many products run
+// concurrently (the runtime/ batch executor): a small product scheduled on
+// one pool worker must not fork a team, and a large product parallelized
+// over pool workers needs workspace slots that have nothing to do with
+// OpenMP thread ids.
+//
+// ExecContext abstracts exactly that seam. Three modes:
+//
+//   * kOpenMP — the historical default. Loops run through parallel_for /
+//     parallel_for_block_ranges, slots are OpenMP thread ids. Every
+//     stateless masked_spgemm call and every plan.execute() without an
+//     explicit context behaves exactly as before.
+//   * kSerial — the loop body runs on the calling thread, slot 0, and no
+//     OpenMP region is entered. This is how the batch executor achieves
+//     inter-job parallelism for small products: one job per pool worker,
+//     each fully serial inside.
+//   * kArena — the loop is executed cooperatively by the calling thread
+//     (always) plus however many TaskArena helpers are idle, via a shared
+//     work counter. Slots are arena slots ([0, concurrency())), stable per
+//     thread for the duration of one loop. This is intra-job parallelism
+//     without OpenMP — runtime/thread_pool.hpp provides the arena.
+//
+// Loop bodies receive their slot explicitly — body(slot, ...) — so callers
+// index PerThread pools with workspaces.slot(slot) instead of local().
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "common/parallel.hpp"
+#include "common/platform.hpp"
+
+namespace msx {
+
+// Something that can lend worker threads to a cooperative loop. Implemented
+// by runtime/thread_pool.hpp; kept abstract here so core/ never depends on
+// runtime/.
+class TaskArena {
+ public:
+  virtual ~TaskArena() = default;
+
+  // Workspace slots a cooperative loop may occupy, including the calling
+  // thread. Constant over the arena's lifetime.
+  virtual int concurrency() const = 0;
+
+  // Slot of the calling thread, in [0, concurrency()). Threads that are not
+  // arena workers (e.g. the thread driving a large job) share slot 0; the
+  // arena guarantees at most one such caller per run().
+  virtual int current_slot() const = 0;
+
+  // Runs body(current_slot()) on the calling thread and offers body to every
+  // idle helper (each with its own slot). Returns once all invocations have
+  // finished. body must terminate on its own when the shared work is
+  // exhausted: helpers may begin at any time, including after the caller has
+  // drained everything.
+  virtual void run(const std::function<void(int)>& body) = 0;
+};
+
+class ExecContext {
+ public:
+  enum class Mode { kOpenMP, kSerial, kArena };
+
+  // The historical OpenMP behaviour; default for every public entry point.
+  static const ExecContext& openmp() {
+    static const ExecContext ctx(Mode::kOpenMP, nullptr);
+    return ctx;
+  }
+
+  // Single-threaded on the calling thread; never enters an OpenMP region.
+  static ExecContext serial() { return ExecContext(Mode::kSerial, nullptr); }
+
+  // Cooperative execution on `arena` (caller + idle helpers). The arena must
+  // outlive the context.
+  static ExecContext arena(TaskArena& arena) {
+    return ExecContext(Mode::kArena, &arena);
+  }
+
+  Mode mode() const { return mode_; }
+  bool is_openmp() const { return mode_ == Mode::kOpenMP; }
+  bool is_serial() const { return mode_ == Mode::kSerial; }
+
+  // Number of workspace slots loops may address. `threads_opt` is the
+  // caller's opts.threads override, honoured only in OpenMP mode (the other
+  // modes derive concurrency from the context itself).
+  int concurrency(int threads_opt = 0) const {
+    switch (mode_) {
+      case Mode::kOpenMP:
+        return threads_opt > 0 ? threads_opt : max_threads();
+      case Mode::kSerial:
+        return 1;
+      case Mode::kArena:
+        return arena_->concurrency();
+    }
+    return 1;
+  }
+
+  // Parallel loop over [0, nrows); body(slot, i). In OpenMP mode `sched` and
+  // `chunk` are honoured exactly as parallel_for always did; the other modes
+  // ignore them (serial order, or arena chunks sized for ~8 grabs per
+  // worker).
+  template <class Index, class Body>
+  void for_rows(Index nrows, Schedule sched, int chunk, Body&& body) const {
+    const auto n = static_cast<std::int64_t>(nrows);
+    switch (mode_) {
+      case Mode::kOpenMP:
+        parallel_for(Index{0}, nrows, sched,
+                     [&](Index i) { body(omp_get_thread_num(), i); }, chunk);
+        return;
+      case Mode::kSerial:
+        for (std::int64_t i = 0; i < n; ++i) {
+          body(0, static_cast<Index>(i));
+        }
+        return;
+      case Mode::kArena: {
+        if (n <= 0) return;
+        // `chunk` is deliberately ignored here (as documented above): it is
+        // an OpenMP dynamic-schedule tuning knob, and honouring a tiny
+        // value would degrade the shared-counter loop to one fetch_add per
+        // row.
+        const std::int64_t workers = arena_->concurrency();
+        const std::int64_t grab =
+            std::max<std::int64_t>(1, n / (workers * 8));
+        // A range that fits one grab cannot feed a second worker — run it
+        // inline and skip the helper coordination entirely.
+        if (n <= grab) {
+          const int slot = arena_->current_slot();
+          for (std::int64_t i = 0; i < n; ++i) {
+            body(slot, static_cast<Index>(i));
+          }
+          return;
+        }
+        std::atomic<std::int64_t> next{0};
+        arena_->run([&](int slot) {
+          for (;;) {
+            const std::int64_t lo =
+                next.fetch_add(grab, std::memory_order_relaxed);
+            if (lo >= n) break;
+            const std::int64_t hi = std::min<std::int64_t>(n, lo + grab);
+            for (std::int64_t i = lo; i < hi; ++i) {
+              body(slot, static_cast<Index>(i));
+            }
+          }
+        });
+        return;
+      }
+    }
+  }
+
+  // Dispatches precomputed contiguous blocks (core/partition.hpp bounds:
+  // nblocks+1 ascending boundaries); body(slot, blk, lo, hi) processes rows
+  // [lo, hi) of block blk. Blocks are handed out dynamically in OpenMP and
+  // arena modes, in order in serial mode; every block is dispatched exactly
+  // once either way.
+  template <class Index, class Body>
+  void for_block_ranges(std::span<const std::int64_t> bounds,
+                        Body&& body) const {
+    if (bounds.size() < 2) return;
+    const auto nblocks = static_cast<std::int64_t>(bounds.size()) - 1;
+    switch (mode_) {
+      case Mode::kOpenMP:
+        parallel_for_block_ranges<Index>(bounds, std::forward<Body>(body));
+        return;
+      case Mode::kSerial:
+        for (std::int64_t blk = 0; blk < nblocks; ++blk) {
+          body(0, static_cast<int>(blk),
+               static_cast<Index>(bounds[static_cast<std::size_t>(blk)]),
+               static_cast<Index>(bounds[static_cast<std::size_t>(blk) + 1]));
+        }
+        return;
+      case Mode::kArena: {
+        if (nblocks == 1) {  // nothing to share — skip helper coordination
+          body(arena_->current_slot(), 0, static_cast<Index>(bounds[0]),
+               static_cast<Index>(bounds[1]));
+          return;
+        }
+        std::atomic<std::int64_t> next{0};
+        arena_->run([&](int slot) {
+          for (;;) {
+            const std::int64_t blk =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (blk >= nblocks) break;
+            body(slot, static_cast<int>(blk),
+                 static_cast<Index>(bounds[static_cast<std::size_t>(blk)]),
+                 static_cast<Index>(
+                     bounds[static_cast<std::size_t>(blk) + 1]));
+          }
+        });
+        return;
+      }
+    }
+  }
+
+ private:
+  ExecContext(Mode mode, TaskArena* arena) : mode_(mode), arena_(arena) {}
+
+  Mode mode_;
+  TaskArena* arena_;
+};
+
+}  // namespace msx

@@ -99,24 +99,39 @@ void parallel_for(Index begin, Index end, Schedule sched, Body&& body,
   }
 }
 
-// Block-ranged companion of parallel_for: dispatches precomputed contiguous
-// index blocks dynamically, one block at a time. `block_start` holds
-// nblocks+1 ascending boundaries (block b covers [block_start[b],
+// Block-granular companion of parallel_for: dispatches precomputed
+// contiguous index blocks dynamically, one block at a time. `block_start`
+// holds nblocks+1 ascending boundaries (block b covers [block_start[b],
 // block_start[b+1])); core/partition.hpp builds them with near-equal
 // estimated cost, which is what makes Schedule::kFlopBalanced immune to
-// power-law row-cost skew. The body receives each index exactly once, so
-// any per-row output contract of parallel_for carries over unchanged.
+// power-law row-cost skew. The body receives the executing thread's id, the
+// block index and the block's [lo, hi) range — block granularity is what
+// lets the phase driver run a per-block prologue (per-block accumulator
+// sizing) before the row loop.
 template <class Index, class Body>
-void parallel_for_blocks(std::span<const std::int64_t> block_start,
-                         Body&& body) {
+void parallel_for_block_ranges(std::span<const std::int64_t> block_start,
+                               Body&& body) {
   if (block_start.size() < 2) return;
   const auto nblocks = static_cast<std::int64_t>(block_start.size()) - 1;
 #pragma omp parallel for schedule(dynamic, 1)
   for (std::int64_t blk = 0; blk < nblocks; ++blk) {
     const std::int64_t lo = block_start[static_cast<std::size_t>(blk)];
     const std::int64_t hi = block_start[static_cast<std::size_t>(blk) + 1];
-    for (std::int64_t i = lo; i < hi; ++i) body(static_cast<Index>(i));
+    body(omp_get_thread_num(), static_cast<int>(blk), static_cast<Index>(lo),
+         static_cast<Index>(hi));
   }
+}
+
+// Row-granular form: the body receives each index of every block exactly
+// once, so any per-row output contract of parallel_for carries over
+// unchanged.
+template <class Index, class Body>
+void parallel_for_blocks(std::span<const std::int64_t> block_start,
+                         Body&& body) {
+  parallel_for_block_ranges<Index>(
+      block_start, [&](int, int, Index lo, Index hi) {
+        for (Index i = lo; i < hi; ++i) body(i);
+      });
 }
 
 // Per-thread object pool. Each slot is aligned to a cache line so adjacent

@@ -6,6 +6,9 @@
 // depends on the matrix width, at the price of hashing each access.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
+
 #include "accum/hash.hpp"
 #include "core/kernel_common.hpp"
 #include "matrix/csr.hpp"
@@ -25,7 +28,14 @@ class HashKernel {
 
   struct Workspace {
     Acc acc;
-    void reset() { acc.clear(); }
+    // Block column bound (0 = none). The masked table is already sized per
+    // row; the complemented table's extra-key bound is capped by it, since
+    // no key of the block reaches past the block width.
+    std::int64_t col_bound = 0;
+    void reset() {
+      acc.clear();
+      col_bound = 0;
+    }
   };
 
   HashKernel(const CSRMatrix<IT, VT>& a, const CSRMatrix<IT, VT>& b,
@@ -45,6 +55,21 @@ class HashKernel {
     return detail::push_row_cost(a_, b_, m_, i, model);
   }
 
+  double work_hint() const { return detail::push_work_hint(a_, b_); }
+
+  // Per-block sizing only pays for the complemented table (the masked table
+  // tracks nnz(mask row) regardless of the matrix width).
+  std::int64_t width_row(IT i) const
+    requires Complemented
+  {
+    return detail::push_row_width(a_, b_, m_, i);
+  }
+  void begin_block(Workspace& ws, std::int64_t width) const
+    requires Complemented
+  {
+    ws.col_bound = width;
+  }
+
   IT numeric_row(Workspace& ws, IT i, IT* out_cols,
                  output_value* out_vals) const {
     const auto arow = a_.row(i);
@@ -55,7 +80,7 @@ class HashKernel {
     }
     auto& acc = ws.acc;
     if constexpr (Complemented) {
-      acc.prepare(mrow, upper_bound_row(i));
+      acc.prepare(mrow, extra_bound(ws, i));
     } else {
       acc.prepare(mrow);
     }
@@ -88,7 +113,7 @@ class HashKernel {
     }
     auto& acc = ws.acc;
     if constexpr (Complemented) {
-      acc.prepare(mrow, upper_bound_row(i));
+      acc.prepare(mrow, extra_bound(ws, i));
     } else {
       acc.prepare(mrow);
     }
@@ -103,6 +128,15 @@ class HashKernel {
   }
 
  private:
+  // Complemented rows can insert at most min(upper bound, block width)
+  // distinct non-mask keys: every insertable key is a column index below the
+  // block width.
+  std::size_t extra_bound(const Workspace& ws, IT i) const {
+    const std::size_t bound = upper_bound_row(i);
+    if (ws.col_bound <= 0) return bound;
+    return std::min(bound, static_cast<std::size_t>(ws.col_bound));
+  }
+
   const CSRMatrix<IT, VT>& a_;
   const CSRMatrix<IT, VT>& b_;
   MaskView<IT> m_;

@@ -58,6 +58,8 @@ class HeapKernel {
     return detail::push_row_cost(a_, b_, m_, i, model);
   }
 
+  double work_hint() const { return detail::push_work_hint(a_, b_); }
+
   IT numeric_row(Workspace& ws, IT i, IT* out_cols,
                  output_value* out_vals) const {
     return process_row<false>(ws, i, out_cols, out_vals);

@@ -65,6 +65,8 @@ class HybridKernel {
                        : push_.cost_row(i, model);
   }
 
+  double work_hint() const { return detail::push_work_hint(a_, b_); }
+
   IT numeric_row(Workspace& ws, IT i, IT* out_cols,
                  output_value* out_vals) const {
     if (use_pull(i)) return pull_.numeric_row(ws.pull, i, out_cols, out_vals);

@@ -75,6 +75,13 @@ class InnerKernel {
     }
   }
 
+  double work_hint() const {
+    return detail::estimate_pull_work(static_cast<double>(m_.nnz()),
+                                      static_cast<double>(a_.nnz()),
+                                      static_cast<double>(b_.nnz()),
+                                      static_cast<double>(a_.nrows()));
+  }
+
   IT numeric_row(Workspace&, IT i, IT* out_cols,
                  output_value* out_vals) const {
     return process_row<false>(i, out_cols, out_vals);

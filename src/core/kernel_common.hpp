@@ -16,6 +16,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <type_traits>
 
 #include "core/options.hpp"
@@ -42,6 +43,55 @@ std::size_t masked_upper_bound(const CSRMatrix<IT, VTA>& a,
   const std::size_t unmasked =
       static_cast<std::size_t>(m.ncols) - mask_nnz;
   return std::min(flops, unmasked);
+}
+
+// O(1) whole-call work estimates — the scalar core shared by every kernel's
+// work_hint() (the kAuto schedule's tiny-input cutoff, options.hpp) and the
+// batch executor's moldable policy (runtime/batch.hpp). Push-based families
+// do ~flops(A·B) work, approximated as nnz(A) times B's mean row degree;
+// pull-based families do mask-driven work, approximated as nnz(M) times the
+// mean combined row/column degree of the inputs.
+inline double estimate_push_work(double a_nnz, double b_nnz, double b_nrows) {
+  return a_nnz * (b_nnz / (b_nrows > 0.0 ? b_nrows : 1.0));
+}
+
+inline double estimate_pull_work(double m_nnz, double a_nnz, double b_nnz,
+                                 double rows) {
+  return m_nnz * ((a_nnz + b_nnz) / (rows > 0.0 ? rows : 1.0));
+}
+
+template <class IT, class VTA, class VTB>
+double push_work_hint(const CSRMatrix<IT, VTA>& a,
+                      const CSRMatrix<IT, VTB>& b) {
+  return estimate_push_work(static_cast<double>(a.nnz()),
+                            static_cast<double>(b.nnz()),
+                            static_cast<double>(b.nrows()));
+}
+
+// Per-row column bound for dense-accumulator kernels: 1 + the highest column
+// index row i can touch — any column of a B row the row multiplies with,
+// plus the mask row itself (both mask kinds seed accumulator states from the
+// mask). Relies on the CSR invariant that row columns are sorted, so each
+// referenced row contributes its last column in O(1).
+template <class IT, class VTA, class VTB>
+std::int64_t push_row_width(const CSRMatrix<IT, VTA>& a,
+                            const CSRMatrix<IT, VTB>& b, const MaskView<IT>& m,
+                            IT i) {
+  std::int64_t w = 0;
+  const auto arow = a.row(i);
+  for (IT p = 0; p < arow.size(); ++p) {
+    const auto brow = b.row(arow.cols[p]);
+    if (!brow.empty()) {
+      w = std::max(
+          w, static_cast<std::int64_t>(brow.cols[brow.cols.size() - 1]) + 1);
+    }
+  }
+  const auto mrow = m.row(i);
+  if (!mrow.empty()) {
+    w = std::max(w,
+                 static_cast<std::int64_t>(mrow[mrow.size() - 1]) + 1);
+  }
+  return w;
 }
 
 // Per-row cost estimate for push-based kernels, used by the flop-balanced

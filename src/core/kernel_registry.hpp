@@ -17,10 +17,14 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
+#include <utility>
+#include <vector>
 
 #include "accum/msa_bitmap.hpp"
 #include "common/timer.hpp"
@@ -64,9 +68,19 @@ class PlanKernelBase {
 
   // Runs the phase driver over the bound operands. `symbolic` (optional)
   // carries a cached two-phase rowptr across calls; `partition` (optional)
-  // carries the flop-balanced row partition the same way.
+  // carries the flop-balanced row partition the same way. `ctx` decides who
+  // executes the passes (OpenMP team, the calling thread, or a task arena)
+  // and how many workspace slots the run leases. Concurrent run() calls are
+  // safe once the caches are warm (each leases its own workspace pool);
+  // bind() must not race with run().
   virtual output_matrix run(TwoPhaseCache<IT>* symbolic,
-                            PartitionCache* partition = nullptr) = 0;
+                            PartitionCache* partition,
+                            const ExecContext& ctx) = 0;
+
+  output_matrix run(TwoPhaseCache<IT>* symbolic,
+                    PartitionCache* partition = nullptr) {
+    return run(symbolic, partition, ExecContext::openmp());
+  }
 
   // Releases all per-thread scratch memory (accumulator arrays, heaps).
   // The next run() regrows them on demand.
@@ -96,35 +110,71 @@ class PlanKernelImpl final : public PlanKernelBase<SR, IT, VT> {
     opts_ = opts;
   }
 
-  output_matrix run(TwoPhaseCache<IT>* symbolic,
-                    PartitionCache* partition) override {
+  output_matrix run(TwoPhaseCache<IT>* symbolic, PartitionCache* partition,
+                    const ExecContext& ctx) override {
     check_arg(kernel_.has_value(), "plan kernel: run() before bind()");
-    last_setup_seconds_ = 0.0;
-    const auto needed = static_cast<std::size_t>(
-        opts_.threads > 0 ? opts_.threads : max_threads());
-    if (!workspaces_.has_value() || workspaces_->size() < needed) {
-      WallTimer timer;
-      workspaces_.emplace(static_cast<int>(needed));
-      last_setup_seconds_ = timer.seconds();
-    }
-    return run_masked_kernel(*kernel_, opts_, *workspaces_, symbolic,
-                             partition);
+    // Lease a workspace pool for this run. Sequential executes keep reusing
+    // the same pool (the plan-reuse win); concurrent executes each get their
+    // own, so jobs never share accumulators (the lease pool grows to the
+    // observed concurrency and is retained for later runs).
+    WorkspaceLease lease = lease_workspaces(
+        static_cast<std::size_t>(ctx.concurrency(opts_.threads)));
+    return run_masked_kernel(*kernel_, opts_, *lease.pool, symbolic,
+                             partition, ctx);
   }
 
   void reset_workspaces() override {
-    if (!workspaces_.has_value()) return;
-    for (std::size_t t = 0; t < workspaces_->size(); ++t) {
-      workspaces_->slot(t).reset();
+    std::lock_guard<std::mutex> lock(ws_mu_);
+    for (auto& pool : ws_free_) {
+      for (std::size_t t = 0; t < pool->size(); ++t) {
+        pool->slot(t).reset();
+      }
     }
   }
 
-  double last_setup_seconds() const override { return last_setup_seconds_; }
+  double last_setup_seconds() const override {
+    return last_setup_seconds_.load(std::memory_order_relaxed);
+  }
 
  private:
+  // RAII lease: returns the pool to the free list when the run finishes
+  // (including on exceptions).
+  struct WorkspaceLease {
+    PlanKernelImpl* owner = nullptr;
+    std::unique_ptr<PerThread<Workspace>> pool;
+    ~WorkspaceLease() {
+      if (pool != nullptr) {
+        std::lock_guard<std::mutex> lock(owner->ws_mu_);
+        owner->ws_free_.push_back(std::move(pool));
+      }
+    }
+  };
+
+  WorkspaceLease lease_workspaces(std::size_t needed) {
+    std::unique_ptr<PerThread<Workspace>> pool;
+    {
+      std::lock_guard<std::mutex> lock(ws_mu_);
+      if (!ws_free_.empty()) {
+        pool = std::move(ws_free_.back());
+        ws_free_.pop_back();
+      }
+    }
+    if (pool == nullptr || pool->size() < needed) {
+      WallTimer timer;
+      pool = std::make_unique<PerThread<Workspace>>(
+          static_cast<int>(needed));
+      last_setup_seconds_.store(timer.seconds(), std::memory_order_relaxed);
+    } else {
+      last_setup_seconds_.store(0.0, std::memory_order_relaxed);
+    }
+    return WorkspaceLease{this, std::move(pool)};
+  }
+
   std::optional<Kernel> kernel_;
-  std::optional<PerThread<Workspace>> workspaces_;
+  std::mutex ws_mu_;
+  std::vector<std::unique_ptr<PerThread<Workspace>>> ws_free_;
   MaskedOptions opts_;
-  double last_setup_seconds_ = 0.0;
+  std::atomic<double> last_setup_seconds_{0.0};
 };
 
 // --- makers: how each registry entry constructs its row kernel ---

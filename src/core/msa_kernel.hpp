@@ -7,6 +7,9 @@
 // the gather walks the mask row so the output inherits its ordering.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
+
 #include "accum/msa.hpp"
 #include "core/kernel_common.hpp"
 #include "matrix/csr.hpp"
@@ -31,7 +34,13 @@ class MSAKernel {
 
   struct Workspace {
     Acc acc;
-    void reset() { acc.clear(); }
+    // Accumulator column bound for the current partition block (0 = full
+    // matrix width). Set by begin_block under the flop-balanced schedule.
+    std::int64_t col_bound = 0;
+    void reset() {
+      acc.clear();
+      col_bound = 0;
+    }
   };
 
   MSAKernel(const CSRMatrix<IT, VT>& a, const CSRMatrix<IT, VT>& b,
@@ -51,6 +60,18 @@ class MSAKernel {
     return detail::push_row_cost(a_, b_, m_, i, model);
   }
 
+  double work_hint() const { return detail::push_work_hint(a_, b_); }
+
+  // Per-block accumulator sizing: the MSA state/value arrays are dense over
+  // the matrix width, but only ever probed at columns the block's rows can
+  // touch — so the phase driver sizes them by the block's widest row.
+  std::int64_t width_row(IT i) const {
+    return detail::push_row_width(a_, b_, m_, i);
+  }
+  void begin_block(Workspace& ws, std::int64_t width) const {
+    ws.col_bound = width;
+  }
+
   IT numeric_row(Workspace& ws, IT i, IT* out_cols,
                  output_value* out_vals) const {
     const auto arow = a_.row(i);
@@ -60,7 +81,7 @@ class MSAKernel {
       if (mrow.empty()) return 0;
     }
     auto& acc = ws.acc;
-    acc.init(b_.ncols());
+    acc.init(acc_cols(ws));
     acc.prepare(mrow);
     constexpr auto add = [](output_value x, output_value y) {
       return SR::add(x, y);
@@ -86,7 +107,7 @@ class MSAKernel {
       if (mrow.empty()) return 0;
     }
     auto& acc = ws.acc;
-    acc.init(b_.ncols());
+    acc.init(acc_cols(ws));
     acc.prepare(mrow);
     IT cnt = 0;
     for (IT p = 0; p < arow.size(); ++p) {
@@ -100,6 +121,14 @@ class MSAKernel {
   }
 
  private:
+  // Columns the accumulator must cover for the current block: the block
+  // width when the partition provided one, the full matrix width otherwise.
+  IT acc_cols(const Workspace& ws) const {
+    if (ws.col_bound <= 0) return b_.ncols();
+    return static_cast<IT>(std::min<std::int64_t>(
+        ws.col_bound, static_cast<std::int64_t>(b_.ncols())));
+  }
+
   const CSRMatrix<IT, VT>& a_;
   const CSRMatrix<IT, VT>& b_;
   MaskView<IT> m_;

@@ -37,6 +37,18 @@ enum class MaskKind {
 inline constexpr std::size_t kNInspectInfinity =
     std::numeric_limits<std::size_t>::max();
 
+// Schedule::kAuto tiny-input cutoff: calls whose O(1) work hint
+// (Kernel::work_hint — estimated multiplies of the product) falls below this
+// stay on the static schedule and skip the flop-balanced partition's
+// cost-estimation sweep and prefix sum, which dominate at this scale.
+// Measured with bench_ablation_schedule (the tiny workload rows): below
+// ~1e5 estimated flops the partition build costs more than it saves, above
+// it the flop-balanced schedule wins as soon as the degree distribution
+// skews. The batch executor reuses the same threshold as the default
+// boundary between "run serial for inter-job parallelism" and "give the job
+// the whole pool" (runtime/batch.hpp).
+inline constexpr double kAutoScheduleTinyWork = 1e5;
+
 // Per-row cost model driving Schedule::kFlopBalanced partitions
 // (core/partition.hpp). kAuto picks each kernel's native notion of work:
 // masked flops for the push-based families, nnz of the mask row for the

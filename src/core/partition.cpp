@@ -6,9 +6,9 @@
 
 namespace msx {
 
-int partition_target_blocks(int threads) {
-  if (threads < 1) threads = 1;
-  return 8 * threads;
+int partition_target_blocks(int workers) {
+  if (workers < 1) workers = 1;
+  return 8 * workers;
 }
 
 RowPartition partition_from_cost_prefix(std::span<const std::uint64_t> prefix,

@@ -9,17 +9,21 @@
 // A RowPartition is built once per operand structure: the per-row cost
 // (masked flops for push kernels, mask nnz for pull kernels — see
 // Kernel::cost_row and CostModel in core/options.hpp) is prefix-summed and
-// binary-searched into ~8×threads contiguous row blocks of near-equal cost.
+// binary-searched into ~8×workers contiguous row blocks of near-equal cost.
 // The phase driver then dispatches those blocks dynamically
-// (parallel_for_blocks) for the symbolic, numeric and one-phase bound
-// passes, and a MaskedPlan caches the partition across execute() calls
-// alongside the two-phase symbolic rowptr.
+// (ExecContext::for_block_ranges) for the symbolic, numeric and one-phase
+// bound passes, and a MaskedPlan caches the partition across execute() calls
+// alongside the two-phase symbolic rowptr. Kernels with dense accumulators
+// additionally attach a per-block width (the widest column any row of the
+// block can touch) so their working set shrinks to the block's needs.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "common/exec_context.hpp"
 #include "common/parallel.hpp"
 #include "common/prefix_sum.hpp"
 
@@ -32,6 +36,11 @@ namespace msx {
 // unaffected by which thread runs which block.
 struct RowPartition {
   std::vector<std::int64_t> block_start;
+  // Optional per-block accumulator bound: 1 + the highest column index the
+  // rows of the block can touch (compute_block_widths). Empty until a
+  // kernel with per-block sizing asks for it; parallel to blocks() once
+  // filled. Shares the partition's lifetime, so plan caching amortizes it.
+  std::vector<std::int64_t> block_width;
 
   int blocks() const {
     return block_start.empty() ? 0
@@ -43,10 +52,10 @@ struct RowPartition {
   std::span<const std::int64_t> bounds() const { return block_start; }
 };
 
-// Target block count for `threads` workers: ~8 blocks per thread is fine
-// enough for dynamic stealing to absorb cost-model error yet coarse enough
-// that per-block dispatch overhead stays negligible.
-int partition_target_blocks(int threads);
+// Target block count for `workers` execution slots: ~8 blocks per worker is
+// fine enough for dynamic stealing to absorb cost-model error yet coarse
+// enough that per-block dispatch overhead stays negligible.
+int partition_target_blocks(int workers);
 
 // Splits a per-row cost prefix sum (nrows+1 entries, prefix[0] == 0,
 // non-decreasing) into min(nblocks, nrows) blocks whose cost is as close to
@@ -57,18 +66,44 @@ int partition_target_blocks(int threads);
 RowPartition partition_from_cost_prefix(std::span<const std::uint64_t> prefix,
                                         int nblocks);
 
-// Builds the cost prefix in parallel from a per-row cost callback and splits
-// it. This is the one pass over the input the flop-balanced schedule adds;
-// plans amortize it across executions (PartitionCache below).
+// Builds the cost prefix from a per-row cost callback and splits it. This is
+// the one pass over the input the flop-balanced schedule adds; plans
+// amortize it across executions (PartitionCache below). The context decides
+// who runs the sweep: OpenMP team (default), the calling thread, or an
+// arena's workers — and keeps the prefix scan off OpenMP outside the OpenMP
+// mode.
 template <class IT, class CostFn>
-RowPartition build_row_partition(IT nrows, int nblocks, CostFn&& cost) {
+RowPartition build_row_partition(IT nrows, int nblocks, CostFn&& cost,
+                                 const ExecContext& ctx =
+                                     ExecContext::openmp()) {
   std::vector<std::uint64_t> prefix(static_cast<std::size_t>(nrows) + 1, 0);
-  parallel_for(IT{0}, nrows, Schedule::kStatic, [&](IT i) {
+  ctx.for_rows(nrows, Schedule::kStatic, 0, [&](int, IT i) {
     prefix[static_cast<std::size_t>(i) + 1] =
         static_cast<std::uint64_t>(cost(i));
   });
-  inclusive_scan(prefix.data(), prefix.size());
+  if (ctx.is_openmp()) {
+    inclusive_scan(prefix.data(), prefix.size());
+  } else {
+    inclusive_scan_serial(prefix.data(), prefix.size());
+  }
   return partition_from_cost_prefix(prefix, nblocks);
+}
+
+// Fills part.block_width with the per-block maximum of width(i) (the
+// kernel's per-row column bound). One sweep over the rows; cached partitions
+// keep the result, so plans pay it once per structure.
+template <class WidthFn>
+void compute_block_widths(RowPartition& part, const ExecContext& ctx,
+                          WidthFn&& width) {
+  part.block_width.assign(static_cast<std::size_t>(part.blocks()), 0);
+  ctx.for_block_ranges<std::int64_t>(
+      part.bounds(), [&](int, int blk, std::int64_t lo, std::int64_t hi) {
+        std::int64_t w = 0;
+        for (std::int64_t i = lo; i < hi; ++i) {
+          w = std::max(w, static_cast<std::int64_t>(width(i)));
+        }
+        part.block_width[static_cast<std::size_t>(blk)] = w;
+      });
 }
 
 // Cached partition for plan reuse. Valid as long as the operand and mask
@@ -80,6 +115,7 @@ struct PartitionCache {
   void invalidate() {
     valid = false;
     partition.block_start.clear();
+    partition.block_width.clear();
   }
 };
 

@@ -13,12 +13,22 @@
 // Two entry points: the classic one constructs per-thread workspaces for the
 // call; the workspace-injection overload lets a MaskedPlan (core/plan.hpp)
 // reuse accumulators and a previously computed symbolic rowptr across calls.
+//
+// Every pass dispatches through an ExecContext (common/exec_context.hpp):
+// the default OpenMP context reproduces the historical behaviour exactly,
+// while the runtime/ batch executor passes serial contexts (small jobs, one
+// per pool worker) or arena contexts (large jobs cooperatively executed by
+// the pool). Workspace slots come from the context, never from global
+// OpenMP thread ids.
 #pragma once
 
+#include <concepts>
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
+#include "common/exec_context.hpp"
 #include "common/parallel.hpp"
 #include "common/platform.hpp"
 #include "common/prefix_sum.hpp"
@@ -41,39 +51,83 @@ struct TwoPhaseCache {
   }
 };
 
-// Workspace-injection form: `workspaces` must have one slot per thread of the
-// parallel region (the caller sizes it; see MaskedPlan). When `symbolic` is
-// non-null and valid, the two-phase symbolic pass is skipped and its rowptr
-// reused; when non-null and invalid, the freshly computed rowptr is cached.
-// `partition` plays the same role for the flop-balanced row partition: under
-// Schedule::kFlopBalanced the symbolic, numeric, bound and compaction passes
-// all dispatch the partition's blocks, and a valid cache skips rebuilding it.
+namespace detail {
+
+// counts_to_offsets that stays off OpenMP outside the OpenMP context: the
+// parallel scan would fork a team from a pool worker, which the runtime's
+// serial/arena modes exist to avoid (and which would hide the runtime's
+// concurrency from TSan).
+template <class T>
+void offsets_inplace(std::vector<T>& v, const ExecContext& ctx) {
+  if (ctx.is_openmp()) {
+    counts_to_offsets(v);
+  } else {
+    MSX_ASSERT(!v.empty() && v[0] == T{});
+    inclusive_scan_serial(v.data(), v.size());
+  }
+}
+
+}  // namespace detail
+
+// Workspace-injection form: `workspaces` must have one slot per context
+// worker (the caller sizes it from ctx.concurrency(); see the kernel
+// registry). When `symbolic` is non-null and valid, the two-phase symbolic
+// pass is skipped and its rowptr reused; when non-null and invalid, the
+// freshly computed rowptr is cached. `partition` plays the same role for the
+// flop-balanced row partition: under Schedule::kFlopBalanced the symbolic,
+// numeric, bound and compaction passes all dispatch the partition's blocks,
+// and a valid cache skips rebuilding it.
 template <class Kernel>
 CSRMatrix<typename Kernel::index_type, typename Kernel::output_value>
 run_masked_kernel(const Kernel& kernel, const MaskedOptions& opts,
                   PerThread<typename Kernel::Workspace>& workspaces,
                   TwoPhaseCache<typename Kernel::index_type>* symbolic,
-                  PartitionCache* partition = nullptr) {
+                  PartitionCache* partition = nullptr,
+                  const ExecContext& ctx = ExecContext::openmp()) {
   using IT = typename Kernel::index_type;
   using OVT = typename Kernel::output_value;
 
+  // Per-block accumulator sizing (ROADMAP item): a kernel that reports the
+  // columns a row can touch (width_row) and consumes a per-block bound
+  // (begin_block) gets its accumulator sized by the widest row *of the
+  // block* instead of the full matrix width.
+  constexpr bool kHasBlockSizing =
+      requires(const Kernel& k, typename Kernel::Workspace& w) {
+        { k.width_row(IT{0}) } -> std::convertible_to<std::int64_t>;
+        k.begin_block(w, std::int64_t{});
+      };
+
   const IT nrows = kernel.nrows();
   const IT ncols = kernel.ncols();
-  ScopedNumThreads thread_guard(opts.threads);
+  // The thread-count override is an OpenMP concept; serial and arena
+  // contexts bring their own workers.
+  ScopedNumThreads thread_guard(ctx.is_openmp() ? opts.threads : 0);
 
-  // Schedule::kAuto resolves here, to the flop-balanced partition: it is
-  // never slower than dynamic once hub rows appear, and plans amortize the
-  // one cost-estimation sweep its build adds (a cold masked-kind call pays
-  // ~nothing extra — the 1P bound pass is O(1) per row — while complemented
-  // and baseline kernels estimate twice on their first call only).
-  const Schedule schedule = opts.schedule == Schedule::kAuto
-                                ? Schedule::kFlopBalanced
-                                : opts.schedule;
+  // Schedule::kAuto resolves here. The flop-balanced partition is never
+  // slower than dynamic once hub rows appear, and plans amortize the one
+  // cost-estimation sweep its build adds — but on tiny inputs that sweep and
+  // its prefix sum are the dominant cost, so inputs whose O(1) work hint
+  // falls below kAutoScheduleTinyWork stay on static and skip the partition
+  // entirely (measured with bench_ablation_schedule; see options.hpp).
+  Schedule schedule = opts.schedule;
+  if (schedule == Schedule::kAuto) {
+    schedule = Schedule::kFlopBalanced;
+    if constexpr (requires { kernel.work_hint(); }) {
+      if (kernel.work_hint() < kAutoScheduleTinyWork) {
+        schedule = Schedule::kStatic;
+      }
+    }
+  }
+  // A serial context executes blocks in row order anyway, so the partition
+  // build would be pure overhead — run the plain row loop instead.
+  if (ctx.is_serial() && schedule == Schedule::kFlopBalanced) {
+    schedule = Schedule::kStatic;
+  }
 
   // Resolve (or reuse) the flop-balanced partition once; every pass below
   // then dispatches the same blocks.
   RowPartition local_partition;
-  const RowPartition* blocks = nullptr;
+  RowPartition* blocks = nullptr;
   if (schedule == Schedule::kFlopBalanced) {
     if (partition != nullptr && partition->valid) {
       blocks = &partition->partition;
@@ -82,13 +136,15 @@ run_masked_kernel(const Kernel& kernel, const MaskedOptions& opts,
       // without one (the plain-SpGEMM baselines) are partitioned by their
       // 1P upper bound, which tracks flops for unmasked products.
       auto built = build_row_partition(
-          nrows, partition_target_blocks(max_threads()), [&](IT i) {
+          nrows, partition_target_blocks(ctx.concurrency(opts.threads)),
+          [&](IT i) {
             if constexpr (requires { kernel.cost_row(i, opts.cost_model); }) {
               return kernel.cost_row(i, opts.cost_model);
             } else {
               return kernel.upper_bound_row(i) + 1;
             }
-          });
+          },
+          ctx);
       if (partition != nullptr) {
         partition->partition = std::move(built);
         partition->valid = true;
@@ -98,14 +154,51 @@ run_masked_kernel(const Kernel& kernel, const MaskedOptions& opts,
         blocks = &local_partition;
       }
     }
+    if constexpr (kHasBlockSizing) {
+      // Computed once per structure: cached partitions carry their widths
+      // across executes, so warm plans never repeat this sweep.
+      if (blocks->block_width.empty()) {
+        compute_block_widths(*blocks, ctx, [&](std::int64_t i) {
+          return kernel.width_row(static_cast<IT>(i));
+        });
+      }
+    }
   }
+  if constexpr (kHasBlockSizing) {
+    // Non-partitioned dispatch never runs the per-block prologue, so any
+    // bound left behind by a previous partitioned run on these retained
+    // workspaces would undersize the accumulator (the arrays are grow-only
+    // and may cover only that run's widest block). Clear every slot up
+    // front; partitioned dispatch refreshes the bound at each block entry.
+    if (blocks == nullptr) {
+      for (std::size_t t = 0; t < workspaces.size(); ++t) {
+        kernel.begin_block(workspaces.slot(t), 0);
+      }
+    }
+  }
+
   // `fallback` is what non-flop-balanced calls use: the requested schedule
-  // for kernel passes, static for the cheap bookkeeping passes.
+  // for kernel passes, static for the cheap bookkeeping passes. Bodies
+  // receive their workspace slot already resolved — and, under the
+  // partition, a per-block prologue has sized the accumulator bound first.
   const auto run_rows = [&](Schedule fallback, auto&& body) {
     if (blocks != nullptr) {
-      parallel_for_blocks<IT>(blocks->bounds(), body);
+      ctx.for_block_ranges<IT>(
+          blocks->bounds(), [&](int slot, int blk, IT lo, IT hi) {
+            auto& ws = workspaces.slot(static_cast<std::size_t>(slot));
+            if constexpr (kHasBlockSizing) {
+              if (static_cast<std::size_t>(blk) <
+                  blocks->block_width.size()) {
+                kernel.begin_block(
+                    ws, blocks->block_width[static_cast<std::size_t>(blk)]);
+              }
+            }
+            for (IT i = lo; i < hi; ++i) body(ws, i);
+          });
     } else {
-      parallel_for(IT{0}, nrows, fallback, body, opts.chunk);
+      ctx.for_rows(nrows, fallback, opts.chunk, [&](int slot, IT i) {
+        body(workspaces.slot(static_cast<std::size_t>(slot)), i);
+      });
     }
   };
 
@@ -116,11 +209,10 @@ run_masked_kernel(const Kernel& kernel, const MaskedOptions& opts,
       rowptr = symbolic->rowptr;
     } else {
       rowptr.assign(static_cast<std::size_t>(nrows) + 1, IT{0});
-      run_rows(schedule, [&](IT i) {
-        rowptr[static_cast<std::size_t>(i) + 1] =
-            kernel.symbolic_row(workspaces.local(), i);
+      run_rows(schedule, [&](auto& ws, IT i) {
+        rowptr[static_cast<std::size_t>(i) + 1] = kernel.symbolic_row(ws, i);
       });
-      counts_to_offsets(rowptr);
+      detail::offsets_inplace(rowptr, ctx);
       if (symbolic != nullptr) {
         symbolic->rowptr = rowptr;
         symbolic->valid = true;
@@ -131,11 +223,11 @@ run_masked_kernel(const Kernel& kernel, const MaskedOptions& opts,
     const auto nnz = static_cast<std::size_t>(rowptr.back());
     std::vector<IT> colidx(nnz);
     std::vector<OVT> values(nnz);
-    run_rows(schedule, [&](IT i) {
+    run_rows(schedule, [&](auto& ws, IT i) {
       const auto base =
           static_cast<std::size_t>(rowptr[static_cast<std::size_t>(i)]);
       [[maybe_unused]] const IT written = kernel.numeric_row(
-          workspaces.local(), i, colidx.data() + base, values.data() + base);
+          ws, i, colidx.data() + base, values.data() + base);
       MSX_ASSERT(written == rowptr[static_cast<std::size_t>(i) + 1] -
                                 rowptr[static_cast<std::size_t>(i)]);
     });
@@ -145,27 +237,27 @@ run_masked_kernel(const Kernel& kernel, const MaskedOptions& opts,
 
   // --- one-phase: upper-bound temporary, then compact ---
   std::vector<std::size_t> bounds(static_cast<std::size_t>(nrows) + 1, 0);
-  run_rows(Schedule::kStatic, [&](IT i) {
+  run_rows(Schedule::kStatic, [&](auto&, IT i) {
     bounds[static_cast<std::size_t>(i) + 1] = kernel.upper_bound_row(i);
   });
-  counts_to_offsets(bounds);
+  detail::offsets_inplace(bounds, ctx);
   const std::size_t cap = bounds.back();
 
   std::vector<IT> tmp_cols(cap);
   std::vector<OVT> tmp_vals(cap);
   std::vector<IT> rowptr(static_cast<std::size_t>(nrows) + 1, IT{0});
 
-  run_rows(schedule, [&](IT i) {
+  run_rows(schedule, [&](auto& ws, IT i) {
     const std::size_t base = bounds[static_cast<std::size_t>(i)];
     rowptr[static_cast<std::size_t>(i) + 1] = kernel.numeric_row(
-        workspaces.local(), i, tmp_cols.data() + base, tmp_vals.data() + base);
+        ws, i, tmp_cols.data() + base, tmp_vals.data() + base);
   });
-  counts_to_offsets(rowptr);
+  detail::offsets_inplace(rowptr, ctx);
 
   const auto nnz = static_cast<std::size_t>(rowptr.back());
   std::vector<IT> colidx(nnz);
   std::vector<OVT> values(nnz);
-  run_rows(Schedule::kStatic, [&](IT i) {
+  run_rows(Schedule::kStatic, [&](auto&, IT i) {
     const std::size_t src = bounds[static_cast<std::size_t>(i)];
     const auto dst = static_cast<std::size_t>(rowptr[static_cast<std::size_t>(i)]);
     const auto len = static_cast<std::size_t>(

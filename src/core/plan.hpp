@@ -35,6 +35,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/exec_context.hpp"
 #include "common/timer.hpp"
 #include "core/kernel_registry.hpp"
 #include "core/options.hpp"
@@ -124,12 +125,35 @@ class MaskedPlan {
 
   // Runs the prepared product. Bit-identical to a fresh masked_spgemm call
   // with the plan's resolved options.
-  output_matrix execute() {
+  output_matrix execute() { return execute(ExecContext::openmp()); }
+
+  // Context-aware form (common/exec_context.hpp): a serial context runs the
+  // product on the calling thread with no OpenMP region, an arena context
+  // runs it cooperatively on a thread pool. Concurrent execute() calls are
+  // safe once every cache the run will consult is already valid — each run
+  // then only reads them and leases its own workspace pool. Caveat: a
+  // serial-context execute skips the flop-balanced partition entirely, so
+  // it does NOT warm the partition cache; under a partitioned schedule,
+  // warm with one OpenMP/arena-context execute() (or serialize) before
+  // going concurrent. execute_values()/rebind() always remain exclusive:
+  // they mutate the stored operands. The runtime's plan cache sidesteps all
+  // of this with exclusive per-instance leases.
+  output_matrix execute(const ExecContext& ctx) {
     auto c = kernel_->run(
         opts_.phases == PhaseMode::kTwoPhase ? &symbolic_ : nullptr,
-        &partition_);
-    last_execute_setup_seconds_ = kernel_->last_setup_seconds();
+        &partition_, ctx);
+    // Recorded for the single-owner (OpenMP) usage only: concurrent warmed
+    // executes would race on the member, and runtime contexts track their
+    // own stats.
+    if (ctx.is_openmp()) {
+      last_execute_setup_seconds_ = kernel_->last_setup_seconds();
+    }
     return c;
+  }
+
+  output_matrix execute_values(std::span<const VT> a_values,
+                               std::span<const VT> b_values) {
+    return execute_values(a_values, b_values, ExecContext::openmp());
   }
 
   // Replaces the numeric values of A and/or B (empty span = unchanged) and
@@ -139,7 +163,8 @@ class MaskedPlan {
   // A (same object), both spans target the single stored matrix and the
   // B span, if given, wins.
   output_matrix execute_values(std::span<const VT> a_values,
-                               std::span<const VT> b_values) {
+                               std::span<const VT> b_values,
+                               const ExecContext& ctx) {
     if (!a_values.empty()) {
       check_arg(a_values.size() == ops_->a.nnz(),
                 "MaskedPlan::execute_values: A value count != nnz(A)");
@@ -161,7 +186,7 @@ class MaskedPlan {
         csc_vals[p] = b_vals[static_cast<std::size_t>(ops_->csc_perm[p])];
       }
     }
-    return execute();
+    return execute(ctx);
   }
 
   // Rebinds all three operands to new structure. The resolved algorithm,

@@ -1,0 +1,10 @@
+#include "runtime/batch.hpp"
+
+namespace msx {
+
+JobShape moldable_shape(double estimated_work, double threshold) {
+  if (threshold <= 0.0) return JobShape::kSmall;
+  return estimated_work < threshold ? JobShape::kSmall : JobShape::kWide;
+}
+
+}  // namespace msx

@@ -1,0 +1,293 @@
+// BatchExecutor — concurrent masked-SpGEMM service front end (ISSUE 3
+// tentpole): submit(A, B, M, options) returns a future; many products run
+// concurrently on a persistent thread pool, plans are transparently reused
+// through the structure-keyed PlanCache, and a moldable policy decides each
+// job's shape:
+//
+//   * small jobs (estimated work below `wide_work_threshold`) run fully
+//     serial — ExecContext::serial(), no OpenMP region, one job per pool
+//     worker. At service scale this inter-job parallelism is where the
+//     throughput is: per-call parallel-region and planning overheads dwarf
+//     the kernels themselves (CombBLAS and the emergent-sparsity MMM work
+//     both make this observation for batched sparse products).
+//   * wide jobs get the whole pool: a dedicated lane runs one wide job at a
+//     time with ExecContext::arena(pool), so its symbolic/numeric passes are
+//     executed cooperatively by every pool worker that is not busy with a
+//     small job — intra-job parallelism without forking an OpenMP team.
+//
+// Results are bit-identical to direct masked_spgemm calls with the same
+// options: schedules and contexts never change what a row computes, only
+// who computes it (tests/runtime/test_runtime_stress.cpp holds the line).
+//
+// Operands are copied at submit (service semantics: the caller may mutate or
+// drop its matrices immediately); aliased operands (k-truss passes the same
+// matrix as A, B and mask) are detected by address and stored once.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+
+#include "common/exec_context.hpp"
+#include "core/kernel_common.hpp"
+#include "core/options.hpp"
+#include "core/plan.hpp"
+#include "matrix/csr.hpp"
+#include "runtime/plan_cache.hpp"
+#include "runtime/thread_pool.hpp"
+#include "semiring/semirings.hpp"
+
+namespace msx {
+
+// Which lane a job runs in (moldable scheduling decision).
+enum class JobShape {
+  kSmall,  // serial on one pool worker (inter-job parallelism)
+  kWide,   // whole pool via the wide lane (intra-job parallelism)
+};
+
+// Pure policy: small below the threshold, wide at or above it. `threshold`
+// <= 0 forces everything small (useful to benchmark the lanes separately).
+JobShape moldable_shape(double estimated_work, double threshold);
+
+struct BatchLimits {
+  // Pool worker count; <= 0 picks the OpenMP default (max_threads()).
+  int pool_threads = 0;
+  // Structure keys the plan cache retains (LRU beyond that).
+  std::size_t plan_cache_capacity = 64;
+  // Moldable cutoff on the O(1) work estimate (detail::estimate_push_work);
+  // defaults
+  // to the same ~1e5-flops boundary the kAuto schedule uses for its
+  // tiny-input decision — below it a product cannot feed even one parallel
+  // pass, so running it serial costs nothing and frees the pool.
+  double wide_work_threshold = kAutoScheduleTinyWork;
+  // Disable to plan every job from scratch (ablation / memory ceiling).
+  bool cache_plans = true;
+};
+
+struct BatchStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t small_jobs = 0;
+  std::uint64_t wide_jobs = 0;
+  PlanCacheStats cache;
+};
+
+template <class SR, class IT, class VT>
+  requires Semiring<SR>
+class BatchExecutor {
+ public:
+  using output_matrix = CSRMatrix<IT, typename SR::value_type>;
+  using Cache = PlanCache<SR, IT, VT>;
+
+  explicit BatchExecutor(const BatchLimits& limits = {})
+      : limits_(limits),
+        pool_(limits.pool_threads),
+        cache_(limits.plan_cache_capacity),
+        wide_thread_([this] { wide_loop(); }) {}
+
+  // Drains every submitted job, then shuts the lanes down.
+  ~BatchExecutor() {
+    wait_idle();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      wide_stop_ = true;
+    }
+    wide_cv_.notify_all();
+    wide_thread_.join();
+    // pool_ destructor drains and joins its workers.
+  }
+
+  BatchExecutor(const BatchExecutor&) = delete;
+  BatchExecutor& operator=(const BatchExecutor&) = delete;
+
+  // Enqueues C = M .* (A·B) (or the complemented form) and returns a future
+  // for the result. Operands are copied (the caller may mutate or drop them
+  // immediately); aliases among A/B/M are preserved. Validation errors
+  // (shape mismatches, unsupported algorithm/mask combinations) surface at
+  // future.get().
+  template <class MT>
+  std::future<output_matrix> submit(const CSRMatrix<IT, VT>& a,
+                                    const CSRMatrix<IT, VT>& b,
+                                    const CSRMatrix<IT, MT>& m,
+                                    const MaskedOptions& opts = {}) {
+    // Collapse aliases so the plan sees the same aliasing the caller
+    // expressed (and the fingerprint keys on it).
+    auto ca = std::make_shared<const CSRMatrix<IT, VT>>(a);
+    std::shared_ptr<const CSRMatrix<IT, VT>> cb = ca;
+    if (static_cast<const void*>(&b) != static_cast<const void*>(&a)) {
+      cb = std::make_shared<const CSRMatrix<IT, VT>>(b);
+    }
+    std::shared_ptr<const CSRMatrix<IT, MT>> cm;
+    if constexpr (std::is_same_v<MT, VT>) {
+      if (static_cast<const void*>(&m) == static_cast<const void*>(&a)) {
+        cm = ca;
+      } else if (static_cast<const void*>(&m) ==
+                 static_cast<const void*>(&b)) {
+        cm = cb;
+      }
+    }
+    if (cm == nullptr) cm = std::make_shared<const CSRMatrix<IT, MT>>(m);
+    return submit_shared(std::move(ca), std::move(cb), std::move(cm), opts);
+  }
+
+  // Zero-copy form for callers that already hold shared operands (the apps'
+  // stationary adjacency matrix, re-submitted every BFS/BC level, must not
+  // be copied per job). Aliasing is expressed by passing the same
+  // shared_ptr; the matrices must not be mutated while jobs are in flight.
+  template <class MT>
+  std::future<output_matrix> submit_shared(
+      std::shared_ptr<const CSRMatrix<IT, VT>> a,
+      std::shared_ptr<const CSRMatrix<IT, VT>> b,
+      std::shared_ptr<const CSRMatrix<IT, MT>> m,
+      const MaskedOptions& opts = {}) {
+    check_arg(a != nullptr && b != nullptr && m != nullptr,
+              "BatchExecutor::submit_shared: null operand");
+    const JobShape shape = moldable_shape(
+        detail::estimate_push_work(static_cast<double>(a->nnz()),
+                                   static_cast<double>(b->nnz()),
+                                   static_cast<double>(b->nrows())),
+        limits_.wide_work_threshold);
+
+    auto task = std::make_shared<std::packaged_task<output_matrix()>>(
+        [this, shape, a, b, m, opts]() -> output_matrix {
+          const auto& ra = *a;
+          const auto& rb = b == a ? ra : *b;
+          if constexpr (std::is_same_v<MT, VT>) {
+            if (static_cast<const void*>(m.get()) ==
+                static_cast<const void*>(a.get())) {
+              return run_job(shape, ra, rb, ra, opts);
+            }
+            if (static_cast<const void*>(m.get()) ==
+                static_cast<const void*>(b.get())) {
+              return run_job(shape, ra, rb, rb, opts);
+            }
+          }
+          return run_job(shape, ra, rb, *m, opts);
+        });
+    auto future = task->get_future();
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++outstanding_;
+      ++stats_.submitted;
+      if (shape == JobShape::kSmall) {
+        ++stats_.small_jobs;
+      } else {
+        ++stats_.wide_jobs;
+      }
+    }
+    auto wrapped = [this, task] {
+      (*task)();
+      job_done();
+    };
+    if (shape == JobShape::kSmall) {
+      pool_.submit_detached(std::move(wrapped));
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        wide_queue_.push_back(std::move(wrapped));
+      }
+      wide_cv_.notify_one();
+    }
+    return future;
+  }
+
+  // Blocks until every job submitted so far has completed. Note that a
+  // job's future becomes ready slightly before the executor's bookkeeping
+  // settles — read stats() after wait_idle() when exact completion counts
+  // matter.
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [&] { return outstanding_ == 0; });
+  }
+
+  BatchStats stats() const {
+    BatchStats out;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      out = stats_;
+    }
+    out.cache = cache_.stats();
+    return out;
+  }
+
+  int pool_threads() const { return pool_.size(); }
+  ThreadPool& pool() { return pool_; }
+  Cache& plan_cache() { return cache_; }
+
+ private:
+  template <class MT>
+  output_matrix run_job(JobShape shape, const CSRMatrix<IT, VT>& a,
+                        const CSRMatrix<IT, VT>& b, const CSRMatrix<IT, MT>& m,
+                        const MaskedOptions& opts) {
+    // Small jobs must stay off the OpenMP team entirely; plan construction
+    // (operand copies, CSC transpose) still routes through shared helpers
+    // with OpenMP loops, so pin this worker's team size to 1 for the
+    // duration. Wide jobs keep the default (their parallelism comes from
+    // the arena, and any incidental OpenMP loop in setup may use the
+    // machine).
+    ScopedNumThreads omp_guard(shape == JobShape::kSmall ? 1 : 0);
+    const ExecContext ctx = shape == JobShape::kSmall
+                                ? ExecContext::serial()
+                                : ExecContext::arena(pool_);
+    if (!limits_.cache_plans) {
+      MaskedPlan<SR, IT, VT> plan(a, b, m, opts);
+      return plan.execute(ctx);
+    }
+    auto lease = cache_.acquire(a, b, m, opts);
+    if (!lease.reused()) return lease.plan().execute(ctx);
+    // Cache hit: same structure, possibly different numerics — refresh the
+    // plan's owned values (O(nnz) copy, which the avoided planning dwarfs).
+    const bool b_aliases_a =
+        static_cast<const void*>(&b) == static_cast<const void*>(&a);
+    return lease.plan().execute_values(
+        a.values(), b_aliases_a ? std::span<const VT>{} : b.values(), ctx);
+  }
+
+  void job_done() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.completed;
+    if (--outstanding_ == 0) idle_cv_.notify_all();
+  }
+
+  // The wide lane: one job at a time, each cooperatively executed by the
+  // pool. Serializing wide jobs keeps their arena loops from fighting each
+  // other for the same workers.
+  void wide_loop() {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wide_cv_.wait(lock, [&] { return wide_stop_ || !wide_queue_.empty(); });
+        if (wide_queue_.empty()) return;  // stopped and drained
+        job = std::move(wide_queue_.front());
+        wide_queue_.pop_front();
+      }
+      job();
+    }
+  }
+
+  BatchLimits limits_;
+  ThreadPool pool_;
+  Cache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  std::condition_variable wide_cv_;
+  std::deque<std::function<void()>> wide_queue_;
+  bool wide_stop_ = false;
+  std::uint64_t outstanding_ = 0;
+  BatchStats stats_;
+
+  std::thread wide_thread_;
+};
+
+}  // namespace msx

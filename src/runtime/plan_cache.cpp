@@ -1,0 +1,120 @@
+#include "runtime/plan_cache.hpp"
+
+#include <cstring>
+#include <list>
+#include <unordered_map>
+
+#include "common/platform.hpp"
+
+namespace msx {
+
+// 64-bit streaming hash: 8-byte blocks folded with xor-multiply (splitmix64
+// constants), tail bytes padded, finalized with the splitmix64 avalanche.
+// Quality is what matters here (the cache key is 2×64 bits of this), not
+// cryptographic strength.
+std::uint64_t plan_hash_bytes(std::uint64_t seed, const void* data,
+                              std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed ^ (static_cast<std::uint64_t>(len) *
+                            0x9e3779b97f4a7c15ULL);
+  std::size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    std::uint64_t block;
+    std::memcpy(&block, p + i, 8);
+    h ^= block;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 27;
+  }
+  if (i < len) {
+    std::uint64_t block = 0;
+    std::memcpy(&block, p + i, len - i);
+    h ^= block;
+    h *= 0x94d049bb133111ebULL;
+    h ^= h >> 31;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+namespace detail {
+
+namespace {
+
+struct PlanKeyHash {
+  std::size_t operator()(const PlanKey& k) const {
+    // The halves are already well-mixed; fold them.
+    return static_cast<std::size_t>(k.h1 ^ (k.h2 * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+}  // namespace
+
+struct PlanCacheIndex::Impl {
+  struct Node {
+    PlanKey key;
+    std::int64_t slot;
+  };
+  // MRU at the front.
+  std::list<Node> lru;
+  std::unordered_map<PlanKey, std::list<Node>::iterator, PlanKeyHash> map;
+  std::vector<std::int64_t> free_slots;
+  std::int64_t next_slot = 0;
+};
+
+PlanCacheIndex::PlanCacheIndex(std::size_t capacity)
+    : impl_(std::make_unique<Impl>()), capacity_(capacity) {
+  check_arg(capacity > 0, "PlanCache: capacity must be positive");
+}
+
+PlanCacheIndex::~PlanCacheIndex() = default;
+
+std::int64_t PlanCacheIndex::find(const PlanKey& key) {
+  auto it = impl_->map.find(key);
+  if (it == impl_->map.end()) return -1;
+  impl_->lru.splice(impl_->lru.begin(), impl_->lru, it->second);
+  return it->second->slot;
+}
+
+std::int64_t PlanCacheIndex::insert(const PlanKey& key) {
+  MSX_ASSERT(impl_->map.find(key) == impl_->map.end());
+  std::int64_t slot;
+  if (!impl_->free_slots.empty()) {
+    slot = impl_->free_slots.back();
+    impl_->free_slots.pop_back();
+  } else {
+    slot = impl_->next_slot++;
+  }
+  impl_->lru.push_front(Impl::Node{key, slot});
+  impl_->map[key] = impl_->lru.begin();
+  return slot;
+}
+
+std::vector<std::int64_t> PlanCacheIndex::slots_lru() const {
+  std::vector<std::int64_t> out;
+  out.reserve(impl_->lru.size());
+  for (auto it = impl_->lru.rbegin(); it != impl_->lru.rend(); ++it) {
+    out.push_back(it->slot);
+  }
+  return out;
+}
+
+void PlanCacheIndex::erase_slot(std::int64_t slot) {
+  for (auto it = impl_->lru.begin(); it != impl_->lru.end(); ++it) {
+    if (it->slot == slot) {
+      impl_->map.erase(it->key);
+      impl_->lru.erase(it);
+      impl_->free_slots.push_back(slot);
+      return;
+    }
+  }
+  MSX_ASSERT(false && "erase_slot: unknown slot");
+}
+
+std::size_t PlanCacheIndex::size() const { return impl_->map.size(); }
+
+}  // namespace detail
+}  // namespace msx

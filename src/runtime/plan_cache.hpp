@@ -1,0 +1,329 @@
+// Structure-keyed LRU plan cache — MaskedPlan reuse across independent
+// requests (runtime subsystem, ISSUE 3 tentpole).
+//
+// The paper's workloads re-issue masked products with recurring structure
+// (k-truss rounds, BC sweeps, repeated service queries). A MaskedPlan
+// already amortizes setup for a caller that *holds* it; the PlanCache makes
+// that transparent: requests are fingerprinted by the structure of
+// (A, B, M) plus the options, and a hit leases a ready plan — resolved
+// algorithm, cached CSC of B, two-phase symbolic rowptr, flop-balanced
+// partition, warm accumulators — instead of planning from scratch.
+//
+// Concurrency model: leases are exclusive per plan *instance*. When every
+// instance of a hot key is busy, acquire() builds an extra instance for the
+// same key (bounded in practice by the executor's worker count) rather than
+// blocking — a plan-pool, the way connection pools scale a hot endpoint.
+// Instance workspaces are additionally leased per run inside the kernel
+// (core/kernel_registry.hpp), so even a caller that shares one warmed plan
+// across threads never shares accumulators.
+//
+// Value semantics: the fingerprint covers structure only. A hit must
+// therefore refresh the plan's owned numeric values (Lease::reused() tells
+// the caller to go through execute_values); the mask contributes only its
+// pattern, as everywhere else in the library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/plan.hpp"
+#include "matrix/csr.hpp"
+#include "semiring/semirings.hpp"
+
+namespace msx {
+
+// 128-bit structure fingerprint (two independently seeded 64-bit streams;
+// a collision requires both to collide, so accidental key equality is
+// negligible at cache scale).
+struct PlanKey {
+  std::uint64_t h1 = 0;
+  std::uint64_t h2 = 0;
+  friend bool operator==(const PlanKey&, const PlanKey&) = default;
+};
+
+// Streaming byte hash used to build PlanKey halves (plan_cache.cpp).
+std::uint64_t plan_hash_bytes(std::uint64_t seed, const void* data,
+                              std::size_t len);
+
+struct PlanCacheStats {
+  std::uint64_t hits = 0;        // idle instance reused
+  std::uint64_t misses = 0;      // unknown structure, plan built
+  std::uint64_t grows = 0;       // known structure, all instances busy
+  std::uint64_t evictions = 0;   // entries dropped by the LRU policy
+  std::uint64_t instances = 0;   // plans currently owned by the cache
+
+  double hit_rate() const {
+    const auto total = hits + misses + grows;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+namespace detail {
+
+// Non-template LRU index: key -> slot id plus recency order and the shared
+// stats counters. Implemented in plan_cache.cpp; the typed cache below owns
+// the plan instances in a parallel structure.
+class PlanCacheIndex {
+ public:
+  explicit PlanCacheIndex(std::size_t capacity);
+  ~PlanCacheIndex();
+  PlanCacheIndex(const PlanCacheIndex&) = delete;
+  PlanCacheIndex& operator=(const PlanCacheIndex&) = delete;
+
+  // Looks the key up, moving it to most-recently-used. Returns the slot id
+  // or -1 when absent.
+  std::int64_t find(const PlanKey& key);
+  // Inserts the key (must be absent) and returns its new slot id.
+  std::int64_t insert(const PlanKey& key);
+  // Every slot id in least-recently-used-first order — the eviction walk of
+  // the typed layer (which skips slots with busy instances and stops once
+  // back under capacity).
+  std::vector<std::int64_t> slots_lru() const;
+  void erase_slot(std::int64_t slot);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::size_t capacity_;
+};
+
+}  // namespace detail
+
+// Builds the structure fingerprint for (a, b, m, opts). Aliasing is part of
+// the key: a plan built with B aliasing A stores one matrix for both and
+// refreshes values accordingly, so it must never serve a request with two
+// distinct (if structurally identical) operands.
+template <class IT, class VT, class MT>
+PlanKey plan_fingerprint(const CSRMatrix<IT, VT>& a, const CSRMatrix<IT, VT>& b,
+                         const CSRMatrix<IT, MT>& m,
+                         const MaskedOptions& opts) {
+  const bool b_is_a = static_cast<const void*>(&b) == static_cast<const void*>(&a);
+  const bool m_is_a = static_cast<const void*>(&m) == static_cast<const void*>(&a);
+  const bool m_is_b = static_cast<const void*>(&m) == static_cast<const void*>(&b);
+
+  const std::uint64_t header[] = {
+      static_cast<std::uint64_t>(a.nrows()),
+      static_cast<std::uint64_t>(a.ncols()),
+      static_cast<std::uint64_t>(b.nrows()),
+      static_cast<std::uint64_t>(b.ncols()),
+      static_cast<std::uint64_t>(m.nrows()),
+      static_cast<std::uint64_t>(m.ncols()),
+      (b_is_a ? 1u : 0u) | (m_is_a ? 2u : 0u) | (m_is_b ? 4u : 0u),
+      static_cast<std::uint64_t>(opts.algo),
+      static_cast<std::uint64_t>(opts.phases),
+      static_cast<std::uint64_t>(opts.kind),
+      static_cast<std::uint64_t>(opts.schedule),
+      static_cast<std::uint64_t>(opts.cost_model),
+      static_cast<std::uint64_t>(opts.chunk),
+      static_cast<std::uint64_t>(opts.threads),
+      static_cast<std::uint64_t>(opts.heap_ninspect),
+      opts.inner_gallop ? 1u : 0u,
+      sizeof(IT),
+  };
+
+  PlanKey key;
+  auto mix = [&](const void* data, std::size_t len) {
+    key.h1 = plan_hash_bytes(key.h1 ^ 0x9e3779b97f4a7c15ULL, data, len);
+    key.h2 = plan_hash_bytes(key.h2 ^ 0xc2b2ae3d27d4eb4fULL, data, len);
+  };
+  auto mix_span = [&](auto span) {
+    mix(span.data(), span.size_bytes());
+  };
+  mix(header, sizeof(header));
+  mix_span(a.rowptr());
+  mix_span(a.colidx());
+  if (!b_is_a) {
+    mix_span(b.rowptr());
+    mix_span(b.colidx());
+  }
+  if (!m_is_a && !m_is_b) {
+    mix_span(m.rowptr());
+    mix_span(m.colidx());
+  }
+  return key;
+}
+
+// The cache proper: typed over the semiring/index/value triple it serves.
+// Thread-safe; one mutex guards the index and instance flags, while plan
+// construction and execution happen outside it.
+template <class SR, class IT, class VT>
+  requires Semiring<SR>
+class PlanCache {
+ public:
+  using Plan = MaskedPlan<SR, IT, VT>;
+
+  explicit PlanCache(std::size_t capacity = 64)
+      : index_(capacity == 0 ? 1 : capacity) {}
+
+  // One cached plan plus its lease flag. shared_ptr-managed so an entry can
+  // be evicted while an instance is still leased out — the lease keeps the
+  // plan alive and simply drops it on release.
+  struct Instance {
+    std::unique_ptr<Plan> plan;
+    bool busy = false;  // guarded by the cache mutex
+  };
+
+  // Exclusive handle on one plan instance. Move-only; returns the instance
+  // to the cache on destruction. The cache must outlive its leases.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept { *this = std::move(other); }
+    Lease& operator=(Lease&& other) noexcept {
+      release();
+      cache_ = std::exchange(other.cache_, nullptr);
+      rec_ = std::move(other.rec_);
+      reused_ = other.reused_;
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    Plan& plan() { return *rec_->plan; }
+    // True when the lease hands back a previously built plan: the caller
+    // must refresh numeric values (execute_values) since only structure is
+    // part of the key.
+    bool reused() const { return reused_; }
+
+   private:
+    friend class PlanCache;
+    Lease(PlanCache* cache, std::shared_ptr<Instance> rec, bool reused)
+        : cache_(cache), rec_(std::move(rec)), reused_(reused) {}
+
+    void release() {
+      if (cache_ != nullptr && rec_ != nullptr) {
+        std::lock_guard<std::mutex> lock(cache_->mu_);
+        rec_->busy = false;
+      }
+      cache_ = nullptr;
+      rec_.reset();
+    }
+
+    PlanCache* cache_ = nullptr;
+    std::shared_ptr<Instance> rec_;
+    bool reused_ = false;
+  };
+
+  // Leases a plan for the request, building one on miss (or when every
+  // cached instance of the key is busy). Safe to call concurrently.
+  template <class MT>
+  Lease acquire(const CSRMatrix<IT, VT>& a, const CSRMatrix<IT, VT>& b,
+                const CSRMatrix<IT, MT>& m, const MaskedOptions& opts = {}) {
+    const PlanKey key = plan_fingerprint(a, b, m, opts);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const std::int64_t slot = index_.find(key);
+      if (slot >= 0) {
+        for (auto& rec : slots_[static_cast<std::size_t>(slot)].instances) {
+          if (!rec->busy) {
+            rec->busy = true;
+            ++stats_.hits;
+            return Lease(this, rec, /*reused=*/true);
+          }
+        }
+        ++stats_.grows;
+      } else {
+        ++stats_.misses;
+      }
+    }
+
+    // Build outside the lock — planning is the expensive part the cache
+    // exists to dodge, and concurrent misses on different keys must overlap.
+    auto rec = std::make_shared<Instance>();
+    rec->plan = std::make_unique<Plan>(a, b, m, opts);
+    rec->busy = true;
+
+    std::vector<std::shared_ptr<Instance>> evicted;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      std::int64_t slot = index_.find(key);
+      if (slot < 0) {
+        slot = index_.insert(key);
+        if (static_cast<std::size_t>(slot) >= slots_.size()) {
+          slots_.resize(static_cast<std::size_t>(slot) + 1);
+        }
+        slots_[static_cast<std::size_t>(slot)].instances.clear();
+      }
+      slots_[static_cast<std::size_t>(slot)].instances.push_back(rec);
+      ++stats_.instances;
+      evict_locked(evicted);
+    }
+    // Evicted plans are destroyed here, outside the lock.
+    return Lease(this, std::move(rec), /*reused=*/false);
+  }
+
+  PlanCacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  std::size_t capacity() const { return index_.capacity(); }
+
+  // Drops every idle instance and empty entry (busy instances survive until
+  // their lease returns; their entries stay).
+  void clear() {
+    std::vector<std::shared_ptr<Instance>> dropped;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto cand : index_.slots_lru()) {
+      try_drop_slot(cand, dropped);
+    }
+  }
+
+ private:
+  friend class Lease;
+
+  struct Slot {
+    std::vector<std::shared_ptr<Instance>> instances;
+  };
+
+  // Must hold mu_. Walks slots LRU-first while over capacity; an entry is
+  // evictable only when none of its instances is leased out, so a busy LRU
+  // entry lets the cache exceed capacity softly rather than blocking.
+  void evict_locked(
+      std::vector<std::shared_ptr<Instance>>& evicted) {
+    if (index_.size() <= index_.capacity()) return;
+    for (std::int64_t cand : index_.slots_lru()) {
+      if (index_.size() <= index_.capacity()) break;
+      auto& slot = slots_[static_cast<std::size_t>(cand)];
+      bool busy = false;
+      for (const auto& rec : slot.instances) busy = busy || rec->busy;
+      if (busy) continue;
+      stats_.instances -= slot.instances.size();
+      ++stats_.evictions;
+      for (auto& rec : slot.instances) evicted.push_back(std::move(rec));
+      slot.instances.clear();
+      index_.erase_slot(cand);
+    }
+  }
+
+  void try_drop_slot(
+      std::int64_t cand,
+      std::vector<std::shared_ptr<Instance>>& dropped) {
+    auto& slot = slots_[static_cast<std::size_t>(cand)];
+    bool busy = false;
+    for (const auto& rec : slot.instances) busy = busy || rec->busy;
+    if (busy) return;
+    stats_.instances -= slot.instances.size();
+    for (auto& rec : slot.instances) dropped.push_back(std::move(rec));
+    slot.instances.clear();
+    index_.erase_slot(cand);
+  }
+
+  detail::PlanCacheIndex index_;
+  std::vector<Slot> slots_;
+  mutable std::mutex mu_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace msx

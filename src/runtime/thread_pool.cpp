@@ -1,0 +1,159 @@
+#include "runtime/thread_pool.hpp"
+
+#include <atomic>
+#include <chrono>
+
+#include "common/platform.hpp"
+
+namespace msx {
+
+namespace {
+
+// Worker identity for worker_index()/current_slot(). A plain thread_local
+// pair rather than a map: a thread belongs to at most one pool at a time
+// (workers never run inside another pool's worker_loop).
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local int tls_index = -1;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = threads > 0 ? threads : max_threads();
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+int ThreadPool::worker_index() const {
+  return tls_pool == this ? tls_index : -1;
+}
+
+void ThreadPool::submit_detached(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    check_arg(!stop_, "ThreadPool: submit after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+std::size_t ThreadPool::tasks_executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return executed_;
+}
+
+void ThreadPool::worker_loop(int index) {
+  tls_pool = this;
+  tls_index = index;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++executed_;
+    }
+  }
+}
+
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++executed_;
+  }
+  return true;
+}
+
+// State shared between run() and its queued helper offers. Helpers hold the
+// shared_ptr, so an offer dequeued after run() has returned (impossible — see
+// the pending protocol below — but cheap to make structurally safe) touches
+// only this block, never the caller's stack.
+struct ThreadPool::HelperState {
+  const std::function<void(int)>* body = nullptr;
+  std::atomic<bool> cancelled{false};
+  std::atomic<int> pending{0};
+  std::mutex mu;
+  std::condition_variable done;
+  std::exception_ptr error;  // first helper exception, guarded by mu
+};
+
+void ThreadPool::run(const std::function<void(int)>& body) {
+  const int nhelpers = size();
+  auto state = std::make_shared<HelperState>();
+  state->body = &body;
+  state->pending.store(nhelpers, std::memory_order_relaxed);
+
+  for (int i = 0; i < nhelpers; ++i) {
+    submit_detached([this, state] {
+      // Helper offers execute the body only on pool workers: slots 1..N are
+      // worker-owned, while slot 0 belongs to the run's caller. A non-worker
+      // thread can end up here through another run()'s drain loop
+      // (try_run_one below); running the body there would collide with that
+      // run's caller on slot 0, so it only retires the offer.
+      if (worker_index() >= 0 &&
+          !state->cancelled.load(std::memory_order_acquire)) {
+        try {
+          (*state->body)(current_slot());
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(state->mu);
+          if (!state->error) state->error = std::current_exception();
+        }
+      }
+      if (state->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->done.notify_all();
+      }
+    });
+  }
+
+  std::exception_ptr caller_error;
+  try {
+    body(current_slot());
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+
+  // The caller is done; offers that have not started yet become no-ops.
+  // run() still waits for every offer to be *dequeued* (so `body` stays
+  // valid), helping with the regular queue in the meantime — that is what
+  // makes run() safe from inside a worker and live against a busy pool.
+  state->cancelled.store(true, std::memory_order_release);
+  while (state->pending.load(std::memory_order_acquire) > 0) {
+    if (!try_run_one()) {
+      std::unique_lock<std::mutex> lock(state->mu);
+      state->done.wait_for(lock, std::chrono::milliseconds(1), [&] {
+        return state->pending.load(std::memory_order_acquire) == 0;
+      });
+    }
+  }
+
+  if (caller_error) std::rethrow_exception(caller_error);
+  std::lock_guard<std::mutex> lock(state->mu);
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace msx

@@ -1,0 +1,94 @@
+// Persistent thread pool with futures — the worker substrate of the
+// concurrent masked-SpGEMM runtime (batch executor + plan cache).
+//
+// Coexists with the OpenMP paths: pool workers are plain std::threads, so a
+// job running on a worker can still enter OpenMP regions (each worker is its
+// own OpenMP initial thread), but the runtime's own scheduling never goes
+// through OpenMP. That separation is deliberate — it keeps the concurrency
+// the runtime introduces fully visible to ThreadSanitizer (std::mutex /
+// atomics / futures), which the CI TSan job relies on.
+//
+// The pool doubles as a TaskArena (common/exec_context.hpp): a large masked
+// product can run cooperatively on the calling thread plus every idle
+// worker, which is how the batch executor gives wide jobs intra-job
+// parallelism without forking an OpenMP team.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/exec_context.hpp"
+
+namespace msx {
+
+class ThreadPool final : public TaskArena {
+ public:
+  // threads <= 0 picks the OpenMP default (max_threads()), so a pool sized
+  // "like the machine" matches what a single OpenMP-parallel call would use.
+  explicit ThreadPool(int threads = 0);
+
+  // Drains every queued task (futures stay valid), then joins the workers.
+  ~ThreadPool() override;
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  // Index of the calling thread within this pool ([0, size())), or -1 when
+  // called from a thread that is not one of this pool's workers.
+  int worker_index() const;
+
+  // Enqueues fn and returns a future for its result. Exceptions thrown by fn
+  // surface at future.get().
+  template <class F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>&>> {
+    using R = std::invoke_result_t<std::decay_t<F>&>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    auto future = task->get_future();
+    submit_detached([task]() { (*task)(); });
+    return future;
+  }
+
+  // Fire-and-forget enqueue. The task must not throw (use submit() for
+  // fallible work).
+  void submit_detached(std::function<void()> task);
+
+  // Tasks fully executed so far (stat for tests and the service example).
+  std::size_t tasks_executed() const;
+
+  // --- TaskArena ---
+  // Cooperative run: the caller executes body(current_slot()) and every
+  // worker is offered body once. Workers busy with other tasks skip the
+  // offer once the caller has finished; while waiting for stragglers the
+  // caller helps drain the regular task queue, so a run() issued from inside
+  // a worker (or against a fully busy pool) cannot deadlock.
+  int concurrency() const override { return size() + 1; }
+  int current_slot() const override { return worker_index() + 1; }
+  void run(const std::function<void(int)>& body) override;
+
+ private:
+  struct HelperState;
+
+  void worker_loop(int index);
+  // Pops one queued task and runs it; returns false if the queue was empty.
+  bool try_run_one();
+
+  std::vector<std::thread> workers_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::size_t executed_ = 0;
+};
+
+}  // namespace msx

@@ -156,5 +156,45 @@ TEST(Partition, SkewedGraphPartitionIsBalancedByCostNotRows) {
   }
 }
 
+TEST(Partition, BuildWithSerialContextMatchesOpenMP) {
+  const auto cost = [](std::int64_t i) {
+    return static_cast<std::uint64_t>(1 + (i * 7) % 13);
+  };
+  const auto omp_part =
+      build_row_partition<std::int64_t>(400, 16, cost, ExecContext::openmp());
+  const auto serial_part =
+      build_row_partition<std::int64_t>(400, 16, cost, ExecContext::serial());
+  EXPECT_EQ(omp_part.block_start, serial_part.block_start);
+  expect_valid(serial_part, 400);
+}
+
+TEST(Partition, BlockWidthsAreBlockwiseMaxima) {
+  auto part = build_row_partition<std::int64_t>(
+      100, 8, [](std::int64_t) { return std::uint64_t{1}; });
+  expect_valid(part, 100);
+  // Per-row width: rows 0..49 touch up to column i+1; rows 50+ touch 90.
+  const auto width = [](std::int64_t i) {
+    return i < 50 ? i + 1 : std::int64_t{90};
+  };
+  compute_block_widths(part, ExecContext::serial(), width);
+  ASSERT_EQ(static_cast<int>(part.block_width.size()), part.blocks());
+  for (int b = 0; b < part.blocks(); ++b) {
+    std::int64_t expect = 0;
+    for (std::int64_t i = part.block_start[static_cast<std::size_t>(b)];
+         i < part.block_start[static_cast<std::size_t>(b) + 1]; ++i) {
+      expect = std::max(expect, width(i));
+    }
+    EXPECT_EQ(part.block_width[static_cast<std::size_t>(b)], expect)
+        << "block " << b;
+  }
+  // Invalidation drops the widths with the boundaries.
+  PartitionCache cache;
+  cache.partition = part;
+  cache.valid = true;
+  cache.invalidate();
+  EXPECT_TRUE(cache.partition.block_start.empty());
+  EXPECT_TRUE(cache.partition.block_width.empty());
+}
+
 }  // namespace
 }  // namespace msx

@@ -12,6 +12,7 @@
 #include "core/masked_spgemm.hpp"
 #include "core/reference.hpp"
 #include "gen/erdos_renyi.hpp"
+#include "matrix/build.hpp"
 #include "test_helpers.hpp"
 
 namespace msx {
@@ -238,7 +239,9 @@ TEST(Plan, NonFlopBalancedSchedulesBuildNoPartition) {
 }
 
 TEST(Plan, AutoScheduleResolvesToFlopBalancedAndExplicitIsHonoured) {
-  const auto a = erdos_renyi<IT, VT>(80, 80, 6, 67);
+  // Large enough that the O(1) work hint clears the tiny-input cutoff
+  // (nnz(A) × mean B degree ≈ 10000 × 20 = 2e5 > kAutoScheduleTinyWork).
+  const auto a = erdos_renyi<IT, VT>(500, 500, 20, 67);
   auto plan = masked_plan<SR>(a, a, a);  // default options: schedule kAuto
   EXPECT_EQ(plan.options().schedule, Schedule::kAuto);
   (void)plan.execute();
@@ -256,6 +259,51 @@ TEST(Plan, AutoScheduleResolvesToFlopBalancedAndExplicitIsHonoured) {
     (void)pinned.execute();
     EXPECT_FALSE(pinned.partition_cached()) << to_string(s);
   }
+}
+
+TEST(Plan, StaleBlockBoundNeverSurvivesIntoNonPartitionedRuns) {
+  // Regression: a flop-balanced run sizes MSA/Hash workspaces per block and
+  // leaves each workspace's column bound at the width of the last block it
+  // ran. rebind() deliberately retains workspaces, so a later run that
+  // skips the per-block prologue — here a serial-context execute, which
+  // downgrades the partition to a plain row loop — on a *wider* structure
+  // must not inherit the old bound: the grow-only accumulator arrays would
+  // stay at the narrow size while rows probe far wider columns.
+  const auto narrow = erdos_renyi<IT, VT>(60, 60, 6, 171);   // ncols 60
+  const auto wide = erdos_renyi<IT, VT>(500, 500, 2, 172);   // ncols 500
+
+  for (MaskedAlgo algo : {MaskedAlgo::kMSA, MaskedAlgo::kMSABitmap,
+                          MaskedAlgo::kHash}) {
+    for (MaskKind kind : {MaskKind::kMask, MaskKind::kComplement}) {
+      MaskedOptions o;
+      o.algo = algo;
+      o.kind = kind;
+      o.schedule = Schedule::kFlopBalanced;
+      auto plan = masked_plan<SR>(narrow, narrow, narrow, o);
+      (void)plan.execute();  // partitioned: every slot's bound is <= 60
+      plan.rebind(wide, wide, wide);
+      const auto want = masked_spgemm<SR>(wide, wide, wide, o);
+      EXPECT_TRUE(plan.execute(ExecContext::serial()) == want)
+          << to_string(algo) << "/" << to_string(kind);
+    }
+  }
+}
+
+TEST(Plan, AutoScheduleStaysStaticBelowTinyWorkCutoff) {
+  // ~80×6 rows: the work hint (~2900 estimated multiplies) is far below
+  // kAutoScheduleTinyWork, so kAuto skips the partition prefix sum entirely
+  // — results are unchanged (schedules are result-invariant).
+  const auto a = erdos_renyi<IT, VT>(80, 80, 6, 68);
+  auto plan = masked_plan<SR>(a, a, a);
+  const auto got = plan.execute();
+  EXPECT_FALSE(plan.partition_cached());
+
+  // An explicit kFlopBalanced request on the same tiny input is honoured.
+  MaskedOptions o;
+  o.schedule = Schedule::kFlopBalanced;
+  auto pinned = masked_plan<SR>(a, a, a, o);
+  EXPECT_TRUE(pinned.execute() == got);
+  EXPECT_TRUE(pinned.partition_cached());
 }
 
 TEST(Plan, AutoResolvesOnceAndMatchesStatelessAuto) {

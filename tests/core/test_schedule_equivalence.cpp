@@ -10,6 +10,7 @@
 #include "core/masked_spgemm.hpp"
 #include "core/plan.hpp"
 #include "gen/rmat.hpp"
+#include "gen/structured.hpp"
 #include "test_helpers.hpp"
 
 namespace msx {
@@ -111,6 +112,34 @@ TEST(ScheduleEquivalence, PlanWithCachedPartitionMatchesStateless) {
       EXPECT_EQ(want, plan.execute()) << scheme_name(algo, ph) << " cold";
       EXPECT_TRUE(plan.partition_cached());
       EXPECT_EQ(want, plan.execute()) << scheme_name(algo, ph) << " warm";
+    }
+  }
+}
+
+// Per-block accumulator sizing (MSA / complemented Hash size their dense
+// scratch by the widest row of each partition block): a banded structure,
+// where block widths are genuinely narrower than the matrix, must still be
+// bit-identical to the static schedule.
+TEST(ScheduleEquivalence, BlockSizedAccumulatorsMatchOnBandedStructure) {
+  const IT n = 600;
+  const auto g = grid2d<IT, VT>(20, 30);  // bandwidth ~30 — narrow blocks
+  ASSERT_EQ(g.nrows(), n);
+  for (MaskedAlgo algo :
+       {MaskedAlgo::kMSA, MaskedAlgo::kMSABitmap, MaskedAlgo::kHash}) {
+    for (MaskKind kind : {MaskKind::kMask, MaskKind::kComplement}) {
+      MaskedOptions o;
+      o.algo = algo;
+      o.kind = kind;
+      o.schedule = Schedule::kStatic;
+      const auto want = masked_spgemm<PlusTimes<VT>>(g, g, g, o);
+      o.schedule = Schedule::kFlopBalanced;
+      const auto got = masked_spgemm<PlusTimes<VT>>(g, g, g, o);
+      EXPECT_EQ(want, got) << to_string(algo) << "/" << to_string(kind);
+
+      // Warm-plan path: cached partition carries the block widths.
+      auto plan = masked_plan<PlusTimes<VT>>(g, g, g, o);
+      EXPECT_EQ(want, plan.execute()) << to_string(algo) << " cold";
+      EXPECT_EQ(want, plan.execute()) << to_string(algo) << " warm";
     }
   }
 }

@@ -1,0 +1,170 @@
+// BatchExecutor: moldable policy, both lanes, stats, aliasing, error
+// propagation and the executor-batched apps.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <stdexcept>
+#include <vector>
+
+#include "apps/bc.hpp"
+#include "apps/bfs.hpp"
+#include "core/masked_spgemm.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/rmat.hpp"
+#include "matrix/ops.hpp"
+#include "runtime/batch.hpp"
+
+using namespace msx;
+
+using IT = int32_t;
+using VT = double;
+using SR = PlusTimes<VT>;
+using Mat = CSRMatrix<IT, VT>;
+using Exec = BatchExecutor<SR, IT, VT>;
+
+TEST(MoldableShape, ThresholdSplitsSmallAndWide) {
+  EXPECT_EQ(moldable_shape(10.0, 100.0), JobShape::kSmall);
+  EXPECT_EQ(moldable_shape(100.0, 100.0), JobShape::kWide);
+  EXPECT_EQ(moldable_shape(1e12, 100.0), JobShape::kWide);
+  // Non-positive threshold forces the small lane.
+  EXPECT_EQ(moldable_shape(1e12, 0.0), JobShape::kSmall);
+}
+
+TEST(BatchExecutor, SmallJobsMatchDirectCalls) {
+  BatchLimits limits;
+  limits.pool_threads = 4;
+  Exec exec(limits);
+  const auto a = erdos_renyi<IT, VT>(120, 120, 5, 1);
+  const auto b = erdos_renyi<IT, VT>(120, 120, 5, 2);
+  const auto m = erdos_renyi<IT, VT>(120, 120, 7, 3);
+  const auto want = masked_spgemm<SR>(a, b, m);
+
+  std::vector<std::future<Mat>> futures;
+  for (int i = 0; i < 16; ++i) futures.push_back(exec.submit(a, b, m));
+  for (auto& f : futures) EXPECT_TRUE(f.get() == want);
+
+  exec.wait_idle();  // bookkeeping settles after the futures
+  const auto st = exec.stats();
+  EXPECT_EQ(st.submitted, 16u);
+  EXPECT_EQ(st.completed, 16u);
+  EXPECT_EQ(st.small_jobs, 16u);
+  EXPECT_EQ(st.wide_jobs, 0u);
+  EXPECT_GE(st.cache.hits, 1u);
+}
+
+TEST(BatchExecutor, WideJobsMatchDirectCalls) {
+  BatchLimits limits;
+  limits.pool_threads = 4;
+  limits.wide_work_threshold = 1.0;  // everything is wide
+  Exec exec(limits);
+  const auto a = erdos_renyi<IT, VT>(300, 300, 8, 4);
+  const auto m = erdos_renyi<IT, VT>(300, 300, 8, 5);
+  const auto want = masked_spgemm<SR>(a, a, m);
+
+  std::vector<std::future<Mat>> futures;
+  for (int i = 0; i < 6; ++i) futures.push_back(exec.submit(a, a, m));
+  for (auto& f : futures) EXPECT_TRUE(f.get() == want);
+  const auto st = exec.stats();
+  EXPECT_EQ(st.wide_jobs, 6u);
+  EXPECT_EQ(st.small_jobs, 0u);
+}
+
+TEST(BatchExecutor, FullyAliasedOperandsWork) {
+  Exec exec;
+  const auto a = erdos_renyi<IT, VT>(100, 100, 6, 6);
+  const auto want = masked_spgemm<SR>(a, a, a);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(exec.submit(a, a, a).get() == want);
+  }
+  EXPECT_GE(exec.stats().cache.hits, 3u);
+}
+
+TEST(BatchExecutor, ValueRefreshAcrossRepeatedStructure) {
+  Exec exec;
+  const auto b = erdos_renyi<IT, VT>(90, 90, 5, 7);
+  const auto m = erdos_renyi<IT, VT>(90, 90, 6, 8);
+  Mat a = erdos_renyi<IT, VT>(90, 90, 5, 9);
+  for (int round = 0; round < 4; ++round) {
+    for (auto& v : a.mutable_values()) v += static_cast<double>(round);
+    const auto want = masked_spgemm<SR>(a, b, m);
+    EXPECT_TRUE(exec.submit(a, b, m).get() == want) << round;
+  }
+}
+
+TEST(BatchExecutor, OptionVariantsAreIndependentlyCached) {
+  Exec exec;
+  const auto a = erdos_renyi<IT, VT>(110, 110, 6, 10);
+  const auto m = erdos_renyi<IT, VT>(110, 110, 7, 11);
+  for (auto algo : {MaskedAlgo::kMSA, MaskedAlgo::kHash, MaskedAlgo::kHeap}) {
+    for (auto kind : {MaskKind::kMask, MaskKind::kComplement}) {
+      MaskedOptions o;
+      o.algo = algo;
+      o.kind = kind;
+      const auto want = masked_spgemm<SR>(a, a, m, o);
+      EXPECT_TRUE(exec.submit(a, a, m, o).get() == want)
+          << to_string(algo) << "/" << to_string(kind);
+    }
+  }
+  EXPECT_EQ(exec.stats().cache.misses, 6u);
+}
+
+TEST(BatchExecutor, ErrorsSurfaceAtFutureGet) {
+  Exec exec;
+  const auto a = erdos_renyi<IT, VT>(50, 50, 4, 12);
+  const auto bad = erdos_renyi<IT, VT>(40, 40, 4, 13);  // dimension mismatch
+  auto f = exec.submit(a, bad, a);
+  EXPECT_THROW(f.get(), std::invalid_argument);
+  // MCA × complement is rejected by the registry.
+  MaskedOptions o;
+  o.algo = MaskedAlgo::kMCA;
+  o.kind = MaskKind::kComplement;
+  auto f2 = exec.submit(a, a, a, o);
+  EXPECT_THROW(f2.get(), std::invalid_argument);
+  exec.wait_idle();
+  EXPECT_EQ(exec.stats().completed, 2u);
+}
+
+TEST(BatchExecutor, DisabledPlanCachePlansEveryJob) {
+  BatchLimits limits;
+  limits.cache_plans = false;
+  Exec exec(limits);
+  const auto a = erdos_renyi<IT, VT>(80, 80, 5, 14);
+  const auto want = masked_spgemm<SR>(a, a, a);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(exec.submit(a, a, a).get() == want);
+  EXPECT_EQ(exec.stats().cache.hits, 0u);
+}
+
+TEST(BatchedBC, MatchesMonolithicBC) {
+  const auto graph = symmetrize_pattern(rmat<IT, VT>(7, 77));
+  std::vector<IT> sources;
+  for (IT q = 0; q < 12; ++q) {
+    sources.push_back(static_cast<IT>((q * 37) % graph.nrows()));
+  }
+  MaskedOptions opts;
+  opts.algo = MaskedAlgo::kMSA;
+  const auto want = betweenness_centrality(graph, sources, opts);
+
+  BatchExecutor<PlusTimes<double>, IT, double> exec;
+  const auto got = betweenness_centrality(graph, sources, exec, 4, opts);
+  ASSERT_EQ(got.centrality.size(), want.centrality.size());
+  EXPECT_EQ(got.depth, want.depth);
+  for (std::size_t v = 0; v < want.centrality.size(); ++v) {
+    EXPECT_DOUBLE_EQ(got.centrality[v], want.centrality[v]) << v;
+  }
+}
+
+TEST(BatchedBFS, MatchesMonolithicBFS) {
+  const auto graph = rmat<IT, VT>(8, 99);
+  std::vector<IT> sources;
+  for (IT q = 0; q < 10; ++q) {
+    sources.push_back(static_cast<IT>((q * 53 + 5) % graph.nrows()));
+  }
+  MaskedOptions opts;
+  opts.algo = MaskedAlgo::kHash;
+  const auto want = multi_source_bfs(graph, sources, opts);
+
+  BatchExecutor<PlusPair<std::int64_t>, IT, std::int64_t> exec;
+  const auto got = multi_source_bfs(graph, sources, exec, 3, opts);
+  EXPECT_EQ(got.depth, want.depth);
+  EXPECT_EQ(got.levels, want.levels);
+}

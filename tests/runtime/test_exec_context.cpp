@@ -1,0 +1,106 @@
+// ExecContext: serial/OpenMP/arena loops must cover every index exactly
+// once, hand out in-range slots, and honour block boundaries.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "common/exec_context.hpp"
+#include "runtime/thread_pool.hpp"
+
+using namespace msx;
+
+namespace {
+
+void check_rows_covered(const ExecContext& ctx, int concurrency) {
+  constexpr int kRows = 500;
+  std::vector<std::atomic<int>> hits(kRows);
+  ctx.for_rows(kRows, Schedule::kDynamic, 0, [&](int slot, int i) {
+    EXPECT_GE(slot, 0);
+    EXPECT_LT(slot, concurrency);
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (int i = 0; i < kRows; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << i;
+  }
+}
+
+void check_blocks_covered(const ExecContext& ctx, int concurrency) {
+  const std::vector<std::int64_t> bounds{0, 3, 3, 10, 64, 100};
+  std::vector<std::atomic<int>> hits(100);
+  std::atomic<int> blocks_seen{0};
+  ctx.for_block_ranges<int>(bounds, [&](int slot, int blk, int lo, int hi) {
+    EXPECT_GE(slot, 0);
+    EXPECT_LT(slot, concurrency);
+    EXPECT_GE(blk, 0);
+    EXPECT_LT(blk, 5);
+    EXPECT_EQ(lo, static_cast<int>(bounds[static_cast<std::size_t>(blk)]));
+    EXPECT_EQ(hi, static_cast<int>(bounds[static_cast<std::size_t>(blk) + 1]));
+    blocks_seen.fetch_add(1);
+    for (int i = lo; i < hi; ++i) hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  EXPECT_EQ(blocks_seen.load(), 5);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << i;
+  }
+}
+
+}  // namespace
+
+TEST(ExecContext, SerialCoversEverything) {
+  const auto ctx = ExecContext::serial();
+  EXPECT_TRUE(ctx.is_serial());
+  EXPECT_EQ(ctx.concurrency(), 1);
+  EXPECT_EQ(ctx.concurrency(8), 1);  // threads override is OpenMP-only
+  check_rows_covered(ctx, 1);
+  check_blocks_covered(ctx, 1);
+}
+
+TEST(ExecContext, OpenMPCoversEverything) {
+  const auto& ctx = ExecContext::openmp();
+  EXPECT_TRUE(ctx.is_openmp());
+  EXPECT_EQ(ctx.concurrency(), max_threads());
+  EXPECT_EQ(ctx.concurrency(3), 3);
+  check_rows_covered(ctx, max_threads());
+  check_blocks_covered(ctx, max_threads());
+}
+
+TEST(ExecContext, ArenaCoversEverything) {
+  ThreadPool pool(3);
+  const auto ctx = ExecContext::arena(pool);
+  EXPECT_FALSE(ctx.is_openmp());
+  EXPECT_FALSE(ctx.is_serial());
+  EXPECT_EQ(ctx.concurrency(), pool.size() + 1);
+  check_rows_covered(ctx, pool.size() + 1);
+  check_blocks_covered(ctx, pool.size() + 1);
+}
+
+TEST(ExecContext, EmptyRangesAreNoOps) {
+  ThreadPool pool(2);
+  for (const auto& ctx :
+       {ExecContext::serial(), ExecContext::arena(pool)}) {
+    int calls = 0;
+    ctx.for_rows(0, Schedule::kStatic, 0, [&](int, int) { ++calls; });
+    ctx.for_block_ranges<int>(std::vector<std::int64_t>{},
+                              [&](int, int, int, int) { ++calls; });
+    ctx.for_block_ranges<int>(std::vector<std::int64_t>{0},
+                              [&](int, int, int, int) { ++calls; });
+    EXPECT_EQ(calls, 0);
+  }
+}
+
+TEST(ExecContext, ArenaIgnoresChunkOverrideButCoversEverything) {
+  // The chunk knob is an OpenMP tuning parameter; arena mode ignores it
+  // (a tiny chunk would serialize the shared counter) but must still cover
+  // each row exactly once.
+  ThreadPool pool(2);
+  const auto ctx = ExecContext::arena(pool);
+  constexpr int kRows = 97;
+  std::vector<std::atomic<int>> hits(kRows);
+  ctx.for_rows(kRows, Schedule::kDynamic, 1, [&](int, int i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (int i = 0; i < kRows; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << i;
+  }
+}
