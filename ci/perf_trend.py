@@ -31,7 +31,8 @@ HIGHER_BETTER_MARKERS = ("speedup", "rate", "per_sec", "gflops", "teps")
 # Config drift (runner core count, workload size) is reported as a warning
 # instead of being gated as if the code got slower.
 CONFIG_FIELDS = ("jobs", "structures", "scale", "pool_threads", "threads",
-                 "reps", "warmup", "scale_shift", "batch", "sources", "k")
+                 "reps", "warmup", "scale_shift", "batch", "sources", "k",
+                 "shards", "clients", "requests")
 
 
 def is_higher_better(field):

@@ -257,6 +257,28 @@ class MaskedPlan {
   // Block count of the cached partition (0 when none is cached).
   int partition_blocks() const { return partition_.partition.blocks(); }
 
+  // Bytes this plan holds onto between executes: operand copies, the CSC
+  // copy of B plus its refresh permutation, the owned mask pattern, the
+  // two-phase symbolic rowptr and the row partition. Per-thread accumulator
+  // scratch is excluded (it is sized by the run context, pooled in the
+  // kernel, and reclaimable via reset_workspaces()). This is the unit the
+  // PlanCache's byte budget accounts in.
+  std::size_t resident_bytes() const {
+    auto vec_bytes = [](const auto& v) {
+      return v.capacity() * sizeof(v[0]);
+    };
+    std::size_t n = sizeof(*this) + sizeof(Operands);
+    n += ops_->a.storage_bytes();
+    if (!ops_->b_is_a) n += ops_->b_storage.storage_bytes();
+    n += ops_->b_csc.storage_bytes();
+    n += vec_bytes(ops_->csc_perm);
+    n += vec_bytes(ops_->mask_rowptr) + vec_bytes(ops_->mask_colidx);
+    n += vec_bytes(symbolic_.rowptr);
+    n += vec_bytes(partition_.partition.block_start) +
+         vec_bytes(partition_.partition.block_width);
+    return n;
+  }
+
  private:
   using Registry = KernelRegistry<SR, IT, VT>;
 

@@ -52,6 +52,12 @@ class CSCMatrix {
   // cached CSC copy of B in sync after execute_values().
   std::span<VT> mutable_values() { return values_; }
 
+  // Bytes held by the index/value arrays (PlanCache byte accounting).
+  std::size_t storage_bytes() const {
+    return colptr_.capacity() * sizeof(IT) + rowidx_.capacity() * sizeof(IT) +
+           values_.capacity() * sizeof(VT);
+  }
+
   IT col_nnz(IT j) const {
     MSX_ASSERT(j >= 0 && j < ncols_);
     return colptr_[static_cast<std::size_t>(j) + 1] -

@@ -81,6 +81,14 @@ class CSRMatrix {
                    std::span<const VT>(values_.data() + lo, hi - lo)};
   }
 
+  // Bytes held by the index/value arrays — the serialization and cache
+  // accounting hook (wire protocol payload sizing, PlanCache byte budget,
+  // executor admission control).
+  std::size_t storage_bytes() const {
+    return rowptr_.capacity() * sizeof(IT) + colidx_.capacity() * sizeof(IT) +
+           values_.capacity() * sizeof(VT);
+  }
+
   // Structural + value equality (shape, pattern, values).
   friend bool operator==(const CSRMatrix& a, const CSRMatrix& b) {
     return a.nrows_ == b.nrows_ && a.ncols_ == b.ncols_ &&

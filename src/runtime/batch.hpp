@@ -32,6 +32,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -57,6 +58,26 @@ enum class JobShape {
 // <= 0 forces everything small (useful to benchmark the lanes separately).
 JobShape moldable_shape(double estimated_work, double threshold);
 
+// What submit() does when the executor is at its admission limits
+// (max_pending_jobs / max_pending_bytes): block the caller until capacity
+// frees up, or reject immediately with BatchRejected. A service front end
+// wants kReject (turn overload into a cheap wire-level "overloaded" response
+// the router can failover on); embedded callers usually want kBlock.
+enum class AdmissionPolicy {
+  kBlock,
+  kReject,
+};
+
+// Thrown by submit()/submit_shared() under AdmissionPolicy::kReject when the
+// executor is at capacity. The job was NOT enqueued (and is not counted in
+// stats().submitted).
+class BatchRejected : public std::runtime_error {
+ public:
+  BatchRejected()
+      : std::runtime_error(
+            "BatchExecutor: admission limits reached (back-pressure)") {}
+};
+
 struct BatchLimits {
   // Pool worker count; <= 0 picks the OpenMP default (max_threads()).
   int pool_threads = 0;
@@ -70,6 +91,17 @@ struct BatchLimits {
   double wide_work_threshold = kAutoScheduleTinyWork;
   // Disable to plan every job from scratch (ablation / memory ceiling).
   bool cache_plans = true;
+  // Plan-cache byte budget: bytes the cached plans may hold (operand copies,
+  // CSC of B, symbolic rowptr, partition) before LRU eviction kicks in even
+  // under the entry-count capacity. 0 = entry-count LRU only.
+  std::size_t plan_cache_bytes = 0;
+  // Bounded-queue admission: maximum in-flight jobs (submitted, not yet
+  // completed) and in-flight operand bytes. 0 = unbounded. A single job
+  // larger than max_pending_bytes is still admitted when it is alone, so an
+  // oversized request degrades to serialization instead of deadlock.
+  std::size_t max_pending_jobs = 0;
+  std::size_t max_pending_bytes = 0;
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
 };
 
 struct BatchStats {
@@ -77,6 +109,10 @@ struct BatchStats {
   std::uint64_t completed = 0;
   std::uint64_t small_jobs = 0;
   std::uint64_t wide_jobs = 0;
+  std::uint64_t rejected = 0;          // kReject admissions refused
+  std::uint64_t admission_blocks = 0;  // kBlock submits that had to wait
+  std::uint64_t pending_jobs = 0;      // in-flight gauge at snapshot time
+  std::uint64_t pending_bytes = 0;     // in-flight operand bytes gauge
   PlanCacheStats cache;
 };
 
@@ -90,7 +126,7 @@ class BatchExecutor {
   explicit BatchExecutor(const BatchLimits& limits = {})
       : limits_(limits),
         pool_(limits.pool_threads),
-        cache_(limits.plan_cache_capacity),
+        cache_(limits.plan_cache_capacity, limits.plan_cache_bytes),
         wide_thread_([this] { wide_loop(); }) {}
 
   // Drains every submitted job, then shuts the lanes down.
@@ -156,6 +192,17 @@ class BatchExecutor {
                                    static_cast<double>(b->nrows())),
         limits_.wide_work_threshold);
 
+    // Operand bytes this job keeps alive while in flight (aliases counted
+    // once) — the unit of the byte-bounded admission policy.
+    std::size_t job_bytes = a->storage_bytes();
+    if (static_cast<const void*>(b.get()) != static_cast<const void*>(a.get()))
+      job_bytes += b->storage_bytes();
+    if (static_cast<const void*>(m.get()) !=
+            static_cast<const void*>(a.get()) &&
+        static_cast<const void*>(m.get()) != static_cast<const void*>(b.get()))
+      job_bytes += m->storage_bytes();
+    admit(job_bytes);
+
     auto task = std::make_shared<std::packaged_task<output_matrix()>>(
         [this, shape, a, b, m, opts]() -> output_matrix {
           const auto& ra = *a;
@@ -176,7 +223,6 @@ class BatchExecutor {
 
     {
       std::lock_guard<std::mutex> lock(mu_);
-      ++outstanding_;
       ++stats_.submitted;
       if (shape == JobShape::kSmall) {
         ++stats_.small_jobs;
@@ -184,9 +230,9 @@ class BatchExecutor {
         ++stats_.wide_jobs;
       }
     }
-    auto wrapped = [this, task] {
+    auto wrapped = [this, task, job_bytes] {
       (*task)();
-      job_done();
+      job_done(job_bytes);
     };
     if (shape == JobShape::kSmall) {
       pool_.submit_detached(std::move(wrapped));
@@ -214,6 +260,8 @@ class BatchExecutor {
     {
       std::lock_guard<std::mutex> lock(mu_);
       out = stats_;
+      out.pending_jobs = outstanding_;
+      out.pending_bytes = pending_bytes_;
     }
     out.cache = cache_.stats();
     return out;
@@ -252,10 +300,41 @@ class BatchExecutor {
         a.values(), b_aliases_a ? std::span<const VT>{} : b.values(), ctx);
   }
 
-  void job_done() {
+  // Admission control (back-pressure): reserves an in-flight slot and the
+  // job's operand bytes, blocking or throwing BatchRejected at the limits.
+  // A byte-bounded executor still admits an oversized job once it is alone
+  // (outstanding_ == 0), so limits degrade throughput, never liveness.
+  void admit(std::size_t job_bytes) {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto over = [&] {
+      if (limits_.max_pending_jobs > 0 &&
+          outstanding_ >= limits_.max_pending_jobs) {
+        return true;
+      }
+      if (limits_.max_pending_bytes > 0 && outstanding_ > 0 &&
+          pending_bytes_ + job_bytes > limits_.max_pending_bytes) {
+        return true;
+      }
+      return false;
+    };
+    if (over()) {
+      if (limits_.admission == AdmissionPolicy::kReject) {
+        ++stats_.rejected;
+        throw BatchRejected();
+      }
+      ++stats_.admission_blocks;
+      admit_cv_.wait(lock, [&] { return !over(); });
+    }
+    ++outstanding_;
+    pending_bytes_ += job_bytes;
+  }
+
+  void job_done(std::size_t job_bytes) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.completed;
+    pending_bytes_ -= job_bytes;
     if (--outstanding_ == 0) idle_cv_.notify_all();
+    admit_cv_.notify_all();
   }
 
   // The wide lane: one job at a time, each cooperatively executed by the
@@ -282,9 +361,11 @@ class BatchExecutor {
   mutable std::mutex mu_;
   std::condition_variable idle_cv_;
   std::condition_variable wide_cv_;
+  std::condition_variable admit_cv_;
   std::deque<std::function<void()>> wide_queue_;
   bool wide_stop_ = false;
   std::uint64_t outstanding_ = 0;
+  std::size_t pending_bytes_ = 0;
   BatchStats stats_;
 
   std::thread wide_thread_;

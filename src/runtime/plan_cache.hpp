@@ -57,6 +57,7 @@ struct PlanCacheStats {
   std::uint64_t grows = 0;       // known structure, all instances busy
   std::uint64_t evictions = 0;   // entries dropped by the LRU policy
   std::uint64_t instances = 0;   // plans currently owned by the cache
+  std::uint64_t bytes_held = 0;  // resident bytes of those plans
 
   double hit_rate() const {
     const auto total = hits + misses + grows;
@@ -162,15 +163,23 @@ class PlanCache {
  public:
   using Plan = MaskedPlan<SR, IT, VT>;
 
-  explicit PlanCache(std::size_t capacity = 64)
-      : index_(capacity == 0 ? 1 : capacity) {}
+  // `capacity` bounds distinct structure keys (entry-count LRU); a non-zero
+  // `byte_budget` additionally bounds the resident bytes the cached plans
+  // hold (operand copies + CSC + symbolic/partition caches) — the LRU walk
+  // then evicts cold entries until back under BOTH limits, which is what
+  // keeps a cache of a few wide matrices from dwarfing a cache of many small
+  // ones (ROADMAP: plan-cache memory budget).
+  explicit PlanCache(std::size_t capacity = 64, std::size_t byte_budget = 0)
+      : index_(capacity == 0 ? 1 : capacity), byte_budget_(byte_budget) {}
 
   // One cached plan plus its lease flag. shared_ptr-managed so an entry can
   // be evicted while an instance is still leased out — the lease keeps the
   // plan alive and simply drops it on release.
   struct Instance {
     std::unique_ptr<Plan> plan;
-    bool busy = false;  // guarded by the cache mutex
+    bool busy = false;       // guarded by the cache mutex
+    bool owned = false;      // still in the cache (false once evicted)
+    std::size_t bytes = 0;   // last resident_bytes() the stats account for
   };
 
   // Exclusive handle on one plan instance. Move-only; returns the instance
@@ -203,7 +212,18 @@ class PlanCache {
 
     void release() {
       if (cache_ != nullptr && rec_ != nullptr) {
+        // The first execute() lazily builds the symbolic rowptr and the row
+        // partition, so the plan is heavier now than at insert; re-measure
+        // while the caller hands it back so the byte budget accounts what
+        // the cache really holds (skipped once evicted — those bytes were
+        // already written off).
+        const std::size_t bytes = rec_->plan->resident_bytes();
         std::lock_guard<std::mutex> lock(cache_->mu_);
+        if (rec_->owned) {
+          cache_->stats_.bytes_held += bytes;
+          cache_->stats_.bytes_held -= rec_->bytes;
+          rec_->bytes = bytes;
+        }
         rec_->busy = false;
       }
       cache_ = nullptr;
@@ -243,6 +263,7 @@ class PlanCache {
     auto rec = std::make_shared<Instance>();
     rec->plan = std::make_unique<Plan>(a, b, m, opts);
     rec->busy = true;
+    rec->bytes = rec->plan->resident_bytes();
 
     std::vector<std::shared_ptr<Instance>> evicted;
     {
@@ -255,8 +276,10 @@ class PlanCache {
         }
         slots_[static_cast<std::size_t>(slot)].instances.clear();
       }
+      rec->owned = true;
       slots_[static_cast<std::size_t>(slot)].instances.push_back(rec);
       ++stats_.instances;
+      stats_.bytes_held += rec->bytes;
       evict_locked(evicted);
     }
     // Evicted plans are destroyed here, outside the lock.
@@ -269,6 +292,7 @@ class PlanCache {
   }
 
   std::size_t capacity() const { return index_.capacity(); }
+  std::size_t byte_budget() const { return byte_budget_; }
 
   // Drops every idle instance and empty entry (busy instances survive until
   // their lease returns; their entries stay).
@@ -287,21 +311,33 @@ class PlanCache {
     std::vector<std::shared_ptr<Instance>> instances;
   };
 
-  // Must hold mu_. Walks slots LRU-first while over capacity; an entry is
-  // evictable only when none of its instances is leased out, so a busy LRU
-  // entry lets the cache exceed capacity softly rather than blocking.
+  // Must hold mu_. True while either limit (entry count, byte budget) is
+  // exceeded.
+  bool over_limits_locked() const {
+    if (index_.size() > index_.capacity()) return true;
+    return byte_budget_ > 0 && stats_.bytes_held > byte_budget_;
+  }
+
+  // Must hold mu_. Walks slots LRU-first while over the entry-count capacity
+  // or the byte budget; an entry is evictable only when none of its
+  // instances is leased out, so a busy LRU entry lets the cache exceed its
+  // limits softly rather than blocking.
   void evict_locked(
       std::vector<std::shared_ptr<Instance>>& evicted) {
-    if (index_.size() <= index_.capacity()) return;
+    if (!over_limits_locked()) return;
     for (std::int64_t cand : index_.slots_lru()) {
-      if (index_.size() <= index_.capacity()) break;
+      if (!over_limits_locked()) break;
       auto& slot = slots_[static_cast<std::size_t>(cand)];
       bool busy = false;
       for (const auto& rec : slot.instances) busy = busy || rec->busy;
       if (busy) continue;
       stats_.instances -= slot.instances.size();
       ++stats_.evictions;
-      for (auto& rec : slot.instances) evicted.push_back(std::move(rec));
+      for (auto& rec : slot.instances) {
+        stats_.bytes_held -= rec->bytes;
+        rec->owned = false;
+        evicted.push_back(std::move(rec));
+      }
       slot.instances.clear();
       index_.erase_slot(cand);
     }
@@ -315,12 +351,17 @@ class PlanCache {
     for (const auto& rec : slot.instances) busy = busy || rec->busy;
     if (busy) return;
     stats_.instances -= slot.instances.size();
-    for (auto& rec : slot.instances) dropped.push_back(std::move(rec));
+    for (auto& rec : slot.instances) {
+      stats_.bytes_held -= rec->bytes;
+      rec->owned = false;
+      dropped.push_back(std::move(rec));
+    }
     slot.instances.clear();
     index_.erase_slot(cand);
   }
 
   detail::PlanCacheIndex index_;
+  std::size_t byte_budget_ = 0;
   std::vector<Slot> slots_;
   mutable std::mutex mu_;
   PlanCacheStats stats_;

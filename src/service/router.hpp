@@ -1,0 +1,292 @@
+// ShardRouter — fingerprint-affinity client for a fleet of ServiceShards
+// (ISSUE 4 tentpole).
+//
+// The router computes the PlanCache's 128-bit structure fingerprint
+// client-side (runtime/plan_cache.hpp: plan_fingerprint over operand
+// structure, aliasing and options) and consistent-hashes it across the
+// shards. Repeated structures therefore always land on the same shard —
+// whose PlanCache already holds the warm CSC-of-B, symbolic rowptr and
+// partition for them — which is the distributed analogue of plan reuse:
+// who owns which operand structure dominates performance at scale (Buluç &
+// Gilbert), and for masked products ownership means plan affinity.
+//
+// The ring is classic consistent hashing: each shard owns `vnodes` points;
+// a key is served by the first point clockwise from its hash. Failover is
+// rehash-by-walk: a down shard's points are skipped, so its keys spill to
+// the next shard on the ring (and only its keys — everyone else's affinity
+// is untouched). A shard is marked down automatically on transport failure;
+// kOverloaded responses reroute the one request without poisoning affinity.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/options.hpp"
+#include "matrix/csr.hpp"
+#include "runtime/plan_cache.hpp"
+#include "service/transport.hpp"
+#include "service/wire.hpp"
+
+namespace msx::service {
+
+// How the router reaches one shard: a name for reporting plus a dialer
+// (loopback listener connect, connect_unix, connect_tcp, ...).
+struct ShardEndpoint {
+  std::string name;
+  std::function<std::unique_ptr<Stream>()> connect;
+};
+
+struct RouterConfig {
+  // Ring points per shard. More vnodes = smoother key spread across shards
+  // (64 keeps the max/min load ratio tight without bloating the ring).
+  int vnodes = 64;
+};
+
+struct RouterStats {
+  std::vector<std::uint64_t> routed;   // completed requests per shard
+  std::uint64_t failovers = 0;         // transport/wire failures rerouted
+  std::uint64_t overload_reroutes = 0; // kOverloaded answers rerouted
+  std::uint64_t down_marks = 0;        // shards auto-marked down
+};
+
+// Maps a fingerprint (or any point) to a shard, skipping flagged shards.
+// Deterministic across processes: the ring depends only on (nshards,
+// vnodes). Not thread-safe by itself — the router serializes access.
+class ConsistentHashRing {
+ public:
+  ConsistentHashRing(std::size_t nshards, int vnodes);
+
+  // First shard clockwise from `point` whose skip flag is 0; -1 when every
+  // shard is skipped.
+  int pick(std::uint64_t point, const std::vector<char>& skip) const;
+
+  std::size_t nshards() const { return nshards_; }
+
+ private:
+  struct VNode {
+    std::uint64_t point;
+    std::uint32_t shard;
+  };
+  std::vector<VNode> ring_;
+  std::size_t nshards_;
+};
+
+// Folds the 128-bit fingerprint into the ring's 64-bit point space.
+std::uint64_t ring_point(const PlanKey& key);
+
+template <class SR, class IT, class VT>
+class ShardRouter {
+ public:
+  using Mat = CSRMatrix<IT, VT>;
+  using output_matrix = CSRMatrix<IT, typename SR::value_type>;
+
+  explicit ShardRouter(std::vector<ShardEndpoint> endpoints,
+                       RouterConfig cfg = {})
+      : endpoints_(std::move(endpoints)),
+        ring_(endpoints_.size(), cfg.vnodes),
+        down_(endpoints_.size(), 0),
+        pools_(endpoints_.size()) {
+    check_arg(!endpoints_.empty(), "ShardRouter: no shard endpoints");
+    routed_.assign(endpoints_.size(), 0);
+  }
+
+  // C = M .* (A·B) (or the complemented form) served by the shard owning
+  // this structure fingerprint. Bit-identical to a local masked_spgemm with
+  // the same options. Throws std::invalid_argument on a kBadRequest answer
+  // (mirroring the local API), std::runtime_error on kInternalError, and
+  // TransportError once every shard has been tried without success.
+  output_matrix request(const Mat& a, const Mat& b, const Mat& m,
+                        const MaskedOptions& opts = {}) {
+    const PlanKey key = plan_fingerprint(a, b, m, opts);
+    const auto payload = encode_request(a, b, m, opts);
+    const std::uint64_t rid =
+        next_rid_.fetch_add(1, std::memory_order_relaxed);
+
+    std::vector<char> skip = down_snapshot();
+    for (;;) {
+      const int shard = ring_.pick(ring_point(key), skip);
+      if (shard < 0) {
+        throw TransportError("ShardRouter: no shard could serve the request");
+      }
+      const auto i = static_cast<std::size_t>(shard);
+      WireResponse<IT, typename SR::value_type> resp;
+      try {
+        const auto reply =
+            exchange(i, MessageType::kRequest, rid, payload);
+        resp = decode_response<IT, typename SR::value_type>(reply);
+      } catch (const TransportError&) {
+        mark_down(i);
+        skip[i] = 1;
+        count_failover(/*overload=*/false);
+        continue;
+      } catch (const WireError&) {
+        // Garbled reply: treat the shard as unhealthy, reroute.
+        mark_down(i);
+        skip[i] = 1;
+        count_failover(/*overload=*/false);
+        continue;
+      }
+      switch (resp.status) {
+        case WireStatus::kOk: {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++routed_[i];
+          return std::move(resp.result);
+        }
+        case WireStatus::kOverloaded:
+          // Back-pressure: this one request spills over; affinity for the
+          // structure is unchanged (the shard stays up on the ring).
+          skip[i] = 1;
+          count_failover(/*overload=*/true);
+          continue;
+        case WireStatus::kBadRequest:
+          throw std::invalid_argument(resp.message);
+        case WireStatus::kInternalError:
+          throw std::runtime_error(resp.message);
+      }
+      throw WireError("wire: unhandled response status");
+    }
+  }
+
+  // The shard the ring currently assigns this request to (no I/O) — the
+  // affinity probe the tests and the demo report on.
+  int route(const Mat& a, const Mat& b, const Mat& m,
+            const MaskedOptions& opts = {}) const {
+    return ring_.pick(ring_point(plan_fingerprint(a, b, m, opts)),
+                      down_snapshot());
+  }
+
+  // Reads a shard's counters over the wire (kStatsRequest).
+  ServiceStats shard_stats(std::size_t shard) {
+    check_arg(shard < endpoints_.size(), "ShardRouter: shard out of range");
+    const std::uint64_t rid =
+        next_rid_.fetch_add(1, std::memory_order_relaxed);
+    const auto reply = exchange(shard, MessageType::kStatsRequest, rid, {});
+    return decode_stats(reply);
+  }
+
+  void mark_down(std::size_t shard) {
+    check_arg(shard < endpoints_.size(), "ShardRouter: shard out of range");
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (!down_[shard]) {
+      down_[shard] = 1;
+      ++down_marks_;
+    }
+    // Pooled connections to a down shard are stale; drop them so mark_up
+    // starts fresh.
+    std::lock_guard<std::mutex> pool_lock(pools_[shard].mu);
+    pools_[shard].idle.clear();
+  }
+
+  void mark_up(std::size_t shard) {
+    check_arg(shard < endpoints_.size(), "ShardRouter: shard out of range");
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    down_[shard] = 0;
+  }
+
+  bool is_down(std::size_t shard) const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return down_[shard] != 0;
+  }
+
+  RouterStats stats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    RouterStats out;
+    out.routed = routed_;
+    out.failovers = failovers_;
+    out.overload_reroutes = overload_reroutes_;
+    out.down_marks = down_marks_;
+    return out;
+  }
+
+  std::size_t num_shards() const { return endpoints_.size(); }
+  const std::string& shard_name(std::size_t i) const {
+    return endpoints_[i].name;
+  }
+
+ private:
+  struct ConnPool {
+    std::mutex mu;
+    std::vector<std::unique_ptr<Stream>> idle;
+  };
+
+  std::vector<char> down_snapshot() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return down_;
+  }
+
+  void count_failover(bool overload) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (overload) {
+      ++overload_reroutes_;
+    } else {
+      ++failovers_;
+    }
+  }
+
+  // One request/response exchange on a pooled connection. The connection is
+  // returned to the pool only after a clean exchange; any failure discards
+  // it (its stream state is unknown) and rethrows for the failover path.
+  std::vector<std::uint8_t> exchange(std::size_t shard, MessageType type,
+                                     std::uint64_t rid,
+                                     std::span<const std::uint8_t> payload) {
+    auto stream = checkout(shard);
+    FrameHeader header;
+    std::vector<std::uint8_t> reply;
+    send_frame(*stream, type, rid, payload);
+    if (!recv_frame(*stream, header, reply)) {
+      throw TransportError("ShardRouter: shard closed the connection");
+    }
+    if (header.request_id != rid) {
+      throw WireError("wire: response id mismatch");
+    }
+    const MessageType want = type == MessageType::kStatsRequest
+                                 ? MessageType::kStatsResponse
+                                 : MessageType::kResponse;
+    if (header.type != want) {
+      throw WireError("wire: unexpected response type");
+    }
+    checkin(shard, std::move(stream));
+    return reply;
+  }
+
+  std::unique_ptr<Stream> checkout(std::size_t shard) {
+    {
+      std::lock_guard<std::mutex> lock(pools_[shard].mu);
+      if (!pools_[shard].idle.empty()) {
+        auto s = std::move(pools_[shard].idle.back());
+        pools_[shard].idle.pop_back();
+        return s;
+      }
+    }
+    auto s = endpoints_[shard].connect();
+    if (s == nullptr) {
+      throw TransportError("ShardRouter: dial failed: " +
+                           endpoints_[shard].name);
+    }
+    return s;
+  }
+
+  void checkin(std::size_t shard, std::unique_ptr<Stream> s) {
+    std::lock_guard<std::mutex> lock(pools_[shard].mu);
+    pools_[shard].idle.push_back(std::move(s));
+  }
+
+  std::vector<ShardEndpoint> endpoints_;
+  ConsistentHashRing ring_;
+  mutable std::mutex stats_mu_;
+  std::vector<char> down_;  // guarded by stats_mu_
+  std::vector<std::uint64_t> routed_;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t overload_reroutes_ = 0;
+  std::uint64_t down_marks_ = 0;
+  std::vector<ConnPool> pools_;
+  std::atomic<std::uint64_t> next_rid_{1};
+};
+
+}  // namespace msx::service

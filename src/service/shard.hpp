@@ -1,0 +1,323 @@
+// ServiceShard — one masked-SpGEMM server process (ISSUE 4 tentpole).
+//
+// A shard accepts framed requests over any Transport (loopback for tests
+// and co-located deployments, Unix/TCP sockets across processes/hosts) and
+// drains them through the concurrent runtime: every product request becomes
+// a BatchExecutor job, so a shard inherits the moldable small/wide policy,
+// the structure-keyed PlanCache, and — new in this PR — bounded-queue
+// admission. Under AdmissionPolicy::kReject a flooded shard answers
+// kOverloaded instead of queueing unboundedly, and the router fails the
+// request over to the next shard on the ring.
+//
+// Per connection: the reader thread decodes and submits requests and a
+// sender thread streams responses back in submission order, so a connection
+// can keep many requests in flight (the executor runs them concurrently)
+// while the wire stays a simple FIFO of frames. Request ids are echoed
+// verbatim; a kStatsRequest is answered in-line from the shard's counters,
+// which is how the router reads warm-hit rates for affinity accounting.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "runtime/batch.hpp"
+#include "service/transport.hpp"
+#include "service/wire.hpp"
+
+namespace msx::service {
+
+struct ShardConfig {
+  std::string name = "shard";
+  // Executor limits: pool size, plan-cache capacity/bytes, admission bounds.
+  // Service deployments typically set max_pending_jobs (and kReject) so
+  // overload turns into kOverloaded responses the router can reroute.
+  BatchLimits limits;
+};
+
+namespace detail {
+
+// Owns a shard's connections: each adopted stream plus the thread serving
+// it. Finished connections (serve callback returned) are reaped — joined
+// and freed, releasing the stream's fd — opportunistically on every adopt,
+// so a long-running shard cycling through short-lived connections stays
+// bounded. close() shuts every stream down (unblocking reader/sender
+// loops) and joins everything; streams adopted after close() are shut down
+// on arrival so a late accept cannot outlive stop(). Non-template
+// (shard.cpp).
+class ConnectionSet {
+ public:
+  ConnectionSet() = default;
+  ~ConnectionSet();
+  ConnectionSet(const ConnectionSet&) = delete;
+  ConnectionSet& operator=(const ConnectionSet&) = delete;
+
+  // Takes ownership of the stream and runs `serve(*stream)` on a new
+  // thread; both are reclaimed once serve returns.
+  void adopt(std::unique_ptr<Stream> s, std::function<void(Stream&)> serve);
+  // Auxiliary long-lived thread (a listener's accept loop); joined at
+  // close().
+  void add_thread(std::thread t);
+  void close();
+
+ private:
+  struct Conn {
+    std::unique_ptr<Stream> stream;
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
+  void reap_finished_locked();
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::vector<std::thread> threads_;
+  bool closed_ = false;
+};
+
+}  // namespace detail
+
+// Folds executor counters into the wire-level ones (shard.cpp).
+void fold_executor_stats(const BatchStats& exec_stats, ServiceStats& out);
+
+template <class SR, class IT, class VT>
+class ServiceShard {
+ public:
+  using Executor = BatchExecutor<SR, IT, VT>;
+  using Mat = CSRMatrix<IT, VT>;
+  using output_matrix = typename Executor::output_matrix;
+
+  explicit ServiceShard(ShardConfig cfg = {})
+      : cfg_(std::move(cfg)), exec_(cfg_.limits) {}
+
+  // Stops accepting, closes every connection, joins the serving threads and
+  // drains the executor.
+  ~ServiceShard() { stop(); }
+
+  ServiceShard(const ServiceShard&) = delete;
+  ServiceShard& operator=(const ServiceShard&) = delete;
+
+  // Adopts a connection and serves it on a background thread until the peer
+  // closes (or the stream turns out corrupt); the connection's resources
+  // are reclaimed after that.
+  void attach(std::unique_ptr<Stream> stream) {
+    conns_.adopt(std::move(stream), [this](Stream& s) { serve_stream(s); });
+  }
+
+  // Adopts a listener and accepts connections on a background thread.
+  void serve(std::unique_ptr<Listener> listener) {
+    Listener* raw = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(listeners_mu_);
+      listeners_.push_back(std::move(listener));
+      raw = listeners_.back().get();
+    }
+    conns_.add_thread(std::thread([this, raw] {
+      while (auto s = raw->accept()) attach(std::move(s));
+    }));
+  }
+
+  // Serves one connection on the calling thread (deterministic tests).
+  void serve_stream(Stream& s) {
+    std::mutex qmu;
+    std::condition_variable qcv;
+    std::deque<Pending> queue;
+    bool reader_done = false;
+
+    std::thread sender([&] {
+      sender_loop(s, qmu, qcv, queue, reader_done);
+    });
+
+    FrameHeader header;
+    std::vector<std::uint8_t> payload;
+    try {
+      while (recv_frame(s, header, payload)) {
+        count_in(payload.size());
+        Pending p;
+        p.rid = header.request_id;
+        switch (header.type) {
+          case MessageType::kStatsRequest:
+            p.type = MessageType::kStatsResponse;
+            p.immediate = encode_stats(stats());
+            break;
+          case MessageType::kRequest:
+            p.type = MessageType::kResponse;
+            handle_request(payload, p);
+            break;
+          default:
+            p.type = MessageType::kResponse;
+            p.immediate = encode_error_response(
+                WireStatus::kBadRequest,
+                std::string("unexpected message type: ") +
+                    to_string(header.type));
+            break;
+        }
+        {
+          std::lock_guard<std::mutex> lock(qmu);
+          queue.push_back(std::move(p));
+        }
+        qcv.notify_one();
+      }
+    } catch (const WireError&) {
+      // Malformed frame: the stream can no longer be trusted — drop it.
+    } catch (const TransportError&) {
+    }
+    {
+      std::lock_guard<std::mutex> lock(qmu);
+      reader_done = true;
+    }
+    qcv.notify_all();
+    sender.join();
+    s.shutdown();
+  }
+
+  // Close listeners first (accept loops end), then every connection, then
+  // join. Idempotent.
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(listeners_mu_);
+      for (auto& l : listeners_) l->close();
+    }
+    conns_.close();
+  }
+
+  // Wire counters merged with the executor's (cache hit/miss, job counts).
+  ServiceStats stats() const {
+    ServiceStats out;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      out = wire_stats_;
+    }
+    fold_executor_stats(exec_.stats(), out);
+    return out;
+  }
+
+  Executor& executor() { return exec_; }
+  const ShardConfig& config() const { return cfg_; }
+
+ private:
+  // One queued response: either a submitted job's future (encoded by the
+  // sender when it completes) or a pre-encoded payload.
+  struct Pending {
+    std::uint64_t rid = 0;
+    MessageType type = MessageType::kResponse;
+    std::optional<std::future<output_matrix>> fut;
+    std::vector<std::uint8_t> immediate;
+  };
+
+  // Decodes and submits one product request; on any validation/admission
+  // failure fills p.immediate with the matching error payload instead.
+  void handle_request(std::span<const std::uint8_t> payload, Pending& p) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++wire_stats_.requests;
+    }
+    try {
+      auto req = decode_request<IT, VT>(payload);
+      // Rebuild the client's aliasing with shared operands so the executor
+      // copies nothing extra and its PlanCache fingerprint matches the one
+      // the router hashed.
+      auto a = std::make_shared<const Mat>(std::move(req.a));
+      auto b = req.b_is_a
+                   ? a
+                   : std::make_shared<const Mat>(std::move(req.b_storage));
+      auto m = req.m_is_a
+                   ? a
+                   : (req.m_is_b ? b
+                                 : std::make_shared<const Mat>(
+                                       std::move(req.m_storage)));
+      p.fut = exec_.submit_shared(std::move(a), std::move(b), std::move(m),
+                                  req.opts);
+    } catch (const BatchRejected& e) {
+      p.immediate = encode_error_response(WireStatus::kOverloaded, e.what());
+    } catch (const WireError& e) {
+      p.immediate = encode_error_response(WireStatus::kBadRequest, e.what());
+    } catch (const std::invalid_argument& e) {
+      p.immediate = encode_error_response(WireStatus::kBadRequest, e.what());
+    } catch (const std::exception& e) {
+      p.immediate = encode_error_response(WireStatus::kInternalError,
+                                          e.what());
+    }
+  }
+
+  // Drains the response queue in FIFO (submission) order. Execution is
+  // concurrent across the queue; only response bytes serialize here.
+  void sender_loop(Stream& s, std::mutex& qmu, std::condition_variable& qcv,
+                   std::deque<Pending>& queue, bool& reader_done) {
+    for (;;) {
+      Pending p;
+      {
+        std::unique_lock<std::mutex> lock(qmu);
+        qcv.wait(lock, [&] { return reader_done || !queue.empty(); });
+        if (queue.empty()) return;
+        p = std::move(queue.front());
+        queue.pop_front();
+      }
+      std::vector<std::uint8_t> payload;
+      if (p.fut.has_value()) {
+        try {
+          payload = encode_response(p.fut->get());
+        } catch (const BatchRejected& e) {
+          payload = encode_error_response(WireStatus::kOverloaded, e.what());
+        } catch (const std::invalid_argument& e) {
+          payload = encode_error_response(WireStatus::kBadRequest, e.what());
+        } catch (const std::exception& e) {
+          payload =
+              encode_error_response(WireStatus::kInternalError, e.what());
+        }
+      } else {
+        payload = std::move(p.immediate);
+      }
+      count_out(p.type, payload);
+      try {
+        send_frame(s, p.type, p.rid, payload);
+      } catch (const TransportError&) {
+        // Peer gone: keep draining the queue so in-flight futures are
+        // consumed (results discarded), then exit via reader_done.
+      }
+    }
+  }
+
+  void count_in(std::size_t payload_bytes) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    wire_stats_.bytes_in += payload_bytes;
+  }
+
+  void count_out(MessageType type, std::span<const std::uint8_t> payload) {
+    WireStatus status = WireStatus::kOk;
+    if (type == MessageType::kResponse && payload.size() >= 4) {
+      std::uint32_t raw;
+      std::memcpy(&raw, payload.data(), 4);
+      status = static_cast<WireStatus>(raw);
+    }
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    wire_stats_.bytes_out += payload.size();
+    if (type == MessageType::kResponse) {
+      ++wire_stats_.responses;
+      if (status == WireStatus::kOverloaded) {
+        ++wire_stats_.overloaded;
+      } else if (status != WireStatus::kOk) {
+        ++wire_stats_.errors;
+      }
+    }
+  }
+
+  ShardConfig cfg_;
+  Executor exec_;
+  detail::ConnectionSet conns_;
+  std::mutex listeners_mu_;
+  std::vector<std::unique_ptr<Listener>> listeners_;
+  mutable std::mutex stats_mu_;
+  ServiceStats wire_stats_;
+};
+
+}  // namespace msx::service

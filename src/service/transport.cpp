@@ -1,0 +1,358 @@
+#include "service/transport.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace msx::service {
+
+bool read_exact(Stream& s, void* data, std::size_t len) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < len) {
+    const std::size_t n = s.read_some(p + got, len - got);
+    if (n == 0) {
+      if (got == 0) return false;
+      throw WireError("wire: connection closed mid-frame");
+    }
+    got += n;
+  }
+  return true;
+}
+
+void send_frame(Stream& s, MessageType type, std::uint64_t request_id,
+                std::span<const std::uint8_t> payload) {
+  const auto header = encode_frame_header(type, request_id, payload);
+  s.write_all(header.data(), header.size());
+  if (!payload.empty()) s.write_all(payload.data(), payload.size());
+}
+
+bool recv_frame(Stream& s, FrameHeader& header,
+                std::vector<std::uint8_t>& payload) {
+  std::uint8_t raw[kFrameHeaderBytes];
+  if (!read_exact(s, raw, sizeof raw)) return false;
+  header = decode_frame_header(std::span<const std::uint8_t>(raw, sizeof raw));
+  payload.resize(static_cast<std::size_t>(header.payload_len));
+  if (header.payload_len > 0 && !read_exact(s, payload.data(), payload.size())) {
+    throw WireError("wire: connection closed before payload");
+  }
+  verify_payload(header, payload);
+  return true;
+}
+
+// --- loopback --------------------------------------------------------------
+
+namespace {
+
+// One direction of a loopback pipe: a bounded FIFO of bytes. Writers block
+// while full (back-pressure), readers block while empty; close() wakes both.
+class ByteQueue {
+ public:
+  explicit ByteQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  void write_all(const void* data, std::size_t len) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    std::unique_lock<std::mutex> lock(mu_);
+    while (len > 0) {
+      writable_.wait(lock, [&] { return closed_ || size() < capacity_; });
+      if (closed_) throw TransportError("loopback: peer closed");
+      const std::size_t room = capacity_ - size();
+      const std::size_t chunk = room < len ? room : len;
+      buf_.insert(buf_.end(), p, p + chunk);
+      p += chunk;
+      len -= chunk;
+      readable_.notify_all();
+    }
+  }
+
+  std::size_t read_some(void* data, std::size_t len) {
+    std::unique_lock<std::mutex> lock(mu_);
+    readable_.wait(lock, [&] { return closed_ || size() > 0; });
+    if (size() == 0) return 0;  // closed and drained -> EOF
+    const std::size_t chunk = size() < len ? size() : len;
+    std::memcpy(data, buf_.data() + head_, chunk);
+    head_ += chunk;
+    // Compact once the dead prefix dominates, keeping reads O(1) amortized.
+    if (head_ > 4096 && head_ * 2 > buf_.size()) {
+      buf_.erase(buf_.begin(),
+                 buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+    writable_.notify_all();
+    return chunk;
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    readable_.notify_all();
+    writable_.notify_all();
+  }
+
+ private:
+  std::size_t size() const { return buf_.size() - head_; }
+
+  std::mutex mu_;
+  std::condition_variable readable_;
+  std::condition_variable writable_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t head_ = 0;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+class LoopbackStream final : public Stream {
+ public:
+  LoopbackStream(std::shared_ptr<ByteQueue> in, std::shared_ptr<ByteQueue> out)
+      : in_(std::move(in)), out_(std::move(out)) {}
+  ~LoopbackStream() override { shutdown(); }
+
+  void write_all(const void* data, std::size_t len) override {
+    out_->write_all(data, len);
+  }
+  std::size_t read_some(void* data, std::size_t len) override {
+    return in_->read_some(data, len);
+  }
+  void shutdown() override {
+    in_->close();
+    out_->close();
+  }
+
+ private:
+  std::shared_ptr<ByteQueue> in_;
+  std::shared_ptr<ByteQueue> out_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Stream>, std::unique_ptr<Stream>> loopback_pair(
+    std::size_t capacity_bytes) {
+  auto q1 = std::make_shared<ByteQueue>(capacity_bytes);
+  auto q2 = std::make_shared<ByteQueue>(capacity_bytes);
+  return {std::make_unique<LoopbackStream>(q1, q2),
+          std::make_unique<LoopbackStream>(q2, q1)};
+}
+
+struct LoopbackListener::Impl {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::unique_ptr<Stream>> pending;
+  std::size_t capacity;
+  bool closed = false;
+};
+
+LoopbackListener::LoopbackListener(std::size_t capacity_bytes)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->capacity = capacity_bytes;
+}
+
+LoopbackListener::~LoopbackListener() { close(); }
+
+std::unique_ptr<Stream> LoopbackListener::connect() {
+  auto [client, server] = loopback_pair(impl_->capacity);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (impl_->closed) throw TransportError("loopback: listener closed");
+    impl_->pending.push_back(std::move(server));
+  }
+  impl_->cv.notify_one();
+  return std::move(client);
+}
+
+std::unique_ptr<Stream> LoopbackListener::accept() {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  impl_->cv.wait(lock,
+                 [&] { return impl_->closed || !impl_->pending.empty(); });
+  if (impl_->pending.empty()) return nullptr;
+  auto s = std::move(impl_->pending.front());
+  impl_->pending.pop_front();
+  return s;
+}
+
+void LoopbackListener::close() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->closed = true;
+  impl_->pending.clear();
+  impl_->cv.notify_all();
+}
+
+// --- sockets ---------------------------------------------------------------
+
+namespace {
+
+class FdStream final : public Stream {
+ public:
+  explicit FdStream(int fd) : fd_(fd) {}
+  ~FdStream() override {
+    shutdown();
+    ::close(fd_);
+  }
+
+  void write_all(const void* data, std::size_t len) override {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    while (len > 0) {
+      const ssize_t n = ::send(fd_, p, len, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw TransportError(std::string("socket send: ") +
+                             std::strerror(errno));
+      }
+      p += n;
+      len -= static_cast<std::size_t>(n);
+    }
+  }
+
+  std::size_t read_some(void* data, std::size_t len) override {
+    for (;;) {
+      const ssize_t n = ::recv(fd_, data, len, 0);
+      if (n >= 0) return static_cast<std::size_t>(n);
+      if (errno == EINTR) continue;
+      throw TransportError(std::string("socket recv: ") +
+                           std::strerror(errno));
+    }
+  }
+
+  void shutdown() override { ::shutdown(fd_, SHUT_RDWR); }
+
+ private:
+  int fd_;
+};
+
+class FdListener final : public Listener {
+ public:
+  FdListener(int fd, std::string address)
+      : fd_(fd), address_(std::move(address)) {}
+  ~FdListener() override {
+    close();
+    ::close(fd_);
+  }
+
+  std::unique_ptr<Stream> accept() override {
+    for (;;) {
+      const int client = ::accept(fd_, nullptr, nullptr);
+      if (client >= 0) return std::make_unique<FdStream>(client);
+      // Transient failures must not kill the accept loop: a peer that reset
+      // before we accepted (ECONNABORTED, EPROTO) just skips one
+      // connection, and fd exhaustion (EMFILE/ENFILE) backs off briefly —
+      // the shard reaps closed connections, so pressure clears.
+      if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO) {
+        continue;
+      }
+      if (errno == EMFILE || errno == ENFILE) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      return nullptr;  // listener shut down (EBADF/EINVAL from close())
+    }
+  }
+
+  void close() override { ::shutdown(fd_, SHUT_RDWR); }
+  std::string address() const override { return address_; }
+
+ private:
+  int fd_;
+  std::string address_;
+};
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw TransportError(std::string(what) + ": " + std::strerror(errno));
+}
+
+sockaddr_un unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof(addr.sun_path)) {
+    throw TransportError("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in tcp_addr(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw TransportError("bad IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+std::unique_ptr<Listener> listen_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("unix socket");
+  ::unlink(path.c_str());
+  const auto addr = unix_addr(path);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, 64) < 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    throw_errno("unix bind/listen");
+  }
+  return std::make_unique<FdListener>(fd, path);
+}
+
+std::unique_ptr<Stream> connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("unix socket");
+  const auto addr = unix_addr(path);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    throw_errno("unix connect");
+  }
+  return std::make_unique<FdStream>(fd);
+}
+
+std::unique_ptr<Listener> listen_tcp(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("tcp socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  auto addr = tcp_addr(host, port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, 64) < 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    throw_errno("tcp bind/listen");
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  return std::make_unique<FdListener>(
+      fd, host + ":" + std::to_string(ntohs(addr.sin_port)));
+}
+
+std::unique_ptr<Stream> connect_tcp(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("tcp socket");
+  const auto addr = tcp_addr(host, port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    throw_errno("tcp connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return std::make_unique<FdStream>(fd);
+}
+
+}  // namespace msx::service

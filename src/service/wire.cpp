@@ -1,0 +1,170 @@
+#include "service/wire.hpp"
+
+namespace msx::service {
+
+const char* to_string(MessageType t) {
+  switch (t) {
+    case MessageType::kRequest: return "request";
+    case MessageType::kResponse: return "response";
+    case MessageType::kStatsRequest: return "stats-request";
+    case MessageType::kStatsResponse: return "stats-response";
+  }
+  return "?";
+}
+
+const char* to_string(WireStatus s) {
+  switch (s) {
+    case WireStatus::kOk: return "ok";
+    case WireStatus::kOverloaded: return "overloaded";
+    case WireStatus::kBadRequest: return "bad-request";
+    case WireStatus::kInternalError: return "internal-error";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> encode_frame_header(
+    MessageType type, std::uint64_t request_id,
+    std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> bytes(kFrameHeaderBytes);
+  std::uint8_t* p = bytes.data();
+  auto put = [&p](const auto v) {
+    std::memcpy(p, &v, sizeof v);
+    p += sizeof v;
+  };
+  put(kWireMagic);
+  put(kWireVersion);
+  put(static_cast<std::uint16_t>(type));
+  put(request_id);
+  put(static_cast<std::uint64_t>(payload.size()));
+  put(plan_hash_bytes(kWireChecksumSeed, payload.data(), payload.size()));
+  MSX_ASSERT(p == bytes.data() + kFrameHeaderBytes);
+  return bytes;
+}
+
+FrameHeader decode_frame_header(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() != kFrameHeaderBytes) {
+    throw WireError("wire: short frame header");
+  }
+  WireReader r(bytes);
+  if (r.get_u32() != kWireMagic) throw WireError("wire: bad magic");
+  FrameHeader h;
+  h.version = r.get_u16();
+  if (h.version != kWireVersion) {
+    throw WireError("wire: unsupported version " + std::to_string(h.version));
+  }
+  const std::uint16_t type = r.get_u16();
+  if (type < static_cast<std::uint16_t>(MessageType::kRequest) ||
+      type > static_cast<std::uint16_t>(MessageType::kStatsResponse)) {
+    throw WireError("wire: unknown message type " + std::to_string(type));
+  }
+  h.type = static_cast<MessageType>(type);
+  h.request_id = r.get_u64();
+  h.payload_len = r.get_u64();
+  if (h.payload_len > kMaxPayloadBytes) {
+    throw WireError("wire: payload length exceeds limit");
+  }
+  h.checksum = r.get_u64();
+  return h;
+}
+
+void verify_payload(const FrameHeader& header,
+                    std::span<const std::uint8_t> payload) {
+  if (payload.size() != header.payload_len) {
+    throw WireError("wire: payload length mismatch");
+  }
+  const std::uint64_t sum =
+      plan_hash_bytes(kWireChecksumSeed, payload.data(), payload.size());
+  if (sum != header.checksum) throw WireError("wire: checksum mismatch");
+}
+
+void write_options(WireWriter& w, const MaskedOptions& opts) {
+  w.put_u32(static_cast<std::uint32_t>(opts.algo));
+  w.put_u32(static_cast<std::uint32_t>(opts.phases));
+  w.put_u32(static_cast<std::uint32_t>(opts.kind));
+  w.put_u32(static_cast<std::uint32_t>(opts.schedule));
+  w.put_u32(static_cast<std::uint32_t>(opts.cost_model));
+  w.put_i32(opts.threads);
+  w.put_i32(opts.chunk);
+  w.put_u64(static_cast<std::uint64_t>(opts.heap_ninspect));
+  w.put_u8(opts.inner_gallop ? 1 : 0);
+}
+
+namespace {
+
+template <class E>
+E checked_enum(std::uint32_t raw, E max, const char* what) {
+  if (raw > static_cast<std::uint32_t>(max)) {
+    throw WireError(std::string("wire: unknown ") + what + " value " +
+                    std::to_string(raw));
+  }
+  return static_cast<E>(raw);
+}
+
+}  // namespace
+
+MaskedOptions read_options(WireReader& r) {
+  MaskedOptions opts;
+  opts.algo = checked_enum(r.get_u32(), MaskedAlgo::kAuto, "algo");
+  opts.phases = checked_enum(r.get_u32(), PhaseMode::kTwoPhase, "phase mode");
+  opts.kind = checked_enum(r.get_u32(), MaskKind::kComplement, "mask kind");
+  opts.schedule =
+      checked_enum(r.get_u32(), Schedule::kFlopBalanced, "schedule");
+  opts.cost_model =
+      checked_enum(r.get_u32(), CostModel::kMaskNnz, "cost model");
+  opts.threads = r.get_i32();
+  opts.chunk = r.get_i32();
+  opts.heap_ninspect = static_cast<std::size_t>(r.get_u64());
+  const std::uint8_t gallop = r.get_u8();
+  if (gallop > 1) throw WireError("wire: bad inner_gallop flag");
+  opts.inner_gallop = gallop != 0;
+  return opts;
+}
+
+std::vector<std::uint8_t> encode_error_response(WireStatus status,
+                                                const std::string& message) {
+  MSX_ASSERT(status != WireStatus::kOk);
+  WireWriter w;
+  w.put_u32(static_cast<std::uint32_t>(status));
+  w.put_string(message);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_stats(const ServiceStats& s) {
+  const std::uint64_t fields[] = {
+      s.requests,        s.responses,      s.errors,
+      s.overloaded,      s.bytes_in,       s.bytes_out,
+      s.jobs_submitted,  s.jobs_completed, s.cache_hits,
+      s.cache_misses,    s.cache_grows,    s.cache_evictions,
+      s.cache_instances, s.cache_bytes,
+  };
+  WireWriter w;
+  w.put_array(std::span<const std::uint64_t>(fields));
+  return w.take();
+}
+
+ServiceStats decode_stats(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  const auto fields = r.get_array<std::uint64_t>();
+  if (!r.exhausted()) throw WireError("wire: trailing bytes in stats");
+  // Count-prefixed so a newer peer may append fields; this version needs its
+  // own 14.
+  if (fields.size() < 14) throw WireError("wire: short stats payload");
+  ServiceStats s;
+  s.requests = fields[0];
+  s.responses = fields[1];
+  s.errors = fields[2];
+  s.overloaded = fields[3];
+  s.bytes_in = fields[4];
+  s.bytes_out = fields[5];
+  s.jobs_submitted = fields[6];
+  s.jobs_completed = fields[7];
+  s.cache_hits = fields[8];
+  s.cache_misses = fields[9];
+  s.cache_grows = fields[10];
+  s.cache_evictions = fields[11];
+  s.cache_instances = fields[12];
+  s.cache_bytes = fields[13];
+  return s;
+}
+
+}  // namespace msx::service

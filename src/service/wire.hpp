@@ -1,0 +1,394 @@
+// Wire protocol for the sharded masked-SpGEMM service (ISSUE 4 tentpole).
+//
+// A compact binary format carrying CSR operands, MaskedOptions and results
+// between a ShardRouter client and a ServiceShard server. Every message is a
+// frame:
+//
+//   [magic u32][version u16][type u16][request_id u64][payload_len u64]
+//   [checksum u64]  — 32-byte header, then payload_len payload bytes.
+//
+// The checksum is plan_hash_bytes over the payload (the same streaming hash
+// the PlanCache fingerprint uses), so a corrupt or truncated frame is
+// rejected before any of it is interpreted. The payload encodes scalars
+// little-endian and arrays as raw element bytes; element types are tagged
+// (index width + value code) and verified at decode, so a client and server
+// built with different instantiations fail loudly instead of misreading.
+//
+// Aliasing is first-class: a request stores each distinct operand once and
+// flags B==A / M==A / M==B, which keeps k-truss-style traffic small on the
+// wire AND reproduces the exact aliasing the PlanCache fingerprint keys on —
+// the router and the shard compute identical PlanKeys for a request, which
+// is what makes fingerprint-affinity routing line up with warm cache hits.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/options.hpp"
+#include "matrix/csr.hpp"
+#include "runtime/plan_cache.hpp"
+
+namespace msx::service {
+
+// Malformed traffic: bad magic/version, checksum mismatch, truncated
+// payload, unknown enum value, element-type mismatch.
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class MessageType : std::uint16_t {
+  kRequest = 1,        // masked product request
+  kResponse = 2,       // result (or error status)
+  kStatsRequest = 3,   // shard stats probe (affinity accounting)
+  kStatsResponse = 4,  // ServiceStats payload
+};
+
+enum class WireStatus : std::uint32_t {
+  kOk = 0,
+  kOverloaded = 1,     // admission control rejected the job (back-pressure)
+  kBadRequest = 2,     // validation failed (shapes, unsupported combo, ...)
+  kInternalError = 3,  // anything else thrown while serving
+};
+
+const char* to_string(MessageType t);
+const char* to_string(WireStatus s);
+
+inline constexpr std::uint32_t kWireMagic = 0x4D535857u;  // "WXSM" on the wire
+inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 32;
+// Upper bound on a single payload; a corrupt length field must not turn into
+// a multi-gigabyte allocation.
+inline constexpr std::uint64_t kMaxPayloadBytes = 1ull << 31;
+inline constexpr std::uint64_t kWireChecksumSeed = 0x6d73782d77697265ull;
+
+struct FrameHeader {
+  std::uint16_t version = kWireVersion;
+  MessageType type = MessageType::kRequest;
+  std::uint64_t request_id = 0;
+  std::uint64_t payload_len = 0;
+  std::uint64_t checksum = 0;
+};
+
+// Header bytes for a frame carrying `payload` (checksum computed here).
+std::vector<std::uint8_t> encode_frame_header(MessageType type,
+                                              std::uint64_t request_id,
+                                              std::span<const std::uint8_t> payload);
+
+// Parses and validates magic/version/length bounds; throws WireError.
+FrameHeader decode_frame_header(std::span<const std::uint8_t> bytes);
+
+// Throws WireError when the payload does not hash to the header's checksum.
+void verify_payload(const FrameHeader& header,
+                    std::span<const std::uint8_t> payload);
+
+// --- scalar/array encoding -------------------------------------------------
+
+static_assert(std::endian::native == std::endian::little,
+              "wire format is little-endian; add byte-swapping for BE hosts");
+
+class WireWriter {
+ public:
+  void put_u8(std::uint8_t v) { put_raw(&v, 1); }
+  void put_u16(std::uint16_t v) { put_raw(&v, 2); }
+  void put_u32(std::uint32_t v) { put_raw(&v, 4); }
+  void put_u64(std::uint64_t v) { put_raw(&v, 8); }
+  void put_i32(std::int32_t v) { put_raw(&v, 4); }
+  void put_i64(std::int64_t v) { put_raw(&v, 8); }
+
+  void put_string(const std::string& s) {
+    put_u32(static_cast<std::uint32_t>(s.size()));
+    put_raw(s.data(), s.size());
+  }
+
+  // Raw element bytes of a trivially copyable span.
+  template <class T>
+  void put_array(std::span<const T> v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put_u64(static_cast<std::uint64_t>(v.size()));
+    put_raw(v.data(), v.size_bytes());
+  }
+
+  std::span<const std::uint8_t> bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  void put_raw(const void* data, std::size_t len) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + len);
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+// Bounds-checked reader over a payload; any overrun throws WireError, which
+// is how a truncated payload surfaces no matter where the cut landed.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t get_u8() { return get_scalar<std::uint8_t>(); }
+  std::uint16_t get_u16() { return get_scalar<std::uint16_t>(); }
+  std::uint32_t get_u32() { return get_scalar<std::uint32_t>(); }
+  std::uint64_t get_u64() { return get_scalar<std::uint64_t>(); }
+  std::int32_t get_i32() { return get_scalar<std::int32_t>(); }
+  std::int64_t get_i64() { return get_scalar<std::int64_t>(); }
+
+  std::string get_string() {
+    const std::uint32_t n = get_u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  template <class T>
+  std::vector<T> get_array() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::uint64_t n = get_u64();
+    if (n > bytes_.size() / sizeof(T)) {
+      throw WireError("wire: array length exceeds payload");
+    }
+    need(n * sizeof(T));
+    std::vector<T> v(static_cast<std::size_t>(n));
+    if (n > 0) {
+      std::memcpy(v.data(), bytes_.data() + pos_, v.size() * sizeof(T));
+      pos_ += v.size() * sizeof(T);
+    }
+    return v;
+  }
+
+  bool exhausted() const { return pos_ == bytes_.size(); }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  template <class T>
+  T get_scalar() {
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  void need(std::size_t n) {
+    if (remaining() < n) throw WireError("wire: truncated payload");
+  }
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+// --- element type tags -----------------------------------------------------
+
+template <class T>
+struct WireValueCode;  // deliberately undefined for unsupported types
+template <>
+struct WireValueCode<double> { static constexpr std::uint8_t value = 1; };
+template <>
+struct WireValueCode<float> { static constexpr std::uint8_t value = 2; };
+template <>
+struct WireValueCode<std::int32_t> { static constexpr std::uint8_t value = 3; };
+template <>
+struct WireValueCode<std::int64_t> { static constexpr std::uint8_t value = 4; };
+template <>
+struct WireValueCode<std::uint32_t> { static constexpr std::uint8_t value = 5; };
+template <>
+struct WireValueCode<std::uint64_t> { static constexpr std::uint8_t value = 6; };
+
+// --- matrices --------------------------------------------------------------
+
+template <class IT, class VT>
+void write_csr(WireWriter& w, const CSRMatrix<IT, VT>& m) {
+  w.put_u8(static_cast<std::uint8_t>(sizeof(IT)));
+  w.put_u8(WireValueCode<VT>::value);
+  w.put_u64(static_cast<std::uint64_t>(m.nrows()));
+  w.put_u64(static_cast<std::uint64_t>(m.ncols()));
+  w.put_array(m.rowptr());
+  w.put_array(m.colidx());
+  w.put_array(m.values());
+}
+
+template <class IT, class VT>
+CSRMatrix<IT, VT> read_csr(WireReader& r) {
+  if (r.get_u8() != sizeof(IT)) throw WireError("wire: index width mismatch");
+  if (r.get_u8() != WireValueCode<VT>::value) {
+    throw WireError("wire: value type mismatch");
+  }
+  const std::uint64_t nrows = r.get_u64();
+  const std::uint64_t ncols = r.get_u64();
+  auto rowptr = r.get_array<IT>();
+  auto colidx = r.get_array<IT>();
+  auto values = r.get_array<VT>();
+  CSRMatrix<IT, VT> m;
+  try {
+    m = CSRMatrix<IT, VT>(static_cast<IT>(nrows), static_cast<IT>(ncols),
+                          std::move(rowptr), std::move(colidx),
+                          std::move(values));
+  } catch (const std::invalid_argument& e) {
+    throw WireError(std::string("wire: inconsistent CSR arrays: ") + e.what());
+  }
+  std::string why;
+  if (!m.validate(&why)) {
+    throw WireError("wire: CSR invariant violated: " + why);
+  }
+  return m;
+}
+
+// --- options ---------------------------------------------------------------
+
+void write_options(WireWriter& w, const MaskedOptions& opts);
+// Range-checks every enum; throws WireError on values this version does not
+// know (a frame from a newer peer must not be silently misinterpreted).
+MaskedOptions read_options(WireReader& r);
+
+// --- request ---------------------------------------------------------------
+
+// A decoded request. Aliased operands are stored once; b()/mask() resolve
+// the aliases so the shard can hand the executor the same object identity
+// the client expressed (identical PlanCache fingerprints on both sides).
+template <class IT, class VT>
+struct WireRequest {
+  MaskedOptions opts;
+  bool b_is_a = false;
+  bool m_is_a = false;
+  bool m_is_b = false;
+  CSRMatrix<IT, VT> a;
+  CSRMatrix<IT, VT> b_storage;  // empty when b_is_a
+  CSRMatrix<IT, VT> m_storage;  // empty when m_is_a || m_is_b
+
+  const CSRMatrix<IT, VT>& b() const { return b_is_a ? a : b_storage; }
+  const CSRMatrix<IT, VT>& mask() const {
+    if (m_is_a) return a;
+    if (m_is_b) return b();
+    return m_storage;
+  }
+
+  PlanKey fingerprint() const {
+    return plan_fingerprint(a, b(), mask(), opts);
+  }
+};
+
+inline constexpr std::uint8_t kAliasBIsA = 1;
+inline constexpr std::uint8_t kAliasMIsA = 2;
+inline constexpr std::uint8_t kAliasMIsB = 4;
+
+// Encodes a request payload. Aliases are detected by address, exactly like
+// masked_plan / BatchExecutor::submit.
+template <class IT, class VT>
+std::vector<std::uint8_t> encode_request(const CSRMatrix<IT, VT>& a,
+                                         const CSRMatrix<IT, VT>& b,
+                                         const CSRMatrix<IT, VT>& m,
+                                         const MaskedOptions& opts) {
+  const bool b_is_a = static_cast<const void*>(&b) == static_cast<const void*>(&a);
+  const bool m_is_a = static_cast<const void*>(&m) == static_cast<const void*>(&a);
+  const bool m_is_b =
+      !m_is_a && static_cast<const void*>(&m) == static_cast<const void*>(&b);
+  WireWriter w;
+  std::uint8_t flags = 0;
+  if (b_is_a) flags |= kAliasBIsA;
+  if (m_is_a) flags |= kAliasMIsA;
+  if (m_is_b) flags |= kAliasMIsB;
+  w.put_u8(flags);
+  write_options(w, opts);
+  write_csr(w, a);
+  if (!b_is_a) write_csr(w, b);
+  if (!m_is_a && !m_is_b) write_csr(w, m);
+  return w.take();
+}
+
+template <class IT, class VT>
+WireRequest<IT, VT> decode_request(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  WireRequest<IT, VT> req;
+  const std::uint8_t flags = r.get_u8();
+  if ((flags & ~(kAliasBIsA | kAliasMIsA | kAliasMIsB)) != 0) {
+    throw WireError("wire: unknown alias flags");
+  }
+  req.b_is_a = (flags & kAliasBIsA) != 0;
+  req.m_is_a = (flags & kAliasMIsA) != 0;
+  req.m_is_b = (flags & kAliasMIsB) != 0;
+  if (req.m_is_a && req.m_is_b) throw WireError("wire: contradictory aliases");
+  req.opts = read_options(r);
+  req.a = read_csr<IT, VT>(r);
+  if (!req.b_is_a) req.b_storage = read_csr<IT, VT>(r);
+  if (!req.m_is_a && !req.m_is_b) req.m_storage = read_csr<IT, VT>(r);
+  if (!r.exhausted()) throw WireError("wire: trailing bytes in request");
+  return req;
+}
+
+// --- response --------------------------------------------------------------
+
+template <class IT, class VT>
+std::vector<std::uint8_t> encode_response(const CSRMatrix<IT, VT>& result) {
+  WireWriter w;
+  w.put_u32(static_cast<std::uint32_t>(WireStatus::kOk));
+  write_csr(w, result);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_error_response(WireStatus status,
+                                                const std::string& message);
+
+// Decoded response: either a result matrix or (status, message).
+template <class IT, class VT>
+struct WireResponse {
+  WireStatus status = WireStatus::kOk;
+  std::string message;            // empty on kOk
+  CSRMatrix<IT, VT> result;       // valid on kOk
+};
+
+template <class IT, class VT>
+WireResponse<IT, VT> decode_response(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  WireResponse<IT, VT> resp;
+  const std::uint32_t status = r.get_u32();
+  if (status > static_cast<std::uint32_t>(WireStatus::kInternalError)) {
+    throw WireError("wire: unknown response status");
+  }
+  resp.status = static_cast<WireStatus>(status);
+  if (resp.status == WireStatus::kOk) {
+    resp.result = read_csr<IT, VT>(r);
+  } else {
+    resp.message = r.get_string();
+  }
+  if (!r.exhausted()) throw WireError("wire: trailing bytes in response");
+  return resp;
+}
+
+// --- stats -----------------------------------------------------------------
+
+// Shard-side counters exposed over the wire for affinity accounting: the
+// router (or an operator) reads warm hit rates per shard without touching
+// the shard process.
+struct ServiceStats {
+  std::uint64_t requests = 0;    // product requests received
+  std::uint64_t responses = 0;   // responses sent (any status)
+  std::uint64_t errors = 0;      // kBadRequest + kInternalError responses
+  std::uint64_t overloaded = 0;  // kOverloaded responses (back-pressure)
+  std::uint64_t bytes_in = 0;    // payload bytes received
+  std::uint64_t bytes_out = 0;   // payload bytes sent
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_grows = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_instances = 0;
+  std::uint64_t cache_bytes = 0;
+
+  // Warm-plan rate over all product requests that reached the executor.
+  double warm_hit_rate() const {
+    const auto total = cache_hits + cache_misses + cache_grows;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cache_hits) /
+                            static_cast<double>(total);
+  }
+};
+
+std::vector<std::uint8_t> encode_stats(const ServiceStats& s);
+ServiceStats decode_stats(std::span<const std::uint8_t> payload);
+
+}  // namespace msx::service

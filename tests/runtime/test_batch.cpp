@@ -4,6 +4,7 @@
 
 #include <future>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "apps/bc.hpp"
@@ -132,6 +133,108 @@ TEST(BatchExecutor, DisabledPlanCachePlansEveryJob) {
   const auto want = masked_spgemm<SR>(a, a, a);
   for (int i = 0; i < 3; ++i) EXPECT_TRUE(exec.submit(a, a, a).get() == want);
   EXPECT_EQ(exec.stats().cache.hits, 0u);
+}
+
+TEST(Admission, RejectPolicyThrowsWhenPendingJobsAtLimit) {
+  BatchLimits limits;
+  limits.pool_threads = 1;
+  limits.max_pending_jobs = 1;
+  limits.admission = AdmissionPolicy::kReject;
+  Exec exec(limits);
+  const auto a = erdos_renyi<IT, VT>(70, 70, 5, 20);
+  const auto want = masked_spgemm<SR>(a, a, a);
+
+  // Park the only pool worker so the first job stays pending.
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  exec.pool().submit_detached([opened] { opened.wait(); });
+
+  auto f1 = exec.submit(a, a, a);
+  EXPECT_THROW(exec.submit(a, a, a), BatchRejected);
+  {
+    const auto st = exec.stats();
+    EXPECT_EQ(st.rejected, 1u);
+    EXPECT_EQ(st.submitted, 1u);  // rejected jobs are not submitted
+    EXPECT_EQ(st.pending_jobs, 1u);
+    EXPECT_GT(st.pending_bytes, 0u);
+  }
+  gate.set_value();
+  EXPECT_TRUE(f1.get() == want);
+  exec.wait_idle();
+  // Capacity freed: the executor admits again.
+  EXPECT_TRUE(exec.submit(a, a, a).get() == want);
+  exec.wait_idle();  // futures settle slightly before the gauges do
+  const auto st = exec.stats();
+  EXPECT_EQ(st.pending_jobs, 0u);
+  EXPECT_EQ(st.pending_bytes, 0u);
+}
+
+TEST(Admission, BlockPolicyWaitsForCapacityInsteadOfRejecting) {
+  BatchLimits limits;
+  limits.pool_threads = 1;
+  limits.max_pending_jobs = 1;
+  limits.admission = AdmissionPolicy::kBlock;
+  Exec exec(limits);
+  const auto a = erdos_renyi<IT, VT>(60, 60, 5, 21);
+  const auto want = masked_spgemm<SR>(a, a, a);
+
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  exec.pool().submit_detached([opened] { opened.wait(); });
+
+  auto f1 = exec.submit(a, a, a);
+  std::thread submitter([&] {
+    // Blocks in admit() until job 1 completes, then runs to completion.
+    auto f2 = exec.submit(a, a, a);
+    EXPECT_TRUE(f2.get() == want);
+  });
+  // Wait until the submitter is provably parked at the admission gate.
+  while (exec.stats().admission_blocks == 0) std::this_thread::yield();
+  EXPECT_EQ(exec.stats().submitted, 1u);
+
+  gate.set_value();
+  submitter.join();
+  EXPECT_TRUE(f1.get() == want);
+  exec.wait_idle();
+  const auto st = exec.stats();
+  EXPECT_EQ(st.submitted, 2u);
+  EXPECT_EQ(st.completed, 2u);
+  EXPECT_EQ(st.rejected, 0u);
+  EXPECT_GE(st.admission_blocks, 1u);
+}
+
+TEST(Admission, ByteBoundAdmitsOversizedJobWhenAlone) {
+  BatchLimits limits;
+  limits.pool_threads = 1;
+  limits.max_pending_bytes = 1;  // every job is oversized
+  limits.admission = AdmissionPolicy::kReject;
+  Exec exec(limits);
+  const auto a = erdos_renyi<IT, VT>(80, 80, 5, 22);
+  const auto want = masked_spgemm<SR>(a, a, a);
+
+  // Alone -> admitted despite exceeding the byte bound (liveness).
+  EXPECT_TRUE(exec.submit(a, a, a).get() == want);
+  exec.wait_idle();
+
+  // With one in flight, the byte bound rejects the next.
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  exec.pool().submit_detached([opened] { opened.wait(); });
+  auto f1 = exec.submit(a, a, a);
+  EXPECT_THROW(exec.submit(a, a, a), BatchRejected);
+  gate.set_value();
+  EXPECT_TRUE(f1.get() == want);
+}
+
+TEST(Admission, UnboundedByDefault) {
+  Exec exec;
+  const auto a = erdos_renyi<IT, VT>(50, 50, 4, 23);
+  std::vector<std::future<Mat>> fs;
+  for (int i = 0; i < 32; ++i) fs.push_back(exec.submit(a, a, a));
+  for (auto& f : fs) f.get();
+  const auto st = exec.stats();
+  EXPECT_EQ(st.rejected, 0u);
+  EXPECT_EQ(st.admission_blocks, 0u);
 }
 
 TEST(BatchedBC, MatchesMonolithicBC) {

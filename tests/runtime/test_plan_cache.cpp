@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/masked_spgemm.hpp"
+#include "core/plan.hpp"
 #include "gen/erdos_renyi.hpp"
 #include "runtime/plan_cache.hpp"
 
@@ -149,6 +150,117 @@ TEST(PlanCache, ValueRefreshOnHitMatchesDirectCall) {
   auto lease = cache.acquire(a2, b, m);
   ASSERT_TRUE(lease.reused());
   EXPECT_TRUE(lease.plan().execute_values(a2.values(), b.values()) == want);
+}
+
+TEST(PlanResidentBytes, CoversOperandCopiesAndCaches) {
+  const auto a = mat(200, 6, 71);
+  const auto b = mat(200, 6, 72);
+  const auto m = mat(200, 8, 73);
+
+  auto plan = masked_plan<SR>(a, b, m);
+  // At least the three operand copies must be accounted.
+  EXPECT_GE(plan.resident_bytes(), a.storage_bytes() + b.storage_bytes() +
+                                       m.rowptr().size_bytes() +
+                                       m.colidx().size_bytes());
+
+  // Aliased operands are stored once, so the plan is smaller.
+  auto aliased = masked_plan<SR>(a, a, a);
+  EXPECT_LT(aliased.resident_bytes(), plan.resident_bytes());
+
+  // A pull-based plan additionally holds the CSC of B + permutation.
+  MaskedOptions inner;
+  inner.algo = MaskedAlgo::kInner;
+  auto pulled = masked_plan<SR>(a, b, m, inner);
+  EXPECT_TRUE(pulled.caches_csc());
+  EXPECT_GT(pulled.resident_bytes(), plan.resident_bytes());
+}
+
+TEST(PlanCacheByteBudget, EvictsLruUntilUnderBudget) {
+  // Budget sized to hold roughly two of the four plans.
+  const auto m = mat(300, 6, 80);
+  std::vector<Mat> as;
+  for (unsigned s = 0; s < 4; ++s) as.push_back(mat(300, 6, 81 + s));
+
+  std::size_t one_plan_bytes = 0;
+  {
+    auto probe = masked_plan<SR>(as[0], as[0], m);
+    one_plan_bytes = probe.resident_bytes();
+  }
+
+  Cache cache(/*capacity=*/16, /*byte_budget=*/2 * one_plan_bytes +
+                                   one_plan_bytes / 2);
+  for (const auto& a : as) {
+    auto lease = cache.acquire(a, a, m);
+  }
+  const auto st = cache.stats();
+  EXPECT_EQ(st.misses, 4u);
+  // Entry capacity (16) never binds; the byte budget forced evictions.
+  EXPECT_GE(st.evictions, 1u);
+  EXPECT_LE(st.bytes_held, cache.byte_budget());
+  EXPECT_LT(st.instances, 4u);
+
+  // MRU survives, LRU was evicted.
+  { auto lease = cache.acquire(as[3], as[3], m); }
+  { auto lease = cache.acquire(as[0], as[0], m); }
+  const auto st2 = cache.stats();
+  EXPECT_EQ(st2.hits, 1u);    // as[3] still resident
+  EXPECT_EQ(st2.misses, 5u);  // as[0] had been evicted
+}
+
+TEST(PlanCacheByteBudget, ZeroBudgetMeansUnlimited) {
+  Cache cache(8);  // default: entry-count LRU only
+  const auto m = mat(100, 5, 90);
+  std::vector<Mat> as;
+  for (unsigned s = 0; s < 6; ++s) as.push_back(mat(100, 5, 91 + s));
+  for (const auto& a : as) {
+    auto lease = cache.acquire(a, a, m);
+  }
+  const auto st = cache.stats();
+  EXPECT_EQ(st.evictions, 0u);  // under entry capacity, bytes unconstrained
+  EXPECT_GT(st.bytes_held, 0u);
+
+  cache.clear();
+  EXPECT_EQ(cache.stats().bytes_held, 0u);
+  EXPECT_EQ(cache.stats().instances, 0u);
+}
+
+TEST(PlanCacheByteBudget, LeaseReleaseRefreshesLazilyBuiltBytes) {
+  // The two-phase symbolic rowptr is built by the first execute(), after
+  // the insert-time measurement; handing the lease back must re-account.
+  Cache cache(8);
+  const auto a = mat(150, 6, 99);
+  const auto m = mat(150, 7, 100);
+  MaskedOptions opts;
+  opts.algo = MaskedAlgo::kHash;
+  opts.phases = PhaseMode::kTwoPhase;
+
+  std::uint64_t at_insert = 0;
+  {
+    auto lease = cache.acquire(a, a, m, opts);
+    at_insert = cache.stats().bytes_held;
+    EXPECT_GT(at_insert, 0u);
+    (void)lease.plan().execute();
+  }
+  EXPECT_GT(cache.stats().bytes_held, at_insert);
+}
+
+TEST(PlanCacheByteBudget, BusyInstancesAreNotEvictedByBytes) {
+  const auto m = mat(200, 6, 95);
+  const auto a1 = mat(200, 6, 96);
+  const auto a2 = mat(200, 6, 97);
+  // Budget below a single plan: every insert is over budget immediately.
+  Cache cache(8, /*byte_budget=*/1);
+  auto lease = cache.acquire(a1, a1, m);
+  {
+    auto other = cache.acquire(a2, a2, m);
+    // Both leased: nothing evictable, the cache exceeds its budget softly.
+    EXPECT_EQ(cache.stats().instances, 2u);
+  }
+  // a2's lease returned; the next insert can evict it, but never the busy a1.
+  const auto a3 = mat(200, 6, 98);
+  { auto third = cache.acquire(a3, a3, m); }
+  const auto want1 = masked_spgemm<SR>(a1, a1, m);
+  EXPECT_TRUE(lease.plan().execute() == want1);
 }
 
 TEST(PlanCache, ParallelAcquireIsSafe) {

@@ -1,0 +1,362 @@
+// Wire protocol: frame headers, checksums, request/response/stats round
+// trips over generated matrices, and clean rejection of truncated/corrupt
+// frames (ISSUE 4 satellite).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "gen/erdos_renyi.hpp"
+#include "gen/rmat.hpp"
+#include "service/transport.hpp"
+#include "service/wire.hpp"
+
+using namespace msx;
+using namespace msx::service;
+
+using IT = int32_t;
+using VT = double;
+using Mat = CSRMatrix<IT, VT>;
+
+namespace {
+
+std::vector<std::uint8_t> frame_bytes(MessageType type, std::uint64_t rid,
+                                      std::span<const std::uint8_t> payload) {
+  auto bytes = encode_frame_header(type, rid, payload);
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  return bytes;
+}
+
+// Matrix with deliberately empty rows (every third row cleared).
+Mat with_empty_rows(const Mat& src) {
+  std::vector<IT> rowptr(1, 0), colidx;
+  std::vector<VT> values;
+  for (IT i = 0; i < src.nrows(); ++i) {
+    if (i % 3 != 0) {
+      const auto row = src.row(i);
+      colidx.insert(colidx.end(), row.cols.begin(), row.cols.end());
+      values.insert(values.end(), row.vals.begin(), row.vals.end());
+    }
+    rowptr.push_back(static_cast<IT>(colidx.size()));
+  }
+  return Mat(src.nrows(), src.ncols(), std::move(rowptr), std::move(colidx),
+             std::move(values));
+}
+
+}  // namespace
+
+TEST(WireFrame, HeaderRoundTrip) {
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  const auto header_bytes =
+      encode_frame_header(MessageType::kResponse, 42, payload);
+  ASSERT_EQ(header_bytes.size(), kFrameHeaderBytes);
+  const auto h = decode_frame_header(header_bytes);
+  EXPECT_EQ(h.version, kWireVersion);
+  EXPECT_EQ(h.type, MessageType::kResponse);
+  EXPECT_EQ(h.request_id, 42u);
+  EXPECT_EQ(h.payload_len, payload.size());
+  EXPECT_NO_THROW(verify_payload(h, payload));
+}
+
+TEST(WireFrame, RejectsBadMagicVersionTypeAndLength) {
+  const std::vector<std::uint8_t> payload = {9, 9};
+  auto good = encode_frame_header(MessageType::kRequest, 1, payload);
+
+  auto bad_magic = good;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_THROW(decode_frame_header(bad_magic), WireError);
+
+  auto bad_version = good;
+  bad_version[4] = 0x7F;
+  EXPECT_THROW(decode_frame_header(bad_version), WireError);
+
+  auto bad_type = good;
+  bad_type[6] = 0x7F;
+  EXPECT_THROW(decode_frame_header(bad_type), WireError);
+
+  auto bad_len = good;
+  // payload_len lives at offset 16; poison the high bytes.
+  bad_len[22] = 0xFF;
+  bad_len[23] = 0xFF;
+  EXPECT_THROW(decode_frame_header(bad_len), WireError);
+
+  auto short_header = good;
+  short_header.pop_back();
+  EXPECT_THROW(decode_frame_header(short_header), WireError);
+}
+
+TEST(WireFrame, ChecksumCatchesCorruptPayload) {
+  std::vector<std::uint8_t> payload(257);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  const auto h = decode_frame_header(
+      encode_frame_header(MessageType::kRequest, 7, payload));
+  EXPECT_NO_THROW(verify_payload(h, payload));
+  for (std::size_t flip : {std::size_t{0}, payload.size() / 2,
+                           payload.size() - 1}) {
+    auto corrupt = payload;
+    corrupt[flip] ^= 0x01;
+    EXPECT_THROW(verify_payload(h, corrupt), WireError) << flip;
+  }
+  auto truncated = payload;
+  truncated.pop_back();
+  EXPECT_THROW(verify_payload(h, truncated), WireError);
+}
+
+TEST(WireRequest, RoundTripsGeneratedMatrices) {
+  struct Case {
+    Mat a, b, m;
+  };
+  std::vector<Case> cases;
+  cases.push_back({erdos_renyi<IT, VT>(80, 80, 5, 1),
+                   erdos_renyi<IT, VT>(80, 80, 5, 2),
+                   erdos_renyi<IT, VT>(80, 80, 7, 3)});
+  cases.push_back({rmat<IT, VT>(7, 11), rmat<IT, VT>(7, 12),
+                   rmat<IT, VT>(7, 13)});
+  cases.push_back({with_empty_rows(erdos_renyi<IT, VT>(60, 60, 4, 4)),
+                   with_empty_rows(erdos_renyi<IT, VT>(60, 60, 4, 5)),
+                   with_empty_rows(erdos_renyi<IT, VT>(60, 60, 4, 6))});
+  // Degenerate shapes: empty matrix, single row.
+  cases.push_back({Mat(5, 5), Mat(5, 5), Mat(5, 5)});
+
+  for (std::size_t c = 0; c < cases.size(); ++c) {
+    const auto& tc = cases[c];
+    MaskedOptions opts;
+    opts.algo = c % 2 == 0 ? MaskedAlgo::kHash : MaskedAlgo::kMSA;
+    opts.kind = c % 2 == 1 ? MaskKind::kComplement : MaskKind::kMask;
+    opts.phases = PhaseMode::kTwoPhase;
+    opts.heap_ninspect = 3;
+    opts.inner_gallop = true;
+
+    const auto payload = encode_request(tc.a, tc.b, tc.m, opts);
+    const auto req = decode_request<IT, VT>(payload);
+    EXPECT_FALSE(req.b_is_a);
+    EXPECT_TRUE(req.a == tc.a) << c;
+    EXPECT_TRUE(req.b() == tc.b) << c;
+    EXPECT_TRUE(req.mask() == tc.m) << c;
+    EXPECT_EQ(req.opts.algo, opts.algo);
+    EXPECT_EQ(req.opts.kind, opts.kind);
+    EXPECT_EQ(req.opts.phases, opts.phases);
+    EXPECT_EQ(req.opts.heap_ninspect, opts.heap_ninspect);
+    EXPECT_EQ(req.opts.inner_gallop, opts.inner_gallop);
+    // Fingerprint parity: the shard-side key equals the client-side key —
+    // the invariant fingerprint-affinity routing stands on.
+    EXPECT_EQ(req.fingerprint(), plan_fingerprint(tc.a, tc.b, tc.m, opts))
+        << c;
+  }
+}
+
+TEST(WireRequest, PreservesAliasing) {
+  const auto a = erdos_renyi<IT, VT>(50, 50, 5, 21);
+  const auto m = erdos_renyi<IT, VT>(50, 50, 6, 22);
+  MaskedOptions opts;
+
+  {
+    // B aliases A (and is sent once).
+    const auto payload = encode_request(a, a, m, opts);
+    const auto distinct = encode_request(a, Mat(a), m, opts);
+    EXPECT_LT(payload.size(), distinct.size());
+    const auto req = decode_request<IT, VT>(payload);
+    EXPECT_TRUE(req.b_is_a);
+    EXPECT_EQ(static_cast<const void*>(&req.b()),
+              static_cast<const void*>(&req.a));
+    EXPECT_EQ(req.fingerprint(), plan_fingerprint(a, a, m, opts));
+  }
+  {
+    // Fully aliased (k-truss shape): one matrix on the wire.
+    const auto payload = encode_request(a, a, a, opts);
+    const auto req = decode_request<IT, VT>(payload);
+    EXPECT_TRUE(req.b_is_a);
+    EXPECT_TRUE(req.m_is_a);
+    EXPECT_TRUE(req.a == a);
+    EXPECT_EQ(req.fingerprint(), plan_fingerprint(a, a, a, opts));
+  }
+  {
+    // M aliases B.
+    const auto b = erdos_renyi<IT, VT>(50, 50, 5, 23);
+    const auto payload = encode_request(a, b, b, opts);
+    const auto req = decode_request<IT, VT>(payload);
+    EXPECT_FALSE(req.b_is_a);
+    EXPECT_TRUE(req.m_is_b);
+    EXPECT_EQ(req.fingerprint(), plan_fingerprint(a, b, b, opts));
+  }
+}
+
+TEST(WireRequest, RejectsTruncatedAndTrailingPayloads) {
+  const auto a = erdos_renyi<IT, VT>(40, 40, 5, 31);
+  const auto payload = encode_request(a, a, a, MaskedOptions{});
+  // Any truncation point must throw, never crash or mis-decode.
+  for (std::size_t len : {std::size_t{0}, payload.size() / 4,
+                          payload.size() / 2, payload.size() - 1}) {
+    const std::span<const std::uint8_t> cut(payload.data(), len);
+    EXPECT_THROW((decode_request<IT, VT>(cut)), WireError) << len;
+  }
+  auto trailing = payload;
+  trailing.push_back(0);
+  EXPECT_THROW((decode_request<IT, VT>(trailing)), WireError);
+}
+
+TEST(WireRequest, RejectsTypeMismatchAndBadEnums) {
+  const auto a = erdos_renyi<IT, VT>(30, 30, 4, 41);
+  const auto payload = encode_request(a, a, a, MaskedOptions{});
+  // Decoding with the wrong value type must fail loudly.
+  EXPECT_THROW((decode_request<IT, float>(payload)), WireError);
+
+  // Poison the algo enum (first options field, right after the alias byte).
+  auto bad = payload;
+  bad[1] = 0x7F;
+  EXPECT_THROW((decode_request<IT, VT>(bad)), WireError);
+}
+
+TEST(WireRequest, RejectsInvalidCsrStructure) {
+  // A structurally broken matrix (rowptr not matching nnz) must be caught
+  // by the decoder even though the checksum would pass.
+  WireWriter w;
+  w.put_u8(kAliasBIsA | kAliasMIsA);
+  write_options(w, MaskedOptions{});
+  w.put_u8(sizeof(IT));
+  w.put_u8(WireValueCode<VT>::value);
+  w.put_u64(2);  // nrows
+  w.put_u64(2);  // ncols
+  const IT rowptr[] = {0, 1, 3};  // claims 3 nnz
+  const IT colidx[] = {0, 1};     // but carries 2
+  const VT values[] = {1.0, 2.0};
+  w.put_array(std::span<const IT>(rowptr));
+  w.put_array(std::span<const IT>(colidx));
+  w.put_array(std::span<const VT>(values));
+  const auto payload = w.take();
+  EXPECT_THROW((decode_request<IT, VT>(payload)), WireError);
+}
+
+TEST(WireResponse, RoundTripsResultAndErrors) {
+  const auto c = erdos_renyi<IT, VT>(33, 44, 3, 51);
+  const auto ok = decode_response<IT, VT>(encode_response(c));
+  EXPECT_EQ(ok.status, WireStatus::kOk);
+  EXPECT_TRUE(ok.result == c);
+
+  const auto err = decode_response<IT, VT>(
+      encode_error_response(WireStatus::kOverloaded, "queue full"));
+  EXPECT_EQ(err.status, WireStatus::kOverloaded);
+  EXPECT_EQ(err.message, "queue full");
+
+  std::vector<std::uint8_t> junk = {0xAA, 0xBB};
+  EXPECT_THROW((decode_response<IT, VT>(junk)), WireError);
+}
+
+TEST(WireStats, RoundTrips) {
+  ServiceStats s;
+  s.requests = 10;
+  s.responses = 9;
+  s.errors = 1;
+  s.overloaded = 2;
+  s.bytes_in = 1234;
+  s.bytes_out = 4321;
+  s.jobs_submitted = 8;
+  s.jobs_completed = 7;
+  s.cache_hits = 6;
+  s.cache_misses = 2;
+  s.cache_grows = 1;
+  s.cache_evictions = 3;
+  s.cache_instances = 4;
+  s.cache_bytes = 99999;
+  const auto got = decode_stats(encode_stats(s));
+  EXPECT_EQ(got.requests, s.requests);
+  EXPECT_EQ(got.responses, s.responses);
+  EXPECT_EQ(got.errors, s.errors);
+  EXPECT_EQ(got.overloaded, s.overloaded);
+  EXPECT_EQ(got.bytes_in, s.bytes_in);
+  EXPECT_EQ(got.bytes_out, s.bytes_out);
+  EXPECT_EQ(got.jobs_submitted, s.jobs_submitted);
+  EXPECT_EQ(got.jobs_completed, s.jobs_completed);
+  EXPECT_EQ(got.cache_hits, s.cache_hits);
+  EXPECT_EQ(got.cache_bytes, s.cache_bytes);
+  EXPECT_NEAR(got.warm_hit_rate(), 6.0 / 9.0, 1e-12);
+}
+
+TEST(WireTransport, FramesCrossLoopbackAndRejectCorruption) {
+  auto [client, server] = loopback_pair();
+  const auto a = erdos_renyi<IT, VT>(64, 64, 5, 61);
+  const auto payload = encode_request(a, a, a, MaskedOptions{});
+
+  // Clean frame round trip.
+  std::thread writer([&, &client = client] {
+    send_frame(*client, MessageType::kRequest, 77, payload);
+  });
+  FrameHeader h;
+  std::vector<std::uint8_t> got;
+  ASSERT_TRUE(recv_frame(*server, h, got));
+  writer.join();
+  EXPECT_EQ(h.request_id, 77u);
+  EXPECT_EQ(got.size(), payload.size());
+  EXPECT_TRUE((decode_request<IT, VT>(got).a == a));
+
+  // Corrupt payload byte: checksum must reject it.
+  auto corrupt = frame_bytes(MessageType::kRequest, 78, payload);
+  corrupt[kFrameHeaderBytes + 10] ^= 0x40;
+  std::thread corruptor([&, &client = client] {
+    client->write_all(corrupt.data(), corrupt.size());
+  });
+  EXPECT_THROW(recv_frame(*server, h, got), WireError);
+  corruptor.join();
+}
+
+TEST(WireTransport, TruncatedFrameAndCleanEofAreDistinct) {
+  const auto a = erdos_renyi<IT, VT>(32, 32, 4, 71);
+  const auto payload = encode_request(a, a, a, MaskedOptions{});
+  const auto full = frame_bytes(MessageType::kRequest, 5, payload);
+
+  {
+    // Cut mid-payload: the reader must see a WireError, not a silent EOF.
+    auto [client, server] = loopback_pair();
+    std::thread writer([&, &client = client] {
+      client->write_all(full.data(), full.size() / 2);
+      client->shutdown();
+    });
+    FrameHeader h;
+    std::vector<std::uint8_t> got;
+    EXPECT_THROW(recv_frame(*server, h, got), WireError);
+    writer.join();
+  }
+  {
+    // EOF exactly between frames is a clean close.
+    auto [client, server] = loopback_pair();
+    std::thread writer([&, &client = client] {
+      client->write_all(full.data(), full.size());
+      client->shutdown();
+    });
+    FrameHeader h;
+    std::vector<std::uint8_t> got;
+    EXPECT_TRUE(recv_frame(*server, h, got));
+    EXPECT_FALSE(recv_frame(*server, h, got));
+    writer.join();
+  }
+}
+
+TEST(WireTransport, UnixSocketRoundTrip) {
+  const std::string path = testing::TempDir() + "msx_wire_test.sock";
+  auto listener = listen_unix(path);
+  const auto a = erdos_renyi<IT, VT>(48, 48, 5, 81);
+  const auto payload = encode_request(a, a, a, MaskedOptions{});
+
+  std::thread client_thread([&] {
+    auto c = connect_unix(path);
+    send_frame(*c, MessageType::kRequest, 9, payload);
+    FrameHeader h;
+    std::vector<std::uint8_t> reply;
+    ASSERT_TRUE(recv_frame(*c, h, reply));
+    EXPECT_EQ(h.type, MessageType::kResponse);
+    EXPECT_EQ((decode_response<IT, VT>(reply).status), WireStatus::kOk);
+  });
+
+  auto conn = listener->accept();
+  ASSERT_NE(conn, nullptr);
+  FrameHeader h;
+  std::vector<std::uint8_t> got;
+  ASSERT_TRUE(recv_frame(*conn, h, got));
+  EXPECT_TRUE((decode_request<IT, VT>(got).a == a));
+  send_frame(*conn, MessageType::kResponse, h.request_id,
+             encode_response(a));
+  client_thread.join();
+}
