@@ -1,37 +1,42 @@
 // micro_service_throughput — end-to-end requests/sec of the sharded service
-// (router → wire protocol → loopback shards → BatchExecutor/PlanCache)
-// versus a sequential loop of stateless masked_spgemm calls (ISSUE 4
-// acceptance: router fronting ≥2 shards, results bit-identical, ≥90% warm
-// plan-cache hit rate on repeated structures, throughput reported).
+// (MaskedClient session → wire protocol → loopback shards →
+// BatchExecutor/PlanCache) versus a sequential loop of stateless
+// masked_spgemm calls (ISSUE 4 acceptance: ≥2 shards, results bit-identical,
+// ≥90% warm plan-cache hit rate on repeated structures; ISSUE 5 retrofit:
+// the traffic rides the pipelined client, not blocking router calls).
 //
 //   ./bench_micro_service_throughput [--requests N] [--structures K]
-//       [--shards S] [--clients C] [--threads T] [--reps R] [--json[=PATH]]
+//       [--shards S] [--inflight D] [--threads T] [--reps R] [--json[=PATH]]
 //
 // The workload models service traffic: K recurring structures requested
-// round-robin with fresh numeric values. The service pays wire serialization
-// and framing per request but amortizes planning through each shard's warm
-// PlanCache; fingerprint-affinity routing is what keeps those caches warm
-// (every structure lands on one shard).
-#include <atomic>
+// round-robin with fresh numeric values. Each structure's stationary
+// operands are registered once per shard connection; per request only the
+// refreshed A crosses the wire, and the shard's warm PlanCache serves the
+// product. Structure affinity (the routing point) keeps every structure on
+// one shard.
 #include <cstdint>
 #include <cstdio>
+#include <future>
 #include <memory>
-#include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "client/client.hpp"
+#include "client/sharded_backend.hpp"
 #include "gen/erdos_renyi.hpp"
-#include "service/router.hpp"
 #include "service/shard.hpp"
 
 using namespace msx;
 using namespace msx::bench;
 using namespace msx::service;
+namespace mc = msx::client;
 
 namespace {
 
 struct Catalog {
-  std::vector<Mat> a, b, m;
+  std::vector<Mat> a;
+  std::vector<std::shared_ptr<const Mat>> b, m;
 };
 
 Catalog make_catalog(int k, int scale_shift) {
@@ -40,8 +45,10 @@ Catalog make_catalog(int k, int scale_shift) {
   for (int i = 0; i < k; ++i) {
     const IT rows = base + 24 * static_cast<IT>(i);
     c.a.push_back(erdos_renyi<IT, VT>(rows, rows, 6, 411 + i));
-    c.b.push_back(erdos_renyi<IT, VT>(rows, rows, 6, 421 + i));
-    c.m.push_back(erdos_renyi<IT, VT>(rows, rows, 8, 431 + i));
+    c.b.push_back(std::make_shared<const Mat>(
+        erdos_renyi<IT, VT>(rows, rows, 6, 421 + i)));
+    c.m.push_back(std::make_shared<const Mat>(
+        erdos_renyi<IT, VT>(rows, rows, 8, 431 + i)));
   }
   return c;
 }
@@ -61,10 +68,10 @@ int main(int argc, char** argv) {
   const int requests = static_cast<int>(args.get_int("requests", 96));
   const int nstructures = static_cast<int>(args.get_int("structures", 12));
   const int nshards = static_cast<int>(args.get_int("shards", 4));
-  const int nclients = static_cast<int>(args.get_int("clients", 4));
-  print_header("micro_service_throughput — sharded service (router + wire + "
-               "loopback shards) vs sequential masked_spgemm loop",
-               "ISSUE 4 (sharded masked-SpGEMM service layer)", cfg);
+  const int inflight = static_cast<int>(args.get_int("inflight", 16));
+  print_header("micro_service_throughput — sharded service (client session + "
+               "wire + loopback shards) vs sequential masked_spgemm loop",
+               "ISSUE 4 (sharded service layer) / ISSUE 5 (client API)", cfg);
 
   using SRt = PlusTimes<VT>;
   auto catalog = make_catalog(nstructures, cfg.scale_shift);
@@ -86,12 +93,12 @@ int main(int argc, char** argv) {
       const auto s = static_cast<std::size_t>(r % nstructures);
       refresh(catalog.a[s], r);
       seq_nnz +=
-          masked_spgemm<SRt>(catalog.a[s], catalog.b[s], catalog.m[s], opts)
+          masked_spgemm<SRt>(catalog.a[s], *catalog.b[s], *catalog.m[s], opts)
               .nnz();
     }
     const double seq_seconds = seq_timer.seconds();
 
-    // --- sharded service ---
+    // --- sharded service via the pipelined client ---
     ShardConfig shard_cfg;
     shard_cfg.limits.pool_threads = cfg.threads;
     std::vector<std::unique_ptr<ServiceShard<SRt, IT, VT>>> shards;
@@ -105,15 +112,21 @@ int main(int argc, char** argv) {
       endpoints.push_back(ShardEndpoint{"shard-" + std::to_string(i),
                                         [raw] { return raw->connect(); }});
     }
-    ShardRouter<SRt, IT, VT> router(endpoints);
+    auto backend =
+        std::make_shared<mc::ShardedBackend<SRt, IT, VT>>(endpoints);
+    mc::MaskedClient<SRt, IT, VT> client(backend);
+    auto session = client.open_session(
+        {.max_in_flight = static_cast<std::size_t>(inflight)});
 
-    // Correctness: every structure once, service result vs direct call.
+    // Register every structure, then verify correctness once: service
+    // result vs direct call, bit-identical.
+    std::vector<mc::StructureHandle<IT, VT>> handles;
     for (std::size_t s = 0; s < catalog.a.size(); ++s) {
+      handles.push_back(session.register_structure(catalog.b[s], catalog.m[s]));
       const auto want =
-          masked_spgemm<SRt>(catalog.a[s], catalog.b[s], catalog.m[s], opts);
-      const auto got =
-          router.request(catalog.a[s], catalog.b[s], catalog.m[s], opts);
-      if (!(got == want)) {
+          masked_spgemm<SRt>(catalog.a[s], *catalog.b[s], *catalog.m[s], opts);
+      auto got = session.submit(catalog.a[s], handles[s]).get();
+      if (!got.ok() || !(got.matrix == want)) {
         std::fprintf(stderr, "service result mismatch on structure %zu\n", s);
         return 1;
       }
@@ -122,45 +135,36 @@ int main(int argc, char** argv) {
     // delta beyond it.
     std::uint64_t warm_hits = 0, warm_lookups = 0;
     for (int i = 0; i < nshards; ++i) {
-      const auto st = router.shard_stats(static_cast<std::size_t>(i));
+      const auto st = backend->shard_stats(static_cast<std::size_t>(i));
       warm_hits += st.cache_hits;
       warm_lookups += st.cache_hits + st.cache_misses + st.cache_grows;
     }
 
     WallTimer svc_timer;
-    std::atomic<std::size_t> svc_nnz{0};
-    std::atomic<int> next{0};
-    std::vector<std::thread> clients;
-    for (int c = 0; c < nclients; ++c) {
-      clients.emplace_back([&] {
-        std::size_t local = 0;
-        for (;;) {
-          const int r = next.fetch_add(1, std::memory_order_relaxed);
-          if (r >= requests) break;
-          const auto s = static_cast<std::size_t>(r % nstructures);
-          // The catalog is read-only during the timed round (clients share
-          // structures — the affinity case the router exists for).
-          local += router
-                       .request(catalog.a[s], catalog.b[s], catalog.m[s], opts)
-                       .nnz();
-        }
-        svc_nnz.fetch_add(local, std::memory_order_relaxed);
-      });
+    std::size_t svc_nnz = 0;
+    {
+      std::vector<std::future<mc::ClientResult<IT, VT>>> futures;
+      futures.reserve(static_cast<std::size_t>(requests));
+      for (int r = 0; r < requests; ++r) {
+        const auto s = static_cast<std::size_t>(r % nstructures);
+        refresh(catalog.a[s], r);
+        futures.push_back(session.submit(catalog.a[s], handles[s]));
+      }
+      for (auto& f : futures) svc_nnz += f.get().value().nnz();
     }
-    for (auto& t : clients) t.join();
     const double svc_seconds = svc_timer.seconds();
 
     // Result patterns depend only on structure (values here are positive,
     // no cancellation), so the nnz totals of both passes must agree.
-    if (svc_nnz.load() != seq_nnz) {
-      std::fprintf(stderr, "service nnz mismatch: %zu vs %zu\n",
-                   svc_nnz.load(), seq_nnz);
+    if (svc_nnz != seq_nnz) {
+      std::fprintf(stderr, "service nnz mismatch: %zu vs %zu\n", svc_nnz,
+                   seq_nnz);
       return 1;
     }
 
     std::uint64_t hits = 0, lookups = 0;
     for (int i = 0; i < nshards; ++i) {
-      const auto st = router.shard_stats(static_cast<std::size_t>(i));
+      const auto st = backend->shard_stats(static_cast<std::size_t>(i));
       hits += st.cache_hits;
       lookups += st.cache_hits + st.cache_misses + st.cache_grows;
     }
@@ -168,7 +172,7 @@ int main(int argc, char** argv) {
                     ? static_cast<double>(hits - warm_hits) /
                           static_cast<double>(lookups - warm_lookups)
                     : 0.0;
-    routed = router.stats().routed;
+    routed = backend->stats().routed;
 
     if (std::isnan(best_seq) || seq_seconds < best_seq) best_seq = seq_seconds;
     if (std::isnan(best_svc) || svc_seconds < best_svc) best_svc = svc_seconds;
@@ -183,10 +187,10 @@ int main(int argc, char** argv) {
                  Table::num(svc_rate, 1), Table::num(speedup, 2) + "x"});
   table.print();
 
-  std::printf("\n%d requests over %d structures; %d shards, %d clients; "
+  std::printf("\n%d requests over %d structures; %d shards, %d in flight; "
               "warm plan-cache hit rate %.0f%% (acceptance: >=90%%)\n",
-              requests, nstructures, nshards, nclients, 100.0 * warm_rate);
-  std::printf("affinity spread (requests per shard):");
+              requests, nstructures, nshards, inflight, 100.0 * warm_rate);
+  std::printf("affinity spread (ok responses per shard):");
   for (std::size_t i = 0; i < routed.size(); ++i) {
     std::printf(" %llu", static_cast<unsigned long long>(routed[i]));
   }
@@ -196,7 +200,7 @@ int main(int argc, char** argv) {
   record.field("requests", requests)
       .field("structures", nstructures)
       .field("shards", nshards)
-      .field("clients", nclients)
+      .field("inflight", inflight)
       .field("sequential_seconds", best_seq)
       .field("service_seconds", best_svc)
       .field("requests_per_sec_sequential", seq_rate)

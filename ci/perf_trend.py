@@ -32,7 +32,7 @@ HIGHER_BETTER_MARKERS = ("speedup", "rate", "per_sec", "gflops", "teps")
 # instead of being gated as if the code got slower.
 CONFIG_FIELDS = ("jobs", "structures", "scale", "pool_threads", "threads",
                  "reps", "warmup", "scale_shift", "batch", "sources", "k",
-                 "shards", "clients", "requests")
+                 "shards", "clients", "requests", "inflight")
 
 
 def is_higher_better(field):

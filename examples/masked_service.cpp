@@ -1,5 +1,5 @@
-// masked_service — simulated request traffic against the concurrent runtime
-// (ISSUE 3 tentpole demo).
+// masked_service — simulated request traffic against the concurrent runtime,
+// consumed through the unified client API (ISSUE 3 runtime, ISSUE 5 client).
 //
 // Models a masked-product service: a catalog of recurring request shapes
 // (small analytics queries plus a few heavy reports), a stream of requests
@@ -8,28 +8,34 @@
 //
 //   * sequential — a loop of stateless masked_spgemm calls (each re-plans
 //     and forks its own OpenMP team), and
-//   * runtime   — BatchExecutor::submit: small requests run serial one per
-//     pool worker, heavy ones get the whole pool, and the structure-keyed
-//     PlanCache serves repeats without re-planning.
+//   * client    — a MaskedClient session over the LocalBackend: stationary
+//     operands registered once per shape, submits pipelined with bounded
+//     in-flight depth, small requests run serial one per pool worker, heavy
+//     ones get the whole pool, and the structure-keyed PlanCache serves
+//     repeats without re-planning. Interactive-priority requests jump the
+//     batch queue.
 //
 // Usage:
 //   ./masked_service                          # defaults: 96 requests
 //   ./masked_service --requests 256 --catalog 12 --threads 8
 #include <cstdio>
 #include <future>
+#include <memory>
 #include <vector>
 
+#include "client/client.hpp"
+#include "client/local_backend.hpp"
 #include "common/cli.hpp"
 #include "common/timer.hpp"
 #include "core/masked_spgemm.hpp"
 #include "gen/erdos_renyi.hpp"
 #include "gen/rmat.hpp"
-#include "runtime/batch.hpp"
 
 using IT = int32_t;
 using VT = double;
 using Mat = msx::CSRMatrix<IT, VT>;
 using SR = msx::PlusTimes<VT>;
+namespace mc = msx::client;
 
 int main(int argc, char** argv) {
   msx::ArgParser args(argc, argv);
@@ -38,9 +44,11 @@ int main(int argc, char** argv) {
   const int threads = static_cast<int>(args.get_int("threads", 0));
 
   // Catalog: mostly small shapes, every fourth one heavy enough for the
-  // wide lane.
+  // wide lane. A's pattern is fixed per shape (values vary per request), so
+  // the plan cache fingerprints recur.
   struct Shape {
-    Mat a, b, m;
+    Mat a;
+    std::shared_ptr<const Mat> b, m;
   };
   std::vector<Shape> catalog;
   for (int k = 0; k < ncatalog; ++k) {
@@ -49,8 +57,10 @@ int main(int argc, char** argv) {
     const IT deg = heavy ? 12 : 6;
     catalog.push_back({
         msx::erdos_renyi<IT, VT>(rows, rows, deg, 100 + k),
-        msx::erdos_renyi<IT, VT>(rows, rows, deg, 200 + k),
-        msx::erdos_renyi<IT, VT>(rows, rows, deg + 2, 300 + k),
+        std::make_shared<const Mat>(
+            msx::erdos_renyi<IT, VT>(rows, rows, deg, 200 + k)),
+        std::make_shared<const Mat>(
+            msx::erdos_renyi<IT, VT>(rows, rows, deg + 2, 300 + k)),
     });
   }
 
@@ -73,49 +83,57 @@ int main(int argc, char** argv) {
   for (int r = 0; r < nrequests; ++r) {
     Shape& s = pick(r);
     refresh_values(s.a, r);
-    seq_nnz += msx::masked_spgemm<SR>(s.a, s.b, s.m).nnz();
+    seq_nnz += msx::masked_spgemm<SR>(s.a, *s.b, *s.m).nnz();
   }
   const double seq_seconds = seq_timer.seconds();
 
-  // --- runtime ---
+  // --- client over the local runtime ---
   msx::BatchLimits limits;
   limits.pool_threads = threads;
-  msx::BatchExecutor<SR, IT, VT> exec(limits);
+  auto backend = std::make_shared<mc::LocalBackend<SR, IT, VT>>(limits);
+  mc::MaskedClient<SR, IT, VT> client(backend);
+  auto session = client.open_session({.max_in_flight = 32});
 
-  // Warm the plan cache with one pass over the catalog (a deployed service
-  // reaches this state after the first occurrence of each shape).
+  // Register each shape's stationary operands once; warm the plan cache with
+  // one pass (a deployed service reaches this state after the first
+  // occurrence of each shape).
+  std::vector<mc::StructureHandle<IT, VT>> handles;
   {
-    std::vector<std::future<Mat>> warm;
-    for (auto& s : catalog) warm.push_back(exec.submit(s.a, s.b, s.m));
-    for (auto& f : warm) f.get();
+    std::vector<std::future<mc::ClientResult<IT, VT>>> warm;
+    for (auto& s : catalog) {
+      handles.push_back(session.register_structure(s.b, s.m));
+      warm.push_back(session.submit(s.a, handles.back()));
+    }
+    for (auto& f : warm) f.get().value();
   }
 
   msx::WallTimer run_timer;
-  std::vector<std::future<Mat>> inflight;
+  std::vector<std::future<mc::ClientResult<IT, VT>>> inflight;
   for (int r = 0; r < nrequests; ++r) {
     Shape& s = pick(r);
     refresh_values(s.a, r);
-    inflight.push_back(exec.submit(s.a, s.b, s.m));
+    inflight.push_back(session.submit(
+        s.a, handles[static_cast<std::size_t>((r * 7 + 3) % ncatalog)]));
   }
   std::size_t run_nnz = 0;
-  for (auto& f : inflight) run_nnz += f.get().nnz();
+  for (auto& f : inflight) run_nnz += f.get().value().nnz();
   const double run_seconds = run_timer.seconds();
 
   if (seq_nnz != run_nnz) {
-    std::printf("MISMATCH: sequential nnz %zu != runtime nnz %zu\n", seq_nnz,
+    std::printf("MISMATCH: sequential nnz %zu != client nnz %zu\n", seq_nnz,
                 run_nnz);
     return 1;
   }
 
-  const auto st = exec.stats();
+  const auto st = backend->executor().stats();
   std::printf("\n%-12s %10s %12s\n", "path", "seconds", "requests/s");
   std::printf("%-12s %10.4f %12.1f\n", "sequential", seq_seconds,
               nrequests / seq_seconds);
-  std::printf("%-12s %10.4f %12.1f\n", "runtime", run_seconds,
+  std::printf("%-12s %10.4f %12.1f\n", "client", run_seconds,
               nrequests / run_seconds);
   std::printf("\nspeedup: %.2fx with %d pool threads (inter-job parallelism "
               "needs real cores;\nthe plan-cache savings show even on one)\n",
-              seq_seconds / run_seconds, exec.pool_threads());
+              seq_seconds / run_seconds, backend->executor().pool_threads());
   std::printf("jobs: %llu small, %llu wide; plan cache: %.0f%% hit rate "
               "(%llu hits, %llu misses, %llu grows, %llu instances)\n",
               static_cast<unsigned long long>(st.small_jobs),

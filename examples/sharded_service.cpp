@@ -1,36 +1,42 @@
-// sharded_service — a router fronting a fleet of masked-SpGEMM shards
-// (ISSUE 4 tentpole demo).
+// sharded_service — a pipelined MaskedClient fronting a fleet of
+// masked-SpGEMM shards (ISSUE 4 service layer, ISSUE 5 client API).
 //
 // Spins up N shard instances (each a ServiceShard: wire server loop over a
-// BatchExecutor + structure-keyed PlanCache), fronts them with a ShardRouter
-// that consistent-hashes the PlanCache's structure fingerprint, and serves a
-// mixed request stream:
+// BatchExecutor + structure-keyed PlanCache), fronts them with a
+// MaskedClient session over the ShardedBackend, and serves a mixed request
+// stream:
 //
-//   * every request's result is verified bit-identical to a direct
-//     masked_spgemm call;
-//   * fingerprint affinity keeps each structure on one shard, so the warm
-//     hit rate stays high (first sight of a structure is the only miss);
-//   * killing a shard mid-stream (--kill) demonstrates failover: its keys
-//     rehash to the next shard on the ring, everyone else keeps their home.
+//   * each catalog structure is REGISTERED once per shard connection — the
+//     stationary operands cross the wire once, then every submit ships only
+//     the refreshed A;
+//   * submits are pipelined (bounded in-flight depth) over one connection
+//     per shard, completions matched by request id;
+//   * every result is verified bit-identical to a direct masked_spgemm call;
+//   * killing a shard mid-stream (--kill) demonstrates failover: its
+//     in-flight requests re-submit to the next shard on the ring (where the
+//     structures re-register lazily) — nothing lost, nothing duplicated.
 //
 // Transports: loopback shard instances by default (one process, zero
 // setup); --unix PATHPREFIX serves each shard on a Unix socket instead, so
-// routers in other processes can connect to the same fleet.
+// clients in other processes can connect to the same fleet.
 //
 // Usage:
 //   ./sharded_service                         # 4 shards, 96 requests
 //   ./sharded_service --shards 8 --requests 256 --kill 1
 //   ./sharded_service --unix /tmp/msx-shard   # sockets at /tmp/msx-shard.N
 #include <cstdio>
+#include <future>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "client/client.hpp"
+#include "client/sharded_backend.hpp"
 #include "common/cli.hpp"
 #include "common/timer.hpp"
 #include "core/masked_spgemm.hpp"
 #include "gen/erdos_renyi.hpp"
-#include "service/router.hpp"
 #include "service/shard.hpp"
 
 using IT = int32_t;
@@ -38,7 +44,7 @@ using VT = double;
 using SR = msx::PlusTimes<VT>;
 using Mat = msx::CSRMatrix<IT, VT>;
 using Shard = msx::service::ServiceShard<SR, IT, VT>;
-using Router = msx::service::ShardRouter<SR, IT, VT>;
+namespace mc = msx::client;
 
 int main(int argc, char** argv) {
   msx::ArgParser args(argc, argv);
@@ -70,37 +76,37 @@ int main(int argc, char** argv) {
                            }});
     }
   }
-  Router router(endpoints);
+  auto backend = std::make_shared<mc::ShardedBackend<SR, IT, VT>>(endpoints);
+  mc::MaskedClient<SR, IT, VT> client(backend);
+  auto session = client.open_session({.max_in_flight = 16});
   std::printf("sharded_service: %d shards (%s transport), %d requests over "
-              "%d structures\n",
+              "%d structures, 16 in flight\n",
               nshards, unix_prefix.empty() ? "loopback" : "unix-socket",
               nrequests, ncatalog);
 
-  // --- catalog of recurring request structures ---
+  // --- catalog of recurring request structures, registered once ---
   struct Entry {
-    Mat a, b, m;
+    Mat a;
+    std::shared_ptr<const Mat> b, m;
+    mc::StructureHandle<IT, VT> handle;
   };
   std::vector<Entry> catalog;
   for (int k = 0; k < ncatalog; ++k) {
     const IT rows = 140 + 28 * static_cast<IT>(k);
-    catalog.push_back({
-        msx::erdos_renyi<IT, VT>(rows, rows, 6, 500 + k),
-        msx::erdos_renyi<IT, VT>(rows, rows, 6, 600 + k),
-        msx::erdos_renyi<IT, VT>(rows, rows, 8, 700 + k),
-    });
+    Entry e;
+    e.a = msx::erdos_renyi<IT, VT>(rows, rows, 6, 500 + k);
+    e.b = std::make_shared<const Mat>(
+        msx::erdos_renyi<IT, VT>(rows, rows, 6, 600 + k));
+    e.m = std::make_shared<const Mat>(
+        msx::erdos_renyi<IT, VT>(rows, rows, 8, 700 + k));
+    e.handle = session.register_structure(e.b, e.m);
+    catalog.push_back(std::move(e));
   }
-  std::printf("\naffinity map (structure -> shard):");
-  for (int k = 0; k < ncatalog; ++k) {
-    std::printf(" %d->%d", k,
-                router.route(catalog[static_cast<std::size_t>(k)].a,
-                             catalog[static_cast<std::size_t>(k)].b,
-                             catalog[static_cast<std::size_t>(k)].m));
-  }
-  std::printf("\n");
 
-  // --- mixed stream, verified bit-identical ---
+  // --- pipelined stream, verified bit-identical ---
   msx::WallTimer timer;
   int mismatches = 0;
+  std::vector<std::pair<Mat, std::future<mc::ClientResult<IT, VT>>>> inflight;
   for (int r = 0; r < nrequests; ++r) {
     auto& e = catalog[static_cast<std::size_t>((r * 5 + 1) % ncatalog)];
     // Fresh numerics each request (structure — and so affinity — is stable).
@@ -109,48 +115,51 @@ int main(int argc, char** argv) {
       vals[p] = 1.0 + static_cast<double>((p + static_cast<std::size_t>(r)) % 9);
     }
     if (kill >= 0 && kill < nshards && r == nrequests / 2) {
-      std::printf("killing shard %d mid-stream (failover rehash)\n", kill);
+      std::printf("killing shard %d mid-stream (in-flight failover)\n", kill);
       shards[static_cast<std::size_t>(kill)]->stop();
-      router.mark_down(static_cast<std::size_t>(kill));
     }
-    const auto want = msx::masked_spgemm<SR>(e.a, e.b, e.m);
-    const auto got = router.request(e.a, e.b, e.m);
-    if (!(got == want)) ++mismatches;
+    inflight.emplace_back(msx::masked_spgemm<SR>(e.a, *e.b, *e.m),
+                          session.submit(e.a, e.handle));
+  }
+  for (auto& [want, fut] : inflight) {
+    auto res = fut.get();
+    if (!res.ok() || !(res.matrix == want)) ++mismatches;
   }
   const double seconds = timer.seconds();
 
   // --- report ---
-  const auto rs = router.stats();
-  std::printf("\n%-10s %10s %10s %10s %10s\n", "shard", "requests", "warm%",
-              "jobs", "cacheMB");
+  const auto bs = backend->stats();
+  std::printf("\n%-10s %10s %10s %10s %10s %10s\n", "shard", "ok", "warm%",
+              "jobs", "regs", "cacheMB");
   for (int i = 0; i < nshards; ++i) {
     if (kill >= 0 && i == kill) {
-      std::printf("%-10s %10llu %10s %10s %10s   (killed)\n",
+      std::printf("%-10s %10llu %10s %10s %10s %10s   (killed)\n",
                   ("shard-" + std::to_string(i)).c_str(),
                   static_cast<unsigned long long>(
-                      rs.routed[static_cast<std::size_t>(i)]),
-                  "-", "-", "-");
+                      bs.routed[static_cast<std::size_t>(i)]),
+                  "-", "-", "-", "-");
       continue;
     }
-    const auto st = router.shard_stats(static_cast<std::size_t>(i));
-    std::printf("%-10s %10llu %10.0f %10llu %10.2f\n",
+    const auto st = backend->shard_stats(static_cast<std::size_t>(i));
+    std::printf("%-10s %10llu %10.0f %10llu %10llu %10.2f\n",
                 ("shard-" + std::to_string(i)).c_str(),
                 static_cast<unsigned long long>(
-                    rs.routed[static_cast<std::size_t>(i)]),
+                    bs.routed[static_cast<std::size_t>(i)]),
                 100.0 * st.warm_hit_rate(),
                 static_cast<unsigned long long>(st.jobs_completed),
+                static_cast<unsigned long long>(st.registrations),
                 static_cast<double>(st.cache_bytes) / (1024.0 * 1024.0));
   }
   std::printf("\n%d requests in %.3fs (%.1f requests/s), %d mismatches, "
-              "%llu failovers, %llu overload reroutes\n",
+              "%llu failover re-submissions, %llu overload reroutes\n",
               nrequests, seconds, nrequests / seconds, mismatches,
-              static_cast<unsigned long long>(rs.failovers),
-              static_cast<unsigned long long>(rs.overload_reroutes));
+              static_cast<unsigned long long>(bs.failover_resubmits),
+              static_cast<unsigned long long>(bs.overload_reroutes));
   if (mismatches != 0) {
     std::printf("FAILED: service results diverged from direct calls\n");
     return 1;
   }
-  std::printf("every service result was bit-identical to the direct "
+  std::printf("every pipelined result was bit-identical to the direct "
               "masked_spgemm call\n");
   return 0;
 }

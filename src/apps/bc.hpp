@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "client/client.hpp"
 #include "common/timer.hpp"
 #include "core/plan.hpp"
 #include "matrix/build.hpp"
@@ -334,6 +335,180 @@ BCResult betweenness_centrality(
     }
   }
   result.seconds_backward = bwd.seconds();
+
+  // Reduce chunk deltas in source order (matches the monolithic loop).
+  result.centrality.assign(static_cast<std::size_t>(n), 0.0);
+  for (auto& ch : chunks) {
+    for (std::size_t q = 0; q < ch.sources.size(); ++q) {
+      ch.delta[q * static_cast<std::size_t>(n) +
+               static_cast<std::size_t>(ch.sources[q])] = 0.0;
+    }
+    for (std::size_t q = 0; q < ch.sources.size(); ++q) {
+      for (IT v = 0; v < n; ++v) {
+        result.centrality[static_cast<std::size_t>(v)] +=
+            ch.delta[q * static_cast<std::size_t>(n) +
+                     static_cast<std::size_t>(v)];
+      }
+    }
+  }
+  result.seconds_total = total.seconds();
+  return result;
+}
+
+// Client-session variant (ISSUE 5): the adjacency matrix — the stationary
+// operand of every level product in both sweeps — is registered ONCE as the
+// session structure; each round then pipelines the per-chunk level products
+// (independent masked SpGEMMs: complemented forward, plain backward) with
+// only the small frontier/mask matrices crossing the submit boundary. The
+// same code path runs on a LocalBackend (executor underneath, like the
+// overload above) or a ShardedBackend (the fleet sees the adjacency once per
+// shard). Scores are bit-identical to the monolithic function: products are
+// row-parallel and the reduction adds chunk contributions in source order.
+template <class IT, class VT>
+BCResult betweenness_centrality(
+    const CSRMatrix<IT, VT>& graph, const std::vector<IT>& sources,
+    client::Session<PlusTimes<double>, IT, double>& session,
+    std::size_t chunk_size, MaskedOptions opts = {}) {
+  check_arg(graph.nrows() == graph.ncols(), "bc: matrix must be square");
+  check_arg(chunk_size > 0, "bc: chunk size must be positive");
+  const IT n = graph.nrows();
+  const IT batch = static_cast<IT>(sources.size());
+  check_arg(batch > 0, "bc: need at least one source");
+  for (IT s : sources) check_arg(s >= 0 && s < n, "bc: source out of range");
+  check_arg(opts.algo != MaskedAlgo::kMCA,
+            "bc: MCA does not support complemented masks");
+
+  using Mat = CSRMatrix<IT, double>;
+  using Result = client::ClientResult<IT, double>;
+  WallTimer total;
+
+  const auto a = std::make_shared<const Mat>(
+      n, n, std::vector<IT>(graph.rowptr().begin(), graph.rowptr().end()),
+      std::vector<IT>(graph.colidx().begin(), graph.colidx().end()),
+      std::vector<double>(graph.nnz(), 1.0));
+  auto handle = session.register_structure(a);
+
+  struct Chunk {
+    std::vector<IT> sources;
+    std::shared_ptr<const Mat> frontier;
+    std::shared_ptr<const Mat> numsp;
+    std::vector<Mat> levels;
+    std::vector<double> delta;
+    bool active = true;
+  };
+
+  std::vector<Chunk> chunks;
+  for (std::size_t lo = 0; lo < sources.size(); lo += chunk_size) {
+    const std::size_t hi = std::min(sources.size(), lo + chunk_size);
+    Chunk c;
+    c.sources.assign(sources.begin() + static_cast<std::ptrdiff_t>(lo),
+                     sources.begin() + static_cast<std::ptrdiff_t>(hi));
+    std::vector<Triple<IT, double>> seeds;
+    seeds.reserve(c.sources.size());
+    for (std::size_t q = 0; q < c.sources.size(); ++q) {
+      seeds.push_back({static_cast<IT>(q), c.sources[q], 1.0});
+    }
+    auto frontier = std::make_shared<const Mat>(csr_from_triples<IT, double>(
+        static_cast<IT>(c.sources.size()), n, std::move(seeds),
+        DuplicatePolicy::kSum));
+    c.numsp = frontier;
+    c.frontier = frontier;
+    c.levels.push_back(*frontier);
+    c.delta.assign(c.sources.size() * static_cast<std::size_t>(n), 0.0);
+    chunks.push_back(std::move(c));
+  }
+
+  // ---- forward sweep: all active chunks advance one level per round ----
+  WallTimer fwd;
+  client::SubmitOptions fwd_opts;
+  fwd_opts.masked = opts;
+  fwd_opts.masked.kind = MaskKind::kComplement;
+  bool any_active = true;
+  while (any_active) {
+    std::vector<std::pair<std::size_t, std::future<Result>>> round;
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      if (!chunks[c].active) continue;
+      round.emplace_back(c, session.submit(chunks[c].frontier,
+                                           chunks[c].numsp, handle,
+                                           fwd_opts));
+    }
+    any_active = false;
+    for (auto& [c, fut] : round) {
+      Mat next = std::move(fut.get().value());
+      if (next.nnz() == 0) {
+        chunks[c].active = false;
+        continue;
+      }
+      chunks[c].numsp =
+          std::make_shared<const Mat>(ewise_add(*chunks[c].numsp, next));
+      chunks[c].levels.push_back(next);
+      chunks[c].frontier = std::make_shared<const Mat>(std::move(next));
+      any_active = true;
+    }
+  }
+  BCResult result;
+  std::size_t max_depth = 0;
+  for (const auto& c : chunks) max_depth = std::max(max_depth, c.levels.size());
+  result.depth = static_cast<int>(max_depth) - 1;
+  result.seconds_forward = fwd.seconds();
+
+  // ---- backward sweep ----
+  WallTimer bwd;
+  client::SubmitOptions bwd_opts;
+  bwd_opts.masked = opts;
+  bwd_opts.masked.kind = MaskKind::kMask;
+  for (std::size_t d = max_depth - 1; d >= 1; --d) {
+    std::vector<std::pair<std::size_t, std::future<Result>>> round;
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      Chunk& ch = chunks[c];
+      if (ch.levels.size() <= d) continue;
+      const Mat& cur = ch.levels[d];
+      const auto cb = static_cast<IT>(ch.sources.size());
+
+      // W = (1 + delta) / sigma on the pattern of the depth-d frontier.
+      auto w = std::make_shared<Mat>(cur);
+      {
+        auto vals = w->mutable_values();
+        const auto rp = w->rowptr();
+        const auto ci = w->colidx();
+        for (IT q = 0; q < cb; ++q) {
+          for (IT p = rp[q]; p < rp[q + 1]; ++p) {
+            const auto idx = static_cast<std::size_t>(q) *
+                                 static_cast<std::size_t>(n) +
+                             static_cast<std::size_t>(ci[p]);
+            vals[p] = (1.0 + ch.delta[idx]) / vals[p];
+          }
+        }
+      }
+      auto prev = std::make_shared<const Mat>(ch.levels[d - 1]);
+      round.emplace_back(
+          c, session.submit(std::shared_ptr<const Mat>(std::move(w)),
+                            std::move(prev), handle, bwd_opts));
+    }
+    for (auto& [c, fut] : round) {
+      Chunk& ch = chunks[c];
+      const Mat w2 = std::move(fut.get().value());
+      const Mat& prev = ch.levels[d - 1];
+      const auto cb = static_cast<IT>(ch.sources.size());
+      const auto rp2 = w2.rowptr();
+      const auto ci2 = w2.colidx();
+      const auto vl2 = w2.values();
+      for (IT q = 0; q < cb; ++q) {
+        const auto prow = prev.row(q);
+        IT pp = 0;
+        for (IT p = rp2[q]; p < rp2[q + 1]; ++p) {
+          const IT i = ci2[p];
+          while (prow.cols[pp] != i) ++pp;  // subset guarantee: always found
+          const auto idx = static_cast<std::size_t>(q) *
+                               static_cast<std::size_t>(n) +
+                           static_cast<std::size_t>(i);
+          ch.delta[idx] += vl2[p] * prow.vals[pp];
+        }
+      }
+    }
+  }
+  result.seconds_backward = bwd.seconds();
+  session.release(handle);
 
   // Reduce chunk deltas in source order (matches the monolithic loop).
   result.centrality.assign(static_cast<std::size_t>(n), 0.0);

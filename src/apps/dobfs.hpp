@@ -13,9 +13,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "client/client.hpp"
 #include "core/masked_spgevm.hpp"
 #include "core/plan.hpp"
 #include "matrix/ops.hpp"
@@ -124,6 +127,89 @@ DOBFSResult direction_optimized_bfs(const CSRMatrix<IT, VT>& graph, IT source,
     visited = ewise_add(visited, next);
     frontier = std::move(next);
   }
+  result.depth = depth;
+  return result;
+}
+
+// Client-session variant (ISSUE 5): the adjacency matrix is registered once
+// as the stationary structure; every level submits the 1×n frontier row with
+// the visited row as the per-request complement mask, switching the
+// algorithm option between the push (MSA) and pull (Inner) formulations per
+// Beamer's heuristic. Levels are sequential by nature (each needs the last),
+// so this exercises the handle-reuse side of the client rather than
+// pipelining depth.
+template <class IT, class VT>
+DOBFSResult direction_optimized_bfs(
+    const CSRMatrix<IT, VT>& graph, IT source,
+    client::Session<PlusPair<std::int64_t>, IT, std::int64_t>& session,
+    BFSDirection direction = BFSDirection::kAdaptive, double alpha = 4.0) {
+  check_arg(graph.nrows() == graph.ncols(), "dobfs: matrix must be square");
+  const IT n = graph.nrows();
+  check_arg(source >= 0 && source < n, "dobfs: source out of range");
+
+  using SV = SparseVector<IT, std::int64_t>;
+  using Mat = CSRMatrix<IT, std::int64_t>;
+  const auto a = std::make_shared<const Mat>(
+      n, n, std::vector<IT>(graph.rowptr().begin(), graph.rowptr().end()),
+      std::vector<IT>(graph.colidx().begin(), graph.colidx().end()),
+      std::vector<std::int64_t>(graph.nnz(), 1));
+  auto handle = session.register_structure(a);
+
+  DOBFSResult result;
+  result.levels.assign(static_cast<std::size_t>(n), -1);
+  result.levels[static_cast<std::size_t>(source)] = 0;
+
+  SV frontier(n);
+  frontier.push_back(source, 1);
+  SV visited = frontier;
+
+  client::SubmitOptions push_opts;
+  push_opts.masked.kind = MaskKind::kComplement;
+  push_opts.masked.algo = MaskedAlgo::kMSA;
+  client::SubmitOptions pull_opts = push_opts;
+  pull_opts.masked.algo = MaskedAlgo::kInner;
+
+  std::size_t unvisited_edges = a->nnz();
+  unvisited_edges -= static_cast<std::size_t>(a->row_nnz(source));
+
+  std::int32_t depth = 0;
+  while (!frontier.empty()) {
+    std::size_t frontier_edges = 0;
+    for (IT v : frontier.indices()) {
+      frontier_edges += static_cast<std::size_t>(a->row_nnz(v));
+    }
+    bool pull;
+    switch (direction) {
+      case BFSDirection::kPushOnly: pull = false; break;
+      case BFSDirection::kPullOnly: pull = true; break;
+      case BFSDirection::kAdaptive:
+      default:
+        pull = static_cast<double>(frontier_edges) >
+               static_cast<double>(unvisited_edges) / alpha;
+        break;
+    }
+
+    auto frontier_row =
+        std::make_shared<const Mat>(detail::as_row_matrix(frontier));
+    auto visited_row =
+        std::make_shared<const Mat>(detail::as_row_matrix(visited));
+    auto res = session
+                   .submit(frontier_row, visited_row, handle,
+                           pull ? pull_opts : push_opts)
+                   .get();
+    SV next = detail::first_row_as_vector(res.value());
+    if (next.empty()) break;
+    (pull ? result.pull_levels : result.push_levels) += 1;
+
+    ++depth;
+    for (IT v : next.indices()) {
+      result.levels[static_cast<std::size_t>(v)] = depth;
+      unvisited_edges -= static_cast<std::size_t>(a->row_nnz(v));
+    }
+    visited = ewise_add(visited, next);
+    frontier = std::move(next);
+  }
+  session.release(handle);
   result.depth = depth;
   return result;
 }

@@ -11,8 +11,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "client/client.hpp"
 #include "common/timer.hpp"
 #include "core/flops.hpp"
 #include "core/plan.hpp"
@@ -79,6 +82,58 @@ KTrussResult<IT> ktruss(const CSRMatrix<IT, VT>& graph, int k,
 
   result.remaining_edges = a.nnz();
   result.truss = std::move(a);
+  result.seconds_total = total.seconds();
+  return result;
+}
+
+// Client-session round loop (ISSUE 5): each iteration registers the current
+// edge set as a structure — A, B and the mask all alias it, so a sharded
+// backend ships the (shrinking) graph once per round and the submit itself
+// is nothing but flags — computes per-edge support through the session, and
+// releases the structure after pruning. One code path serves the local
+// runtime and a shard fleet.
+template <class IT, class VT>
+KTrussResult<IT> ktruss(
+    const CSRMatrix<IT, VT>& graph, int k,
+    client::Session<PlusPair<std::int64_t>, IT, std::int64_t>& session,
+    const MaskedOptions& opts = {}) {
+  check_arg(graph.nrows() == graph.ncols(), "ktruss: matrix must be square");
+  check_arg(k >= 3, "ktruss: k must be at least 3");
+  WallTimer total;
+
+  const auto support_needed = static_cast<std::int64_t>(k - 2);
+  using Mat = CSRMatrix<IT, std::int64_t>;
+  auto a = std::make_shared<const Mat>(
+      graph.nrows(), graph.ncols(),
+      std::vector<IT>(graph.rowptr().begin(), graph.rowptr().end()),
+      std::vector<IT>(graph.colidx().begin(), graph.colidx().end()),
+      std::vector<std::int64_t>(graph.nnz(), 1));
+
+  KTrussResult<IT> result;
+  result.algo = opts.algo;  // resolution happens backend-side per round
+  client::SubmitOptions sopts;
+  sopts.masked = opts;
+  while (true) {
+    ++result.iterations;
+    result.multiplies += total_flops(*a, *a);
+
+    auto handle = session.register_structure(a, a);
+    WallTimer kernel;
+    auto res = session.submit(a, handle, sopts).get();
+    result.seconds_spgemm += kernel.seconds();
+    session.release(handle);
+    auto support = std::move(res.value());  // throws on typed failure
+
+    auto pruned = filter(support, [&](IT, IT, const std::int64_t& v) {
+      return v >= support_needed;
+    });
+    const bool converged = (pruned.nnz() == a->nnz());
+    a = std::make_shared<const Mat>(spones(pruned));
+    if (converged || a->nnz() == 0) break;
+  }
+
+  result.remaining_edges = a->nnz();
+  result.truss = *a;
   result.seconds_total = total.seconds();
   return result;
 }

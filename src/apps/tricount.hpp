@@ -9,7 +9,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 
+#include "client/client.hpp"
 #include "common/timer.hpp"
 #include "core/flops.hpp"
 #include "core/plan.hpp"
@@ -87,6 +90,73 @@ TriCountResult triangle_count(const CSRMatrix<IT, VT>& graph,
       WallTimer kernel;
       c = plan.execute();
       result.seconds_spgemm = kernel.seconds();
+      break;
+    }
+  }
+
+  result.triangles = static_cast<std::uint64_t>(reduce_sum(c));
+  result.seconds_total = total.seconds();
+  return result;
+}
+
+// Client-session variant (ISSUE 5): the masked product is submitted through
+// a MaskedClient session, so the same call serves the local runtime or a
+// shard fleet. The triangular factors are registered as the stationary
+// structure; for kLL/kUU the submit is fully aliased (flags only on the
+// wire).
+template <class IT, class VT>
+TriCountResult triangle_count(
+    const CSRMatrix<IT, VT>& graph,
+    client::Session<PlusPair<std::int64_t>, IT, std::int64_t>& session,
+    const MaskedOptions& opts = {},
+    TriCountVariant variant = TriCountVariant::kLL) {
+  check_arg(graph.nrows() == graph.ncols(),
+            "triangle_count: adjacency matrix must be square");
+  WallTimer total;
+
+  const auto perm = degree_order_desc(graph);
+  const auto relabeled_vt = permute_symmetric(graph, perm);
+  // The session is typed over the plus-pair semiring's int64 operands.
+  using Mat = CSRMatrix<IT, std::int64_t>;
+  const Mat relabeled(
+      relabeled_vt.nrows(), relabeled_vt.ncols(),
+      std::vector<IT>(relabeled_vt.rowptr().begin(),
+                      relabeled_vt.rowptr().end()),
+      std::vector<IT>(relabeled_vt.colidx().begin(),
+                      relabeled_vt.colidx().end()),
+      std::vector<std::int64_t>(relabeled_vt.nnz(), 1));
+
+  TriCountResult result;
+  result.algo = opts.algo;  // resolution happens backend-side
+  client::SubmitOptions sopts;
+  sopts.masked = opts;
+  Mat c;
+  auto run = [&](std::shared_ptr<const Mat> a, std::shared_ptr<const Mat> b,
+                 std::shared_ptr<const Mat> m) {
+    result.multiplies = total_flops(*a, *b);
+    auto handle = session.register_structure(b, m == b ? b : nullptr);
+    WallTimer kernel;
+    auto fut = m == b ? session.submit(a, handle, sopts)
+                      : session.submit(a, m, handle, sopts);
+    c = std::move(fut.get().value());
+    result.seconds_spgemm = kernel.seconds();
+    session.release(handle);
+  };
+  switch (variant) {
+    case TriCountVariant::kLL: {
+      auto lower = std::make_shared<const Mat>(tril_strict(relabeled));
+      run(lower, lower, lower);
+      break;
+    }
+    case TriCountVariant::kLU: {
+      auto lower = std::make_shared<const Mat>(tril_strict(relabeled));
+      auto upper = std::make_shared<const Mat>(triu_strict(relabeled));
+      run(lower, upper, lower);
+      break;
+    }
+    case TriCountVariant::kUU: {
+      auto upper = std::make_shared<const Mat>(triu_strict(relabeled));
+      run(upper, upper, upper);
       break;
     }
   }

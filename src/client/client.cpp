@@ -1,0 +1,16 @@
+#include "client/client.hpp"
+
+namespace msx::client {
+
+const char* to_string(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::kOk: return "ok";
+    case RequestStatus::kOverloaded: return "overloaded";
+    case RequestStatus::kShardDown: return "shard-down";
+    case RequestStatus::kBadRequest: return "bad-request";
+    case RequestStatus::kInternalError: return "internal-error";
+  }
+  return "?";
+}
+
+}  // namespace msx::client

@@ -1,0 +1,369 @@
+// MaskedClient — the unified, future-returning way to consume masked SpGEMM
+// (ISSUE 5 tentpole).
+//
+// The repo grew four divergent entry points for C = M .* (A·B): the
+// stateless masked_spgemm free function, MaskedPlan (manual reuse),
+// BatchExecutor::submit (concurrent, copy-at-submit) and the blocking
+// ShardRouter::request (one outstanding request per calling thread). The
+// client API folds them behind one surface with one set of semantics:
+//
+//   MaskedClient  — constructed from a Backend; vends Sessions.
+//   Session       — registers stationary operands once
+//                   (register_structure(B[, M]) -> StructureHandle) and then
+//                   pipelines many products: submit(A[, M], handle, opts)
+//                   returns std::future<Result> with bounded in-flight depth
+//                   and per-request Priority.
+//   Result        — typed outcome (kOk / kOverloaded / kShardDown /
+//                   kBadRequest / kInternalError) instead of an ad-hoc
+//                   exception zoo; value() rethrows for callers that prefer
+//                   exceptions.
+//   Backend       — where the products actually run: LocalBackend
+//                   (BatchExecutor + PlanCache in-process, zero-copy handle
+//                   reuse) or ShardedBackend (pipelined connections to a
+//                   shard fleet, request-id-matched completion, failover
+//                   re-submission). One code path scales from one socket to
+//                   many processes — the property the distributed SpGEMM
+//                   literature (Buluç & Gilbert) attributes to handle-based
+//                   pipelined interfaces.
+//
+// Results are bit-identical to direct masked_spgemm calls with the same
+// options regardless of backend (tests/client/ holds the line).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/platform.hpp"
+#include "core/options.hpp"
+#include "matrix/csr.hpp"
+#include "runtime/thread_pool.hpp"  // Priority
+#include "semiring/semirings.hpp"
+
+namespace msx::client {
+
+// Typed outcome taxonomy. Transport- and admission-level failures are data,
+// not exceptions: a caller pipelining hundreds of futures must be able to
+// inspect each outcome without try/catch scaffolding around every get().
+enum class RequestStatus {
+  kOk,
+  kOverloaded,     // back-pressure: every eligible shard/executor refused
+  kShardDown,      // no shard could serve it (all down, or client shut down)
+  kBadRequest,     // validation failed (shapes, unknown structure, options)
+  kInternalError,  // anything else thrown while serving
+};
+
+const char* to_string(RequestStatus s);
+
+// One request's outcome: a matrix on kOk, a status + diagnostic otherwise.
+template <class IT, class VT>
+struct ClientResult {
+  RequestStatus status = RequestStatus::kOk;
+  std::string message;        // empty on kOk
+  CSRMatrix<IT, VT> matrix;   // valid on kOk
+
+  bool ok() const { return status == RequestStatus::kOk; }
+
+  // The matrix, or a thrown std::runtime_error carrying the taxonomy — the
+  // bridge for callers that prefer exceptions.
+  CSRMatrix<IT, VT>& value() {
+    if (!ok()) {
+      throw std::runtime_error(std::string("masked client: ") +
+                               to_string(status) +
+                               (message.empty() ? "" : ": " + message));
+    }
+    return matrix;
+  }
+};
+
+// Per-request options: how to compute (MaskedOptions) and how urgently
+// (Priority — interactive requests jump batch queues end to end: the
+// executor's lanes locally, the per-connection send queues remotely).
+struct SubmitOptions {
+  MaskedOptions masked;
+  Priority priority = Priority::kBatch;
+};
+
+struct SessionConfig {
+  // Bounded pipelining: submit() blocks once this many requests are in
+  // flight, which keeps a fast producer from ballooning queues anywhere
+  // downstream. 16–64 keeps a shard pipeline full without unbounded memory.
+  std::size_t max_in_flight = 32;
+};
+
+// Where products run. Implementations: LocalBackend (local_backend.hpp),
+// ShardedBackend (sharded_backend.hpp). All methods are thread-safe.
+template <class SR, class IT, class VT>
+  requires Semiring<SR>
+class Backend {
+ public:
+  using Mat = CSRMatrix<IT, VT>;
+  using Result = ClientResult<IT, typename SR::value_type>;
+  using Completion = std::function<void(Result)>;
+
+  virtual ~Backend() = default;
+
+  // Installs stationary operands {B[, M]} and returns their id. The backend
+  // holds the shared operands for zero-copy reuse (and, sharded, ships them
+  // to a shard once per connection instead of once per product).
+  virtual std::uint64_t register_structure(std::shared_ptr<const Mat> b,
+                                           std::shared_ptr<const Mat> m) = 0;
+  virtual void release_structure(std::uint64_t structure_id) = 0;
+
+  // Asynchronously computes C = M .* (A·B) against a registered structure.
+  // `mask_override` null means "use the registered M". Returns immediately;
+  // `done` is invoked exactly once — possibly on another thread, possibly
+  // before this call returns — with the typed outcome. Never throws for
+  // per-request failures.
+  virtual void submit(std::uint64_t structure_id, std::shared_ptr<const Mat> a,
+                      std::shared_ptr<const Mat> mask_override,
+                      const MaskedOptions& opts, Priority priority,
+                      Completion done) = 0;
+
+  // Blocks until every completion for requests submitted so far has been
+  // delivered.
+  virtual void drain() = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// A registered stationary-operand set. A plain value: copies share the
+// registration; release through the session that created it.
+template <class IT, class VT>
+class StructureHandle {
+ public:
+  StructureHandle() = default;
+
+  std::uint64_t id() const { return id_; }
+  bool valid() const { return id_ != 0; }
+  bool has_mask() const { return m_ != nullptr; }
+  const std::shared_ptr<const CSRMatrix<IT, VT>>& b() const { return b_; }
+  const std::shared_ptr<const CSRMatrix<IT, VT>>& mask() const { return m_; }
+
+ private:
+  template <class, class, class>
+  friend class Session;
+
+  StructureHandle(std::uint64_t id, std::shared_ptr<const CSRMatrix<IT, VT>> b,
+                  std::shared_ptr<const CSRMatrix<IT, VT>> m)
+      : id_(id), b_(std::move(b)), m_(std::move(m)) {}
+
+  std::uint64_t id_ = 0;
+  std::shared_ptr<const CSRMatrix<IT, VT>> b_;
+  std::shared_ptr<const CSRMatrix<IT, VT>> m_;
+};
+
+// One caller's pipelined stream of products. Move-only. Destroying a session
+// drains its in-flight requests and releases its registrations; the backend
+// (shared with the client and any sibling sessions) stays up.
+template <class SR, class IT, class VT>
+  requires Semiring<SR>
+class Session {
+ public:
+  using Mat = CSRMatrix<IT, VT>;
+  using Result = ClientResult<IT, typename SR::value_type>;
+  using Handle = StructureHandle<IT, VT>;
+
+  Session(std::shared_ptr<Backend<SR, IT, VT>> backend, SessionConfig cfg)
+      : backend_(std::move(backend)),
+        cfg_(cfg),
+        st_(std::make_shared<State>()) {
+    check_arg(backend_ != nullptr, "Session: null backend");
+    check_arg(cfg_.max_in_flight > 0, "Session: max_in_flight must be > 0");
+  }
+
+  Session(Session&&) = default;
+  Session& operator=(Session&& other) {
+    if (this != &other) {
+      close();  // the replaced session's registrations must not leak
+      backend_ = std::move(other.backend_);
+      cfg_ = other.cfg_;
+      st_ = std::move(other.st_);
+      registered_ = std::move(other.registered_);
+    }
+    return *this;
+  }
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  ~Session() { close(); }
+
+  // Drains in-flight requests and releases every structure this session
+  // registered. Idempotent; run by the destructor and by move-assignment
+  // onto a live session.
+  void close() {
+    if (st_ == nullptr) return;  // moved-from or already closed
+    drain();
+    for (std::uint64_t id : registered_) backend_->release_structure(id);
+    registered_.clear();
+    st_.reset();
+    backend_.reset();
+  }
+
+  // Registers stationary operands. Aliasing is expressed by passing the same
+  // shared_ptr (k-truss registers {A, A} and submits A against it); copies
+  // with equal structure but distinct identity are planned separately, like
+  // everywhere else in the library.
+  Handle register_structure(std::shared_ptr<const Mat> b,
+                            std::shared_ptr<const Mat> m = nullptr) {
+    check_arg(b != nullptr, "Session::register_structure: null B");
+    check_arg(st_ != nullptr, "Session::register_structure: session closed");
+    const std::uint64_t id = backend_->register_structure(b, m);
+    registered_.push_back(id);
+    return Handle(id, std::move(b), std::move(m));
+  }
+
+  // Convenience: copy the operands into shared storage once, here.
+  Handle register_structure(const Mat& b) {
+    return register_structure(std::make_shared<const Mat>(b));
+  }
+  Handle register_structure(const Mat& b, const Mat& m) {
+    auto sb = std::make_shared<const Mat>(b);
+    auto sm = static_cast<const void*>(&m) == static_cast<const void*>(&b)
+                  ? sb
+                  : std::make_shared<const Mat>(m);
+    return register_structure(std::move(sb), std::move(sm));
+  }
+
+  // Drops the registration (backend-side resources freed); outstanding
+  // submits against it should be drained first. The handle becomes invalid.
+  void release(Handle& h) {
+    if (!h.valid() || backend_ == nullptr) return;
+    for (auto it = registered_.begin(); it != registered_.end(); ++it) {
+      if (*it == h.id()) {
+        registered_.erase(it);
+        break;
+      }
+    }
+    backend_->release_structure(h.id());
+    h = Handle();
+  }
+
+  // Pipelines C = M .* (A·B) using the structure's registered mask. Blocks
+  // only when max_in_flight requests are already outstanding. Invalid local
+  // arguments surface as kBadRequest results (same taxonomy as remote
+  // validation), not exceptions.
+  std::future<Result> submit(std::shared_ptr<const Mat> a, const Handle& h,
+                             const SubmitOptions& opts = {}) {
+    return submit(std::move(a), nullptr, h, opts);
+  }
+
+  // Per-request mask form (BFS/BC: the visited set changes every level while
+  // B stays put). `mask` may alias `a` or the registered B by shared_ptr
+  // identity. Null mask means "use the registered M".
+  std::future<Result> submit(std::shared_ptr<const Mat> a,
+                             std::shared_ptr<const Mat> mask, const Handle& h,
+                             const SubmitOptions& opts = {}) {
+    if (st_ == nullptr) {
+      return fail_now(RequestStatus::kBadRequest, "session closed");
+    }
+    if (!h.valid()) return fail_now(RequestStatus::kBadRequest,
+                                    "invalid structure handle");
+    if (a == nullptr) {
+      return fail_now(RequestStatus::kBadRequest, "null A operand");
+    }
+    if (mask == nullptr && !h.has_mask()) {
+      return fail_now(RequestStatus::kBadRequest,
+                      "no mask: structure has none registered and none was "
+                      "passed");
+    }
+    {
+      std::unique_lock<std::mutex> lock(st_->mu);
+      st_->cv.wait(lock,
+                   [&] { return st_->in_flight < cfg_.max_in_flight; });
+      ++st_->in_flight;
+    }
+    auto promise = std::make_shared<std::promise<Result>>();
+    auto future = promise->get_future();
+    auto st = st_;
+    backend_->submit(h.id(), std::move(a), std::move(mask), opts.masked,
+                     opts.priority, [st, promise](Result r) {
+                       promise->set_value(std::move(r));
+                       {
+                         std::lock_guard<std::mutex> lock(st->mu);
+                         --st->in_flight;
+                       }
+                       st->cv.notify_all();
+                     });
+    return future;
+  }
+
+  // Convenience: copy a transient A (and mask) into shared storage.
+  std::future<Result> submit(const Mat& a, const Handle& h,
+                             const SubmitOptions& opts = {}) {
+    return submit(std::make_shared<const Mat>(a), nullptr, h, opts);
+  }
+
+  // Blocks until every request submitted through this session has resolved.
+  void drain() {
+    if (st_ == nullptr) return;
+    std::unique_lock<std::mutex> lock(st_->mu);
+    st_->cv.wait(lock, [&] { return st_->in_flight == 0; });
+  }
+
+  std::size_t in_flight() const {
+    if (st_ == nullptr) return 0;
+    std::lock_guard<std::mutex> lock(st_->mu);
+    return st_->in_flight;
+  }
+
+  Backend<SR, IT, VT>& backend() { return *backend_; }
+
+ private:
+  struct State {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::size_t in_flight = 0;
+  };
+
+  std::future<Result> fail_now(RequestStatus status, std::string message) {
+    std::promise<Result> p;
+    Result r;
+    r.status = status;
+    r.message = std::move(message);
+    p.set_value(std::move(r));
+    return p.get_future();
+  }
+
+  std::shared_ptr<Backend<SR, IT, VT>> backend_;
+  SessionConfig cfg_;
+  std::shared_ptr<State> st_;
+  std::vector<std::uint64_t> registered_;  // ids released at session close
+};
+
+// The entry point: owns (a share of) a backend and vends sessions. Cheap to
+// copy — copies share the backend.
+template <class SR, class IT, class VT>
+  requires Semiring<SR>
+class MaskedClient {
+ public:
+  using Mat = CSRMatrix<IT, VT>;
+  using Result = ClientResult<IT, typename SR::value_type>;
+
+  explicit MaskedClient(std::shared_ptr<Backend<SR, IT, VT>> backend)
+      : backend_(std::move(backend)) {
+    check_arg(backend_ != nullptr, "MaskedClient: null backend");
+  }
+
+  Session<SR, IT, VT> open_session(SessionConfig cfg = {}) {
+    return Session<SR, IT, VT>(backend_, cfg);
+  }
+
+  Backend<SR, IT, VT>& backend() { return *backend_; }
+  std::shared_ptr<Backend<SR, IT, VT>> backend_ptr() { return backend_; }
+
+  // Blocks until every request submitted through any session has resolved.
+  void drain() { backend_->drain(); }
+
+ private:
+  std::shared_ptr<Backend<SR, IT, VT>> backend_;
+};
+
+}  // namespace msx::client

@@ -1,0 +1,162 @@
+// LocalBackend — the client API served in-process by the concurrent runtime
+// (ISSUE 5 tentpole).
+//
+// Registered structures are held as shared operands, and every submit goes
+// through BatchExecutor::submit_shared: nothing is copied per request, the
+// structure-keyed PlanCache serves repeats warm, and Priority maps straight
+// onto the executor's two-level queues. Completion rides the executor's
+// on_complete hook (the job's future is ready when it fires), so drain() is
+// exactly wait_idle().
+//
+// Error taxonomy mapping: BatchRejected -> kOverloaded, std::invalid_argument
+// (shape/option validation, thrown inside the job) -> kBadRequest, anything
+// else -> kInternalError. kShardDown cannot happen locally.
+#pragma once
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "client/client.hpp"
+#include "runtime/batch.hpp"
+
+namespace msx::client {
+
+template <class SR, class IT, class VT>
+  requires Semiring<SR>
+class LocalBackend final : public Backend<SR, IT, VT> {
+ public:
+  using Base = Backend<SR, IT, VT>;
+  using Mat = typename Base::Mat;
+  using Result = typename Base::Result;
+  using Completion = typename Base::Completion;
+  using Executor = BatchExecutor<SR, IT, VT>;
+
+  // Owns its executor.
+  explicit LocalBackend(const BatchLimits& limits = {})
+      : owned_(std::make_unique<Executor>(limits)), exec_(owned_.get()) {}
+
+  // Borrows an executor shared with other parts of the process (it must
+  // outlive the backend).
+  explicit LocalBackend(Executor& exec) : exec_(&exec) {}
+
+  ~LocalBackend() override { drain(); }
+
+  std::uint64_t register_structure(std::shared_ptr<const Mat> b,
+                                   std::shared_ptr<const Mat> m) override {
+    check_arg(b != nullptr, "LocalBackend: null B");
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t id = next_id_++;
+    structures_[id] = Structure{std::move(b), std::move(m)};
+    return id;
+  }
+
+  void release_structure(std::uint64_t structure_id) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    structures_.erase(structure_id);
+  }
+
+  void submit(std::uint64_t structure_id, std::shared_ptr<const Mat> a,
+              std::shared_ptr<const Mat> mask_override,
+              const MaskedOptions& opts, Priority priority,
+              Completion done) override {
+    Structure s;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = structures_.find(structure_id);
+      if (it == structures_.end()) {
+        s.b = nullptr;
+      } else {
+        s = it->second;
+      }
+    }
+    if (s.b == nullptr) {
+      deliver(done, RequestStatus::kBadRequest,
+              "unknown structure id " + std::to_string(structure_id));
+      return;
+    }
+    auto m = mask_override != nullptr ? std::move(mask_override) : s.m;
+    if (m == nullptr) {
+      deliver(done, RequestStatus::kBadRequest,
+              "structure registered without a mask");
+      return;
+    }
+
+    // The executor's completion hook fires on the worker right after the
+    // job's future becomes ready; `bound` closes the tiny window between
+    // submit_shared returning the future and the hook consuming it.
+    struct Pending {
+      std::promise<void> bound;
+      std::future<typename Executor::output_matrix> fut;
+    };
+    auto pending = std::make_shared<Pending>();
+    JobOptions job;
+    job.priority = priority;
+    job.on_complete = [pending, done]() {
+      pending->bound.get_future().wait();
+      Result r;
+      try {
+        r.matrix = pending->fut.get();
+      } catch (const std::invalid_argument& e) {
+        r.status = RequestStatus::kBadRequest;
+        r.message = e.what();
+      } catch (const std::exception& e) {
+        r.status = RequestStatus::kInternalError;
+        r.message = e.what();
+      }
+      done(std::move(r));
+    };
+    try {
+      pending->fut =
+          exec_->submit_shared(std::move(a), s.b, std::move(m), opts,
+                               std::move(job));
+      pending->bound.set_value();
+    } catch (const BatchRejected& e) {
+      // Not enqueued: the hook never fires, deliver here.
+      deliver(done, RequestStatus::kOverloaded, e.what());
+    } catch (const std::invalid_argument& e) {
+      deliver(done, RequestStatus::kBadRequest, e.what());
+    } catch (const std::exception& e) {
+      deliver(done, RequestStatus::kInternalError, e.what());
+    }
+  }
+
+  void drain() override { exec_->wait_idle(); }
+
+  std::string name() const override { return "local"; }
+
+  Executor& executor() { return *exec_; }
+
+ private:
+  struct Structure {
+    std::shared_ptr<const Mat> b;
+    std::shared_ptr<const Mat> m;
+  };
+
+  static void deliver(const Completion& done, RequestStatus status,
+                      std::string message) {
+    Result r;
+    r.status = status;
+    r.message = std::move(message);
+    done(std::move(r));
+  }
+
+  std::unique_ptr<Executor> owned_;
+  Executor* exec_;
+  std::mutex mu_;
+  std::unordered_map<std::uint64_t, Structure> structures_;
+  std::uint64_t next_id_ = 1;
+};
+
+// Convenience: a client over a fresh local runtime.
+template <class SR, class IT, class VT>
+MaskedClient<SR, IT, VT> make_local_client(const BatchLimits& limits = {}) {
+  return MaskedClient<SR, IT, VT>(
+      std::make_shared<LocalBackend<SR, IT, VT>>(limits));
+}
+
+}  // namespace msx::client

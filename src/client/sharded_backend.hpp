@@ -1,0 +1,799 @@
+// ShardedBackend — pipelined async client for a fleet of ServiceShards
+// (ISSUE 5 tentpole). Replaces the blocking ShardRouter::request path for
+// clients that keep products in flight.
+//
+// Per shard there is ONE connection with a writer/reader thread pair:
+//
+//   * the writer drains a two-level (interactive-first) send queue of frames
+//     — structure registrations, submits, unregistrations — as scatter-gather
+//     writes referencing the operands in place;
+//   * the reader matches responses to requests by request id through the
+//     connection's in-flight map, so completions resolve to the right future
+//     no matter the arrival order.
+//
+// Stationary operands are the whole point: a registered structure's B (and
+// optional M) is shipped and hashed once per shard connection
+// (kRegisterRequest), after which each submit carries only what varies —
+// often nothing but flags, when A and the mask alias B as in k-truss. The
+// blocking router serializes, checksums and re-fingerprints B on every
+// single call; at service scale that per-request O(nnz(B)) tax is what the
+// session protocol removes, on top of keeping the shard's pipeline full.
+//
+// Failure semantics: when a connection dies (dial failure, transport error,
+// garbled frame) the shard is marked down, its connection generation is
+// bumped (invalidating that connection's registrations, which died with it
+// server-side), and every request that was queued or in flight on it is
+// re-dispatched to the next shard on the ring — re-registering structures
+// there lazily — so a mid-pipeline shard kill loses nothing and duplicates
+// nothing (each request completes exactly once; products are pure, so
+// re-execution is safe). kOverloaded answers re-route the one request
+// without marking the shard down. When every eligible shard is exhausted the
+// request completes with kShardDown (or kOverloaded when back-pressure was
+// the reason). Destroying the backend resolves any still-in-flight futures
+// with kShardDown rather than leaving them hanging.
+//
+// Optional health probing (off by default): every probe_interval, down
+// shards get a cheap kStatsRequest on a fresh dial and auto-rejoin the ring
+// on success — the distributed analogue of the router's mark_up.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "client/client.hpp"
+#include "runtime/plan_cache.hpp"
+#include "service/router.hpp"  // ShardEndpoint, ConsistentHashRing
+#include "service/shard.hpp"
+#include "service/transport.hpp"
+#include "service/wire.hpp"
+
+namespace msx::client {
+
+struct ShardedBackendConfig {
+  // Ring points per shard (see RouterConfig::vnodes).
+  int vnodes = 64;
+  // Health probing of down shards; zero disables (default — tests drive
+  // probe_down_shards() explicitly).
+  std::chrono::milliseconds probe_interval{0};
+};
+
+struct ShardedBackendStats {
+  std::vector<std::uint64_t> routed;   // kOk completions per shard
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;         // completions delivered (any status)
+  std::uint64_t failover_resubmits = 0;
+  std::uint64_t overload_reroutes = 0;
+  std::uint64_t down_marks = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t rejoins = 0;
+};
+
+// Structure digest for routing points: hashes a matrix's pattern once so a
+// registered B never needs re-hashing per submit (the blocking router's
+// plan_fingerprint walks B's arrays on every call). Requests with identical
+// operand structure and options map to the same point — which is all
+// consistent hashing needs — and the point is deterministic across client
+// instances, so independent clients agree on shard affinity.
+template <class IT, class VT>
+std::uint64_t matrix_structure_digest(const CSRMatrix<IT, VT>& m,
+                                      std::uint64_t seed) {
+  std::uint64_t h =
+      plan_hash_bytes(seed, m.rowptr().data(), m.rowptr().size_bytes());
+  h = plan_hash_bytes(h, m.colidx().data(), m.colidx().size_bytes());
+  const std::uint64_t dims[] = {static_cast<std::uint64_t>(m.nrows()),
+                                static_cast<std::uint64_t>(m.ncols())};
+  return plan_hash_bytes(h, dims, sizeof dims);
+}
+
+template <class SR, class IT, class VT>
+  requires Semiring<SR>
+class ShardedBackend final : public Backend<SR, IT, VT> {
+ public:
+  using Base = Backend<SR, IT, VT>;
+  using Mat = typename Base::Mat;
+  using VTC = typename SR::value_type;
+  using Result = typename Base::Result;
+  using Completion = typename Base::Completion;
+
+  explicit ShardedBackend(std::vector<service::ShardEndpoint> endpoints,
+                          ShardedBackendConfig cfg = {})
+      : endpoints_(std::move(endpoints)),
+        cfg_(cfg),
+        ring_(endpoints_.size(), cfg.vnodes),
+        down_(endpoints_.size(), 0),
+        routed_(endpoints_.size(), 0) {
+    check_arg(!endpoints_.empty(), "ShardedBackend: no shard endpoints");
+    conns_.reserve(endpoints_.size());
+    for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+      conns_.push_back(std::make_unique<Conn>());
+    }
+    if (cfg_.probe_interval.count() > 0) {
+      prober_ = std::thread([this] { probe_loop(); });
+    }
+  }
+
+  ~ShardedBackend() override { shutdown(); }
+
+  ShardedBackend(const ShardedBackend&) = delete;
+  ShardedBackend& operator=(const ShardedBackend&) = delete;
+
+  // --- Backend --------------------------------------------------------------
+
+  std::uint64_t register_structure(std::shared_ptr<const Mat> b,
+                                   std::shared_ptr<const Mat> m) override {
+    check_arg(b != nullptr, "ShardedBackend: null B");
+    auto s = std::make_shared<Structure>();
+    s->id = next_structure_.fetch_add(1, std::memory_order_relaxed);
+    s->b = std::move(b);
+    s->m = std::move(m);
+    s->b_digest = matrix_structure_digest(*s->b, kDigestSeedB);
+    s->m_digest =
+        s->m == nullptr
+            ? 0
+            : (s->m == s->b ? s->b_digest
+                            : matrix_structure_digest(*s->m, kDigestSeedM));
+    s->reg_gen.assign(endpoints_.size(), 0);  // gens start at 1: unregistered
+    std::lock_guard<std::mutex> lock(mu_);
+    structures_[s->id] = s;
+    return s->id;
+  }
+
+  void release_structure(std::uint64_t structure_id) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = structures_.find(structure_id);
+    if (it == structures_.end()) return;
+    const auto s = it->second;
+    structures_.erase(it);
+    if (stopping_) return;
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+      Conn& c = *conns_[i];
+      if (c.running && s->reg_gen[i] == c.gen) {
+        SendItem item;
+        item.kind = SendItem::Kind::kUnregister;
+        item.structure_id = structure_id;
+        c.sendq_hi.push_back(std::move(item));
+        c.cv.notify_all();
+      }
+    }
+  }
+
+  void submit(std::uint64_t structure_id, std::shared_ptr<const Mat> a,
+              std::shared_ptr<const Mat> mask_override,
+              const MaskedOptions& opts, Priority priority,
+              Completion done) override {
+    reap_retired();
+    std::shared_ptr<Structure> s;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = structures_.find(structure_id);
+      if (it != structures_.end()) s = it->second;
+    }
+    auto req = std::make_shared<Request>();
+    req->done = std::move(done);
+    if (s == nullptr || a == nullptr) {
+      Result r;
+      r.status = RequestStatus::kBadRequest;
+      r.message = s == nullptr
+                      ? "unknown structure id " + std::to_string(structure_id)
+                      : "null A operand";
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++submitted_;
+        ++inflight_total_;
+      }
+      finish(req, std::move(r));
+      return;
+    }
+    req->structure = std::move(s);
+    req->a = std::move(a);
+    req->mask = std::move(mask_override);
+    req->opts = opts;
+    req->priority = priority;
+    req->excluded.assign(endpoints_.size(), 0);
+    req->point = route_point(*req);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++submitted_;
+      ++inflight_total_;
+    }
+    dispatch(req);
+  }
+
+  void drain() override {
+    std::unique_lock<std::mutex> lock(mu_);
+    drain_cv_.wait(lock, [&] { return inflight_total_ == 0; });
+  }
+
+  std::string name() const override { return "sharded"; }
+
+  // --- fleet management -----------------------------------------------------
+
+  void mark_down(std::size_t shard) {
+    check_arg(shard < endpoints_.size(), "ShardedBackend: shard out of range");
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!down_[shard]) {
+      down_[shard] = 1;
+      ++down_marks_;
+    }
+  }
+
+  void mark_up(std::size_t shard) {
+    check_arg(shard < endpoints_.size(), "ShardedBackend: shard out of range");
+    std::lock_guard<std::mutex> lock(mu_);
+    down_[shard] = 0;
+  }
+
+  bool is_down(std::size_t shard) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return down_[shard] != 0;
+  }
+
+  std::size_t num_shards() const { return endpoints_.size(); }
+
+  // One probing round over every down shard (kStatsRequest on a fresh dial,
+  // mark_up on success); public so tests and schedulers can drive it without
+  // the background thread. Returns how many shards rejoined.
+  std::size_t probe_down_shards() {
+    std::size_t rejoined = 0;
+    for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+      if (!is_down(i)) continue;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++probes_;
+      }
+      if (!service::probe_endpoint(endpoints_[i]).has_value()) continue;
+      mark_up(i);
+      ++rejoined;
+      std::lock_guard<std::mutex> lock(mu_);
+      ++rejoins_;
+    }
+    return rejoined;
+  }
+
+  // Blocking stats probe of one shard on a fresh connection (benches and
+  // affinity accounting; not part of the pipelined data path).
+  service::ServiceStats shard_stats(std::size_t shard) {
+    check_arg(shard < endpoints_.size(), "ShardedBackend: shard out of range");
+    auto stats = service::probe_endpoint(endpoints_[shard]);
+    if (!stats.has_value()) {
+      throw service::TransportError("ShardedBackend: stats probe failed: " +
+                                    endpoints_[shard].name);
+    }
+    return *stats;
+  }
+
+  ShardedBackendStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    ShardedBackendStats out;
+    out.routed = routed_;
+    out.submitted = submitted_;
+    out.completed = completed_;
+    out.failover_resubmits = failover_resubmits_;
+    out.overload_reroutes = overload_reroutes_;
+    out.down_marks = down_marks_;
+    out.probes = probes_;
+    out.rejoins = rejoins_;
+    return out;
+  }
+
+  // Stops the connection threads and resolves every queued or in-flight
+  // request with kShardDown — futures never hang across a client shutdown.
+  // Idempotent; also run by the destructor.
+  void shutdown() {
+    std::vector<std::thread> threads;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+      for (auto& cptr : conns_) {
+        Conn& c = *cptr;
+        if (c.stream != nullptr) c.stream->shutdown();
+        c.cv.notify_all();
+        if (c.writer.joinable()) threads.push_back(std::move(c.writer));
+        if (c.reader.joinable()) threads.push_back(std::move(c.reader));
+      }
+      for (auto& r : retired_) threads.push_back(std::move(r.thread));
+      retired_.clear();
+    }
+    probe_cv_.notify_all();
+    if (prober_.joinable()) prober_.join();
+    for (auto& t : threads) t.join();
+    // Anything still queued or in flight resolves now — futures must not
+    // hang across a client shutdown.
+    std::vector<RequestPtr> leftovers;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& cptr : conns_) {
+        for (auto& [rid, r] : cptr->inflight) leftovers.push_back(r);
+        cptr->inflight.clear();
+        cptr->sendq_hi.clear();
+        cptr->sendq_lo.clear();
+      }
+    }
+    for (auto& r : leftovers) {
+      Result err;
+      err.status = RequestStatus::kShardDown;
+      err.message = "client shut down with the request in flight";
+      finish(r, std::move(err));
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t kDigestSeedA = 0x636c69656e742d41ull;
+  static constexpr std::uint64_t kDigestSeedB = 0x636c69656e742d42ull;
+  static constexpr std::uint64_t kDigestSeedM = 0x636c69656e742d4dull;
+  static constexpr std::uint64_t kPointSeed = 0x636c69656e742d70ull;
+
+  struct Structure {
+    std::uint64_t id = 0;
+    std::shared_ptr<const Mat> b;
+    std::shared_ptr<const Mat> m;  // null unless registered with a mask
+    std::uint64_t b_digest = 0;
+    std::uint64_t m_digest = 0;
+    // Per shard: the connection generation this structure was registered on
+    // (registrations are connection-scoped server-side, so a bumped
+    // generation means "register again before the next submit"). Guarded by
+    // the backend mutex.
+    std::vector<std::uint64_t> reg_gen;
+  };
+
+  struct Request {
+    std::shared_ptr<Structure> structure;
+    std::shared_ptr<const Mat> a;
+    std::shared_ptr<const Mat> mask;  // null = use registered M
+    MaskedOptions opts;
+    Priority priority = Priority::kBatch;
+    std::uint64_t point = 0;
+    std::vector<char> excluded;  // shards that answered kOverloaded (mu_)
+    bool overloaded = false;     // any overload reroute happened (mu_)
+    Completion done;
+  };
+  using RequestPtr = std::shared_ptr<Request>;
+
+  struct SendItem {
+    enum class Kind { kRegister, kSubmit, kUnregister };
+    Kind kind = Kind::kSubmit;
+    std::uint64_t rid = 0;                  // submit
+    RequestPtr req;                         // submit
+    std::shared_ptr<Structure> structure;   // register
+    std::uint64_t structure_id = 0;         // unregister
+  };
+
+  // One shard's connection state, all guarded by the backend mutex except
+  // the stream I/O itself (exactly one writer and one reader thread use the
+  // stream concurrently, which Stream supports by contract).
+  struct Conn {
+    std::shared_ptr<service::Stream> stream;  // threads hold their own refs
+    std::thread writer, reader;
+    // Set by each thread as its very last action, so a retired handle with
+    // the flag up can be joined without ever blocking (or self-joining from
+    // a completion callback still running on that thread).
+    std::shared_ptr<std::atomic<bool>> writer_exited, reader_exited;
+    std::deque<SendItem> sendq_hi, sendq_lo;
+    std::unordered_map<std::uint64_t, RequestPtr> inflight;
+    std::uint64_t gen = 1;
+    bool running = false;
+    std::condition_variable cv;  // writer wakeup, waits on the backend mutex
+  };
+
+  // A previous connection incarnation's thread, parked until provably done.
+  struct Retired {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> exited;
+  };
+
+  std::uint64_t route_point(const Request& req) const {
+    const Structure& s = *req.structure;
+    const bool a_is_b = req.a == s.b;
+    const std::uint64_t a_digest =
+        a_is_b ? s.b_digest : matrix_structure_digest(*req.a, kDigestSeedA);
+    std::uint64_t m_digest;
+    std::uint64_t m_source;  // keeps aliased and equal-structure masks apart
+    if (req.mask == nullptr) {
+      m_digest = s.m_digest;
+      m_source = 0;
+    } else if (req.mask == req.a) {
+      m_digest = a_digest;
+      m_source = 1;
+    } else if (req.mask == s.b) {
+      m_digest = s.b_digest;
+      m_source = 2;
+    } else {
+      m_digest = matrix_structure_digest(*req.mask, kDigestSeedM);
+      m_source = 3;
+    }
+    const MaskedOptions& o = req.opts;
+    const std::uint64_t header[] = {
+        a_digest,
+        s.b_digest,
+        m_digest,
+        (a_is_b ? 1u : 0u) | (m_source << 1),
+        static_cast<std::uint64_t>(o.algo),
+        static_cast<std::uint64_t>(o.phases),
+        static_cast<std::uint64_t>(o.kind),
+        static_cast<std::uint64_t>(o.schedule),
+        static_cast<std::uint64_t>(o.cost_model),
+        static_cast<std::uint64_t>(o.chunk),
+        static_cast<std::uint64_t>(o.threads),
+        static_cast<std::uint64_t>(o.heap_ninspect),
+        o.inner_gallop ? 1u : 0u,
+        sizeof(IT),
+    };
+    return plan_hash_bytes(kPointSeed, header, sizeof header);
+  }
+
+  // Routes the request to the first eligible shard (down and per-request
+  // excluded shards skipped), lazily dialing the connection and registering
+  // the structure on it. Falls through shards as dials fail; completes the
+  // request with a typed error when none is left.
+  void dispatch(const RequestPtr& req) {
+    Result err;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (;;) {
+        if (stopping_) {
+          err.status = RequestStatus::kShardDown;
+          err.message = "client shutting down";
+          break;
+        }
+        std::vector<char> skip = down_;
+        for (std::size_t i = 0; i < skip.size(); ++i) {
+          skip[i] = static_cast<char>(skip[i] | req->excluded[i]);
+        }
+        const int shard = ring_.pick(req->point, skip);
+        if (shard < 0) {
+          err.status = req->overloaded ? RequestStatus::kOverloaded
+                                       : RequestStatus::kShardDown;
+          err.message = req->overloaded
+                            ? "every eligible shard is overloaded or down"
+                            : "no shard could serve the request";
+          break;
+        }
+        const auto i = static_cast<std::size_t>(shard);
+        if (!ensure_conn_locked(i)) continue;  // dial failed -> marked down
+        Conn& c = *conns_[i];
+        Structure& s = *req->structure;
+        if (s.reg_gen[i] != c.gen) {
+          // First sight of this structure on this connection: enqueue its
+          // registration ahead of the submit. Registrations ride the
+          // interactive queue so no submit (either level) can overtake them.
+          s.reg_gen[i] = c.gen;
+          SendItem reg;
+          reg.kind = SendItem::Kind::kRegister;
+          reg.structure = req->structure;
+          c.sendq_hi.push_back(std::move(reg));
+        }
+        const std::uint64_t rid =
+            next_rid_.fetch_add(1, std::memory_order_relaxed);
+        c.inflight[rid] = req;
+        SendItem item;
+        item.kind = SendItem::Kind::kSubmit;
+        item.rid = rid;
+        item.req = req;
+        (req->priority == Priority::kInteractive ? c.sendq_hi : c.sendq_lo)
+            .push_back(std::move(item));
+        c.cv.notify_all();
+        return;
+      }
+    }
+    finish(req, std::move(err));
+  }
+
+  // Must hold mu_. Dials and starts the connection's thread pair if it is
+  // not running. Dial failure marks the shard down and returns false.
+  // Endpoint dials are expected to be fast (loopback/local sockets); a slow
+  // WAN dial would briefly hold the backend mutex.
+  bool ensure_conn_locked(std::size_t shard) {
+    Conn& c = *conns_[shard];
+    if (c.running) return true;
+    // Previous incarnation's threads have exited (or will momentarily);
+    // their handles are parked and reaped once their exit flag is up
+    // (reap_retired), or at shutdown at the latest.
+    if (c.writer.joinable()) {
+      retired_.push_back(Retired{std::move(c.writer), c.writer_exited});
+    }
+    if (c.reader.joinable()) {
+      retired_.push_back(Retired{std::move(c.reader), c.reader_exited});
+    }
+    std::unique_ptr<service::Stream> stream;
+    try {
+      stream = endpoints_[shard].connect();
+    } catch (const service::TransportError&) {
+      stream = nullptr;
+    }
+    if (stream == nullptr) {
+      if (!down_[shard]) {
+        down_[shard] = 1;
+        ++down_marks_;
+      }
+      return false;
+    }
+    c.stream = std::shared_ptr<service::Stream>(std::move(stream));
+    c.running = true;
+    const std::uint64_t gen = c.gen;
+    auto s = c.stream;
+    c.writer_exited = std::make_shared<std::atomic<bool>>(false);
+    c.reader_exited = std::make_shared<std::atomic<bool>>(false);
+    c.writer = std::thread([this, shard, gen, s, done = c.writer_exited] {
+      writer_loop(shard, gen, *s);
+      done->store(true, std::memory_order_release);
+    });
+    c.reader = std::thread([this, shard, gen, s, done = c.reader_exited] {
+      reader_loop(shard, gen, *s);
+      done->store(true, std::memory_order_release);
+    });
+    return true;
+  }
+
+  // Joins retired connection threads that have provably exited, so a
+  // flapping shard cannot accumulate zombie handles for the backend's
+  // lifetime. Called from submit(); shutdown joins the rest regardless.
+  void reap_retired() {
+    std::vector<Retired> done;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto it = retired_.begin(); it != retired_.end();) {
+        if (it->exited->load(std::memory_order_acquire)) {
+          done.push_back(std::move(*it));
+          it = retired_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (auto& r : done) r.thread.join();
+  }
+
+  void writer_loop(std::size_t shard, std::uint64_t gen, service::Stream& s) {
+    for (;;) {
+      SendItem item;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        Conn& c = *conns_[shard];
+        c.cv.wait(lock, [&] {
+          return stopping_ || c.gen != gen || !c.sendq_hi.empty() ||
+                 !c.sendq_lo.empty();
+        });
+        if (stopping_ || c.gen != gen) return;
+        auto& q = c.sendq_hi.empty() ? c.sendq_lo : c.sendq_hi;
+        item = std::move(q.front());
+        q.pop_front();
+      }
+      try {
+        switch (item.kind) {
+          case SendItem::Kind::kRegister: {
+            service::GatherPayload g;
+            service::encode_register_parts(g, item.structure->id,
+                                           *item.structure->b,
+                                           item.structure->m.get());
+            send_frame_parts(s, service::MessageType::kRegisterRequest, 0, g);
+            break;
+          }
+          case SendItem::Kind::kUnregister: {
+            const auto payload = service::encode_unregister(item.structure_id);
+            send_frame(s, service::MessageType::kUnregisterRequest, 0,
+                       payload);
+            break;
+          }
+          case SendItem::Kind::kSubmit: {
+            service::GatherPayload g;
+            build_submit(g, *item.req);
+            send_frame_parts(s, service::MessageType::kSubmitRequest,
+                             item.rid, g);
+            break;
+          }
+        }
+      } catch (const service::TransportError&) {
+        conn_failed(shard, gen);
+        return;
+      } catch (const service::WireError&) {
+        conn_failed(shard, gen);
+        return;
+      }
+    }
+  }
+
+  void build_submit(service::GatherPayload& g, const Request& req) {
+    const Structure& s = *req.structure;
+    std::uint8_t flags = 0;
+    const bool a_is_b = req.a == s.b;
+    if (a_is_b) flags |= service::kSubAIsB;
+    const Mat* inline_a = a_is_b ? nullptr : req.a.get();
+    const Mat* inline_m = nullptr;
+    if (req.mask == nullptr) {
+      flags |= service::kSubMRegistered;
+    } else if (req.mask == req.a) {
+      flags |= service::kSubMIsA;
+    } else if (req.mask == s.b) {
+      flags |= service::kSubMIsB;
+    } else {
+      inline_m = req.mask.get();
+    }
+    if (req.priority == Priority::kInteractive) {
+      flags |= service::kSubInteractive;
+    }
+    service::encode_submit_parts(g, s.id, flags, inline_a, inline_m,
+                                 req.opts);
+  }
+
+  void reader_loop(std::size_t shard, std::uint64_t gen, service::Stream& s) {
+    service::FrameHeader header;
+    std::vector<std::uint8_t> payload;
+    try {
+      while (recv_frame(s, header, payload)) {
+        if (header.type != service::MessageType::kResponse) break;
+        // Decode before consuming the in-flight entry, so a garbled payload
+        // fails over the request instead of losing it.
+        auto resp = service::decode_response<IT, VTC>(payload);
+        RequestPtr req;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          Conn& c = *conns_[shard];
+          if (c.gen != gen) return;
+          const auto it = c.inflight.find(header.request_id);
+          if (it == c.inflight.end()) break;  // protocol violation
+          req = it->second;
+          c.inflight.erase(it);
+        }
+        switch (resp.status) {
+          case service::WireStatus::kOk: {
+            {
+              std::lock_guard<std::mutex> lock(mu_);
+              ++routed_[shard];
+            }
+            Result r;
+            r.matrix = std::move(resp.result);
+            finish(req, std::move(r));
+            break;
+          }
+          case service::WireStatus::kOverloaded: {
+            // Back-pressure: spill this one request to the next shard; the
+            // overloaded shard keeps its ring position and affinity.
+            {
+              std::lock_guard<std::mutex> lock(mu_);
+              ++overload_reroutes_;
+              req->excluded[shard] = 1;
+              req->overloaded = true;
+            }
+            dispatch(req);
+            break;
+          }
+          case service::WireStatus::kBadRequest: {
+            Result r;
+            r.status = RequestStatus::kBadRequest;
+            r.message = std::move(resp.message);
+            finish(req, std::move(r));
+            break;
+          }
+          case service::WireStatus::kInternalError: {
+            Result r;
+            r.status = RequestStatus::kInternalError;
+            r.message = std::move(resp.message);
+            finish(req, std::move(r));
+            break;
+          }
+        }
+      }
+      conn_failed(shard, gen);  // EOF or protocol violation
+    } catch (const service::TransportError&) {
+      conn_failed(shard, gen);
+    } catch (const service::WireError&) {
+      conn_failed(shard, gen);
+    }
+  }
+
+  // A connection died: mark the shard down, bump the generation (server-side
+  // registrations died with the connection) and re-dispatch everything that
+  // was queued or awaiting a response on it. Exactly one of the connection's
+  // threads wins the generation check; the other exits quietly.
+  void conn_failed(std::size_t shard, std::uint64_t gen) {
+    std::vector<RequestPtr> orphans;
+    bool was_stopping = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      Conn& c = *conns_[shard];
+      if (c.gen != gen) return;  // stale notification
+      ++c.gen;
+      c.running = false;
+      if (c.stream != nullptr) c.stream->shutdown();  // wake the peer thread
+      c.stream.reset();
+      if (!down_[shard]) {
+        down_[shard] = 1;
+        ++down_marks_;
+      }
+      orphans.reserve(c.inflight.size());
+      for (auto& [rid, r] : c.inflight) orphans.push_back(r);
+      // Queued submits are a subset of the in-flight map (inserted at
+      // dispatch); registrations and unregistrations are connection-scoped
+      // and simply die with it.
+      c.inflight.clear();
+      c.sendq_hi.clear();
+      c.sendq_lo.clear();
+      c.cv.notify_all();
+      was_stopping = stopping_;
+      // Orphans failed at shutdown are not re-submissions — only count the
+      // ones that actually go back out.
+      if (!was_stopping) failover_resubmits_ += orphans.size();
+    }
+    for (auto& r : orphans) {
+      if (was_stopping) {
+        Result err;
+        err.status = RequestStatus::kShardDown;
+        err.message = "client shutting down";
+        finish(r, std::move(err));
+      } else {
+        dispatch(r);
+      }
+    }
+  }
+
+  // Delivers the outcome (outside any lock) and settles the drain gauge.
+  void finish(const RequestPtr& req, Result r) {
+    req->done(std::move(r));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++completed_;
+      --inflight_total_;
+    }
+    drain_cv_.notify_all();
+  }
+
+  void probe_loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stopping_) {
+      if (probe_cv_.wait_for(lock, cfg_.probe_interval,
+                             [&] { return stopping_; })) {
+        return;
+      }
+      lock.unlock();
+      probe_down_shards();
+      lock.lock();
+    }
+  }
+
+  std::vector<service::ShardEndpoint> endpoints_;
+  ShardedBackendConfig cfg_;
+  service::ConsistentHashRing ring_;
+
+  mutable std::mutex mu_;
+  std::vector<char> down_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Structure>> structures_;
+  std::vector<Retired> retired_;  // prior conn threads awaiting join
+  std::vector<std::uint64_t> routed_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t inflight_total_ = 0;
+  std::uint64_t failover_resubmits_ = 0;
+  std::uint64_t overload_reroutes_ = 0;
+  std::uint64_t down_marks_ = 0;
+  std::uint64_t probes_ = 0;
+  std::uint64_t rejoins_ = 0;
+  bool stopping_ = false;
+  std::condition_variable drain_cv_;
+  std::condition_variable probe_cv_;
+  std::atomic<std::uint64_t> next_rid_{1};
+  std::atomic<std::uint64_t> next_structure_{1};
+  std::thread prober_;
+};
+
+// Convenience: a client over a shard fleet.
+template <class SR, class IT, class VT>
+MaskedClient<SR, IT, VT> make_sharded_client(
+    std::vector<service::ShardEndpoint> endpoints,
+    ShardedBackendConfig cfg = {}) {
+  return MaskedClient<SR, IT, VT>(std::make_shared<ShardedBackend<SR, IT, VT>>(
+      std::move(endpoints), cfg));
+}
+
+}  // namespace msx::client

@@ -78,6 +78,19 @@ class BatchRejected : public std::runtime_error {
             "BatchExecutor: admission limits reached (back-pressure)") {}
 };
 
+// Per-job submit options beyond the MaskedOptions that shape the product
+// itself: queueing priority (interactive jobs are popped before batch jobs in
+// both the pool queue and the wide lane) and an optional completion hook.
+struct JobOptions {
+  Priority priority = Priority::kBatch;
+  // Invoked on the executing worker right after the job finishes (success or
+  // error) and before the executor's in-flight accounting settles, so
+  // wait_idle() returning guarantees every hook has run. The job's future is
+  // ready by the time the hook fires — this is the async client's completion
+  // seam. Must not throw and must not re-enter the executor.
+  std::function<void()> on_complete;
+};
+
 struct BatchLimits {
   // Pool worker count; <= 0 picks the OpenMP default (max_threads()).
   int pool_threads = 0;
@@ -109,6 +122,7 @@ struct BatchStats {
   std::uint64_t completed = 0;
   std::uint64_t small_jobs = 0;
   std::uint64_t wide_jobs = 0;
+  std::uint64_t interactive_jobs = 0;  // jobs admitted at Priority::kInteractive
   std::uint64_t rejected = 0;          // kReject admissions refused
   std::uint64_t admission_blocks = 0;  // kBlock submits that had to wait
   std::uint64_t pending_jobs = 0;      // in-flight gauge at snapshot time
@@ -153,7 +167,8 @@ class BatchExecutor {
   std::future<output_matrix> submit(const CSRMatrix<IT, VT>& a,
                                     const CSRMatrix<IT, VT>& b,
                                     const CSRMatrix<IT, MT>& m,
-                                    const MaskedOptions& opts = {}) {
+                                    const MaskedOptions& opts = {},
+                                    JobOptions job = {}) {
     // Collapse aliases so the plan sees the same aliasing the caller
     // expressed (and the fingerprint keys on it).
     auto ca = std::make_shared<const CSRMatrix<IT, VT>>(a);
@@ -171,7 +186,8 @@ class BatchExecutor {
       }
     }
     if (cm == nullptr) cm = std::make_shared<const CSRMatrix<IT, MT>>(m);
-    return submit_shared(std::move(ca), std::move(cb), std::move(cm), opts);
+    return submit_shared(std::move(ca), std::move(cb), std::move(cm), opts,
+                         std::move(job));
   }
 
   // Zero-copy form for callers that already hold shared operands (the apps'
@@ -183,7 +199,7 @@ class BatchExecutor {
       std::shared_ptr<const CSRMatrix<IT, VT>> a,
       std::shared_ptr<const CSRMatrix<IT, VT>> b,
       std::shared_ptr<const CSRMatrix<IT, MT>> m,
-      const MaskedOptions& opts = {}) {
+      const MaskedOptions& opts = {}, JobOptions job = {}) {
     check_arg(a != nullptr && b != nullptr && m != nullptr,
               "BatchExecutor::submit_shared: null operand");
     const JobShape shape = moldable_shape(
@@ -229,17 +245,24 @@ class BatchExecutor {
       } else {
         ++stats_.wide_jobs;
       }
+      if (job.priority == Priority::kInteractive) ++stats_.interactive_jobs;
     }
-    auto wrapped = [this, task, job_bytes] {
+    const Priority priority = job.priority;
+    auto wrapped = [this, task, job_bytes,
+                    on_complete = std::move(job.on_complete)] {
       (*task)();
+      // Hook before job_done: wait_idle() returning means every completion
+      // hook has fired, which is what lets backends drain deterministically.
+      if (on_complete) on_complete();
       job_done(job_bytes);
     };
     if (shape == JobShape::kSmall) {
-      pool_.submit_detached(std::move(wrapped));
+      pool_.submit_detached(std::move(wrapped), priority);
     } else {
       {
         std::lock_guard<std::mutex> lock(mu_);
-        wide_queue_.push_back(std::move(wrapped));
+        (priority == Priority::kInteractive ? wide_queue_hi_ : wide_queue_)
+            .push_back(std::move(wrapped));
       }
       wide_cv_.notify_one();
     }
@@ -339,16 +362,22 @@ class BatchExecutor {
 
   // The wide lane: one job at a time, each cooperatively executed by the
   // pool. Serializing wide jobs keeps their arena loops from fighting each
-  // other for the same workers.
+  // other for the same workers. Interactive wide jobs are popped before batch
+  // ones, FIFO within a level.
   void wide_loop() {
     for (;;) {
       std::function<void()> job;
       {
         std::unique_lock<std::mutex> lock(mu_);
-        wide_cv_.wait(lock, [&] { return wide_stop_ || !wide_queue_.empty(); });
-        if (wide_queue_.empty()) return;  // stopped and drained
-        job = std::move(wide_queue_.front());
-        wide_queue_.pop_front();
+        wide_cv_.wait(lock, [&] {
+          return wide_stop_ || !wide_queue_hi_.empty() || !wide_queue_.empty();
+        });
+        if (wide_queue_hi_.empty() && wide_queue_.empty()) {
+          return;  // stopped and drained
+        }
+        auto& q = wide_queue_hi_.empty() ? wide_queue_ : wide_queue_hi_;
+        job = std::move(q.front());
+        q.pop_front();
       }
       job();
     }
@@ -362,6 +391,7 @@ class BatchExecutor {
   std::condition_variable idle_cv_;
   std::condition_variable wide_cv_;
   std::condition_variable admit_cv_;
+  std::deque<std::function<void()>> wide_queue_hi_;  // Priority::kInteractive
   std::deque<std::function<void()>> wide_queue_;
   bool wide_stop_ = false;
   std::uint64_t outstanding_ = 0;

@@ -40,6 +40,62 @@ std::uint64_t plan_hash_bytes(std::uint64_t seed, const void* data,
   return h;
 }
 
+std::uint64_t plan_hash_parts(
+    std::uint64_t seed, std::span<const std::span<const std::uint8_t>> parts) {
+  std::size_t len = 0;
+  for (const auto& part : parts) len += part.size();
+  std::uint64_t h = seed ^ (static_cast<std::uint64_t>(len) *
+                            0x9e3779b97f4a7c15ULL);
+  // An 8-byte staging buffer carries block fragments across part boundaries,
+  // so the block sequence is exactly the one plan_hash_bytes sees on the
+  // concatenated buffer.
+  unsigned char staged[8];
+  std::size_t nstaged = 0;
+  for (const auto& part : parts) {
+    const std::uint8_t* p = part.data();
+    std::size_t n = part.size();
+    if (nstaged > 0) {
+      const std::size_t take = n < 8 - nstaged ? n : 8 - nstaged;
+      std::memcpy(staged + nstaged, p, take);
+      nstaged += take;
+      p += take;
+      n -= take;
+      if (nstaged < 8) continue;
+      std::uint64_t block;
+      std::memcpy(&block, staged, 8);
+      h ^= block;
+      h *= 0xbf58476d1ce4e5b9ULL;
+      h ^= h >> 27;
+      nstaged = 0;
+    }
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      std::uint64_t block;
+      std::memcpy(&block, p + i, 8);
+      h ^= block;
+      h *= 0xbf58476d1ce4e5b9ULL;
+      h ^= h >> 27;
+    }
+    if (i < n) {
+      std::memcpy(staged, p + i, n - i);
+      nstaged = n - i;
+    }
+  }
+  if (nstaged > 0) {
+    std::uint64_t block = 0;
+    std::memcpy(&block, staged, nstaged);
+    h ^= block;
+    h *= 0x94d049bb133111ebULL;
+    h ^= h >> 31;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
 namespace detail {
 
 namespace {

@@ -51,6 +51,14 @@ struct PlanKey {
 std::uint64_t plan_hash_bytes(std::uint64_t seed, const void* data,
                               std::size_t len);
 
+// plan_hash_bytes over the logical concatenation of `parts`, without
+// materializing it: bit-identical to hashing one contiguous buffer holding
+// the same bytes. This is what lets a scatter-gather frame writer (service
+// wire layer) checksum header + rowptr + colidx + values spans in place
+// while the receiver verifies the contiguous payload it read.
+std::uint64_t plan_hash_parts(std::uint64_t seed,
+                              std::span<const std::span<const std::uint8_t>> parts);
+
 struct PlanCacheStats {
   std::uint64_t hits = 0;        // idle instance reused
   std::uint64_t misses = 0;      // unknown structure, plan built

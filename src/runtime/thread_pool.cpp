@@ -17,6 +17,14 @@ thread_local int tls_index = -1;
 
 }  // namespace
 
+const char* to_string(Priority p) {
+  switch (p) {
+    case Priority::kInteractive: return "interactive";
+    case Priority::kBatch: return "batch";
+  }
+  return "?";
+}
+
 ThreadPool::ThreadPool(int threads) {
   const int n = threads > 0 ? threads : max_threads();
   workers_.reserve(static_cast<std::size_t>(n));
@@ -38,13 +46,22 @@ int ThreadPool::worker_index() const {
   return tls_pool == this ? tls_index : -1;
 }
 
-void ThreadPool::submit_detached(std::function<void()> task) {
+void ThreadPool::submit_detached(std::function<void()> task,
+                                 Priority priority) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     check_arg(!stop_, "ThreadPool: submit after shutdown");
-    queue_.push_back(std::move(task));
+    (priority == Priority::kInteractive ? queue_hi_ : queue_)
+        .push_back(std::move(task));
   }
   cv_.notify_one();
+}
+
+std::function<void()> ThreadPool::pop_locked() {
+  auto& q = queue_hi_.empty() ? queue_ : queue_hi_;
+  auto task = std::move(q.front());
+  q.pop_front();
+  return task;
 }
 
 std::size_t ThreadPool::tasks_executed() const {
@@ -59,10 +76,9 @@ void ThreadPool::worker_loop(int index) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and queue drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      cv_.wait(lock, [&] { return stop_ || have_work_locked(); });
+      if (!have_work_locked()) return;  // stop_ set and queues drained
+      task = pop_locked();
     }
     task();
     {
@@ -76,9 +92,8 @@ bool ThreadPool::try_run_one() {
   std::function<void()> task;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (queue_.empty()) return false;
-    task = std::move(queue_.front());
-    queue_.pop_front();
+    if (!have_work_locked()) return false;
+    task = pop_locked();
   }
   task();
   {

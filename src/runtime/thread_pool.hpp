@@ -30,6 +30,17 @@
 
 namespace msx {
 
+// Two-level job priority shared by the runtime and the client API: interactive
+// work (a user waiting on the answer) is dequeued before batch work wherever a
+// queue forms — the thread pool's task queue, the batch executor's wide lane,
+// and the sharded client's per-connection send queues. FIFO within a level.
+enum class Priority {
+  kInteractive,
+  kBatch,
+};
+
+const char* to_string(Priority p);
+
 class ThreadPool final : public TaskArena {
  public:
   // threads <= 0 picks the OpenMP default (max_threads()), so a pool sized
@@ -60,8 +71,10 @@ class ThreadPool final : public TaskArena {
   }
 
   // Fire-and-forget enqueue. The task must not throw (use submit() for
-  // fallible work).
-  void submit_detached(std::function<void()> task);
+  // fallible work). Interactive tasks are dequeued before batch tasks; order
+  // within a level is FIFO.
+  void submit_detached(std::function<void()> task,
+                       Priority priority = Priority::kBatch);
 
   // Tasks fully executed so far (stat for tests and the service example).
   std::size_t tasks_executed() const;
@@ -80,13 +93,19 @@ class ThreadPool final : public TaskArena {
   struct HelperState;
 
   void worker_loop(int index);
-  // Pops one queued task and runs it; returns false if the queue was empty.
+  // Pops one queued task and runs it; returns false if the queues were empty.
   bool try_run_one();
+  // Must hold mu_ and have checked have_work_locked(). Interactive first.
+  std::function<void()> pop_locked();
+  bool have_work_locked() const {
+    return !queue_hi_.empty() || !queue_.empty();
+  }
 
   std::vector<std::thread> workers_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<std::function<void()>> queue_hi_;  // Priority::kInteractive
+  std::deque<std::function<void()>> queue_;     // Priority::kBatch
   bool stop_ = false;
   std::size_t executed_ = 0;
 };

@@ -14,6 +14,26 @@ constexpr std::uint64_t kRingSeed = 0x72696e672d763031ull;  // "ring-v01"
 
 }  // namespace
 
+std::optional<ServiceStats> probe_endpoint(const ShardEndpoint& endpoint) {
+  try {
+    auto stream = endpoint.connect();
+    if (stream == nullptr) return std::nullopt;
+    GatherPayload empty;
+    send_frame_parts(*stream, MessageType::kStatsRequest, 0, empty);
+    FrameHeader header;
+    std::vector<std::uint8_t> reply;
+    if (!recv_frame(*stream, header, reply) ||
+        header.type != MessageType::kStatsResponse) {
+      return std::nullopt;
+    }
+    return decode_stats(reply);
+  } catch (const TransportError&) {
+    return std::nullopt;
+  } catch (const WireError&) {
+    return std::nullopt;
+  }
+}
+
 ConsistentHashRing::ConsistentHashRing(std::size_t nshards, int vnodes)
     : nshards_(nshards) {
   check_arg(vnodes > 0, "ConsistentHashRing: vnodes must be positive");

@@ -19,11 +19,15 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <functional>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -42,10 +46,20 @@ struct ShardEndpoint {
   std::function<std::unique_ptr<Stream>()> connect;
 };
 
+// Dials the endpoint fresh and exchanges one kStatsRequest; nullopt when the
+// dial, exchange or decode fails. The shared health-probe / stats primitive
+// of the router and the sharded client backend (router.cpp).
+std::optional<ServiceStats> probe_endpoint(const ShardEndpoint& endpoint);
+
 struct RouterConfig {
   // Ring points per shard. More vnodes = smoother key spread across shards
   // (64 keeps the max/min load ratio tight without bloating the ring).
   int vnodes = 64;
+  // Health probing: every interval, each down shard gets a cheap
+  // kStatsRequest on a fresh connection; success marks it up again, so a
+  // restarted shard rejoins the ring without operator intervention. Zero
+  // disables probing (the default — tests drive mark_up explicitly).
+  std::chrono::milliseconds probe_interval{0};
 };
 
 struct RouterStats {
@@ -53,6 +67,8 @@ struct RouterStats {
   std::uint64_t failovers = 0;         // transport/wire failures rerouted
   std::uint64_t overload_reroutes = 0; // kOverloaded answers rerouted
   std::uint64_t down_marks = 0;        // shards auto-marked down
+  std::uint64_t probes = 0;            // health probes attempted
+  std::uint64_t rejoins = 0;           // down shards probed back up
 };
 
 // Maps a fingerprint (or any point) to a shard, skipping flagged shards.
@@ -89,11 +105,26 @@ class ShardRouter {
   explicit ShardRouter(std::vector<ShardEndpoint> endpoints,
                        RouterConfig cfg = {})
       : endpoints_(std::move(endpoints)),
+        cfg_(cfg),
         ring_(endpoints_.size(), cfg.vnodes),
         down_(endpoints_.size(), 0),
         pools_(endpoints_.size()) {
     check_arg(!endpoints_.empty(), "ShardRouter: no shard endpoints");
     routed_.assign(endpoints_.size(), 0);
+    if (cfg_.probe_interval.count() > 0) {
+      prober_ = std::thread([this] { probe_loop(); });
+    }
+  }
+
+  ~ShardRouter() {
+    if (prober_.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        stopping_ = true;
+      }
+      probe_cv_.notify_all();
+      prober_.join();
+    }
   }
 
   // C = M .* (A·B) (or the complemented form) served by the shard owning
@@ -101,10 +132,20 @@ class ShardRouter {
   // the same options. Throws std::invalid_argument on a kBadRequest answer
   // (mirroring the local API), std::runtime_error on kInternalError, and
   // TransportError once every shard has been tried without success.
+  //
+  // NOTE: this is the blocking, ship-every-operand path — one outstanding
+  // request per calling thread, with B serialized and fingerprinted per
+  // call. New code should prefer the pipelined client
+  // (client/sharded_backend.hpp), which registers stationary operands once
+  // per shard and keeps many requests in flight; this entry point remains
+  // for one-shot callers and as the wire-compatibility baseline.
   output_matrix request(const Mat& a, const Mat& b, const Mat& m,
                         const MaskedOptions& opts = {}) {
     const PlanKey key = plan_fingerprint(a, b, m, opts);
-    const auto payload = encode_request(a, b, m, opts);
+    // Gather payload: operand arrays are referenced in place (a/b/m outlive
+    // the call) and re-sent as-is on failover.
+    GatherPayload payload;
+    encode_request_parts(payload, a, b, m, opts);
     const std::uint64_t rid =
         next_rid_.fetch_add(1, std::memory_order_relaxed);
 
@@ -166,7 +207,8 @@ class ShardRouter {
     check_arg(shard < endpoints_.size(), "ShardRouter: shard out of range");
     const std::uint64_t rid =
         next_rid_.fetch_add(1, std::memory_order_relaxed);
-    const auto reply = exchange(shard, MessageType::kStatsRequest, rid, {});
+    GatherPayload empty;
+    const auto reply = exchange(shard, MessageType::kStatsRequest, rid, empty);
     return decode_stats(reply);
   }
 
@@ -201,7 +243,30 @@ class ShardRouter {
     out.failovers = failovers_;
     out.overload_reroutes = overload_reroutes_;
     out.down_marks = down_marks_;
+    out.probes = probes_;
+    out.rejoins = rejoins_;
     return out;
+  }
+
+  // One probing round over every down shard: dial fresh, exchange a
+  // kStatsRequest, mark_up on success. Public so tests (and deployments
+  // that schedule probing themselves) can drive it without the background
+  // thread. Returns the number of shards brought back up.
+  std::size_t probe_down_shards() {
+    std::size_t rejoined = 0;
+    for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+      if (!is_down(i)) continue;
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++probes_;
+      }
+      if (!probe_endpoint(endpoints_[i]).has_value()) continue;
+      mark_up(i);
+      ++rejoined;
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++rejoins_;
+    }
+    return rejoined;
   }
 
   std::size_t num_shards() const { return endpoints_.size(); }
@@ -234,11 +299,11 @@ class ShardRouter {
   // it (its stream state is unknown) and rethrows for the failover path.
   std::vector<std::uint8_t> exchange(std::size_t shard, MessageType type,
                                      std::uint64_t rid,
-                                     std::span<const std::uint8_t> payload) {
+                                     GatherPayload& payload) {
     auto stream = checkout(shard);
     FrameHeader header;
     std::vector<std::uint8_t> reply;
-    send_frame(*stream, type, rid, payload);
+    send_frame_parts(*stream, type, rid, payload);
     if (!recv_frame(*stream, header, reply)) {
       throw TransportError("ShardRouter: shard closed the connection");
     }
@@ -277,7 +342,21 @@ class ShardRouter {
     pools_[shard].idle.push_back(std::move(s));
   }
 
+  void probe_loop() {
+    std::unique_lock<std::mutex> lock(stats_mu_);
+    while (!stopping_) {
+      if (probe_cv_.wait_for(lock, cfg_.probe_interval,
+                             [&] { return stopping_; })) {
+        return;
+      }
+      lock.unlock();
+      probe_down_shards();
+      lock.lock();
+    }
+  }
+
   std::vector<ShardEndpoint> endpoints_;
+  RouterConfig cfg_;
   ConsistentHashRing ring_;
   mutable std::mutex stats_mu_;
   std::vector<char> down_;  // guarded by stats_mu_
@@ -285,8 +364,13 @@ class ShardRouter {
   std::uint64_t failovers_ = 0;
   std::uint64_t overload_reroutes_ = 0;
   std::uint64_t down_marks_ = 0;
+  std::uint64_t probes_ = 0;
+  std::uint64_t rejoins_ = 0;
+  bool stopping_ = false;  // guarded by stats_mu_
+  std::condition_variable probe_cv_;
   std::vector<ConnPool> pools_;
   std::atomic<std::uint64_t> next_rid_{1};
+  std::thread prober_;
 };
 
 }  // namespace msx::service

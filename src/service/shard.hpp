@@ -27,6 +27,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -132,6 +133,9 @@ class ServiceShard {
     std::condition_variable qcv;
     std::deque<Pending> queue;
     bool reader_done = false;
+    // Session protocol (wire v2): structures registered by this connection,
+    // alive exactly as long as it is. Only the reader thread touches it.
+    std::unordered_map<std::uint64_t, Registered> registry;
 
     std::thread sender([&] {
       sender_loop(s, qmu, qcv, queue, reader_done);
@@ -152,6 +156,18 @@ class ServiceShard {
           case MessageType::kRequest:
             p.type = MessageType::kResponse;
             handle_request(payload, p);
+            break;
+          case MessageType::kRegisterRequest:
+            // One-way: a malformed registration throws WireError below and
+            // tears the connection down like any other malformed frame.
+            handle_register(payload, registry);
+            continue;
+          case MessageType::kUnregisterRequest:
+            registry.erase(decode_unregister(payload));
+            continue;
+          case MessageType::kSubmitRequest:
+            p.type = MessageType::kResponse;
+            handle_submit(payload, registry, p);
             break;
           default:
             p.type = MessageType::kResponse;
@@ -214,6 +230,14 @@ class ServiceShard {
     std::vector<std::uint8_t> immediate;
   };
 
+  // A structure installed by kRegisterRequest: shared operands the executor
+  // reuses across every submit that references them (one PlanCache key per
+  // recurring product shape, zero per-request operand copies).
+  struct Registered {
+    std::shared_ptr<const Mat> b;
+    std::shared_ptr<const Mat> m;  // null unless registered with a mask
+  };
+
   // Decodes and submits one product request; on any validation/admission
   // failure fills p.immediate with the matching error payload instead.
   void handle_request(std::span<const std::uint8_t> payload, Pending& p) {
@@ -249,6 +273,79 @@ class ServiceShard {
     }
   }
 
+  // Installs (or replaces) a registered structure. Decode failures propagate
+  // as WireError to the reader loop, which drops the connection.
+  void handle_register(std::span<const std::uint8_t> payload,
+                       std::unordered_map<std::uint64_t, Registered>& registry) {
+    auto reg = decode_register<IT, VT>(payload);
+    Registered rec;
+    rec.b = std::make_shared<const Mat>(std::move(reg.b));
+    if (reg.has_mask) {
+      rec.m = reg.mask_is_b
+                  ? rec.b
+                  : std::make_shared<const Mat>(std::move(reg.m_storage));
+    }
+    registry[reg.structure_id] = std::move(rec);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++wire_stats_.registrations;
+  }
+
+  // Decodes and submits one session product: operands resolve against the
+  // connection's registry, so only what the client actually shipped (a small
+  // A and/or mask, often nothing but flags) is copied here.
+  void handle_submit(std::span<const std::uint8_t> payload,
+                     std::unordered_map<std::uint64_t, Registered>& registry,
+                     Pending& p) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++wire_stats_.requests;
+    }
+    try {
+      auto sub = decode_submit<IT, VT>(payload);
+      const auto it = registry.find(sub.structure_id);
+      if (it == registry.end()) {
+        p.immediate = encode_error_response(
+            WireStatus::kBadRequest,
+            "unknown structure id " + std::to_string(sub.structure_id));
+        return;
+      }
+      const Registered& reg = it->second;
+      auto b = reg.b;
+      auto a = sub.a_is_b
+                   ? b
+                   : std::make_shared<const Mat>(std::move(sub.a_storage));
+      std::shared_ptr<const Mat> m;
+      if (sub.m_is_a) {
+        m = a;
+      } else if (sub.m_is_b) {
+        m = b;
+      } else if (sub.m_registered) {
+        if (reg.m == nullptr) {
+          p.immediate = encode_error_response(
+              WireStatus::kBadRequest,
+              "structure registered without a mask");
+          return;
+        }
+        m = reg.m;
+      } else {
+        m = std::make_shared<const Mat>(std::move(sub.m_storage));
+      }
+      JobOptions job;
+      job.priority = sub.priority;
+      p.fut = exec_.submit_shared(std::move(a), std::move(b), std::move(m),
+                                  sub.opts, std::move(job));
+    } catch (const BatchRejected& e) {
+      p.immediate = encode_error_response(WireStatus::kOverloaded, e.what());
+    } catch (const WireError& e) {
+      p.immediate = encode_error_response(WireStatus::kBadRequest, e.what());
+    } catch (const std::invalid_argument& e) {
+      p.immediate = encode_error_response(WireStatus::kBadRequest, e.what());
+    } catch (const std::exception& e) {
+      p.immediate = encode_error_response(WireStatus::kInternalError,
+                                          e.what());
+    }
+  }
+
   // Drains the response queue in FIFO (submission) order. Execution is
   // concurrent across the queue; only response bytes serialize here.
   void sender_loop(Stream& s, std::mutex& qmu, std::condition_variable& qcv,
@@ -262,10 +359,13 @@ class ServiceShard {
         p = std::move(queue.front());
         queue.pop_front();
       }
+      // Results go out as gather frames referencing the matrix in place (no
+      // payload-assembly copy); error payloads are small and pre-encoded.
+      std::optional<output_matrix> result;
       std::vector<std::uint8_t> payload;
       if (p.fut.has_value()) {
         try {
-          payload = encode_response(p.fut->get());
+          result = p.fut->get();
         } catch (const BatchRejected& e) {
           payload = encode_error_response(WireStatus::kOverloaded, e.what());
         } catch (const std::invalid_argument& e) {
@@ -277,9 +377,16 @@ class ServiceShard {
       } else {
         payload = std::move(p.immediate);
       }
-      count_out(p.type, payload);
       try {
-        send_frame(s, p.type, p.rid, payload);
+        if (result.has_value()) {
+          GatherPayload g;
+          encode_response_parts(g, *result);
+          count_out_ok(p.type, g.total_bytes());
+          send_frame_parts(s, p.type, p.rid, g);
+        } else {
+          count_out(p.type, payload);
+          send_frame(s, p.type, p.rid, payload);
+        }
       } catch (const TransportError&) {
         // Peer gone: keep draining the queue so in-flight futures are
         // consumed (results discarded), then exit via reader_done.
@@ -290,6 +397,14 @@ class ServiceShard {
   void count_in(std::size_t payload_bytes) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     wire_stats_.bytes_in += payload_bytes;
+  }
+
+  // Accounting for a kOk result sent via the gather path (no contiguous
+  // payload to sniff the status from).
+  void count_out_ok(MessageType type, std::size_t payload_bytes) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    wire_stats_.bytes_out += payload_bytes;
+    if (type == MessageType::kResponse) ++wire_stats_.responses;
   }
 
   void count_out(MessageType type, std::span<const std::uint8_t> payload) {

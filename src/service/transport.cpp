@@ -12,6 +12,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -36,6 +37,19 @@ void send_frame(Stream& s, MessageType type, std::uint64_t request_id,
   const auto header = encode_frame_header(type, request_id, payload);
   s.write_all(header.data(), header.size());
   if (!payload.empty()) s.write_all(payload.data(), payload.size());
+}
+
+void send_frame_parts(Stream& s, MessageType type, std::uint64_t request_id,
+                      GatherPayload& payload) {
+  const auto parts = payload.parts();
+  const auto header = encode_frame_header_raw(
+      type, request_id, payload.total_bytes(),
+      plan_hash_parts(kWireChecksumSeed, parts));
+  std::vector<std::span<const std::uint8_t>> all;
+  all.reserve(parts.size() + 1);
+  all.push_back(std::span<const std::uint8_t>(header));
+  all.insert(all.end(), parts.begin(), parts.end());
+  s.write_parts(all);
 }
 
 bool recv_frame(Stream& s, FrameHeader& header,
@@ -210,6 +224,50 @@ class FdStream final : public Stream {
       }
       p += n;
       len -= static_cast<std::size_t>(n);
+    }
+  }
+
+  // Scatter-gather: one sendmsg per batch of up to kMaxIov spans (sendmsg
+  // rather than writev for MSG_NOSIGNAL). Short writes advance the iovec
+  // window in place.
+  void write_parts(
+      std::span<const std::span<const std::uint8_t>> parts) override {
+    static constexpr std::size_t kMaxIov = 64;  // well under any IOV_MAX
+    iovec iov[kMaxIov];
+    std::size_t i = 0;
+    while (i < parts.size()) {
+      std::size_t n = 0;
+      std::size_t bytes = 0;
+      for (; n < kMaxIov && i + n < parts.size(); ++n) {
+        const auto& part = parts[i + n];
+        iov[n].iov_base = const_cast<std::uint8_t*>(part.data());
+        iov[n].iov_len = part.size();
+        bytes += part.size();
+      }
+      std::size_t first = 0;
+      while (bytes > 0) {
+        msghdr msg{};
+        msg.msg_iov = iov + first;
+        msg.msg_iovlen = n - first;
+        const ssize_t sent = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+        if (sent < 0) {
+          if (errno == EINTR) continue;
+          throw TransportError(std::string("socket sendmsg: ") +
+                               std::strerror(errno));
+        }
+        std::size_t done = static_cast<std::size_t>(sent);
+        bytes -= done;
+        while (done > 0 && done >= iov[first].iov_len) {
+          done -= iov[first].iov_len;
+          ++first;
+        }
+        if (done > 0) {
+          iov[first].iov_base =
+              static_cast<std::uint8_t*>(iov[first].iov_base) + done;
+          iov[first].iov_len -= done;
+        }
+      }
+      i += n;
     }
   }
 

@@ -45,6 +45,15 @@ class Stream {
   virtual ~Stream() = default;
   // Writes the whole buffer; throws TransportError when the pipe is closed.
   virtual void write_all(const void* data, std::size_t len) = 0;
+  // Writes every span in order (scatter-gather). Socket streams override
+  // this with sendmsg/writev so a whole frame — header plus each operand
+  // array — leaves in one syscall without being coalesced into a single
+  // buffer first; the default writes part by part.
+  virtual void write_parts(std::span<const std::span<const std::uint8_t>> parts) {
+    for (const auto& part : parts) {
+      if (!part.empty()) write_all(part.data(), part.size());
+    }
+  }
   // Reads 1..len bytes, blocking until data or EOF; returns 0 on EOF.
   virtual std::size_t read_some(void* data, std::size_t len) = 0;
   // Closes both directions; blocked readers see EOF, writers TransportError.
@@ -105,6 +114,12 @@ std::unique_ptr<Stream> connect_tcp(const std::string& host, int port);
 
 void send_frame(Stream& s, MessageType type, std::uint64_t request_id,
                 std::span<const std::uint8_t> payload);
+
+// Scatter-gather send: checksums the parts in place (plan_hash_parts) and
+// hands header + parts to Stream::write_parts as one batch. Wire-identical
+// to send_frame over the flattened payload.
+void send_frame_parts(Stream& s, MessageType type, std::uint64_t request_id,
+                      GatherPayload& payload);
 
 // Receives one frame. Returns false on clean EOF between frames; throws
 // WireError on a malformed/truncated/corrupt frame and TransportError on

@@ -8,6 +8,9 @@ const char* to_string(MessageType t) {
     case MessageType::kResponse: return "response";
     case MessageType::kStatsRequest: return "stats-request";
     case MessageType::kStatsResponse: return "stats-response";
+    case MessageType::kRegisterRequest: return "register";
+    case MessageType::kSubmitRequest: return "submit";
+    case MessageType::kUnregisterRequest: return "unregister";
   }
   return "?";
 }
@@ -22,9 +25,10 @@ const char* to_string(WireStatus s) {
   return "?";
 }
 
-std::vector<std::uint8_t> encode_frame_header(
-    MessageType type, std::uint64_t request_id,
-    std::span<const std::uint8_t> payload) {
+std::vector<std::uint8_t> encode_frame_header_raw(MessageType type,
+                                                  std::uint64_t request_id,
+                                                  std::uint64_t payload_len,
+                                                  std::uint64_t checksum) {
   std::vector<std::uint8_t> bytes(kFrameHeaderBytes);
   std::uint8_t* p = bytes.data();
   auto put = [&p](const auto v) {
@@ -35,10 +39,18 @@ std::vector<std::uint8_t> encode_frame_header(
   put(kWireVersion);
   put(static_cast<std::uint16_t>(type));
   put(request_id);
-  put(static_cast<std::uint64_t>(payload.size()));
-  put(plan_hash_bytes(kWireChecksumSeed, payload.data(), payload.size()));
+  put(payload_len);
+  put(checksum);
   MSX_ASSERT(p == bytes.data() + kFrameHeaderBytes);
   return bytes;
+}
+
+std::vector<std::uint8_t> encode_frame_header(
+    MessageType type, std::uint64_t request_id,
+    std::span<const std::uint8_t> payload) {
+  return encode_frame_header_raw(
+      type, request_id, payload.size(),
+      plan_hash_bytes(kWireChecksumSeed, payload.data(), payload.size()));
 }
 
 FrameHeader decode_frame_header(std::span<const std::uint8_t> bytes) {
@@ -54,7 +66,7 @@ FrameHeader decode_frame_header(std::span<const std::uint8_t> bytes) {
   }
   const std::uint16_t type = r.get_u16();
   if (type < static_cast<std::uint16_t>(MessageType::kRequest) ||
-      type > static_cast<std::uint16_t>(MessageType::kStatsResponse)) {
+      type > static_cast<std::uint16_t>(MessageType::kUnregisterRequest)) {
     throw WireError("wire: unknown message type " + std::to_string(type));
   }
   h.type = static_cast<MessageType>(type);
@@ -75,18 +87,6 @@ void verify_payload(const FrameHeader& header,
   const std::uint64_t sum =
       plan_hash_bytes(kWireChecksumSeed, payload.data(), payload.size());
   if (sum != header.checksum) throw WireError("wire: checksum mismatch");
-}
-
-void write_options(WireWriter& w, const MaskedOptions& opts) {
-  w.put_u32(static_cast<std::uint32_t>(opts.algo));
-  w.put_u32(static_cast<std::uint32_t>(opts.phases));
-  w.put_u32(static_cast<std::uint32_t>(opts.kind));
-  w.put_u32(static_cast<std::uint32_t>(opts.schedule));
-  w.put_u32(static_cast<std::uint32_t>(opts.cost_model));
-  w.put_i32(opts.threads);
-  w.put_i32(opts.chunk);
-  w.put_u64(static_cast<std::uint64_t>(opts.heap_ninspect));
-  w.put_u8(opts.inner_gallop ? 1 : 0);
 }
 
 namespace {
@@ -135,7 +135,7 @@ std::vector<std::uint8_t> encode_stats(const ServiceStats& s) {
       s.overloaded,      s.bytes_in,       s.bytes_out,
       s.jobs_submitted,  s.jobs_completed, s.cache_hits,
       s.cache_misses,    s.cache_grows,    s.cache_evictions,
-      s.cache_instances, s.cache_bytes,
+      s.cache_instances, s.cache_bytes,    s.registrations,
   };
   WireWriter w;
   w.put_array(std::span<const std::uint64_t>(fields));
@@ -164,6 +164,9 @@ ServiceStats decode_stats(std::span<const std::uint8_t> payload) {
   s.cache_evictions = fields[11];
   s.cache_instances = fields[12];
   s.cache_bytes = fields[13];
+  // Appended in v2; count-prefixed, so a shorter (older) payload still
+  // decodes with the counter at zero.
+  if (fields.size() > 14) s.registrations = fields[14];
   return s;
 }
 

@@ -32,6 +32,7 @@
 #include "core/options.hpp"
 #include "matrix/csr.hpp"
 #include "runtime/plan_cache.hpp"
+#include "runtime/thread_pool.hpp"  // Priority (submit frames carry it)
 
 namespace msx::service {
 
@@ -43,10 +44,17 @@ class WireError : public std::runtime_error {
 };
 
 enum class MessageType : std::uint16_t {
-  kRequest = 1,        // masked product request
+  kRequest = 1,        // masked product request carrying every operand
   kResponse = 2,       // result (or error status)
   kStatsRequest = 3,   // shard stats probe (affinity accounting)
   kStatsResponse = 4,  // ServiceStats payload
+  // Session protocol (wire v2, async client): a connection registers its
+  // stationary operands once and then pipelines many products that reference
+  // them by id — the stationary B (and optionally M) crosses the wire and is
+  // hashed exactly once per connection instead of once per product.
+  kRegisterRequest = 5,    // install {B[, M]} under a client-chosen id
+  kSubmitRequest = 6,      // product against a registered structure
+  kUnregisterRequest = 7,  // drop a registered structure
 };
 
 enum class WireStatus : std::uint32_t {
@@ -60,7 +68,10 @@ const char* to_string(MessageType t);
 const char* to_string(WireStatus s);
 
 inline constexpr std::uint32_t kWireMagic = 0x4D535857u;  // "WXSM" on the wire
-inline constexpr std::uint16_t kWireVersion = 1;
+// v2 adds the session message types (kRegisterRequest/kSubmitRequest/
+// kUnregisterRequest) behind the same frame layout; v1 frames are otherwise
+// unchanged, but mixed-version peers are rejected loudly at the header.
+inline constexpr std::uint16_t kWireVersion = 2;
 inline constexpr std::size_t kFrameHeaderBytes = 32;
 // Upper bound on a single payload; a corrupt length field must not turn into
 // a multi-gigabyte allocation.
@@ -79,6 +90,14 @@ struct FrameHeader {
 std::vector<std::uint8_t> encode_frame_header(MessageType type,
                                               std::uint64_t request_id,
                                               std::span<const std::uint8_t> payload);
+
+// Header bytes for a payload whose length and checksum were computed
+// elsewhere — the scatter-gather writer checksums its parts in place
+// (plan_hash_parts) instead of materializing the payload.
+std::vector<std::uint8_t> encode_frame_header_raw(MessageType type,
+                                                  std::uint64_t request_id,
+                                                  std::uint64_t payload_len,
+                                                  std::uint64_t checksum);
 
 // Parses and validates magic/version/length bounds; throws WireError.
 FrameHeader decode_frame_header(std::span<const std::uint8_t> bytes);
@@ -181,6 +200,86 @@ class WireReader {
   std::size_t pos_ = 0;
 };
 
+// --- scatter-gather payloads -----------------------------------------------
+
+// A payload described as an ordered list of byte spans instead of one
+// contiguous buffer: small metadata runs (flags, options, dims, array length
+// prefixes) are owned by the payload, while large arrays (rowptr / colidx /
+// values) stay where they live and are referenced in place. A socket
+// transport sends the whole frame as one writev/sendmsg batch, which drops
+// the payload-assembly copy that dominates the send side for large operands.
+// The referenced arrays must stay alive and unchanged until the frame is
+// written. The receive side is unaffected: it still reads one contiguous
+// payload and verifies one checksum (plan_hash_parts == plan_hash_bytes over
+// the concatenation).
+class GatherPayload {
+ public:
+  // Metadata writer for small scalars; its bytes are spliced (in order)
+  // between the referenced spans.
+  void put_u8(std::uint8_t v) { meta_.put_u8(v); }
+  void put_u32(std::uint32_t v) { meta_.put_u32(v); }
+  void put_u64(std::uint64_t v) { meta_.put_u64(v); }
+  void put_i32(std::int32_t v) { meta_.put_i32(v); }
+
+  // References `bytes` in place as the next run of the payload.
+  void add_span(std::span<const std::uint8_t> bytes) {
+    flush_meta();
+    if (!bytes.empty()) {
+      parts_.push_back(bytes);
+      total_ += bytes.size();
+    }
+  }
+
+  // Length-prefixed array, the prefix in metadata and the elements in place —
+  // the wire image is identical to WireWriter::put_array.
+  template <class T>
+  void add_array(std::span<const T> v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put_u64(static_cast<std::uint64_t>(v.size()));
+    add_span(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(v.data()), v.size_bytes()));
+  }
+
+  // The ordered spans (trailing metadata flushed). The returned spans alias
+  // this object and the referenced arrays.
+  std::span<const std::span<const std::uint8_t>> parts() {
+    flush_meta();
+    return parts_;
+  }
+
+  std::size_t total_bytes() {
+    flush_meta();
+    return total_;
+  }
+
+  // Contiguous copy of the payload — the compatibility path for transports
+  // and tests that want one buffer.
+  std::vector<std::uint8_t> flatten() {
+    std::vector<std::uint8_t> out;
+    out.reserve(total_bytes());
+    for (const auto& part : parts()) {
+      out.insert(out.end(), part.begin(), part.end());
+    }
+    return out;
+  }
+
+ private:
+  void flush_meta() {
+    if (meta_.bytes().empty()) return;
+    owned_.push_back(meta_.take());
+    meta_ = WireWriter();  // moved-from writer state is unspecified; reset
+    parts_.push_back(std::span<const std::uint8_t>(owned_.back()));
+    total_ += owned_.back().size();
+  }
+
+  WireWriter meta_;
+  // Vector-of-vectors: the heap buffers spans point into are stable under
+  // push_back even though the vector objects move.
+  std::vector<std::vector<std::uint8_t>> owned_;
+  std::vector<std::span<const std::uint8_t>> parts_;
+  std::size_t total_ = 0;
+};
+
 // --- element type tags -----------------------------------------------------
 
 template <class T>
@@ -237,9 +336,36 @@ CSRMatrix<IT, VT> read_csr(WireReader& r) {
   return m;
 }
 
+// Same wire image as write_csr, but the three arrays are referenced in place
+// (scatter-gather) instead of copied into the payload.
+template <class IT, class VT>
+void write_csr_parts(GatherPayload& g, const CSRMatrix<IT, VT>& m) {
+  g.put_u8(static_cast<std::uint8_t>(sizeof(IT)));
+  g.put_u8(WireValueCode<VT>::value);
+  g.put_u64(static_cast<std::uint64_t>(m.nrows()));
+  g.put_u64(static_cast<std::uint64_t>(m.ncols()));
+  g.add_array(m.rowptr());
+  g.add_array(m.colidx());
+  g.add_array(m.values());
+}
+
 // --- options ---------------------------------------------------------------
 
-void write_options(WireWriter& w, const MaskedOptions& opts);
+// Templated over the writer so the contiguous (WireWriter) and gather
+// (GatherPayload) paths emit identical bytes from one definition.
+template <class Writer>
+void write_options(Writer& w, const MaskedOptions& opts) {
+  w.put_u32(static_cast<std::uint32_t>(opts.algo));
+  w.put_u32(static_cast<std::uint32_t>(opts.phases));
+  w.put_u32(static_cast<std::uint32_t>(opts.kind));
+  w.put_u32(static_cast<std::uint32_t>(opts.schedule));
+  w.put_u32(static_cast<std::uint32_t>(opts.cost_model));
+  w.put_i32(opts.threads);
+  w.put_i32(opts.chunk);
+  w.put_u64(static_cast<std::uint64_t>(opts.heap_ninspect));
+  w.put_u8(opts.inner_gallop ? 1 : 0);
+}
+
 // Range-checks every enum; throws WireError on values this version does not
 // know (a frame from a newer peer must not be silently misinterpreted).
 MaskedOptions read_options(WireReader& r);
@@ -275,28 +401,38 @@ inline constexpr std::uint8_t kAliasBIsA = 1;
 inline constexpr std::uint8_t kAliasMIsA = 2;
 inline constexpr std::uint8_t kAliasMIsB = 4;
 
-// Encodes a request payload. Aliases are detected by address, exactly like
-// masked_plan / BatchExecutor::submit.
+// Builds a request payload as gather parts (operand arrays referenced in
+// place; they must outlive the send). Aliases are detected by address,
+// exactly like masked_plan / BatchExecutor::submit.
+template <class IT, class VT>
+void encode_request_parts(GatherPayload& g, const CSRMatrix<IT, VT>& a,
+                          const CSRMatrix<IT, VT>& b,
+                          const CSRMatrix<IT, VT>& m,
+                          const MaskedOptions& opts) {
+  const bool b_is_a = static_cast<const void*>(&b) == static_cast<const void*>(&a);
+  const bool m_is_a = static_cast<const void*>(&m) == static_cast<const void*>(&a);
+  const bool m_is_b =
+      !m_is_a && static_cast<const void*>(&m) == static_cast<const void*>(&b);
+  std::uint8_t flags = 0;
+  if (b_is_a) flags |= kAliasBIsA;
+  if (m_is_a) flags |= kAliasMIsA;
+  if (m_is_b) flags |= kAliasMIsB;
+  g.put_u8(flags);
+  write_options(g, opts);
+  write_csr_parts(g, a);
+  if (!b_is_a) write_csr_parts(g, b);
+  if (!m_is_a && !m_is_b) write_csr_parts(g, m);
+}
+
+// Contiguous form of encode_request_parts (tests, non-gather callers).
 template <class IT, class VT>
 std::vector<std::uint8_t> encode_request(const CSRMatrix<IT, VT>& a,
                                          const CSRMatrix<IT, VT>& b,
                                          const CSRMatrix<IT, VT>& m,
                                          const MaskedOptions& opts) {
-  const bool b_is_a = static_cast<const void*>(&b) == static_cast<const void*>(&a);
-  const bool m_is_a = static_cast<const void*>(&m) == static_cast<const void*>(&a);
-  const bool m_is_b =
-      !m_is_a && static_cast<const void*>(&m) == static_cast<const void*>(&b);
-  WireWriter w;
-  std::uint8_t flags = 0;
-  if (b_is_a) flags |= kAliasBIsA;
-  if (m_is_a) flags |= kAliasMIsA;
-  if (m_is_b) flags |= kAliasMIsB;
-  w.put_u8(flags);
-  write_options(w, opts);
-  write_csr(w, a);
-  if (!b_is_a) write_csr(w, b);
-  if (!m_is_a && !m_is_b) write_csr(w, m);
-  return w.take();
+  GatherPayload g;
+  encode_request_parts(g, a, b, m, opts);
+  return g.flatten();
 }
 
 template <class IT, class VT>
@@ -319,14 +455,158 @@ WireRequest<IT, VT> decode_request(std::span<const std::uint8_t> payload) {
   return req;
 }
 
+// --- session protocol (wire v2) --------------------------------------------
+//
+// A connection-scoped structure registry: kRegisterRequest installs the
+// stationary operands {B[, M]} under a client-chosen id, kSubmitRequest then
+// references them by id and ships only what varies per product (typically a
+// small A and/or mask). Registrations live exactly as long as the
+// connection, so a reconnect implies re-registration and a dropped client
+// can never leak server memory. Register/unregister are one-way (no
+// response): frames on a connection are processed in order, so a submit
+// behind a register is guaranteed to find it, and a malformed registration
+// tears the connection down like any other malformed frame.
+
+inline constexpr std::uint8_t kRegHasMask = 1;  // {B, M} registered together
+inline constexpr std::uint8_t kRegMaskIsB = 2;  // registered M aliases B
+
+// Submit flags: where A and the mask come from. Exactly one mask source must
+// hold (inline mask when none of the M bits is set).
+inline constexpr std::uint8_t kSubAIsB = 1;         // A aliases registered B
+inline constexpr std::uint8_t kSubMIsA = 2;         // mask aliases A
+inline constexpr std::uint8_t kSubMIsB = 4;         // mask aliases registered B
+inline constexpr std::uint8_t kSubMRegistered = 8;  // mask = registered M
+inline constexpr std::uint8_t kSubInteractive = 16; // Priority::kInteractive
+
+template <class IT, class VT>
+struct WireRegister {
+  std::uint64_t structure_id = 0;
+  bool has_mask = false;
+  bool mask_is_b = false;
+  CSRMatrix<IT, VT> b;
+  CSRMatrix<IT, VT> m_storage;  // valid when has_mask && !mask_is_b
+};
+
+template <class IT, class VT>
+void encode_register_parts(GatherPayload& g, std::uint64_t structure_id,
+                           const CSRMatrix<IT, VT>& b,
+                           const CSRMatrix<IT, VT>* m) {
+  const bool mask_is_b =
+      m != nullptr && static_cast<const void*>(m) == static_cast<const void*>(&b);
+  std::uint8_t flags = 0;
+  if (m != nullptr) flags |= kRegHasMask;
+  if (mask_is_b) flags |= kRegMaskIsB;
+  g.put_u64(structure_id);
+  g.put_u8(flags);
+  write_csr_parts(g, b);
+  if (m != nullptr && !mask_is_b) write_csr_parts(g, *m);
+}
+
+template <class IT, class VT>
+WireRegister<IT, VT> decode_register(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  WireRegister<IT, VT> reg;
+  reg.structure_id = r.get_u64();
+  const std::uint8_t flags = r.get_u8();
+  if ((flags & ~(kRegHasMask | kRegMaskIsB)) != 0) {
+    throw WireError("wire: unknown register flags");
+  }
+  reg.has_mask = (flags & kRegHasMask) != 0;
+  reg.mask_is_b = (flags & kRegMaskIsB) != 0;
+  if (reg.mask_is_b && !reg.has_mask) {
+    throw WireError("wire: contradictory register flags");
+  }
+  reg.b = read_csr<IT, VT>(r);
+  if (reg.has_mask && !reg.mask_is_b) reg.m_storage = read_csr<IT, VT>(r);
+  if (!r.exhausted()) throw WireError("wire: trailing bytes in register");
+  return reg;
+}
+
+template <class IT, class VT>
+struct WireSubmit {
+  std::uint64_t structure_id = 0;
+  bool a_is_b = false;
+  bool m_is_a = false;
+  bool m_is_b = false;
+  bool m_registered = false;
+  Priority priority = Priority::kBatch;
+  MaskedOptions opts;
+  CSRMatrix<IT, VT> a_storage;  // valid unless a_is_b
+  CSRMatrix<IT, VT> m_storage;  // valid when the mask is inline
+};
+
+template <class IT, class VT>
+void encode_submit_parts(GatherPayload& g, std::uint64_t structure_id,
+                         std::uint8_t flags, const CSRMatrix<IT, VT>* a,
+                         const CSRMatrix<IT, VT>* m,
+                         const MaskedOptions& opts) {
+  g.put_u64(structure_id);
+  g.put_u8(flags);
+  write_options(g, opts);
+  if ((flags & kSubAIsB) == 0) write_csr_parts(g, *a);
+  if ((flags & (kSubMIsA | kSubMIsB | kSubMRegistered)) == 0) {
+    write_csr_parts(g, *m);
+  }
+}
+
+template <class IT, class VT>
+WireSubmit<IT, VT> decode_submit(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  WireSubmit<IT, VT> sub;
+  sub.structure_id = r.get_u64();
+  const std::uint8_t flags = r.get_u8();
+  if ((flags & ~(kSubAIsB | kSubMIsA | kSubMIsB | kSubMRegistered |
+                 kSubInteractive)) != 0) {
+    throw WireError("wire: unknown submit flags");
+  }
+  sub.a_is_b = (flags & kSubAIsB) != 0;
+  sub.m_is_a = (flags & kSubMIsA) != 0;
+  sub.m_is_b = (flags & kSubMIsB) != 0;
+  sub.m_registered = (flags & kSubMRegistered) != 0;
+  sub.priority = (flags & kSubInteractive) != 0 ? Priority::kInteractive
+                                                : Priority::kBatch;
+  if (static_cast<int>(sub.m_is_a) + static_cast<int>(sub.m_is_b) +
+          static_cast<int>(sub.m_registered) > 1) {
+    throw WireError("wire: contradictory submit mask flags");
+  }
+  sub.opts = read_options(r);
+  if (!sub.a_is_b) sub.a_storage = read_csr<IT, VT>(r);
+  if (!sub.m_is_a && !sub.m_is_b && !sub.m_registered) {
+    sub.m_storage = read_csr<IT, VT>(r);
+  }
+  if (!r.exhausted()) throw WireError("wire: trailing bytes in submit");
+  return sub;
+}
+
+inline std::vector<std::uint8_t> encode_unregister(std::uint64_t structure_id) {
+  WireWriter w;
+  w.put_u64(structure_id);
+  return w.take();
+}
+
+inline std::uint64_t decode_unregister(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  const std::uint64_t id = r.get_u64();
+  if (!r.exhausted()) throw WireError("wire: trailing bytes in unregister");
+  return id;
+}
+
 // --- response --------------------------------------------------------------
+
+// Gather form: the result's arrays are referenced in place (the caller keeps
+// the matrix alive until the frame is written), so a shard answering with a
+// large C pays no payload-assembly copy either.
+template <class IT, class VT>
+void encode_response_parts(GatherPayload& g, const CSRMatrix<IT, VT>& result) {
+  g.put_u32(static_cast<std::uint32_t>(WireStatus::kOk));
+  write_csr_parts(g, result);
+}
 
 template <class IT, class VT>
 std::vector<std::uint8_t> encode_response(const CSRMatrix<IT, VT>& result) {
-  WireWriter w;
-  w.put_u32(static_cast<std::uint32_t>(WireStatus::kOk));
-  write_csr(w, result);
-  return w.take();
+  GatherPayload g;
+  encode_response_parts(g, result);
+  return g.flatten();
 }
 
 std::vector<std::uint8_t> encode_error_response(WireStatus status,
@@ -365,6 +645,7 @@ WireResponse<IT, VT> decode_response(std::span<const std::uint8_t> payload) {
 // the shard process.
 struct ServiceStats {
   std::uint64_t requests = 0;    // product requests received
+  std::uint64_t registrations = 0;  // structures installed (session protocol)
   std::uint64_t responses = 0;   // responses sent (any status)
   std::uint64_t errors = 0;      // kBadRequest + kInternalError responses
   std::uint64_t overloaded = 0;  // kOverloaded responses (back-pressure)

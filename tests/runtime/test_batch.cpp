@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <future>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -270,4 +271,94 @@ TEST(BatchedBFS, MatchesMonolithicBFS) {
   const auto got = multi_source_bfs(graph, sources, exec, 3, opts);
   EXPECT_EQ(got.depth, want.depth);
   EXPECT_EQ(got.levels, want.levels);
+}
+
+// --- priority queue (ISSUE 5 satellite: executor priorities) ---------------
+
+TEST(PriorityQueue, InteractiveJobsPopBeforeBatchJobs) {
+  // One parked worker, five queued small jobs: the two interactive submits
+  // must execute before the three batch submits, FIFO within each level.
+  BatchLimits limits;
+  limits.pool_threads = 1;
+  Exec exec(limits);
+  const auto a = erdos_renyi<IT, VT>(50, 50, 5, 31);
+
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  exec.pool().submit_detached([opened] { opened.wait(); });
+
+  std::mutex order_mu;
+  std::vector<int> order;
+  auto tagged = [&](int tag, Priority prio) {
+    JobOptions job;
+    job.priority = prio;
+    job.on_complete = [&, tag] {
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(tag);
+    };
+    return exec.submit(a, a, a, MaskedOptions{}, std::move(job));
+  };
+
+  std::vector<std::future<Mat>> futures;
+  futures.push_back(tagged(100, Priority::kBatch));
+  futures.push_back(tagged(101, Priority::kBatch));
+  futures.push_back(tagged(1, Priority::kInteractive));
+  futures.push_back(tagged(102, Priority::kBatch));
+  futures.push_back(tagged(2, Priority::kInteractive));
+
+  gate.set_value();
+  for (auto& f : futures) f.get();
+  exec.wait_idle();
+
+  const std::vector<int> want{1, 2, 100, 101, 102};
+  EXPECT_EQ(order, want);
+  EXPECT_EQ(exec.stats().interactive_jobs, 2u);
+}
+
+TEST(PriorityQueue, WideLaneAlsoPrefersInteractive) {
+  // Force every job wide (threshold 0 forces small; a tiny positive
+  // threshold lands everything in the wide lane). The first job's
+  // completion hook blocks the lane on a gate — it runs on the wide thread,
+  // which cannot pop the next job until the hook returns — so the jobs
+  // queued behind it are ordered deterministically: interactive first.
+  BatchLimits limits;
+  limits.pool_threads = 1;
+  limits.wide_work_threshold = 1e-9;
+  Exec exec(limits);
+  const auto a = erdos_renyi<IT, VT>(60, 60, 5, 32);
+  const auto want_mat = masked_spgemm<SR>(a, a, a);
+
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::promise<void> parked;
+  std::mutex order_mu;
+  std::vector<int> order;
+  auto tagged = [&](int tag, Priority prio, bool stall) {
+    JobOptions job;
+    job.priority = prio;
+    job.on_complete = [&, tag, stall] {
+      if (stall) {
+        parked.set_value();  // the lane is provably busy with this job now
+        opened.wait();
+      }
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(tag);
+    };
+    return exec.submit(a, a, a, MaskedOptions{}, std::move(job));
+  };
+
+  std::vector<std::future<Mat>> futures;
+  futures.push_back(tagged(0, Priority::kBatch, /*stall=*/true));
+  parked.get_future().wait();  // everything below queues BEHIND job 0
+  futures.push_back(tagged(100, Priority::kBatch, false));
+  futures.push_back(tagged(101, Priority::kBatch, false));
+  futures.push_back(tagged(1, Priority::kInteractive, false));
+  gate.set_value();
+  for (auto& f : futures) {
+    EXPECT_TRUE(f.get() == want_mat);
+  }
+  exec.wait_idle();
+  const std::vector<int> want{0, 1, 100, 101};
+  EXPECT_EQ(order, want);
+  EXPECT_EQ(exec.stats().wide_jobs, 4u);
 }

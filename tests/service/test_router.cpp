@@ -3,8 +3,10 @@
 // failover on down shards and on overload.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "core/masked_spgemm.hpp"
@@ -292,4 +294,45 @@ TEST(ShardRouter, OverloadedShardSpillsSingleRequest) {
 
   gate.set_value();
   parked.get();
+}
+
+// --- health probing & rejoin (ISSUE 5 satellite, ROADMAP PR-4 item) --------
+
+TEST(ShardRouter, ProbeBringsDownShardBackUp) {
+  Fleet fleet(2);
+  Router router(fleet.endpoints);
+  router.mark_down(0);
+  ASSERT_TRUE(router.is_down(0));
+
+  // The shard is actually alive: one probe round rejoins it.
+  EXPECT_EQ(router.probe_down_shards(), 1u);
+  EXPECT_FALSE(router.is_down(0));
+  const auto st = router.stats();
+  EXPECT_GE(st.probes, 1u);
+  EXPECT_EQ(st.rejoins, 1u);
+
+  // A genuinely dead shard stays down across probe rounds.
+  fleet.shards[1]->stop();
+  router.mark_down(1);
+  EXPECT_EQ(router.probe_down_shards(), 0u);
+  EXPECT_TRUE(router.is_down(1));
+}
+
+TEST(ShardRouter, BackgroundProberRejoinsAutomatically) {
+  Fleet fleet(2);
+  RouterConfig cfg;
+  cfg.probe_interval = std::chrono::milliseconds(5);
+  Router router(fleet.endpoints, cfg);
+  router.mark_down(0);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (router.is_down(0) && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_FALSE(router.is_down(0));
+
+  // Routing works again after the rejoin.
+  auto w = make_catalog(2);
+  const auto want = masked_spgemm<SR>(w.a[0], w.b[0], w.m[0]);
+  EXPECT_TRUE(router.request(w.a[0], w.b[0], w.m[0]) == want);
 }

@@ -360,3 +360,136 @@ TEST(WireTransport, UnixSocketRoundTrip) {
              encode_response(a));
   client_thread.join();
 }
+
+// --- session protocol (wire v2) + scatter-gather ---------------------------
+
+TEST(WireGather, PartsChecksumAndBytesMatchContiguous) {
+  const auto a = erdos_renyi<IT, VT>(40, 40, 5, 7);
+  const auto b = erdos_renyi<IT, VT>(40, 40, 5, 8);
+  const auto m = erdos_renyi<IT, VT>(40, 40, 6, 9);
+
+  GatherPayload g;
+  encode_request_parts(g, a, b, m, MaskedOptions{});
+  const auto flat = g.flatten();
+  EXPECT_EQ(flat.size(), g.total_bytes());
+  // The multi-span hash must agree bit-for-bit with the contiguous hash the
+  // receiver verifies — the invariant the whole gather path rests on.
+  EXPECT_EQ(plan_hash_parts(kWireChecksumSeed, g.parts()),
+            plan_hash_bytes(kWireChecksumSeed, flat.data(), flat.size()));
+  // And the flattened image is exactly the classic encoding.
+  EXPECT_EQ(flat, encode_request(a, b, m, MaskedOptions{}));
+}
+
+TEST(WireGather, FrameCrossesLoopbackViaWritev) {
+  // send_frame_parts over both transports must be wire-identical to
+  // send_frame of the flattened payload (same header, same checksum).
+  const auto a = erdos_renyi<IT, VT>(32, 32, 5, 3);
+  auto [c, s] = loopback_pair();
+  GatherPayload g;
+  encode_response_parts(g, a);
+  send_frame_parts(*c, MessageType::kResponse, 77, g);
+  FrameHeader h;
+  std::vector<std::uint8_t> got;
+  ASSERT_TRUE(recv_frame(*s, h, got));
+  EXPECT_EQ(h.request_id, 77u);
+  const auto resp = decode_response<IT, VT>(got);
+  EXPECT_EQ(resp.status, WireStatus::kOk);
+  EXPECT_TRUE(resp.result == a);
+}
+
+TEST(WireGather, FrameCrossesUnixSocketViaSendmsg) {
+  const std::string path = testing::TempDir() + "msx_wire_gather.sock";
+  auto listener = listen_unix(path);
+  const auto a = erdos_renyi<IT, VT>(64, 64, 6, 4);
+
+  std::thread client_thread([&] {
+    auto c = connect_unix(path);
+    GatherPayload g;
+    encode_register_parts<IT, VT>(g, 42, a, &a);  // mask aliases B
+    send_frame_parts(*c, MessageType::kRegisterRequest, 0, g);
+  });
+
+  auto conn = listener->accept();
+  ASSERT_NE(conn, nullptr);
+  FrameHeader h;
+  std::vector<std::uint8_t> got;
+  ASSERT_TRUE(recv_frame(*conn, h, got));
+  EXPECT_EQ(h.type, MessageType::kRegisterRequest);
+  const auto reg = decode_register<IT, VT>(got);
+  EXPECT_EQ(reg.structure_id, 42u);
+  EXPECT_TRUE(reg.has_mask);
+  EXPECT_TRUE(reg.mask_is_b);
+  EXPECT_TRUE(reg.b == a);
+  client_thread.join();
+}
+
+TEST(WireSession, RegisterSubmitUnregisterRoundTrip) {
+  const auto b = erdos_renyi<IT, VT>(50, 50, 5, 11);
+  const auto m = erdos_renyi<IT, VT>(50, 50, 7, 12);
+  const auto a = erdos_renyi<IT, VT>(50, 50, 5, 13);
+
+  {
+    GatherPayload g;
+    encode_register_parts(g, 7, b, &m);
+    const auto reg = decode_register<IT, VT>(g.flatten());
+    EXPECT_EQ(reg.structure_id, 7u);
+    EXPECT_TRUE(reg.has_mask);
+    EXPECT_FALSE(reg.mask_is_b);
+    EXPECT_TRUE(reg.b == b);
+    EXPECT_TRUE(reg.m_storage == m);
+  }
+  {
+    // Inline A, registered mask, interactive priority.
+    GatherPayload g;
+    MaskedOptions opts;
+    opts.kind = MaskKind::kComplement;
+    encode_submit_parts<IT, VT>(g, 7, kSubMRegistered | kSubInteractive, &a,
+                                nullptr, opts);
+    const auto sub = decode_submit<IT, VT>(g.flatten());
+    EXPECT_EQ(sub.structure_id, 7u);
+    EXPECT_FALSE(sub.a_is_b);
+    EXPECT_TRUE(sub.m_registered);
+    EXPECT_EQ(sub.priority, Priority::kInteractive);
+    EXPECT_EQ(sub.opts.kind, MaskKind::kComplement);
+    EXPECT_TRUE(sub.a_storage == a);
+  }
+  {
+    // Fully aliased k-truss shape: nothing but flags and options on the wire.
+    GatherPayload g;
+    encode_submit_parts<IT, VT>(g, 9, kSubAIsB | kSubMIsA, nullptr, nullptr,
+                                MaskedOptions{});
+    const auto flat = g.flatten();
+    EXPECT_LT(flat.size(), 64u);  // no matrix crossed the wire
+    const auto sub = decode_submit<IT, VT>(flat);
+    EXPECT_TRUE(sub.a_is_b);
+    EXPECT_TRUE(sub.m_is_a);
+    EXPECT_EQ(sub.priority, Priority::kBatch);
+  }
+  EXPECT_EQ(decode_unregister(encode_unregister(31)), 31u);
+}
+
+TEST(WireSession, RejectsContradictoryAndUnknownFlags) {
+  const auto a = erdos_renyi<IT, VT>(20, 20, 4, 1);
+  {
+    GatherPayload g;
+    encode_submit_parts<IT, VT>(g, 1, kSubMIsA | kSubMIsB, &a, nullptr,
+                                MaskedOptions{});
+    EXPECT_THROW((decode_submit<IT, VT>(g.flatten())), WireError);
+  }
+  {
+    WireWriter w;
+    w.put_u64(1);
+    w.put_u8(0x80);  // unknown submit flag bit
+    EXPECT_THROW((decode_submit<IT, VT>(w.bytes())), WireError);
+  }
+  {
+    WireWriter w;
+    w.put_u64(1);
+    w.put_u8(kRegMaskIsB);  // mask-is-b without has-mask
+    EXPECT_THROW((decode_register<IT, VT>(w.bytes())), WireError);
+  }
+  // Truncated unregister payload.
+  WireWriter w;
+  w.put_u32(5);
+  EXPECT_THROW(decode_unregister(w.bytes()), WireError);
+}
