@@ -30,18 +30,17 @@
 // options regardless of backend (tests/client/ holds the line).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/platform.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/options.hpp"
 #include "matrix/csr.hpp"
 #include "runtime/thread_pool.hpp"  // Priority
@@ -275,9 +274,8 @@ class Session {
                       "passed");
     }
     {
-      std::unique_lock<std::mutex> lock(st_->mu);
-      st_->cv.wait(lock,
-                   [&] { return st_->in_flight < cfg_.max_in_flight; });
+      MutexLock lock(&st_->mu);
+      while (st_->in_flight >= cfg_.max_in_flight) st_->cv.wait(st_->mu);
       ++st_->in_flight;
     }
     auto promise = std::make_shared<std::promise<Result>>();
@@ -287,7 +285,7 @@ class Session {
                      opts.priority, [st, promise](Result r) {
                        promise->set_value(std::move(r));
                        {
-                         std::lock_guard<std::mutex> lock(st->mu);
+                         MutexLock lock(&st->mu);
                          --st->in_flight;
                        }
                        st->cv.notify_all();
@@ -304,13 +302,13 @@ class Session {
   // Blocks until every request submitted through this session has resolved.
   void drain() {
     if (st_ == nullptr) return;
-    std::unique_lock<std::mutex> lock(st_->mu);
-    st_->cv.wait(lock, [&] { return st_->in_flight == 0; });
+    MutexLock lock(&st_->mu);
+    while (st_->in_flight != 0) st_->cv.wait(st_->mu);
   }
 
   std::size_t in_flight() const {
     if (st_ == nullptr) return 0;
-    std::lock_guard<std::mutex> lock(st_->mu);
+    MutexLock lock(&st_->mu);
     return st_->in_flight;
   }
 
@@ -318,9 +316,9 @@ class Session {
 
  private:
   struct State {
-    mutable std::mutex mu;
-    std::condition_variable cv;
-    std::size_t in_flight = 0;
+    mutable Mutex mu{LockRank::kClientSession, "Session::State::mu"};
+    CondVar cv;
+    std::size_t in_flight MSX_GUARDED_BY(mu) = 0;
   };
 
   std::future<Result> fail_now(RequestStatus status, std::string message) {

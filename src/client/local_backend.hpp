@@ -15,13 +15,13 @@
 
 #include <future>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "client/client.hpp"
+#include "common/thread_annotations.hpp"
 #include "runtime/batch.hpp"
 
 namespace msx::client {
@@ -49,14 +49,14 @@ class LocalBackend final : public Backend<SR, IT, VT> {
   std::uint64_t register_structure(std::shared_ptr<const Mat> b,
                                    std::shared_ptr<const Mat> m) override {
     check_arg(b != nullptr, "LocalBackend: null B");
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     const std::uint64_t id = next_id_++;
     structures_[id] = Structure{std::move(b), std::move(m)};
     return id;
   }
 
   void release_structure(std::uint64_t structure_id) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     structures_.erase(structure_id);
   }
 
@@ -66,7 +66,7 @@ class LocalBackend final : public Backend<SR, IT, VT> {
               Completion done) override {
     Structure s;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       const auto it = structures_.find(structure_id);
       if (it == structures_.end()) {
         s.b = nullptr;
@@ -147,9 +147,9 @@ class LocalBackend final : public Backend<SR, IT, VT> {
 
   std::unique_ptr<Executor> owned_;
   Executor* exec_;
-  std::mutex mu_;
-  std::unordered_map<std::uint64_t, Structure> structures_;
-  std::uint64_t next_id_ = 1;
+  Mutex mu_{LockRank::kClientBackend, "LocalBackend::mu_"};
+  std::unordered_map<std::uint64_t, Structure> structures_ MSX_GUARDED_BY(mu_);
+  std::uint64_t next_id_ MSX_GUARDED_BY(mu_) = 1;
 };
 
 // Convenience: a client over a fresh local runtime.

@@ -39,12 +39,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -52,6 +50,7 @@
 #include <vector>
 
 #include "client/client.hpp"
+#include "common/thread_annotations.hpp"
 #include "runtime/plan_cache.hpp"
 #include "service/router.hpp"  // ShardEndpoint, ConsistentHashRing
 #include "service/shard.hpp"
@@ -144,13 +143,13 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
             : (s->m == s->b ? s->b_digest
                             : matrix_structure_digest(*s->m, kDigestSeedM));
     s->reg_gen.assign(endpoints_.size(), 0);  // gens start at 1: unregistered
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     structures_[s->id] = s;
     return s->id;
   }
 
   void release_structure(std::uint64_t structure_id) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     const auto it = structures_.find(structure_id);
     if (it == structures_.end()) return;
     const auto s = it->second;
@@ -175,7 +174,7 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
     reap_retired();
     std::shared_ptr<Structure> s;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       const auto it = structures_.find(structure_id);
       if (it != structures_.end()) s = it->second;
     }
@@ -188,7 +187,7 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
                       ? "unknown structure id " + std::to_string(structure_id)
                       : "null A operand";
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         ++submitted_;
         ++inflight_total_;
       }
@@ -203,7 +202,7 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
     req->excluded.assign(endpoints_.size(), 0);
     req->point = route_point(*req);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       ++submitted_;
       ++inflight_total_;
     }
@@ -211,8 +210,8 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
   }
 
   void drain() override {
-    std::unique_lock<std::mutex> lock(mu_);
-    drain_cv_.wait(lock, [&] { return inflight_total_ == 0; });
+    MutexLock lock(&mu_);
+    while (inflight_total_ != 0) drain_cv_.wait(mu_);
   }
 
   std::string name() const override { return "sharded"; }
@@ -221,7 +220,7 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
 
   void mark_down(std::size_t shard) {
     check_arg(shard < endpoints_.size(), "ShardedBackend: shard out of range");
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!down_[shard]) {
       down_[shard] = 1;
       ++down_marks_;
@@ -230,12 +229,12 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
 
   void mark_up(std::size_t shard) {
     check_arg(shard < endpoints_.size(), "ShardedBackend: shard out of range");
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     down_[shard] = 0;
   }
 
   bool is_down(std::size_t shard) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return down_[shard] != 0;
   }
 
@@ -249,13 +248,13 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
     for (std::size_t i = 0; i < endpoints_.size(); ++i) {
       if (!is_down(i)) continue;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         ++probes_;
       }
       if (!service::probe_endpoint(endpoints_[i]).has_value()) continue;
       mark_up(i);
       ++rejoined;
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       ++rejoins_;
     }
     return rejoined;
@@ -274,7 +273,7 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
   }
 
   ShardedBackendStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ShardedBackendStats out;
     out.routed = routed_;
     out.submitted = submitted_;
@@ -293,7 +292,7 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
   void shutdown() {
     std::vector<std::thread> threads;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       stopping_ = true;
       for (auto& cptr : conns_) {
         Conn& c = *cptr;
@@ -312,7 +311,7 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
     // hang across a client shutdown.
     std::vector<RequestPtr> leftovers;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       for (auto& cptr : conns_) {
         for (auto& [rid, r] : cptr->inflight) leftovers.push_back(r);
         cptr->inflight.clear();
@@ -343,7 +342,9 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
     // Per shard: the connection generation this structure was registered on
     // (registrations are connection-scoped server-side, so a bumped
     // generation means "register again before the next submit"). Guarded by
-    // the backend mutex.
+    // the owning backend's mu_ — a cross-object guard MSX_GUARDED_BY cannot
+    // name, so the contract is enforced by this comment and the debug
+    // lock-order checker's coverage of mu_ itself.
     std::vector<std::uint64_t> reg_gen;
   };
 
@@ -369,9 +370,11 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
     std::uint64_t structure_id = 0;         // unregister
   };
 
-  // One shard's connection state, all guarded by the backend mutex except
-  // the stream I/O itself (exactly one writer and one reader thread use the
-  // stream concurrently, which Stream supports by contract).
+  // One shard's connection state, all guarded by the OWNING backend's mu_
+  // except the stream I/O itself (exactly one writer and one reader thread
+  // use the stream concurrently, which Stream supports by contract). The
+  // guard is cross-object, so MSX_GUARDED_BY cannot name it — the contract
+  // lives in this comment; every access site already holds mu_.
   struct Conn {
     std::shared_ptr<service::Stream> stream;  // threads hold their own refs
     std::thread writer, reader;
@@ -383,7 +386,7 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
     std::unordered_map<std::uint64_t, RequestPtr> inflight;
     std::uint64_t gen = 1;
     bool running = false;
-    std::condition_variable cv;  // writer wakeup, waits on the backend mutex
+    CondVar cv;  // writer wakeup, waits on the backend's mu_
   };
 
   // A previous connection incarnation's thread, parked until provably done.
@@ -439,7 +442,7 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
   void dispatch(const RequestPtr& req) {
     Result err;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       for (;;) {
         if (stopping_) {
           err.status = RequestStatus::kShardDown;
@@ -489,11 +492,11 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
     finish(req, std::move(err));
   }
 
-  // Must hold mu_. Dials and starts the connection's thread pair if it is
-  // not running. Dial failure marks the shard down and returns false.
-  // Endpoint dials are expected to be fast (loopback/local sockets); a slow
-  // WAN dial would briefly hold the backend mutex.
-  bool ensure_conn_locked(std::size_t shard) {
+  // Dials and starts the connection's thread pair if it is not running.
+  // Dial failure marks the shard down and returns false. Endpoint dials are
+  // expected to be fast (loopback/local sockets); a slow WAN dial would
+  // briefly hold the backend mutex.
+  bool ensure_conn_locked(std::size_t shard) MSX_REQUIRES(mu_) {
     Conn& c = *conns_[shard];
     if (c.running) return true;
     // Previous incarnation's threads have exited (or will momentarily);
@@ -541,7 +544,7 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
   void reap_retired() {
     std::vector<Retired> done;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       for (auto it = retired_.begin(); it != retired_.end();) {
         if (it->exited->load(std::memory_order_acquire)) {
           done.push_back(std::move(*it));
@@ -558,12 +561,12 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
     for (;;) {
       SendItem item;
       {
-        std::unique_lock<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         Conn& c = *conns_[shard];
-        c.cv.wait(lock, [&] {
-          return stopping_ || c.gen != gen || !c.sendq_hi.empty() ||
-                 !c.sendq_lo.empty();
-        });
+        while (!stopping_ && c.gen == gen && c.sendq_hi.empty() &&
+               c.sendq_lo.empty()) {
+          c.cv.wait(mu_);
+        }
         if (stopping_ || c.gen != gen) return;
         auto& q = c.sendq_hi.empty() ? c.sendq_lo : c.sendq_hi;
         item = std::move(q.front());
@@ -637,7 +640,7 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
         auto resp = service::decode_response<IT, VTC>(payload);
         RequestPtr req;
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(&mu_);
           Conn& c = *conns_[shard];
           if (c.gen != gen) return;
           const auto it = c.inflight.find(header.request_id);
@@ -648,7 +651,7 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
         switch (resp.status) {
           case service::WireStatus::kOk: {
             {
-              std::lock_guard<std::mutex> lock(mu_);
+              MutexLock lock(&mu_);
               ++routed_[shard];
             }
             Result r;
@@ -660,7 +663,7 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
             // Back-pressure: spill this one request to the next shard; the
             // overloaded shard keeps its ring position and affinity.
             {
-              std::lock_guard<std::mutex> lock(mu_);
+              MutexLock lock(&mu_);
               ++overload_reroutes_;
               req->excluded[shard] = 1;
               req->overloaded = true;
@@ -700,7 +703,7 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
     std::vector<RequestPtr> orphans;
     bool was_stopping = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       Conn& c = *conns_[shard];
       if (c.gen != gen) return;  // stale notification
       ++c.gen;
@@ -741,23 +744,24 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
   void finish(const RequestPtr& req, Result r) {
     req->done(std::move(r));
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       ++completed_;
       --inflight_total_;
     }
     drain_cv_.notify_all();
   }
 
+  // Sleep an interval under the lock, probe outside it. (A spurious wakeup
+  // probes early, which is harmless — probing is idempotent.)
   void probe_loop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    while (!stopping_) {
-      if (probe_cv_.wait_for(lock, cfg_.probe_interval,
-                             [&] { return stopping_; })) {
-        return;
+    for (;;) {
+      {
+        MutexLock lock(&mu_);
+        if (stopping_) return;
+        probe_cv_.wait_for(mu_, cfg_.probe_interval);
+        if (stopping_) return;
       }
-      lock.unlock();
       probe_down_shards();
-      lock.lock();
     }
   }
 
@@ -765,23 +769,27 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
   ShardedBackendConfig cfg_;
   service::ConsistentHashRing ring_;
 
-  mutable std::mutex mu_;
-  std::vector<char> down_;
+  mutable Mutex mu_{LockRank::kClientBackend, "ShardedBackend::mu_"};
+  std::vector<char> down_ MSX_GUARDED_BY(mu_);
+  // The vector itself is fixed after the constructor; each Conn's contents
+  // are guarded by mu_ (see Conn).
   std::vector<std::unique_ptr<Conn>> conns_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<Structure>> structures_;
-  std::vector<Retired> retired_;  // prior conn threads awaiting join
-  std::vector<std::uint64_t> routed_;
-  std::uint64_t submitted_ = 0;
-  std::uint64_t completed_ = 0;
-  std::uint64_t inflight_total_ = 0;
-  std::uint64_t failover_resubmits_ = 0;
-  std::uint64_t overload_reroutes_ = 0;
-  std::uint64_t down_marks_ = 0;
-  std::uint64_t probes_ = 0;
-  std::uint64_t rejoins_ = 0;
-  bool stopping_ = false;
-  std::condition_variable drain_cv_;
-  std::condition_variable probe_cv_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Structure>> structures_
+      MSX_GUARDED_BY(mu_);
+  std::vector<Retired> retired_
+      MSX_GUARDED_BY(mu_);  // prior conn threads awaiting join
+  std::vector<std::uint64_t> routed_ MSX_GUARDED_BY(mu_);
+  std::uint64_t submitted_ MSX_GUARDED_BY(mu_) = 0;
+  std::uint64_t completed_ MSX_GUARDED_BY(mu_) = 0;
+  std::uint64_t inflight_total_ MSX_GUARDED_BY(mu_) = 0;
+  std::uint64_t failover_resubmits_ MSX_GUARDED_BY(mu_) = 0;
+  std::uint64_t overload_reroutes_ MSX_GUARDED_BY(mu_) = 0;
+  std::uint64_t down_marks_ MSX_GUARDED_BY(mu_) = 0;
+  std::uint64_t probes_ MSX_GUARDED_BY(mu_) = 0;
+  std::uint64_t rejoins_ MSX_GUARDED_BY(mu_) = 0;
+  bool stopping_ MSX_GUARDED_BY(mu_) = false;
+  CondVar drain_cv_;
+  CondVar probe_cv_;
   std::atomic<std::uint64_t> next_rid_{1};
   std::atomic<std::uint64_t> next_structure_{1};
   std::thread prober_;

@@ -20,13 +20,13 @@
 #include <atomic>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "accum/msa_bitmap.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/timer.hpp"
 #include "core/hash_kernel.hpp"
 #include "core/heap_kernel.hpp"
@@ -124,7 +124,7 @@ class PlanKernelImpl final : public PlanKernelBase<SR, IT, VT> {
   }
 
   void reset_workspaces() override {
-    std::lock_guard<std::mutex> lock(ws_mu_);
+    MutexLock lock(&ws_mu_);
     for (auto& pool : ws_free_) {
       for (std::size_t t = 0; t < pool->size(); ++t) {
         pool->slot(t).reset();
@@ -144,7 +144,7 @@ class PlanKernelImpl final : public PlanKernelBase<SR, IT, VT> {
     std::unique_ptr<PerThread<Workspace>> pool;
     ~WorkspaceLease() {
       if (pool != nullptr) {
-        std::lock_guard<std::mutex> lock(owner->ws_mu_);
+        MutexLock lock(&owner->ws_mu_);
         owner->ws_free_.push_back(std::move(pool));
       }
     }
@@ -153,7 +153,7 @@ class PlanKernelImpl final : public PlanKernelBase<SR, IT, VT> {
   WorkspaceLease lease_workspaces(std::size_t needed) {
     std::unique_ptr<PerThread<Workspace>> pool;
     {
-      std::lock_guard<std::mutex> lock(ws_mu_);
+      MutexLock lock(&ws_mu_);
       if (!ws_free_.empty()) {
         pool = std::move(ws_free_.back());
         ws_free_.pop_back();
@@ -171,8 +171,9 @@ class PlanKernelImpl final : public PlanKernelBase<SR, IT, VT> {
   }
 
   std::optional<Kernel> kernel_;
-  std::mutex ws_mu_;
-  std::vector<std::unique_ptr<PerThread<Workspace>>> ws_free_;
+  Mutex ws_mu_{LockRank::kKernelWorkspace, "PlanKernelImpl::ws_mu_"};
+  std::vector<std::unique_ptr<PerThread<Workspace>>> ws_free_
+      MSX_GUARDED_BY(ws_mu_);
   MaskedOptions opts_;
   std::atomic<double> last_setup_seconds_{0.0};
 };

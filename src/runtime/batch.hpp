@@ -24,20 +24,19 @@
 // matrix as A, B and mask) are detected by address and stored once.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <utility>
 
 #include "common/exec_context.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/kernel_common.hpp"
 #include "core/options.hpp"
 #include "core/plan.hpp"
@@ -147,7 +146,7 @@ class BatchExecutor {
   ~BatchExecutor() {
     wait_idle();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       wide_stop_ = true;
     }
     wide_cv_.notify_all();
@@ -238,7 +237,7 @@ class BatchExecutor {
     auto future = task->get_future();
 
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       ++stats_.submitted;
       if (shape == JobShape::kSmall) {
         ++stats_.small_jobs;
@@ -260,7 +259,7 @@ class BatchExecutor {
       pool_.submit_detached(std::move(wrapped), priority);
     } else {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         (priority == Priority::kInteractive ? wide_queue_hi_ : wide_queue_)
             .push_back(std::move(wrapped));
       }
@@ -274,14 +273,14 @@ class BatchExecutor {
   // settles — read stats() after wait_idle() when exact completion counts
   // matter.
   void wait_idle() {
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_cv_.wait(lock, [&] { return outstanding_ == 0; });
+    MutexLock lock(&mu_);
+    while (outstanding_ != 0) idle_cv_.wait(mu_);
   }
 
   BatchStats stats() const {
     BatchStats out;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       out = stats_;
       out.pending_jobs = outstanding_;
       out.pending_bytes = pending_bytes_;
@@ -328,32 +327,34 @@ class BatchExecutor {
   // A byte-bounded executor still admits an oversized job once it is alone
   // (outstanding_ == 0), so limits degrade throughput, never liveness.
   void admit(std::size_t job_bytes) {
-    std::unique_lock<std::mutex> lock(mu_);
-    auto over = [&] {
-      if (limits_.max_pending_jobs > 0 &&
-          outstanding_ >= limits_.max_pending_jobs) {
-        return true;
-      }
-      if (limits_.max_pending_bytes > 0 && outstanding_ > 0 &&
-          pending_bytes_ + job_bytes > limits_.max_pending_bytes) {
-        return true;
-      }
-      return false;
-    };
-    if (over()) {
+    MutexLock lock(&mu_);
+    if (over_limits_locked(job_bytes)) {
       if (limits_.admission == AdmissionPolicy::kReject) {
         ++stats_.rejected;
         throw BatchRejected();
       }
       ++stats_.admission_blocks;
-      admit_cv_.wait(lock, [&] { return !over(); });
+      while (over_limits_locked(job_bytes)) admit_cv_.wait(mu_);
     }
     ++outstanding_;
     pending_bytes_ += job_bytes;
   }
 
+  // True while admitting job_bytes would exceed max_pending_jobs/bytes.
+  bool over_limits_locked(std::size_t job_bytes) const MSX_REQUIRES(mu_) {
+    if (limits_.max_pending_jobs > 0 &&
+        outstanding_ >= limits_.max_pending_jobs) {
+      return true;
+    }
+    if (limits_.max_pending_bytes > 0 && outstanding_ > 0 &&
+        pending_bytes_ + job_bytes > limits_.max_pending_bytes) {
+      return true;
+    }
+    return false;
+  }
+
   void job_done(std::size_t job_bytes) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++stats_.completed;
     pending_bytes_ -= job_bytes;
     if (--outstanding_ == 0) idle_cv_.notify_all();
@@ -368,10 +369,10 @@ class BatchExecutor {
     for (;;) {
       std::function<void()> job;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        wide_cv_.wait(lock, [&] {
-          return wide_stop_ || !wide_queue_hi_.empty() || !wide_queue_.empty();
-        });
+        MutexLock lock(&mu_);
+        while (!wide_stop_ && wide_queue_hi_.empty() && wide_queue_.empty()) {
+          wide_cv_.wait(mu_);
+        }
         if (wide_queue_hi_.empty() && wide_queue_.empty()) {
           return;  // stopped and drained
         }
@@ -387,16 +388,17 @@ class BatchExecutor {
   ThreadPool pool_;
   Cache cache_;
 
-  mutable std::mutex mu_;
-  std::condition_variable idle_cv_;
-  std::condition_variable wide_cv_;
-  std::condition_variable admit_cv_;
-  std::deque<std::function<void()>> wide_queue_hi_;  // Priority::kInteractive
-  std::deque<std::function<void()>> wide_queue_;
-  bool wide_stop_ = false;
-  std::uint64_t outstanding_ = 0;
-  std::size_t pending_bytes_ = 0;
-  BatchStats stats_;
+  mutable Mutex mu_{LockRank::kExecutor, "BatchExecutor::mu_"};
+  CondVar idle_cv_;
+  CondVar wide_cv_;
+  CondVar admit_cv_;
+  std::deque<std::function<void()>> wide_queue_hi_
+      MSX_GUARDED_BY(mu_);  // Priority::kInteractive
+  std::deque<std::function<void()>> wide_queue_ MSX_GUARDED_BY(mu_);
+  bool wide_stop_ MSX_GUARDED_BY(mu_) = false;
+  std::uint64_t outstanding_ MSX_GUARDED_BY(mu_) = 0;
+  std::size_t pending_bytes_ MSX_GUARDED_BY(mu_) = 0;
+  BatchStats stats_ MSX_GUARDED_BY(mu_);
 
   std::thread wide_thread_;
 };

@@ -26,11 +26,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "core/options.hpp"
 #include "core/plan.hpp"
 #include "matrix/csr.hpp"
@@ -178,16 +178,23 @@ class PlanCache {
   // keeps a cache of a few wide matrices from dwarfing a cache of many small
   // ones (ROADMAP: plan-cache memory budget).
   explicit PlanCache(std::size_t capacity = 64, std::size_t byte_budget = 0)
-      : index_(capacity == 0 ? 1 : capacity), byte_budget_(byte_budget) {}
+      : capacity_(capacity == 0 ? 1 : capacity),
+        index_(capacity_),
+        byte_budget_(byte_budget) {}
 
   // One cached plan plus its lease flag. shared_ptr-managed so an entry can
   // be evicted while an instance is still leased out — the lease keeps the
   // plan alive and simply drops it on release.
+  // busy/owned/bytes are guarded by the OWNING cache's mu_ — a cross-object
+  // guard MSX_GUARDED_BY cannot express (the analysis only accepts
+  // capabilities reachable from the annotated member's own object), so the
+  // contract lives here instead: never touch them without that mutex.
+  // `plan` itself is safe to use unlocked while leased (leases are exclusive).
   struct Instance {
     std::unique_ptr<Plan> plan;
-    bool busy = false;       // guarded by the cache mutex
-    bool owned = false;      // still in the cache (false once evicted)
-    std::size_t bytes = 0;   // last resident_bytes() the stats account for
+    bool busy = false;       // guarded by the owning PlanCache::mu_
+    bool owned = false;      // guarded by the owning PlanCache::mu_
+    std::size_t bytes = 0;   // guarded by the owning PlanCache::mu_
   };
 
   // Exclusive handle on one plan instance. Move-only; returns the instance
@@ -226,7 +233,7 @@ class PlanCache {
         // the cache really holds (skipped once evicted — those bytes were
         // already written off).
         const std::size_t bytes = rec_->plan->resident_bytes();
-        std::lock_guard<std::mutex> lock(cache_->mu_);
+        MutexLock lock(&cache_->mu_);
         if (rec_->owned) {
           cache_->stats_.bytes_held += bytes;
           cache_->stats_.bytes_held -= rec_->bytes;
@@ -250,7 +257,7 @@ class PlanCache {
                 const CSRMatrix<IT, MT>& m, const MaskedOptions& opts = {}) {
     const PlanKey key = plan_fingerprint(a, b, m, opts);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       const std::int64_t slot = index_.find(key);
       if (slot >= 0) {
         for (auto& rec : slots_[static_cast<std::size_t>(slot)].instances) {
@@ -275,7 +282,7 @@ class PlanCache {
 
     std::vector<std::shared_ptr<Instance>> evicted;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       std::int64_t slot = index_.find(key);
       if (slot < 0) {
         slot = index_.insert(key);
@@ -295,18 +302,18 @@ class PlanCache {
   }
 
   PlanCacheStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return stats_;
   }
 
-  std::size_t capacity() const { return index_.capacity(); }
+  std::size_t capacity() const { return capacity_; }
   std::size_t byte_budget() const { return byte_budget_; }
 
   // Drops every idle instance and empty entry (busy instances survive until
   // their lease returns; their entries stay).
   void clear() {
     std::vector<std::shared_ptr<Instance>> dropped;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (auto cand : index_.slots_lru()) {
       try_drop_slot(cand, dropped);
     }
@@ -319,19 +326,18 @@ class PlanCache {
     std::vector<std::shared_ptr<Instance>> instances;
   };
 
-  // Must hold mu_. True while either limit (entry count, byte budget) is
-  // exceeded.
-  bool over_limits_locked() const {
-    if (index_.size() > index_.capacity()) return true;
+  // True while either limit (entry count, byte budget) is exceeded.
+  bool over_limits_locked() const MSX_REQUIRES(mu_) {
+    if (index_.size() > capacity_) return true;
     return byte_budget_ > 0 && stats_.bytes_held > byte_budget_;
   }
 
-  // Must hold mu_. Walks slots LRU-first while over the entry-count capacity
+  // Walks slots LRU-first while over the entry-count capacity
   // or the byte budget; an entry is evictable only when none of its
   // instances is leased out, so a busy LRU entry lets the cache exceed its
   // limits softly rather than blocking.
-  void evict_locked(
-      std::vector<std::shared_ptr<Instance>>& evicted) {
+  void evict_locked(std::vector<std::shared_ptr<Instance>>& evicted)
+      MSX_REQUIRES(mu_) {
     if (!over_limits_locked()) return;
     for (std::int64_t cand : index_.slots_lru()) {
       if (!over_limits_locked()) break;
@@ -351,9 +357,9 @@ class PlanCache {
     }
   }
 
-  void try_drop_slot(
-      std::int64_t cand,
-      std::vector<std::shared_ptr<Instance>>& dropped) {
+  void try_drop_slot(std::int64_t cand,
+                     std::vector<std::shared_ptr<Instance>>& dropped)
+      MSX_REQUIRES(mu_) {
     auto& slot = slots_[static_cast<std::size_t>(cand)];
     bool busy = false;
     for (const auto& rec : slot.instances) busy = busy || rec->busy;
@@ -368,11 +374,12 @@ class PlanCache {
     index_.erase_slot(cand);
   }
 
-  detail::PlanCacheIndex index_;
-  std::size_t byte_budget_ = 0;
-  std::vector<Slot> slots_;
-  mutable std::mutex mu_;
-  PlanCacheStats stats_;
+  const std::size_t capacity_;  // mirrors index_.capacity(); lock-free reads
+  mutable Mutex mu_{LockRank::kPlanCache, "PlanCache::mu_"};
+  detail::PlanCacheIndex index_ MSX_GUARDED_BY(mu_);
+  std::size_t byte_budget_ = 0;  // immutable after construction
+  std::vector<Slot> slots_ MSX_GUARDED_BY(mu_);
+  PlanCacheStats stats_ MSX_GUARDED_BY(mu_);
 };
 
 }  // namespace msx

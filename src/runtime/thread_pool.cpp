@@ -35,7 +35,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -49,7 +49,7 @@ int ThreadPool::worker_index() const {
 void ThreadPool::submit_detached(std::function<void()> task,
                                  Priority priority) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     check_arg(!stop_, "ThreadPool: submit after shutdown");
     (priority == Priority::kInteractive ? queue_hi_ : queue_)
         .push_back(std::move(task));
@@ -65,7 +65,7 @@ std::function<void()> ThreadPool::pop_locked() {
 }
 
 std::size_t ThreadPool::tasks_executed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return executed_;
 }
 
@@ -75,14 +75,14 @@ void ThreadPool::worker_loop(int index) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stop_ || have_work_locked(); });
+      MutexLock lock(&mu_);
+      while (!stop_ && !have_work_locked()) cv_.wait(mu_);
       if (!have_work_locked()) return;  // stop_ set and queues drained
       task = pop_locked();
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       ++executed_;
     }
   }
@@ -91,13 +91,13 @@ void ThreadPool::worker_loop(int index) {
 bool ThreadPool::try_run_one() {
   std::function<void()> task;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!have_work_locked()) return false;
     task = pop_locked();
   }
   task();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++executed_;
   }
   return true;
@@ -111,9 +111,9 @@ struct ThreadPool::HelperState {
   const std::function<void(int)>* body = nullptr;
   std::atomic<bool> cancelled{false};
   std::atomic<int> pending{0};
-  std::mutex mu;
-  std::condition_variable done;
-  std::exception_ptr error;  // first helper exception, guarded by mu
+  Mutex mu{LockRank::kTaskState, "ThreadPool::HelperState::mu"};
+  CondVar done;
+  std::exception_ptr error MSX_GUARDED_BY(mu);  // first helper exception
 };
 
 void ThreadPool::run(const std::function<void(int)>& body) {
@@ -134,12 +134,12 @@ void ThreadPool::run(const std::function<void(int)>& body) {
         try {
           (*state->body)(current_slot());
         } catch (...) {
-          std::lock_guard<std::mutex> lock(state->mu);
+          MutexLock lock(&state->mu);
           if (!state->error) state->error = std::current_exception();
         }
       }
       if (state->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(state->mu);
+        MutexLock lock(&state->mu);
         state->done.notify_all();
       }
     });
@@ -159,15 +159,15 @@ void ThreadPool::run(const std::function<void(int)>& body) {
   state->cancelled.store(true, std::memory_order_release);
   while (state->pending.load(std::memory_order_acquire) > 0) {
     if (!try_run_one()) {
-      std::unique_lock<std::mutex> lock(state->mu);
-      state->done.wait_for(lock, std::chrono::milliseconds(1), [&] {
-        return state->pending.load(std::memory_order_acquire) == 0;
-      });
+      MutexLock lock(&state->mu);
+      if (state->pending.load(std::memory_order_acquire) > 0) {
+        state->done.wait_for(state->mu, std::chrono::milliseconds(1));
+      }
     }
   }
 
   if (caller_error) std::rethrow_exception(caller_error);
-  std::lock_guard<std::mutex> lock(state->mu);
+  MutexLock lock(&state->mu);
   if (state->error) std::rethrow_exception(state->error);
 }
 

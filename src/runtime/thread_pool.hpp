@@ -14,19 +14,18 @@
 // parallelism without forking an OpenMP team.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "common/exec_context.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace msx {
 
@@ -95,19 +94,20 @@ class ThreadPool final : public TaskArena {
   void worker_loop(int index);
   // Pops one queued task and runs it; returns false if the queues were empty.
   bool try_run_one();
-  // Must hold mu_ and have checked have_work_locked(). Interactive first.
-  std::function<void()> pop_locked();
-  bool have_work_locked() const {
+  // Interactive first; caller must have checked have_work_locked().
+  std::function<void()> pop_locked() MSX_REQUIRES(mu_);
+  bool have_work_locked() const MSX_REQUIRES(mu_) {
     return !queue_hi_.empty() || !queue_.empty();
   }
 
   std::vector<std::thread> workers_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_hi_;  // Priority::kInteractive
-  std::deque<std::function<void()>> queue_;     // Priority::kBatch
-  bool stop_ = false;
-  std::size_t executed_ = 0;
+  mutable Mutex mu_{LockRank::kThreadPool, "ThreadPool::mu_"};
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_hi_
+      MSX_GUARDED_BY(mu_);                                // kInteractive
+  std::deque<std::function<void()>> queue_ MSX_GUARDED_BY(mu_);  // kBatch
+  bool stop_ MSX_GUARDED_BY(mu_) = false;
+  std::size_t executed_ MSX_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace msx

@@ -20,17 +20,16 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <functional>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "core/options.hpp"
 #include "matrix/csr.hpp"
 #include "runtime/plan_cache.hpp"
@@ -119,7 +118,7 @@ class ShardRouter {
   ~ShardRouter() {
     if (prober_.joinable()) {
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(&stats_mu_);
         stopping_ = true;
       }
       probe_cv_.notify_all();
@@ -175,7 +174,7 @@ class ShardRouter {
       }
       switch (resp.status) {
         case WireStatus::kOk: {
-          std::lock_guard<std::mutex> lock(stats_mu_);
+          MutexLock lock(&stats_mu_);
           ++routed_[i];
           return std::move(resp.result);
         }
@@ -214,30 +213,29 @@ class ShardRouter {
 
   void mark_down(std::size_t shard) {
     check_arg(shard < endpoints_.size(), "ShardRouter: shard out of range");
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     if (!down_[shard]) {
       down_[shard] = 1;
       ++down_marks_;
     }
     // Pooled connections to a down shard are stale; drop them so mark_up
-    // starts fresh.
-    std::lock_guard<std::mutex> pool_lock(pools_[shard].mu);
-    pools_[shard].idle.clear();
+    // starts fresh. Nests kRouter -> kConnectionPool (the legal order).
+    pools_[shard].clear();
   }
 
   void mark_up(std::size_t shard) {
     check_arg(shard < endpoints_.size(), "ShardRouter: shard out of range");
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     down_[shard] = 0;
   }
 
   bool is_down(std::size_t shard) const {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     return down_[shard] != 0;
   }
 
   RouterStats stats() const {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     RouterStats out;
     out.routed = routed_;
     out.failovers = failovers_;
@@ -257,13 +255,13 @@ class ShardRouter {
     for (std::size_t i = 0; i < endpoints_.size(); ++i) {
       if (!is_down(i)) continue;
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(&stats_mu_);
         ++probes_;
       }
       if (!probe_endpoint(endpoints_[i]).has_value()) continue;
       mark_up(i);
       ++rejoined;
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(&stats_mu_);
       ++rejoins_;
     }
     return rejoined;
@@ -275,18 +273,39 @@ class ShardRouter {
   }
 
  private:
-  struct ConnPool {
-    std::mutex mu;
-    std::vector<std::unique_ptr<Stream>> idle;
+  // Idle connections to one shard. Self-locking methods rather than exposed
+  // mutex + vector: callers would have to name pools_[shard].mu in capability
+  // expressions, which the analysis matches only syntactically.
+  class ConnPool {
+   public:
+    std::unique_ptr<Stream> try_pop() {
+      MutexLock lock(&mu_);
+      if (idle_.empty()) return nullptr;
+      auto s = std::move(idle_.back());
+      idle_.pop_back();
+      return s;
+    }
+    void push(std::unique_ptr<Stream> s) {
+      MutexLock lock(&mu_);
+      idle_.push_back(std::move(s));
+    }
+    void clear() {
+      MutexLock lock(&mu_);
+      idle_.clear();
+    }
+
+   private:
+    Mutex mu_{LockRank::kConnectionPool, "ShardRouter::ConnPool::mu_"};
+    std::vector<std::unique_ptr<Stream>> idle_ MSX_GUARDED_BY(mu_);
   };
 
   std::vector<char> down_snapshot() const {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     return down_;
   }
 
   void count_failover(bool overload) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     if (overload) {
       ++overload_reroutes_;
     } else {
@@ -321,14 +340,7 @@ class ShardRouter {
   }
 
   std::unique_ptr<Stream> checkout(std::size_t shard) {
-    {
-      std::lock_guard<std::mutex> lock(pools_[shard].mu);
-      if (!pools_[shard].idle.empty()) {
-        auto s = std::move(pools_[shard].idle.back());
-        pools_[shard].idle.pop_back();
-        return s;
-      }
-    }
+    if (auto s = pools_[shard].try_pop()) return s;
     auto s = endpoints_[shard].connect();
     if (s == nullptr) {
       throw TransportError("ShardRouter: dial failed: " +
@@ -338,36 +350,36 @@ class ShardRouter {
   }
 
   void checkin(std::size_t shard, std::unique_ptr<Stream> s) {
-    std::lock_guard<std::mutex> lock(pools_[shard].mu);
-    pools_[shard].idle.push_back(std::move(s));
+    pools_[shard].push(std::move(s));
   }
 
+  // Sleep an interval under the lock, probe outside it. (A spurious wakeup
+  // probes early, which is harmless — probing is idempotent.)
   void probe_loop() {
-    std::unique_lock<std::mutex> lock(stats_mu_);
-    while (!stopping_) {
-      if (probe_cv_.wait_for(lock, cfg_.probe_interval,
-                             [&] { return stopping_; })) {
-        return;
+    for (;;) {
+      {
+        MutexLock lock(&stats_mu_);
+        if (stopping_) return;
+        probe_cv_.wait_for(stats_mu_, cfg_.probe_interval);
+        if (stopping_) return;
       }
-      lock.unlock();
       probe_down_shards();
-      lock.lock();
     }
   }
 
   std::vector<ShardEndpoint> endpoints_;
   RouterConfig cfg_;
   ConsistentHashRing ring_;
-  mutable std::mutex stats_mu_;
-  std::vector<char> down_;  // guarded by stats_mu_
-  std::vector<std::uint64_t> routed_;
-  std::uint64_t failovers_ = 0;
-  std::uint64_t overload_reroutes_ = 0;
-  std::uint64_t down_marks_ = 0;
-  std::uint64_t probes_ = 0;
-  std::uint64_t rejoins_ = 0;
-  bool stopping_ = false;  // guarded by stats_mu_
-  std::condition_variable probe_cv_;
+  mutable Mutex stats_mu_{LockRank::kRouter, "ShardRouter::stats_mu_"};
+  std::vector<char> down_ MSX_GUARDED_BY(stats_mu_);
+  std::vector<std::uint64_t> routed_ MSX_GUARDED_BY(stats_mu_);
+  std::uint64_t failovers_ MSX_GUARDED_BY(stats_mu_) = 0;
+  std::uint64_t overload_reroutes_ MSX_GUARDED_BY(stats_mu_) = 0;
+  std::uint64_t down_marks_ MSX_GUARDED_BY(stats_mu_) = 0;
+  std::uint64_t probes_ MSX_GUARDED_BY(stats_mu_) = 0;
+  std::uint64_t rejoins_ MSX_GUARDED_BY(stats_mu_) = 0;
+  bool stopping_ MSX_GUARDED_BY(stats_mu_) = false;
+  CondVar probe_cv_;
   std::vector<ConnPool> pools_;
   std::atomic<std::uint64_t> next_rid_{1};
   std::thread prober_;

@@ -8,7 +8,7 @@ ConnectionSet::~ConnectionSet() { close(); }
 
 void ConnectionSet::adopt(std::unique_ptr<Stream> s,
                           std::function<void(Stream&)> serve) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   reap_finished_locked();
   if (closed_) s->shutdown();  // late accept during stop(): serve exits fast
   auto conn = std::make_unique<Conn>();
@@ -24,13 +24,13 @@ void ConnectionSet::adopt(std::unique_ptr<Stream> s,
 }
 
 void ConnectionSet::add_thread(std::thread t) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   threads_.push_back(std::move(t));
 }
 
-// Must hold mu_. Joins and frees every connection whose serve callback has
-// returned — the done flag is the last thing the serving thread stores, so
-// join() returns almost immediately.
+// Joins and frees every connection whose serve callback has returned — the
+// done flag is the last thing the serving thread stores, so join() returns
+// almost immediately.
 void ConnectionSet::reap_finished_locked() {
   auto it = conns_.begin();
   while (it != conns_.end()) {
@@ -45,7 +45,7 @@ void ConnectionSet::reap_finished_locked() {
 
 void ConnectionSet::close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     closed_ = true;
     for (auto& c : conns_) c->stream->shutdown();
   }
@@ -56,7 +56,7 @@ void ConnectionSet::close() {
     std::unique_ptr<Conn> conn;
     std::thread t;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (!conns_.empty()) {
         conn = std::move(conns_.back());
         conns_.pop_back();

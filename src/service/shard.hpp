@@ -18,12 +18,10 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -31,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "runtime/batch.hpp"
 #include "service/transport.hpp"
 #include "service/wire.hpp"
@@ -77,12 +76,12 @@ class ConnectionSet {
     std::shared_ptr<std::atomic<bool>> done;
   };
 
-  void reap_finished_locked();
+  void reap_finished_locked() MSX_REQUIRES(mu_);
 
-  std::mutex mu_;
-  std::vector<std::unique_ptr<Conn>> conns_;
-  std::vector<std::thread> threads_;
-  bool closed_ = false;
+  Mutex mu_{LockRank::kShard, "ConnectionSet::mu_"};
+  std::vector<std::unique_ptr<Conn>> conns_ MSX_GUARDED_BY(mu_);
+  std::vector<std::thread> threads_ MSX_GUARDED_BY(mu_);
+  bool closed_ MSX_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace detail
@@ -118,7 +117,7 @@ class ServiceShard {
   void serve(std::unique_ptr<Listener> listener) {
     Listener* raw = nullptr;
     {
-      std::lock_guard<std::mutex> lock(listeners_mu_);
+      MutexLock lock(&listeners_mu_);
       listeners_.push_back(std::move(listener));
       raw = listeners_.back().get();
     }
@@ -129,17 +128,12 @@ class ServiceShard {
 
   // Serves one connection on the calling thread (deterministic tests).
   void serve_stream(Stream& s) {
-    std::mutex qmu;
-    std::condition_variable qcv;
-    std::deque<Pending> queue;
-    bool reader_done = false;
+    ResponseQueue responses;
     // Session protocol (wire v2): structures registered by this connection,
     // alive exactly as long as it is. Only the reader thread touches it.
     std::unordered_map<std::uint64_t, Registered> registry;
 
-    std::thread sender([&] {
-      sender_loop(s, qmu, qcv, queue, reader_done);
-    });
+    std::thread sender([&] { sender_loop(s, responses); });
 
     FrameHeader header;
     std::vector<std::uint8_t> payload;
@@ -177,21 +171,13 @@ class ServiceShard {
                     to_string(header.type));
             break;
         }
-        {
-          std::lock_guard<std::mutex> lock(qmu);
-          queue.push_back(std::move(p));
-        }
-        qcv.notify_one();
+        responses.push(std::move(p));
       }
     } catch (const WireError&) {
       // Malformed frame: the stream can no longer be trusted — drop it.
     } catch (const TransportError&) {
     }
-    {
-      std::lock_guard<std::mutex> lock(qmu);
-      reader_done = true;
-    }
-    qcv.notify_all();
+    responses.close();
     sender.join();
     s.shutdown();
   }
@@ -200,7 +186,7 @@ class ServiceShard {
   // join. Idempotent.
   void stop() {
     {
-      std::lock_guard<std::mutex> lock(listeners_mu_);
+      MutexLock lock(&listeners_mu_);
       for (auto& l : listeners_) l->close();
     }
     conns_.close();
@@ -210,7 +196,7 @@ class ServiceShard {
   ServiceStats stats() const {
     ServiceStats out;
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(&stats_mu_);
       out = wire_stats_;
     }
     fold_executor_stats(exec_.stats(), out);
@@ -230,6 +216,44 @@ class ServiceShard {
     std::vector<std::uint8_t> immediate;
   };
 
+  // Response FIFO between one connection's reader and its sender thread —
+  // was four loose stack locals shared by reference, which the thread-safety
+  // analysis cannot type; as a struct the guarded members carry their
+  // MSX_GUARDED_BY contracts and both loops go through checked methods.
+  struct ResponseQueue {
+    Mutex mu{LockRank::kShard, "ServiceShard::ResponseQueue::mu"};
+    CondVar cv;
+    std::deque<Pending> items MSX_GUARDED_BY(mu);
+    bool closed MSX_GUARDED_BY(mu) = false;
+
+    void push(Pending p) {
+      {
+        MutexLock lock(&mu);
+        items.push_back(std::move(p));
+      }
+      cv.notify_one();
+    }
+
+    // Reader finished: wake the sender so it drains and exits.
+    void close() {
+      {
+        MutexLock lock(&mu);
+        closed = true;
+      }
+      cv.notify_all();
+    }
+
+    // Blocks for the next response; false once closed and drained.
+    bool pop(Pending& out) {
+      MutexLock lock(&mu);
+      while (!closed && items.empty()) cv.wait(mu);
+      if (items.empty()) return false;
+      out = std::move(items.front());
+      items.pop_front();
+      return true;
+    }
+  };
+
   // A structure installed by kRegisterRequest: shared operands the executor
   // reuses across every submit that references them (one PlanCache key per
   // recurring product shape, zero per-request operand copies).
@@ -242,7 +266,7 @@ class ServiceShard {
   // failure fills p.immediate with the matching error payload instead.
   void handle_request(std::span<const std::uint8_t> payload, Pending& p) {
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(&stats_mu_);
       ++wire_stats_.requests;
     }
     try {
@@ -286,7 +310,7 @@ class ServiceShard {
                   : std::make_shared<const Mat>(std::move(reg.m_storage));
     }
     registry[reg.structure_id] = std::move(rec);
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     ++wire_stats_.registrations;
   }
 
@@ -297,7 +321,7 @@ class ServiceShard {
                      std::unordered_map<std::uint64_t, Registered>& registry,
                      Pending& p) {
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(&stats_mu_);
       ++wire_stats_.requests;
     }
     try {
@@ -348,17 +372,10 @@ class ServiceShard {
 
   // Drains the response queue in FIFO (submission) order. Execution is
   // concurrent across the queue; only response bytes serialize here.
-  void sender_loop(Stream& s, std::mutex& qmu, std::condition_variable& qcv,
-                   std::deque<Pending>& queue, bool& reader_done) {
+  void sender_loop(Stream& s, ResponseQueue& responses) {
     for (;;) {
       Pending p;
-      {
-        std::unique_lock<std::mutex> lock(qmu);
-        qcv.wait(lock, [&] { return reader_done || !queue.empty(); });
-        if (queue.empty()) return;
-        p = std::move(queue.front());
-        queue.pop_front();
-      }
+      if (!responses.pop(p)) return;
       // Results go out as gather frames referencing the matrix in place (no
       // payload-assembly copy); error payloads are small and pre-encoded.
       std::optional<output_matrix> result;
@@ -395,14 +412,14 @@ class ServiceShard {
   }
 
   void count_in(std::size_t payload_bytes) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     wire_stats_.bytes_in += payload_bytes;
   }
 
   // Accounting for a kOk result sent via the gather path (no contiguous
   // payload to sniff the status from).
   void count_out_ok(MessageType type, std::size_t payload_bytes) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     wire_stats_.bytes_out += payload_bytes;
     if (type == MessageType::kResponse) ++wire_stats_.responses;
   }
@@ -414,7 +431,7 @@ class ServiceShard {
       std::memcpy(&raw, payload.data(), 4);
       status = static_cast<WireStatus>(raw);
     }
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     wire_stats_.bytes_out += payload.size();
     if (type == MessageType::kResponse) {
       ++wire_stats_.responses;
@@ -429,10 +446,11 @@ class ServiceShard {
   ShardConfig cfg_;
   Executor exec_;
   detail::ConnectionSet conns_;
-  std::mutex listeners_mu_;
-  std::vector<std::unique_ptr<Listener>> listeners_;
-  mutable std::mutex stats_mu_;
-  ServiceStats wire_stats_;
+  Mutex listeners_mu_{LockRank::kShard, "ServiceShard::listeners_mu_"};
+  std::vector<std::unique_ptr<Listener>> listeners_
+      MSX_GUARDED_BY(listeners_mu_);
+  mutable Mutex stats_mu_{LockRank::kShard, "ServiceShard::stats_mu_"};
+  ServiceStats wire_stats_ MSX_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace msx::service

@@ -1,11 +1,11 @@
 #include "service/transport.hpp"
 
 #include <chrono>
-#include <condition_variable>
 #include <cstring>
 #include <deque>
-#include <mutex>
 #include <thread>
+
+#include "common/thread_annotations.hpp"
 
 #include <arpa/inet.h>
 #include <cerrno>
@@ -77,9 +77,9 @@ class ByteQueue {
 
   void write_all(const void* data, std::size_t len) {
     const auto* p = static_cast<const std::uint8_t*>(data);
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     while (len > 0) {
-      writable_.wait(lock, [&] { return closed_ || size() < capacity_; });
+      while (!closed_ && size() >= capacity_) writable_.wait(mu_);
       if (closed_) throw TransportError("loopback: peer closed");
       const std::size_t room = capacity_ - size();
       const std::size_t chunk = room < len ? room : len;
@@ -91,8 +91,8 @@ class ByteQueue {
   }
 
   std::size_t read_some(void* data, std::size_t len) {
-    std::unique_lock<std::mutex> lock(mu_);
-    readable_.wait(lock, [&] { return closed_ || size() > 0; });
+    MutexLock lock(&mu_);
+    while (!closed_ && size() == 0) readable_.wait(mu_);
     if (size() == 0) return 0;  // closed and drained -> EOF
     const std::size_t chunk = size() < len ? size() : len;
     std::memcpy(data, buf_.data() + head_, chunk);
@@ -108,22 +108,22 @@ class ByteQueue {
   }
 
   void close() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     closed_ = true;
     readable_.notify_all();
     writable_.notify_all();
   }
 
  private:
-  std::size_t size() const { return buf_.size() - head_; }
+  std::size_t size() const MSX_REQUIRES(mu_) { return buf_.size() - head_; }
 
-  std::mutex mu_;
-  std::condition_variable readable_;
-  std::condition_variable writable_;
-  std::vector<std::uint8_t> buf_;
-  std::size_t head_ = 0;
-  std::size_t capacity_;
-  bool closed_ = false;
+  Mutex mu_{LockRank::kTransport, "ByteQueue::mu_"};
+  CondVar readable_;
+  CondVar writable_;
+  std::vector<std::uint8_t> buf_ MSX_GUARDED_BY(mu_);
+  std::size_t head_ MSX_GUARDED_BY(mu_) = 0;
+  std::size_t capacity_;  // immutable after construction
+  bool closed_ MSX_GUARDED_BY(mu_) = false;
 };
 
 class LoopbackStream final : public Stream {
@@ -159,11 +159,11 @@ std::pair<std::unique_ptr<Stream>, std::unique_ptr<Stream>> loopback_pair(
 }
 
 struct LoopbackListener::Impl {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<std::unique_ptr<Stream>> pending;
-  std::size_t capacity;
-  bool closed = false;
+  Mutex mu{LockRank::kTransport, "LoopbackListener::Impl::mu"};
+  CondVar cv;
+  std::deque<std::unique_ptr<Stream>> pending MSX_GUARDED_BY(mu);
+  std::size_t capacity;  // immutable after the constructor
+  bool closed MSX_GUARDED_BY(mu) = false;
 };
 
 LoopbackListener::LoopbackListener(std::size_t capacity_bytes)
@@ -176,7 +176,7 @@ LoopbackListener::~LoopbackListener() { close(); }
 std::unique_ptr<Stream> LoopbackListener::connect() {
   auto [client, server] = loopback_pair(impl_->capacity);
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(&impl_->mu);
     if (impl_->closed) throw TransportError("loopback: listener closed");
     impl_->pending.push_back(std::move(server));
   }
@@ -185,9 +185,8 @@ std::unique_ptr<Stream> LoopbackListener::connect() {
 }
 
 std::unique_ptr<Stream> LoopbackListener::accept() {
-  std::unique_lock<std::mutex> lock(impl_->mu);
-  impl_->cv.wait(lock,
-                 [&] { return impl_->closed || !impl_->pending.empty(); });
+  MutexLock lock(&impl_->mu);
+  while (!impl_->closed && impl_->pending.empty()) impl_->cv.wait(impl_->mu);
   if (impl_->pending.empty()) return nullptr;
   auto s = std::move(impl_->pending.front());
   impl_->pending.pop_front();
@@ -195,7 +194,7 @@ std::unique_ptr<Stream> LoopbackListener::accept() {
 }
 
 void LoopbackListener::close() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   impl_->closed = true;
   impl_->pending.clear();
   impl_->cv.notify_all();
