@@ -108,7 +108,8 @@ int main(int argc, char** argv) {
   // Register structures and verify both paths bit-identical to direct calls.
   std::vector<mc::StructureHandle<IT, VT>> handles;
   for (std::size_t s = 0; s < catalog.a.size(); ++s) {
-    handles.push_back(session.register_structure(catalog.b[s], catalog.m[s]));
+    handles.push_back(session.register_structure(
+        mc::StructureSpec<IT, VT>(catalog.b[s]).mask(catalog.m[s])));
     const auto want =
         masked_spgemm<SRt>(catalog.a[s], *catalog.b[s], *catalog.m[s], opts);
     const auto via_router =

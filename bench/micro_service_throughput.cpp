@@ -122,7 +122,8 @@ int main(int argc, char** argv) {
     // result vs direct call, bit-identical.
     std::vector<mc::StructureHandle<IT, VT>> handles;
     for (std::size_t s = 0; s < catalog.a.size(); ++s) {
-      handles.push_back(session.register_structure(catalog.b[s], catalog.m[s]));
+      handles.push_back(session.register_structure(
+          mc::StructureSpec<IT, VT>(catalog.b[s]).mask(catalog.m[s])));
       const auto want =
           masked_spgemm<SRt>(catalog.a[s], *catalog.b[s], *catalog.m[s], opts);
       auto got = session.submit(catalog.a[s], handles[s]).get();

@@ -32,7 +32,14 @@ HIGHER_BETTER_MARKERS = ("speedup", "rate", "per_sec", "gflops", "teps")
 # instead of being gated as if the code got slower.
 CONFIG_FIELDS = ("jobs", "structures", "scale", "pool_threads", "threads",
                  "reps", "warmup", "scale_shift", "batch", "sources", "k",
-                 "shards", "clients", "requests", "inflight")
+                 "shards", "clients", "requests", "inflight", "rows",
+                 "degree", "touched", "rounds",
+                 # micro_streaming structural diagnostics: determined by the
+                 # config (partition blocks scale with the runner's core
+                 # count, migrations with the round count) — drift is worth a
+                 # warning, not a perf gate.
+                 "blocks_total", "blocks_refreshed", "out_rows_resymbolic",
+                 "partition_kept", "symbolic_patched", "delta_migrations")
 
 
 def is_higher_better(field):

@@ -101,7 +101,8 @@ int main(int argc, char** argv) {
   {
     std::vector<std::future<mc::ClientResult<IT, VT>>> warm;
     for (auto& s : catalog) {
-      handles.push_back(session.register_structure(s.b, s.m));
+      handles.push_back(
+          session.register_structure(mc::StructureSpec<IT, VT>(s.b).mask(s.m)));
       warm.push_back(session.submit(s.a, handles.back()));
     }
     for (auto& f : warm) f.get().value();

@@ -99,7 +99,8 @@ int main(int argc, char** argv) {
         msx::erdos_renyi<IT, VT>(rows, rows, 6, 600 + k));
     e.m = std::make_shared<const Mat>(
         msx::erdos_renyi<IT, VT>(rows, rows, 8, 700 + k));
-    e.handle = session.register_structure(e.b, e.m);
+    e.handle =
+        session.register_structure(mc::StructureSpec<IT, VT>(e.b).mask(e.m));
     catalog.push_back(std::move(e));
   }
 

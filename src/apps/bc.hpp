@@ -386,7 +386,8 @@ BCResult betweenness_centrality(
       n, n, std::vector<IT>(graph.rowptr().begin(), graph.rowptr().end()),
       std::vector<IT>(graph.colidx().begin(), graph.colidx().end()),
       std::vector<double>(graph.nnz(), 1.0));
-  auto handle = session.register_structure(a);
+  auto handle =
+      session.register_structure(client::StructureSpec<IT, double>(a));
 
   struct Chunk {
     std::vector<IT> sources;

@@ -153,7 +153,8 @@ DOBFSResult direction_optimized_bfs(
       n, n, std::vector<IT>(graph.rowptr().begin(), graph.rowptr().end()),
       std::vector<IT>(graph.colidx().begin(), graph.colidx().end()),
       std::vector<std::int64_t>(graph.nnz(), 1));
-  auto handle = session.register_structure(a);
+  auto handle = session.register_structure(
+      client::StructureSpec<IT, std::int64_t>(a));
 
   DOBFSResult result;
   result.levels.assign(static_cast<std::size_t>(n), -1);

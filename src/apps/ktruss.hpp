@@ -117,7 +117,8 @@ KTrussResult<IT> ktruss(
     ++result.iterations;
     result.multiplies += total_flops(*a, *a);
 
-    auto handle = session.register_structure(a, a);
+    auto handle = session.register_structure(
+        client::StructureSpec<IT, std::int64_t>(a).self_mask());
     WallTimer kernel;
     auto res = session.submit(a, handle, sopts).get();
     result.seconds_spgemm += kernel.seconds();

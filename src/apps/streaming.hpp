@@ -1,0 +1,356 @@
+// Incremental app loops over the streaming client API (delta rebind
+// tentpole): the graph lives server-side as a registered, versioned
+// structure; edge churn flows through Session::update(handle, EdgeDelta)
+// instead of re-registering, so the backend patches warm plans (sparse
+// re-symbolic over touched rows) rather than rebuilding them, and every
+// query runs against a consistent matrix generation or comes back
+// kStaleStructure.
+//
+// Three maintenance loops, mirroring the batch apps:
+//
+//   StreamingTriangleCounter — L = strict lower triangle, self-masked;
+//     count() is the fully aliased C = L .* (L·L) submit of tricount's kLL
+//     variant. Unlike the batch app there is NO degree relabel: vertex ids
+//     must stay stable under churn, so the orientation is by raw vertex id
+//     ((max, min) per undirected edge). Counts match the batch app exactly;
+//     only the per-count constant differs.
+//
+//   StreamingKTruss — the live symmetric adjacency is the registered,
+//     self-masked structure; truss(k) runs the support/prune fixed point
+//     with round 1 against the live handle (riding the delta-patched plan)
+//     and later rounds on transient registrations, like the batch app.
+//
+//   LiveGraphBFS — the adjacency is registered without a mask; bfs(source)
+//     runs direction-optimized levels with per-request frontier/visited
+//     masks against whatever version the graph is at when the call starts.
+//
+// All three buffer mutations in an EdgeDelta and apply them on flush() (or
+// implicitly before a query): one update per batch of edges is the intended
+// granularity — per-edge updates work but pay a version bump each.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "apps/ktruss.hpp"  // KTrussResult
+#include "apps/dobfs.hpp"   // DOBFSResult, BFSDirection
+#include "client/client.hpp"
+#include "core/delta.hpp"
+#include "core/flops.hpp"
+#include "core/masked_spgevm.hpp"
+#include "matrix/ops.hpp"
+#include "semiring/semirings.hpp"
+#include "vector/sparse_vector.hpp"
+
+namespace msx {
+
+// Maintains the triangle count of an undirected simple graph under edge
+// churn. `graph` seeds the edge set (symmetric pattern, no self-loops).
+template <class IT>
+class StreamingTriangleCounter {
+ public:
+  using VT = std::int64_t;
+  using SR = PlusPair<std::int64_t>;
+  using Mat = CSRMatrix<IT, VT>;
+  using Sess = client::Session<SR, IT, VT>;
+
+  template <class VTIn>
+  StreamingTriangleCounter(const CSRMatrix<IT, VTIn>& graph, Sess& session)
+      : session_(&session) {
+    check_arg(graph.nrows() == graph.ncols(),
+              "StreamingTriangleCounter: adjacency matrix must be square");
+    const Mat ones(
+        graph.nrows(), graph.ncols(),
+        std::vector<IT>(graph.rowptr().begin(), graph.rowptr().end()),
+        std::vector<IT>(graph.colidx().begin(), graph.colidx().end()),
+        std::vector<std::int64_t>(graph.nnz(), 1));
+    auto lower = std::make_shared<const Mat>(tril_strict(ones));
+    handle_ = session_->register_structure(
+        client::StructureSpec<IT, VT>(std::move(lower)).self_mask());
+  }
+
+  ~StreamingTriangleCounter() { close(); }
+  StreamingTriangleCounter(const StreamingTriangleCounter&) = delete;
+  StreamingTriangleCounter& operator=(const StreamingTriangleCounter&) =
+      delete;
+
+  // Buffered mutations; (u, v) is undirected, self-loops rejected. Inserting
+  // a present edge or erasing an absent one is a no-op (EdgeDelta semantics).
+  void insert_edge(IT u, IT v) {
+    check_arg(u != v, "StreamingTriangleCounter: self-loop");
+    pending_.insert(std::max(u, v), std::min(u, v), 1);
+  }
+  void erase_edge(IT u, IT v) {
+    check_arg(u != v, "StreamingTriangleCounter: self-loop");
+    pending_.erase(std::max(u, v), std::min(u, v));
+  }
+
+  // Applies buffered mutations as one versioned update. The old handle (and
+  // any in-flight count against it) goes stale by design.
+  void flush() {
+    if (pending_.empty()) return;
+    handle_ = session_->update(handle_, pending_);
+    pending_.clear();
+  }
+
+  // Triangles in the current graph (buffered mutations applied first).
+  std::int64_t count(const MaskedOptions& opts = {}) {
+    flush();
+    client::SubmitOptions sopts;
+    sopts.masked = opts;
+    auto res = session_->submit(handle_.b(), handle_, sopts).get();
+    std::int64_t total = 0;
+    for (const auto v : res.value().values()) total += v;
+    return total;
+  }
+
+  std::uint64_t version() const { return handle_.version(); }
+  const Mat& lower() const { return *handle_.b(); }
+
+  void close() {
+    if (session_ != nullptr && handle_.valid()) session_->release(handle_);
+    session_ = nullptr;
+  }
+
+ private:
+  Sess* session_;
+  typename Sess::Handle handle_;
+  EdgeDelta<IT, VT> pending_;
+};
+
+// Maintains a graph under churn and answers k-truss queries from the live
+// structure. `graph` seeds the edge set (symmetric pattern, no self-loops).
+template <class IT>
+class StreamingKTruss {
+ public:
+  using VT = std::int64_t;
+  using SR = PlusPair<std::int64_t>;
+  using Mat = CSRMatrix<IT, VT>;
+  using Sess = client::Session<SR, IT, VT>;
+
+  template <class VTIn>
+  StreamingKTruss(const CSRMatrix<IT, VTIn>& graph, Sess& session)
+      : session_(&session) {
+    check_arg(graph.nrows() == graph.ncols(),
+              "StreamingKTruss: adjacency matrix must be square");
+    auto a = std::make_shared<const Mat>(
+        graph.nrows(), graph.ncols(),
+        std::vector<IT>(graph.rowptr().begin(), graph.rowptr().end()),
+        std::vector<IT>(graph.colidx().begin(), graph.colidx().end()),
+        std::vector<std::int64_t>(graph.nnz(), 1));
+    handle_ = session_->register_structure(
+        client::StructureSpec<IT, VT>(std::move(a)).self_mask());
+  }
+
+  ~StreamingKTruss() { close(); }
+  StreamingKTruss(const StreamingKTruss&) = delete;
+  StreamingKTruss& operator=(const StreamingKTruss&) = delete;
+
+  // Buffered symmetric mutations (both directed slots per undirected edge).
+  void insert_edge(IT u, IT v) {
+    check_arg(u != v, "StreamingKTruss: self-loop");
+    pending_.insert(u, v, 1);
+    pending_.insert(v, u, 1);
+  }
+  void erase_edge(IT u, IT v) {
+    check_arg(u != v, "StreamingKTruss: self-loop");
+    pending_.erase(u, v);
+    pending_.erase(v, u);
+  }
+
+  void flush() {
+    if (pending_.empty()) return;
+    handle_ = session_->update(handle_, pending_);
+    pending_.clear();
+  }
+
+  // k-truss of the current graph (buffered mutations applied first). Round 1
+  // computes per-edge support fully aliased against the live handle — the
+  // submit that benefits from the delta-patched plan; the peeling rounds
+  // operate on shrinking transient edge sets, registered per round like the
+  // batch app.
+  KTrussResult<IT> truss(int k, const MaskedOptions& opts = {}) {
+    check_arg(k >= 3, "StreamingKTruss: k must be at least 3");
+    flush();
+    WallTimer total;
+    const auto support_needed = static_cast<std::int64_t>(k - 2);
+    client::SubmitOptions sopts;
+    sopts.masked = opts;
+
+    KTrussResult<IT> result;
+    result.algo = opts.algo;
+    std::shared_ptr<const Mat> a = handle_.b();
+    bool live_round = true;
+    typename Sess::Handle transient;
+    while (true) {
+      ++result.iterations;
+      result.multiplies += total_flops(*a, *a);
+      const auto& h = live_round ? handle_ : transient;
+      WallTimer kernel;
+      auto res = session_->submit(a, h, sopts).get();
+      result.seconds_spgemm += kernel.seconds();
+      if (!live_round) session_->release(transient);
+      auto support = std::move(res.value());
+
+      auto pruned = filter(support, [&](IT, IT, const std::int64_t& v) {
+        return v >= support_needed;
+      });
+      const bool converged = (pruned.nnz() == a->nnz());
+      a = std::make_shared<const Mat>(spones(pruned));
+      if (converged || a->nnz() == 0) break;
+      live_round = false;
+      transient = session_->register_structure(
+          client::StructureSpec<IT, VT>(a).self_mask());
+    }
+
+    result.remaining_edges = a->nnz();
+    result.truss = *a;
+    result.seconds_total = total.seconds();
+    return result;
+  }
+
+  std::uint64_t version() const { return handle_.version(); }
+  const Mat& adjacency() const { return *handle_.b(); }
+
+  void close() {
+    if (session_ != nullptr && handle_.valid()) session_->release(handle_);
+    session_ = nullptr;
+  }
+
+ private:
+  Sess* session_;
+  typename Sess::Handle handle_;
+  EdgeDelta<IT, VT> pending_;
+};
+
+// BFS from fresh seeds against a live graph: the adjacency is the versioned
+// structure, every level's frontier and visited set are per-request operands.
+template <class IT>
+class LiveGraphBFS {
+ public:
+  using VT = std::int64_t;
+  using SR = PlusPair<std::int64_t>;
+  using Mat = CSRMatrix<IT, VT>;
+  using Sess = client::Session<SR, IT, VT>;
+
+  template <class VTIn>
+  LiveGraphBFS(const CSRMatrix<IT, VTIn>& graph, Sess& session)
+      : session_(&session) {
+    check_arg(graph.nrows() == graph.ncols(),
+              "LiveGraphBFS: adjacency matrix must be square");
+    auto a = std::make_shared<const Mat>(
+        graph.nrows(), graph.ncols(),
+        std::vector<IT>(graph.rowptr().begin(), graph.rowptr().end()),
+        std::vector<IT>(graph.colidx().begin(), graph.colidx().end()),
+        std::vector<std::int64_t>(graph.nnz(), 1));
+    handle_ =
+        session_->register_structure(client::StructureSpec<IT, VT>(a));
+  }
+
+  ~LiveGraphBFS() { close(); }
+  LiveGraphBFS(const LiveGraphBFS&) = delete;
+  LiveGraphBFS& operator=(const LiveGraphBFS&) = delete;
+
+  void insert_edge(IT u, IT v) {
+    check_arg(u != v, "LiveGraphBFS: self-loop");
+    pending_.insert(u, v, 1);
+    pending_.insert(v, u, 1);
+  }
+  void erase_edge(IT u, IT v) {
+    check_arg(u != v, "LiveGraphBFS: self-loop");
+    pending_.erase(u, v);
+    pending_.erase(v, u);
+  }
+
+  void flush() {
+    if (pending_.empty()) return;
+    handle_ = session_->update(handle_, pending_);
+    pending_.clear();
+  }
+
+  // Levels from `source` on the current graph (buffered mutations applied
+  // first). Same direction-optimized loop as the batch client app; the graph
+  // version is pinned for the whole traversal by the handle.
+  DOBFSResult bfs(IT source, BFSDirection direction = BFSDirection::kAdaptive,
+                  double alpha = 4.0) {
+    flush();
+    const auto a = handle_.b();
+    const IT n = a->nrows();
+    check_arg(source >= 0 && source < n, "LiveGraphBFS: source out of range");
+    using SV = SparseVector<IT, std::int64_t>;
+
+    DOBFSResult result;
+    result.levels.assign(static_cast<std::size_t>(n), -1);
+    result.levels[static_cast<std::size_t>(source)] = 0;
+
+    SV frontier(n);
+    frontier.push_back(source, 1);
+    SV visited = frontier;
+
+    client::SubmitOptions push_opts;
+    push_opts.masked.kind = MaskKind::kComplement;
+    push_opts.masked.algo = MaskedAlgo::kMSA;
+    client::SubmitOptions pull_opts = push_opts;
+    pull_opts.masked.algo = MaskedAlgo::kInner;
+
+    std::size_t unvisited_edges = a->nnz();
+    unvisited_edges -= static_cast<std::size_t>(a->row_nnz(source));
+
+    std::int32_t depth = 0;
+    while (!frontier.empty()) {
+      std::size_t frontier_edges = 0;
+      for (IT v : frontier.indices()) {
+        frontier_edges += static_cast<std::size_t>(a->row_nnz(v));
+      }
+      bool pull;
+      switch (direction) {
+        case BFSDirection::kPushOnly: pull = false; break;
+        case BFSDirection::kPullOnly: pull = true; break;
+        case BFSDirection::kAdaptive:
+        default:
+          pull = static_cast<double>(frontier_edges) >
+                 static_cast<double>(unvisited_edges) / alpha;
+          break;
+      }
+
+      auto frontier_row =
+          std::make_shared<const Mat>(detail::as_row_matrix(frontier));
+      auto visited_row =
+          std::make_shared<const Mat>(detail::as_row_matrix(visited));
+      auto res = session_
+                     ->submit(frontier_row, visited_row, handle_,
+                              pull ? pull_opts : push_opts)
+                     .get();
+      SV next = detail::first_row_as_vector(res.value());
+      if (next.empty()) break;
+      (pull ? result.pull_levels : result.push_levels) += 1;
+
+      ++depth;
+      for (IT v : next.indices()) {
+        result.levels[static_cast<std::size_t>(v)] = depth;
+        unvisited_edges -= static_cast<std::size_t>(a->row_nnz(v));
+      }
+      visited = ewise_add(visited, next);
+      frontier = std::move(next);
+    }
+    result.depth = depth;
+    return result;
+  }
+
+  std::uint64_t version() const { return handle_.version(); }
+  const Mat& adjacency() const { return *handle_.b(); }
+
+  void close() {
+    if (session_ != nullptr && handle_.valid()) session_->release(handle_);
+    session_ = nullptr;
+  }
+
+ private:
+  Sess* session_;
+  typename Sess::Handle handle_;
+  EdgeDelta<IT, VT> pending_;
+};
+
+}  // namespace msx

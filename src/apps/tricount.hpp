@@ -134,7 +134,9 @@ TriCountResult triangle_count(
   auto run = [&](std::shared_ptr<const Mat> a, std::shared_ptr<const Mat> b,
                  std::shared_ptr<const Mat> m) {
     result.multiplies = total_flops(*a, *b);
-    auto handle = session.register_structure(b, m == b ? b : nullptr);
+    auto spec = client::StructureSpec<IT, std::int64_t>(b);
+    if (m == b) spec.self_mask();
+    auto handle = session.register_structure(std::move(spec));
     WallTimer kernel;
     auto fut = m == b ? session.submit(a, handle, sopts)
                       : session.submit(a, m, handle, sopts);

@@ -9,6 +9,7 @@ const char* to_string(RequestStatus s) {
     case RequestStatus::kShardDown: return "shard-down";
     case RequestStatus::kBadRequest: return "bad-request";
     case RequestStatus::kInternalError: return "internal-error";
+    case RequestStatus::kStaleStructure: return "stale-structure";
   }
   return "?";
 }

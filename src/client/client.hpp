@@ -9,14 +9,17 @@
 //
 //   MaskedClient  — constructed from a Backend; vends Sessions.
 //   Session       — registers stationary operands once
-//                   (register_structure(B[, M]) -> StructureHandle) and then
-//                   pipelines many products: submit(A[, M], handle, opts)
-//                   returns std::future<Result> with bounded in-flight depth
-//                   and per-request Priority.
+//                   (register_structure(StructureSpec) -> StructureHandle,
+//                   versioned) and then pipelines many products:
+//                   submit(A[, M], handle, opts) returns std::future<Result>
+//                   with bounded in-flight depth and per-request Priority.
+//                   update(handle, EdgeDelta) applies an edge batch and
+//                   returns the next-version handle — streaming graphs mutate
+//                   in place instead of re-registering.
 //   Result        — typed outcome (kOk / kOverloaded / kShardDown /
-//                   kBadRequest / kInternalError) instead of an ad-hoc
-//                   exception zoo; value() rethrows for callers that prefer
-//                   exceptions.
+//                   kBadRequest / kInternalError / kStaleStructure) instead
+//                   of an ad-hoc exception zoo; value() rethrows for callers
+//                   that prefer exceptions.
 //   Backend       — where the products actually run: LocalBackend
 //                   (BatchExecutor + PlanCache in-process, zero-copy handle
 //                   reuse) or ShardedBackend (pipelined connections to a
@@ -41,6 +44,7 @@
 
 #include "common/platform.hpp"
 #include "common/thread_annotations.hpp"
+#include "core/delta.hpp"
 #include "core/options.hpp"
 #include "matrix/csr.hpp"
 #include "runtime/thread_pool.hpp"  // Priority
@@ -53,10 +57,12 @@ namespace msx::client {
 // inspect each outcome without try/catch scaffolding around every get().
 enum class RequestStatus {
   kOk,
-  kOverloaded,     // back-pressure: every eligible shard/executor refused
-  kShardDown,      // no shard could serve it (all down, or client shut down)
-  kBadRequest,     // validation failed (shapes, unknown structure, options)
-  kInternalError,  // anything else thrown while serving
+  kOverloaded,      // back-pressure: every eligible shard/executor refused
+  kShardDown,       // no shard could serve it (all down, or client shut down)
+  kBadRequest,      // validation failed (shapes, unknown structure, options)
+  kInternalError,   // anything else thrown while serving
+  kStaleStructure,  // submitted against a superseded structure version;
+                    // retryable — resubmit with the handle update() returned
 };
 
 const char* to_string(RequestStatus s);
@@ -95,6 +101,13 @@ struct SessionConfig {
   // flight, which keeps a fast producer from ballooning queues anywhere
   // downstream. 16–64 keeps a shard pipeline full without unbounded memory.
   std::size_t max_in_flight = 32;
+
+  // Bounded registrations: 0 means unbounded (the default); otherwise the
+  // session keeps at most this many structures live, evicting the least
+  // recently used (touched by submit/update) with an unregister over the
+  // wire. Submitting an evicted handle yields kBadRequest — size the quota
+  // for the working set, not the churn.
+  std::size_t max_structures = 0;
 };
 
 // Where products run. Implementations: LocalBackend (local_backend.hpp),
@@ -109,19 +122,34 @@ class Backend {
 
   virtual ~Backend() = default;
 
-  // Installs stationary operands {B[, M]} and returns their id. The backend
-  // holds the shared operands for zero-copy reuse (and, sharded, ships them
-  // to a shard once per connection instead of once per product).
+  // Installs stationary operands {B[, M]} at version 1 and returns their id.
+  // The backend holds the shared operands for zero-copy reuse (and, sharded,
+  // ships them to a shard once per connection instead of once per product).
   virtual std::uint64_t register_structure(std::shared_ptr<const Mat> b,
                                            std::shared_ptr<const Mat> m) = 0;
   virtual void release_structure(std::uint64_t structure_id) = 0;
 
-  // Asynchronously computes C = M .* (A·B) against a registered structure.
-  // `mask_override` null means "use the registered M". Returns immediately;
-  // `done` is invoked exactly once — possibly on another thread, possibly
-  // before this call returns — with the typed outcome. Never throws for
-  // per-request failures.
-  virtual void submit(std::uint64_t structure_id, std::shared_ptr<const Mat> a,
+  // Advances a registered structure to `new_b` (the delta already applied by
+  // the caller — once, client-side) and returns the new version. The delta
+  // rides along so backends can patch warm plans (locally via the plan
+  // cache's lineage migration; sharded, it is what crosses the wire — the
+  // shard re-applies it instead of receiving the matrix). `new_m` is the
+  // structure's mask after the update (the same pointer as `new_b` for
+  // self-masked structures, the old mask otherwise, null if none).
+  virtual std::uint64_t update_structure(
+      std::uint64_t structure_id,
+      std::shared_ptr<const EdgeDelta<IT, VT>> delta,
+      std::shared_ptr<const Mat> new_b, std::shared_ptr<const Mat> new_m) = 0;
+
+  // Asynchronously computes C = M .* (A·B) against a registered structure at
+  // a specific version. A submit whose version no longer matches the live
+  // registration completes with kStaleStructure — never a result computed
+  // against the wrong matrix generation. `mask_override` null means "use the
+  // registered M". Returns immediately; `done` is invoked exactly once —
+  // possibly on another thread, possibly before this call returns — with the
+  // typed outcome. Never throws for per-request failures.
+  virtual void submit(std::uint64_t structure_id, std::uint64_t version,
+                      std::shared_ptr<const Mat> a,
                       std::shared_ptr<const Mat> mask_override,
                       const MaskedOptions& opts, Priority priority,
                       Completion done) = 0;
@@ -133,14 +161,66 @@ class Backend {
   virtual std::string name() const = 0;
 };
 
-// A registered stationary-operand set. A plain value: copies share the
-// registration; release through the session that created it.
+// What to register: the one way to describe a stationary-operand set. The
+// previous API grew four register_structure overloads (shared_ptr pairs,
+// value copies, implicit alias detection by address); the builder states the
+// intent instead:
+//
+//   s.register_structure(StructureSpec(B))                    — no mask
+//   s.register_structure(StructureSpec(B).mask(M))            — independent M
+//   s.register_structure(StructureSpec(B).self_mask())        — M aliases B
+//
+// Aliasing is explicit: self_mask() shares the B pointer (k-truss registers
+// its working matrix once and masks by it); mask(...) with a matrix that
+// merely equals B still registers a distinct mask, like everywhere else in
+// the library.
+template <class IT, class VT>
+class StructureSpec {
+ public:
+  using Mat = CSRMatrix<IT, VT>;
+
+  explicit StructureSpec(std::shared_ptr<const Mat> b) : b_(std::move(b)) {
+    check_arg(b_ != nullptr, "StructureSpec: null B");
+  }
+  // Convenience: copy a transient B into shared storage once, here.
+  explicit StructureSpec(const Mat& b)
+      : b_(std::make_shared<const Mat>(b)) {}
+
+  StructureSpec& mask(std::shared_ptr<const Mat> m) {
+    check_arg(m != nullptr, "StructureSpec::mask: null mask");
+    m_ = std::move(m);
+    return *this;
+  }
+  StructureSpec& mask(const Mat& m) {
+    m_ = std::make_shared<const Mat>(m);
+    return *this;
+  }
+  // The mask IS the stationary matrix (one registration, one shipment).
+  StructureSpec& self_mask() {
+    m_ = b_;
+    return *this;
+  }
+
+  const std::shared_ptr<const Mat>& b() const { return b_; }
+  const std::shared_ptr<const Mat>& mask_ptr() const { return m_; }
+
+ private:
+  std::shared_ptr<const Mat> b_;
+  std::shared_ptr<const Mat> m_;
+};
+
+// A registered stationary-operand set at a specific version. A plain value:
+// copies share the registration; release through the session that created
+// it. Session::update() returns a NEW handle at the next version — the old
+// handle keeps working as an identity (release/LRU) but its submits resolve
+// to kStaleStructure once the update is live.
 template <class IT, class VT>
 class StructureHandle {
  public:
   StructureHandle() = default;
 
   std::uint64_t id() const { return id_; }
+  std::uint64_t version() const { return version_; }
   bool valid() const { return id_ != 0; }
   bool has_mask() const { return m_ != nullptr; }
   const std::shared_ptr<const CSRMatrix<IT, VT>>& b() const { return b_; }
@@ -150,11 +230,13 @@ class StructureHandle {
   template <class, class, class>
   friend class Session;
 
-  StructureHandle(std::uint64_t id, std::shared_ptr<const CSRMatrix<IT, VT>> b,
+  StructureHandle(std::uint64_t id, std::uint64_t version,
+                  std::shared_ptr<const CSRMatrix<IT, VT>> b,
                   std::shared_ptr<const CSRMatrix<IT, VT>> m)
-      : id_(id), b_(std::move(b)), m_(std::move(m)) {}
+      : id_(id), version_(version), b_(std::move(b)), m_(std::move(m)) {}
 
   std::uint64_t id_ = 0;
+  std::uint64_t version_ = 0;
   std::shared_ptr<const CSRMatrix<IT, VT>> b_;
   std::shared_ptr<const CSRMatrix<IT, VT>> m_;
 };
@@ -206,29 +288,46 @@ class Session {
     backend_.reset();
   }
 
-  // Registers stationary operands. Aliasing is expressed by passing the same
-  // shared_ptr (k-truss registers {A, A} and submits A against it); copies
-  // with equal structure but distinct identity are planned separately, like
-  // everywhere else in the library.
-  Handle register_structure(std::shared_ptr<const Mat> b,
-                            std::shared_ptr<const Mat> m = nullptr) {
-    check_arg(b != nullptr, "Session::register_structure: null B");
+  // Registers stationary operands described by a StructureSpec — the single
+  // entry point (the former shared_ptr/value/alias-sniffing overloads are
+  // gone; see the README migration table). The handle starts at version 1;
+  // update() advances it. If the session has a max_structures quota, the
+  // least recently used live registration is evicted (released on the
+  // backend, unregister on the wire) to make room.
+  Handle register_structure(StructureSpec<IT, VT> spec) {
     check_arg(st_ != nullptr, "Session::register_structure: session closed");
+    if (cfg_.max_structures > 0 &&
+        registered_.size() >= cfg_.max_structures) {
+      const std::uint64_t victim = registered_.front();  // front = LRU
+      registered_.erase(registered_.begin());
+      backend_->release_structure(victim);
+    }
+    auto b = spec.b();
+    auto m = spec.mask_ptr();
     const std::uint64_t id = backend_->register_structure(b, m);
     registered_.push_back(id);
-    return Handle(id, std::move(b), std::move(m));
+    return Handle(id, /*version=*/1, std::move(b), std::move(m));
   }
 
-  // Convenience: copy the operands into shared storage once, here.
-  Handle register_structure(const Mat& b) {
-    return register_structure(std::make_shared<const Mat>(b));
-  }
-  Handle register_structure(const Mat& b, const Mat& m) {
-    auto sb = std::make_shared<const Mat>(b);
-    auto sm = static_cast<const void*>(&m) == static_cast<const void*>(&b)
-                  ? sb
-                  : std::make_shared<const Mat>(m);
-    return register_structure(std::move(sb), std::move(sm));
+  // Applies an edge insert/delete batch to the registered structure and
+  // returns a NEW handle at the next version. The patched B is materialized
+  // once, here; backends reuse it (locally) or re-apply the shipped delta
+  // (sharded — the matrix never crosses the wire). A self-masked structure's
+  // mask follows B. The old handle's in-flight and future submits resolve to
+  // kStaleStructure once the update is live; results already computed against
+  // the old version are unaffected. Throws std::invalid_argument for a
+  // malformed delta (out-of-range endpoint, mismatched arrays) — the
+  // structure is untouched in that case.
+  Handle update(const Handle& h, const EdgeDelta<IT, VT>& delta) {
+    check_arg(st_ != nullptr, "Session::update: session closed");
+    check_arg(h.valid(), "Session::update: invalid structure handle");
+    auto new_b = std::make_shared<const Mat>(apply_edge_delta(*h.b(), delta));
+    auto new_m = h.mask() == h.b() ? new_b : h.mask();
+    auto sd = std::make_shared<const EdgeDelta<IT, VT>>(delta);
+    const std::uint64_t version =
+        backend_->update_structure(h.id(), std::move(sd), new_b, new_m);
+    touch(h.id());
+    return Handle(h.id(), version, std::move(new_b), std::move(new_m));
   }
 
   // Drops the registration (backend-side resources freed); outstanding
@@ -273,6 +372,7 @@ class Session {
                       "no mask: structure has none registered and none was "
                       "passed");
     }
+    touch(h.id());
     {
       MutexLock lock(&st_->mu);
       while (st_->in_flight >= cfg_.max_in_flight) st_->cv.wait(st_->mu);
@@ -281,8 +381,8 @@ class Session {
     auto promise = std::make_shared<std::promise<Result>>();
     auto future = promise->get_future();
     auto st = st_;
-    backend_->submit(h.id(), std::move(a), std::move(mask), opts.masked,
-                     opts.priority, [st, promise](Result r) {
+    backend_->submit(h.id(), h.version(), std::move(a), std::move(mask),
+                     opts.masked, opts.priority, [st, promise](Result r) {
                        promise->set_value(std::move(r));
                        {
                          MutexLock lock(&st->mu);
@@ -321,6 +421,18 @@ class Session {
     std::size_t in_flight MSX_GUARDED_BY(mu) = 0;
   };
 
+  // Marks a structure most-recently-used for the max_structures LRU quota
+  // (registered_ is ordered LRU-front). No-op for ids already released.
+  void touch(std::uint64_t id) {
+    for (auto it = registered_.begin(); it != registered_.end(); ++it) {
+      if (*it == id) {
+        registered_.erase(it);
+        registered_.push_back(id);
+        return;
+      }
+    }
+  }
+
   std::future<Result> fail_now(RequestStatus status, std::string message) {
     std::promise<Result> p;
     Result r;
@@ -333,7 +445,9 @@ class Session {
   std::shared_ptr<Backend<SR, IT, VT>> backend_;
   SessionConfig cfg_;
   std::shared_ptr<State> st_;
-  std::vector<std::uint64_t> registered_;  // ids released at session close
+  // Live registrations in LRU order (front = least recently used). Released
+  // at session close; also the eviction order under max_structures.
+  std::vector<std::uint64_t> registered_;
 };
 
 // The entry point: owns (a share of) a backend and vends sessions. Cheap to

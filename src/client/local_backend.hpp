@@ -9,8 +9,9 @@
 // exactly wait_idle().
 //
 // Error taxonomy mapping: BatchRejected -> kOverloaded, std::invalid_argument
-// (shape/option validation, thrown inside the job) -> kBadRequest, anything
-// else -> kInternalError. kShardDown cannot happen locally.
+// (shape/option validation, thrown inside the job) -> kBadRequest, a version
+// mismatch against the live registration -> kStaleStructure, anything else
+// -> kInternalError. kShardDown cannot happen locally.
 #pragma once
 
 #include <future>
@@ -60,7 +61,27 @@ class LocalBackend final : public Backend<SR, IT, VT> {
     structures_.erase(structure_id);
   }
 
-  void submit(std::uint64_t structure_id, std::shared_ptr<const Mat> a,
+  std::uint64_t update_structure(std::uint64_t structure_id,
+                                 std::shared_ptr<const EdgeDelta<IT, VT>> delta,
+                                 std::shared_ptr<const Mat> new_b,
+                                 std::shared_ptr<const Mat> new_m) override {
+    check_arg(new_b != nullptr, "LocalBackend: null updated B");
+    MutexLock lock(&mu_);
+    const auto it = structures_.find(structure_id);
+    check_arg(it != structures_.end(),
+              "LocalBackend: update for unknown structure id");
+    Structure& s = it->second;
+    auto lineage = std::make_shared<PlanLineage<IT, VT>>();
+    lineage->old_b = s.b;
+    lineage->delta = std::move(delta);
+    s.b = std::move(new_b);
+    s.m = std::move(new_m);
+    s.lineage = std::move(lineage);
+    return ++s.version;
+  }
+
+  void submit(std::uint64_t structure_id, std::uint64_t version,
+              std::shared_ptr<const Mat> a,
               std::shared_ptr<const Mat> mask_override,
               const MaskedOptions& opts, Priority priority,
               Completion done) override {
@@ -77,6 +98,13 @@ class LocalBackend final : public Backend<SR, IT, VT> {
     if (s.b == nullptr) {
       deliver(done, RequestStatus::kBadRequest,
               "unknown structure id " + std::to_string(structure_id));
+      return;
+    }
+    if (version != s.version) {
+      deliver(done, RequestStatus::kStaleStructure,
+              "structure " + std::to_string(structure_id) +
+                  " submitted at version " + std::to_string(version) +
+                  " but is at version " + std::to_string(s.version));
       return;
     }
     auto m = mask_override != nullptr ? std::move(mask_override) : s.m;
@@ -113,7 +141,7 @@ class LocalBackend final : public Backend<SR, IT, VT> {
     try {
       pending->fut =
           exec_->submit_shared(std::move(a), s.b, std::move(m), opts,
-                               std::move(job));
+                               std::move(job), s.lineage);
       pending->bound.set_value();
     } catch (const BatchRejected& e) {
       // Not enqueued: the hook never fires, deliver here.
@@ -135,6 +163,10 @@ class LocalBackend final : public Backend<SR, IT, VT> {
   struct Structure {
     std::shared_ptr<const Mat> b;
     std::shared_ptr<const Mat> m;
+    std::uint64_t version = 1;
+    // Most recent update's {old B, delta}: lets the plan cache migrate a warm
+    // plan for the previous version instead of building cold.
+    std::shared_ptr<const PlanLineage<IT, VT>> lineage;
   };
 
   static void deliver(const Completion& done, RequestStatus status,

@@ -5,8 +5,8 @@
 // Per shard there is ONE connection with a writer/reader thread pair:
 //
 //   * the writer drains a two-level (interactive-first) send queue of frames
-//     — structure registrations, submits, unregistrations — as scatter-gather
-//     writes referencing the operands in place;
+//     — structure registrations, updates, submits, unregistrations — as
+//     scatter-gather writes referencing the operands in place;
 //   * the reader matches responses to requests by request id through the
 //     connection's in-flight map, so completions resolve to the right future
 //     no matter the arrival order.
@@ -167,7 +167,44 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
     }
   }
 
-  void submit(std::uint64_t structure_id, std::shared_ptr<const Mat> a,
+  std::uint64_t update_structure(std::uint64_t structure_id,
+                                 std::shared_ptr<const EdgeDelta<IT, VT>> delta,
+                                 std::shared_ptr<const Mat> new_b,
+                                 std::shared_ptr<const Mat> new_m) override {
+    check_arg(new_b != nullptr, "ShardedBackend: null updated B");
+    check_arg(delta != nullptr, "ShardedBackend: null delta");
+    MutexLock lock(&mu_);
+    const auto it = structures_.find(structure_id);
+    check_arg(it != structures_.end(),
+              "ShardedBackend: update for unknown structure id");
+    Structure& s = *it->second;
+    s.b = std::move(new_b);
+    s.m = std::move(new_m);
+    const std::uint64_t version = ++s.version;
+    if (stopping_) return version;
+    // Only the delta crosses the wire, and only to connections that hold the
+    // old registration; everywhere else the next lazy registration ships the
+    // already-updated B. Updates ride the interactive queue so no submit can
+    // overtake them — a submit enqueued before this update may still be
+    // overtaken (it sits in sendq_lo) and come back kStaleStructure, which is
+    // exactly the race the typed status exists for.
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+      Conn& c = *conns_[i];
+      if (c.running && s.reg_gen[i] == c.gen) {
+        SendItem item;
+        item.kind = SendItem::Kind::kUpdate;
+        item.structure_id = structure_id;
+        item.version = version;
+        item.delta = delta;
+        c.sendq_hi.push_back(std::move(item));
+        c.cv.notify_all();
+      }
+    }
+    return version;
+  }
+
+  void submit(std::uint64_t structure_id, std::uint64_t version,
+              std::shared_ptr<const Mat> a,
               std::shared_ptr<const Mat> mask_override,
               const MaskedOptions& opts, Priority priority,
               Completion done) override {
@@ -195,6 +232,7 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
       return;
     }
     req->structure = std::move(s);
+    req->version = version;
     req->a = std::move(a);
     req->mask = std::move(mask_override);
     req->opts = opts;
@@ -337,6 +375,11 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
     std::uint64_t id = 0;
     std::shared_ptr<const Mat> b;
     std::shared_ptr<const Mat> m;  // null unless registered with a mask
+    std::uint64_t version = 1;     // advanced by update_structure (mu_)
+    // Digests are computed at registration and FIXED across updates: a
+    // streaming structure keeps its shard affinity under churn instead of
+    // migrating (and re-shipping B) every delta. Trade-off: a long-lived,
+    // heavily mutated structure routes by its original pattern.
     std::uint64_t b_digest = 0;
     std::uint64_t m_digest = 0;
     // Per shard: the connection generation this structure was registered on
@@ -350,6 +393,7 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
 
   struct Request {
     std::shared_ptr<Structure> structure;
+    std::uint64_t version = 0;  // the version this submit was issued against
     std::shared_ptr<const Mat> a;
     std::shared_ptr<const Mat> mask;  // null = use registered M
     MaskedOptions opts;
@@ -362,12 +406,19 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
   using RequestPtr = std::shared_ptr<Request>;
 
   struct SendItem {
-    enum class Kind { kRegister, kSubmit, kUnregister };
+    enum class Kind { kRegister, kSubmit, kUnregister, kUpdate };
     Kind kind = Kind::kSubmit;
-    std::uint64_t rid = 0;                  // submit
-    RequestPtr req;                         // submit
-    std::shared_ptr<Structure> structure;   // register
-    std::uint64_t structure_id = 0;         // unregister
+    std::uint64_t rid = 0;  // submit
+    RequestPtr req;         // submit
+    // Register ships a SNAPSHOT of {B, M, version} taken under mu_ at
+    // enqueue time, not the live Structure: an update landing between
+    // enqueue and serialization must not change what this frame says (the
+    // update frame queued behind it carries the change).
+    std::shared_ptr<const Mat> reg_b;                  // register
+    std::shared_ptr<const Mat> reg_m;                  // register (may be null)
+    std::uint64_t version = 0;                         // register / update
+    std::shared_ptr<const EdgeDelta<IT, VT>> delta;    // update
+    std::uint64_t structure_id = 0;  // unregister / register / update
   };
 
   // One shard's connection state, all guarded by the OWNING backend's mu_
@@ -473,7 +524,10 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
           s.reg_gen[i] = c.gen;
           SendItem reg;
           reg.kind = SendItem::Kind::kRegister;
-          reg.structure = req->structure;
+          reg.structure_id = s.id;
+          reg.reg_b = s.b;
+          reg.reg_m = s.m;
+          reg.version = s.version;
           c.sendq_hi.push_back(std::move(reg));
         }
         const std::uint64_t rid =
@@ -576,10 +630,16 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
         switch (item.kind) {
           case SendItem::Kind::kRegister: {
             service::GatherPayload g;
-            service::encode_register_parts(g, item.structure->id,
-                                           *item.structure->b,
-                                           item.structure->m.get());
+            service::encode_register_parts(g, item.structure_id, item.version,
+                                           *item.reg_b, item.reg_m.get());
             send_frame_parts(s, service::MessageType::kRegisterRequest, 0, g);
+            break;
+          }
+          case SendItem::Kind::kUpdate: {
+            service::GatherPayload g;
+            service::encode_update_parts(g, item.structure_id, item.version,
+                                         *item.delta);
+            send_frame_parts(s, service::MessageType::kUpdateRequest, 0, g);
             break;
           }
           case SendItem::Kind::kUnregister: {
@@ -625,8 +685,8 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
     if (req.priority == Priority::kInteractive) {
       flags |= service::kSubInteractive;
     }
-    service::encode_submit_parts(g, s.id, flags, inline_a, inline_m,
-                                 req.opts);
+    service::encode_submit_parts(g, s.id, req.version, flags, inline_a,
+                                 inline_m, req.opts);
   }
 
   void reader_loop(std::size_t shard, std::uint64_t gen, service::Stream& s) {
@@ -681,6 +741,16 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
           case service::WireStatus::kInternalError: {
             Result r;
             r.status = RequestStatus::kInternalError;
+            r.message = std::move(resp.message);
+            finish(req, std::move(r));
+            break;
+          }
+          case service::WireStatus::kStaleStructure: {
+            // Every shard would give the same answer (the update fanned out
+            // ahead of us): deliver, don't reroute. The caller retries with
+            // the handle update() returned.
+            Result r;
+            r.status = RequestStatus::kStaleStructure;
             r.message = std::move(resp.message);
             finish(req, std::move(r));
             break;

@@ -1,0 +1,191 @@
+// Edge deltas — the sparse-patch unit of the streaming/dynamic-graph layer
+// (ISSUE 7 tentpole).
+//
+// An EdgeDelta is a batch of edge inserts and deletes against one CSR
+// matrix. apply_edge_delta() materializes the patched matrix by splicing
+// only the touched rows; untouched rows are block-copied. The same delta
+// object travels the whole stack: MaskedPlan::apply_delta patches plan
+// state in place, the wire protocol ships it as kUpdateRequest (the delta,
+// not the matrix), and Session::update() applies it to a registered
+// structure on either backend.
+//
+// Semantics (documented in README "Streaming"):
+//   * deletes apply before inserts — delete+insert of the same edge in one
+//     batch replaces its value;
+//   * inserting an edge that already exists overwrites its value;
+//   * duplicate inserts of the same edge in one batch: the last wins;
+//   * deleting an absent edge is a no-op;
+//   * out-of-range coordinates throw std::invalid_argument (the shape is
+//     fixed — deltas mutate the edge set, never the dimensions).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/platform.hpp"
+#include "matrix/csr.hpp"
+
+namespace msx {
+
+// A batch of edge mutations, structure-of-arrays so the wire layer can ship
+// each array as one scatter-gather part.
+template <class IT, class VT>
+struct EdgeDelta {
+  std::vector<IT> ins_row;
+  std::vector<IT> ins_col;
+  std::vector<VT> ins_val;
+  std::vector<IT> del_row;
+  std::vector<IT> del_col;
+
+  void insert(IT r, IT c, VT v) {
+    ins_row.push_back(r);
+    ins_col.push_back(c);
+    ins_val.push_back(std::move(v));
+  }
+  void erase(IT r, IT c) {
+    del_row.push_back(r);
+    del_col.push_back(c);
+  }
+  bool empty() const { return ins_row.empty() && del_row.empty(); }
+  std::size_t size() const { return ins_row.size() + del_row.size(); }
+  void clear() {
+    ins_row.clear();
+    ins_col.clear();
+    ins_val.clear();
+    del_row.clear();
+    del_col.clear();
+  }
+};
+
+// Sorted, duplicate-free list of the rows a delta touches — the seed of the
+// touched-output-row analysis in MaskedPlan::apply_delta.
+template <class IT, class VT>
+std::vector<IT> delta_touched_rows(const EdgeDelta<IT, VT>& delta) {
+  std::vector<IT> rows;
+  rows.reserve(delta.ins_row.size() + delta.del_row.size());
+  rows.insert(rows.end(), delta.ins_row.begin(), delta.ins_row.end());
+  rows.insert(rows.end(), delta.del_row.begin(), delta.del_row.end());
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  return rows;
+}
+
+// Applies `delta` to `m` and returns the patched matrix. Touched rows are
+// merged edit-by-edit; untouched rows are copied wholesale. The input is
+// never modified (CSR spans cannot resize in place), so callers holding the
+// old matrix keep a consistent snapshot — the property the versioned
+// structure registry relies on.
+template <class IT, class VT>
+CSRMatrix<IT, VT> apply_edge_delta(const CSRMatrix<IT, VT>& m,
+                                   const EdgeDelta<IT, VT>& delta) {
+  check_arg(delta.ins_row.size() == delta.ins_col.size() &&
+                delta.ins_row.size() == delta.ins_val.size(),
+            "apply_edge_delta: insert arrays must be parallel");
+  check_arg(delta.del_row.size() == delta.del_col.size(),
+            "apply_edge_delta: delete arrays must be parallel");
+  const IT nrows = m.nrows();
+  const IT ncols = m.ncols();
+  auto in_range = [&](IT r, IT c) {
+    return r >= IT{0} && r < nrows && c >= IT{0} && c < ncols;
+  };
+  for (std::size_t k = 0; k < delta.ins_row.size(); ++k) {
+    check_arg(in_range(delta.ins_row[k], delta.ins_col[k]),
+              "apply_edge_delta: insert out of range at index " +
+                  std::to_string(k));
+  }
+  for (std::size_t k = 0; k < delta.del_row.size(); ++k) {
+    check_arg(in_range(delta.del_row[k], delta.del_col[k]),
+              "apply_edge_delta: delete out of range at index " +
+                  std::to_string(k));
+  }
+  if (delta.empty()) return m;
+
+  // Per-edit records sorted by (row, col, seq); deletes carry seq below all
+  // inserts so they apply first, and among duplicate inserts the highest
+  // seq (the last one issued) wins.
+  struct Edit {
+    IT row;
+    IT col;
+    std::size_t seq;  // 0 for deletes; 1+k for insert k
+    bool is_insert;
+  };
+  std::vector<Edit> edits;
+  edits.reserve(delta.size());
+  for (std::size_t k = 0; k < delta.del_row.size(); ++k) {
+    edits.push_back(Edit{delta.del_row[k], delta.del_col[k], 0, false});
+  }
+  for (std::size_t k = 0; k < delta.ins_row.size(); ++k) {
+    edits.push_back(Edit{delta.ins_row[k], delta.ins_col[k], k + 1, true});
+  }
+  std::sort(edits.begin(), edits.end(), [](const Edit& x, const Edit& y) {
+    if (x.row != y.row) return x.row < y.row;
+    if (x.col != y.col) return x.col < y.col;
+    return x.seq < y.seq;
+  });
+
+  const auto old_rowptr = m.rowptr();
+  const auto old_colidx = m.colidx();
+  const auto old_values = m.values();
+
+  std::vector<IT> rowptr;
+  std::vector<IT> colidx;
+  std::vector<VT> values;
+  rowptr.reserve(static_cast<std::size_t>(nrows) + 1);
+  colidx.reserve(m.nnz() + delta.ins_row.size());
+  values.reserve(m.nnz() + delta.ins_row.size());
+  rowptr.push_back(IT{0});
+
+  std::size_t e = 0;  // cursor into edits
+  for (IT i = 0; i < nrows; ++i) {
+    const auto lo = static_cast<std::size_t>(old_rowptr[i]);
+    const auto hi = static_cast<std::size_t>(old_rowptr[i + 1]);
+    if (e >= edits.size() || edits[e].row != i) {
+      // Untouched row: block copy.
+      colidx.insert(colidx.end(), old_colidx.begin() + lo,
+                    old_colidx.begin() + hi);
+      values.insert(values.end(), old_values.begin() + lo,
+                    old_values.begin() + hi);
+      rowptr.push_back(static_cast<IT>(colidx.size()));
+      continue;
+    }
+    // Touched row: merge the sorted old row with the sorted edit run.
+    std::size_t p = lo;
+    while (e < edits.size() && edits[e].row == i) {
+      const IT c = edits[e].col;
+      // Collapse the edit group for column c: deletes first, then inserts in
+      // issue order — the surviving state is decided by the last record.
+      bool insert_wins = false;
+      std::size_t win = 0;
+      while (e < edits.size() && edits[e].row == i && edits[e].col == c) {
+        insert_wins = edits[e].is_insert;
+        if (insert_wins) win = edits[e].seq - 1;
+        ++e;
+      }
+      while (p < hi && old_colidx[p] < c) {
+        colidx.push_back(old_colidx[p]);
+        values.push_back(old_values[p]);
+        ++p;
+      }
+      const bool existed = (p < hi && old_colidx[p] == c);
+      if (existed) ++p;  // old entry is replaced or deleted
+      if (insert_wins) {
+        colidx.push_back(c);
+        values.push_back(delta.ins_val[win]);
+      }
+    }
+    colidx.insert(colidx.end(), old_colidx.begin() + p,
+                  old_colidx.begin() + hi);
+    values.insert(values.end(), old_values.begin() + p,
+                  old_values.begin() + hi);
+    rowptr.push_back(static_cast<IT>(colidx.size()));
+  }
+
+  return CSRMatrix<IT, VT>(nrows, ncols, std::move(rowptr), std::move(colidx),
+                           std::move(values));
+}
+
+}  // namespace msx

@@ -16,9 +16,12 @@
 // functions run a throwaway instance of the same machinery.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
+#include <concepts>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
@@ -89,6 +92,21 @@ class PlanKernelBase {
   // Time the most recent run() spent on lazy setup (workspace-pool
   // allocation). ~0 once the pool exists — what plan reuse amortizes.
   virtual double last_setup_seconds() const = 0;
+
+  // Recomputes the exact two-phase symbolic count for just the listed rows
+  // (counts[j] = |C(rows[j], :)|). Serial on the calling thread — the delta
+  // path patches a handful of rows, not the matrix. rows and counts must be
+  // the same length.
+  virtual void symbolic_rows(std::span<const IT> rows,
+                             std::span<IT> counts) = 0;
+
+  // For kernels with per-block accumulator sizing: recompute block_width for
+  // every partition block that intersects the sorted `rows` list (a delta
+  // can widen a row past the cached block bound — a stale-small bound would
+  // undersize the accumulator). Returns the number of blocks refreshed; 0
+  // for kernels without block sizing or when no widths are cached.
+  virtual int refresh_block_widths(RowPartition& part,
+                                   std::span<const IT> rows) = 0;
 };
 
 namespace detail {
@@ -136,7 +154,67 @@ class PlanKernelImpl final : public PlanKernelBase<SR, IT, VT> {
     return last_setup_seconds_.load(std::memory_order_relaxed);
   }
 
+  void symbolic_rows(std::span<const IT> rows,
+                     std::span<IT> counts) override {
+    check_arg(kernel_.has_value(),
+              "plan kernel: symbolic_rows() before bind()");
+    check_arg(rows.size() == counts.size(),
+              "plan kernel: symbolic_rows spans must be the same length");
+    WorkspaceLease lease = lease_workspaces(1);
+    auto& ws = lease.pool->slot(0);
+    if constexpr (kHasBlockSizing) {
+      // Clear any per-block bound a previous partitioned run left behind —
+      // these rows are evaluated at full matrix width.
+      kernel_->begin_block(ws, 0);
+    }
+    for (std::size_t j = 0; j < rows.size(); ++j) {
+      counts[j] = kernel_->symbolic_row(ws, rows[j]);
+    }
+  }
+
+  int refresh_block_widths(RowPartition& part,
+                           std::span<const IT> rows) override {
+    check_arg(kernel_.has_value(),
+              "plan kernel: refresh_block_widths() before bind()");
+    if constexpr (kHasBlockSizing) {
+      if (part.block_width.empty() || rows.empty()) return 0;
+      const auto& bs = part.block_start;
+      int refreshed = 0;
+      std::size_t r = 0;  // cursor into the sorted touched-row list
+      for (int blk = 0; blk < part.blocks(); ++blk) {
+        const std::int64_t lo = bs[static_cast<std::size_t>(blk)];
+        const std::int64_t hi = bs[static_cast<std::size_t>(blk) + 1];
+        while (r < rows.size() && static_cast<std::int64_t>(rows[r]) < lo) {
+          ++r;
+        }
+        if (r >= rows.size()) break;
+        if (static_cast<std::int64_t>(rows[r]) >= hi) continue;
+        std::int64_t w = 0;
+        for (std::int64_t i = lo; i < hi; ++i) {
+          w = std::max(w, static_cast<std::int64_t>(
+                              kernel_->width_row(static_cast<IT>(i))));
+        }
+        part.block_width[static_cast<std::size_t>(blk)] = w;
+        ++refreshed;
+        while (r < rows.size() && static_cast<std::int64_t>(rows[r]) < hi) {
+          ++r;
+        }
+      }
+      return refreshed;
+    } else {
+      (void)part;
+      (void)rows;
+      return 0;
+    }
+  }
+
  private:
+  static constexpr bool kHasBlockSizing =
+      requires(const Kernel& k, Workspace& w) {
+        { k.width_row(IT{0}) } -> std::convertible_to<std::int64_t>;
+        k.begin_block(w, std::int64_t{});
+      };
+
   // RAII lease: returns the pool to the free list when the run finishes
   // (including on exceptions).
   struct WorkspaceLease {

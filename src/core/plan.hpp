@@ -37,6 +37,7 @@
 
 #include "common/exec_context.hpp"
 #include "common/timer.hpp"
+#include "core/delta.hpp"
 #include "core/kernel_registry.hpp"
 #include "core/options.hpp"
 #include "core/partition.hpp"
@@ -89,6 +90,17 @@ CSCMatrix<IT, VT> build_csc_cache(const CSRMatrix<IT, VT>& b,
 }
 
 }  // namespace detail
+
+// What MaskedPlan::apply_delta did to the retained plan state — the
+// observable contract of delta rebind (and what micro_streaming reports).
+struct DeltaStats {
+  std::size_t rows_touched = 0;         // B rows the delta edited
+  std::size_t out_rows_resymbolic = 0;  // output rows re-run symbolically
+  int blocks_refreshed = 0;             // partition blocks with new widths
+  int blocks_total = 0;                 // blocks in the retained partition
+  bool symbolic_patched = false;        // 2P rowptr spliced (not rebuilt)
+  bool partition_kept = false;          // row partition survived the delta
+};
 
 // A prepared, reusable Masked SpGEMM: C = M .* (A·B) (or the complemented
 // form) on semiring SR. Created by masked_plan(); move-only.
@@ -214,6 +226,122 @@ class MaskedPlan {
     adopt_structure(a, ops_->b(), m, /*keep_b=*/true);
     setup_seconds_ = timer.seconds();
   }
+
+  // Applies an edge insert/delete batch to B as a sparse patch — the delta
+  // rebind at the heart of streaming serving. Unlike rebind(), plan state
+  // survives:
+  //   * the two-phase symbolic rowptr is spliced, re-running the symbolic
+  //     kernel only for output rows the delta can affect (a row's output
+  //     depends only on A(i,:), the B rows it references, and M(i,:));
+  //   * the flop-balanced row partition keeps its block boundaries (results
+  //     are schedule-invariant; slightly stale balance is harmless), with
+  //     per-block accumulator widths refreshed only for touched blocks;
+  //   * per-thread workspaces are retained as always.
+  // The CSC copy of B (pull-based families) is rebuilt in full: the refresh
+  // permutation shifts globally under any structural edit. When B aliases A
+  // the delta applies to both; a mask aliasing A or B tracks automatically,
+  // while an independently-owned mask is never modified. Exclusive like
+  // rebind(): must not race with execute().
+  DeltaStats apply_delta(const EdgeDelta<IT, VT>& delta) {
+    WallTimer timer;
+    DeltaStats st;
+    st.blocks_total = partition_.partition.blocks();
+    st.partition_kept = partition_.valid;
+    st.symbolic_patched = symbolic_.valid;
+    if (delta.empty()) {
+      last_delta_seconds_ = timer.seconds();
+      return st;
+    }
+
+    // (a) Patch B. The old matrix stays intact until the swap, so a failed
+    // validation leaves the plan untouched.
+    auto patched = apply_edge_delta(ops_->b(), delta);
+    const std::vector<IT> touched_b = delta_touched_rows(delta);
+    st.rows_touched = touched_b.size();
+    ops_->mutable_b() = std::move(patched);
+
+    // (b) The CSC cache and its value-refresh permutation are global views
+    // of B's structure; rebuild rather than splice.
+    if (needs_csc_) {
+      ops_->b_csc = detail::build_csc_cache(ops_->b(), ops_->csc_perm);
+    }
+
+    // (c) Output rows the delta can affect. Row i of C depends only on
+    // A(i,:), the B rows A(i,:) references, and M(i,:) — so i is touched iff
+    // some referenced B row changed, or (under aliasing) row i of A or M
+    // itself changed.
+    const IT nrows = ops_->a.nrows();
+    const IT b_rows = ops_->b().nrows();
+    std::vector<char> changed(static_cast<std::size_t>(b_rows), 0);
+    for (IT r : touched_b) changed[static_cast<std::size_t>(r)] = 1;
+    const bool self_touch = ops_->b_is_a || ops_->mask_is_b;
+    std::vector<IT> touched_out;
+    const auto arp = ops_->a.rowptr();
+    const auto aci = ops_->a.colidx();
+    for (IT i = 0; i < nrows; ++i) {
+      bool t = self_touch && i < b_rows &&
+               changed[static_cast<std::size_t>(i)] != 0;
+      if (!t) {
+        const auto lo = static_cast<std::size_t>(arp[i]);
+        const auto hi = static_cast<std::size_t>(arp[i + 1]);
+        for (std::size_t p = lo; p < hi; ++p) {
+          if (changed[static_cast<std::size_t>(aci[p])] != 0) {
+            t = true;
+            break;
+          }
+        }
+      }
+      if (t) touched_out.push_back(i);
+    }
+
+    // (d) Re-bind: the kernel holds references into B's (reallocated)
+    // arrays. Workspaces survive bind — that is the plan/execute split.
+    KernelOperands<IT, VT> in;
+    in.a = &ops_->a;
+    in.b = &ops_->b();
+    in.b_csc = needs_csc_ ? &ops_->b_csc : nullptr;
+    in.mask = ops_->mask_view();
+    kernel_->bind(in, opts_);
+
+    // (e) Splice the cached two-phase rowptr: untouched rows keep their old
+    // exact counts, touched rows are re-run through the symbolic kernel.
+    if (symbolic_.valid) {
+      std::vector<IT> counts(touched_out.size());
+      kernel_->symbolic_rows(touched_out, counts);
+      auto& rp = symbolic_.rowptr;
+      std::vector<IT> patched_rp(rp.size());
+      patched_rp[0] = IT{0};
+      std::size_t j = 0;
+      for (IT i = 0; i < nrows; ++i) {
+        const auto ui = static_cast<std::size_t>(i);
+        IT cnt;
+        if (j < touched_out.size() && touched_out[j] == i) {
+          cnt = counts[j];
+          ++j;
+        } else {
+          cnt = rp[ui + 1] - rp[ui];
+        }
+        patched_rp[ui + 1] = patched_rp[ui] + cnt;
+      }
+      rp = std::move(patched_rp);
+      st.out_rows_resymbolic = touched_out.size();
+    }
+
+    // (f) Keep the partition's block boundaries but refresh accumulator
+    // widths for blocks holding touched rows — a delta can widen a row past
+    // the cached block bound, and a stale-small bound would undersize the
+    // accumulator.
+    if (partition_.valid) {
+      st.blocks_refreshed =
+          kernel_->refresh_block_widths(partition_.partition, touched_out);
+    }
+
+    last_delta_seconds_ = timer.seconds();
+    return st;
+  }
+
+  // Structural time of the most recent apply_delta().
+  double last_delta_seconds() const { return last_delta_seconds_; }
 
   // Resolved configuration (algo() never reports kAuto).
   MaskedAlgo algo() const { return opts_.algo; }
@@ -367,6 +495,7 @@ class MaskedPlan {
   PartitionCache partition_;
   double setup_seconds_ = 0.0;
   double last_execute_setup_seconds_ = 0.0;
+  double last_delta_seconds_ = 0.0;
 };
 
 // Builds a reusable plan for C = M .* (A·B) (or the complemented form) on

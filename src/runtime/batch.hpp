@@ -193,12 +193,16 @@ class BatchExecutor {
   // stationary adjacency matrix, re-submitted every BFS/BC level, must not
   // be copied per job). Aliasing is expressed by passing the same
   // shared_ptr; the matrices must not be mutated while jobs are in flight.
+  // `lineage` (optional) names the superseded B and the delta that produced
+  // the current one, letting the plan cache migrate a warm superseded plan
+  // forward instead of building cold (streaming updates; see PlanLineage).
   template <class MT>
   std::future<output_matrix> submit_shared(
       std::shared_ptr<const CSRMatrix<IT, VT>> a,
       std::shared_ptr<const CSRMatrix<IT, VT>> b,
       std::shared_ptr<const CSRMatrix<IT, MT>> m,
-      const MaskedOptions& opts = {}, JobOptions job = {}) {
+      const MaskedOptions& opts = {}, JobOptions job = {},
+      std::shared_ptr<const PlanLineage<IT, VT>> lineage = nullptr) {
     check_arg(a != nullptr && b != nullptr && m != nullptr,
               "BatchExecutor::submit_shared: null operand");
     const JobShape shape = moldable_shape(
@@ -219,20 +223,20 @@ class BatchExecutor {
     admit(job_bytes);
 
     auto task = std::make_shared<std::packaged_task<output_matrix()>>(
-        [this, shape, a, b, m, opts]() -> output_matrix {
+        [this, shape, a, b, m, opts, lineage]() -> output_matrix {
           const auto& ra = *a;
           const auto& rb = b == a ? ra : *b;
           if constexpr (std::is_same_v<MT, VT>) {
             if (static_cast<const void*>(m.get()) ==
                 static_cast<const void*>(a.get())) {
-              return run_job(shape, ra, rb, ra, opts);
+              return run_job(shape, ra, rb, ra, opts, lineage.get());
             }
             if (static_cast<const void*>(m.get()) ==
                 static_cast<const void*>(b.get())) {
-              return run_job(shape, ra, rb, rb, opts);
+              return run_job(shape, ra, rb, rb, opts, lineage.get());
             }
           }
-          return run_job(shape, ra, rb, *m, opts);
+          return run_job(shape, ra, rb, *m, opts, lineage.get());
         });
     auto future = task->get_future();
 
@@ -297,7 +301,8 @@ class BatchExecutor {
   template <class MT>
   output_matrix run_job(JobShape shape, const CSRMatrix<IT, VT>& a,
                         const CSRMatrix<IT, VT>& b, const CSRMatrix<IT, MT>& m,
-                        const MaskedOptions& opts) {
+                        const MaskedOptions& opts,
+                        const PlanLineage<IT, VT>* lineage = nullptr) {
     // Small jobs must stay off the OpenMP team entirely; plan construction
     // (operand copies, CSC transpose) still routes through shared helpers
     // with OpenMP loops, so pin this worker's team size to 1 for the
@@ -312,7 +317,7 @@ class BatchExecutor {
       MaskedPlan<SR, IT, VT> plan(a, b, m, opts);
       return plan.execute(ctx);
     }
-    auto lease = cache_.acquire(a, b, m, opts);
+    auto lease = cache_.acquire(a, b, m, opts, lineage);
     if (!lease.reused()) return lease.plan().execute(ctx);
     // Cache hit: same structure, possibly different numerics — refresh the
     // plan's owned values (O(nnz) copy, which the avoided planning dwarfs).

@@ -27,10 +27,12 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "common/thread_annotations.hpp"
+#include "core/delta.hpp"
 #include "core/options.hpp"
 #include "core/plan.hpp"
 #include "matrix/csr.hpp"
@@ -66,6 +68,9 @@ struct PlanCacheStats {
   std::uint64_t evictions = 0;   // entries dropped by the LRU policy
   std::uint64_t instances = 0;   // plans currently owned by the cache
   std::uint64_t bytes_held = 0;  // resident bytes of those plans
+  // Superseded instances carried forward across a structure update via
+  // MaskedPlan::apply_delta instead of a cold rebuild (streaming path).
+  std::uint64_t delta_migrations = 0;
 
   double hit_rate() const {
     const auto total = hits + misses + grows;
@@ -107,6 +112,21 @@ class PlanCacheIndex {
 };
 
 }  // namespace detail
+
+// Ancestry of a structure that was just updated by an edge delta: the
+// superseded B and the delta that produced the current one. A caller that
+// passes this to acquire() lets the cache migrate a warm superseded plan
+// forward (MaskedPlan::apply_delta) instead of building cold — the plan
+// cache's half of delta rebind. Entries under the old key that are not
+// migrated are simply left to age out of the LRU: the content-based key
+// means they can only be hit again if the exact old structure is
+// re-registered, so "invalidation" of superseded entries is by supersession,
+// not by sweep.
+template <class IT, class VT>
+struct PlanLineage {
+  std::shared_ptr<const CSRMatrix<IT, VT>> old_b;
+  std::shared_ptr<const EdgeDelta<IT, VT>> delta;
+};
 
 // Builds the structure fingerprint for (a, b, m, opts). Aliasing is part of
 // the key: a plan built with B aliasing A stores one matrix for both and
@@ -251,10 +271,15 @@ class PlanCache {
   };
 
   // Leases a plan for the request, building one on miss (or when every
-  // cached instance of the key is busy). Safe to call concurrently.
+  // cached instance of the key is busy). Safe to call concurrently. When
+  // `lineage` is given, a miss first tries to migrate an idle instance of
+  // the superseded structure forward via apply_delta — the warm path of a
+  // streaming update; a failed migration silently falls back to building
+  // cold.
   template <class MT>
   Lease acquire(const CSRMatrix<IT, VT>& a, const CSRMatrix<IT, VT>& b,
-                const CSRMatrix<IT, MT>& m, const MaskedOptions& opts = {}) {
+                const CSRMatrix<IT, MT>& m, const MaskedOptions& opts = {},
+                const PlanLineage<IT, VT>* lineage = nullptr) {
     const PlanKey key = plan_fingerprint(a, b, m, opts);
     {
       MutexLock lock(&mu_);
@@ -270,6 +295,14 @@ class PlanCache {
         ++stats_.grows;
       } else {
         ++stats_.misses;
+      }
+    }
+
+    if (lineage != nullptr && lineage->old_b != nullptr &&
+        lineage->delta != nullptr) {
+      if (auto migrated = try_migrate(key, a, b, m, opts, *lineage);
+          migrated.rec_ != nullptr) {
+        return migrated;
       }
     }
 
@@ -325,6 +358,95 @@ class PlanCache {
   struct Slot {
     std::vector<std::shared_ptr<Instance>> instances;
   };
+
+  // Miss path with lineage: locate the superseded structure's entry (its
+  // fingerprint is reconstructed alias-faithfully around the old B), pop one
+  // idle instance, patch it forward with apply_delta outside the lock, and
+  // re-insert it under the new key. Returns a default Lease (rec_ == null)
+  // when no idle superseded instance exists or the patch fails.
+  template <class MT>
+  Lease try_migrate(const PlanKey& key, const CSRMatrix<IT, VT>& a,
+                    const CSRMatrix<IT, VT>& b, const CSRMatrix<IT, MT>& m,
+                    const MaskedOptions& opts,
+                    const PlanLineage<IT, VT>& lineage) {
+    const void* pa = static_cast<const void*>(&a);
+    const void* pb = static_cast<const void*>(&b);
+    const void* pm = static_cast<const void*>(&m);
+    const bool b_is_a = pb == pa;
+    const bool m_is_a = pm == pa;
+    const bool m_is_b = pm == pb;
+
+    // The old key: same request with the superseded B in place of the new
+    // one, preserving the aliasing pattern (aliased operands were one object
+    // then too).
+    const CSRMatrix<IT, VT>& b_old = *lineage.old_b;
+    const CSRMatrix<IT, VT>& a_old = b_is_a ? b_old : a;
+    PlanKey old_key;
+    if (m_is_a || m_is_b) {
+      if constexpr (std::is_same_v<MT, VT>) {
+        const CSRMatrix<IT, VT>& m_old = m_is_a ? a_old : b_old;
+        old_key = plan_fingerprint(a_old, b_old, m_old, opts);
+      } else {
+        // An aliased mask implies MT == VT at the submit sites; a mismatch
+        // cannot name the old entry, so skip migration.
+        return Lease();
+      }
+    } else {
+      old_key = plan_fingerprint(a_old, b_old, m, opts);
+    }
+
+    std::shared_ptr<Instance> rec;
+    {
+      MutexLock lock(&mu_);
+      const std::int64_t slot = index_.find(old_key);
+      if (slot >= 0) {
+        auto& insts = slots_[static_cast<std::size_t>(slot)].instances;
+        for (auto it = insts.begin(); it != insts.end(); ++it) {
+          if (!(*it)->busy) {
+            rec = std::move(*it);
+            insts.erase(it);
+            --stats_.instances;
+            stats_.bytes_held -= rec->bytes;
+            rec->owned = false;
+            break;
+          }
+        }
+        if (insts.empty()) index_.erase_slot(slot);
+      }
+    }
+    if (rec == nullptr) return Lease();
+
+    try {
+      rec->plan->apply_delta(*lineage.delta);
+    } catch (...) {
+      // Destroy the instance and let the caller build cold.
+      return Lease();
+    }
+    rec->busy = true;
+    rec->bytes = rec->plan->resident_bytes();
+
+    std::vector<std::shared_ptr<Instance>> evicted;
+    {
+      MutexLock lock(&mu_);
+      std::int64_t slot = index_.find(key);
+      if (slot < 0) {
+        slot = index_.insert(key);
+        if (static_cast<std::size_t>(slot) >= slots_.size()) {
+          slots_.resize(static_cast<std::size_t>(slot) + 1);
+        }
+        slots_[static_cast<std::size_t>(slot)].instances.clear();
+      }
+      rec->owned = true;
+      slots_[static_cast<std::size_t>(slot)].instances.push_back(rec);
+      ++stats_.instances;
+      stats_.bytes_held += rec->bytes;
+      ++stats_.delta_migrations;
+      evict_locked(evicted);
+    }
+    // reused=true: the migrated plan's owned values predate this request —
+    // the caller refreshes numerics via execute_values as on any warm hit.
+    return Lease(this, std::move(rec), /*reused=*/true);
+  }
 
   // True while either limit (entry count, byte budget) is exceeded.
   bool over_limits_locked() const MSX_REQUIRES(mu_) {

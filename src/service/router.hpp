@@ -188,6 +188,12 @@ class ShardRouter {
           throw std::invalid_argument(resp.message);
         case WireStatus::kInternalError:
           throw std::runtime_error(resp.message);
+        case WireStatus::kStaleStructure:
+          // The blocking router ships full operands per request and never
+          // registers structures, so a shard cannot see a stale version
+          // here; surface it as a protocol violation if one ever arrives.
+          throw WireError("wire: stale-structure status on a stateless "
+                          "request");
       }
       throw WireError("wire: unhandled response status");
     }

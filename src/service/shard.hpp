@@ -163,6 +163,11 @@ class ServiceShard {
             p.type = MessageType::kResponse;
             handle_submit(payload, registry, p);
             break;
+          case MessageType::kUpdateRequest:
+            // One-way like register: FIFO frame ordering means a submit
+            // behind this update sees the new version and matrix.
+            handle_update(payload, registry);
+            continue;
           default:
             p.type = MessageType::kResponse;
             p.immediate = encode_error_response(
@@ -173,6 +178,16 @@ class ServiceShard {
         }
         responses.push(std::move(p));
       }
+    } catch (const WireVersionError& e) {
+      // A peer speaking another protocol version: answer on its own request
+      // id with an error naming both versions so it fails fast instead of
+      // hanging on a silently dropped connection, then close — nothing else
+      // it sends can be trusted to parse.
+      Pending p;
+      p.rid = e.request_id();
+      p.type = MessageType::kResponse;
+      p.immediate = encode_error_response(WireStatus::kBadRequest, e.what());
+      responses.push(std::move(p));
     } catch (const WireError&) {
       // Malformed frame: the stream can no longer be trusted — drop it.
     } catch (const TransportError&) {
@@ -260,6 +275,10 @@ class ServiceShard {
   struct Registered {
     std::shared_ptr<const Mat> b;
     std::shared_ptr<const Mat> m;  // null unless registered with a mask
+    std::uint64_t version = 1;     // bumped by kUpdateRequest
+    // Set by the most recent update: lets the executor's plan cache migrate
+    // the superseded structure's warm plans forward via apply_delta.
+    std::shared_ptr<const PlanLineage<IT, VT>> lineage;
   };
 
   // Decodes and submits one product request; on any validation/admission
@@ -309,9 +328,44 @@ class ServiceShard {
                   ? rec.b
                   : std::make_shared<const Mat>(std::move(reg.m_storage));
     }
+    rec.version = reg.version;
     registry[reg.structure_id] = std::move(rec);
     MutexLock lock(&stats_mu_);
     ++wire_stats_.registrations;
+  }
+
+  // Applies a structure update: the delta is materialized server-side (the
+  // patched B never crosses the wire), the registration flips to the new
+  // matrix and version atomically w.r.t. this connection's FIFO, and the
+  // lineage is kept so warm plans migrate instead of rebuilding. One-way; a
+  // bad delta (unknown id, out-of-range edge) is a protocol violation that
+  // tears the connection down like any malformed frame.
+  void handle_update(std::span<const std::uint8_t> payload,
+                     std::unordered_map<std::uint64_t, Registered>& registry) {
+    auto upd = decode_update<IT, VT>(payload);
+    const auto it = registry.find(upd.structure_id);
+    if (it == registry.end()) {
+      throw WireError("wire: update for unknown structure id " +
+                      std::to_string(upd.structure_id));
+    }
+    Registered& reg = it->second;
+    std::shared_ptr<const Mat> old_b = reg.b;
+    std::shared_ptr<const Mat> new_b;
+    try {
+      new_b = std::make_shared<const Mat>(apply_edge_delta(*old_b, upd.delta));
+    } catch (const std::invalid_argument& e) {
+      throw WireError(std::string("wire: invalid update delta: ") + e.what());
+    }
+    auto lineage = std::make_shared<PlanLineage<IT, VT>>();
+    lineage->old_b = old_b;
+    lineage->delta =
+        std::make_shared<const EdgeDelta<IT, VT>>(std::move(upd.delta));
+    if (reg.m == old_b) reg.m = new_b;  // a self-masked structure tracks B
+    reg.b = std::move(new_b);
+    reg.version = upd.new_version;
+    reg.lineage = std::move(lineage);
+    MutexLock lock(&stats_mu_);
+    ++wire_stats_.updates;
   }
 
   // Decodes and submits one session product: operands resolve against the
@@ -334,6 +388,16 @@ class ServiceShard {
         return;
       }
       const Registered& reg = it->second;
+      if (sub.version != reg.version) {
+        // Typed and retryable: the client raced an update (or kept an old
+        // handle). Never run against the wrong matrix generation.
+        p.immediate = encode_error_response(
+            WireStatus::kStaleStructure,
+            "structure " + std::to_string(sub.structure_id) +
+                " submitted at version " + std::to_string(sub.version) +
+                " but is at version " + std::to_string(reg.version));
+        return;
+      }
       auto b = reg.b;
       auto a = sub.a_is_b
                    ? b
@@ -357,7 +421,7 @@ class ServiceShard {
       JobOptions job;
       job.priority = sub.priority;
       p.fut = exec_.submit_shared(std::move(a), std::move(b), std::move(m),
-                                  sub.opts, std::move(job));
+                                  sub.opts, std::move(job), reg.lineage);
     } catch (const BatchRejected& e) {
       p.immediate = encode_error_response(WireStatus::kOverloaded, e.what());
     } catch (const WireError& e) {
@@ -437,6 +501,9 @@ class ServiceShard {
       ++wire_stats_.responses;
       if (status == WireStatus::kOverloaded) {
         ++wire_stats_.overloaded;
+      } else if (status == WireStatus::kStaleStructure) {
+        // Expected under churn (update raced a submit), not a server fault.
+        ++wire_stats_.stale;
       } else if (status != WireStatus::kOk) {
         ++wire_stats_.errors;
       }

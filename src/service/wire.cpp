@@ -11,6 +11,7 @@ const char* to_string(MessageType t) {
     case MessageType::kRegisterRequest: return "register";
     case MessageType::kSubmitRequest: return "submit";
     case MessageType::kUnregisterRequest: return "unregister";
+    case MessageType::kUpdateRequest: return "update";
   }
   return "?";
 }
@@ -21,6 +22,7 @@ const char* to_string(WireStatus s) {
     case WireStatus::kOverloaded: return "overloaded";
     case WireStatus::kBadRequest: return "bad-request";
     case WireStatus::kInternalError: return "internal-error";
+    case WireStatus::kStaleStructure: return "stale-structure";
   }
   return "?";
 }
@@ -59,23 +61,27 @@ FrameHeader decode_frame_header(std::span<const std::uint8_t> bytes) {
   }
   WireReader r(bytes);
   if (r.get_u32() != kWireMagic) throw WireError("wire: bad magic");
+  // The 32-byte header layout has been stable since v1, so a mismatched
+  // version is parsed in full first: the request id lets the server answer
+  // the old peer with a versioned error on the right id (WireVersionError)
+  // rather than dropping the connection with no explanation.
   FrameHeader h;
   h.version = r.get_u16();
-  if (h.version != kWireVersion) {
-    throw WireError("wire: unsupported version " + std::to_string(h.version));
-  }
   const std::uint16_t type = r.get_u16();
+  h.request_id = r.get_u64();
+  h.payload_len = r.get_u64();
+  h.checksum = r.get_u64();
+  if (h.version != kWireVersion) {
+    throw WireVersionError(h.version, h.request_id);
+  }
   if (type < static_cast<std::uint16_t>(MessageType::kRequest) ||
-      type > static_cast<std::uint16_t>(MessageType::kUnregisterRequest)) {
+      type > static_cast<std::uint16_t>(MessageType::kUpdateRequest)) {
     throw WireError("wire: unknown message type " + std::to_string(type));
   }
   h.type = static_cast<MessageType>(type);
-  h.request_id = r.get_u64();
-  h.payload_len = r.get_u64();
   if (h.payload_len > kMaxPayloadBytes) {
     throw WireError("wire: payload length exceeds limit");
   }
-  h.checksum = r.get_u64();
   return h;
 }
 
@@ -136,6 +142,7 @@ std::vector<std::uint8_t> encode_stats(const ServiceStats& s) {
       s.jobs_submitted,  s.jobs_completed, s.cache_hits,
       s.cache_misses,    s.cache_grows,    s.cache_evictions,
       s.cache_instances, s.cache_bytes,    s.registrations,
+      s.updates,         s.stale,
   };
   WireWriter w;
   w.put_array(std::span<const std::uint64_t>(fields));
@@ -164,9 +171,11 @@ ServiceStats decode_stats(std::span<const std::uint8_t> payload) {
   s.cache_evictions = fields[11];
   s.cache_instances = fields[12];
   s.cache_bytes = fields[13];
-  // Appended in v2; count-prefixed, so a shorter (older) payload still
-  // decodes with the counter at zero.
+  // Appended in v2/v3; count-prefixed, so a shorter (older) payload still
+  // decodes with the counters at zero.
   if (fields.size() > 14) s.registrations = fields[14];
+  if (fields.size() > 15) s.updates = fields[15];
+  if (fields.size() > 16) s.stale = fields[16];
   return s;
 }
 

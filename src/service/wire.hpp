@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "core/delta.hpp"
 #include "core/options.hpp"
 #include "matrix/csr.hpp"
 #include "runtime/plan_cache.hpp"
@@ -55,6 +56,11 @@ enum class MessageType : std::uint16_t {
   kRegisterRequest = 5,    // install {B[, M]} under a client-chosen id
   kSubmitRequest = 6,      // product against a registered structure
   kUnregisterRequest = 7,  // drop a registered structure
+  // Streaming protocol (wire v3): mutate a registered structure in place by
+  // shipping the edge delta — not the patched matrix — and a new version
+  // number. One-way like register/unregister (FIFO frame ordering makes a
+  // submit behind an update see the new version).
+  kUpdateRequest = 8,
 };
 
 enum class WireStatus : std::uint32_t {
@@ -62,21 +68,49 @@ enum class WireStatus : std::uint32_t {
   kOverloaded = 1,     // admission control rejected the job (back-pressure)
   kBadRequest = 2,     // validation failed (shapes, unsupported combo, ...)
   kInternalError = 3,  // anything else thrown while serving
+  // v3: the submit named a structure version that has been superseded by an
+  // update. Typed and retryable — resubmit against the current handle; never
+  // answered with a stale (wrong) result.
+  kStaleStructure = 4,
 };
 
 const char* to_string(MessageType t);
 const char* to_string(WireStatus s);
 
 inline constexpr std::uint32_t kWireMagic = 0x4D535857u;  // "WXSM" on the wire
-// v2 adds the session message types (kRegisterRequest/kSubmitRequest/
-// kUnregisterRequest) behind the same frame layout; v1 frames are otherwise
-// unchanged, but mixed-version peers are rejected loudly at the header.
-inline constexpr std::uint16_t kWireVersion = 2;
+// v2 added the session message types (kRegisterRequest/kSubmitRequest/
+// kUnregisterRequest) behind the same frame layout. v3 adds kUpdateRequest
+// plus a version field on register/submit payloads (streaming structures)
+// and the kStaleStructure status. The 32-byte header layout has never
+// changed, so a mismatched peer is parsed far enough to reject it loudly on
+// its own request id (WireVersionError) instead of hanging.
+inline constexpr std::uint16_t kWireVersion = 3;
 inline constexpr std::size_t kFrameHeaderBytes = 32;
 // Upper bound on a single payload; a corrupt length field must not turn into
 // a multi-gigabyte allocation.
 inline constexpr std::uint64_t kMaxPayloadBytes = 1ull << 31;
 inline constexpr std::uint64_t kWireChecksumSeed = 0x6d73782d77697265ull;
+
+// A structurally valid frame from a peer speaking another protocol version.
+// Carries the peer's version and request id so a server can answer with a
+// clean versioned error on the same id instead of silently dropping the
+// connection (the v2↔v3 compatibility contract).
+class WireVersionError : public WireError {
+ public:
+  WireVersionError(std::uint16_t peer_version, std::uint64_t request_id)
+      : WireError("wire: unsupported version " + std::to_string(peer_version) +
+                  " (this peer speaks version " +
+                  std::to_string(kWireVersion) + ")"),
+        peer_version_(peer_version),
+        request_id_(request_id) {}
+
+  std::uint16_t peer_version() const { return peer_version_; }
+  std::uint64_t request_id() const { return request_id_; }
+
+ private:
+  std::uint16_t peer_version_;
+  std::uint64_t request_id_;
+};
 
 struct FrameHeader {
   std::uint16_t version = kWireVersion;
@@ -481,15 +515,18 @@ inline constexpr std::uint8_t kSubInteractive = 16; // Priority::kInteractive
 template <class IT, class VT>
 struct WireRegister {
   std::uint64_t structure_id = 0;
+  std::uint64_t version = 1;  // v3: structure version installed with the body
   bool has_mask = false;
   bool mask_is_b = false;
   CSRMatrix<IT, VT> b;
   CSRMatrix<IT, VT> m_storage;  // valid when has_mask && !mask_is_b
 };
 
+// `version` lets a failover re-registration install the structure at its
+// current (post-update) version so queued submits keep matching.
 template <class IT, class VT>
 void encode_register_parts(GatherPayload& g, std::uint64_t structure_id,
-                           const CSRMatrix<IT, VT>& b,
+                           std::uint64_t version, const CSRMatrix<IT, VT>& b,
                            const CSRMatrix<IT, VT>* m) {
   const bool mask_is_b =
       m != nullptr && static_cast<const void*>(m) == static_cast<const void*>(&b);
@@ -497,6 +534,7 @@ void encode_register_parts(GatherPayload& g, std::uint64_t structure_id,
   if (m != nullptr) flags |= kRegHasMask;
   if (mask_is_b) flags |= kRegMaskIsB;
   g.put_u64(structure_id);
+  g.put_u64(version);
   g.put_u8(flags);
   write_csr_parts(g, b);
   if (m != nullptr && !mask_is_b) write_csr_parts(g, *m);
@@ -507,6 +545,7 @@ WireRegister<IT, VT> decode_register(std::span<const std::uint8_t> payload) {
   WireReader r(payload);
   WireRegister<IT, VT> reg;
   reg.structure_id = r.get_u64();
+  reg.version = r.get_u64();
   const std::uint8_t flags = r.get_u8();
   if ((flags & ~(kRegHasMask | kRegMaskIsB)) != 0) {
     throw WireError("wire: unknown register flags");
@@ -525,6 +564,7 @@ WireRegister<IT, VT> decode_register(std::span<const std::uint8_t> payload) {
 template <class IT, class VT>
 struct WireSubmit {
   std::uint64_t structure_id = 0;
+  std::uint64_t version = 1;  // v3: the structure version this submit targets
   bool a_is_b = false;
   bool m_is_a = false;
   bool m_is_b = false;
@@ -535,12 +575,16 @@ struct WireSubmit {
   CSRMatrix<IT, VT> m_storage;  // valid when the mask is inline
 };
 
+// A submit carries the version its handle was issued at; the shard answers
+// kStaleStructure when an update has superseded it (never a wrong result).
 template <class IT, class VT>
 void encode_submit_parts(GatherPayload& g, std::uint64_t structure_id,
-                         std::uint8_t flags, const CSRMatrix<IT, VT>* a,
+                         std::uint64_t version, std::uint8_t flags,
+                         const CSRMatrix<IT, VT>* a,
                          const CSRMatrix<IT, VT>* m,
                          const MaskedOptions& opts) {
   g.put_u64(structure_id);
+  g.put_u64(version);
   g.put_u8(flags);
   write_options(g, opts);
   if ((flags & kSubAIsB) == 0) write_csr_parts(g, *a);
@@ -554,6 +598,7 @@ WireSubmit<IT, VT> decode_submit(std::span<const std::uint8_t> payload) {
   WireReader r(payload);
   WireSubmit<IT, VT> sub;
   sub.structure_id = r.get_u64();
+  sub.version = r.get_u64();
   const std::uint8_t flags = r.get_u8();
   if ((flags & ~(kSubAIsB | kSubMIsA | kSubMIsB | kSubMRegistered |
                  kSubInteractive)) != 0) {
@@ -591,6 +636,68 @@ inline std::uint64_t decode_unregister(std::span<const std::uint8_t> payload) {
   return id;
 }
 
+// --- structure update (wire v3) ---------------------------------------------
+//
+// Ships an EdgeDelta against a registered structure's B plus the version the
+// update produces. The shard applies the delta server-side (the patched
+// matrix never crosses the wire) and bumps the registration to new_version;
+// in-flight submits carrying the superseded version get kStaleStructure.
+
+template <class IT, class VT>
+struct WireUpdate {
+  std::uint64_t structure_id = 0;
+  std::uint64_t new_version = 0;
+  EdgeDelta<IT, VT> delta;
+};
+
+template <class IT, class VT>
+void encode_update_parts(GatherPayload& g, std::uint64_t structure_id,
+                         std::uint64_t new_version,
+                         const EdgeDelta<IT, VT>& delta) {
+  g.put_u64(structure_id);
+  g.put_u64(new_version);
+  g.put_u8(static_cast<std::uint8_t>(sizeof(IT)));
+  g.put_u8(WireValueCode<VT>::value);
+  g.add_array(std::span<const IT>(delta.ins_row));
+  g.add_array(std::span<const IT>(delta.ins_col));
+  g.add_array(std::span<const VT>(delta.ins_val));
+  g.add_array(std::span<const IT>(delta.del_row));
+  g.add_array(std::span<const IT>(delta.del_col));
+}
+
+template <class IT, class VT>
+std::vector<std::uint8_t> encode_update(std::uint64_t structure_id,
+                                        std::uint64_t new_version,
+                                        const EdgeDelta<IT, VT>& delta) {
+  GatherPayload g;
+  encode_update_parts(g, structure_id, new_version, delta);
+  return g.flatten();
+}
+
+template <class IT, class VT>
+WireUpdate<IT, VT> decode_update(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  WireUpdate<IT, VT> upd;
+  upd.structure_id = r.get_u64();
+  upd.new_version = r.get_u64();
+  if (r.get_u8() != sizeof(IT)) throw WireError("wire: index width mismatch");
+  if (r.get_u8() != WireValueCode<VT>::value) {
+    throw WireError("wire: value type mismatch");
+  }
+  upd.delta.ins_row = r.get_array<IT>();
+  upd.delta.ins_col = r.get_array<IT>();
+  upd.delta.ins_val = r.get_array<VT>();
+  upd.delta.del_row = r.get_array<IT>();
+  upd.delta.del_col = r.get_array<IT>();
+  if (!r.exhausted()) throw WireError("wire: trailing bytes in update");
+  if (upd.delta.ins_row.size() != upd.delta.ins_col.size() ||
+      upd.delta.ins_row.size() != upd.delta.ins_val.size() ||
+      upd.delta.del_row.size() != upd.delta.del_col.size()) {
+    throw WireError("wire: update delta arrays are not parallel");
+  }
+  return upd;
+}
+
 // --- response --------------------------------------------------------------
 
 // Gather form: the result's arrays are referenced in place (the caller keeps
@@ -625,7 +732,7 @@ WireResponse<IT, VT> decode_response(std::span<const std::uint8_t> payload) {
   WireReader r(payload);
   WireResponse<IT, VT> resp;
   const std::uint32_t status = r.get_u32();
-  if (status > static_cast<std::uint32_t>(WireStatus::kInternalError)) {
+  if (status > static_cast<std::uint32_t>(WireStatus::kStaleStructure)) {
     throw WireError("wire: unknown response status");
   }
   resp.status = static_cast<WireStatus>(status);
@@ -646,6 +753,8 @@ WireResponse<IT, VT> decode_response(std::span<const std::uint8_t> payload) {
 struct ServiceStats {
   std::uint64_t requests = 0;    // product requests received
   std::uint64_t registrations = 0;  // structures installed (session protocol)
+  std::uint64_t updates = 0;     // structure deltas applied (wire v3)
+  std::uint64_t stale = 0;       // kStaleStructure responses (version races)
   std::uint64_t responses = 0;   // responses sent (any status)
   std::uint64_t errors = 0;      // kBadRequest + kInternalError responses
   std::uint64_t overloaded = 0;  // kOverloaded responses (back-pressure)

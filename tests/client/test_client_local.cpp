@@ -52,7 +52,8 @@ TEST(ClientLocal, PipelinedResultsBitIdenticalToDirectCalls) {
         erdos_renyi<IT, VT>(rows, rows, 5, 200 + k)));
     ms.push_back(std::make_shared<const Mat>(
         erdos_renyi<IT, VT>(rows, rows, 7, 300 + k)));
-    handles.push_back(session.register_structure(bs.back(), ms.back()));
+    handles.push_back(session.register_structure(
+        StructureSpec<IT, VT>(bs.back()).mask(ms.back())));
   }
 
   std::vector<std::future<Client::Result>> futures;
@@ -79,7 +80,8 @@ TEST(ClientLocal, AliasedStructureUsesRegisteredMask) {
   auto client = make_local_client<SR, IT, VT>();
   auto session = client.open_session();
   auto a = std::make_shared<const Mat>(erdos_renyi<IT, VT>(90, 90, 6, 42));
-  auto handle = session.register_structure(a, a);
+  auto handle =
+      session.register_structure(StructureSpec<IT, VT>(a).self_mask());
 
   auto res = session.submit(a, handle).get();
   ASSERT_TRUE(res.ok()) << res.message;
@@ -90,7 +92,8 @@ TEST(ClientLocal, PerRequestMaskOverride) {
   auto client = make_local_client<SR, IT, VT>();
   auto session = client.open_session();
   auto b = std::make_shared<const Mat>(erdos_renyi<IT, VT>(70, 70, 5, 1));
-  auto handle = session.register_structure(b);  // no registered mask
+  auto handle = session.register_structure(
+      StructureSpec<IT, VT>(b));  // no registered mask
 
   auto a = std::make_shared<const Mat>(erdos_renyi<IT, VT>(70, 70, 5, 2));
   auto m = std::make_shared<const Mat>(erdos_renyi<IT, VT>(70, 70, 7, 3));
@@ -104,7 +107,8 @@ TEST(ClientLocal, ErrorTaxonomyAsTypedResults) {
   auto session = client.open_session();
   auto b = std::make_shared<const Mat>(erdos_renyi<IT, VT>(50, 50, 5, 1));
   auto m = std::make_shared<const Mat>(erdos_renyi<IT, VT>(50, 50, 5, 2));
-  auto handle = session.register_structure(b, m);
+  auto handle =
+      session.register_structure(StructureSpec<IT, VT>(b).mask(m));
 
   // Shape mismatch: validation happens inside the job, surfaces kBadRequest.
   auto bad_a = std::make_shared<const Mat>(erdos_renyi<IT, VT>(40, 40, 5, 3));
@@ -117,7 +121,7 @@ TEST(ClientLocal, ErrorTaxonomyAsTypedResults) {
   Session<SR, IT, VT>::Handle invalid;
   EXPECT_EQ(session.submit(bad_a, invalid).get().status,
             RequestStatus::kBadRequest);
-  auto no_mask = session.register_structure(b);
+  auto no_mask = session.register_structure(StructureSpec<IT, VT>(b));
   EXPECT_EQ(session.submit(bad_a, no_mask).get().status,
             RequestStatus::kBadRequest);
 }
@@ -137,7 +141,8 @@ TEST(ClientLocal, OverloadSurfacesAsTypedResult) {
   auto b = std::make_shared<const Mat>(erdos_renyi<IT, VT>(60, 60, 5, 1));
   auto m = std::make_shared<const Mat>(erdos_renyi<IT, VT>(60, 60, 5, 2));
   auto a = std::make_shared<const Mat>(erdos_renyi<IT, VT>(60, 60, 5, 3));
-  auto handle = session.register_structure(b, m);
+  auto handle =
+      session.register_structure(StructureSpec<IT, VT>(b).mask(m));
 
   std::promise<void> release;
   std::shared_future<void> gate(release.get_future());
@@ -163,7 +168,8 @@ TEST(ClientLocal, BoundedInFlightDepthBlocksProducer) {
   auto session = client.open_session({.max_in_flight = 2});
 
   auto b = std::make_shared<const Mat>(erdos_renyi<IT, VT>(40, 40, 4, 1));
-  auto handle = session.register_structure(b, b);
+  auto handle =
+      session.register_structure(StructureSpec<IT, VT>(b).self_mask());
 
   std::promise<void> release;
   std::shared_future<void> gate(release.get_future());
@@ -195,7 +201,8 @@ TEST(ClientLocal, InteractivePrioritySubmitsServeCorrectly) {
   auto client = make_local_client<SR, IT, VT>();
   auto session = client.open_session();
   auto b = std::make_shared<const Mat>(erdos_renyi<IT, VT>(50, 50, 5, 9));
-  auto handle = session.register_structure(b, b);
+  auto handle =
+      session.register_structure(StructureSpec<IT, VT>(b).self_mask());
   SubmitOptions interactive;
   interactive.priority = Priority::kInteractive;
   auto res = session.submit(b, handle, interactive).get();
@@ -207,7 +214,8 @@ TEST(ClientLocal, SessionReleaseAndReRegister) {
   auto client = make_local_client<SR, IT, VT>();
   auto session = client.open_session();
   auto b = std::make_shared<const Mat>(erdos_renyi<IT, VT>(50, 50, 5, 4));
-  auto handle = session.register_structure(b, b);
+  auto handle =
+      session.register_structure(StructureSpec<IT, VT>(b).self_mask());
   ASSERT_TRUE(session.submit(b, handle).get().ok());
 
   session.release(handle);
@@ -216,6 +224,7 @@ TEST(ClientLocal, SessionReleaseAndReRegister) {
   auto stale = session.submit(b, handle).get();
   EXPECT_EQ(stale.status, RequestStatus::kBadRequest);
 
-  auto again = session.register_structure(b, b);
+  auto again =
+      session.register_structure(StructureSpec<IT, VT>(b).self_mask());
   EXPECT_TRUE(session.submit(b, again).get().ok());
 }

@@ -78,8 +78,9 @@ TEST(ClientSharded, PipelinedBitIdenticalAcrossShards) {
         erdos_renyi<IT, VT>(rows, rows, 5, 500 + k)));
     ms.push_back(std::make_shared<const Mat>(
         erdos_renyi<IT, VT>(rows, rows, 7, 600 + k)));
-    handles.push_back(session.register_structure(bs[static_cast<std::size_t>(k)],
-                                                 ms[static_cast<std::size_t>(k)]));
+    handles.push_back(session.register_structure(
+        StructureSpec<IT, VT>(bs[static_cast<std::size_t>(k)])
+            .mask(ms[static_cast<std::size_t>(k)])));
   }
 
   // Per-structure A patterns stay fixed (that is what makes the shard's plan
@@ -129,7 +130,8 @@ TEST(ClientSharded, AliasedKTrussStyleSubmitShipsOnlyFlags) {
   auto session = client.open_session();
 
   auto a = std::make_shared<const Mat>(erdos_renyi<IT, VT>(80, 80, 6, 11));
-  auto handle = session.register_structure(a, a);
+  auto handle =
+      session.register_structure(StructureSpec<IT, VT>(a).self_mask());
   auto res = session.submit(a, handle).get();
   ASSERT_TRUE(res.ok()) << res.message;
   EXPECT_TRUE(res.matrix == masked_spgemm<SR>(*a, *a, *a));
@@ -204,7 +206,8 @@ TEST(ClientSharded, OutOfOrderResponsesResolveByRequestId) {
       const IT rows = 40 + 10 * static_cast<IT>(r);
       bs.push_back(std::make_shared<const Mat>(
           erdos_renyi<IT, VT>(rows, rows, 5, 800 + r)));
-      handles.push_back(session.register_structure(bs.back(), bs.back()));
+      handles.push_back(session.register_structure(
+          StructureSpec<IT, VT>(bs.back()).self_mask()));
       auto a = std::make_shared<const Mat>(
           erdos_renyi<IT, VT>(rows, rows, 5, 900 + r));
       want.push_back(masked_spgemm<SR>(*a, *bs.back(), *bs.back()));
@@ -265,7 +268,8 @@ TEST(ClientSharded, FailoverMidPipelineResubmitsInFlight) {
       const IT rows = 50 + 12 * static_cast<IT>(k);
       bs.push_back(std::make_shared<const Mat>(
           erdos_renyi<IT, VT>(rows, rows, 5, 110 + k)));
-      handles.push_back(session.register_structure(bs.back(), bs.back()));
+      handles.push_back(session.register_structure(
+          StructureSpec<IT, VT>(bs.back()).self_mask()));
     }
     std::vector<std::future<Client::Result>> futures;
     std::vector<Mat> want;
@@ -322,7 +326,8 @@ TEST(ClientSharded, CleanShutdownResolvesInFlightFutures) {
   {
     auto session = client.open_session({.max_in_flight = 4});
     auto b = std::make_shared<const Mat>(erdos_renyi<IT, VT>(40, 40, 4, 5));
-    auto handle = session.register_structure(b, b);
+    auto handle =
+      session.register_structure(StructureSpec<IT, VT>(b).self_mask());
     for (int r = 0; r < 3; ++r) futures.push_back(session.submit(b, handle));
 
     backend->shutdown();  // futures in flight -> resolved, typed
@@ -346,7 +351,8 @@ TEST(ClientSharded, AllShardsDownYieldsTypedShardDown) {
   Client client(backend);
   auto session = client.open_session();
   auto b = std::make_shared<const Mat>(erdos_renyi<IT, VT>(30, 30, 4, 6));
-  auto handle = session.register_structure(b, b);
+  auto handle =
+      session.register_structure(StructureSpec<IT, VT>(b).self_mask());
   auto res = session.submit(b, handle).get();
   EXPECT_EQ(res.status, RequestStatus::kShardDown);
 }

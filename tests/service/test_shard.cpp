@@ -232,3 +232,37 @@ TEST(ServiceShard, ServesListenerAcrossMultipleConnections) {
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(shard.stats().requests, 20u);
 }
+
+// Wire v2<->v3 compatibility: a peer speaking an older wire version gets a
+// versioned kBadRequest on its own request id and a clean close — no hang,
+// no silent drop (ISSUE 7 satellite).
+TEST(ServiceShard, OlderWireVersionPeerIsRejectedWithVersionedError) {
+  Shard shard;
+  auto [client, server] = loopback_pair();
+  shard.attach(std::move(server));
+
+  // Hand-assemble a v2-stamped frame: current header layout, version bytes
+  // patched, arbitrary payload (a v2 peer's encoding differs — the shard
+  // must answer from the header alone).
+  const std::vector<std::uint8_t> payload = {0xde, 0xad, 0xbe, 0xef};
+  auto frame = encode_frame_header(MessageType::kRequest, 123, payload);
+  frame[4] = 2;
+  frame[5] = 0;
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  client->write_all(frame.data(), frame.size());
+
+  FrameHeader h;
+  std::vector<std::uint8_t> reply;
+  ASSERT_TRUE(recv_frame(*client, h, reply));
+  EXPECT_EQ(h.type, MessageType::kResponse);
+  EXPECT_EQ(h.request_id, 123u);
+  const auto resp = decode_response<IT, VT>(reply);
+  EXPECT_EQ(resp.status, WireStatus::kBadRequest);
+  EXPECT_NE(resp.message.find("version 2"), std::string::npos);
+  EXPECT_NE(resp.message.find("version 3"), std::string::npos);
+
+  // The shard closes the connection after the versioned error: the next read
+  // sees EOF, never a hang.
+  EXPECT_FALSE(recv_frame(*client, h, reply));
+  EXPECT_GE(shard.stats().errors, 1u);
+}

@@ -405,7 +405,7 @@ TEST(WireGather, FrameCrossesUnixSocketViaSendmsg) {
   std::thread client_thread([&] {
     auto c = connect_unix(path);
     GatherPayload g;
-    encode_register_parts<IT, VT>(g, 42, a, &a);  // mask aliases B
+    encode_register_parts<IT, VT>(g, 42, 1, a, &a);  // mask aliases B
     send_frame_parts(*c, MessageType::kRegisterRequest, 0, g);
   });
 
@@ -430,9 +430,10 @@ TEST(WireSession, RegisterSubmitUnregisterRoundTrip) {
 
   {
     GatherPayload g;
-    encode_register_parts(g, 7, b, &m);
+    encode_register_parts(g, 7, 3, b, &m);
     const auto reg = decode_register<IT, VT>(g.flatten());
     EXPECT_EQ(reg.structure_id, 7u);
+    EXPECT_EQ(reg.version, 3u);
     EXPECT_TRUE(reg.has_mask);
     EXPECT_FALSE(reg.mask_is_b);
     EXPECT_TRUE(reg.b == b);
@@ -443,10 +444,11 @@ TEST(WireSession, RegisterSubmitUnregisterRoundTrip) {
     GatherPayload g;
     MaskedOptions opts;
     opts.kind = MaskKind::kComplement;
-    encode_submit_parts<IT, VT>(g, 7, kSubMRegistered | kSubInteractive, &a,
-                                nullptr, opts);
+    encode_submit_parts<IT, VT>(g, 7, 3, kSubMRegistered | kSubInteractive,
+                                &a, nullptr, opts);
     const auto sub = decode_submit<IT, VT>(g.flatten());
     EXPECT_EQ(sub.structure_id, 7u);
+    EXPECT_EQ(sub.version, 3u);
     EXPECT_FALSE(sub.a_is_b);
     EXPECT_TRUE(sub.m_registered);
     EXPECT_EQ(sub.priority, Priority::kInteractive);
@@ -456,8 +458,8 @@ TEST(WireSession, RegisterSubmitUnregisterRoundTrip) {
   {
     // Fully aliased k-truss shape: nothing but flags and options on the wire.
     GatherPayload g;
-    encode_submit_parts<IT, VT>(g, 9, kSubAIsB | kSubMIsA, nullptr, nullptr,
-                                MaskedOptions{});
+    encode_submit_parts<IT, VT>(g, 9, 1, kSubAIsB | kSubMIsA, nullptr,
+                                nullptr, MaskedOptions{});
     const auto flat = g.flatten();
     EXPECT_LT(flat.size(), 64u);  // no matrix crossed the wire
     const auto sub = decode_submit<IT, VT>(flat);
@@ -472,19 +474,21 @@ TEST(WireSession, RejectsContradictoryAndUnknownFlags) {
   const auto a = erdos_renyi<IT, VT>(20, 20, 4, 1);
   {
     GatherPayload g;
-    encode_submit_parts<IT, VT>(g, 1, kSubMIsA | kSubMIsB, &a, nullptr,
+    encode_submit_parts<IT, VT>(g, 1, 1, kSubMIsA | kSubMIsB, &a, nullptr,
                                 MaskedOptions{});
     EXPECT_THROW((decode_submit<IT, VT>(g.flatten())), WireError);
   }
   {
     WireWriter w;
     w.put_u64(1);
+    w.put_u64(1);    // version
     w.put_u8(0x80);  // unknown submit flag bit
     EXPECT_THROW((decode_submit<IT, VT>(w.bytes())), WireError);
   }
   {
     WireWriter w;
     w.put_u64(1);
+    w.put_u64(1);           // version
     w.put_u8(kRegMaskIsB);  // mask-is-b without has-mask
     EXPECT_THROW((decode_register<IT, VT>(w.bytes())), WireError);
   }
@@ -492,4 +496,60 @@ TEST(WireSession, RejectsContradictoryAndUnknownFlags) {
   WireWriter w;
   w.put_u32(5);
   EXPECT_THROW(decode_unregister(w.bytes()), WireError);
+}
+
+TEST(WireUpdate, RoundTripsDeltaAndRejectsMalformedPayloads) {
+  EdgeDelta<IT, VT> delta;
+  delta.insert(3, 7, 1.5);
+  delta.insert(0, 0, -2.0);
+  delta.erase(5, 1);
+
+  const auto payload = encode_update(91, 4, delta);
+  const auto upd = decode_update<IT, VT>(payload);
+  EXPECT_EQ(upd.structure_id, 91u);
+  EXPECT_EQ(upd.new_version, 4u);
+  ASSERT_EQ(upd.delta.size(), delta.size());
+  EXPECT_EQ(upd.delta.ins_row, delta.ins_row);
+  EXPECT_EQ(upd.delta.ins_col, delta.ins_col);
+  EXPECT_EQ(upd.delta.ins_val, delta.ins_val);
+  EXPECT_EQ(upd.delta.del_row, delta.del_row);
+  EXPECT_EQ(upd.delta.del_col, delta.del_col);
+
+  // An empty delta is legal on the wire (a pure version bump).
+  const auto empty = decode_update<IT, VT>(
+      encode_update(92, 2, EdgeDelta<IT, VT>{}));
+  EXPECT_TRUE(empty.delta.empty());
+
+  // Index-width and value-type mismatches are typed rejections, as is junk
+  // past the last array.
+  EXPECT_THROW((decode_update<std::int64_t, VT>(payload)), WireError);
+  EXPECT_THROW((decode_update<IT, float>(payload)), WireError);
+  auto trailing = payload;
+  trailing.push_back(0);
+  EXPECT_THROW((decode_update<IT, VT>(trailing)), WireError);
+  auto truncated = payload;
+  truncated.pop_back();
+  EXPECT_THROW((decode_update<IT, VT>(truncated)), WireError);
+}
+
+TEST(WireFrame, VersionMismatchIsTypedWithPeerVersionAndRequestId) {
+  // A well-formed frame header from a hypothetical wire-v2 peer: same stable
+  // 32-byte layout, older version stamp. The decoder must parse far enough
+  // to recover the request id, then throw the typed error so a server can
+  // answer on that id instead of dropping the connection.
+  const std::vector<std::uint8_t> payload = {1, 2, 3};
+  auto header = encode_frame_header(MessageType::kSubmitRequest, 77, payload);
+  header[4] = 2;  // version lives at bytes 4..5 (little endian)
+  header[5] = 0;
+  try {
+    decode_frame_header(header);
+    FAIL() << "expected WireVersionError";
+  } catch (const WireVersionError& e) {
+    EXPECT_EQ(e.peer_version(), 2u);
+    EXPECT_EQ(e.request_id(), 77u);
+    EXPECT_NE(std::string(e.what()).find("version 2"), std::string::npos);
+  }
+  // Still a WireError for catch-all handlers.
+  header[4] = 9;
+  EXPECT_THROW(decode_frame_header(header), WireError);
 }
