@@ -1,0 +1,223 @@
+// micro_2d_product — cooperative multi-shard products (ISSUE 8 tentpole).
+// Three measurements over loopback shards, each shard pinned to ONE worker
+// thread so a shard models one machine of fixed capacity:
+//
+//   1. Single-shard baseline: Q pipelined masked products on an oversized
+//      RMAT structure against a 1-shard fleet — bounded by one "machine".
+//   2. 2D scatter: the same products forced through a 2x2 panel grid over a
+//      4-shard fleet with the hot B replicated on 2 shards. Aggregate
+//      speedup = baseline seconds / 2D seconds; >1 on any multi-core box
+//      because four 1-thread shards compute panels concurrently.
+//   3. Replicated-hot-B failover: another burst is scattered and one replica
+//      shard is stopped mid-flight; the gate is zero lost panel tasks —
+//      every product future resolves with the bit-exact result.
+//
+//   ./bench_micro_2d_product [--scale S] [--edge-factor E] [--products Q]
+//       [--shards N] [--row-panels R] [--col-panels C] [--inflight F]
+//       [--reps R] [--json[=PATH]]
+#include <cstdint>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "client/client.hpp"
+#include "client/sharded_backend.hpp"
+#include "core/masked_spgemm.hpp"
+#include "gen/rmat.hpp"
+#include "service/shard.hpp"
+
+using namespace msx;
+using namespace msx::bench;
+namespace mc = msx::client;
+using msx::service::LoopbackListener;
+using msx::service::ServiceShard;
+using msx::service::ShardEndpoint;
+
+using SRt = PlusTimes<VT>;
+using Shard = ServiceShard<SRt, IT, VT>;
+using Sharded = mc::ShardedBackend<SRt, IT, VT>;
+
+namespace {
+
+struct Fleet {
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::vector<ShardEndpoint> endpoints;
+
+  explicit Fleet(int n) {
+    service::ShardConfig cfg;
+    cfg.limits.pool_threads = 1;  // one shard == one fixed-capacity machine
+    for (int i = 0; i < n; ++i) {
+      shards.push_back(std::make_unique<Shard>(cfg));
+      auto listener = std::make_unique<LoopbackListener>();
+      auto* raw = listener.get();
+      shards.back()->serve(std::move(listener));
+      endpoints.push_back(ShardEndpoint{"shard-" + std::to_string(i),
+                                        [raw] { return raw->connect(); }});
+    }
+  }
+};
+
+// Runs Q pipelined products of the prepared A's against one registered
+// structure and returns wall seconds; every result is checked bit-exact
+// against `want` (the single-shard reference), so both legs of the speedup
+// comparison are doing provably identical work.
+double run_products(mc::Session<SRt, IT, VT>& session,
+                    const mc::StructureHandle<IT, VT>& handle,
+                    const std::vector<std::shared_ptr<const Mat>>& as,
+                    const std::vector<Mat>& want, const MaskedOptions& mo,
+                    int* bad) {
+  std::vector<std::future<mc::ClientResult<IT, VT>>> futures;
+  WallTimer timer;
+  for (const auto& a : as) futures.push_back(session.submit(a, handle,
+                                                            {.masked = mo}));
+  for (std::size_t q = 0; q < futures.size(); ++q) {
+    auto res = futures[q].get();
+    if (!res.ok() || !(res.matrix == want[q])) ++*bad;
+  }
+  return timer.seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cfg = BenchConfig::parse(argc, argv);
+  ArgParser args(argc, argv);
+  const int scale = static_cast<int>(args.get_int("scale", 12));
+  const int edge_factor = static_cast<int>(args.get_int("edge-factor", 24));
+  const int products = static_cast<int>(args.get_int("products", 8));
+  const int nshards = static_cast<int>(args.get_int("shards", 4));
+  const int row_panels = static_cast<int>(args.get_int("row-panels", 2));
+  const int col_panels = static_cast<int>(args.get_int("col-panels", 2));
+  const int inflight = static_cast<int>(args.get_int("inflight", 8));
+  print_header("micro_2d_product — one oversized masked product scattered as "
+               "an A-row-panel x B-col-panel grid over the fleet, vs the "
+               "single-shard bound",
+               "ISSUE 8 (2D decomposition, replicated hot panels)", cfg);
+
+  RmatOptions ro;
+  ro.edge_factor = edge_factor;
+  auto b = std::make_shared<const Mat>(rmat<IT, VT>(scale, 7, ro));
+  auto m = std::make_shared<const Mat>(rmat<IT, VT>(scale, 8, ro));
+  std::vector<std::shared_ptr<const Mat>> as;
+  std::vector<Mat> want;
+  MaskedOptions mo;
+  mo.threads = 1;  // shard pools are 1 thread; keep the reference honest
+  for (int q = 0; q < products; ++q) {
+    as.push_back(std::make_shared<const Mat>(
+        rmat<IT, VT>(scale, 100 + static_cast<std::uint64_t>(q), ro)));
+    want.push_back(masked_spgemm<SRt>(*as.back(), *b, *m, mo));
+  }
+
+  MaskedOptions single = mo;
+  single.dist = Dist2D::kNever;
+  MaskedOptions dist2d = mo;
+  dist2d.dist = Dist2D::kForce;
+  dist2d.dist_row_panels = row_panels;
+  dist2d.dist_col_panels = col_panels;
+
+  // --- 1 + 2: single-shard bound vs 2D scatter ------------------------------
+  int bad = 0;
+  double best_single = nan_time();
+  double best_dist = nan_time();
+  std::uint64_t panels = 0;
+  for (int rep = 0; rep < std::max(1, cfg.reps); ++rep) {
+    {
+      Fleet fleet(1);
+      auto backend = std::make_shared<Sharded>(fleet.endpoints);
+      mc::MaskedClient<SRt, IT, VT> client(backend);
+      auto session = client.open_session(
+          {.max_in_flight = static_cast<std::size_t>(inflight)});
+      auto h = session.register_structure(
+          mc::StructureSpec<IT, VT>(b).mask(m));
+      (void)session.submit(as[0], h, {.masked = single}).get();  // warm plan
+      const double s = run_products(session, h, as, want, single, &bad);
+      if (std::isnan(best_single) || s < best_single) best_single = s;
+    }
+    {
+      Fleet fleet(nshards);
+      auto backend = std::make_shared<Sharded>(fleet.endpoints);
+      mc::MaskedClient<SRt, IT, VT> client(backend);
+      auto session = client.open_session(
+          {.max_in_flight = static_cast<std::size_t>(inflight)});
+      auto h = session.register_structure(
+          mc::StructureSpec<IT, VT>(b).mask(m).replicate(2));
+      (void)session.submit(as[0], h, {.masked = dist2d}).get();  // warm panels
+      const double s = run_products(session, h, as, want, dist2d, &bad);
+      if (std::isnan(best_dist) || s < best_dist) best_dist = s;
+      panels = backend->stats().dist2d_panels;
+    }
+  }
+  const double speedup = best_single / best_dist;
+
+  Table table({"path", "products", "seconds", "aggregate speedup"});
+  table.add_row({"single-shard", Table::num(products, 0),
+                 Table::num(best_single, 4), "1.00x"});
+  table.add_row({std::to_string(nshards) + "-shard 2D " +
+                     std::to_string(row_panels) + "x" +
+                     std::to_string(col_panels),
+                 Table::num(products, 0), Table::num(best_dist, 4),
+                 Table::num(speedup, 2) + "x"});
+  table.print();
+
+  // --- 3: replicated hot B, one replica dies mid-scatter --------------------
+  int lost = 0;
+  double failover_seconds = 0.0;
+  {
+    Fleet fleet(nshards);
+    auto backend = std::make_shared<Sharded>(fleet.endpoints);
+    mc::MaskedClient<SRt, IT, VT> client(backend);
+    auto session = client.open_session(
+        {.max_in_flight = static_cast<std::size_t>(inflight)});
+    auto h = session.register_structure(
+        mc::StructureSpec<IT, VT>(b).mask(m).replicate(2));
+    std::vector<std::future<mc::ClientResult<IT, VT>>> futures;
+    WallTimer timer;
+    for (const auto& a : as) {
+      futures.push_back(session.submit(a, h, {.masked = dist2d}));
+    }
+    fleet.shards[0]->stop();  // a replica dies with panel tasks in flight
+    for (std::size_t q = 0; q < futures.size(); ++q) {
+      auto res = futures[q].get();
+      if (!res.ok() || !(res.matrix == want[q])) ++lost;
+    }
+    failover_seconds = timer.seconds();
+  }
+  std::printf("\nfailover: replica shard stopped mid-scatter; %d of %d "
+              "products lost (%.3fs); %llu panel tasks scattered in the "
+              "timed 2D runs; %d bit-identity mismatches\n",
+              lost, products, failover_seconds,
+              static_cast<unsigned long long>(panels), bad);
+
+  BenchJsonFile artifact("micro_2d_product", cfg);
+  JsonObject record;
+  record.field("scale", scale)
+      .field("edge_factor", edge_factor)
+      .field("products", products)
+      .field("shards", nshards)
+      .field("row_panels", row_panels)
+      .field("col_panels", col_panels)
+      .field("replicas", 2)
+      .field("inflight", inflight)
+      .field("single_seconds", best_single)
+      .field("dist2d_seconds", best_dist)
+      .field("dist2d_speedup", speedup)
+      .field("dist2d_panels", static_cast<long long>(panels))
+      .field("failover_lost", lost)
+      .field("failover_seconds", failover_seconds);
+  artifact.add(record);
+  if (!artifact.write(cfg.resolved_json_path("BENCH_micro_2d_product.json"))) {
+    return 1;
+  }
+
+  // Acceptance: every result bit-identical, failover lost zero panel tasks,
+  // and the 2D path beats the single-shard bound wherever the box actually
+  // has more than one core to aggregate (a 1-core runner can only tie).
+  const bool multi_core = std::thread::hardware_concurrency() >= 2;
+  const bool ok = bad == 0 && lost == 0 && (!multi_core || speedup > 1.0);
+  return ok ? 0 : 2;
+}

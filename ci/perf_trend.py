@@ -39,7 +39,12 @@ CONFIG_FIELDS = ("jobs", "structures", "scale", "pool_threads", "threads",
                  # count, migrations with the round count) — drift is worth a
                  # warning, not a perf gate.
                  "blocks_total", "blocks_refreshed", "out_rows_resymbolic",
-                 "partition_kept", "symbolic_patched", "delta_migrations")
+                 "partition_kept", "symbolic_patched", "delta_migrations",
+                 # micro_2d_product: grid geometry and replica placement are
+                 # config; failover_lost / dist2d_panels are correctness
+                 # diagnostics gated by the bench binary itself.
+                 "products", "edge_factor", "row_panels", "col_panels",
+                 "replicas", "dist2d_panels", "failover_lost")
 
 
 def is_higher_better(field):

@@ -61,8 +61,14 @@ class KMergeHeap {
   }
 
  private:
+  // Column ties break on the originating A-row position so equal-column
+  // products always pop in ascending k. That pins the floating-point
+  // accumulation order to a function of the contributing k set alone, which
+  // keeps heap results bit-identical when B is column-sliced into panels
+  // (the distributed 2D path merges panel outputs by direct concatenation).
   static bool less(const MergeCursor<IT>& a, const MergeCursor<IT>& b) {
-    return a.col < b.col;
+    if (a.col != b.col) return a.col < b.col;
+    return a.arow < b.arow;
   }
 
   void sift_up(std::size_t i) {

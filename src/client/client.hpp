@@ -125,8 +125,13 @@ class Backend {
   // Installs stationary operands {B[, M]} at version 1 and returns their id.
   // The backend holds the shared operands for zero-copy reuse (and, sharded,
   // ships them to a shard once per connection instead of once per product).
+  // `replicas` is a placement hint for hot structures: a sharded backend
+  // registers the structure's panels on that many distinct shards and
+  // spreads (and fails over) panel work across the replica set; backends
+  // without placement (local) ignore it.
   virtual std::uint64_t register_structure(std::shared_ptr<const Mat> b,
-                                           std::shared_ptr<const Mat> m) = 0;
+                                           std::shared_ptr<const Mat> m,
+                                           int replicas = 1) = 0;
   virtual void release_structure(std::uint64_t structure_id) = 0;
 
   // Advances a registered structure to `new_b` (the delta already applied by
@@ -200,13 +205,24 @@ class StructureSpec {
     m_ = b_;
     return *this;
   }
+  // Hot-structure replication: keep each panel of this structure live on
+  // `r` distinct shards so 2D panel work spreads across (and fails over
+  // within) the replica set. 1 (the default) means no replication; local
+  // backends ignore the hint.
+  StructureSpec& replicate(int r) {
+    check_arg(r >= 1, "StructureSpec::replicate: replicas must be >= 1");
+    replicas_ = r;
+    return *this;
+  }
 
   const std::shared_ptr<const Mat>& b() const { return b_; }
   const std::shared_ptr<const Mat>& mask_ptr() const { return m_; }
+  int replicas() const { return replicas_; }
 
  private:
   std::shared_ptr<const Mat> b_;
   std::shared_ptr<const Mat> m_;
+  int replicas_ = 1;
 };
 
 // A registered stationary-operand set at a specific version. A plain value:
@@ -304,7 +320,8 @@ class Session {
     }
     auto b = spec.b();
     auto m = spec.mask_ptr();
-    const std::uint64_t id = backend_->register_structure(b, m);
+    const std::uint64_t id =
+        backend_->register_structure(b, m, spec.replicas());
     registered_.push_back(id);
     return Handle(id, /*version=*/1, std::move(b), std::move(m));
   }

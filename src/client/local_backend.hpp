@@ -48,7 +48,9 @@ class LocalBackend final : public Backend<SR, IT, VT> {
   ~LocalBackend() override { drain(); }
 
   std::uint64_t register_structure(std::shared_ptr<const Mat> b,
-                                   std::shared_ptr<const Mat> m) override {
+                                   std::shared_ptr<const Mat> m,
+                                   int replicas = 1) override {
+    (void)replicas;  // placement hint; everything is local here
     check_arg(b != nullptr, "LocalBackend: null B");
     MutexLock lock(&mu_);
     const std::uint64_t id = next_id_++;
@@ -73,6 +75,10 @@ class LocalBackend final : public Backend<SR, IT, VT> {
     Structure& s = it->second;
     auto lineage = std::make_shared<PlanLineage<IT, VT>>();
     lineage->old_b = s.b;
+    // Computed once per delta and shared with every plan instance the cache
+    // migrates forward (delta_touched_rows sorts; don't repeat it per plan).
+    lineage->touched = std::make_shared<const std::vector<IT>>(
+        delta_touched_rows(*delta));
     lineage->delta = std::move(delta);
     s.b = std::move(new_b);
     s.m = std::move(new_m);

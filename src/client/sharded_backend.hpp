@@ -35,14 +35,30 @@
 // Optional health probing (off by default): every probe_interval, down
 // shards get a cheap kStatsRequest on a fresh dial and auto-rejoin the ring
 // on success — the distributed analogue of the router's mark_up.
+//
+// 2D products (service/distributed.hpp): a submit whose estimated flops
+// clear dist_flop_threshold (MaskedOptions::dist overrides) is cut into an
+// A-row-panel × B-col-panel grid. Each column panel of B (and of the
+// registered mask) is registered once per owning shard as an ordinary
+// versioned structure; each (row, col) panel task is an ordinary pipelined
+// submit whose mask is the registered panel mask row-windowed server-side
+// (wire v4 kSubMaskRows). Panel results come back as zero-copy views over
+// the receive payload and are merged client-side into the bit-identical
+// full result. StructureSpec::replicate(R) keeps each hot panel live on R
+// shards; panel placement spreads over the replica set weighted by the
+// shard-reported execute-time EWMA, and mid-flight shard failure
+// re-dispatches the lost panel tasks to surviving replicas through the
+// same orphan machinery ordinary requests use.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -51,7 +67,9 @@
 
 #include "client/client.hpp"
 #include "common/thread_annotations.hpp"
+#include "core/flops.hpp"
 #include "runtime/plan_cache.hpp"
+#include "service/distributed.hpp"
 #include "service/router.hpp"  // ShardEndpoint, ConsistentHashRing
 #include "service/shard.hpp"
 #include "service/transport.hpp"
@@ -65,10 +83,18 @@ struct ShardedBackendConfig {
   // Health probing of down shards; zero disables (default — tests drive
   // probe_down_shards() explicitly).
   std::chrono::milliseconds probe_interval{0};
+  // A submit whose estimated multiply count reaches this goes 2D
+  // (MaskedOptions::dist/dist_flop_threshold override per request). ~64M
+  // flops is where panel scatter overhead is clearly amortized on the RMAT
+  // inputs the benches use.
+  std::uint64_t dist_flop_threshold = 1ull << 26;
 };
 
 struct ShardedBackendStats {
   std::vector<std::uint64_t> routed;   // kOk completions per shard
+  // Per-shard EWMA of shard-reported execute time (wire v4 exec_nanos),
+  // 0.0 until the first kOk — what 2D panel placement weights by.
+  std::vector<double> ewma_nanos;
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;         // completions delivered (any status)
   std::uint64_t failover_resubmits = 0;
@@ -76,6 +102,8 @@ struct ShardedBackendStats {
   std::uint64_t down_marks = 0;
   std::uint64_t probes = 0;
   std::uint64_t rejoins = 0;
+  std::uint64_t dist2d_products = 0;   // submits that went 2D
+  std::uint64_t dist2d_panels = 0;     // panel tasks scattered for them
 };
 
 // Structure digest for routing points: hashes a matrix's pattern once so a
@@ -111,7 +139,8 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
         cfg_(cfg),
         ring_(endpoints_.size(), cfg.vnodes),
         down_(endpoints_.size(), 0),
-        routed_(endpoints_.size(), 0) {
+        routed_(endpoints_.size(), 0),
+        ewma_nanos_(endpoints_.size(), 0.0) {
     check_arg(!endpoints_.empty(), "ShardedBackend: no shard endpoints");
     conns_.reserve(endpoints_.size());
     for (std::size_t i = 0; i < endpoints_.size(); ++i) {
@@ -130,12 +159,15 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
   // --- Backend --------------------------------------------------------------
 
   std::uint64_t register_structure(std::shared_ptr<const Mat> b,
-                                   std::shared_ptr<const Mat> m) override {
+                                   std::shared_ptr<const Mat> m,
+                                   int replicas = 1) override {
     check_arg(b != nullptr, "ShardedBackend: null B");
+    check_arg(replicas >= 1, "ShardedBackend: replicas must be >= 1");
     auto s = std::make_shared<Structure>();
     s->id = next_structure_.fetch_add(1, std::memory_order_relaxed);
     s->b = std::move(b);
     s->m = std::move(m);
+    s->replicas = replicas;
     s->b_digest = matrix_structure_digest(*s->b, kDigestSeedB);
     s->m_digest =
         s->m == nullptr
@@ -155,15 +187,9 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
     const auto s = it->second;
     structures_.erase(it);
     if (stopping_) return;
-    for (std::size_t i = 0; i < conns_.size(); ++i) {
-      Conn& c = *conns_[i];
-      if (c.running && s->reg_gen[i] == c.gen) {
-        SendItem item;
-        item.kind = SendItem::Kind::kUnregister;
-        item.structure_id = structure_id;
-        c.sendq_hi.push_back(std::move(item));
-        c.cv.notify_all();
-      }
+    enqueue_unregister_locked(*s);
+    if (s->plan2d != nullptr) {
+      for (const auto& p : s->plan2d->panels) enqueue_unregister_locked(*p);
     }
   }
 
@@ -200,6 +226,7 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
         c.cv.notify_all();
       }
     }
+    update_panels_locked(s, delta, version);
     return version;
   }
 
@@ -244,6 +271,7 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
       ++submitted_;
       ++inflight_total_;
     }
+    if (try_submit_2d(req)) return;
     dispatch(req);
   }
 
@@ -314,6 +342,7 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
     MutexLock lock(&mu_);
     ShardedBackendStats out;
     out.routed = routed_;
+    out.ewma_nanos = ewma_nanos_;
     out.submitted = submitted_;
     out.completed = completed_;
     out.failover_resubmits = failover_resubmits_;
@@ -321,6 +350,8 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
     out.down_marks = down_marks_;
     out.probes = probes_;
     out.rejoins = rejoins_;
+    out.dist2d_products = dist2d_products_;
+    out.dist2d_panels = dist2d_panels_;
     return out;
   }
 
@@ -361,7 +392,7 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
       Result err;
       err.status = RequestStatus::kShardDown;
       err.message = "client shut down with the request in flight";
-      finish(r, std::move(err));
+      settle(r, std::move(err));
     }
   }
 
@@ -370,6 +401,9 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
   static constexpr std::uint64_t kDigestSeedB = 0x636c69656e742d42ull;
   static constexpr std::uint64_t kDigestSeedM = 0x636c69656e742d4dull;
   static constexpr std::uint64_t kPointSeed = 0x636c69656e742d70ull;
+  static constexpr std::uint64_t kDigestSeed2D = 0x636c69656e742d32ull;
+
+  struct Plan2D;
 
   struct Structure {
     std::uint64_t id = 0;
@@ -389,7 +423,27 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
     // name, so the contract is enforced by this comment and the debug
     // lock-order checker's coverage of mu_ itself.
     std::vector<std::uint64_t> reg_gen;
+    // Replica placement hint for 2D panels (StructureSpec::replicate).
+    int replicas = 1;
+    // The structure's 2D plan, built lazily by the first submit that goes 2D
+    // and patched in lockstep with updates (mu_). Panel structures live only
+    // here — never in structures_, so user ids cannot collide with them.
+    std::shared_ptr<Plan2D> plan2d;
   };
+
+  // A structure's column decomposition: C panel structures (B and mask
+  // column slices registered on shards like any other structure) plus the
+  // bounds that cut them. Row panels are per-submit (A varies); column
+  // panels are per-structure, which is what makes them registrable.
+  struct Plan2D {
+    std::uint64_t version = 0;  // the structure version the panels mirror
+    int requested_cols = 0;     // the panel count this plan was built for
+    std::shared_ptr<const Mat> built_m;  // parent mask the slices came from
+    std::vector<std::int64_t> col_start;
+    std::vector<std::shared_ptr<Structure>> panels;
+  };
+
+  struct Gather2D;
 
   struct Request {
     std::shared_ptr<Structure> structure;
@@ -402,8 +456,39 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
     std::vector<char> excluded;  // shards that answered kOverloaded (mu_)
     bool overloaded = false;     // any overload reroute happened (mu_)
     Completion done;
+    // --- 2D panel task state (unset on ordinary requests) ---
+    std::shared_ptr<Gather2D> gather;  // non-null marks a panel task
+    std::size_t slot = 0;              // its cell in the gather grid
+    bool mask_rows = false;            // wire v4 kSubMaskRows window
+    std::uint64_t mask_r0 = 0, mask_r1 = 0;
+    // Replica set to place on (EWMA/load-scored); the ring walk takes over
+    // when every replica is down or excluded, so failover never strands a
+    // panel task.
+    std::vector<int> candidates;
   };
   using RequestPtr = std::shared_ptr<Request>;
+
+  // Client-side rendezvous of one 2D product's panel tasks. Slots are filled
+  // from reader threads without a lock: each panel task settles exactly once
+  // (the same exactly-once lifecycle ordinary requests have), writes only
+  // its own slot, and the acq_rel decrement chain on `remaining` publishes
+  // every slot (and any failure claim) to whichever thread decrements last
+  // and runs the merge.
+  struct Gather2D {
+    RequestPtr parent;
+    std::vector<std::int64_t> row_start;
+    IT ncols = 0;
+    struct PanelSlot {
+      std::vector<std::uint8_t> payload;  // owns the bytes the view aliases
+      service::CSRView<IT, VTC> view;
+    };
+    std::vector<PanelSlot> slots;
+    std::atomic<int> remaining{0};
+    // 0 = clean, 1 = failure claimed; the claimant alone writes the fields.
+    std::atomic<int> fail_state{0};
+    RequestStatus fail_status = RequestStatus::kOk;
+    std::string fail_message;
+  };
 
   struct SendItem {
     enum class Kind { kRegister, kSubmit, kUnregister, kUpdate };
@@ -504,7 +589,28 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
         for (std::size_t i = 0; i < skip.size(); ++i) {
           skip[i] = static_cast<char>(skip[i] | req->excluded[i]);
         }
-        const int shard = ring_.pick(req->point, skip);
+        int shard = -1;
+        if (!req->candidates.empty()) {
+          // 2D panel task: prefer the panel's replica set, scored by the
+          // shard-reported execute-time EWMA scaled by queue depth, so a
+          // slow or loaded replica sheds panel work to its peers.
+          double best = 0.0;
+          for (const int cand : req->candidates) {
+            const auto ci = static_cast<std::size_t>(cand);
+            if (skip[ci]) continue;
+            const double e = ewma_nanos_[ci] > 0.0 ? ewma_nanos_[ci] : 1.0;
+            const double score =
+                e * (1.0 + static_cast<double>(conns_[ci]->inflight.size()));
+            if (shard < 0 || score < best) {
+              best = score;
+              shard = cand;
+            }
+          }
+        }
+        // Replica set exhausted (or an ordinary request): walk the ring. A
+        // panel spilling off its replicas re-registers lazily wherever it
+        // lands, so failover loses nothing.
+        if (shard < 0) shard = ring_.pick(req->point, skip);
         if (shard < 0) {
           err.status = req->overloaded ? RequestStatus::kOverloaded
                                        : RequestStatus::kShardDown;
@@ -543,7 +649,7 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
         return;
       }
     }
-    finish(req, std::move(err));
+    settle(req, std::move(err));
   }
 
   // Dials and starts the connection's thread pair if it is not running.
@@ -685,8 +791,9 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
     if (req.priority == Priority::kInteractive) {
       flags |= service::kSubInteractive;
     }
+    if (req.mask_rows) flags |= service::kSubMaskRows;
     service::encode_submit_parts(g, s.id, req.version, flags, inline_a,
-                                 inline_m, req.opts);
+                                 inline_m, req.opts, req.mask_r0, req.mask_r1);
   }
 
   void reader_loop(std::size_t shard, std::uint64_t gen, service::Stream& s) {
@@ -695,9 +802,9 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
     try {
       while (recv_frame(s, header, payload)) {
         if (header.type != service::MessageType::kResponse) break;
-        // Decode before consuming the in-flight entry, so a garbled payload
-        // fails over the request instead of losing it.
-        auto resp = service::decode_response<IT, VTC>(payload);
+        // Peek the matched request first — without consuming it — to pick
+        // the decode path; decoding happens before the erase so a garbled
+        // payload fails over the request instead of losing it.
         RequestPtr req;
         {
           MutexLock lock(&mu_);
@@ -706,6 +813,27 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
           const auto it = c.inflight.find(header.request_id);
           if (it == c.inflight.end()) break;  // protocol violation
           req = it->second;
+        }
+        const bool is_panel = req->gather != nullptr;
+        service::WireResponse<IT, VTC> resp;
+        service::WireResponseView<IT, VTC> view;
+        if (is_panel) {
+          // Zero-copy receive: the panel result stays spans over the payload
+          // buffer, which moves wholesale into the gather slot on kOk — the
+          // merge reads it in place, no per-panel matrix materialization.
+          view = service::decode_response_view<IT, VTC>(payload);
+          resp.status = view.status;
+          resp.exec_nanos = view.exec_nanos;
+          resp.message = view.message;
+        } else {
+          resp = service::decode_response<IT, VTC>(payload);
+        }
+        {
+          MutexLock lock(&mu_);
+          Conn& c = *conns_[shard];
+          if (c.gen != gen) return;
+          const auto it = c.inflight.find(header.request_id);
+          if (it == c.inflight.end()) break;  // protocol violation
           c.inflight.erase(it);
         }
         switch (resp.status) {
@@ -713,10 +841,19 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
             {
               MutexLock lock(&mu_);
               ++routed_[shard];
+              service::record_ewma_locked(ewma_nanos_[shard],
+                                          resp.exec_nanos);
             }
-            Result r;
-            r.matrix = std::move(resp.result);
-            finish(req, std::move(r));
+            if (is_panel) {
+              auto& slot = req->gather->slots[req->slot];
+              slot.payload = std::move(payload);  // the view aliases it
+              slot.view = view.result;
+              panel_done(req->gather);
+            } else {
+              Result r;
+              r.matrix = std::move(resp.result);
+              finish(req, std::move(r));
+            }
             break;
           }
           case service::WireStatus::kOverloaded: {
@@ -735,24 +872,26 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
             Result r;
             r.status = RequestStatus::kBadRequest;
             r.message = std::move(resp.message);
-            finish(req, std::move(r));
+            settle(req, std::move(r));
             break;
           }
           case service::WireStatus::kInternalError: {
             Result r;
             r.status = RequestStatus::kInternalError;
             r.message = std::move(resp.message);
-            finish(req, std::move(r));
+            settle(req, std::move(r));
             break;
           }
           case service::WireStatus::kStaleStructure: {
             // Every shard would give the same answer (the update fanned out
             // ahead of us): deliver, don't reroute. The caller retries with
-            // the handle update() returned.
+            // the handle update() returned. For a panel task this fails the
+            // whole gather the same way — the parent resolves
+            // kStaleStructure once the remaining panels settle.
             Result r;
             r.status = RequestStatus::kStaleStructure;
             r.message = std::move(resp.message);
-            finish(req, std::move(r));
+            settle(req, std::move(r));
             break;
           }
         }
@@ -803,14 +942,18 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
         Result err;
         err.status = RequestStatus::kShardDown;
         err.message = "client shutting down";
-        finish(r, std::move(err));
+        settle(r, std::move(err));
       } else {
+        // Panel tasks re-dispatch like any orphan — their replica candidates
+        // skip the shard just marked down, so a mid-scatter shard kill moves
+        // the lost panels to surviving replicas with no loss or duplication.
         dispatch(r);
       }
     }
   }
 
   // Delivers the outcome (outside any lock) and settles the drain gauge.
+  // Parents and ordinary requests only — panel tasks go through settle().
   void finish(const RequestPtr& req, Result r) {
     req->done(std::move(r));
     {
@@ -819,6 +962,281 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
       --inflight_total_;
     }
     drain_cv_.notify_all();
+  }
+
+  // The one terminal-outcome entry point that works for both kinds of
+  // request: ordinary requests (and 2D parents) deliver their completion; a
+  // panel task folds the outcome into its gather instead — only the parent
+  // counts toward completed_/inflight_total_, so drain() waits for whole
+  // products, not panel fragments.
+  void settle(const RequestPtr& req, Result r) {
+    if (req->gather == nullptr) {
+      finish(req, std::move(r));
+      return;
+    }
+    auto& g = *req->gather;
+    int expect = 0;
+    if (g.fail_state.compare_exchange_strong(expect, 1,
+                                             std::memory_order_acq_rel)) {
+      // First failure wins; its writes are published to the merging thread
+      // by the acq_rel decrement chain on `remaining`.
+      g.fail_status = r.status;
+      g.fail_message = std::move(r.message);
+    }
+    panel_done(req->gather);
+  }
+
+  // One panel task has settled (result stored or failure recorded); the last
+  // one to do so completes the parent.
+  void panel_done(const std::shared_ptr<Gather2D>& g) {
+    if (g->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      gather_complete(g);
+    }
+  }
+
+  // Every panel has settled: merge the grid (reading the zero-copy views in
+  // place) or surface the first failure. Runs on whichever thread settled
+  // last, outside any lock — merge is the only client-side compute of the
+  // 2D path.
+  void gather_complete(const std::shared_ptr<Gather2D>& g) {
+    Result r;
+    if (g->fail_state.load(std::memory_order_acquire) != 0) {
+      r.status = g->fail_status;
+      r.message = g->fail_message;
+    } else {
+      std::vector<service::CSRView<IT, VTC>> views;
+      views.reserve(g->slots.size());
+      for (const auto& slot : g->slots) views.push_back(slot.view);
+      try {
+        r.matrix = service::merge_panel_grid<IT, VTC>(
+            std::span<const service::CSRView<IT, VTC>>(views),
+            std::span<const std::int64_t>(g->row_start), g->ncols);
+      } catch (const std::exception& e) {
+        r.status = RequestStatus::kInternalError;
+        r.message = std::string("2D merge failed: ") + e.what();
+      }
+    }
+    finish(g->parent, std::move(r));
+  }
+
+  // Decides whether this submit runs as a 2D panel grid and, if so,
+  // scatters it; false falls through to the ordinary single-shard path.
+  // Eligibility: an eligible fleet (>= 2 shards), the registered mask in
+  // use (panel masks are column slices of it; a per-request mask override
+  // would have to be sliced and shipped per panel, which defeats the
+  // registration), a version-current structure, and — under kAuto — an
+  // estimated multiply count clearing the threshold (one O(nnz(A)) sweep,
+  // the same cost row planning pays anyway).
+  bool try_submit_2d(const RequestPtr& req) {
+    const MaskedOptions& o = req->opts;
+    if (o.dist == Dist2D::kNever || endpoints_.size() < 2) return false;
+    if (req->mask != nullptr) return false;
+    Structure& s = *req->structure;
+    std::shared_ptr<const Mat> b;
+    std::shared_ptr<const Mat> m;
+    std::shared_ptr<Plan2D> plan;
+    std::uint64_t version;
+    int replicas;
+    {
+      MutexLock lock(&mu_);
+      b = s.b;
+      m = s.m;
+      version = s.version;
+      plan = s.plan2d;
+      replicas = s.replicas;
+    }
+    if (m == nullptr) return false;
+    // Stale or invalid submits take the ordinary path so the shard's answer
+    // (kStaleStructure / kBadRequest) keeps its exact single-shard wording.
+    if (req->version != version) return false;
+    if (req->a->ncols() != b->nrows()) return false;
+    if (o.dist == Dist2D::kAuto) {
+      const std::uint64_t threshold = o.dist_flop_threshold != 0
+                                          ? o.dist_flop_threshold
+                                          : cfg_.dist_flop_threshold;
+      if (total_flops(*req->a, *b) < threshold) return false;
+    }
+    const int want_c =
+        o.dist_col_panels > 0
+            ? o.dist_col_panels
+            : static_cast<int>(std::min<std::size_t>(endpoints_.size(), 4));
+    const int want_r =
+        o.dist_row_panels > 0
+            ? o.dist_row_panels
+            : std::max(1, static_cast<int>(endpoints_.size()) / want_c);
+    if (plan == nullptr || plan->version != version ||
+        plan->requested_cols != want_c) {
+      // Build outside the lock (slicing is the expensive part), install
+      // under it; a racing submit's plan wins if it got there first.
+      auto fresh = build_plan2d(b, m, version, s.b_digest, s.m_digest,
+                                replicas, want_c);
+      MutexLock lock(&mu_);
+      if (s.version != version) return false;  // updated underneath us
+      if (s.plan2d != nullptr && s.plan2d->version == version &&
+          s.plan2d->requested_cols == want_c) {
+        plan = s.plan2d;
+      } else {
+        if (s.plan2d != nullptr) {
+          for (const auto& p : s.plan2d->panels) {
+            enqueue_unregister_locked(*p);
+          }
+        }
+        s.plan2d = fresh;
+        plan = std::move(fresh);
+      }
+    }
+    const std::vector<std::int64_t> row_start =
+        service::plan_row_panels(*req->a, *b, want_r);
+    const std::size_t nr = row_start.size() - 1;
+    const std::size_t nc = plan->panels.size();
+    if (nr * nc < 2) return false;  // degenerate grid: not worth scattering
+
+    auto g = std::make_shared<Gather2D>();
+    g->parent = req;
+    g->row_start = row_start;
+    g->ncols = b->ncols();
+    g->slots.resize(nr * nc);
+    g->remaining.store(static_cast<int>(nr * nc),
+                       std::memory_order_relaxed);
+    {
+      MutexLock lock(&mu_);
+      ++dist2d_products_;
+      dist2d_panels_ += nr * nc;
+    }
+    for (std::size_t r = 0; r < nr; ++r) {
+      // One row slice of A per row panel, shared across its column panels.
+      auto a_panel = std::make_shared<const Mat>(
+          service::slice_rows(*req->a, row_start[r], row_start[r + 1]));
+      for (std::size_t j = 0; j < nc; ++j) {
+        const auto& panel = plan->panels[j];
+        auto child = std::make_shared<Request>();
+        child->structure = panel;
+        child->version = version;
+        child->a = a_panel;
+        child->opts = o;
+        child->priority = req->priority;
+        child->excluded.assign(endpoints_.size(), 0);
+        child->mask_rows = true;
+        child->mask_r0 = static_cast<std::uint64_t>(row_start[r]);
+        child->mask_r1 = static_cast<std::uint64_t>(row_start[r + 1]);
+        // Affinity point: same panel + same row window -> same shard, so a
+        // repeated 2D product hits warm plans panel-for-panel.
+        const std::uint64_t hdr[] = {panel->b_digest, child->mask_r0,
+                                     child->mask_r1,
+                                     static_cast<std::uint64_t>(o.algo)};
+        child->point = plan_hash_bytes(kPointSeed, hdr, sizeof hdr);
+        child->candidates =
+            service::replica_shards(ring_, panel->b_digest, panel->replicas);
+        child->gather = g;
+        child->slot = r * nc + j;
+        dispatch(child);
+      }
+    }
+    return true;
+  }
+
+  // Cuts B (and the mask) into column panels and wraps each pair as a panel
+  // Structure with its own synthetic digest, ready to register on shards
+  // like any other structure. Self-masked parents keep the alias: the panel
+  // mask IS the panel B pointer, so registration ships one matrix.
+  std::shared_ptr<Plan2D> build_plan2d(const std::shared_ptr<const Mat>& b,
+                                       const std::shared_ptr<const Mat>& m,
+                                       std::uint64_t version,
+                                       std::uint64_t b_digest,
+                                       std::uint64_t m_digest, int replicas,
+                                       int ncolpanels) {
+    auto plan = std::make_shared<Plan2D>();
+    plan->version = version;
+    plan->requested_cols = ncolpanels;
+    plan->built_m = m;
+    plan->col_start = service::plan_col_panels(*b, ncolpanels);
+    const std::size_t nc = plan->col_start.size() - 1;
+    plan->panels.reserve(nc);
+    for (std::size_t j = 0; j < nc; ++j) {
+      const std::int64_t lo = plan->col_start[j];
+      const std::int64_t hi = plan->col_start[j + 1];
+      auto p = std::make_shared<Structure>();
+      p->id = next_structure_.fetch_add(1, std::memory_order_relaxed);
+      p->b = std::make_shared<const Mat>(service::slice_cols(*b, lo, hi));
+      p->m = m == b ? p->b
+                    : std::make_shared<const Mat>(
+                          service::slice_cols(*m, lo, hi));
+      p->version = version;
+      const std::uint64_t salt[] = {b_digest, static_cast<std::uint64_t>(j),
+                                    static_cast<std::uint64_t>(lo),
+                                    static_cast<std::uint64_t>(hi)};
+      p->b_digest = plan_hash_bytes(kDigestSeed2D, salt, sizeof salt);
+      p->m_digest =
+          m == b ? p->b_digest : plan_hash_bytes(p->b_digest, &m_digest,
+                                                 sizeof m_digest);
+      p->reg_gen.assign(endpoints_.size(), 0);
+      p->replicas = replicas;
+      plan->panels.push_back(std::move(p));
+    }
+    return plan;
+  }
+
+  // Keeps a 2D plan's panels coherent with a parent update: each panel has
+  // the COLUMN SLICE of the delta applied locally — equivalent to
+  // re-slicing the new B, at delta cost instead of O(nnz) — and fanned out
+  // to every connection that holds the panel. Panels the delta never
+  // touches still get their (empty) slice so every panel's version advances
+  // in lockstep with the parent; a submit racing this update gets
+  // kStaleStructure from whichever panel shard sees it late, never a
+  // mixed-version merge. A mask replaced wholesale (neither self-masked nor
+  // carried over) cannot be described by the delta — the plan is dropped
+  // and the next 2D submit rebuilds from the new pair.
+  void update_panels_locked(
+      Structure& s, const std::shared_ptr<const EdgeDelta<IT, VT>>& delta,
+      std::uint64_t version) MSX_REQUIRES(mu_) {
+    if (s.plan2d == nullptr) return;
+    Plan2D& plan = *s.plan2d;
+    const bool self_masked = s.m == s.b;
+    if (!self_masked && s.m != plan.built_m) {
+      for (const auto& p : plan.panels) enqueue_unregister_locked(*p);
+      s.plan2d = nullptr;
+      return;
+    }
+    for (std::size_t j = 0; j < plan.panels.size(); ++j) {
+      Structure& p = *plan.panels[j];
+      auto sliced = std::make_shared<const EdgeDelta<IT, VT>>(
+          service::slice_delta_cols(*delta, plan.col_start[j],
+                                    plan.col_start[j + 1]));
+      const bool panel_self = p.m == p.b;
+      auto nb = std::make_shared<const Mat>(apply_edge_delta(*p.b, *sliced));
+      p.b = nb;
+      if (panel_self) p.m = std::move(nb);
+      p.version = version;
+      for (std::size_t i = 0; i < conns_.size(); ++i) {
+        Conn& c = *conns_[i];
+        if (c.running && p.reg_gen[i] == c.gen) {
+          SendItem item;
+          item.kind = SendItem::Kind::kUpdate;
+          item.structure_id = p.id;
+          item.version = version;
+          item.delta = sliced;
+          c.sendq_hi.push_back(std::move(item));
+          c.cv.notify_all();
+        }
+      }
+    }
+    plan.version = version;
+    if (self_masked) plan.built_m = s.m;
+  }
+
+  // Queues an unregister on every connection that holds this structure's
+  // registration (release, panel teardown, plan invalidation).
+  void enqueue_unregister_locked(const Structure& st) MSX_REQUIRES(mu_) {
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+      Conn& c = *conns_[i];
+      if (c.running && st.reg_gen[i] == c.gen) {
+        SendItem item;
+        item.kind = SendItem::Kind::kUnregister;
+        item.structure_id = st.id;
+        c.sendq_hi.push_back(std::move(item));
+        c.cv.notify_all();
+      }
+    }
   }
 
   // Sleep an interval under the lock, probe outside it. (A spurious wakeup
@@ -849,6 +1267,9 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
   std::vector<Retired> retired_
       MSX_GUARDED_BY(mu_);  // prior conn threads awaiting join
   std::vector<std::uint64_t> routed_ MSX_GUARDED_BY(mu_);
+  std::vector<double> ewma_nanos_ MSX_GUARDED_BY(mu_);
+  std::uint64_t dist2d_products_ MSX_GUARDED_BY(mu_) = 0;
+  std::uint64_t dist2d_panels_ MSX_GUARDED_BY(mu_) = 0;
   std::uint64_t submitted_ MSX_GUARDED_BY(mu_) = 0;
   std::uint64_t completed_ MSX_GUARDED_BY(mu_) = 0;
   std::uint64_t inflight_total_ MSX_GUARDED_BY(mu_) = 0;

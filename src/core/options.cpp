@@ -29,6 +29,10 @@ void validate_masked_options(const MaskedOptions& opts) {
     throw std::invalid_argument(
         "MaskedOptions: chunk must be >= 0 (0 = library default)");
   }
+  if (opts.dist_row_panels < 0 || opts.dist_col_panels < 0) {
+    throw std::invalid_argument(
+        "MaskedOptions: panel counts must be >= 0 (0 = automatic)");
+  }
 }
 
 const char* to_string(MaskedAlgo a) {

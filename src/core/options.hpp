@@ -59,6 +59,16 @@ enum class CostModel {
   kMaskNnz,  // force nnz(mask row)
 };
 
+// Whether a sharded submit may be split into a 2D panel grid and scattered
+// across the fleet (client/sharded_backend.hpp). Client-side only: these
+// knobs never cross the wire and are not part of the plan fingerprint — a
+// panel task reaching a shard is an ordinary masked product.
+enum class Dist2D {
+  kAuto,   // split when the estimated flops exceed the backend threshold
+  kNever,  // always single-shard (and what panel tasks themselves carry)
+  kForce,  // split whenever a 2D plan is possible (tests, experiments)
+};
+
 struct MaskedOptions {
   MaskedAlgo algo = MaskedAlgo::kAuto;
   PhaseMode phases = PhaseMode::kOnePhase;
@@ -82,6 +92,16 @@ struct MaskedOptions {
   // Inner dot products: galloping (exponential-probe binary search) instead
   // of the two-pointer merge — pays off when one operand is much longer.
   bool inner_gallop = false;
+  // --- distributed 2D decomposition (client-side; not serialized, not part
+  // of the plan fingerprint — see Dist2D above) ------------------------------
+  Dist2D dist = Dist2D::kAuto;
+  // kAuto splits once estimated product flops reach this; 0 = the backend's
+  // configured threshold (ShardedBackendConfig::dist_flop_threshold).
+  std::uint64_t dist_flop_threshold = 0;
+  // Panel grid shape; 0 = automatic (col panels ≈ live shards capped at 4,
+  // row panels from the flop-balanced row split). Must be >= 0.
+  int dist_row_panels = 0;
+  int dist_col_panels = 0;
 };
 
 // Rejects contradictory option combinations at the API boundary (throws

@@ -242,7 +242,12 @@ class MaskedPlan {
   // the delta applies to both; a mask aliasing A or B tracks automatically,
   // while an independently-owned mask is never modified. Exclusive like
   // rebind(): must not race with execute().
-  DeltaStats apply_delta(const EdgeDelta<IT, VT>& delta) {
+  // `touched_rows`, when given, must equal delta_touched_rows(delta) — a
+  // caller fanning one delta out to many plan instances (or panel shards)
+  // computes it once and passes it here instead of re-deriving it per call
+  // (PlanLineage::touched is the usual carrier).
+  DeltaStats apply_delta(const EdgeDelta<IT, VT>& delta,
+                         const std::vector<IT>* touched_rows = nullptr) {
     WallTimer timer;
     DeltaStats st;
     st.blocks_total = partition_.partition.blocks();
@@ -256,7 +261,10 @@ class MaskedPlan {
     // (a) Patch B. The old matrix stays intact until the swap, so a failed
     // validation leaves the plan untouched.
     auto patched = apply_edge_delta(ops_->b(), delta);
-    const std::vector<IT> touched_b = delta_touched_rows(delta);
+    std::vector<IT> touched_local;
+    if (touched_rows == nullptr) touched_local = delta_touched_rows(delta);
+    const std::vector<IT>& touched_b =
+        touched_rows != nullptr ? *touched_rows : touched_local;
     st.rows_touched = touched_b.size();
     ops_->mutable_b() = std::move(patched);
 

@@ -126,6 +126,11 @@ template <class IT, class VT>
 struct PlanLineage {
   std::shared_ptr<const CSRMatrix<IT, VT>> old_b;
   std::shared_ptr<const EdgeDelta<IT, VT>> delta;
+  // delta_touched_rows(*delta), computed ONCE by whoever built the lineage
+  // and shared by every consumer — a delta that fans out to several plan
+  // instances (or panel shards) must not re-derive it per apply_delta call.
+  // Optional: a null pointer just means each consumer computes its own.
+  std::shared_ptr<const std::vector<IT>> touched;
 };
 
 // Builds the structure fingerprint for (a, b, m, opts). Aliasing is part of
@@ -417,7 +422,7 @@ class PlanCache {
     if (rec == nullptr) return Lease();
 
     try {
-      rec->plan->apply_delta(*lineage.delta);
+      rec->plan->apply_delta(*lineage.delta, lineage.touched.get());
     } catch (...) {
       // Destroy the instance and let the caller build cold.
       return Lease();

@@ -1,0 +1,31 @@
+#include "service/distributed.hpp"
+
+namespace msx::service {
+
+std::vector<std::int64_t> panel_bounds_from_cost(
+    std::span<const std::uint64_t> prefix, int npanels) {
+  RowPartition part = partition_from_cost_prefix(prefix, npanels);
+  if (part.block_start.size() < 2) {
+    // Empty dimension: one degenerate panel keeps grid arithmetic uniform.
+    return {0, static_cast<std::int64_t>(prefix.size()) - 1};
+  }
+  return std::move(part.block_start);
+}
+
+std::vector<int> replica_shards(const ConsistentHashRing& ring,
+                                std::uint64_t point, int replicas) {
+  std::vector<char> skip(ring.nshards(), 0);
+  std::vector<int> out;
+  const auto want = std::min<std::size_t>(
+      replicas > 0 ? static_cast<std::size_t>(replicas) : 1, ring.nshards());
+  out.reserve(want);
+  while (out.size() < want) {
+    const int s = ring.pick(point, skip);
+    if (s < 0) break;  // fleet exhausted (want was capped, but be safe)
+    out.push_back(s);
+    skip[static_cast<std::size_t>(s)] = 1;
+  }
+  return out;
+}
+
+}  // namespace msx::service

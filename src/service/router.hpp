@@ -63,6 +63,10 @@ struct RouterConfig {
 
 struct RouterStats {
   std::vector<std::uint64_t> routed;   // completed requests per shard
+  // Per-shard EWMA of the shard-reported execute time (wire v4 exec_nanos),
+  // 0.0 until the first kOk answer — the cost-model feedback signal the 2D
+  // scatter path weights panel placement by.
+  std::vector<double> ewma_nanos;
   std::uint64_t failovers = 0;         // transport/wire failures rerouted
   std::uint64_t overload_reroutes = 0; // kOverloaded answers rerouted
   std::uint64_t down_marks = 0;        // shards auto-marked down
@@ -95,6 +99,17 @@ class ConsistentHashRing {
 // Folds the 128-bit fingerprint into the ring's 64-bit point space.
 std::uint64_t ring_point(const PlanKey& key);
 
+// Folds one shard-reported execute time into a per-shard EWMA slot.
+// alpha = 1/4: enough history to damp per-request noise, light enough to
+// track a shard warming its plan cache (or losing it after a restart).
+// Shards that never reported (nanos == 0, a pre-v4 peer would not get here)
+// leave the slot at 0.0, which consumers read as "no estimate yet".
+inline void record_ewma_locked(double& slot, std::uint64_t nanos) {
+  if (nanos == 0) return;
+  slot = slot == 0.0 ? static_cast<double>(nanos)
+                     : 0.75 * slot + 0.25 * static_cast<double>(nanos);
+}
+
 template <class SR, class IT, class VT>
 class ShardRouter {
  public:
@@ -110,6 +125,7 @@ class ShardRouter {
         pools_(endpoints_.size()) {
     check_arg(!endpoints_.empty(), "ShardRouter: no shard endpoints");
     routed_.assign(endpoints_.size(), 0);
+    ewma_nanos_.assign(endpoints_.size(), 0.0);
     if (cfg_.probe_interval.count() > 0) {
       prober_ = std::thread([this] { probe_loop(); });
     }
@@ -176,6 +192,7 @@ class ShardRouter {
         case WireStatus::kOk: {
           MutexLock lock(&stats_mu_);
           ++routed_[i];
+          record_ewma_locked(ewma_nanos_[i], resp.exec_nanos);
           return std::move(resp.result);
         }
         case WireStatus::kOverloaded:
@@ -244,6 +261,7 @@ class ShardRouter {
     MutexLock lock(&stats_mu_);
     RouterStats out;
     out.routed = routed_;
+    out.ewma_nanos = ewma_nanos_;
     out.failovers = failovers_;
     out.overload_reroutes = overload_reroutes_;
     out.down_marks = down_marks_;
@@ -379,6 +397,7 @@ class ShardRouter {
   mutable Mutex stats_mu_{LockRank::kRouter, "ShardRouter::stats_mu_"};
   std::vector<char> down_ MSX_GUARDED_BY(stats_mu_);
   std::vector<std::uint64_t> routed_ MSX_GUARDED_BY(stats_mu_);
+  std::vector<double> ewma_nanos_ MSX_GUARDED_BY(stats_mu_);
   std::uint64_t failovers_ MSX_GUARDED_BY(stats_mu_) = 0;
   std::uint64_t overload_reroutes_ MSX_GUARDED_BY(stats_mu_) = 0;
   std::uint64_t down_marks_ MSX_GUARDED_BY(stats_mu_) = 0;

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <deque>
 #include <functional>
 #include <future>
@@ -31,6 +32,7 @@
 
 #include "common/thread_annotations.hpp"
 #include "runtime/batch.hpp"
+#include "service/distributed.hpp"  // slice_rows (mask row windows)
 #include "service/transport.hpp"
 #include "service/wire.hpp"
 
@@ -229,6 +231,12 @@ class ServiceShard {
     MessageType type = MessageType::kResponse;
     std::optional<std::future<output_matrix>> fut;
     std::vector<std::uint8_t> immediate;
+    // Frame receipt time: the sender stamps receipt→result into the wire v4
+    // exec_nanos response field, the cost-model feedback clients fold into
+    // their per-shard EWMA. Includes queue wait on purpose — a loaded shard
+    // should look expensive to the 2D placer.
+    std::chrono::steady_clock::time_point t0 =
+        std::chrono::steady_clock::now();
   };
 
   // Response FIFO between one connection's reader and its sender thread —
@@ -279,6 +287,25 @@ class ServiceShard {
     // Set by the most recent update: lets the executor's plan cache migrate
     // the superseded structure's warm plans forward via apply_delta.
     std::shared_ptr<const PlanLineage<IT, VT>> lineage;
+    // Row windows of the registered mask (wire v4 kSubMaskRows), keyed
+    // (r0 << 32) | r1. A 2D client resubmits the same row panels against a
+    // registered panel structure, so each window is sliced once per version
+    // (cleared on update). Reader-thread-only like the registry itself.
+    std::unordered_map<std::uint64_t, std::shared_ptr<const Mat>> mask_slices;
+
+    std::shared_ptr<const Mat> mask_slice(std::uint64_t r0, std::uint64_t r1) {
+      const bool cacheable = r1 < (1ull << 32);
+      const std::uint64_t key = (r0 << 32) | r1;
+      if (cacheable) {
+        const auto hit = mask_slices.find(key);
+        if (hit != mask_slices.end()) return hit->second;
+      }
+      auto s = std::make_shared<const Mat>(
+          slice_rows(*m, static_cast<std::int64_t>(r0),
+                     static_cast<std::int64_t>(r1)));
+      if (cacheable) mask_slices.emplace(key, s);
+      return s;
+    }
   };
 
   // Decodes and submits one product request; on any validation/admission
@@ -358,12 +385,17 @@ class ServiceShard {
     }
     auto lineage = std::make_shared<PlanLineage<IT, VT>>();
     lineage->old_b = old_b;
+    // Touched rows computed once per delta; every warm plan this lineage
+    // migrates (there can be many instances per key) reuses it.
+    lineage->touched = std::make_shared<const std::vector<IT>>(
+        delta_touched_rows(upd.delta));
     lineage->delta =
         std::make_shared<const EdgeDelta<IT, VT>>(std::move(upd.delta));
     if (reg.m == old_b) reg.m = new_b;  // a self-masked structure tracks B
     reg.b = std::move(new_b);
     reg.version = upd.new_version;
     reg.lineage = std::move(lineage);
+    reg.mask_slices.clear();  // windows of the superseded mask
     MutexLock lock(&stats_mu_);
     ++wire_stats_.updates;
   }
@@ -387,7 +419,7 @@ class ServiceShard {
             "unknown structure id " + std::to_string(sub.structure_id));
         return;
       }
-      const Registered& reg = it->second;
+      Registered& reg = it->second;
       if (sub.version != reg.version) {
         // Typed and retryable: the client raced an update (or kept an old
         // handle). Never run against the wrong matrix generation.
@@ -414,7 +446,22 @@ class ServiceShard {
               "structure registered without a mask");
           return;
         }
-        m = reg.m;
+        if (sub.mask_rows) {
+          // 2D panel task: the client's A is one row panel; the matching
+          // rows of the registered (column-sliced) mask complete the 2D
+          // slice server-side, so the full mask never re-crosses the wire.
+          if (sub.mask_r1 > static_cast<std::uint64_t>(reg.m->nrows())) {
+            p.immediate = encode_error_response(
+                WireStatus::kBadRequest,
+                "mask row window [" + std::to_string(sub.mask_r0) + ", " +
+                    std::to_string(sub.mask_r1) + ") exceeds the " +
+                    std::to_string(reg.m->nrows()) + "-row registered mask");
+            return;
+          }
+          m = reg.mask_slice(sub.mask_r0, sub.mask_r1);
+        } else {
+          m = reg.m;
+        }
       } else {
         m = std::make_shared<const Mat>(std::move(sub.m_storage));
       }
@@ -444,6 +491,7 @@ class ServiceShard {
       // payload-assembly copy); error payloads are small and pre-encoded.
       std::optional<output_matrix> result;
       std::vector<std::uint8_t> payload;
+      std::uint64_t nanos = 0;
       if (p.fut.has_value()) {
         try {
           result = p.fut->get();
@@ -455,13 +503,17 @@ class ServiceShard {
           payload =
               encode_error_response(WireStatus::kInternalError, e.what());
         }
+        nanos = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - p.t0)
+                .count());
       } else {
         payload = std::move(p.immediate);
       }
       try {
         if (result.has_value()) {
           GatherPayload g;
-          encode_response_parts(g, *result);
+          encode_response_parts(g, *result, nanos);
           count_out_ok(p.type, g.total_bytes());
           send_frame_parts(s, p.type, p.rid, g);
         } else {

@@ -127,10 +127,12 @@ MaskedOptions read_options(WireReader& r) {
 }
 
 std::vector<std::uint8_t> encode_error_response(WireStatus status,
-                                                const std::string& message) {
+                                                const std::string& message,
+                                                std::uint64_t exec_nanos) {
   MSX_ASSERT(status != WireStatus::kOk);
   WireWriter w;
   w.put_u32(static_cast<std::uint32_t>(status));
+  w.put_u64(exec_nanos);
   w.put_string(message);
   return w.take();
 }

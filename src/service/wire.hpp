@@ -81,10 +81,15 @@ inline constexpr std::uint32_t kWireMagic = 0x4D535857u;  // "WXSM" on the wire
 // v2 added the session message types (kRegisterRequest/kSubmitRequest/
 // kUnregisterRequest) behind the same frame layout. v3 adds kUpdateRequest
 // plus a version field on register/submit payloads (streaming structures)
-// and the kStaleStructure status. The 32-byte header layout has never
-// changed, so a mismatched peer is parsed far enough to reject it loudly on
-// its own request id (WireVersionError) instead of hanging.
-inline constexpr std::uint16_t kWireVersion = 3;
+// and the kStaleStructure status. v4 (distributed 2D products) aligns every
+// array's elements to an 8-byte payload offset so receivers can hand out
+// spans over the payload instead of copying arrays out, carries the shard's
+// execute time on every response (load-aware routing), and adds the
+// kSubMaskRows row window so a panel task can run against a row slice of the
+// registered mask. The 32-byte header layout has never changed, so a
+// mismatched peer is parsed far enough to reject it loudly on its own
+// request id (WireVersionError) instead of hanging.
+inline constexpr std::uint16_t kWireVersion = 4;
 inline constexpr std::size_t kFrameHeaderBytes = 32;
 // Upper bound on a single payload; a corrupt length field must not turn into
 // a multi-gigabyte allocation.
@@ -145,6 +150,18 @@ void verify_payload(const FrameHeader& header,
 static_assert(std::endian::native == std::endian::little,
               "wire format is little-endian; add byte-swapping for BE hosts");
 
+// v4: array elements start at an 8-byte offset from the payload start
+// (deterministic zero padding after the length prefix, emitted identically
+// by WireWriter and GatherPayload and skipped by WireReader). Receive
+// payloads land in fresh allocations (>= 16-byte aligned), so an 8-aligned
+// offset makes every element pointer valid for direct reinterpretation —
+// the zero-copy receive path (get_array_view / read_csr_view) depends on it.
+inline constexpr std::size_t kWireArrayAlign = 8;
+
+inline constexpr std::size_t wire_align_pad(std::size_t offset) {
+  return (kWireArrayAlign - offset % kWireArrayAlign) % kWireArrayAlign;
+}
+
 class WireWriter {
  public:
   void put_u8(std::uint8_t v) { put_raw(&v, 1); }
@@ -159,11 +176,14 @@ class WireWriter {
     put_raw(s.data(), s.size());
   }
 
-  // Raw element bytes of a trivially copyable span.
+  // Raw element bytes of a trivially copyable span, elements padded to an
+  // 8-byte payload offset (valid only when this writer builds the payload
+  // from offset zero, which every encoder here does).
   template <class T>
   void put_array(std::span<const T> v) {
     static_assert(std::is_trivially_copyable_v<T>);
     put_u64(static_cast<std::uint64_t>(v.size()));
+    buf_.resize(buf_.size() + wire_align_pad(buf_.size()), 0);
     put_raw(v.data(), v.size_bytes());
   }
 
@@ -202,17 +222,30 @@ class WireReader {
   template <class T>
   std::vector<T> get_array() {
     static_assert(std::is_trivially_copyable_v<T>);
-    const std::uint64_t n = get_u64();
-    if (n > bytes_.size() / sizeof(T)) {
-      throw WireError("wire: array length exceeds payload");
-    }
-    need(n * sizeof(T));
+    const std::uint64_t n = array_header<T>();
     std::vector<T> v(static_cast<std::size_t>(n));
     if (n > 0) {
       std::memcpy(v.data(), bytes_.data() + pos_, v.size() * sizeof(T));
       pos_ += v.size() * sizeof(T);
     }
     return v;
+  }
+
+  // Zero-copy form: a span over the payload bytes themselves (v4 aligns the
+  // elements, so the reinterpretation is valid whenever the payload buffer
+  // is at least 8-byte aligned — a fresh vector allocation always is). The
+  // span aliases the payload; the caller keeps the buffer alive.
+  template <class T>
+  std::span<const T> get_array_view() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::uint64_t n = array_header<T>();
+    const auto* p = bytes_.data() + pos_;
+    if (reinterpret_cast<std::uintptr_t>(p) % alignof(T) != 0) {
+      throw WireError("wire: misaligned array view");
+    }
+    pos_ += static_cast<std::size_t>(n) * sizeof(T);
+    return std::span<const T>(reinterpret_cast<const T*>(p),
+                              static_cast<std::size_t>(n));
   }
 
   bool exhausted() const { return pos_ == bytes_.size(); }
@@ -226,6 +259,20 @@ class WireReader {
     std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
     pos_ += sizeof(T);
     return v;
+  }
+  // Length prefix + alignment skip shared by the copying and view readers;
+  // leaves pos_ at the first element byte with the whole array bounds-checked.
+  template <class T>
+  std::uint64_t array_header() {
+    const std::uint64_t n = get_u64();
+    const std::size_t pad = wire_align_pad(pos_);
+    need(pad);
+    pos_ += pad;
+    if (n > bytes_.size() / sizeof(T)) {
+      throw WireError("wire: array length exceeds payload");
+    }
+    need(static_cast<std::size_t>(n) * sizeof(T));
+    return n;
   }
   void need(std::size_t n) {
     if (remaining() < n) throw WireError("wire: truncated payload");
@@ -265,11 +312,14 @@ class GatherPayload {
   }
 
   // Length-prefixed array, the prefix in metadata and the elements in place —
-  // the wire image is identical to WireWriter::put_array.
+  // the wire image is identical to WireWriter::put_array, including the v4
+  // alignment padding (offset = flushed parts + unflushed metadata).
   template <class T>
   void add_array(std::span<const T> v) {
     static_assert(std::is_trivially_copyable_v<T>);
     put_u64(static_cast<std::uint64_t>(v.size()));
+    const std::size_t pad = wire_align_pad(total_ + meta_.bytes().size());
+    for (std::size_t i = 0; i < pad; ++i) put_u8(0);
     add_span(std::span<const std::uint8_t>(
         reinterpret_cast<const std::uint8_t*>(v.data()), v.size_bytes()));
   }
@@ -381,6 +431,46 @@ void write_csr_parts(GatherPayload& g, const CSRMatrix<IT, VT>& m) {
   g.add_array(m.rowptr());
   g.add_array(m.colidx());
   g.add_array(m.values());
+}
+
+// A CSR result viewed in place over the receive payload (v4 zero-copy): the
+// spans alias the payload buffer, which must outlive them. The row pointer
+// is validated (monotone, consistent with the array lengths) because
+// downstream merging indexes the element spans through it; per-entry column
+// checks are left to the consumer, who walks every entry anyway.
+template <class IT, class VT>
+struct CSRView {
+  IT nrows = 0;
+  IT ncols = 0;
+  std::span<const IT> rowptr;
+  std::span<const IT> colidx;
+  std::span<const VT> values;
+};
+
+template <class IT, class VT>
+CSRView<IT, VT> read_csr_view(WireReader& r) {
+  if (r.get_u8() != sizeof(IT)) throw WireError("wire: index width mismatch");
+  if (r.get_u8() != WireValueCode<VT>::value) {
+    throw WireError("wire: value type mismatch");
+  }
+  CSRView<IT, VT> v;
+  v.nrows = static_cast<IT>(r.get_u64());
+  v.ncols = static_cast<IT>(r.get_u64());
+  v.rowptr = r.get_array_view<IT>();
+  v.colidx = r.get_array_view<IT>();
+  v.values = r.get_array_view<VT>();
+  if (v.rowptr.size() != static_cast<std::size_t>(v.nrows) + 1 ||
+      v.rowptr.front() != IT{0} ||
+      static_cast<std::size_t>(v.rowptr.back()) != v.colidx.size() ||
+      v.colidx.size() != v.values.size()) {
+    throw WireError("wire: inconsistent CSR arrays");
+  }
+  for (std::size_t i = 0; i + 1 < v.rowptr.size(); ++i) {
+    if (v.rowptr[i] > v.rowptr[i + 1]) {
+      throw WireError("wire: CSR rowptr not monotone");
+    }
+  }
+  return v;
 }
 
 // --- options ---------------------------------------------------------------
@@ -511,6 +601,10 @@ inline constexpr std::uint8_t kSubMIsA = 2;         // mask aliases A
 inline constexpr std::uint8_t kSubMIsB = 4;         // mask aliases registered B
 inline constexpr std::uint8_t kSubMRegistered = 8;  // mask = registered M
 inline constexpr std::uint8_t kSubInteractive = 16; // Priority::kInteractive
+// v4 (2D panel tasks): the mask is rows [mask_r0, mask_r1) of the registered
+// M, rebased to row 0 — the row window matching an inlined A row panel.
+// Requires kSubMRegistered; the payload gains two u64s after the flag byte.
+inline constexpr std::uint8_t kSubMaskRows = 32;
 
 template <class IT, class VT>
 struct WireRegister {
@@ -569,6 +663,11 @@ struct WireSubmit {
   bool m_is_a = false;
   bool m_is_b = false;
   bool m_registered = false;
+  // v4: run against rows [mask_r0, mask_r1) of the registered mask, rebased
+  // to row 0 (panel tasks ship only their A row panel inline).
+  bool mask_rows = false;
+  std::uint64_t mask_r0 = 0;
+  std::uint64_t mask_r1 = 0;
   Priority priority = Priority::kBatch;
   MaskedOptions opts;
   CSRMatrix<IT, VT> a_storage;  // valid unless a_is_b
@@ -582,10 +681,16 @@ void encode_submit_parts(GatherPayload& g, std::uint64_t structure_id,
                          std::uint64_t version, std::uint8_t flags,
                          const CSRMatrix<IT, VT>* a,
                          const CSRMatrix<IT, VT>* m,
-                         const MaskedOptions& opts) {
+                         const MaskedOptions& opts,
+                         std::uint64_t mask_r0 = 0,
+                         std::uint64_t mask_r1 = 0) {
   g.put_u64(structure_id);
   g.put_u64(version);
   g.put_u8(flags);
+  if ((flags & kSubMaskRows) != 0) {
+    g.put_u64(mask_r0);
+    g.put_u64(mask_r1);
+  }
   write_options(g, opts);
   if ((flags & kSubAIsB) == 0) write_csr_parts(g, *a);
   if ((flags & (kSubMIsA | kSubMIsB | kSubMRegistered)) == 0) {
@@ -601,18 +706,29 @@ WireSubmit<IT, VT> decode_submit(std::span<const std::uint8_t> payload) {
   sub.version = r.get_u64();
   const std::uint8_t flags = r.get_u8();
   if ((flags & ~(kSubAIsB | kSubMIsA | kSubMIsB | kSubMRegistered |
-                 kSubInteractive)) != 0) {
+                 kSubInteractive | kSubMaskRows)) != 0) {
     throw WireError("wire: unknown submit flags");
   }
   sub.a_is_b = (flags & kSubAIsB) != 0;
   sub.m_is_a = (flags & kSubMIsA) != 0;
   sub.m_is_b = (flags & kSubMIsB) != 0;
   sub.m_registered = (flags & kSubMRegistered) != 0;
+  sub.mask_rows = (flags & kSubMaskRows) != 0;
   sub.priority = (flags & kSubInteractive) != 0 ? Priority::kInteractive
                                                 : Priority::kBatch;
   if (static_cast<int>(sub.m_is_a) + static_cast<int>(sub.m_is_b) +
           static_cast<int>(sub.m_registered) > 1) {
     throw WireError("wire: contradictory submit mask flags");
+  }
+  if (sub.mask_rows && !sub.m_registered) {
+    throw WireError("wire: mask row window requires the registered mask");
+  }
+  if (sub.mask_rows) {
+    sub.mask_r0 = r.get_u64();
+    sub.mask_r1 = r.get_u64();
+    if (sub.mask_r0 > sub.mask_r1) {
+      throw WireError("wire: inverted mask row window");
+    }
   }
   sub.opts = read_options(r);
   if (!sub.a_is_b) sub.a_storage = read_csr<IT, VT>(r);
@@ -702,42 +818,87 @@ WireUpdate<IT, VT> decode_update(std::span<const std::uint8_t> payload) {
 
 // Gather form: the result's arrays are referenced in place (the caller keeps
 // the matrix alive until the frame is written), so a shard answering with a
-// large C pays no payload-assembly copy either.
+// large C pays no payload-assembly copy either. v4: every response carries
+// the shard's service time for the request (queue + execute, nanoseconds)
+// right after the status — the cost-model feedback the client-side EWMA
+// routing consumes.
 template <class IT, class VT>
-void encode_response_parts(GatherPayload& g, const CSRMatrix<IT, VT>& result) {
+void encode_response_parts(GatherPayload& g, const CSRMatrix<IT, VT>& result,
+                           std::uint64_t exec_nanos = 0) {
   g.put_u32(static_cast<std::uint32_t>(WireStatus::kOk));
+  g.put_u64(exec_nanos);
   write_csr_parts(g, result);
 }
 
 template <class IT, class VT>
-std::vector<std::uint8_t> encode_response(const CSRMatrix<IT, VT>& result) {
+std::vector<std::uint8_t> encode_response(const CSRMatrix<IT, VT>& result,
+                                          std::uint64_t exec_nanos = 0) {
   GatherPayload g;
-  encode_response_parts(g, result);
+  encode_response_parts(g, result, exec_nanos);
   return g.flatten();
 }
 
 std::vector<std::uint8_t> encode_error_response(WireStatus status,
-                                                const std::string& message);
+                                                const std::string& message,
+                                                std::uint64_t exec_nanos = 0);
 
 // Decoded response: either a result matrix or (status, message).
 template <class IT, class VT>
 struct WireResponse {
   WireStatus status = WireStatus::kOk;
+  std::uint64_t exec_nanos = 0;   // shard service time (v4; 0 when unknown)
   std::string message;            // empty on kOk
   CSRMatrix<IT, VT> result;       // valid on kOk
 };
+
+namespace detail {
+
+inline WireStatus read_response_status(WireReader& r) {
+  const std::uint32_t status = r.get_u32();
+  if (status > static_cast<std::uint32_t>(WireStatus::kStaleStructure)) {
+    throw WireError("wire: unknown response status");
+  }
+  return static_cast<WireStatus>(status);
+}
+
+}  // namespace detail
 
 template <class IT, class VT>
 WireResponse<IT, VT> decode_response(std::span<const std::uint8_t> payload) {
   WireReader r(payload);
   WireResponse<IT, VT> resp;
-  const std::uint32_t status = r.get_u32();
-  if (status > static_cast<std::uint32_t>(WireStatus::kStaleStructure)) {
-    throw WireError("wire: unknown response status");
-  }
-  resp.status = static_cast<WireStatus>(status);
+  resp.status = detail::read_response_status(r);
+  resp.exec_nanos = r.get_u64();
   if (resp.status == WireStatus::kOk) {
     resp.result = read_csr<IT, VT>(r);
+  } else {
+    resp.message = r.get_string();
+  }
+  if (!r.exhausted()) throw WireError("wire: trailing bytes in response");
+  return resp;
+}
+
+// Zero-copy decode: the result arrays are handed out as spans over the
+// payload (no copy). The caller owns the payload buffer and must keep it
+// alive as long as the view — the 2D gather path holds each panel's payload
+// until the merged result is built directly from these spans.
+template <class IT, class VT>
+struct WireResponseView {
+  WireStatus status = WireStatus::kOk;
+  std::uint64_t exec_nanos = 0;
+  std::string message;       // empty on kOk
+  CSRView<IT, VT> result;    // valid on kOk; aliases the payload
+};
+
+template <class IT, class VT>
+WireResponseView<IT, VT> decode_response_view(
+    std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  WireResponseView<IT, VT> resp;
+  resp.status = detail::read_response_status(r);
+  resp.exec_nanos = r.get_u64();
+  if (resp.status == WireStatus::kOk) {
+    resp.result = read_csr_view<IT, VT>(r);
   } else {
     resp.message = r.get_string();
   }

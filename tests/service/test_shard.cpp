@@ -259,7 +259,8 @@ TEST(ServiceShard, OlderWireVersionPeerIsRejectedWithVersionedError) {
   const auto resp = decode_response<IT, VT>(reply);
   EXPECT_EQ(resp.status, WireStatus::kBadRequest);
   EXPECT_NE(resp.message.find("version 2"), std::string::npos);
-  EXPECT_NE(resp.message.find("version 3"), std::string::npos);
+  EXPECT_NE(resp.message.find("version " + std::to_string(kWireVersion)),
+            std::string::npos);
 
   // The shard closes the connection after the versioned error: the next read
   // sees EOF, never a hang.
