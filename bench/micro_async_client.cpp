@@ -162,6 +162,18 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Client-observed submit->completion percentiles for the pipelined path
+  // (all sessions in this process share the one global series; the blocking
+  // router path never touches it). Zero when MSX_METRICS=0.
+  double lat_p50 = 0.0, lat_p95 = 0.0, lat_p99 = 0.0;
+  if (const obs::Histogram* h = obs::Registry::global().find_histogram(
+          "msx_client_request_seconds");
+      h != nullptr && h->count() > 0) {
+    lat_p50 = h->quantile(0.50);
+    lat_p95 = h->quantile(0.95);
+    lat_p99 = h->quantile(0.99);
+  }
+
   const double block_rate = requests / best_block;
   const double pipe_rate = requests / best_pipe;
   const double speedup = best_block / best_pipe;
@@ -174,6 +186,9 @@ int main(int argc, char** argv) {
   std::printf("\n%d requests over %d structures; %d shards, %d in flight "
               "(acceptance: pipelined >= 1.5x blocking)\n",
               requests, nstructures, nshards, inflight);
+  std::printf("pipelined request latency p50 %.3fms / p95 %.3fms / "
+              "p99 %.3fms\n",
+              lat_p50 * 1e3, lat_p95 * 1e3, lat_p99 * 1e3);
 
   JsonObject record;
   record.field("requests", requests)
@@ -184,7 +199,10 @@ int main(int argc, char** argv) {
       .field("pipelined_seconds", best_pipe)
       .field("requests_per_sec_blocking", block_rate)
       .field("requests_per_sec_pipelined", pipe_rate)
-      .field("speedup", speedup);
+      .field("speedup", speedup)
+      .field("latency_p50_seconds", lat_p50)
+      .field("latency_p95_seconds", lat_p95)
+      .field("latency_p99_seconds", lat_p99);
   artifact.add(record);
   if (!artifact.write(
           cfg.resolved_json_path("BENCH_micro_async_client.json"))) {

@@ -81,6 +81,7 @@ int main(int argc, char** argv) {
   double best_seq = nan_time();
   double best_run = nan_time();
   double hit_rate = 0.0;
+  double lat_p50 = 0.0, lat_p95 = 0.0, lat_p99 = 0.0;
   std::uint64_t small_jobs = 0, wide_jobs = 0;
   int pool_threads = 0;
 
@@ -149,6 +150,15 @@ int main(int argc, char** argv) {
     small_jobs = st.small_jobs;
     wide_jobs = st.wide_jobs;
     pool_threads = exec.pool_threads();
+    // Queue+run latency percentiles of this rep's jobs (warm-up included;
+    // it is a small, fixed fraction). Zero when MSX_METRICS=0.
+    if (const obs::Histogram* h = exec.metrics().find_histogram(
+            "msx_job_seconds");
+        h != nullptr && h->count() > 0) {
+      lat_p50 = h->quantile(0.50);
+      lat_p95 = h->quantile(0.95);
+      lat_p99 = h->quantile(0.99);
+    }
   }
 
   const double seq_rate = jobs / best_seq;
@@ -164,6 +174,8 @@ int main(int argc, char** argv) {
               jobs, nstructures, pool_threads, 100.0 * hit_rate,
               static_cast<unsigned long long>(small_jobs),
               static_cast<unsigned long long>(wide_jobs));
+  std::printf("job latency p50 %.3fms / p95 %.3fms / p99 %.3fms\n",
+              lat_p50 * 1e3, lat_p95 * 1e3, lat_p99 * 1e3);
   std::printf("acceptance: >=2x jobs/sec on >=64 small products with 8+ "
               "threads (measured %.2fx)\n", speedup);
 
@@ -176,7 +188,10 @@ int main(int argc, char** argv) {
       .field("jobs_per_sec_sequential", seq_rate)
       .field("jobs_per_sec_runtime", run_rate)
       .field("speedup", speedup)
-      .field("cache_hit_rate", hit_rate);
+      .field("cache_hit_rate", hit_rate)
+      .field("latency_p50_seconds", lat_p50)
+      .field("latency_p95_seconds", lat_p95)
+      .field("latency_p99_seconds", lat_p99);
   artifact.add(record);
   if (!artifact.write(
           cfg.resolved_json_path("BENCH_micro_batch_throughput.json"))) {

@@ -179,6 +179,18 @@ int main(int argc, char** argv) {
     if (std::isnan(best_svc) || svc_seconds < best_svc) best_svc = svc_seconds;
   }
 
+  // Client-observed submit->completion percentiles for the service path
+  // (the sequential baseline never goes through a Session). Zero when
+  // MSX_METRICS=0.
+  double lat_p50 = 0.0, lat_p95 = 0.0, lat_p99 = 0.0;
+  if (const obs::Histogram* h = obs::Registry::global().find_histogram(
+          "msx_client_request_seconds");
+      h != nullptr && h->count() > 0) {
+    lat_p50 = h->quantile(0.50);
+    lat_p95 = h->quantile(0.95);
+    lat_p99 = h->quantile(0.99);
+  }
+
   const double seq_rate = requests / best_seq;
   const double svc_rate = requests / best_svc;
   const double speedup = best_seq / best_svc;
@@ -196,6 +208,9 @@ int main(int argc, char** argv) {
     std::printf(" %llu", static_cast<unsigned long long>(routed[i]));
   }
   std::printf("\n");
+  std::printf("service request latency p50 %.3fms / p95 %.3fms / "
+              "p99 %.3fms\n",
+              lat_p50 * 1e3, lat_p95 * 1e3, lat_p99 * 1e3);
 
   JsonObject record;
   record.field("requests", requests)
@@ -207,7 +222,10 @@ int main(int argc, char** argv) {
       .field("requests_per_sec_sequential", seq_rate)
       .field("requests_per_sec_service", svc_rate)
       .field("speedup", speedup)
-      .field("warm_hit_rate", warm_rate);
+      .field("warm_hit_rate", warm_rate)
+      .field("latency_p50_seconds", lat_p50)
+      .field("latency_p95_seconds", lat_p95)
+      .field("latency_p99_seconds", lat_p99);
   artifact.add(record);
   if (!artifact.write(
           cfg.resolved_json_path("BENCH_micro_service_throughput.json"))) {

@@ -52,6 +52,19 @@ def is_higher_better(field):
     return any(marker in name for marker in HIGHER_BETTER_MARKERS)
 
 
+# Latency-percentile fields (latency_p50_seconds and friends, from the obs
+# histograms). Gated lower-is-better like any time, but excluded from the
+# whole-record noise-floor detection: a 200us p50 on an otherwise healthy
+# throughput record must not exempt the throughput fields from gating. The
+# percentile itself is individually exempt below the floor instead.
+PERCENTILE_MARKERS = ("_p50", "_p95", "_p99")
+
+
+def is_percentile(field):
+    name = field.lower()
+    return any(marker in name for marker in PERCENTILE_MARKERS)
+
+
 def load_records(directory):
     """Returns ({match_key: {field: value}}, [warnings])."""
     records, warnings = {}, []
@@ -76,7 +89,7 @@ def load_records(directory):
     return records, warnings
 
 
-def compare(previous, current, threshold, min_seconds=0.005):
+def compare(previous, current, threshold, min_seconds=0.005, fields=None):
     """Returns (regressions, improvements, warnings) as printable rows.
 
     Records whose baseline timings sit below `min_seconds` are too noisy to
@@ -85,7 +98,12 @@ def compare(previous, current, threshold, min_seconds=0.005):
     micro-bench timings). The whole record is exempted, including ratio
     fields derived from those timings (a speedup of two sub-floor times is
     as noisy as the times themselves); everything is still compared for the
-    report. Config-valued fields (CONFIG_FIELDS) only ever warn.
+    report. Percentile fields (is_percentile) do NOT trigger the
+    whole-record exemption — they are individually exempted below the floor
+    instead. Config-valued fields (CONFIG_FIELDS) only ever warn. `fields`,
+    when given, restricts gating to that set of field names (the
+    disabled-overhead gate compares two same-commit runs on a tight
+    threshold where only the throughput fields are meaningful).
     """
     regressions, improvements, warnings = [], [], []
     for key, prev_fields in sorted(previous.items()):
@@ -95,9 +113,12 @@ def compare(previous, current, threshold, min_seconds=0.005):
         cur_fields = current[key]
         micro_record = any(
             f not in CONFIG_FIELDS and not is_higher_better(f)
+            and not is_percentile(f)
             and v is not None and 0 < v < min_seconds
             for f, v in prev_fields.items())
         for field, prev_val in sorted(prev_fields.items()):
+            if fields is not None and field not in fields:
+                continue
             if field not in cur_fields:
                 warnings.append(f"field dropped: {key[0]}.{field}")
                 continue
@@ -114,6 +135,13 @@ def compare(previous, current, threshold, min_seconds=0.005):
                 if cur_val != prev_val:
                     warnings.append(
                         f"config drift, not gated: {label}: "
+                        f"{prev_val:.6g} -> {cur_val:.6g}")
+                continue
+            if is_percentile(field) and prev_val < min_seconds:
+                if ratio > 1.0 + threshold:
+                    warnings.append(
+                        f"percentile below noise floor ({min_seconds}s), "
+                        f"not gated: {label}: "
                         f"{prev_val:.6g} -> {cur_val:.6g}")
                 continue
             if micro_record:
@@ -163,8 +191,11 @@ def run_gate(args):
               "to compare against the baseline")
         return 1
 
+    fields = None
+    if getattr(args, "fields", None):
+        fields = {f.strip() for f in args.fields.split(",") if f.strip()}
     regressions, improvements, warnings = compare(
-        previous, current, args.threshold, args.min_seconds)
+        previous, current, args.threshold, args.min_seconds, fields)
     warnings = warn_prev + warn_cur + warnings
 
     for line in warnings:
@@ -261,6 +292,45 @@ def self_test():
         write_artifact(cur, "cfg", [{"pool_threads": 2, "jobs": 64,
                                      "runtime_seconds": 1.0}])
 
+        # A tiny latency percentile must NOT exempt the whole record: the
+        # throughput field still gates.
+        write_artifact(prev, "lat", [{"jobs_per_sec_runtime": 1000.0,
+                                      "latency_p50_seconds": 0.0002,
+                                      "latency_p95_seconds": 0.0004}])
+        write_artifact(cur, "lat", [{"jobs_per_sec_runtime": 700.0,
+                                     "latency_p50_seconds": 0.0002,
+                                     "latency_p95_seconds": 0.0004}])
+        check("tiny percentile does not exempt throughput gating",
+              run_gate(ns) == 1)
+        # A sub-floor percentile itself only warns, even 5x worse...
+        write_artifact(cur, "lat", [{"jobs_per_sec_runtime": 1000.0,
+                                     "latency_p50_seconds": 0.001,
+                                     "latency_p95_seconds": 0.0004}])
+        check("sub-floor percentile warns but passes", run_gate(ns) == 0)
+        # ...while a percentile above the floor gates like any time.
+        write_artifact(prev, "lat", [{"jobs_per_sec_runtime": 1000.0,
+                                      "latency_p95_seconds": 0.010}])
+        write_artifact(cur, "lat", [{"jobs_per_sec_runtime": 1000.0,
+                                     "latency_p95_seconds": 0.020}])
+        check("above-floor percentile regression fails", run_gate(ns) == 1)
+        os.remove(os.path.join(prev, "BENCH_lat.json"))
+        os.remove(os.path.join(cur, "BENCH_lat.json"))
+
+        # --fields whitelist: only the named fields gate.
+        write_artifact(prev, "ovh", [{"jobs_per_sec_runtime": 1000.0,
+                                      "runtime_seconds": 1.0}])
+        write_artifact(cur, "ovh", [{"jobs_per_sec_runtime": 1000.0,
+                                     "runtime_seconds": 1.5}])
+        ns_fields = argparse.Namespace(
+            previous=prev, current=cur, threshold=0.20, min_seconds=0.005,
+            fields="jobs_per_sec_runtime")
+        check("--fields skips unlisted regressions", run_gate(ns_fields) == 0)
+        write_artifact(cur, "ovh", [{"jobs_per_sec_runtime": 700.0,
+                                     "runtime_seconds": 1.0}])
+        check("--fields gates listed regressions", run_gate(ns_fields) == 1)
+        os.remove(os.path.join(prev, "BENCH_ovh.json"))
+        os.remove(os.path.join(cur, "BENCH_ovh.json"))
+
         # New records and dropped fields warn but pass.
         extra = base + [{"graph": "tiny", "algo": "msa", "static": 0.1}]
         write_artifact(cur, "ablation_schedule", extra)
@@ -295,6 +365,10 @@ def main():
     parser.add_argument("--min-seconds", type=float, default=0.005,
                         help="time fields with a baseline below this are "
                              "reported but not gated (default 0.005)")
+    parser.add_argument("--fields",
+                        help="comma-separated whitelist: gate only these "
+                             "field names (e.g. the disabled-overhead gate "
+                             "compares jobs_per_sec_runtime alone)")
     parser.add_argument("--self-test", action="store_true",
                         help="run the built-in fixture suite and exit")
     args = parser.parse_args()

@@ -24,6 +24,10 @@
 //   ./sharded_service                         # 4 shards, 96 requests
 //   ./sharded_service --shards 8 --requests 256 --kill 1
 //   ./sharded_service --unix /tmp/msx-shard   # sockets at /tmp/msx-shard.N
+//   ./sharded_service --trace out.json        # + one traced 2D product:
+//       a forced 2-shard 2D panel product is run with request tracing on and
+//       the merged client + shard + executor span timeline is written as
+//       Chrome trace-event JSON (load in Perfetto / chrome://tracing)
 #include <cstdio>
 #include <future>
 #include <memory>
@@ -37,6 +41,7 @@
 #include "common/timer.hpp"
 #include "core/masked_spgemm.hpp"
 #include "gen/erdos_renyi.hpp"
+#include "obs/trace.hpp"
 #include "service/shard.hpp"
 
 using IT = int32_t;
@@ -53,6 +58,7 @@ int main(int argc, char** argv) {
   const int ncatalog = static_cast<int>(args.get_int("catalog", 8));
   const int kill = static_cast<int>(args.get_int("kill", -1));
   const std::string unix_prefix = args.get_string("unix", "");
+  const std::string trace_path = args.get_string("trace", "");
 
   // --- fleet ---
   msx::service::ShardConfig cfg;
@@ -61,6 +67,7 @@ int main(int argc, char** argv) {
   std::vector<std::unique_ptr<Shard>> shards;
   std::vector<msx::service::ShardEndpoint> endpoints;
   for (int i = 0; i < nshards; ++i) {
+    cfg.name = "shard-" + std::to_string(i);  // trace/metrics component label
     shards.push_back(std::make_unique<Shard>(cfg));
     if (unix_prefix.empty()) {
       auto listener = std::make_unique<msx::service::LoopbackListener>();
@@ -162,5 +169,45 @@ int main(int argc, char** argv) {
   }
   std::printf("every pipelined result was bit-identical to the direct "
               "masked_spgemm call\n");
+
+  // --- optional: one traced, forced-2D product -> Chrome trace JSON ---
+  if (!trace_path.empty()) {
+    if (nshards < 2) {
+      std::printf("--trace needs at least 2 shards (have %d)\n", nshards);
+      return 1;
+    }
+    // Trace exactly one request so the file holds a single trace id whose
+    // spans cover the client (submit, wire.send, 2d.scatter, 2d.merge),
+    // every shard that served a panel (shard.request) and the executor
+    // phases under them (exec.queue, exec.run, phase.*). Loopback shards
+    // live in this process, so collect_spans() sees all components at once.
+    msx::obs::set_trace_enabled(true);
+    msx::obs::clear_spans();
+    auto& e = catalog[0];
+    // Replicated panels make every shard a candidate; the load-scored
+    // placement then spreads the panel tasks across the fleet, so the trace
+    // shows more than one shard track.
+    auto traced_handle = session.register_structure(
+        mc::StructureSpec<IT, VT>(e.b).mask(e.m).replicate(nshards));
+    mc::SubmitOptions traced;
+    traced.masked.dist = msx::Dist2D::kForce;
+    traced.masked.dist_row_panels = 2;
+    traced.masked.dist_col_panels = 2 * nshards;
+    auto res = session.submit(e.a, traced_handle, traced).get();
+    msx::obs::set_trace_enabled(false);
+    if (!res.ok() ||
+        !(res.matrix == msx::masked_spgemm<SR>(e.a, *e.b, *e.m))) {
+      std::printf("FAILED: traced 2D product diverged from the direct call\n");
+      return 1;
+    }
+    const auto spans = msx::obs::collect_spans();
+    if (!msx::obs::write_chrome_trace(trace_path)) {
+      std::printf("FAILED: could not write trace to %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu spans (one 2D product across the fleet) to %s — "
+                "open in Perfetto or chrome://tracing\n",
+                spans.size(), trace_path.c_str());
+  }
   return 0;
 }

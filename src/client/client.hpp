@@ -47,6 +47,8 @@
 #include "core/delta.hpp"
 #include "core/options.hpp"
 #include "matrix/csr.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"  // Priority
 #include "semiring/semirings.hpp"
 
@@ -164,6 +166,13 @@ class Backend {
   virtual void drain() = 0;
 
   virtual std::string name() const = 0;
+
+  // Prometheus text exposition for everything behind this backend: the
+  // client-side registry plus whatever the backend can reach (the local
+  // executor's registry; a sharded backend appends each live shard's page
+  // fetched over the wire via kMetricsRequest). Best-effort: unreachable
+  // shards are skipped, never an error.
+  virtual std::string metrics() { return obs::Registry::global().render(); }
 };
 
 // What to register: the one way to describe a stationary-operand set. The
@@ -398,8 +407,28 @@ class Session {
     auto promise = std::make_shared<std::promise<Result>>();
     auto future = promise->get_future();
     auto st = st_;
+    // Request-scoped tracing starts here: mint the trace id, record the root
+    // span when the completion lands. Backends pick the context up from the
+    // thread-local while this call is on the stack — no signature plumbing.
+    const std::uint64_t t0 = obs::now_ns();
+    obs::TraceId trace;
+    std::uint64_t root_span = 0;
+    if (obs::trace_enabled()) {
+      trace = obs::mint_trace_id();
+      root_span = obs::next_span_id();
+    }
+    obs::Histogram* h_req = h_request_;
+    obs::ScopedTraceContext tctx({trace, root_span, "client"});
     backend_->submit(h.id(), h.version(), std::move(a), std::move(mask),
-                     opts.masked, opts.priority, [st, promise](Result r) {
+                     opts.masked, opts.priority,
+                     [st, promise, trace, root_span, t0, h_req](Result r) {
+                       const std::uint64_t dur = obs::now_ns() - t0;
+                       h_req->observe_ns(dur);
+                       if (trace.valid()) {
+                         obs::record_span("client.submit", trace, root_span,
+                                          /*parent_id=*/0, t0, dur, "client");
+                         obs::maybe_log_slow(trace, dur);
+                       }
                        promise->set_value(std::move(r));
                        {
                          MutexLock lock(&st->mu);
@@ -462,6 +491,11 @@ class Session {
   std::shared_ptr<Backend<SR, IT, VT>> backend_;
   SessionConfig cfg_;
   std::shared_ptr<State> st_;
+  // End-to-end submit→completion latency as observed by this client process
+  // (all sessions share the one global series). Registry entries are
+  // immortal, so the pointer outlives every session.
+  obs::Histogram* h_request_ =
+      obs::Registry::global().histogram("msx_client_request_seconds");
   // Live registrations in LRU order (front = least recently used). Released
   // at session close; also the eviction order under max_structures.
   std::vector<std::uint64_t> registered_;
@@ -490,6 +524,10 @@ class MaskedClient {
 
   // Blocks until every request submitted through any session has resolved.
   void drain() { backend_->drain(); }
+
+  // Prometheus text for the whole stack this client can see: client-side
+  // series, the backend's own, and (sharded) each reachable shard's page.
+  std::string metrics() { return backend_->metrics(); }
 
  private:
   std::shared_ptr<Backend<SR, IT, VT>> backend_;

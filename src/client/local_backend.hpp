@@ -130,6 +130,10 @@ class LocalBackend final : public Backend<SR, IT, VT> {
     auto pending = std::make_shared<Pending>();
     JobOptions job;
     job.priority = priority;
+    // Session::submit is on the stack: adopt its trace so the executor's
+    // exec.queue / exec.run (and phase.*) spans nest under the client root.
+    job.trace = obs::current_trace();
+    job.trace.component = "local";
     job.on_complete = [pending, done]() {
       pending->bound.get_future().wait();
       Result r;
@@ -162,6 +166,12 @@ class LocalBackend final : public Backend<SR, IT, VT> {
   void drain() override { exec_->wait_idle(); }
 
   std::string name() const override { return "local"; }
+
+  // Client-side series plus the in-process executor's registry.
+  std::string metrics() override {
+    exec_->publish_metrics();
+    return obs::Registry::global().render() + exec_->metrics().render();
+  }
 
   Executor& executor() { return *exec_; }
 

@@ -244,6 +244,11 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
     }
     auto req = std::make_shared<Request>();
     req->done = std::move(done);
+    if (obs::trace_enabled()) {
+      const obs::TraceContext tc = obs::current_trace();
+      req->trace = tc.id;
+      req->trace_parent = tc.parent_span;
+    }
     if (s == nullptr || a == nullptr) {
       Result r;
       r.status = RequestStatus::kBadRequest;
@@ -281,6 +286,45 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
   }
 
   std::string name() const override { return "sharded"; }
+
+  // Client-side series, backend routing/failover series, then every
+  // reachable shard's page fetched over the wire (kMetricsRequest on a
+  // fresh dial). Down or unreachable shards are skipped — a metrics scrape
+  // must never fail because part of the fleet is.
+  std::string metrics() override {
+    const ShardedBackendStats s = stats();
+    metrics_.counter("msx_backend_submitted_total")->set(s.submitted);
+    metrics_.counter("msx_backend_completed_total")->set(s.completed);
+    metrics_.counter("msx_backend_failover_resubmits_total")
+        ->set(s.failover_resubmits);
+    metrics_.counter("msx_backend_overload_reroutes_total")
+        ->set(s.overload_reroutes);
+    metrics_.counter("msx_backend_down_marks_total")->set(s.down_marks);
+    metrics_.counter("msx_backend_probes_total")->set(s.probes);
+    metrics_.counter("msx_backend_rejoins_total")->set(s.rejoins);
+    metrics_.counter("msx_backend_dist2d_products_total")
+        ->set(s.dist2d_products);
+    metrics_.counter("msx_backend_dist2d_panels_total")->set(s.dist2d_panels);
+    {
+      MutexLock lock(&mu_);
+      metrics_.gauge("msx_backend_inflight")
+          ->set(static_cast<double>(inflight_total_));
+    }
+    for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+      const std::string label = "shard=\"" + endpoints_[i].name + "\"";
+      metrics_.counter("msx_backend_routed_total", label)->set(s.routed[i]);
+      metrics_.gauge("msx_backend_ewma_nanos", label)->set(s.ewma_nanos[i]);
+      metrics_.gauge("msx_backend_shard_up", label)
+          ->set(is_down(i) ? 0.0 : 1.0);
+    }
+    std::string out = obs::Registry::global().render() + metrics_.render();
+    for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+      if (is_down(i)) continue;
+      auto page = service::probe_metrics(endpoints_[i]);
+      if (page.has_value()) out += *page;
+    }
+    return out;
+  }
 
   // --- fleet management -----------------------------------------------------
 
@@ -453,6 +497,11 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
     MaskedOptions opts;
     Priority priority = Priority::kBatch;
     std::uint64_t point = 0;
+    // Trace context captured at submit (thread-local from Session::submit);
+    // rides the wire as the v5 kSubTraced triple so shard-side spans join
+    // the client's timeline. Invalid when tracing is off.
+    obs::TraceId trace;
+    std::uint64_t trace_parent = 0;
     std::vector<char> excluded;  // shards that answered kOverloaded (mu_)
     bool overloaded = false;     // any overload reroute happened (mu_)
     Completion done;
@@ -755,10 +804,17 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
             break;
           }
           case SendItem::Kind::kSubmit: {
+            const std::uint64_t t0 = obs::now_ns();
             service::GatherPayload g;
             build_submit(g, *item.req);
             send_frame_parts(s, service::MessageType::kSubmitRequest,
                              item.rid, g);
+            if (obs::trace_enabled() && item.req->trace.valid()) {
+              // Serialization + socket write of this request's frame.
+              obs::record_span("wire.send", item.req->trace,
+                               obs::next_span_id(), item.req->trace_parent,
+                               t0, obs::now_ns() - t0, "client");
+            }
             break;
           }
         }
@@ -792,8 +848,10 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
       flags |= service::kSubInteractive;
     }
     if (req.mask_rows) flags |= service::kSubMaskRows;
+    if (req.trace.valid()) flags |= service::kSubTraced;
     service::encode_submit_parts(g, s.id, req.version, flags, inline_a,
-                                 inline_m, req.opts, req.mask_r0, req.mask_r1);
+                                 inline_m, req.opts, req.mask_r0, req.mask_r1,
+                                 req.trace.hi, req.trace.lo, req.trace_parent);
   }
 
   void reader_loop(std::size_t shard, std::uint64_t gen, service::Stream& s) {
@@ -1004,6 +1062,7 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
       r.status = g->fail_status;
       r.message = g->fail_message;
     } else {
+      const std::uint64_t t_merge = obs::now_ns();
       std::vector<service::CSRView<IT, VTC>> views;
       views.reserve(g->slots.size());
       for (const auto& slot : g->slots) views.push_back(slot.view);
@@ -1014,6 +1073,12 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
       } catch (const std::exception& e) {
         r.status = RequestStatus::kInternalError;
         r.message = std::string("2D merge failed: ") + e.what();
+      }
+      const RequestPtr& parent = g->parent;
+      if (obs::trace_enabled() && parent->trace.valid()) {
+        obs::record_span("2d.merge", parent->trace, obs::next_span_id(),
+                         parent->trace_parent, t_merge,
+                         obs::now_ns() - t_merge, "client");
       }
     }
     finish(g->parent, std::move(r));
@@ -1103,6 +1168,7 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
       ++dist2d_products_;
       dist2d_panels_ += nr * nc;
     }
+    const std::uint64_t t_scatter = obs::now_ns();
     for (std::size_t r = 0; r < nr; ++r) {
       // One row slice of A per row panel, shared across its column panels.
       auto a_panel = std::make_shared<const Mat>(
@@ -1115,6 +1181,10 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
         child->a = a_panel;
         child->opts = o;
         child->priority = req->priority;
+        // Panel tasks share the parent's trace and nest under its root span
+        // directly (they run long after scatter returns).
+        child->trace = req->trace;
+        child->trace_parent = req->trace_parent;
         child->excluded.assign(endpoints_.size(), 0);
         child->mask_rows = true;
         child->mask_r0 = static_cast<std::uint64_t>(row_start[r]);
@@ -1131,6 +1201,12 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
         child->slot = r * nc + j;
         dispatch(child);
       }
+    }
+    if (obs::trace_enabled() && req->trace.valid()) {
+      // Row slicing + panel-task dispatch for the whole grid.
+      obs::record_span("2d.scatter", req->trace, obs::next_span_id(),
+                       req->trace_parent, t_scatter,
+                       obs::now_ns() - t_scatter, "client");
     }
     return true;
   }
@@ -1281,6 +1357,9 @@ class ShardedBackend final : public Backend<SR, IT, VT> {
   bool stopping_ MSX_GUARDED_BY(mu_) = false;
   CondVar drain_cv_;
   CondVar probe_cv_;
+  // Backend-level series (routing, failover, 2D). Per-instance, not the
+  // process-global registry, so two backends in one process don't collide.
+  obs::Registry metrics_;
   std::atomic<std::uint64_t> next_rid_{1};
   std::atomic<std::uint64_t> next_structure_{1};
   std::thread prober_;

@@ -107,6 +107,8 @@ enum class LockRank : std::uint32_t {
   kPlanCache = 70,       // PlanCache index + lease flags
   kKernelWorkspace = 80, // plan-kernel workspace free lists
   kTransport = 90,       // byte queues, loopback listeners (leaf I/O)
+  kObsRegistry = 95,     // obs trace-ring + metrics registries (leaf; may be
+                         // acquired while holding any of the above)
 };
 
 #if MSX_LOCK_ORDER_CHECK

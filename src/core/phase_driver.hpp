@@ -35,6 +35,7 @@
 #include "core/options.hpp"
 #include "core/partition.hpp"
 #include "matrix/csr.hpp"
+#include "obs/trace.hpp"
 
 namespace msx {
 
@@ -208,6 +209,7 @@ run_masked_kernel(const Kernel& kernel, const MaskedOptions& opts,
     if (symbolic != nullptr && symbolic->valid) {
       rowptr = symbolic->rowptr;
     } else {
+      obs::ScopedSpan span("phase.symbolic");
       rowptr.assign(static_cast<std::size_t>(nrows) + 1, IT{0});
       run_rows(schedule, [&](auto& ws, IT i) {
         rowptr[static_cast<std::size_t>(i) + 1] = kernel.symbolic_row(ws, i);
@@ -220,6 +222,7 @@ run_masked_kernel(const Kernel& kernel, const MaskedOptions& opts,
     }
 
     // --- numeric phase: write into exact-size arrays ---
+    obs::ScopedSpan span("phase.numeric");
     const auto nnz = static_cast<std::size_t>(rowptr.back());
     std::vector<IT> colidx(nnz);
     std::vector<OVT> values(nnz);
@@ -237,23 +240,30 @@ run_masked_kernel(const Kernel& kernel, const MaskedOptions& opts,
 
   // --- one-phase: upper-bound temporary, then compact ---
   std::vector<std::size_t> bounds(static_cast<std::size_t>(nrows) + 1, 0);
-  run_rows(Schedule::kStatic, [&](auto&, IT i) {
-    bounds[static_cast<std::size_t>(i) + 1] = kernel.upper_bound_row(i);
-  });
-  detail::offsets_inplace(bounds, ctx);
+  {
+    obs::ScopedSpan span("phase.bound");
+    run_rows(Schedule::kStatic, [&](auto&, IT i) {
+      bounds[static_cast<std::size_t>(i) + 1] = kernel.upper_bound_row(i);
+    });
+    detail::offsets_inplace(bounds, ctx);
+  }
   const std::size_t cap = bounds.back();
 
   std::vector<IT> tmp_cols(cap);
   std::vector<OVT> tmp_vals(cap);
   std::vector<IT> rowptr(static_cast<std::size_t>(nrows) + 1, IT{0});
 
-  run_rows(schedule, [&](auto& ws, IT i) {
-    const std::size_t base = bounds[static_cast<std::size_t>(i)];
-    rowptr[static_cast<std::size_t>(i) + 1] = kernel.numeric_row(
-        ws, i, tmp_cols.data() + base, tmp_vals.data() + base);
-  });
-  detail::offsets_inplace(rowptr, ctx);
+  {
+    obs::ScopedSpan span("phase.numeric");
+    run_rows(schedule, [&](auto& ws, IT i) {
+      const std::size_t base = bounds[static_cast<std::size_t>(i)];
+      rowptr[static_cast<std::size_t>(i) + 1] = kernel.numeric_row(
+          ws, i, tmp_cols.data() + base, tmp_vals.data() + base);
+    });
+    detail::offsets_inplace(rowptr, ctx);
+  }
 
+  obs::ScopedSpan span("phase.compact");
   const auto nnz = static_cast<std::size_t>(rowptr.back());
   std::vector<IT> colidx(nnz);
   std::vector<OVT> values(nnz);

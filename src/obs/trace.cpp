@@ -1,0 +1,333 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <random>
+
+#include "common/env.hpp"
+
+namespace msx::obs {
+
+namespace {
+
+// splitmix64 — cheap, well-mixed; good enough for trace-id uniqueness.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t process_seed() {
+  static const std::uint64_t seed = [] {
+    std::random_device rd;
+    return (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  }();
+  return seed;
+}
+
+std::atomic<bool> g_trace_enabled{env_int("MSX_TRACE", 0) != 0};
+std::atomic<std::uint64_t> g_slow_ns{
+    static_cast<std::uint64_t>(env_int("MSX_TRACE_SLOW_MS", 0)) * 1000000ull};
+std::atomic<std::uint64_t> g_id_counter{1};
+std::atomic<std::uint64_t> g_span_counter{1};
+
+// --- per-thread rings -----------------------------------------------------
+
+struct SpanRing {
+  SpanRing(std::size_t cap, std::uint32_t tid_ord)
+      : slots(cap), tid(tid_ord) {}
+
+  std::vector<SpanRecord> slots;
+  // Total records ever written. The owning thread is the only writer: it
+  // fills slots[head % cap] and then publishes with a release store, so a
+  // collector's acquire load sees fully written slots below head.
+  std::atomic<std::uint64_t> head{0};
+  std::uint32_t tid;
+
+  void push(const SpanRecord& r) {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    slots[h % slots.size()] = r;
+    head.store(h + 1, std::memory_order_release);
+  }
+};
+
+struct RingRegistry {
+  Mutex mu{LockRank::kObsRegistry, "obs::RingRegistry::mu"};
+  std::vector<std::unique_ptr<SpanRing>> rings MSX_GUARDED_BY(mu);
+
+  SpanRing* create() {
+    const auto cap = static_cast<std::size_t>(
+        std::max<long long>(64, env_int("MSX_TRACE_RING", 4096)));
+    MutexLock lock(&mu);
+    rings.push_back(std::make_unique<SpanRing>(
+        cap, static_cast<std::uint32_t>(rings.size())));
+    return rings.back().get();
+  }
+};
+
+RingRegistry& ring_registry() {
+  static RingRegistry* reg = new RingRegistry();  // immortal: threads may
+  return *reg;                                    // record during shutdown
+}
+
+SpanRing& thread_ring() {
+  thread_local SpanRing* ring = ring_registry().create();
+  return *ring;
+}
+
+thread_local TraceContext t_trace_ctx;
+
+}  // namespace
+
+// --- identity -------------------------------------------------------------
+
+TraceId mint_trace_id() {
+  const std::uint64_t n =
+      g_id_counter.fetch_add(1, std::memory_order_relaxed);
+  TraceId id;
+  id.hi = splitmix64(process_seed() ^ n);
+  id.lo = splitmix64(process_seed() + (n << 1) + 1);
+  if (!id.valid()) id.lo = 1;
+  return id;
+}
+
+std::uint64_t next_span_id() {
+  return g_span_counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string trace_hex(const TraceId& id) {
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64 "%016" PRIx64, id.hi, id.lo);
+  return buf;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// --- knobs ----------------------------------------------------------------
+
+bool trace_enabled() {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool on) {
+  g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t slow_threshold_ns() {
+  return g_slow_ns.load(std::memory_order_relaxed);
+}
+
+void set_slow_threshold_ns(std::uint64_t ns) {
+  g_slow_ns.store(ns, std::memory_order_relaxed);
+}
+
+// --- context + recording --------------------------------------------------
+
+TraceContext current_trace() { return t_trace_ctx; }
+
+void set_current_trace(const TraceContext& ctx) { t_trace_ctx = ctx; }
+
+void record_span(const char* name, const TraceId& trace,
+                 std::uint64_t span_id, std::uint64_t parent_id,
+                 std::uint64_t start_ns, std::uint64_t dur_ns,
+                 const char* component) {
+  if (!trace_enabled()) return;
+  SpanRing& ring = thread_ring();
+  SpanRecord r;
+  r.trace = trace;
+  r.span_id = span_id;
+  r.parent_id = parent_id;
+  r.name = name != nullptr ? name : "";
+  if (component != nullptr) {
+    std::strncpy(r.component, component, kComponentBytes - 1);
+  }
+  r.start_ns = start_ns;
+  r.dur_ns = dur_ns;
+  r.tid = ring.tid;
+  ring.push(r);
+}
+
+void ScopedSpan::begin(const char* name) {
+  ctx_ = current_trace();
+  name_ = name;
+  span_id_ = next_span_id();
+  start_ns_ = now_ns();
+  set_current_trace({ctx_.id, span_id_, ctx_.component});
+  active_ = true;
+}
+
+void ScopedSpan::end() {
+  set_current_trace(ctx_);
+  record_span(name_, ctx_.id, span_id_, ctx_.parent_span, start_ns_,
+              now_ns() - start_ns_, ctx_.component);
+  active_ = false;
+}
+
+// --- collection -----------------------------------------------------------
+
+std::vector<SpanRecord> collect_spans() {
+  std::vector<SpanRecord> out;
+  RingRegistry& reg = ring_registry();
+  MutexLock lock(&reg.mu);
+  for (const auto& ring : reg.rings) {
+    const std::uint64_t h = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t cap = ring->slots.size();
+    const std::uint64_t n = h < cap ? h : cap;
+    for (std::uint64_t i = h - n; i < h; ++i) {
+      out.push_back(ring->slots[i % cap]);
+    }
+  }
+  return out;
+}
+
+void clear_spans() {
+  RingRegistry& reg = ring_registry();
+  MutexLock lock(&reg.mu);
+  for (const auto& ring : reg.rings) {
+    ring->head.store(0, std::memory_order_release);
+  }
+}
+
+// --- export ---------------------------------------------------------------
+
+namespace {
+
+void append_json_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<SpanRecord>& spans) {
+  // One Chrome "process" per component so Perfetto groups client, each
+  // shard, and the executor threads into labelled tracks.
+  std::map<std::string, int> pids;
+  for (const auto& s : spans) {
+    const std::string comp = s.component[0] != '\0' ? s.component : "msx";
+    pids.emplace(comp, static_cast<int>(pids.size()) + 1);
+  }
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [comp, pid] : pids) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+           std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":\"";
+    append_json_escaped(out, comp.c_str());
+    out += "\"}}";
+  }
+  char buf[160];
+  for (const auto& s : spans) {
+    const std::string comp = s.component[0] != '\0' ? s.component : "msx";
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    append_json_escaped(out, s.name);
+    out += "\",\"cat\":\"msx\",\"ph\":\"X\"";
+    std::snprintf(buf, sizeof buf,
+                  ",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%u",
+                  static_cast<double>(s.start_ns) / 1e3,
+                  static_cast<double>(s.dur_ns) / 1e3, pids[comp], s.tid);
+    out += buf;
+    out += ",\"args\":{\"trace_id\":\"" + trace_hex(s.trace) +
+           "\",\"span_id\":" + std::to_string(s.span_id) +
+           ",\"parent_id\":" + std::to_string(s.parent_id) + "}}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  const std::string json = chrome_trace_json(collect_spans());
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot write trace: %s\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
+}
+
+// --- slow-request log -----------------------------------------------------
+
+namespace {
+
+void log_tree(const std::vector<SpanRecord>& spans, std::uint64_t parent,
+              int depth, std::uint64_t t0) {
+  for (const auto& s : spans) {
+    if (s.parent_id != parent) continue;
+    std::fprintf(stderr, "  %*s%-18s %10.3fms @ +%.3fms [%s] tid=%u\n",
+                 depth * 2, "", s.name,
+                 static_cast<double>(s.dur_ns) / 1e6,
+                 static_cast<double>(s.start_ns - t0) / 1e6,
+                 s.component[0] != '\0' ? s.component : "msx", s.tid);
+    log_tree(spans, s.span_id, depth + 1, t0);
+  }
+}
+
+}  // namespace
+
+void maybe_log_slow(const TraceId& trace, std::uint64_t total_ns) {
+  const std::uint64_t threshold = slow_threshold_ns();
+  if (threshold == 0 || total_ns < threshold || !trace.valid()) return;
+  std::vector<SpanRecord> mine;
+  for (const auto& s : collect_spans()) {
+    if (s.trace == trace) mine.push_back(s);
+  }
+  std::sort(mine.begin(), mine.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_ns < b.start_ns;
+            });
+  std::uint64_t t0 = mine.empty() ? 0 : mine.front().start_ns;
+  std::fprintf(stderr,
+               "obs: SLOW REQUEST trace=%s total=%.3fms (%zu spans)\n",
+               trace_hex(trace).c_str(),
+               static_cast<double>(total_ns) / 1e6, mine.size());
+  // Roots are spans whose parent is not among the collected spans (their
+  // parent may live in a ring that already wrapped).
+  std::vector<char> has_parent(mine.size(), 0);
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    for (const auto& s : mine) {
+      if (s.span_id == mine[i].parent_id) {
+        has_parent[i] = 1;
+        break;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    if (has_parent[i]) continue;
+    const auto& root = mine[i];
+    std::fprintf(stderr, "  %-18s %10.3fms @ +%.3fms [%s] tid=%u\n",
+                 root.name, static_cast<double>(root.dur_ns) / 1e6,
+                 static_cast<double>(root.start_ns - t0) / 1e6,
+                 root.component[0] != '\0' ? root.component : "msx",
+                 root.tid);
+    log_tree(mine, root.span_id, 1, t0);
+  }
+}
+
+}  // namespace msx::obs

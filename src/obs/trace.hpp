@@ -1,0 +1,177 @@
+// Request-scoped tracing (ISSUE 9 tentpole).
+//
+// A 128-bit trace id is minted at Session::submit, carried through wire
+// frames (wire v5 trace-context field) and the executor's JobOptions, and
+// every hop records spans: client dispatch, per-shard send/receive,
+// executor queue wait vs. run, the symbolic/numeric/compact phases inside
+// phase_driver, delta apply, and the 2D scatter/panel/merge path. One
+// forced 2D product therefore yields a single merged timeline across the
+// client and every shard it touched.
+//
+// Span storage is a lock-free per-thread ring buffer: the recording thread
+// is the only writer; it fills a slot and then publishes the new head with
+// a release store. Collectors (export, slow-request log) read the head
+// with an acquire load and walk the published slots. Rings are registered
+// in a global registry guarded by an msx::Mutex at LockRank::kObsRegistry —
+// the highest rank, so a thread may record its first span (and register
+// its ring) while holding any other lock in the system. A writer that laps
+// a concurrent collector can tear the oldest slots; collectors are
+// expected to run at quiescent points (after drain()/join), which every
+// in-tree caller does.
+//
+// Everything is gated on the MSX_TRACE env knob (default off) or
+// set_trace_enabled(); disabled, ScopedSpan is a relaxed load and a
+// branch — the CI overhead gate holds micro_batch_throughput with
+// MSX_TRACE=0 within 1% of baseline.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+
+namespace msx::obs {
+
+// --- trace identity -------------------------------------------------------
+
+struct TraceId {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  bool valid() const { return (hi | lo) != 0; }
+  friend bool operator==(const TraceId& a, const TraceId& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+};
+
+// Fresh 128-bit id: process-random seed mixed with a monotone counter, so
+// ids are unique within a process and collide across processes with
+// splitmix-quality probability.
+TraceId mint_trace_id();
+
+// Fresh non-zero span id (process-wide counter).
+std::uint64_t next_span_id();
+
+// 32-hex-char rendering for logs and Chrome trace args.
+std::string trace_hex(const TraceId& id);
+
+// Monotonic clock, nanoseconds. All spans share this one domain (shards
+// run in-process), so timelines merge without clock alignment.
+std::uint64_t now_ns();
+
+// --- enable knobs ---------------------------------------------------------
+
+// MSX_TRACE=1 enables span recording (default off). Runtime-toggleable:
+// set_trace_enabled() overrides the env knob (tests, --trace modes).
+bool trace_enabled();
+void set_trace_enabled(bool on);
+
+// Slow-request threshold in nanoseconds; 0 disables the log. Env knob
+// MSX_TRACE_SLOW_MS (milliseconds), default 0.
+std::uint64_t slow_threshold_ns();
+void set_slow_threshold_ns(std::uint64_t ns);
+
+// --- span records ---------------------------------------------------------
+
+inline constexpr std::size_t kComponentBytes = 24;
+
+struct SpanRecord {
+  TraceId trace;             // zero id = component-local span (still shown)
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  // 0 = root
+  const char* name = "";        // static-storage string literal
+  char component[kComponentBytes] = {0};  // copied; "" = process scope
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;  // small per-thread ordinal, stable per ring
+};
+
+// The ambient trace of the current thread: what ScopedSpan parents itself
+// under and what phase_driver picks up without signature plumbing. The
+// executor sets it from JobOptions before running a job.
+struct TraceContext {
+  TraceId id;
+  std::uint64_t parent_span = 0;
+  const char* component = "";  // stable for the span's lifetime
+};
+
+TraceContext current_trace();
+void set_current_trace(const TraceContext& ctx);
+
+// Saves/restores the ambient context (RAII).
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx)
+      : saved_(current_trace()) {
+    set_current_trace(ctx);
+  }
+  ~ScopedTraceContext() { set_current_trace(saved_); }
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+// Appends one finished span to the calling thread's ring (no-op when
+// tracing is disabled). `component` may be nullptr/"" for process scope.
+void record_span(const char* name, const TraceId& trace,
+                 std::uint64_t span_id, std::uint64_t parent_id,
+                 std::uint64_t start_ns, std::uint64_t dur_ns,
+                 const char* component = nullptr);
+
+// RAII span under the ambient context: mints a span id, becomes the parent
+// of nested spans on this thread, records itself on destruction. Inactive
+// (one relaxed load, one branch) when tracing is disabled.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (!trace_enabled()) return;
+    begin(name);
+  }
+  ~ScopedSpan() {
+    if (active_) end();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return active_; }
+  std::uint64_t span_id() const { return span_id_; }
+
+ private:
+  void begin(const char* name);
+  void end();
+
+  bool active_ = false;
+  const char* name_ = "";
+  TraceContext ctx_;          // context as of begin (restored parent)
+  std::uint64_t span_id_ = 0;
+  std::uint64_t start_ns_ = 0;
+};
+
+// --- collection & export --------------------------------------------------
+
+// Snapshot of every thread's published spans (call at a quiescent point;
+// see the file comment). Order is per-thread record order.
+std::vector<SpanRecord> collect_spans();
+
+// Drops all published spans (tests and --trace runs that want a clean
+// capture window).
+void clear_spans();
+
+// Chrome trace-event JSON ("traceEvents" array of ph:"X" slices, one pid
+// per component with process_name metadata) — loads in Perfetto / about:
+// tracing as a single merged timeline.
+std::string chrome_trace_json(const std::vector<SpanRecord>& spans);
+
+// collect_spans() + chrome_trace_json() to a file. False on I/O failure.
+bool write_chrome_trace(const std::string& path);
+
+// Dumps the span tree of `trace` to stderr (indented by parent/child) when
+// total_ns exceeds the slow threshold; no-op otherwise. Called where total
+// request latency is known (Session completion).
+void maybe_log_slow(const TraceId& trace, std::uint64_t total_ns);
+
+}  // namespace msx::obs

@@ -38,6 +38,8 @@
 #include "common/exec_context.hpp"
 #include "common/thread_annotations.hpp"
 #include "core/kernel_common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "core/options.hpp"
 #include "core/plan.hpp"
 #include "matrix/csr.hpp"
@@ -77,6 +79,15 @@ class BatchRejected : public std::runtime_error {
             "BatchExecutor: admission limits reached (back-pressure)") {}
 };
 
+// Per-job queue/run timing, written by the executing worker inside the job
+// body — sequenced before the job's future becomes ready, so a caller that
+// reads it after future.get() / the completion hook (the shard's sender)
+// needs no extra synchronization.
+struct JobTiming {
+  std::uint64_t queue_ns = 0;  // admission -> execution start
+  std::uint64_t run_ns = 0;    // kernel execution (plan + execute)
+};
+
 // Per-job submit options beyond the MaskedOptions that shape the product
 // itself: queueing priority (interactive jobs are popped before batch jobs in
 // both the pool queue and the wide lane) and an optional completion hook.
@@ -88,6 +99,12 @@ struct JobOptions {
   // ready by the time the hook fires — this is the async client's completion
   // seam. Must not throw and must not re-enter the executor.
   std::function<void()> on_complete;
+  // When set, the worker stamps the job's queue/run split here (the v5
+  // response timing the shard ships back).
+  std::shared_ptr<JobTiming> timing;
+  // Ambient trace for the job: the worker installs it for the duration, so
+  // executor and phase_driver spans parent under the request's timeline.
+  obs::TraceContext trace;
 };
 
 struct BatchLimits {
@@ -222,21 +239,49 @@ class BatchExecutor {
       job_bytes += m->storage_bytes();
     admit(job_bytes);
 
+    const std::uint64_t t_enq = obs::now_ns();
     auto task = std::make_shared<std::packaged_task<output_matrix()>>(
-        [this, shape, a, b, m, opts, lineage]() -> output_matrix {
-          const auto& ra = *a;
-          const auto& rb = b == a ? ra : *b;
-          if constexpr (std::is_same_v<MT, VT>) {
-            if (static_cast<const void*>(m.get()) ==
-                static_cast<const void*>(a.get())) {
-              return run_job(shape, ra, rb, ra, opts, lineage.get());
-            }
-            if (static_cast<const void*>(m.get()) ==
-                static_cast<const void*>(b.get())) {
-              return run_job(shape, ra, rb, rb, opts, lineage.get());
-            }
+        [this, shape, a, b, m, opts, lineage, t_enq, timing = job.timing,
+         trace = job.trace]() -> output_matrix {
+          const std::uint64_t t_start = obs::now_ns();
+          const std::uint64_t queue_ns = t_start - t_enq;
+          if (timing != nullptr) timing->queue_ns = queue_ns;
+          h_queue_->observe_ns(queue_ns);
+          // Install the request's ambient trace so the exec.run span and any
+          // phase_driver spans below parent under the request timeline.
+          obs::ScopedTraceContext tctx(trace);
+          if (obs::trace_enabled()) {
+            obs::record_span("exec.queue", trace.id, obs::next_span_id(),
+                             trace.parent_span, t_enq, queue_ns,
+                             trace.component);
           }
-          return run_job(shape, ra, rb, *m, opts, lineage.get());
+          const auto invoke = [&]() -> output_matrix {
+            const auto& ra = *a;
+            const auto& rb = b == a ? ra : *b;
+            if constexpr (std::is_same_v<MT, VT>) {
+              if (static_cast<const void*>(m.get()) ==
+                  static_cast<const void*>(a.get())) {
+                return run_job(shape, ra, rb, ra, opts, lineage.get());
+              }
+              if (static_cast<const void*>(m.get()) ==
+                  static_cast<const void*>(b.get())) {
+                return run_job(shape, ra, rb, rb, opts, lineage.get());
+              }
+            }
+            return run_job(shape, ra, rb, *m, opts, lineage.get());
+          };
+          try {
+            obs::ScopedSpan span("exec.run");
+            output_matrix out = invoke();
+            const std::uint64_t run_ns = obs::now_ns() - t_start;
+            if (timing != nullptr) timing->run_ns = run_ns;
+            h_run_->observe_ns(run_ns);
+            h_job_->observe_ns(queue_ns + run_ns);
+            return out;
+          } catch (...) {
+            if (timing != nullptr) timing->run_ns = obs::now_ns() - t_start;
+            throw;
+          }
         });
     auto future = task->get_future();
 
@@ -282,15 +327,52 @@ class BatchExecutor {
   }
 
   BatchStats stats() const {
-    BatchStats out;
-    {
-      MutexLock lock(&mu_);
-      out = stats_;
-      out.pending_jobs = outstanding_;
-      out.pending_bytes = pending_bytes_;
-    }
+    // One coherent snapshot: the cache counters are read while mu_ is still
+    // held (kExecutor -> kPlanCache is the legal acquisition order), so the
+    // pending_jobs/pending_bytes gauges can never disagree with the counter
+    // fields the way the old read-cache-outside-the-lock snapshot could.
+    MutexLock lock(&mu_);
+    BatchStats out = stats_;
+    out.pending_jobs = outstanding_;
+    out.pending_bytes = pending_bytes_;
     out.cache = cache_.stats();
     return out;
+  }
+
+  // The executor's metrics registry: live queue/run/total latency
+  // histograms plus the BatchStats mirror that publish_metrics() refreshes.
+  // Render with a `shard="..."` extra label to scope an in-process fleet.
+  obs::Registry& metrics() { return metrics_; }
+
+  // Publishes the current BatchStats snapshot into the registry — the
+  // typed struct stays the programmatic view; the registry is the export
+  // plane. Call before rendering.
+  void publish_metrics() {
+    const BatchStats s = stats();
+    metrics_.counter("msx_executor_jobs_submitted_total")->set(s.submitted);
+    metrics_.counter("msx_executor_jobs_completed_total")->set(s.completed);
+    metrics_.counter("msx_executor_jobs_small_total")->set(s.small_jobs);
+    metrics_.counter("msx_executor_jobs_wide_total")->set(s.wide_jobs);
+    metrics_.counter("msx_executor_jobs_interactive_total")
+        ->set(s.interactive_jobs);
+    metrics_.counter("msx_executor_rejected_total")->set(s.rejected);
+    metrics_.counter("msx_executor_admission_blocks_total")
+        ->set(s.admission_blocks);
+    metrics_.gauge("msx_executor_pending_jobs")
+        ->set(static_cast<double>(s.pending_jobs));
+    metrics_.gauge("msx_executor_pending_bytes")
+        ->set(static_cast<double>(s.pending_bytes));
+    metrics_.counter("msx_plan_cache_hits_total")->set(s.cache.hits);
+    metrics_.counter("msx_plan_cache_misses_total")->set(s.cache.misses);
+    metrics_.counter("msx_plan_cache_grows_total")->set(s.cache.grows);
+    metrics_.counter("msx_plan_cache_evictions_total")->set(s.cache.evictions);
+    metrics_.counter("msx_plan_cache_delta_migrations_total")
+        ->set(s.cache.delta_migrations);
+    metrics_.gauge("msx_plan_cache_instances")
+        ->set(static_cast<double>(s.cache.instances));
+    metrics_.gauge("msx_plan_cache_bytes_held")
+        ->set(static_cast<double>(s.cache.bytes_held));
+    metrics_.gauge("msx_plan_cache_hit_rate")->set(s.cache.hit_rate());
   }
 
   int pool_threads() const { return pool_.size(); }
@@ -392,6 +474,14 @@ class BatchExecutor {
   BatchLimits limits_;
   ThreadPool pool_;
   Cache cache_;
+
+  // Registry before the handles: default member initializers run in
+  // declaration order. Handles are plain atomics — observed lock-free from
+  // every worker.
+  obs::Registry metrics_;
+  obs::Histogram* h_queue_ = metrics_.histogram("msx_executor_queue_seconds");
+  obs::Histogram* h_run_ = metrics_.histogram("msx_executor_run_seconds");
+  obs::Histogram* h_job_ = metrics_.histogram("msx_job_seconds");
 
   mutable Mutex mu_{LockRank::kExecutor, "BatchExecutor::mu_"};
   CondVar idle_cv_;

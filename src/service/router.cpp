@@ -34,6 +34,26 @@ std::optional<ServiceStats> probe_endpoint(const ShardEndpoint& endpoint) {
   }
 }
 
+std::optional<std::string> probe_metrics(const ShardEndpoint& endpoint) {
+  try {
+    auto stream = endpoint.connect();
+    if (stream == nullptr) return std::nullopt;
+    GatherPayload empty;
+    send_frame_parts(*stream, MessageType::kMetricsRequest, 0, empty);
+    FrameHeader header;
+    std::vector<std::uint8_t> reply;
+    if (!recv_frame(*stream, header, reply) ||
+        header.type != MessageType::kMetricsResponse) {
+      return std::nullopt;
+    }
+    return decode_metrics_text(reply);
+  } catch (const TransportError&) {
+    return std::nullopt;
+  } catch (const WireError&) {
+    return std::nullopt;
+  }
+}
+
 ConsistentHashRing::ConsistentHashRing(std::size_t nshards, int vnodes)
     : nshards_(nshards) {
   check_arg(vnodes > 0, "ConsistentHashRing: vnodes must be positive");

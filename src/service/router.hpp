@@ -50,6 +50,11 @@ struct ShardEndpoint {
 // of the router and the sharded client backend (router.cpp).
 std::optional<ServiceStats> probe_endpoint(const ShardEndpoint& endpoint);
 
+// Dials the endpoint fresh and exchanges one kMetricsRequest, returning the
+// shard's Prometheus text page; nullopt when the dial, exchange or decode
+// fails. Best-effort by design — metrics scrapes skip unreachable shards.
+std::optional<std::string> probe_metrics(const ShardEndpoint& endpoint);
+
 struct RouterConfig {
   // Ring points per shard. More vnodes = smoother key spread across shards
   // (64 keeps the max/min load ratio tight without bloating the ring).

@@ -31,6 +31,8 @@
 #include <vector>
 
 #include "common/thread_annotations.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/batch.hpp"
 #include "service/distributed.hpp"  // slice_rows (mask row windows)
 #include "service/transport.hpp"
@@ -170,6 +172,10 @@ class ServiceShard {
             // behind this update sees the new version and matrix.
             handle_update(payload, registry);
             continue;
+          case MessageType::kMetricsRequest:
+            p.type = MessageType::kMetricsResponse;
+            p.immediate = encode_metrics_text(metrics_text());
+            break;
           default:
             p.type = MessageType::kResponse;
             p.immediate = encode_error_response(
@@ -223,6 +229,28 @@ class ServiceShard {
   Executor& executor() { return exec_; }
   const ShardConfig& config() const { return cfg_; }
 
+  // The shard's metrics plane as Prometheus text: the executor's registry
+  // (live latency histograms + BatchStats/PlanCacheStats mirrors) plus the
+  // wire counters, every sample labelled shard="<name>" so an in-process
+  // fleet scrapes without collisions. Served over the wire by
+  // kMetricsRequest; also directly callable for co-located deployments.
+  std::string metrics_text() {
+    const ServiceStats s = stats();
+    obs::Registry& reg = exec_.metrics();
+    reg.counter("msx_shard_requests_total")->set(s.requests);
+    reg.counter("msx_shard_responses_total")->set(s.responses);
+    reg.counter("msx_shard_errors_total")->set(s.errors);
+    reg.counter("msx_shard_overloaded_total")->set(s.overloaded);
+    reg.counter("msx_shard_stale_total")->set(s.stale);
+    reg.counter("msx_shard_registrations_total")->set(s.registrations);
+    reg.counter("msx_shard_updates_total")->set(s.updates);
+    reg.counter("msx_shard_bytes_in_total")->set(s.bytes_in);
+    reg.counter("msx_shard_bytes_out_total")->set(s.bytes_out);
+    reg.gauge("msx_shard_warm_hit_rate")->set(s.warm_hit_rate());
+    exec_.publish_metrics();
+    return reg.render("shard=\"" + cfg_.name + "\"");
+  }
+
  private:
   // One queued response: either a submitted job's future (encoded by the
   // sender when it completes) or a pre-encoded payload.
@@ -237,6 +265,15 @@ class ServiceShard {
     // should look expensive to the 2D placer.
     std::chrono::steady_clock::time_point t0 =
         std::chrono::steady_clock::now();
+    // v5: the executor stamps the queue/run split here inside the job body
+    // (future-ready ordering makes the sender's read race-free).
+    std::shared_ptr<JobTiming> timing;
+    // v5: trace context from a kSubTraced submit. span_id is minted at
+    // receipt so the executor's spans nest under the shard.request span the
+    // sender records once the result is known.
+    obs::TraceId trace;
+    std::uint64_t span_id = 0;
+    std::uint64_t parent_span = 0;
   };
 
   // Response FIFO between one connection's reader and its sender thread —
@@ -329,8 +366,11 @@ class ServiceShard {
                    : (req.m_is_b ? b
                                  : std::make_shared<const Mat>(
                                        std::move(req.m_storage)));
+      p.timing = std::make_shared<JobTiming>();
+      JobOptions job;
+      job.timing = p.timing;
       p.fut = exec_.submit_shared(std::move(a), std::move(b), std::move(m),
-                                  req.opts);
+                                  req.opts, std::move(job));
     } catch (const BatchRejected& e) {
       p.immediate = encode_error_response(WireStatus::kOverloaded, e.what());
     } catch (const WireError& e) {
@@ -375,6 +415,7 @@ class ServiceShard {
       throw WireError("wire: update for unknown structure id " +
                       std::to_string(upd.structure_id));
     }
+    obs::ScopedSpan span("delta.apply");
     Registered& reg = it->second;
     std::shared_ptr<const Mat> old_b = reg.b;
     std::shared_ptr<const Mat> new_b;
@@ -467,6 +508,16 @@ class ServiceShard {
       }
       JobOptions job;
       job.priority = sub.priority;
+      p.timing = std::make_shared<JobTiming>();
+      job.timing = p.timing;
+      if (sub.traced && obs::trace_enabled()) {
+        p.trace = obs::TraceId{sub.trace_hi, sub.trace_lo};
+        p.parent_span = sub.trace_parent;
+        p.span_id = obs::next_span_id();
+        // The job's spans (exec.queue/exec.run, phase.*) parent under this
+        // shard's request span and carry its name as their component.
+        job.trace = {p.trace, p.span_id, cfg_.name.c_str()};
+      }
       p.fut = exec_.submit_shared(std::move(a), std::move(b), std::move(m),
                                   sub.opts, std::move(job), reg.lineage);
     } catch (const BatchRejected& e) {
@@ -507,13 +558,27 @@ class ServiceShard {
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 std::chrono::steady_clock::now() - p.t0)
                 .count());
+        h_request_->observe_ns(nanos);
+        if (obs::trace_enabled() && p.trace.valid()) {
+          // Receipt-to-result on this shard; the executor's exec.queue /
+          // exec.run (and phase.*) spans already nest under p.span_id.
+          const std::uint64_t t0_ns = static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  p.t0.time_since_epoch())
+                  .count());
+          obs::record_span("shard.request", p.trace, p.span_id,
+                           p.parent_span, t0_ns, nanos, cfg_.name.c_str());
+        }
       } else {
         payload = std::move(p.immediate);
       }
       try {
         if (result.has_value()) {
           GatherPayload g;
-          encode_response_parts(g, *result, nanos);
+          const JobTiming* t = p.timing.get();
+          encode_response_parts(g, *result, nanos,
+                                t != nullptr ? t->queue_ns : 0,
+                                t != nullptr ? t->run_ns : 0);
           count_out_ok(p.type, g.total_bytes());
           send_frame_parts(s, p.type, p.rid, g);
         } else {
@@ -564,6 +629,9 @@ class ServiceShard {
 
   ShardConfig cfg_;
   Executor exec_;
+  // Receipt-to-result latency per product request served by this shard.
+  obs::Histogram* h_request_ =
+      exec_.metrics().histogram("msx_shard_request_seconds");
   detail::ConnectionSet conns_;
   Mutex listeners_mu_{LockRank::kShard, "ServiceShard::listeners_mu_"};
   std::vector<std::unique_ptr<Listener>> listeners_

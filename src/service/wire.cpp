@@ -12,6 +12,8 @@ const char* to_string(MessageType t) {
     case MessageType::kSubmitRequest: return "submit";
     case MessageType::kUnregisterRequest: return "unregister";
     case MessageType::kUpdateRequest: return "update";
+    case MessageType::kMetricsRequest: return "metrics-request";
+    case MessageType::kMetricsResponse: return "metrics-response";
   }
   return "?";
 }
@@ -75,7 +77,7 @@ FrameHeader decode_frame_header(std::span<const std::uint8_t> bytes) {
     throw WireVersionError(h.version, h.request_id);
   }
   if (type < static_cast<std::uint16_t>(MessageType::kRequest) ||
-      type > static_cast<std::uint16_t>(MessageType::kUpdateRequest)) {
+      type > static_cast<std::uint16_t>(MessageType::kMetricsResponse)) {
     throw WireError("wire: unknown message type " + std::to_string(type));
   }
   h.type = static_cast<MessageType>(type);
@@ -133,8 +135,23 @@ std::vector<std::uint8_t> encode_error_response(WireStatus status,
   WireWriter w;
   w.put_u32(static_cast<std::uint32_t>(status));
   w.put_u64(exec_nanos);
+  w.put_u64(0);  // queue_nanos (v5): unknown on the error path
+  w.put_u64(0);  // run_nanos
   w.put_string(message);
   return w.take();
+}
+
+std::vector<std::uint8_t> encode_metrics_text(const std::string& text) {
+  WireWriter w;
+  w.put_string(text);
+  return w.take();
+}
+
+std::string decode_metrics_text(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  std::string text = r.get_string();
+  if (!r.exhausted()) throw WireError("wire: trailing bytes in metrics");
+  return text;
 }
 
 std::vector<std::uint8_t> encode_stats(const ServiceStats& s) {

@@ -61,6 +61,11 @@ enum class MessageType : std::uint16_t {
   // number. One-way like register/unregister (FIFO frame ordering makes a
   // submit behind an update see the new version).
   kUpdateRequest = 8,
+  // Observability protocol (wire v5): pull a shard's metrics registry as
+  // Prometheus text exposition. Request carries no payload; the response
+  // payload is one length-prefixed string.
+  kMetricsRequest = 9,
+  kMetricsResponse = 10,
 };
 
 enum class WireStatus : std::uint32_t {
@@ -86,10 +91,13 @@ inline constexpr std::uint32_t kWireMagic = 0x4D535857u;  // "WXSM" on the wire
 // spans over the payload instead of copying arrays out, carries the shard's
 // execute time on every response (load-aware routing), and adds the
 // kSubMaskRows row window so a panel task can run against a row slice of the
-// registered mask. The 32-byte header layout has never changed, so a
+// registered mask. v5 (observability) adds the optional kSubTraced
+// trace-context triple on submits, splits the response timing into
+// exec/queue/run nanoseconds, and adds kMetricsRequest/kMetricsResponse
+// (Prometheus text pull). The 32-byte header layout has never changed, so a
 // mismatched peer is parsed far enough to reject it loudly on its own
 // request id (WireVersionError) instead of hanging.
-inline constexpr std::uint16_t kWireVersion = 4;
+inline constexpr std::uint16_t kWireVersion = 5;
 inline constexpr std::size_t kFrameHeaderBytes = 32;
 // Upper bound on a single payload; a corrupt length field must not turn into
 // a multi-gigabyte allocation.
@@ -605,6 +613,11 @@ inline constexpr std::uint8_t kSubInteractive = 16; // Priority::kInteractive
 // M, rebased to row 0 — the row window matching an inlined A row panel.
 // Requires kSubMRegistered; the payload gains two u64s after the flag byte.
 inline constexpr std::uint8_t kSubMaskRows = 32;
+// v5 (observability): the submit carries its request trace context — the
+// 128-bit trace id and the client-side parent span id — as three u64s after
+// the mask row window. The shard parents its spans under it so one product
+// yields a single merged timeline across client and shards.
+inline constexpr std::uint8_t kSubTraced = 64;
 
 template <class IT, class VT>
 struct WireRegister {
@@ -668,6 +681,11 @@ struct WireSubmit {
   bool mask_rows = false;
   std::uint64_t mask_r0 = 0;
   std::uint64_t mask_r1 = 0;
+  // v5: request trace context (all-zero when the submit was not traced).
+  bool traced = false;
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::uint64_t trace_parent = 0;
   Priority priority = Priority::kBatch;
   MaskedOptions opts;
   CSRMatrix<IT, VT> a_storage;  // valid unless a_is_b
@@ -683,13 +701,21 @@ void encode_submit_parts(GatherPayload& g, std::uint64_t structure_id,
                          const CSRMatrix<IT, VT>* m,
                          const MaskedOptions& opts,
                          std::uint64_t mask_r0 = 0,
-                         std::uint64_t mask_r1 = 0) {
+                         std::uint64_t mask_r1 = 0,
+                         std::uint64_t trace_hi = 0,
+                         std::uint64_t trace_lo = 0,
+                         std::uint64_t trace_parent = 0) {
   g.put_u64(structure_id);
   g.put_u64(version);
   g.put_u8(flags);
   if ((flags & kSubMaskRows) != 0) {
     g.put_u64(mask_r0);
     g.put_u64(mask_r1);
+  }
+  if ((flags & kSubTraced) != 0) {
+    g.put_u64(trace_hi);
+    g.put_u64(trace_lo);
+    g.put_u64(trace_parent);
   }
   write_options(g, opts);
   if ((flags & kSubAIsB) == 0) write_csr_parts(g, *a);
@@ -706,7 +732,7 @@ WireSubmit<IT, VT> decode_submit(std::span<const std::uint8_t> payload) {
   sub.version = r.get_u64();
   const std::uint8_t flags = r.get_u8();
   if ((flags & ~(kSubAIsB | kSubMIsA | kSubMIsB | kSubMRegistered |
-                 kSubInteractive | kSubMaskRows)) != 0) {
+                 kSubInteractive | kSubMaskRows | kSubTraced)) != 0) {
     throw WireError("wire: unknown submit flags");
   }
   sub.a_is_b = (flags & kSubAIsB) != 0;
@@ -714,6 +740,7 @@ WireSubmit<IT, VT> decode_submit(std::span<const std::uint8_t> payload) {
   sub.m_is_b = (flags & kSubMIsB) != 0;
   sub.m_registered = (flags & kSubMRegistered) != 0;
   sub.mask_rows = (flags & kSubMaskRows) != 0;
+  sub.traced = (flags & kSubTraced) != 0;
   sub.priority = (flags & kSubInteractive) != 0 ? Priority::kInteractive
                                                 : Priority::kBatch;
   if (static_cast<int>(sub.m_is_a) + static_cast<int>(sub.m_is_b) +
@@ -729,6 +756,11 @@ WireSubmit<IT, VT> decode_submit(std::span<const std::uint8_t> payload) {
     if (sub.mask_r0 > sub.mask_r1) {
       throw WireError("wire: inverted mask row window");
     }
+  }
+  if (sub.traced) {
+    sub.trace_hi = r.get_u64();
+    sub.trace_lo = r.get_u64();
+    sub.trace_parent = r.get_u64();
   }
   sub.opts = read_options(r);
   if (!sub.a_is_b) sub.a_storage = read_csr<IT, VT>(r);
@@ -821,20 +853,30 @@ WireUpdate<IT, VT> decode_update(std::span<const std::uint8_t> payload) {
 // large C pays no payload-assembly copy either. v4: every response carries
 // the shard's service time for the request (queue + execute, nanoseconds)
 // right after the status — the cost-model feedback the client-side EWMA
-// routing consumes.
+// routing consumes. v5 splits that total into its components: queue_nanos
+// (admission to execution start) and run_nanos (kernel execution), the
+// per-hop breakdown the tracing plane stitches into the request timeline.
+// exec_nanos keeps its receipt-to-result meaning so the EWMA signal is
+// unchanged.
 template <class IT, class VT>
 void encode_response_parts(GatherPayload& g, const CSRMatrix<IT, VT>& result,
-                           std::uint64_t exec_nanos = 0) {
+                           std::uint64_t exec_nanos = 0,
+                           std::uint64_t queue_nanos = 0,
+                           std::uint64_t run_nanos = 0) {
   g.put_u32(static_cast<std::uint32_t>(WireStatus::kOk));
   g.put_u64(exec_nanos);
+  g.put_u64(queue_nanos);
+  g.put_u64(run_nanos);
   write_csr_parts(g, result);
 }
 
 template <class IT, class VT>
 std::vector<std::uint8_t> encode_response(const CSRMatrix<IT, VT>& result,
-                                          std::uint64_t exec_nanos = 0) {
+                                          std::uint64_t exec_nanos = 0,
+                                          std::uint64_t queue_nanos = 0,
+                                          std::uint64_t run_nanos = 0) {
   GatherPayload g;
-  encode_response_parts(g, result, exec_nanos);
+  encode_response_parts(g, result, exec_nanos, queue_nanos, run_nanos);
   return g.flatten();
 }
 
@@ -847,6 +889,8 @@ template <class IT, class VT>
 struct WireResponse {
   WireStatus status = WireStatus::kOk;
   std::uint64_t exec_nanos = 0;   // shard service time (v4; 0 when unknown)
+  std::uint64_t queue_nanos = 0;  // v5: executor admission -> run start
+  std::uint64_t run_nanos = 0;    // v5: kernel execution time
   std::string message;            // empty on kOk
   CSRMatrix<IT, VT> result;       // valid on kOk
 };
@@ -869,6 +913,8 @@ WireResponse<IT, VT> decode_response(std::span<const std::uint8_t> payload) {
   WireResponse<IT, VT> resp;
   resp.status = detail::read_response_status(r);
   resp.exec_nanos = r.get_u64();
+  resp.queue_nanos = r.get_u64();
+  resp.run_nanos = r.get_u64();
   if (resp.status == WireStatus::kOk) {
     resp.result = read_csr<IT, VT>(r);
   } else {
@@ -886,6 +932,8 @@ template <class IT, class VT>
 struct WireResponseView {
   WireStatus status = WireStatus::kOk;
   std::uint64_t exec_nanos = 0;
+  std::uint64_t queue_nanos = 0;  // v5 timing split (see WireResponse)
+  std::uint64_t run_nanos = 0;
   std::string message;       // empty on kOk
   CSRView<IT, VT> result;    // valid on kOk; aliases the payload
 };
@@ -897,6 +945,8 @@ WireResponseView<IT, VT> decode_response_view(
   WireResponseView<IT, VT> resp;
   resp.status = detail::read_response_status(r);
   resp.exec_nanos = r.get_u64();
+  resp.queue_nanos = r.get_u64();
+  resp.run_nanos = r.get_u64();
   if (resp.status == WireStatus::kOk) {
     resp.result = read_csr_view<IT, VT>(r);
   } else {
@@ -941,5 +991,14 @@ struct ServiceStats {
 
 std::vector<std::uint8_t> encode_stats(const ServiceStats& s);
 ServiceStats decode_stats(std::span<const std::uint8_t> payload);
+
+// --- metrics (wire v5) ------------------------------------------------------
+
+// kMetricsResponse payload: the shard's metrics registry rendered as
+// Prometheus text exposition, shipped as one length-prefixed string. Text
+// (not binary counters) so the shape of the registry can evolve without a
+// wire change and an operator can curl it straight into a scrape file.
+std::vector<std::uint8_t> encode_metrics_text(const std::string& text);
+std::string decode_metrics_text(std::span<const std::uint8_t> payload);
 
 }  // namespace msx::service

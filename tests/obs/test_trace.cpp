@@ -1,0 +1,180 @@
+// Request tracing: span recording, parent/child nesting (same-thread via
+// ScopedSpan, cross-thread via explicit contexts), Chrome trace export and
+// disabled-mode no-ops (ISSUE 9 tentpole).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+using namespace msx::obs;
+
+namespace {
+
+// Every test owns the global enable flag and the span rings.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_trace_enabled(true);
+    clear_spans();
+  }
+  void TearDown() override {
+    set_trace_enabled(false);
+    set_slow_threshold_ns(0);
+    clear_spans();
+  }
+};
+
+const SpanRecord* find_span(const std::vector<SpanRecord>& spans,
+                            const std::string& name) {
+  for (const auto& s : spans) {
+    if (name == s.name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+TEST_F(TraceTest, MintedIdsAreUniqueAndValid) {
+  const TraceId a = mint_trace_id();
+  const TraceId b = mint_trace_id();
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_FALSE(a == b);
+  EXPECT_NE(next_span_id(), next_span_id());
+  EXPECT_EQ(trace_hex(a).size(), 32u);
+}
+
+TEST_F(TraceTest, ScopedSpanNestsUnderAmbientContext) {
+  const TraceId trace = mint_trace_id();
+  const std::uint64_t root = next_span_id();
+  std::uint64_t outer_id = 0;
+  std::uint64_t inner_id = 0;
+  {
+    ScopedTraceContext ctx({trace, root, "test"});
+    ScopedSpan outer("outer");
+    ASSERT_TRUE(outer.active());
+    outer_id = outer.span_id();
+    {
+      ScopedSpan inner("inner");
+      ASSERT_TRUE(inner.active());
+      inner_id = inner.span_id();
+    }
+  }
+  const auto spans = collect_spans();
+  const SpanRecord* outer_rec = find_span(spans, "outer");
+  const SpanRecord* inner_rec = find_span(spans, "inner");
+  ASSERT_NE(outer_rec, nullptr);
+  ASSERT_NE(inner_rec, nullptr);
+  EXPECT_TRUE(outer_rec->trace == trace);
+  EXPECT_TRUE(inner_rec->trace == trace);
+  EXPECT_EQ(outer_rec->span_id, outer_id);
+  EXPECT_EQ(outer_rec->parent_id, root);
+  EXPECT_EQ(inner_rec->parent_id, outer_id);
+  EXPECT_EQ(std::string(outer_rec->component), "test");
+  // The inner span finished first and within the outer's window.
+  EXPECT_GE(inner_rec->start_ns, outer_rec->start_ns);
+  EXPECT_LE(inner_rec->start_ns + inner_rec->dur_ns,
+            outer_rec->start_ns + outer_rec->dur_ns);
+}
+
+TEST_F(TraceTest, CrossThreadSpansShareOneTrace) {
+  const TraceId trace = mint_trace_id();
+  const std::uint64_t root = next_span_id();
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&trace, root] {
+      ScopedTraceContext ctx({trace, root, "worker"});
+      ScopedSpan span("work");
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const auto spans = collect_spans();
+  int matched = 0;
+  std::vector<std::uint32_t> tids;
+  for (const auto& s : spans) {
+    if (std::string(s.name) != "work") continue;
+    ++matched;
+    EXPECT_TRUE(s.trace == trace);
+    EXPECT_EQ(s.parent_id, root);
+    tids.push_back(s.tid);
+  }
+  EXPECT_EQ(matched, kThreads);
+  // Each thread records into its own ring under its own ordinal.
+  std::sort(tids.begin(), tids.end());
+  EXPECT_EQ(std::unique(tids.begin(), tids.end()) - tids.begin(), kThreads);
+}
+
+TEST_F(TraceTest, RecordSpanHonorsExplicitIds) {
+  const TraceId trace = mint_trace_id();
+  record_span("manual", trace, 101, 100, 5000, 250, "compX");
+  const auto spans = collect_spans();
+  const SpanRecord* rec = find_span(spans, "manual");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->span_id, 101u);
+  EXPECT_EQ(rec->parent_id, 100u);
+  EXPECT_EQ(rec->start_ns, 5000u);
+  EXPECT_EQ(rec->dur_ns, 250u);
+  EXPECT_EQ(std::string(rec->component), "compX");
+}
+
+TEST_F(TraceTest, ChromeTraceJsonMergesComponents) {
+  const TraceId trace = mint_trace_id();
+  record_span("client.submit", trace, 2, 0, 1000, 900, "client");
+  record_span("shard.request", trace, 3, 2, 1200, 500, "s0");
+  const auto spans = collect_spans();
+  const std::string json = chrome_trace_json(spans);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("client.submit"), std::string::npos);
+  EXPECT_NE(json.find("shard.request"), std::string::npos);
+  // One process per component, named for Perfetto's track grouping.
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find(trace_hex(trace)), std::string::npos);
+
+  const std::string path = testing::TempDir() + "msx_trace_test.json";
+  ASSERT_TRUE(write_chrome_trace(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  EXPECT_GT(std::ftell(f), 0);
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, DisabledModeRecordsNothing) {
+  set_trace_enabled(false);
+  EXPECT_FALSE(trace_enabled());
+  {
+    ScopedTraceContext ctx({mint_trace_id(), 1, "test"});
+    ScopedSpan span("ghost");
+    EXPECT_FALSE(span.active());
+    EXPECT_EQ(span.span_id(), 0u);
+  }
+  record_span("ghost2", mint_trace_id(), 1, 0, 0, 1);
+  EXPECT_TRUE(collect_spans().empty());
+}
+
+TEST_F(TraceTest, ClearSpansEmptiesTheRings) {
+  record_span("gone", mint_trace_id(), 1, 0, 0, 1);
+  EXPECT_FALSE(collect_spans().empty());
+  clear_spans();
+  EXPECT_TRUE(collect_spans().empty());
+}
+
+TEST_F(TraceTest, SlowLogThresholdGates) {
+  // Below the threshold: silent; above: dumps the tree (we only assert it
+  // doesn't crash and the threshold knob round-trips).
+  set_slow_threshold_ns(1'000'000);
+  EXPECT_EQ(slow_threshold_ns(), 1'000'000u);
+  const TraceId trace = mint_trace_id();
+  record_span("req", trace, 2, 0, 0, 2'000'000, "client");
+  maybe_log_slow(trace, 500'000);    // below: no-op
+  maybe_log_slow(trace, 2'000'000);  // above: logs to stderr
+}
