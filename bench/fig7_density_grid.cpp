@@ -7,6 +7,12 @@
 // the inputs; Heap/HeapDot when the inputs are much sparser than the mask;
 // MSA/Hash when the densities are comparable (MSA on smaller matrices, Hash
 // on larger ones).
+//
+// With --json[=PATH] each grid cell becomes a record carrying, alongside the
+// winning scheme, the per-execution-mode columns of the adaptive engine
+// (ISSUE 10): Hash forced to sparse / bitmap / dense plus the auto planner —
+// the per-cell data behind the mode-boundary picture the planner's cost
+// model encodes.
 #include <cstdio>
 #include <vector>
 
@@ -29,6 +35,22 @@ int main(int argc, char** argv) {
                "Fig. 7 (§8.1)", cfg);
 
   auto schemes = our_schemes(/*include_two_phase=*/false);
+
+  // The adaptive mode columns: Hash-1P under each forced accumulator mode,
+  // plus the auto planner. Only timed when the JSON artifact is requested —
+  // the ASCII grid stays the paper's figure.
+  struct ModeColumn {
+    const char* key;
+    AdaptiveMode mode;
+  };
+  const std::vector<ModeColumn> mode_columns{
+      {"seconds_mode_sparse", AdaptiveMode::kForceSparse},
+      {"seconds_mode_bitmap", AdaptiveMode::kForceBitmap},
+      {"seconds_mode_dense", AdaptiveMode::kForceDense},
+      {"seconds_mode_auto", AdaptiveMode::kAuto},
+  };
+
+  BenchJsonFile artifact("fig7_density_grid", cfg);
 
   for (int dim = dim_lo; dim <= dim_hi; dim += 2) {
     const IT n = IT{1} << dim;
@@ -55,6 +77,22 @@ int main(int argc, char** argv) {
           }
         }
         std::printf("%10s", best.substr(0, best.find('-')).c_str());
+        if (cfg.json) {
+          JsonObject record;
+          record.field("dim_log2", dim)
+              .field("deg_in", din)
+              .field("deg_mask", dm)
+              .field("best_scheme", best)
+              .field("best_seconds", best_t);
+          for (const auto& col : mode_columns) {
+            MaskedOptions o;
+            o.algo = MaskedAlgo::kHash;
+            o.adaptive = col.mode;
+            record.field(col.key,
+                         time_masked_spgemm<PlusTimes<VT>>(a, b, m, o, cfg));
+          }
+          artifact.add(record);
+        }
       }
       std::printf("\n");
     }
@@ -63,5 +101,8 @@ int main(int argc, char** argv) {
       "\nExpected shape (paper Fig. 7): Inner in the lower-right region\n"
       "(sparse mask, dense inputs); Heap/HeapDot upper-left (dense mask,\n"
       "sparse inputs); MSA/Hash along the comparable-density diagonal.\n");
+  if (!artifact.write(cfg.resolved_json_path("BENCH_fig7_density_grid.json"))) {
+    return 1;
+  }
   return 0;
 }

@@ -44,7 +44,15 @@ CONFIG_FIELDS = ("jobs", "structures", "scale", "pool_threads", "threads",
                  # config; failover_lost / dist2d_panels are correctness
                  # diagnostics gated by the bench binary itself.
                  "products", "edge_factor", "row_panels", "col_panels",
-                 "replicas", "dist2d_panels", "failover_lost")
+                 "replicas", "dist2d_panels", "failover_lost",
+                 # adaptive engine (micro_adaptive, fig7_density_grid):
+                 # workload geometry plus mode-decision diagnostics — the
+                 # planner's block counts and acceptance bits are checked by
+                 # the bench binary, not the trend gate.
+                 "dim", "dim_log2", "deg_in", "deg_mask", "remodes",
+                 "feedback_hits", "blocks_sparse", "blocks_bitmap",
+                 "blocks_dense", "match_best_forced", "beat_worst_forced",
+                 "mixed_modes", "feedback_remode")
 
 
 def is_higher_better(field):

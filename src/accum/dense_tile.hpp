@@ -1,0 +1,267 @@
+// Dense row-tile accumulator — the "dense" execution mode of the adaptive
+// per-block engine (src/adaptive/).
+//
+// Wheatman et al. (Masked Matrix Multiplication for Emergent Sparsity)
+// observe that once a row's fill fraction crosses a few percent, the
+// branch-per-insert discipline of sparse accumulators loses to a dense tile
+// that accumulates unconditionally and pays one O(width) sweep per row.
+// This accumulator is that tile, shaped to the MSA interface
+// (init / prepare / insert / insert_symbolic / gather_and_reset / reset /
+// clear) so MSAKernel can be instantiated with it via AccOverride, exactly
+// like MSABitmapMasked.
+//
+// Layout: a 1-bit "set" bitmap (64 columns per word) plus a dense value
+// array. A numeric insert is a single word test-and-set and a value write —
+// no allowed-state branch at all: products at masked-out columns are
+// materialized and discarded at gather (compute is cheaper than the
+// mispredicted branch at high fill; semiring ops are pure, so evaluating a
+// discarded product is safe). The per-row cost this buys back is the
+// O(width/64) word clear after every row — the term the ModePlanner's cost
+// model gates dense mode on.
+//
+// Bit-identity contract (the load-bearing property): values accumulate in
+// offer order with first-write-then-add discipline (never zero-init +
+// unconditional add, which would turn a first value of -0.0 into +0.0), and
+// the gather emits mask-row order (masked) or ascending column order
+// (complemented) — byte MSA, bitmap MSA and the hash accumulator do exactly
+// the same, so every mode of the adaptive engine produces bit-identical CSR
+// output.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/platform.hpp"
+
+namespace msx {
+
+namespace detail {
+
+inline constexpr std::size_t kDenseTileWordBits = 64;
+
+inline std::size_t dense_tile_words(std::size_t ncols) {
+  return (ncols + kDenseTileWordBits - 1) / kDenseTileWordBits;
+}
+
+}  // namespace detail
+
+// Dense tile for the non-complemented mask. The `allowed` bitmap (seeded
+// from the mask row) exists only for the symbolic pass, where the exact
+// count of mask-hits must be known at insert time; the numeric pass ignores
+// it and filters at gather by walking the mask row.
+template <class IT, class VT>
+class DenseTileMasked {
+ public:
+  // Ensures the bitmap and value array cover `ncols` columns. Idempotent;
+  // newly grown space starts unset.
+  void init(IT ncols) {
+    const std::size_t words =
+        detail::dense_tile_words(static_cast<std::size_t>(ncols));
+    if (words > set_.size()) {
+      set_.resize(words, 0);
+      allowed_.resize(words, 0);
+    }
+    if (static_cast<std::size_t>(ncols) > values_.size()) {
+      values_.resize(static_cast<std::size_t>(ncols));
+    }
+    cur_words_ = words;
+  }
+
+  void prepare(std::span<const IT> mask_cols) {
+    for (IT j : mask_cols) {
+      allowed_[word_of(j)] |= bit_of(j);
+    }
+  }
+
+  // Unconditional accumulate: one test-and-set on the bitmap, no mask
+  // branch. First write vs add keeps the value bit-identical to the sparse
+  // accumulators' offer-order sum.
+  template <class F, class Add>
+  MSX_FORCE_INLINE void insert(IT key, F&& value_fn, Add&& add) {
+    std::uint64_t& word = set_[word_of(key)];
+    const std::uint64_t bit = bit_of(key);
+    auto& v = values_[static_cast<std::size_t>(key)];
+    if (word & bit) {
+      v = add(v, value_fn());
+    } else {
+      word |= bit;
+      v = value_fn();
+    }
+  }
+
+  // Symbolic insert: 1 on the first set of an allowed key (the numeric
+  // shortcut is unavailable here — the count must be exact at insert time).
+  MSX_FORCE_INLINE IT insert_symbolic(IT key) {
+    std::uint64_t& word = set_[word_of(key)];
+    const std::uint64_t bit = bit_of(key);
+    if ((word & bit) || !(allowed_[word_of(key)] & bit)) {
+      word |= bit;
+      return 0;
+    }
+    word |= bit;
+    return 1;
+  }
+
+  // Gathers set mask columns in mask-row order, then pays the dense mode's
+  // per-row sweep: a word-level clear of the whole set bitmap (non-mask
+  // offers left bits behind that a mask walk cannot reach).
+  IT gather_and_reset(std::span<const IT> mask_cols, IT* out_cols,
+                      VT* out_vals) {
+    IT cnt = 0;
+    for (IT j : mask_cols) {
+      if (set_[word_of(j)] & bit_of(j)) {
+        out_cols[cnt] = j;
+        out_vals[cnt] = values_[static_cast<std::size_t>(j)];
+        ++cnt;
+      }
+      allowed_[word_of(j)] &= ~bit_of(j);
+    }
+    std::fill(set_.begin(),
+              set_.begin() + static_cast<std::ptrdiff_t>(cur_words_), 0);
+    return cnt;
+  }
+
+  // Resets after a symbolic pass (no output).
+  void reset(std::span<const IT> mask_cols) {
+    for (IT j : mask_cols) {
+      allowed_[word_of(j)] &= ~bit_of(j);
+    }
+    std::fill(set_.begin(),
+              set_.begin() + static_cast<std::ptrdiff_t>(cur_words_), 0);
+  }
+
+  // Releases the backing arrays entirely (plan workspace-reset hook).
+  void clear() {
+    set_ = {};
+    allowed_ = {};
+    values_ = {};
+    cur_words_ = 0;
+  }
+
+ private:
+  static std::size_t word_of(IT key) {
+    return static_cast<std::size_t>(key) / detail::kDenseTileWordBits;
+  }
+  static std::uint64_t bit_of(IT key) {
+    return std::uint64_t{1}
+           << (static_cast<std::size_t>(key) % detail::kDenseTileWordBits);
+  }
+
+  std::vector<std::uint64_t> set_;
+  std::vector<std::uint64_t> allowed_;
+  std::vector<VT> values_;
+  std::size_t cur_words_ = 0;
+};
+
+// Dense tile for the complemented mask: mask columns are banned, everything
+// else is fair game. The gather scans (set & ~banned) words in ascending
+// order — the same sorted-by-column output the complement MSA and hash
+// accumulators produce after sorting their touched lists, without the sort.
+template <class IT, class VT>
+class DenseTileComplement {
+ public:
+  void init(IT ncols) {
+    const std::size_t words =
+        detail::dense_tile_words(static_cast<std::size_t>(ncols));
+    if (words > set_.size()) {
+      set_.resize(words, 0);
+      banned_.resize(words, 0);
+    }
+    if (static_cast<std::size_t>(ncols) > values_.size()) {
+      values_.resize(static_cast<std::size_t>(ncols));
+    }
+    cur_words_ = words;
+  }
+
+  void prepare(std::span<const IT> mask_cols) {
+    for (IT j : mask_cols) {
+      banned_[word_of(j)] |= bit_of(j);
+    }
+  }
+
+  // Banned columns accumulate too (and are dropped by the gather's ~banned
+  // filter); non-banned columns see exactly the offer-order sum.
+  template <class F, class Add>
+  MSX_FORCE_INLINE void insert(IT key, F&& value_fn, Add&& add) {
+    std::uint64_t& word = set_[word_of(key)];
+    const std::uint64_t bit = bit_of(key);
+    auto& v = values_[static_cast<std::size_t>(key)];
+    if (word & bit) {
+      v = add(v, value_fn());
+    } else {
+      word |= bit;
+      v = value_fn();
+    }
+  }
+
+  MSX_FORCE_INLINE IT insert_symbolic(IT key) {
+    std::uint64_t& word = set_[word_of(key)];
+    const std::uint64_t bit = bit_of(key);
+    if ((word & bit) || (banned_[word_of(key)] & bit)) {
+      word |= bit;
+      return 0;
+    }
+    word |= bit;
+    return 1;
+  }
+
+  // Word-tiled gather: ctz walks each (set & ~banned) word's bits in
+  // ascending column order, so the output is sorted without a touched list.
+  IT gather_and_reset(std::span<const IT> mask_cols, IT* out_cols,
+                      VT* out_vals) {
+    IT cnt = 0;
+    for (std::size_t w = 0; w < cur_words_; ++w) {
+      std::uint64_t live = set_[w] & ~banned_[w];
+      while (live != 0) {
+        const int b = std::countr_zero(live);
+        live &= live - 1;
+        const IT j = static_cast<IT>(w * detail::kDenseTileWordBits +
+                                     static_cast<std::size_t>(b));
+        out_cols[cnt] = j;
+        out_vals[cnt] = values_[static_cast<std::size_t>(j)];
+        ++cnt;
+      }
+      set_[w] = 0;
+    }
+    for (IT j : mask_cols) {
+      banned_[word_of(j)] &= ~bit_of(j);
+    }
+    return cnt;
+  }
+
+  void reset(std::span<const IT> mask_cols) {
+    std::fill(set_.begin(),
+              set_.begin() + static_cast<std::ptrdiff_t>(cur_words_), 0);
+    for (IT j : mask_cols) {
+      banned_[word_of(j)] &= ~bit_of(j);
+    }
+  }
+
+  // Releases the backing arrays entirely (plan workspace-reset hook).
+  void clear() {
+    set_ = {};
+    banned_ = {};
+    values_ = {};
+    cur_words_ = 0;
+  }
+
+ private:
+  static std::size_t word_of(IT key) {
+    return static_cast<std::size_t>(key) / detail::kDenseTileWordBits;
+  }
+  static std::uint64_t bit_of(IT key) {
+    return std::uint64_t{1}
+           << (static_cast<std::size_t>(key) % detail::kDenseTileWordBits);
+  }
+
+  std::vector<std::uint64_t> set_;
+  std::vector<std::uint64_t> banned_;
+  std::vector<VT> values_;
+  std::size_t cur_words_ = 0;
+};
+
+}  // namespace msx

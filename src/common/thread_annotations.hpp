@@ -106,6 +106,9 @@ enum class LockRank : std::uint32_t {
   kTaskState = 65,       // per-run helper/arena completion state
   kPlanCache = 70,       // PlanCache index + lease flags
   kKernelWorkspace = 80, // plan-kernel workspace free lists
+  kAdaptiveFeedback = 85, // adaptive-engine feedback store (leaf; acquired
+                          // between executes, never while a workspace or
+                          // plan-cache lock is held)
   kTransport = 90,       // byte queues, loopback listeners (leaf I/O)
   kObsRegistry = 95,     // obs trace-ring + metrics registries (leaf; may be
                          // acquired while holding any of the above)

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/platform.hpp"
+#include "matrix/csc.hpp"
 #include "matrix/csr.hpp"
 
 namespace msx {
@@ -186,6 +187,144 @@ CSRMatrix<IT, VT> apply_edge_delta(const CSRMatrix<IT, VT>& m,
 
   return CSRMatrix<IT, VT>(nrows, ncols, std::move(rowptr), std::move(colidx),
                            std::move(values));
+}
+
+// Applies `delta` to a CSC mirror in place, splicing only the touched
+// *columns* — the transpose of apply_edge_delta's row splice, with identical
+// edit semantics (deletes before inserts, last duplicate insert wins). The
+// lazy alternative to rebuilding the whole transpose after a delta: for a
+// k-edge batch only the k distinct columns are merged, every other column's
+// structure and values are block-copied. The result is exactly
+// build_csc_cache(apply_edge_delta(b, delta)) minus the refresh permutation
+// (which shifts globally under structural edits — callers fall back to
+// refresh_csc_values below). Returns the number of columns spliced.
+template <class IT, class VT>
+std::size_t patch_csc_for_delta(CSCMatrix<IT, VT>& csc,
+                                const EdgeDelta<IT, VT>& delta) {
+  if (delta.empty()) return 0;
+  const IT ncsr_rows = csc.nrows();
+  const IT ncols = csc.ncols();
+  auto in_range = [&](IT r, IT c) {
+    return r >= IT{0} && r < ncsr_rows && c >= IT{0} && c < ncols;
+  };
+  for (std::size_t k = 0; k < delta.ins_row.size(); ++k) {
+    check_arg(in_range(delta.ins_row[k], delta.ins_col[k]),
+              "patch_csc_for_delta: insert out of range at index " +
+                  std::to_string(k));
+  }
+  for (std::size_t k = 0; k < delta.del_row.size(); ++k) {
+    check_arg(in_range(delta.del_row[k], delta.del_col[k]),
+              "patch_csc_for_delta: delete out of range at index " +
+                  std::to_string(k));
+  }
+
+  // Same records as apply_edge_delta, keyed (col, row, seq): within one
+  // (col, row) group the delete sorts first and the last insert decides.
+  struct Edit {
+    IT col;
+    IT row;
+    std::size_t seq;  // 0 for deletes; 1+k for insert k
+    bool is_insert;
+  };
+  std::vector<Edit> edits;
+  edits.reserve(delta.size());
+  for (std::size_t k = 0; k < delta.del_row.size(); ++k) {
+    edits.push_back(Edit{delta.del_col[k], delta.del_row[k], 0, false});
+  }
+  for (std::size_t k = 0; k < delta.ins_row.size(); ++k) {
+    edits.push_back(Edit{delta.ins_col[k], delta.ins_row[k], k + 1, true});
+  }
+  std::sort(edits.begin(), edits.end(), [](const Edit& x, const Edit& y) {
+    if (x.col != y.col) return x.col < y.col;
+    if (x.row != y.row) return x.row < y.row;
+    return x.seq < y.seq;
+  });
+
+  const auto old_colptr = csc.colptr();
+  const auto old_rowidx = csc.rowidx();
+  const auto old_values = csc.values();
+
+  std::vector<IT> colptr;
+  std::vector<IT> rowidx;
+  std::vector<VT> values;
+  colptr.reserve(static_cast<std::size_t>(ncols) + 1);
+  rowidx.reserve(csc.nnz() + delta.ins_row.size());
+  values.reserve(csc.nnz() + delta.ins_row.size());
+  colptr.push_back(IT{0});
+
+  std::size_t patched = 0;
+  std::size_t e = 0;  // cursor into edits
+  for (IT j = 0; j < ncols; ++j) {
+    const auto lo = static_cast<std::size_t>(old_colptr[j]);
+    const auto hi = static_cast<std::size_t>(old_colptr[j + 1]);
+    if (e >= edits.size() || edits[e].col != j) {
+      rowidx.insert(rowidx.end(), old_rowidx.begin() + lo,
+                    old_rowidx.begin() + hi);
+      values.insert(values.end(), old_values.begin() + lo,
+                    old_values.begin() + hi);
+      colptr.push_back(static_cast<IT>(rowidx.size()));
+      continue;
+    }
+    ++patched;
+    std::size_t p = lo;
+    while (e < edits.size() && edits[e].col == j) {
+      const IT r = edits[e].row;
+      bool insert_wins = false;
+      std::size_t win = 0;
+      while (e < edits.size() && edits[e].col == j && edits[e].row == r) {
+        insert_wins = edits[e].is_insert;
+        if (insert_wins) win = edits[e].seq - 1;
+        ++e;
+      }
+      while (p < hi && old_rowidx[p] < r) {
+        rowidx.push_back(old_rowidx[p]);
+        values.push_back(old_values[p]);
+        ++p;
+      }
+      const bool existed = (p < hi && old_rowidx[p] == r);
+      if (existed) ++p;
+      if (insert_wins) {
+        rowidx.push_back(r);
+        values.push_back(delta.ins_val[win]);
+      }
+    }
+    rowidx.insert(rowidx.end(), old_rowidx.begin() + p,
+                  old_rowidx.begin() + hi);
+    values.insert(values.end(), old_values.begin() + p,
+                  old_values.begin() + hi);
+    colptr.push_back(static_cast<IT>(rowidx.size()));
+  }
+
+  csc = CSCMatrix<IT, VT>(ncsr_rows, ncols, std::move(colptr),
+                          std::move(rowidx), std::move(values));
+  return patched;
+}
+
+// Refreshes a CSC mirror's values from its CSR source without a slot
+// permutation: one cursor per column, walking the CSR in row order. Rows
+// ascend, so each column's cursor writes its entries in exactly the CSC's
+// row order. O(nnz) like the permutation refresh, minus the O(nnz) index
+// array — the fallback execute_values() uses once a delta patch has
+// invalidated csc_perm.
+template <class IT, class VT>
+void refresh_csc_values(const CSRMatrix<IT, VT>& b, CSCMatrix<IT, VT>& csc) {
+  check_arg(b.nnz() == csc.nnz() && b.ncols() == csc.ncols(),
+            "refresh_csc_values: CSC mirror does not match the CSR source");
+  const auto colptr = csc.colptr();
+  std::vector<IT> cursors(colptr.begin(), colptr.end() - 1);
+  auto out = csc.mutable_values();
+  const auto rowptr = b.rowptr();
+  const auto colidx = b.colidx();
+  const auto vals = b.values();
+  const IT nrows = b.nrows();
+  for (IT i = 0; i < nrows; ++i) {
+    const auto lo = static_cast<std::size_t>(rowptr[i]);
+    const auto hi = static_cast<std::size_t>(rowptr[i + 1]);
+    for (std::size_t p = lo; p < hi; ++p) {
+      const auto c = static_cast<std::size_t>(colidx[p]);
+      out[static_cast<std::size_t>(cursors[c]++)] = vals[p];
+    }
+  }
 }
 
 }  // namespace msx

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "accum/msa_bitmap.hpp"
+#include "adaptive/adaptive_kernel.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/timer.hpp"
 #include "core/hash_kernel.hpp"
@@ -73,16 +74,23 @@ class PlanKernelBase {
   // carries a cached two-phase rowptr across calls; `partition` (optional)
   // carries the flop-balanced row partition the same way. `ctx` decides who
   // executes the passes (OpenMP team, the calling thread, or a task arena)
-  // and how many workspace slots the run leases. Concurrent run() calls are
-  // safe once the caches are warm (each leases its own workspace pool);
-  // bind() must not race with run().
+  // and how many workspace slots the run leases. `timings` (optional)
+  // receives the run's per-block numeric-pass wall time — adaptive plans
+  // feed it to the FeedbackStore. Concurrent run() calls are safe once the
+  // caches are warm (each leases its own workspace pool); bind() must not
+  // race with run().
   virtual output_matrix run(TwoPhaseCache<IT>* symbolic,
-                            PartitionCache* partition,
-                            const ExecContext& ctx) = 0;
+                            PartitionCache* partition, const ExecContext& ctx,
+                            BlockTimings* timings) = 0;
 
   output_matrix run(TwoPhaseCache<IT>* symbolic,
                     PartitionCache* partition = nullptr) {
-    return run(symbolic, partition, ExecContext::openmp());
+    return run(symbolic, partition, ExecContext::openmp(), nullptr);
+  }
+
+  output_matrix run(TwoPhaseCache<IT>* symbolic, PartitionCache* partition,
+                    const ExecContext& ctx) {
+    return run(symbolic, partition, ctx, nullptr);
   }
 
   // Releases all per-thread scratch memory (accumulator arrays, heaps).
@@ -129,7 +137,7 @@ class PlanKernelImpl final : public PlanKernelBase<SR, IT, VT> {
   }
 
   output_matrix run(TwoPhaseCache<IT>* symbolic, PartitionCache* partition,
-                    const ExecContext& ctx) override {
+                    const ExecContext& ctx, BlockTimings* timings) override {
     check_arg(kernel_.has_value(), "plan kernel: run() before bind()");
     // Lease a workspace pool for this run. Sequential executes keep reusing
     // the same pool (the plan-reuse win); concurrent executes each get their
@@ -138,7 +146,7 @@ class PlanKernelImpl final : public PlanKernelBase<SR, IT, VT> {
     WorkspaceLease lease = lease_workspaces(
         static_cast<std::size_t>(ctx.concurrency(opts_.threads)));
     return run_masked_kernel(*kernel_, opts_, *lease.pool, symbolic,
-                             partition, ctx);
+                             partition, ctx, timings);
   }
 
   void reset_workspaces() override {
@@ -319,6 +327,20 @@ struct MakeHybrid {
   }
 };
 
+// Adaptive per-block engine (src/adaptive/): one kernel owning the sparse /
+// bitmap / dense push engines and dispatching per partition block. Not a
+// table entry — MaskedOptions::adaptive is fingerprint-neutral and must not
+// change which (algo, kind) pair a plan resolves to, so the plan swaps the
+// factory itself (see adaptive_factory below and MaskedPlan's ctor).
+template <class SR, class IT, class VT, bool Complemented>
+struct MakeAdaptive {
+  static auto make(const KernelOperands<IT, VT>& in,
+                   const MaskedOptions& opts) {
+    return adaptive::AdaptiveKernel<SR, IT, VT, Complemented>(
+        *in.a, *in.b, in.mask, opts.adaptive);
+  }
+};
+
 }  // namespace detail
 
 // The registry itself: a static table, one row per supported
@@ -390,6 +412,17 @@ struct KernelRegistry {
       if (e.algo == algo && e.kind == kind) return &e;
     }
     return nullptr;
+  }
+
+  // Factory for the adaptive engine (never needs a CSC mirror — all three of
+  // its engines are push-based). Used when adaptive::engine_eligible says the
+  // resolved algorithm's kernel can be replaced; deliberately outside the
+  // table so the (algo, kind) decision surface is unchanged by the knob.
+  static Factory adaptive_factory(MaskKind kind) {
+    using namespace detail;
+    return kind == MaskKind::kComplement
+               ? &factory<MakeAdaptive<SR, IT, VT, true>>
+               : &factory<MakeAdaptive<SR, IT, VT, false>>;
   }
 };
 

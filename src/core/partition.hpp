@@ -41,6 +41,13 @@ struct RowPartition {
   // kernel with per-block sizing asks for it; parallel to blocks() once
   // filled. Shares the partition's lifetime, so plan caching amortizes it.
   std::vector<std::int64_t> block_width;
+  // Adaptive per-block execution (src/adaptive/): the execution mode each
+  // block dispatches (adaptive::BlockMode as uint8), plus the ModePlanner's
+  // predicted unit cost per mode — blocks() × 3 entries, mode-minor — which
+  // the FeedbackStore scales by observed coefficients when re-moding. Empty
+  // until an adaptive kernel plans modes; same lifetime as block_width.
+  std::vector<std::uint8_t> block_mode;
+  std::vector<double> block_mode_cost;
 
   int blocks() const {
     return block_start.empty() ? 0
@@ -116,7 +123,21 @@ struct PartitionCache {
     valid = false;
     partition.block_start.clear();
     partition.block_width.clear();
+    partition.block_mode.clear();
+    partition.block_mode_cost.clear();
   }
+};
+
+// Per-block numeric-pass wall time of one run, recorded by the phase driver
+// when the caller passes a BlockTimings out-param (adaptive plans do; see
+// MaskedPlan). Parallel to the partition's blocks; `mode` is the
+// adaptive::BlockMode each block dispatched (0 for non-adaptive kernels).
+// Each block's entry is written by exactly the worker that ran the block,
+// so no synchronization is needed beyond the dispatch barrier.
+struct BlockTimings {
+  std::vector<std::uint64_t> nanos;
+  std::vector<std::uint8_t> mode;
+  bool empty() const { return nanos.empty(); }
 };
 
 }  // namespace msx

@@ -22,6 +22,7 @@
 // OpenMP thread ids.
 #pragma once
 
+#include <chrono>
 #include <concepts>
 #include <cstddef>
 #include <cstdint>
@@ -77,14 +78,17 @@ void offsets_inplace(std::vector<T>& v, const ExecContext& ctx) {
 // freshly computed rowptr is cached. `partition` plays the same role for the
 // flop-balanced row partition: under Schedule::kFlopBalanced the symbolic,
 // numeric, bound and compaction passes all dispatch the partition's blocks,
-// and a valid cache skips rebuilding it.
+// and a valid cache skips rebuilding it. `timings`, when non-null, receives
+// the per-block numeric-pass wall time of this run (adaptive plans feed it
+// to the FeedbackStore); it stays empty for non-partitioned dispatch.
 template <class Kernel>
 CSRMatrix<typename Kernel::index_type, typename Kernel::output_value>
 run_masked_kernel(const Kernel& kernel, const MaskedOptions& opts,
                   PerThread<typename Kernel::Workspace>& workspaces,
                   TwoPhaseCache<typename Kernel::index_type>* symbolic,
                   PartitionCache* partition = nullptr,
-                  const ExecContext& ctx = ExecContext::openmp()) {
+                  const ExecContext& ctx = ExecContext::openmp(),
+                  BlockTimings* timings = nullptr) {
   using IT = typename Kernel::index_type;
   using OVT = typename Kernel::output_value;
 
@@ -96,6 +100,18 @@ run_masked_kernel(const Kernel& kernel, const MaskedOptions& opts,
       requires(const Kernel& k, typename Kernel::Workspace& w) {
         { k.width_row(IT{0}) } -> std::convertible_to<std::int64_t>;
         k.begin_block(w, std::int64_t{});
+      };
+
+  // Adaptive per-block execution (src/adaptive/): a kernel that plans a
+  // per-block mode (plan_block_modes fills RowPartition::block_mode) and
+  // switches engines per workspace (select_mode) gets the mode set in the
+  // per-block prologue; everything else about dispatch is unchanged.
+  constexpr bool kHasModeSelect =
+      requires(const Kernel& k, typename Kernel::Workspace& w,
+               RowPartition& p, const ExecContext& c) {
+        k.plan_block_modes(p, c);
+        k.select_mode(w, std::uint8_t{}, std::int64_t{});
+        { k.default_mode() } -> std::convertible_to<std::uint8_t>;
       };
 
   const IT nrows = kernel.nrows();
@@ -164,6 +180,15 @@ run_masked_kernel(const Kernel& kernel, const MaskedOptions& opts,
         });
       }
     }
+    if constexpr (kHasModeSelect) {
+      // Like block widths, modes live with the partition: planned once per
+      // structure, then re-moded in place by the FeedbackStore between
+      // executes (never re-planned here).
+      if (blocks->block_mode.size() !=
+          static_cast<std::size_t>(blocks->blocks())) {
+        kernel.plan_block_modes(*blocks, ctx);
+      }
+    }
   }
   if constexpr (kHasBlockSizing) {
     // Non-partitioned dispatch never runs the per-block prologue, so any
@@ -171,30 +196,65 @@ run_masked_kernel(const Kernel& kernel, const MaskedOptions& opts,
     // workspaces would undersize the accumulator (the arrays are grow-only
     // and may cover only that run's widest block). Clear every slot up
     // front; partitioned dispatch refreshes the bound at each block entry.
+    // Mode-select kernels additionally pin every slot to the kernel's
+    // whole-product default mode.
     if (blocks == nullptr) {
       for (std::size_t t = 0; t < workspaces.size(); ++t) {
-        kernel.begin_block(workspaces.slot(t), 0);
+        if constexpr (kHasModeSelect) {
+          kernel.select_mode(workspaces.slot(t), kernel.default_mode(), 0);
+        } else {
+          kernel.begin_block(workspaces.slot(t), 0);
+        }
       }
     }
+  }
+  if (timings != nullptr) {
+    const auto nb =
+        blocks != nullptr ? static_cast<std::size_t>(blocks->blocks()) : 0;
+    timings->nanos.assign(nb, 0);
+    timings->mode.assign(nb, 0);
   }
 
   // `fallback` is what non-flop-balanced calls use: the requested schedule
   // for kernel passes, static for the cheap bookkeeping passes. Bodies
   // receive their workspace slot already resolved — and, under the
-  // partition, a per-block prologue has sized the accumulator bound first.
-  const auto run_rows = [&](Schedule fallback, auto&& body) {
+  // partition, a per-block prologue has sized the accumulator bound (and,
+  // for mode-select kernels, picked the block's engine) first. `timed`
+  // marks the numeric passes: when the caller wants BlockTimings, those are
+  // the passes whose per-block wall time is recorded. Each block's entry is
+  // written only by the worker that ran the block, so no synchronization.
+  const auto run_rows = [&](Schedule fallback, bool timed, auto&& body) {
     if (blocks != nullptr) {
+      const bool record = timed && timings != nullptr;
       ctx.for_block_ranges<IT>(
           blocks->bounds(), [&](int slot, int blk, IT lo, IT hi) {
             auto& ws = workspaces.slot(static_cast<std::size_t>(slot));
-            if constexpr (kHasBlockSizing) {
-              if (static_cast<std::size_t>(blk) <
-                  blocks->block_width.size()) {
-                kernel.begin_block(
-                    ws, blocks->block_width[static_cast<std::size_t>(blk)]);
+            const auto ublk = static_cast<std::size_t>(blk);
+            const std::int64_t width =
+                ublk < blocks->block_width.size() ? blocks->block_width[ublk]
+                                                  : 0;
+            if constexpr (kHasModeSelect) {
+              const std::uint8_t mode = ublk < blocks->block_mode.size()
+                                            ? blocks->block_mode[ublk]
+                                            : kernel.default_mode();
+              kernel.select_mode(ws, mode, width);
+              if (record) timings->mode[ublk] = mode;
+            } else if constexpr (kHasBlockSizing) {
+              if (ublk < blocks->block_width.size()) {
+                kernel.begin_block(ws, width);
               }
             }
-            for (IT i = lo; i < hi; ++i) body(ws, i);
+            if (record) {
+              const auto t0 = std::chrono::steady_clock::now();
+              for (IT i = lo; i < hi; ++i) body(ws, i);
+              const auto t1 = std::chrono::steady_clock::now();
+              timings->nanos[ublk] += static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(t1 -
+                                                                       t0)
+                      .count());
+            } else {
+              for (IT i = lo; i < hi; ++i) body(ws, i);
+            }
           });
     } else {
       ctx.for_rows(nrows, fallback, opts.chunk, [&](int slot, IT i) {
@@ -211,7 +271,7 @@ run_masked_kernel(const Kernel& kernel, const MaskedOptions& opts,
     } else {
       obs::ScopedSpan span("phase.symbolic");
       rowptr.assign(static_cast<std::size_t>(nrows) + 1, IT{0});
-      run_rows(schedule, [&](auto& ws, IT i) {
+      run_rows(schedule, false, [&](auto& ws, IT i) {
         rowptr[static_cast<std::size_t>(i) + 1] = kernel.symbolic_row(ws, i);
       });
       detail::offsets_inplace(rowptr, ctx);
@@ -226,7 +286,7 @@ run_masked_kernel(const Kernel& kernel, const MaskedOptions& opts,
     const auto nnz = static_cast<std::size_t>(rowptr.back());
     std::vector<IT> colidx(nnz);
     std::vector<OVT> values(nnz);
-    run_rows(schedule, [&](auto& ws, IT i) {
+    run_rows(schedule, true, [&](auto& ws, IT i) {
       const auto base =
           static_cast<std::size_t>(rowptr[static_cast<std::size_t>(i)]);
       [[maybe_unused]] const IT written = kernel.numeric_row(
@@ -242,7 +302,7 @@ run_masked_kernel(const Kernel& kernel, const MaskedOptions& opts,
   std::vector<std::size_t> bounds(static_cast<std::size_t>(nrows) + 1, 0);
   {
     obs::ScopedSpan span("phase.bound");
-    run_rows(Schedule::kStatic, [&](auto&, IT i) {
+    run_rows(Schedule::kStatic, false, [&](auto&, IT i) {
       bounds[static_cast<std::size_t>(i) + 1] = kernel.upper_bound_row(i);
     });
     detail::offsets_inplace(bounds, ctx);
@@ -255,7 +315,7 @@ run_masked_kernel(const Kernel& kernel, const MaskedOptions& opts,
 
   {
     obs::ScopedSpan span("phase.numeric");
-    run_rows(schedule, [&](auto& ws, IT i) {
+    run_rows(schedule, true, [&](auto& ws, IT i) {
       const std::size_t base = bounds[static_cast<std::size_t>(i)];
       rowptr[static_cast<std::size_t>(i) + 1] = kernel.numeric_row(
           ws, i, tmp_cols.data() + base, tmp_vals.data() + base);
@@ -267,7 +327,7 @@ run_masked_kernel(const Kernel& kernel, const MaskedOptions& opts,
   const auto nnz = static_cast<std::size_t>(rowptr.back());
   std::vector<IT> colidx(nnz);
   std::vector<OVT> values(nnz);
-  run_rows(Schedule::kStatic, [&](auto&, IT i) {
+  run_rows(Schedule::kStatic, false, [&](auto&, IT i) {
     const std::size_t src = bounds[static_cast<std::size_t>(i)];
     const auto dst = static_cast<std::size_t>(rowptr[static_cast<std::size_t>(i)]);
     const auto len = static_cast<std::size_t>(

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -35,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "adaptive/feedback.hpp"
 #include "common/exec_context.hpp"
 #include "common/timer.hpp"
 #include "core/delta.hpp"
@@ -100,6 +102,8 @@ struct DeltaStats {
   int blocks_total = 0;                 // blocks in the retained partition
   bool symbolic_patched = false;        // 2P rowptr spliced (not rebuilt)
   bool partition_kept = false;          // row partition survived the delta
+  std::size_t csc_cols_patched = 0;     // CSC columns spliced (pull families)
+  bool csc_patched = false;             // CSC spliced in place, not rebuilt
 };
 
 // A prepared, reusable Masked SpGEMM: C = M .* (A·B) (or the complemented
@@ -124,8 +128,20 @@ class MaskedPlan {
     const auto* entry = Registry::find(opts_.algo, opts_.kind);
     check_arg(entry != nullptr,
               detail::unsupported_combo_message(opts_.algo, opts_.kind));
-    needs_csc_ = entry->needs_csc;
-    kernel_ = entry->make();
+    // Adaptive per-block engine (src/adaptive/): when the resolved
+    // algorithm is one of the offer-order push families, the knob swaps the
+    // kernel for the mode-switching engine. Deliberately after the registry
+    // lookup — `adaptive` is fingerprint-neutral and must not change which
+    // (algo, kind) pairs are legal, and algo() still reports the resolved
+    // family.
+    adaptive_ = adaptive::engine_eligible(opts_.algo, opts_.adaptive);
+    if (adaptive_) {
+      needs_csc_ = false;  // all three adaptive engines push
+      kernel_ = Registry::adaptive_factory(opts_.kind)();
+    } else {
+      needs_csc_ = entry->needs_csc;
+      kernel_ = entry->make();
+    }
     adopt_structure(a, b, m, /*keep_b=*/false);
     setup_seconds_ = timer.seconds();
   }
@@ -147,13 +163,30 @@ class MaskedPlan {
   // serial-context execute skips the flop-balanced partition entirely, so
   // it does NOT warm the partition cache; under a partitioned schedule,
   // warm with one OpenMP/arena-context execute() (or serialize) before
-  // going concurrent. execute_values()/rebind() always remain exclusive:
-  // they mutate the stored operands. The runtime's plan cache sidesteps all
-  // of this with exclusive per-instance leases.
+  // going concurrent. An *adaptive* plan under AdaptiveMode::kAuto
+  // additionally re-modes the cached partition's block modes at the top of
+  // every execute — a mutation — so adaptive kAuto executes must be
+  // serialized by the caller (the runtime's plan cache already leases
+  // plans exclusively). execute_values()/rebind() always remain exclusive:
+  // they mutate the stored operands.
   output_matrix execute(const ExecContext& ctx) {
+    // Close the feedback loop before running: observed per-block timings
+    // from earlier executes of this structure re-mode the cached partition
+    // in place (O(blocks), no replan). Forced modes skip this — they still
+    // *record* below, feeding calibration, but never deviate from the pin.
+    if (adaptive_ && opts_.adaptive == AdaptiveMode::kAuto &&
+        partition_.valid && !partition_.partition.block_mode.empty()) {
+      last_remodes_ = adaptive::FeedbackStore::global().remode(
+          adaptive_digest_, partition_.partition);
+    }
+    BlockTimings timings;
     auto c = kernel_->run(
         opts_.phases == PhaseMode::kTwoPhase ? &symbolic_ : nullptr,
-        &partition_, ctx);
+        &partition_, ctx, adaptive_ ? &timings : nullptr);
+    if (adaptive_ && !timings.empty()) {
+      adaptive::FeedbackStore::global().record(
+          adaptive_digest_, partition_.partition, timings);
+    }
     // Recorded for the single-owner (OpenMP) usage only: concurrent warmed
     // executes would race on the member, and runtime contexts track their
     // own stats.
@@ -192,10 +225,17 @@ class MaskedPlan {
     const bool b_changed =
         !b_values.empty() || (ops_->b_is_a && !a_values.empty());
     if (needs_csc_ && b_changed) {
-      const auto b_vals = ops_->b().values();
-      auto csc_vals = ops_->b_csc.mutable_values();
-      for (std::size_t p = 0; p < csc_vals.size(); ++p) {
-        csc_vals[p] = b_vals[static_cast<std::size_t>(ops_->csc_perm[p])];
+      if (!ops_->csc_perm.empty()) {
+        const auto b_vals = ops_->b().values();
+        auto csc_vals = ops_->b_csc.mutable_values();
+        for (std::size_t p = 0; p < csc_vals.size(); ++p) {
+          csc_vals[p] = b_vals[static_cast<std::size_t>(ops_->csc_perm[p])];
+        }
+      } else {
+        // A delta patch spliced the CSC in place and dropped the stale slot
+        // permutation (it shifts globally under structural edits); the
+        // cursor refresh costs the same O(nnz) without the index array.
+        refresh_csc_values(ops_->b(), ops_->b_csc);
       }
     }
     return execute(ctx);
@@ -268,10 +308,15 @@ class MaskedPlan {
     st.rows_touched = touched_b.size();
     ops_->mutable_b() = std::move(patched);
 
-    // (b) The CSC cache and its value-refresh permutation are global views
-    // of B's structure; rebuild rather than splice.
+    // (b) Splice the CSC mirror column-by-column — only the delta's touched
+    // columns are merged, everything else is block-copied. The value-refresh
+    // permutation cannot survive a structural edit (slots shift globally),
+    // so it is dropped; execute_values() falls back to the cursor-based
+    // refresh.
     if (needs_csc_) {
-      ops_->b_csc = detail::build_csc_cache(ops_->b(), ops_->csc_perm);
+      st.csc_cols_patched = patch_csc_for_delta(ops_->b_csc, delta);
+      st.csc_patched = true;
+      ops_->csc_perm.clear();
     }
 
     // (c) Output rows the delta can affect. Row i of C depends only on
@@ -342,6 +387,13 @@ class MaskedPlan {
     if (partition_.valid) {
       st.blocks_refreshed =
           kernel_->refresh_block_widths(partition_.partition, touched_out);
+      // Adaptive plans replan block modes on the next execute: a delta can
+      // flip a block's density regime (modes are cheap to replan — one
+      // stats sweep — unlike the partition itself, which is kept). The
+      // structure digest is deliberately unchanged: prior observations
+      // remain the best estimate for the barely-changed structure.
+      partition_.partition.block_mode.clear();
+      partition_.partition.block_mode_cost.clear();
     }
 
     last_delta_seconds_ = timer.seconds();
@@ -357,6 +409,24 @@ class MaskedPlan {
   const MaskedOptions& options() const { return opts_; }
   // True when the plan holds a CSC copy of B (pull-based families).
   bool caches_csc() const { return needs_csc_; }
+
+  // True when the plan runs the adaptive per-block engine (src/adaptive/)
+  // instead of the resolved algorithm's own kernel. algo() still reports
+  // the resolved family — `adaptive` is an execution hint, not identity.
+  bool adaptive_engine() const { return adaptive_; }
+  // Blocks whose mode the FeedbackStore changed at the top of the most
+  // recent execute() (kAuto only; 0 otherwise).
+  int last_remodes() const { return last_remodes_; }
+  // Planned blocks per adaptive::BlockMode in the cached partition
+  // (index = BlockMode value); all zero until a partitioned adaptive
+  // execute has planned modes.
+  std::array<int, adaptive::kBlockModeCount> adaptive_mode_histogram() const {
+    std::array<int, adaptive::kBlockModeCount> h{};
+    for (const std::uint8_t m : partition_.partition.block_mode) {
+      h[std::min<std::size_t>(m, adaptive::kBlockModeCount - 1)] += 1;
+    }
+    return h;
+  }
 
   IT nrows() const { return ops_->a.nrows(); }
   IT ncols() const { return ops_->b.ncols(); }
@@ -411,7 +481,9 @@ class MaskedPlan {
     n += vec_bytes(ops_->mask_rowptr) + vec_bytes(ops_->mask_colidx);
     n += vec_bytes(symbolic_.rowptr);
     n += vec_bytes(partition_.partition.block_start) +
-         vec_bytes(partition_.partition.block_width);
+         vec_bytes(partition_.partition.block_width) +
+         vec_bytes(partition_.partition.block_mode) +
+         vec_bytes(partition_.partition.block_mode_cost);
     return n;
   }
 
@@ -493,14 +565,40 @@ class MaskedPlan {
     kernel_->bind(in, opts_);
     symbolic_.invalidate();
     partition_.invalidate();
+
+    // Feedback key for the adaptive engine: a sampled O(1) fingerprint of
+    // the operand structures (adaptive/feedback.hpp). Computed per adopted
+    // structure and deliberately NOT refreshed by apply_delta — prior
+    // per-block observations remain the best estimate after a sparse patch.
+    if (adaptive_) {
+      std::uint64_t h = adaptive::kDigestSeed;
+      h = adaptive::structure_digest<IT>(h, ops_->a.nrows(), ops_->a.ncols(),
+                                         ops_->a.rowptr(), ops_->a.colidx());
+      if (!ops_->b_is_a) {
+        h = adaptive::structure_digest<IT>(h, ops_->b().nrows(),
+                                           ops_->b().ncols(),
+                                           ops_->b().rowptr(),
+                                           ops_->b().colidx());
+      }
+      const auto mv = ops_->mask_view();
+      h = adaptive::structure_digest<IT>(
+          h, mv.nrows, mv.ncols,
+          std::span<const IT>(mv.rowptr, static_cast<std::size_t>(mv.nrows) + 1),
+          std::span<const IT>(mv.colidx, static_cast<std::size_t>(mv.nnz())));
+      h = adaptive::digest_mix(h, static_cast<std::uint64_t>(opts_.kind));
+      adaptive_digest_ = h;
+    }
   }
 
   MaskedOptions opts_;
   bool needs_csc_ = false;
+  bool adaptive_ = false;
   std::unique_ptr<Operands> ops_;
   std::unique_ptr<PlanKernelBase<SR, IT, VT>> kernel_;
   TwoPhaseCache<IT> symbolic_;
   PartitionCache partition_;
+  std::uint64_t adaptive_digest_ = 0;
+  int last_remodes_ = 0;
   double setup_seconds_ = 0.0;
   double last_execute_setup_seconds_ = 0.0;
   double last_delta_seconds_ = 0.0;

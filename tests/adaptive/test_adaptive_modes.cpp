@@ -1,0 +1,222 @@
+// Engine-level bit-identity of the adaptive per-block engine: for every
+// eligible algorithm × phase × mask kind, the CSR output must be EXACTLY
+// equal (operator==, no tolerance) across adaptive off / auto / every
+// forced mode — the contract that lets the ModePlanner choose on cost
+// alone. Plus eligibility edges (ineligible algorithms ignore the knob),
+// aliasing, and the option-string/env surface.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "adaptive/planner.hpp"
+#include "core/masked_spgemm.hpp"
+#include "core/plan.hpp"
+#include "core/reference.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/rmat.hpp"
+
+#include "../core/test_helpers.hpp"
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+using SR = PlusTimes<VT>;
+
+std::vector<AdaptiveMode> all_adaptive_modes() {
+  return {AdaptiveMode::kOff, AdaptiveMode::kAuto, AdaptiveMode::kForceSparse,
+          AdaptiveMode::kForceBitmap, AdaptiveMode::kForceDense};
+}
+
+std::vector<MaskedAlgo> eligible_algos() {
+  return {MaskedAlgo::kMSA, MaskedAlgo::kHash, MaskedAlgo::kMSABitmap};
+}
+
+// A structure whose density shifts across row regions: the first half of
+// the rows is dense (high degree), the second half sparse — so per-block
+// mode decisions genuinely differ and every mode runs somewhere.
+struct MixedWorkload {
+  CSRMatrix<IT, VT> a;
+  CSRMatrix<IT, VT> b;
+  CSRMatrix<IT, VT> m;
+};
+
+MixedWorkload mixed_workload(IT dim, std::uint64_t seed) {
+  auto dense_a = erdos_renyi<IT, VT>(dim / 2, dim, dim / 4, seed + 1);
+  auto sparse_a = erdos_renyi<IT, VT>(dim - dim / 2, dim, 3, seed + 2);
+  // Stack: rows [0, dim/2) dense, rows [dim/2, dim) sparse.
+  std::vector<IT> rowptr{0};
+  std::vector<IT> colidx;
+  std::vector<VT> values;
+  for (const auto* part : {&dense_a, &sparse_a}) {
+    for (IT i = 0; i < part->nrows(); ++i) {
+      const auto r = part->row(i);
+      colidx.insert(colidx.end(), r.cols.begin(), r.cols.end());
+      values.insert(values.end(), r.vals.begin(), r.vals.end());
+      rowptr.push_back(static_cast<IT>(colidx.size()));
+    }
+  }
+  MixedWorkload w;
+  w.a = CSRMatrix<IT, VT>(dim, dim, std::move(rowptr), std::move(colidx),
+                          std::move(values));
+  w.b = erdos_renyi<IT, VT>(dim, dim, dim / 8, seed + 3);
+  w.m = erdos_renyi<IT, VT>(dim, dim, dim / 6, seed + 4);
+  return w;
+}
+
+TEST(AdaptiveModes, BitIdenticalAcrossModesAllCombos) {
+  const auto w = mixed_workload(256, 17);
+  for (auto algo : eligible_algos()) {
+    for (auto kind : {MaskKind::kMask, MaskKind::kComplement}) {
+      for (auto phase : msx::testing::all_phases()) {
+        MaskedOptions o;
+        o.algo = algo;
+        o.kind = kind;
+        o.phases = phase;
+        o.adaptive = AdaptiveMode::kOff;
+        const auto baseline = masked_spgemm<SR>(w.a, w.b, w.m, o);
+        const auto want = reference_masked_spgemm<SR>(w.a, w.b, w.m, kind);
+        EXPECT_TRUE(msx::testing::matrices_near(baseline, want))
+            << to_string(algo) << " baseline vs reference";
+        for (auto mode : all_adaptive_modes()) {
+          o.adaptive = mode;
+          const auto got = masked_spgemm<SR>(w.a, w.b, w.m, o);
+          EXPECT_EQ(baseline, got)
+              << to_string(algo) << " kind=" << static_cast<int>(kind)
+              << " phase=" << static_cast<int>(phase)
+              << " adaptive=" << to_string(mode);
+        }
+      }
+    }
+  }
+}
+
+TEST(AdaptiveModes, PlanExecutesBitIdenticalAndReModes) {
+  const auto w = mixed_workload(256, 29);
+  MaskedOptions off;
+  off.algo = MaskedAlgo::kHash;
+  off.schedule = Schedule::kFlopBalanced;  // always partition -> plan modes
+  off.adaptive = AdaptiveMode::kOff;
+  auto plan_off = masked_plan<SR>(w.a, w.b, w.m, off);
+  const auto baseline = plan_off.execute();
+  EXPECT_FALSE(plan_off.adaptive_engine());
+
+  for (auto mode : all_adaptive_modes()) {
+    if (mode == AdaptiveMode::kOff) continue;
+    MaskedOptions o = off;
+    o.adaptive = mode;
+    auto plan = masked_plan<SR>(w.a, w.b, w.m, o);
+    EXPECT_TRUE(plan.adaptive_engine()) << to_string(mode);
+    EXPECT_EQ(plan.algo(), MaskedAlgo::kHash);  // identity unchanged
+    // Repeated executes stay bit-identical even as feedback re-modes blocks.
+    for (int rep = 0; rep < 3; ++rep) {
+      EXPECT_EQ(baseline, plan.execute())
+          << to_string(mode) << " rep " << rep;
+    }
+  }
+}
+
+TEST(AdaptiveModes, ForcedModesPinTheHistogram) {
+  const auto w = mixed_workload(256, 31);
+  struct Case {
+    AdaptiveMode opt;
+    adaptive::BlockMode pinned;
+  };
+  for (const auto& c :
+       {Case{AdaptiveMode::kForceSparse, adaptive::BlockMode::kSparse},
+        Case{AdaptiveMode::kForceBitmap, adaptive::BlockMode::kBitmap},
+        Case{AdaptiveMode::kForceDense, adaptive::BlockMode::kDense}}) {
+    MaskedOptions o;
+    o.algo = MaskedAlgo::kHash;
+    o.schedule = Schedule::kFlopBalanced;
+    o.adaptive = c.opt;
+    auto plan = masked_plan<SR>(w.a, w.b, w.m, o);
+    plan.execute();
+    ASSERT_TRUE(plan.partition_cached());
+    const auto h = plan.adaptive_mode_histogram();
+    int total = 0;
+    for (int m = 0; m < adaptive::kBlockModeCount; ++m) total += h[m];
+    EXPECT_EQ(h[static_cast<int>(c.pinned)], total)
+        << "forced " << to_string(c.pinned) << " must pin every block";
+  }
+}
+
+TEST(AdaptiveModes, IneligibleAlgosIgnoreTheKnob) {
+  auto a = rmat<IT, VT>(7, 40);
+  auto b = rmat<IT, VT>(7, 41);
+  auto m = rmat<IT, VT>(7, 42);
+  for (auto algo : {MaskedAlgo::kHeap, MaskedAlgo::kMCA, MaskedAlgo::kInner,
+                    MaskedAlgo::kHybrid, MaskedAlgo::kHeapDot}) {
+    MaskedOptions o;
+    o.algo = algo;
+    o.adaptive = AdaptiveMode::kOff;
+    const auto baseline = masked_spgemm<SR>(a, b, m, o);
+    o.adaptive = AdaptiveMode::kAuto;
+    EXPECT_EQ(baseline, masked_spgemm<SR>(a, b, m, o)) << to_string(algo);
+    // The plan path must not claim the adaptive engine either.
+    auto plan = masked_plan<SR>(a, b, m, o);
+    EXPECT_FALSE(plan.adaptive_engine()) << to_string(algo);
+  }
+}
+
+TEST(AdaptiveModes, AliasedOperandsBitIdentical) {
+  // k-truss shape: A = B = M, all the same object.
+  auto a = rmat<IT, VT>(8, 55);
+  MaskedOptions o;
+  o.algo = MaskedAlgo::kHash;
+  o.adaptive = AdaptiveMode::kOff;
+  const auto baseline = masked_spgemm<SR>(a, a, a, o);
+  for (auto mode : all_adaptive_modes()) {
+    o.adaptive = mode;
+    EXPECT_EQ(baseline, masked_spgemm<SR>(a, a, a, o)) << to_string(mode);
+    auto plan = masked_plan<SR>(a, a, a, o);
+    EXPECT_EQ(baseline, plan.execute()) << to_string(mode);
+    EXPECT_EQ(baseline, plan.execute()) << to_string(mode) << " rerun";
+  }
+}
+
+TEST(AdaptiveModes, OptionStringsRoundTrip) {
+  EXPECT_EQ(adaptive_mode_from_string("off"), AdaptiveMode::kOff);
+  EXPECT_EQ(adaptive_mode_from_string("auto"), AdaptiveMode::kAuto);
+  EXPECT_EQ(adaptive_mode_from_string("sparse"), AdaptiveMode::kForceSparse);
+  EXPECT_EQ(adaptive_mode_from_string("force-bitmap"),
+            AdaptiveMode::kForceBitmap);
+  EXPECT_EQ(adaptive_mode_from_string("DENSE"), AdaptiveMode::kForceDense);
+  EXPECT_THROW(adaptive_mode_from_string("banana"), std::invalid_argument);
+  for (auto mode : all_adaptive_modes()) {
+    EXPECT_EQ(adaptive_mode_from_string(to_string(mode)), mode);
+  }
+}
+
+TEST(AdaptiveModes, EnvKnobParsesAndDefaults) {
+  ::unsetenv("MSX_ADAPTIVE");
+  EXPECT_EQ(adaptive_mode_from_env(), AdaptiveMode::kOff);
+  EXPECT_EQ(adaptive_mode_from_env(AdaptiveMode::kAuto), AdaptiveMode::kAuto);
+  ::setenv("MSX_ADAPTIVE", "dense", 1);
+  EXPECT_EQ(adaptive_mode_from_env(), AdaptiveMode::kForceDense);
+  ::setenv("MSX_ADAPTIVE", "not-a-mode", 1);
+  EXPECT_EQ(adaptive_mode_from_env(AdaptiveMode::kAuto), AdaptiveMode::kAuto);
+  ::unsetenv("MSX_ADAPTIVE");
+}
+
+TEST(AdaptiveModes, EligibilityRule) {
+  EXPECT_FALSE(
+      adaptive::engine_eligible(MaskedAlgo::kHash, AdaptiveMode::kOff));
+  EXPECT_TRUE(
+      adaptive::engine_eligible(MaskedAlgo::kHash, AdaptiveMode::kAuto));
+  EXPECT_TRUE(
+      adaptive::engine_eligible(MaskedAlgo::kMSA, AdaptiveMode::kForceDense));
+  EXPECT_TRUE(adaptive::engine_eligible(MaskedAlgo::kMSABitmap,
+                                        AdaptiveMode::kAuto));
+  // Heap merges in column order — different FP addition order — so it must
+  // never be swapped for the offer-order engine.
+  EXPECT_FALSE(
+      adaptive::engine_eligible(MaskedAlgo::kHeap, AdaptiveMode::kAuto));
+  EXPECT_FALSE(
+      adaptive::engine_eligible(MaskedAlgo::kInner, AdaptiveMode::kAuto));
+}
+
+}  // namespace
+}  // namespace msx

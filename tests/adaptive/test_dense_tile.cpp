@@ -1,0 +1,167 @@
+// Unit tests for the dense row-tile accumulator (accum/dense_tile.hpp) —
+// the "dense" mode of the adaptive engine. The bit-identity contract (first
+// write, then add, in offer order; mask-order / ascending gather) is what
+// the engine-level suites lean on, so it is pinned here at the accumulator
+// level first.
+#include "accum/dense_tile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace msx {
+namespace {
+
+using IT = int32_t;
+using VT = double;
+
+constexpr auto kAdd = [](VT a, VT b) { return a + b; };
+
+TEST(DenseTileMaskedTest, BasicInsertGather) {
+  DenseTileMasked<IT, VT> acc;
+  acc.init(600);
+  const std::vector<IT> mask{3, 10, 500};
+  acc.prepare(mask);
+  acc.insert(10, [] { return 1.0; }, kAdd);
+  acc.insert(10, [] { return 2.0; }, kAdd);
+  acc.insert(500, [] { return 5.0; }, kAdd);
+  acc.insert(7, [] { return 100.0; }, kAdd);  // not in mask: dropped at gather
+
+  std::vector<IT> cols(3);
+  std::vector<VT> vals(3);
+  const IT n = acc.gather_and_reset(mask, cols.data(), vals.data());
+  ASSERT_EQ(n, 2);
+  EXPECT_EQ(cols[0], 10);
+  EXPECT_EQ(vals[0], 3.0);
+  EXPECT_EQ(cols[1], 500);
+  EXPECT_EQ(vals[1], 5.0);
+}
+
+TEST(DenseTileMaskedTest, GatherClearsEverything) {
+  DenseTileMasked<IT, VT> acc;
+  acc.init(128);
+  const std::vector<IT> m1{1, 2};
+  acc.prepare(m1);
+  acc.insert(1, [] { return 5.0; }, kAdd);
+  acc.insert(100, [] { return 9.0; }, kAdd);  // off-mask residue
+  std::vector<IT> cols(2);
+  std::vector<VT> vals(2);
+  ASSERT_EQ(acc.gather_and_reset(m1, cols.data(), vals.data()), 1);
+
+  // Next row: the old off-mask bit at 100 must be gone even though no mask
+  // walk could reach it.
+  const std::vector<IT> m2{100};
+  acc.prepare(m2);
+  acc.insert(100, [] { return 7.0; }, kAdd);
+  const IT n = acc.gather_and_reset(m2, cols.data(), vals.data());
+  ASSERT_EQ(n, 1);
+  EXPECT_EQ(vals[0], 7.0);  // fresh first-write, not 9.0 + 7.0
+}
+
+TEST(DenseTileMaskedTest, FirstWriteKeepsNegativeZero) {
+  // Zero-init + unconditional add would turn a first value of -0.0 into
+  // +0.0 — the classic way dense accumulators break bit-identity.
+  DenseTileMasked<IT, VT> acc;
+  acc.init(64);
+  const std::vector<IT> mask{5};
+  acc.prepare(mask);
+  acc.insert(5, [] { return -0.0; }, kAdd);
+  std::vector<IT> cols(1);
+  std::vector<VT> vals(1);
+  ASSERT_EQ(acc.gather_and_reset(mask, cols.data(), vals.data()), 1);
+  EXPECT_TRUE(std::signbit(vals[0]));
+}
+
+TEST(DenseTileMaskedTest, SymbolicCountsAllowedFirstSetsOnly) {
+  DenseTileMasked<IT, VT> acc;
+  acc.init(64);
+  const std::vector<IT> mask{2, 8};
+  acc.prepare(mask);
+  IT cnt = 0;
+  cnt += acc.insert_symbolic(2);   // allowed, first set -> 1
+  cnt += acc.insert_symbolic(2);   // repeat -> 0
+  cnt += acc.insert_symbolic(5);   // not allowed -> 0
+  cnt += acc.insert_symbolic(8);   // allowed -> 1
+  EXPECT_EQ(cnt, 2);
+  acc.reset(mask);
+  // After reset the same row counts again from scratch.
+  acc.prepare(mask);
+  EXPECT_EQ(acc.insert_symbolic(2), 1);
+  acc.reset(mask);
+}
+
+TEST(DenseTileComplementTest, GatherAscendingSkipsBanned) {
+  DenseTileComplement<IT, VT> acc;
+  acc.init(200);
+  const std::vector<IT> mask{64, 130};  // banned columns
+  acc.prepare(mask);
+  acc.insert(130, [] { return 1.0; }, kAdd);  // banned: dropped
+  acc.insert(190, [] { return 4.0; }, kAdd);
+  acc.insert(64, [] { return 2.0; }, kAdd);   // banned: dropped
+  acc.insert(3, [] { return 9.0; }, kAdd);
+  acc.insert(190, [] { return 1.0; }, kAdd);
+
+  std::vector<IT> cols(4);
+  std::vector<VT> vals(4);
+  const IT n = acc.gather_and_reset(mask, cols.data(), vals.data());
+  ASSERT_EQ(n, 2);
+  EXPECT_EQ(cols[0], 3);   // ascending column order, no sort needed
+  EXPECT_EQ(vals[0], 9.0);
+  EXPECT_EQ(cols[1], 190);
+  EXPECT_EQ(vals[1], 5.0);
+}
+
+TEST(DenseTileComplementTest, SymbolicCountsNonBanned) {
+  DenseTileComplement<IT, VT> acc;
+  acc.init(64);
+  const std::vector<IT> mask{7};
+  acc.prepare(mask);
+  IT cnt = 0;
+  cnt += acc.insert_symbolic(7);   // banned -> 0
+  cnt += acc.insert_symbolic(9);   // free -> 1
+  cnt += acc.insert_symbolic(9);   // repeat -> 0
+  EXPECT_EQ(cnt, 1);
+  acc.reset(mask);
+}
+
+TEST(DenseTileComplementTest, BanDropsAfterGather) {
+  DenseTileComplement<IT, VT> acc;
+  acc.init(64);
+  const std::vector<IT> m1{9};
+  acc.prepare(m1);
+  acc.insert(9, [] { return 1.0; }, kAdd);
+  std::vector<IT> cols(2);
+  std::vector<VT> vals(2);
+  ASSERT_EQ(acc.gather_and_reset(m1, cols.data(), vals.data()), 0);
+
+  // New row with an empty mask: column 9 must no longer be banned.
+  const std::vector<IT> m2;
+  acc.prepare(m2);
+  acc.insert(9, [] { return 3.0; }, kAdd);
+  ASSERT_EQ(acc.gather_and_reset(m2, cols.data(), vals.data()), 1);
+  EXPECT_EQ(cols[0], 9);
+  EXPECT_EQ(vals[0], 3.0);
+}
+
+TEST(DenseTileTest, InitGrowsAndClearReleases) {
+  DenseTileMasked<IT, VT> acc;
+  acc.init(10);
+  acc.init(1000);  // grow
+  const std::vector<IT> mask{999};
+  acc.prepare(mask);
+  acc.insert(999, [] { return 1.5; }, kAdd);
+  std::vector<IT> cols(1);
+  std::vector<VT> vals(1);
+  ASSERT_EQ(acc.gather_and_reset(mask, cols.data(), vals.data()), 1);
+  acc.clear();
+  acc.init(64);  // usable again after clear
+  const std::vector<IT> m2{1};
+  acc.prepare(m2);
+  acc.insert(1, [] { return 2.0; }, kAdd);
+  ASSERT_EQ(acc.gather_and_reset(m2, cols.data(), vals.data()), 1);
+  EXPECT_EQ(vals[0], 2.0);
+}
+
+}  // namespace
+}  // namespace msx
